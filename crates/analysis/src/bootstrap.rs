@@ -1,0 +1,171 @@
+//! Bootstrap confidence intervals for campaign measurements.
+//!
+//! Makespans on the simulated grid are max statistics with heavy right
+//! tails, so normal-theory intervals mislead; percentile bootstrap over
+//! seed-repeat measurements is the honest way to report "NOP is X×
+//! slower ± what".
+
+/// Deterministic splitmix64 stream for reproducible resampling (the
+/// crate stays dependency-free).
+struct Resampler {
+    state: u64,
+}
+
+impl Resampler {
+    fn new(seed: u64) -> Self {
+        Resampler { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    fn next_index(&mut self, n: usize) -> usize {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ((z as u128 * n as u128) >> 64) as usize
+    }
+}
+
+/// A two-sided percentile interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl Interval {
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Percentile-bootstrap confidence interval for the mean of `xs`.
+///
+/// `confidence` in (0, 1), e.g. 0.95. Returns `None` for empty input.
+/// Deterministic for a given `seed`.
+pub fn bootstrap_mean_ci(
+    xs: &[f64],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> Option<Interval> {
+    if xs.is_empty() {
+        return None;
+    }
+    assert!((0.0..1.0).contains(&confidence) && confidence > 0.0, "bad confidence");
+    let mut rng = Resampler::new(seed);
+    let mut means = Vec::with_capacity(resamples.max(1));
+    for _ in 0..resamples.max(1) {
+        let sum: f64 = (0..xs.len()).map(|_| xs[rng.next_index(xs.len())]).sum();
+        means.push(sum / xs.len() as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let alpha = (1.0 - confidence) / 2.0;
+    let pick = |q: f64| -> f64 {
+        let idx = ((means.len() as f64 - 1.0) * q).round() as usize;
+        means[idx.min(means.len() - 1)]
+    };
+    Some(Interval { lo: pick(alpha), hi: pick(1.0 - alpha) })
+}
+
+/// Bootstrap CI for the *ratio of means* of two samples (speed-ups).
+pub fn bootstrap_ratio_ci(
+    numerator: &[f64],
+    denominator: &[f64],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> Option<Interval> {
+    if numerator.is_empty() || denominator.is_empty() {
+        return None;
+    }
+    let mut rng = Resampler::new(seed);
+    let mut ratios = Vec::with_capacity(resamples.max(1));
+    for _ in 0..resamples.max(1) {
+        let num: f64 = (0..numerator.len())
+            .map(|_| numerator[rng.next_index(numerator.len())])
+            .sum::<f64>()
+            / numerator.len() as f64;
+        let den: f64 = (0..denominator.len())
+            .map(|_| denominator[rng.next_index(denominator.len())])
+            .sum::<f64>()
+            / denominator.len() as f64;
+        if den > 0.0 {
+            ratios.push(num / den);
+        }
+    }
+    if ratios.is_empty() {
+        return None;
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let alpha = (1.0 - confidence) / 2.0;
+    let pick = |q: f64| -> f64 {
+        let idx = ((ratios.len() as f64 - 1.0) * q).round() as usize;
+        ratios[idx.min(ratios.len() - 1)]
+    };
+    Some(Interval { lo: pick(alpha), hi: pick(1.0 - alpha) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_of_constant_sample_is_degenerate() {
+        let ci = bootstrap_mean_ci(&[5.0; 20], 200, 0.95, 1).unwrap();
+        assert_eq!(ci.lo, 5.0);
+        assert_eq!(ci.hi, 5.0);
+        assert!(ci.contains(5.0));
+        assert_eq!(ci.width(), 0.0);
+    }
+
+    #[test]
+    fn ci_covers_the_true_mean_of_a_simple_sample() {
+        // Sample from a known mean-10 distribution.
+        let xs: Vec<f64> = (0..100).map(|i| 10.0 + ((i % 7) as f64 - 3.0)).collect();
+        let true_mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let ci = bootstrap_mean_ci(&xs, 500, 0.95, 2).unwrap();
+        assert!(ci.contains(true_mean), "{ci:?} should contain {true_mean}");
+        assert!(ci.width() < 2.0, "narrow for a tame sample: {ci:?}");
+    }
+
+    #[test]
+    fn ci_is_deterministic_per_seed() {
+        let xs = [1.0, 5.0, 2.0, 8.0, 3.0];
+        assert_eq!(
+            bootstrap_mean_ci(&xs, 300, 0.9, 7),
+            bootstrap_mean_ci(&xs, 300, 0.9, 7)
+        );
+        assert_ne!(
+            bootstrap_mean_ci(&xs, 300, 0.9, 7),
+            bootstrap_mean_ci(&xs, 300, 0.9, 8)
+        );
+    }
+
+    #[test]
+    fn wider_confidence_gives_wider_interval() {
+        let xs: Vec<f64> = (0..50).map(|i| (i * 13 % 29) as f64).collect();
+        let narrow = bootstrap_mean_ci(&xs, 800, 0.5, 3).unwrap();
+        let wide = bootstrap_mean_ci(&xs, 800, 0.99, 3).unwrap();
+        assert!(wide.width() > narrow.width());
+    }
+
+    #[test]
+    fn empty_input_gives_none() {
+        assert!(bootstrap_mean_ci(&[], 100, 0.95, 1).is_none());
+        assert!(bootstrap_ratio_ci(&[], &[1.0], 100, 0.95, 1).is_none());
+    }
+
+    #[test]
+    fn ratio_ci_brackets_a_known_speedup() {
+        let slow = [100.0, 110.0, 95.0, 105.0, 98.0];
+        let fast = [24.0, 26.0, 25.0, 25.5, 24.5];
+        let ci = bootstrap_ratio_ci(&slow, &fast, 600, 0.95, 4).unwrap();
+        assert!(ci.contains(4.07) || (ci.lo < 4.2 && ci.hi > 3.9), "{ci:?}");
+        assert!(ci.lo > 3.4 && ci.hi < 4.8, "{ci:?}");
+    }
+}

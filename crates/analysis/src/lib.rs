@@ -1,0 +1,31 @@
+//! # moteur-analysis
+//!
+//! Analysis toolkit for the experiment harnesses: summary statistics,
+//! ordinary-least-squares regression, and the paper's §5.1 metrics —
+//! speed-up, **y-intercept ratio** (infrastructure-overhead gains, the
+//! metric job grouping is designed to improve) and **slope ratio**
+//! (data-scalability gains, the metric data parallelism is designed to
+//! improve) — plus text tables and the ASCII Fig. 10 chart renderer.
+//!
+//! ```
+//! use moteur_analysis::{compare, Series};
+//!
+//! // The paper's own Table 1 numbers:
+//! let nop = Series::new("NOP", vec![(12.0, 32855.0), (66.0, 76354.0), (126.0, 133493.0)]);
+//! let dp = Series::new("DP", vec![(12.0, 17690.0), (66.0, 26437.0), (126.0, 34027.0)]);
+//! let c = compare(&nop, &dp);
+//! // §5.2: data parallelism mainly improves the slope ratio (≈6.2).
+//! assert!(c.slope_ratio.unwrap() > 5.0);
+//! ```
+
+pub mod bootstrap;
+pub mod metrics;
+pub mod plot;
+pub mod stats;
+pub mod table;
+
+pub use bootstrap::{bootstrap_mean_ci, bootstrap_ratio_ci, Interval};
+pub use metrics::{compare, speedup, Series, SeriesComparison};
+pub use plot::render_chart;
+pub use stats::{linear_regression, mean, median, std_dev, Line};
+pub use table::{fmt_secs, Table};

@@ -1,0 +1,171 @@
+//! The paper's performance metrics (§5.1).
+//!
+//! Beyond the classic **speed-up**, the paper introduces two metrics
+//! tailored to production grids, computed from the linear regression of
+//! execution time against input-data-set size:
+//!
+//! - the **y-intercept ratio** — the intercept measures the
+//!   incompressible overhead of accessing the infrastructure ("the
+//!   time spent for the processing of 0 data set"); job grouping is
+//!   expected to improve mostly this;
+//! - the **slope ratio** — the slope measures data scalability; data
+//!   parallelism is expected to improve mostly this.
+//!
+//! Both ratios compare a *reference* line against the *analyzed* line
+//! (reference / analyzed, so > 1 means the analyzed method improves on
+//! the reference).
+
+use crate::stats::{linear_regression, Line};
+
+/// Speed-up of `optimized` relative to `reference` (> 1 is faster).
+pub fn speedup(reference_time: f64, optimized_time: f64) -> f64 {
+    reference_time / optimized_time
+}
+
+/// One measured execution-time series: time (s) per data-set size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    pub label: String,
+    /// `(n_D, execution_time_seconds)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+
+    /// Least-squares fit of the series.
+    pub fn fit(&self) -> Option<Line> {
+        linear_regression(&self.points)
+    }
+
+    /// Time at a given size, if measured.
+    pub fn time_at(&self, n: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(x, _)| (*x - n).abs() < 1e-9)
+            .map(|(_, y)| *y)
+    }
+}
+
+/// The §5.1 comparison of two series: speed-ups at the common sizes,
+/// plus the y-intercept and slope ratios of the fitted lines.
+#[derive(Debug, Clone)]
+pub struct SeriesComparison {
+    pub reference: String,
+    pub analyzed: String,
+    /// `(n_D, speedup)` at every size present in both series.
+    pub speedups: Vec<(f64, f64)>,
+    pub y_intercept_ratio: Option<f64>,
+    pub slope_ratio: Option<f64>,
+}
+
+/// Compare `analyzed` against `reference`.
+pub fn compare(reference: &Series, analyzed: &Series) -> SeriesComparison {
+    let speedups = reference
+        .points
+        .iter()
+        .filter_map(|(n, t_ref)| analyzed.time_at(*n).map(|t| (*n, speedup(*t_ref, t))))
+        .collect();
+    let (mut y_ratio, mut s_ratio) = (None, None);
+    if let (Some(fr), Some(fa)) = (reference.fit(), analyzed.fit()) {
+        if fa.intercept.abs() > 1e-12 {
+            y_ratio = Some(fr.intercept / fa.intercept);
+        }
+        if fa.slope.abs() > 1e-12 {
+            s_ratio = Some(fr.slope / fa.slope);
+        }
+    }
+    SeriesComparison {
+        reference: reference.label.clone(),
+        analyzed: analyzed.label.clone(),
+        speedups,
+        y_intercept_ratio: y_ratio,
+        slope_ratio: s_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table 1 / Table 2 values as fixtures.
+    fn paper_series(label: &str, t12: f64, t66: f64, t126: f64) -> Series {
+        Series::new(label, vec![(12.0, t12), (66.0, t66), (126.0, t126)])
+    }
+
+    #[test]
+    fn speedup_definition() {
+        assert_eq!(speedup(100.0, 25.0), 4.0);
+    }
+
+    #[test]
+    fn paper_dp_vs_nop_speedups_reproduced_from_table1() {
+        // §5.2: "We obtain speed-ups of 1.86, 2.89 and 3.92".
+        let nop = paper_series("NOP", 32855.0, 76354.0, 133493.0);
+        let dp = paper_series("DP", 17690.0, 26437.0, 34027.0);
+        let c = compare(&nop, &dp);
+        let s: Vec<f64> = c.speedups.iter().map(|(_, s)| (s * 100.0).round() / 100.0).collect();
+        assert_eq!(s, vec![1.86, 2.89, 3.92]);
+    }
+
+    #[test]
+    fn paper_dp_vs_nop_ratios_reproduced_from_table2_lines() {
+        // §5.2: slope ratio 6.18, y-intercept ratio 1.27 — computed
+        // from the Table 2 regression values. Reproduce from raw
+        // Table 1 data (the paper's own regressions round slightly).
+        let nop = paper_series("NOP", 32855.0, 76354.0, 133493.0);
+        let dp = paper_series("DP", 17690.0, 26437.0, 34027.0);
+        let c = compare(&nop, &dp);
+        assert!((c.slope_ratio.unwrap() - 6.18).abs() < 0.05, "{:?}", c.slope_ratio);
+        assert!((c.y_intercept_ratio.unwrap() - 1.27).abs() < 0.03, "{:?}", c.y_intercept_ratio);
+    }
+
+    #[test]
+    fn paper_jg_vs_nop_speedups() {
+        // §5.3: JG vs NOP speed-ups 1.43, 1.12, 1.06.
+        let nop = paper_series("NOP", 32855.0, 76354.0, 133493.0);
+        let jg = paper_series("JG", 22990.0, 68427.0, 125503.0);
+        let c = compare(&nop, &jg);
+        let s: Vec<f64> = c.speedups.iter().map(|(_, s)| (s * 100.0).round() / 100.0).collect();
+        assert_eq!(s, vec![1.43, 1.12, 1.06]);
+    }
+
+    #[test]
+    fn paper_sp_dp_jg_vs_sp_dp_speedups() {
+        // §5.3: 1.42, 1.34, 1.23.
+        let spdp = paper_series("SP+DP", 7825.0, 12143.0, 17823.0);
+        let all = paper_series("SP+DP+JG", 5524.0, 9053.0, 14547.0);
+        let c = compare(&spdp, &all);
+        let s: Vec<f64> = c.speedups.iter().map(|(_, s)| (s * 100.0).round() / 100.0).collect();
+        assert_eq!(s, vec![1.42, 1.34, 1.23]);
+    }
+
+    #[test]
+    fn total_speedup_is_about_nine() {
+        // Abstract: "An execution time speed up of approximately 9".
+        let nop = paper_series("NOP", 32855.0, 76354.0, 133493.0);
+        let all = paper_series("SP+DP+JG", 5524.0, 9053.0, 14547.0);
+        let c = compare(&nop, &all);
+        let at126 = c.speedups.iter().find(|(n, _)| *n == 126.0).unwrap().1;
+        assert!((at126 - 9.18).abs() < 0.01, "{at126}");
+    }
+
+    #[test]
+    fn missing_sizes_are_skipped() {
+        let a = Series::new("a", vec![(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]);
+        let b = Series::new("b", vec![(1.0, 5.0), (3.0, 10.0)]);
+        let c = compare(&a, &b);
+        assert_eq!(c.speedups.len(), 2);
+    }
+
+    #[test]
+    fn degenerate_fits_give_none_ratios() {
+        let a = Series::new("a", vec![(1.0, 10.0)]);
+        let b = Series::new("b", vec![(1.0, 5.0)]);
+        let c = compare(&a, &b);
+        assert!(c.slope_ratio.is_none());
+        assert!(c.y_intercept_ratio.is_none());
+    }
+}

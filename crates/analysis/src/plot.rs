@@ -1,0 +1,104 @@
+//! ASCII line plots — the Fig. 10 renderer.
+
+use crate::metrics::Series;
+
+/// Render multiple series as an ASCII scatter/line chart, one marker
+/// character per series, with y in hours if `y_hours` (as in Fig. 10).
+pub fn render_chart(
+    series: &[Series],
+    width: usize,
+    height: usize,
+    y_hours: bool,
+    x_label: &str,
+) -> String {
+    const MARKS: [char; 8] = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() || width < 8 || height < 4 {
+        return String::new();
+    }
+    let scale = if y_hours { 1.0 / 3600.0 } else { 1.0 };
+    let x_max = all.iter().map(|(x, _)| *x).fold(0.0, f64::max);
+    let y_max = all.iter().map(|(_, y)| *y * scale).fold(0.0, f64::max);
+    if x_max <= 0.0 || y_max <= 0.0 {
+        return String::new();
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        // Linear interpolation between consecutive points for a line
+        // impression.
+        let mut pts: Vec<(f64, f64)> = s.points.iter().map(|(x, y)| (*x, *y * scale)).collect();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+        for w in pts.windows(2) {
+            let steps = width * 2;
+            for k in 0..=steps {
+                let f = k as f64 / steps as f64;
+                let x = w[0].0 + f * (w[1].0 - w[0].0);
+                let y = w[0].1 + f * (w[1].1 - w[0].1);
+                let cx = ((x / x_max) * (width - 1) as f64).round() as usize;
+                let cy = ((y / y_max) * (height - 1) as f64).round() as usize;
+                grid[height - 1 - cy][cx] = mark;
+            }
+        }
+        for (x, y) in &pts {
+            let cx = ((x / x_max) * (width - 1) as f64).round() as usize;
+            let cy = ((y / y_max) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = mark;
+        }
+    }
+    let y_unit = if y_hours { "hours" } else { "seconds" };
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let y_val = y_max * (height - 1 - r) as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y_val:8.1} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:8} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!("{:10}0{:>w$.0}\n", "", x_max, w = width - 1));
+    out.push_str(&format!("{:10}{x_label}  (y: {y_unit})\n", ""));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("{:10}{} = {}\n", "", MARKS[si % MARKS.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series::new("NOP", vec![(12.0, 32855.0), (66.0, 76354.0), (126.0, 133493.0)]),
+            Series::new("SP+DP+JG", vec![(12.0, 5524.0), (66.0, 9053.0), (126.0, 14547.0)]),
+        ]
+    }
+
+    #[test]
+    fn renders_markers_and_legend() {
+        let out = render_chart(&demo_series(), 60, 20, true, "image pairs");
+        assert!(out.contains('*'), "{out}");
+        assert!(out.contains('+'), "{out}");
+        assert!(out.contains("* = NOP"));
+        assert!(out.contains("+ = SP+DP+JG"));
+        assert!(out.contains("hours"));
+    }
+
+    #[test]
+    fn faster_series_stays_below_slower_one() {
+        let out = render_chart(&demo_series(), 60, 20, true, "n");
+        // The last line containing '*' (highest row) must appear before
+        // any '+' row (NOP is slower = higher on the chart).
+        let first_star = out.lines().position(|l| l.contains('*')).unwrap();
+        let first_plus = out.lines().position(|l| l.contains('+')).unwrap();
+        assert!(first_star < first_plus, "{out}");
+    }
+
+    #[test]
+    fn degenerate_inputs_render_empty() {
+        assert_eq!(render_chart(&[], 60, 20, false, "x"), "");
+        assert_eq!(render_chart(&demo_series(), 2, 2, false, "x"), "");
+        let zero = vec![Series::new("z", vec![(0.0, 0.0)])];
+        assert_eq!(render_chart(&zero, 60, 20, false, "x"), "");
+    }
+}

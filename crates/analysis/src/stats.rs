@@ -1,0 +1,129 @@
+//! Basic statistics and least-squares linear regression.
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; 0 for fewer than 2 points.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Median (interpolated for even lengths); 0 for empty input.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// A fitted line `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Line {
+    pub intercept: f64,
+    pub slope: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+impl Line {
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Ordinary least squares over `(x, y)` points. Returns `None` for
+/// fewer than 2 points or a degenerate (vertical) configuration.
+pub fn linear_regression(points: &[(f64, f64)]) -> Option<Line> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let my = sy / n;
+    let ss_tot: f64 = points.iter().map(|(_, y)| (y - my) * (y - my)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|(x, y)| {
+            let e = y - (intercept + slope * x);
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(Line { intercept, slope, r_squared })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[7.0]), 0.0);
+    }
+
+    #[test]
+    fn regression_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let line = linear_regression(&pts).unwrap();
+        assert!((line.intercept - 3.0).abs() < 1e-9);
+        assert!((line.slope - 2.0).abs() < 1e-9);
+        assert!((line.r_squared - 1.0).abs() < 1e-12);
+        assert!((line.predict(20.0) - 43.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_on_papers_nop_series() {
+        // Table 1 NOP: (12, 32855), (66, 76354), (126, 133493) →
+        // Table 2 reports intercept 20784, slope 884.
+        let line =
+            linear_regression(&[(12.0, 32855.0), (66.0, 76354.0), (126.0, 133493.0)]).unwrap();
+        assert!((line.intercept - 20784.0).abs() < 30.0, "intercept {}", line.intercept);
+        assert!((line.slope - 884.0).abs() < 2.0, "slope {}", line.slope);
+    }
+
+    #[test]
+    fn regression_needs_two_distinct_x() {
+        assert!(linear_regression(&[]).is_none());
+        assert!(linear_regression(&[(1.0, 2.0)]).is_none());
+        assert!(linear_regression(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn r_squared_below_one_for_noisy_data() {
+        let line = linear_regression(&[(0.0, 0.0), (1.0, 2.0), (2.0, 1.0), (3.0, 3.0)]).unwrap();
+        assert!(line.r_squared < 1.0);
+        assert!(line.r_squared > 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Aligned text tables for the experiment harnesses' stdout reports.
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with space-padded columns and a separator under the
+    /// header (first column left-aligned, the rest right-aligned).
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for c in 0..cols {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                if c == 0 {
+                    line.push_str(&format!("{:<w$}", cells[c], w = widths[c]));
+                } else {
+                    line.push_str(&format!("{:>w$}", cells[c], w = widths[c]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds with thousands grouping, like the paper's tables.
+pub fn fmt_secs(secs: f64) -> String {
+    let v = secs.round() as i64;
+    let s = v.abs().to_string();
+    let mut grouped = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            grouped.push(',');
+        }
+        grouped.push(ch);
+    }
+    if v < 0 {
+        format!("-{grouped}")
+    } else {
+        grouped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["Configuration", "12", "126"]);
+        t.add_row(vec!["NOP".into(), "32855".into(), "133493".into()]);
+        t.add_row(vec!["SP+DP+JG".into(), "5524".into(), "14547".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Configuration"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("NOP") && lines[2].contains("133493"));
+        // Right-aligned numeric columns line up.
+        let c1 = lines[2].rfind("133493").unwrap() + 6;
+        let c2 = lines[3].rfind("14547").unwrap() + 5;
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        Table::new(&["a", "b"]).add_row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn secs_formatting_groups_thousands() {
+        assert_eq!(fmt_secs(133493.4), "133,493");
+        assert_eq!(fmt_secs(884.0), "884");
+        assert_eq!(fmt_secs(0.2), "0");
+        assert_eq!(fmt_secs(-1234.0), "-1,234");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(&["a"]);
+        assert!(t.is_empty());
+        t.add_row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Criterion micro-benchmarks for the performance-critical kernels:
+//! the XML parser, the streaming iteration strategies, the simulator's
+//! event loop, the enactor on an ideal backend, the §3.5 model, and the
+//! registration numerics.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_xml(c: &mut Criterion) {
+    let fig8 = moteur_wrapper::crest_lines_example().to_xml().to_pretty_string();
+    c.bench_function("xml/parse_fig8_descriptor", |b| {
+        b.iter(|| moteur_xml::parse(black_box(&fig8)).unwrap())
+    });
+    c.bench_function("xml/write_fig8_descriptor", |b| {
+        let doc = moteur_xml::parse(&fig8).unwrap();
+        b.iter(|| black_box(&doc).to_pretty_string())
+    });
+}
+
+fn bench_iterate(c: &mut Criterion) {
+    use moteur::{DataValue, IterationStrategy, MatchEngine, Token};
+    let tokens: Vec<Token> = (0..512)
+        .map(|i| Token::from_source("s", i, DataValue::Num(i as f64)))
+        .collect();
+    c.bench_function("iterate/dot_512_pairs", |b| {
+        b.iter_batched(
+            || MatchEngine::new(IterationStrategy::Dot, 2),
+            |mut e| {
+                let mut emitted = 0;
+                for t in &tokens {
+                    emitted += e.push(0, t.clone()).len();
+                    emitted += e.push(1, t.clone()).len();
+                }
+                black_box(emitted)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("iterate/cross_64x64", |b| {
+        b.iter_batched(
+            || MatchEngine::new(IterationStrategy::Cross, 2),
+            |mut e| {
+                let mut emitted = 0;
+                for t in tokens.iter().take(64) {
+                    emitted += e.push(0, t.clone()).len();
+                    emitted += e.push(1, t.clone()).len();
+                }
+                black_box(emitted)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_gridsim(c: &mut Criterion) {
+    use moteur_gridsim::{GridConfig, GridJobSpec, GridSim};
+    c.bench_function("gridsim/100_jobs_egee", |b| {
+        b.iter(|| {
+            let mut sim = GridSim::new(GridConfig::egee_2006(), 7);
+            for i in 0..100 {
+                sim.submit(
+                    GridJobSpec::new(format!("j{i}"), 120.0)
+                        .with_files(vec![7_864_320, 7_864_320], vec![400_000]),
+                );
+            }
+            let mut n = 0;
+            while sim.next_completion().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_enactor(c: &mut Criterion) {
+    use moteur::prelude::*;
+    use moteur_wrapper::{AccessMethod, ExecutableDescriptor, FileItem, InputSlot, OutputSlot};
+    let pass = |name: &str| ExecutableDescriptor {
+        executable: FileItem { name: name.into(), access: AccessMethod::Local, value: name.into() },
+        inputs: vec![InputSlot { name: "in".into(), option: "-i".into(), access: Some(AccessMethod::Gfn) }],
+        outputs: vec![OutputSlot { name: "out".into(), option: "-o".into(), access: AccessMethod::Gfn }],
+        sandboxes: vec![],
+    };
+    let mut wf = Workflow::new("chain");
+    let src = wf.add_source("source");
+    let mut prev = src;
+    for i in 0..5 {
+        let svc = wf.add_service(
+            format!("S{i}").as_str(),
+            &["in"],
+            &["out"],
+            ServiceBinding::descriptor(pass(&format!("S{i}")), ServiceProfile::new(10.0)),
+        );
+        wf.connect(prev, "out", svc, "in").unwrap();
+        prev = svc;
+    }
+    let sink = wf.add_sink("sink");
+    wf.connect(prev, "out", sink, "in").unwrap();
+    let inputs = InputData::new().set(
+        "source",
+        (0..50).map(|j| DataValue::File { gfn: format!("gfn://{j}"), bytes: 0 }).collect(),
+    );
+    c.bench_function("enactor/5x50_virtual_dsp", |b| {
+        b.iter(|| {
+            let mut backend = VirtualBackend::new();
+            black_box(run(&wf, &inputs, EnactorConfig::sp_dp(), &mut backend).unwrap())
+        })
+    });
+    c.bench_function("enactor/grouping_transform_bronze", |b| {
+        let bronze = moteur_bench::bronze_workflow();
+        b.iter(|| moteur::group_workflow(black_box(&bronze)).unwrap())
+    });
+}
+
+fn bench_model(c: &mut Criterion) {
+    use moteur::TimeMatrix;
+    let t = TimeMatrix::from_fn(5, 500, |i, j| 1.0 + ((i * 31 + j * 17) % 13) as f64);
+    c.bench_function("model/sigma_sp_5x500", |b| b.iter(|| black_box(&t).sigma_sp()));
+}
+
+fn bench_registration(c: &mut Criterion) {
+    use moteur_registration::prelude::*;
+    use moteur_registration::{fit_rigid, SmallRng};
+    let mut rng = SmallRng::new(1);
+    let pts: Vec<Vec3> = (0..200)
+        .map(|_| Vec3::new(rng.range(-20.0, 20.0), rng.range(-20.0, 20.0), rng.range(-20.0, 20.0)))
+        .collect();
+    let truth = RigidTransform::from_params(0.1, -0.05, 0.07, 1.0, 2.0, -0.5);
+    let pairs: Vec<(Vec3, Vec3)> = pts.iter().map(|&p| (p, truth.apply(p))).collect();
+    c.bench_function("registration/fit_rigid_200", |b| {
+        b.iter(|| fit_rigid(black_box(&pairs)).unwrap())
+    });
+    let cfg = PhantomConfig { nx: 24, ny: 24, nz: 12, noise: 1.0, lesions: 3 };
+    c.bench_function("registration/phantom_24x24x12", |b| {
+        b.iter(|| brain_phantom(black_box(&cfg), 5))
+    });
+    let vol = brain_phantom(&cfg, 5);
+    c.bench_function("registration/ssd_similarity", |b| {
+        b.iter(|| {
+            moteur_registration::similarity_ssd(
+                black_box(&vol),
+                black_box(&vol),
+                RigidTransform::from_params(0.01, 0.0, 0.0, 0.5, 0.0, 0.0),
+                2,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_xml, bench_iterate, bench_gridsim, bench_enactor, bench_model, bench_registration
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E3 — regenerate **Figure 10**: execution time (hours) against the
+//! number of input image pairs, one curve per optimization
+//! configuration, rendered as an ASCII chart plus the raw series.
+//!
+//! Usage: `fig10 [--quick] [--seed N]`
+
+use moteur_analysis::render_chart;
+use moteur_bench::run_campaign;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = arg_value(&args, "--seed").unwrap_or(2006);
+    // A denser size grid than Table 1, like the figure's x axis.
+    let sizes: Vec<usize> = if quick { vec![2, 6, 10, 14] } else { vec![12, 40, 66, 96, 126] };
+
+    eprintln!("running 6 configurations x {sizes:?} image pairs (seed {seed})...");
+    let results = run_campaign(&sizes, seed, 1);
+    let series: Vec<_> = results.into_iter().map(|(s, _)| s).collect();
+
+    println!("Figure 10 reproduction - execution time vs number of input image pairs");
+    println!();
+    println!("{}", render_chart(&series, 72, 24, true, "number of input image pairs"));
+    println!("raw series (seconds):");
+    for s in &series {
+        let pts: Vec<String> =
+            s.points.iter().map(|(n, t)| format!("({n:.0}, {t:.0})")).collect();
+        println!("  {:10} {}", s.label, pts.join(" "));
+    }
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}

@@ -1,0 +1,66 @@
+//! E1 — regenerate **Table 1**: Bronze-Standard execution time (s) for
+//! each optimization configuration over 12, 66 and 126 image pairs on
+//! the simulated EGEE grid.
+//!
+//! Usage: `table1 [--quick] [--seed N] [--repeats N]`
+
+use moteur_analysis::{bootstrap_mean_ci, fmt_secs, Table};
+use moteur_bench::{run_campaign, PAPER_SIZES, QUICK_SIZES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = arg_value(&args, "--seed").unwrap_or(2006);
+    let repeats = arg_value(&args, "--repeats").unwrap_or(1) as usize;
+    let sizes: Vec<usize> =
+        if quick { QUICK_SIZES.to_vec() } else { PAPER_SIZES.to_vec() };
+
+    eprintln!("running 6 configurations x {sizes:?} image pairs (seed {seed}, {repeats} repeat(s))...");
+    let results = run_campaign(&sizes, seed, repeats);
+
+    let mut header: Vec<String> = vec!["Configuration".into()];
+    header.extend(sizes.iter().map(|n| format!("{n} pairs")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    for (series, points) in &results {
+        let mut row = vec![series.label.clone()];
+        for (n, t) in &series.points {
+            if repeats > 1 {
+                // 95% bootstrap CI over the seed repeats.
+                let samples: Vec<f64> = points
+                    .iter()
+                    .filter(|p| p.n_pairs as f64 == *n)
+                    .map(|p| p.makespan_secs)
+                    .collect();
+                match bootstrap_mean_ci(&samples, 400, 0.95, 42) {
+                    Some(ci) => row.push(format!(
+                        "{} [{}..{}]",
+                        fmt_secs(*t),
+                        fmt_secs(ci.lo),
+                        fmt_secs(ci.hi)
+                    )),
+                    None => row.push(fmt_secs(*t)),
+                }
+            } else {
+                row.push(fmt_secs(*t));
+            }
+        }
+        table.add_row(row);
+    }
+    println!("Table 1 reproduction - execution time (s) per configuration");
+    println!("(paper, 12/66/126 pairs: NOP 32855/76354/133493 ... SP+DP+JG 5524/9053/14547)");
+    println!();
+    println!("{}", table.render());
+
+    // Jobs submitted per configuration at the largest size.
+    let largest = *sizes.last().expect("non-empty sizes") as f64;
+    for (series, points) in &results {
+        if let Some(p) = points.iter().find(|p| p.n_pairs as f64 == largest) {
+            println!("{:10} {} jobs submitted at {} pairs", series.label, p.jobs_submitted, p.n_pairs);
+        }
+    }
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}

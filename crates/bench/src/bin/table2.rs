@@ -1,0 +1,44 @@
+//! E2 — regenerate **Table 2**: y-intercept (s) and slope (s/data set)
+//! of the execution-time-vs-size regression line for each
+//! configuration, as in paper §5.1.
+//!
+//! Usage: `table2 [--quick] [--seed N] [--repeats N]`
+
+use moteur_analysis::{fmt_secs, Table};
+use moteur_bench::{run_campaign, PAPER_SIZES, QUICK_SIZES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = arg_value(&args, "--seed").unwrap_or(2006);
+    let repeats = arg_value(&args, "--repeats").unwrap_or(3) as usize;
+    let sizes: Vec<usize> =
+        if quick { QUICK_SIZES.to_vec() } else { PAPER_SIZES.to_vec() };
+
+    eprintln!("running 6 configurations x {sizes:?} image pairs (seed {seed}, {repeats} repeat(s))...");
+    let results = run_campaign(&sizes, seed, repeats);
+
+    let mut table = Table::new(&["Configuration", "y-intercept (s)", "slope (s/data set)", "r^2"]);
+    for (series, _) in &results {
+        match series.fit() {
+            Some(line) => table.add_row(vec![
+                series.label.clone(),
+                fmt_secs(line.intercept),
+                format!("{:.0}", line.slope),
+                format!("{:.3}", line.r_squared),
+            ]),
+            None => table.add_row(vec![series.label.clone(), "-".into(), "-".into(), "-".into()]),
+        }
+    }
+    println!("Table 2 reproduction - linear regression of execution time vs data-set size");
+    println!("(paper: NOP 20784/884, JG 11093/900, SP 6382/897, DP 16328/143,");
+    println!(" SP+DP 6625/88, SP+DP+JG 4310/79)");
+    println!();
+    println!("{}", table.render());
+    println!("Expected shape: DP-enabled rows collapse the slope (data scalability);");
+    println!("JG rows mainly lower the intercept (infrastructure overhead).");
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}

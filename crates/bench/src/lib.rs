@@ -1,0 +1,23 @@
+//! # moteur-bench
+//!
+//! Experiment harnesses reproducing every table and figure of the
+//! paper's evaluation (see `DESIGN.md` §5 for the experiment index):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — execution times per configuration × data-set size |
+//! | `table2` | Table 2 — y-intercept and slope of the fitted lines |
+//! | `fig10` | Figure 10 — execution time vs number of image pairs |
+//! | `diagrams` | Figures 4, 5 and 6 — execution diagrams |
+//! | `theory` | §3.5 — model-vs-enactor asymptotic speed-ups |
+//! | `speedups` | §5.2/§5.3 — speed-ups and slope / y-intercept ratios |
+//!
+//! The library half hosts the Fig. 9 Bronze-Standard workflow
+//! ([`bronze`]) and the campaign runner ([`campaign`]) shared by the
+//! binaries, the integration tests and the examples.
+
+pub mod bronze;
+pub mod campaign;
+
+pub use bronze::{bronze_inputs, bronze_workflow, bronze_workflow_xml, IMAGE_BYTES};
+pub use campaign::{run_campaign, run_point, CampaignPoint, PAPER_SIZES, QUICK_SIZES};

@@ -1,0 +1,414 @@
+//! Execution backends: where fired invocations actually run.
+//!
+//! The enactor is written against one small trait with asynchronous
+//! submission semantics — submit never blocks, completions are pulled —
+//! mirroring the paper's §3.1 requirement that service calls be
+//! non-blocking so every level of parallelism can be exploited.
+//!
+//! Three implementations:
+//!
+//! - [`VirtualBackend`] — zero-overhead virtual time with unlimited
+//!   parallelism; job duration is exactly the declared compute time.
+//!   On this backend the enactor must reproduce the theoretical model
+//!   of paper §3.5 to the microsecond (asserted by tests).
+//! - [`SimBackend`] — the EGEE-like discrete-event grid simulator
+//!   ([`moteur_gridsim`]); used by all campaign experiments.
+//! - [`LocalBackend`] — real execution of [`LocalService`]s on spawned
+//!   worker threads (the paper's "spawning independent system threads
+//!   for each processor being executed"), timed with the wall clock.
+
+use crate::service::LocalService;
+use crate::token::Token;
+use crate::value::DataValue;
+use moteur_gridsim::{GridConfig, GridJobSpec, GridSim, JobOutcome, SimTime};
+use moteur_wrapper::JobPlan;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Correlation id for one fired invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InvocationId(pub u64);
+
+/// What to run.
+#[derive(Clone)]
+pub enum JobPayload {
+    /// A wrapper-service grid job: transfer plan plus compute seconds.
+    Grid { plan: JobPlan, compute_seconds: f64 },
+    /// An in-process service call with its input tokens.
+    Local { service: Arc<dyn LocalService>, inputs: Vec<Token> },
+}
+
+impl std::fmt::Debug for JobPayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobPayload::Grid { plan, compute_seconds } => f
+                .debug_struct("Grid")
+                .field("commands", &plan.command_lines.len())
+                .field("compute_seconds", compute_seconds)
+                .finish(),
+            JobPayload::Local { inputs, .. } => {
+                f.debug_struct("Local").field("inputs", &inputs.len()).finish()
+            }
+        }
+    }
+}
+
+/// A submitted job.
+#[derive(Debug, Clone)]
+pub struct BackendJob {
+    pub invocation: InvocationId,
+    pub processor: String,
+    pub payload: JobPayload,
+}
+
+/// Result of a finished job.
+#[derive(Debug)]
+pub struct BackendCompletion {
+    pub invocation: InvocationId,
+    /// `Ok(Some(outputs))` for local services, `Ok(None)` for grid jobs
+    /// (the enactor synthesised the output file tokens at submission),
+    /// `Err` for a failed execution.
+    pub outputs: Result<Option<ServiceOutputs>, String>,
+    pub started_at: SimTime,
+    pub finished_at: SimTime,
+}
+
+/// An asynchronous execution backend.
+pub trait Backend {
+    /// Non-blocking submission.
+    fn submit(&mut self, job: BackendJob);
+    /// Block (or advance virtual time) until the next completion;
+    /// `None` when nothing is in flight.
+    fn wait_next(&mut self) -> Option<BackendCompletion>;
+    /// Current time on this backend's clock.
+    fn now(&self) -> SimTime;
+}
+
+// ---------------------------------------------------------------------
+// VirtualBackend
+// ---------------------------------------------------------------------
+
+/// Output list of a service invocation: `(port name, value)` pairs.
+pub type ServiceOutputs = Vec<(String, DataValue)>;
+
+/// Ideal virtual-time backend: unlimited parallelism, zero overhead.
+#[derive(Default)]
+pub struct VirtualBackend {
+    clock: SimTime,
+    heap: BinaryHeap<Reverse<(SimTime, u64, InvocationId)>>,
+    seq: u64,
+    /// Results of local calls executed eagerly at submission.
+    local_results: Vec<(InvocationId, Result<ServiceOutputs, String>)>,
+    starts: std::collections::HashMap<u64, SimTime>,
+}
+
+impl VirtualBackend {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Backend for VirtualBackend {
+    fn submit(&mut self, job: BackendJob) {
+        let start = self.clock;
+        self.starts.insert(job.invocation.0, start);
+        match job.payload {
+            JobPayload::Grid { compute_seconds, .. } => {
+                let end = start + moteur_gridsim::SimDuration::from_secs_f64(compute_seconds);
+                self.heap.push(Reverse((end, self.seq, job.invocation)));
+                self.seq += 1;
+            }
+            JobPayload::Local { service, inputs } => {
+                // Local calls are logic, not timing: run eagerly, zero
+                // virtual duration.
+                let result = service.invoke(&inputs);
+                self.local_results.push((job.invocation, result));
+                self.heap.push(Reverse((start, self.seq, job.invocation)));
+                self.seq += 1;
+            }
+        }
+    }
+
+    fn wait_next(&mut self) -> Option<BackendCompletion> {
+        let Reverse((at, _, invocation)) = self.heap.pop()?;
+        self.clock = self.clock.max(at);
+        let started_at = self.starts.remove(&invocation.0).unwrap_or(SimTime::ZERO);
+        let outputs = if let Some(pos) =
+            self.local_results.iter().position(|(i, _)| *i == invocation)
+        {
+            let (_, r) = self.local_results.swap_remove(pos);
+            r.map(Some)
+        } else {
+            Ok(None)
+        };
+        Some(BackendCompletion { invocation, outputs, started_at, finished_at: at })
+    }
+
+    fn now(&self) -> SimTime {
+        self.clock
+    }
+}
+
+// ---------------------------------------------------------------------
+// SimBackend
+// ---------------------------------------------------------------------
+
+/// Backend running grid jobs on the discrete-event EGEE simulator.
+pub struct SimBackend {
+    sim: GridSim,
+}
+
+impl SimBackend {
+    pub fn new(config: GridConfig, seed: u64) -> Self {
+        SimBackend { sim: GridSim::new(config, seed) }
+    }
+
+    /// Access the underlying simulator (job records, etc.).
+    pub fn sim(&self) -> &GridSim {
+        &self.sim
+    }
+}
+
+impl Backend for SimBackend {
+    fn submit(&mut self, job: BackendJob) {
+        match job.payload {
+            JobPayload::Grid { plan, compute_seconds } => {
+                let spec = GridJobSpec::new(job.processor, compute_seconds)
+                    .with_files(
+                        plan.fetch.iter().map(|f| f.bytes).collect(),
+                        plan.store.iter().map(|f| f.bytes).collect(),
+                    )
+                    .with_tag(job.invocation.0);
+                self.sim.submit(spec);
+            }
+            JobPayload::Local { .. } => {
+                panic!(
+                    "SimBackend cannot execute in-process services; bind `{}` to a descriptor",
+                    job.processor
+                );
+            }
+        }
+    }
+
+    fn wait_next(&mut self) -> Option<BackendCompletion> {
+        let c = self.sim.next_completion()?;
+        let outputs = match c.outcome {
+            JobOutcome::Success => Ok(None),
+            JobOutcome::Failed => Err(format!(
+                "grid job `{}` failed after {} attempts",
+                c.record.name, c.record.attempts
+            )),
+        };
+        Some(BackendCompletion {
+            invocation: InvocationId(c.tag),
+            outputs,
+            started_at: c.record.started_at,
+            finished_at: c.delivered_at,
+        })
+    }
+
+    fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+}
+
+// ---------------------------------------------------------------------
+// LocalBackend
+// ---------------------------------------------------------------------
+
+/// Real-thread backend: each submission spawns a worker thread (the
+/// paper's per-call threads) and completions arrive over a channel.
+pub struct LocalBackend {
+    started: Instant,
+    tx: crossbeam::channel::Sender<BackendCompletion>,
+    rx: crossbeam::channel::Receiver<BackendCompletion>,
+    in_flight: usize,
+}
+
+impl Default for LocalBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalBackend {
+    pub fn new() -> Self {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        LocalBackend { started: Instant::now(), tx, rx, in_flight: 0 }
+    }
+
+    fn wall_now(&self) -> SimTime {
+        SimTime::from_secs_f64(self.started.elapsed().as_secs_f64())
+    }
+}
+
+impl Backend for LocalBackend {
+    fn submit(&mut self, job: BackendJob) {
+        match job.payload {
+            JobPayload::Local { service, inputs } => {
+                let tx = self.tx.clone();
+                let started = self.started;
+                let invocation = job.invocation;
+                self.in_flight += 1;
+                std::thread::spawn(move || {
+                    let t0 = SimTime::from_secs_f64(started.elapsed().as_secs_f64());
+                    let result = service.invoke(&inputs);
+                    let t1 = SimTime::from_secs_f64(started.elapsed().as_secs_f64());
+                    let _ = tx.send(BackendCompletion {
+                        invocation,
+                        outputs: result.map(Some),
+                        started_at: t0,
+                        finished_at: t1,
+                    });
+                });
+            }
+            JobPayload::Grid { .. } => {
+                panic!(
+                    "LocalBackend cannot execute grid jobs; run `{}` on SimBackend",
+                    job.processor
+                );
+            }
+        }
+    }
+
+    fn wait_next(&mut self) -> Option<BackendCompletion> {
+        if self.in_flight == 0 {
+            return None;
+        }
+        let c = self.rx.recv().ok()?;
+        self.in_flight -= 1;
+        Some(c)
+    }
+
+    fn now(&self) -> SimTime {
+        self.wall_now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Token;
+
+    fn grid_job(id: u64, secs: f64) -> BackendJob {
+        BackendJob {
+            invocation: InvocationId(id),
+            processor: format!("p{id}"),
+            payload: JobPayload::Grid {
+                plan: JobPlan { command_lines: vec!["x".into()], fetch: vec![], store: vec![] },
+                compute_seconds: secs,
+            },
+        }
+    }
+
+    #[test]
+    fn virtual_backend_orders_by_duration() {
+        let mut b = VirtualBackend::new();
+        b.submit(grid_job(1, 30.0));
+        b.submit(grid_job(2, 10.0));
+        let first = b.wait_next().unwrap();
+        assert_eq!(first.invocation, InvocationId(2));
+        assert!((first.finished_at.as_secs_f64() - 10.0).abs() < 1e-9);
+        let second = b.wait_next().unwrap();
+        assert_eq!(second.invocation, InvocationId(1));
+        assert!((b.now().as_secs_f64() - 30.0).abs() < 1e-9);
+        assert!(b.wait_next().is_none());
+    }
+
+    #[test]
+    fn virtual_backend_submissions_after_time_advances_stack_up() {
+        let mut b = VirtualBackend::new();
+        b.submit(grid_job(1, 10.0));
+        b.wait_next().unwrap();
+        b.submit(grid_job(2, 5.0)); // starts at t=10
+        let c = b.wait_next().unwrap();
+        assert!((c.finished_at.as_secs_f64() - 15.0).abs() < 1e-9);
+        assert!((c.started_at.as_secs_f64() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn virtual_backend_runs_local_services_eagerly() {
+        let svc = |inputs: &[Token]| -> Result<Vec<(String, DataValue)>, String> {
+            Ok(vec![("out".into(), inputs[0].value.clone())])
+        };
+        let mut b = VirtualBackend::new();
+        b.submit(BackendJob {
+            invocation: InvocationId(9),
+            processor: "local".into(),
+            payload: JobPayload::Local {
+                service: Arc::new(svc),
+                inputs: vec![Token::from_source("s", 0, DataValue::from("v"))],
+            },
+        });
+        let c = b.wait_next().unwrap();
+        let outs = c.outputs.unwrap().unwrap();
+        assert_eq!(outs[0].1.as_str(), Some("v"));
+        assert_eq!(c.finished_at, SimTime::ZERO, "local calls cost no virtual time");
+    }
+
+    #[test]
+    fn sim_backend_runs_grid_jobs_with_overhead() {
+        let mut b = SimBackend::new(GridConfig::egee_2006(), 5);
+        b.submit(grid_job(1, 60.0));
+        let c = b.wait_next().unwrap();
+        assert_eq!(c.invocation, InvocationId(1));
+        assert!(c.outputs.is_ok());
+        assert!(c.finished_at.as_secs_f64() > 60.0, "overhead must exist");
+        assert_eq!(b.now(), c.finished_at);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot execute in-process services")]
+    fn sim_backend_rejects_local_payloads() {
+        let svc = |_: &[Token]| -> Result<Vec<(String, DataValue)>, String> { Ok(vec![]) };
+        let mut b = SimBackend::new(GridConfig::ideal(), 1);
+        b.submit(BackendJob {
+            invocation: InvocationId(1),
+            processor: "x".into(),
+            payload: JobPayload::Local { service: Arc::new(svc), inputs: vec![] },
+        });
+    }
+
+    #[test]
+    fn local_backend_runs_services_on_threads() {
+        let svc = |inputs: &[Token]| -> Result<Vec<(String, DataValue)>, String> {
+            let n = inputs[0].value.as_num().unwrap();
+            Ok(vec![("out".into(), DataValue::from(n * 2.0))])
+        };
+        let mut b = LocalBackend::new();
+        for i in 0..4 {
+            b.submit(BackendJob {
+                invocation: InvocationId(i),
+                processor: "dbl".into(),
+                payload: JobPayload::Local {
+                    service: Arc::new(svc),
+                    inputs: vec![Token::from_source("s", i as u32, DataValue::from(i as f64))],
+                },
+            });
+        }
+        let mut results = Vec::new();
+        while let Some(c) = b.wait_next() {
+            let outs = c.outputs.unwrap().unwrap();
+            results.push((c.invocation.0, outs[0].1.as_num().unwrap()));
+        }
+        results.sort_by_key(|(i, _)| *i);
+        assert_eq!(results, vec![(0, 0.0), (1, 2.0), (2, 4.0), (3, 6.0)]);
+    }
+
+    #[test]
+    fn local_backend_propagates_service_errors() {
+        let svc =
+            |_: &[Token]| -> Result<Vec<(String, DataValue)>, String> { Err("kaboom".into()) };
+        let mut b = LocalBackend::new();
+        b.submit(BackendJob {
+            invocation: InvocationId(1),
+            processor: "bad".into(),
+            payload: JobPayload::Local { service: Arc::new(svc), inputs: vec![] },
+        });
+        let c = b.wait_next().unwrap();
+        assert_eq!(c.outputs.unwrap_err(), "kaboom");
+        assert!(b.wait_next().is_none());
+    }
+}

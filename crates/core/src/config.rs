@@ -1,0 +1,143 @@
+//! Enactor configuration: which of the paper's optimizations are
+//! enabled. Workflow (graph) parallelism is inherent and always on.
+
+/// Execution configuration — the six experimental configurations of
+/// paper Table 1 are combinations of these three flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnactorConfig {
+    /// DP: a service may process several data sets concurrently.
+    pub data_parallelism: bool,
+    /// SP: pipelining — a service may start on data set `j` before its
+    /// predecessors finished the rest of the stream.
+    pub service_parallelism: bool,
+    /// JG: merge sequential descriptor-bound processors into single
+    /// grid jobs before enactment.
+    pub job_grouping: bool,
+    /// Seed for stochastic cost models.
+    pub seed: u64,
+    /// Enactor-level resubmissions of terminally failed grid jobs.
+    pub max_job_retries: u32,
+    /// Data batching — the paper's §5.4 future work ("grouping jobs of
+    /// a single service, thus finding a trade-off between data
+    /// parallelism and the system's overhead"): up to this many ready
+    /// invocations of one descriptor-bound service are submitted as a
+    /// single grid job. 1 disables batching.
+    pub data_batching: usize,
+}
+
+impl Default for EnactorConfig {
+    fn default() -> Self {
+        EnactorConfig {
+            data_parallelism: true,
+            service_parallelism: true,
+            job_grouping: false,
+            seed: 0,
+            max_job_retries: 5,
+            data_batching: 1,
+        }
+    }
+}
+
+impl EnactorConfig {
+    /// NOP: workflow parallelism only (the paper's baseline).
+    pub fn nop() -> Self {
+        EnactorConfig {
+            data_parallelism: false,
+            service_parallelism: false,
+            job_grouping: false,
+            ..Default::default()
+        }
+    }
+
+    /// JG only.
+    pub fn jg() -> Self {
+        EnactorConfig { job_grouping: true, ..Self::nop() }
+    }
+
+    /// SP only.
+    pub fn sp() -> Self {
+        EnactorConfig { service_parallelism: true, ..Self::nop() }
+    }
+
+    /// DP only.
+    pub fn dp() -> Self {
+        EnactorConfig { data_parallelism: true, ..Self::nop() }
+    }
+
+    /// SP + DP.
+    pub fn sp_dp() -> Self {
+        EnactorConfig { data_parallelism: true, service_parallelism: true, ..Self::nop() }
+    }
+
+    /// SP + DP + JG — everything on.
+    pub fn sp_dp_jg() -> Self {
+        EnactorConfig { job_grouping: true, ..Self::sp_dp() }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable data batching (§5.4 future work) with the given batch
+    /// size.
+    pub fn with_batching(mut self, batch: usize) -> Self {
+        self.data_batching = batch.max(1);
+        self
+    }
+
+    /// The label used in the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match (self.service_parallelism, self.data_parallelism, self.job_grouping) {
+            (false, false, false) => "NOP",
+            (false, false, true) => "JG",
+            (true, false, false) => "SP",
+            (false, true, false) => "DP",
+            (true, true, false) => "SP+DP",
+            (true, true, true) => "SP+DP+JG",
+            (true, false, true) => "SP+JG",
+            (false, true, true) => "DP+JG",
+        }
+    }
+
+    /// The six configurations of Table 1, in the paper's row order.
+    pub fn table1_configurations() -> [EnactorConfig; 6] {
+        [
+            Self::nop(),
+            Self::jg(),
+            Self::sp(),
+            Self::dp(),
+            Self::sp_dp(),
+            Self::sp_dp_jg(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_rows() {
+        let labels: Vec<&str> = EnactorConfig::table1_configurations()
+            .iter()
+            .map(EnactorConfig::label)
+            .collect();
+        assert_eq!(labels, ["NOP", "JG", "SP", "DP", "SP+DP", "SP+DP+JG"]);
+    }
+
+    #[test]
+    fn presets_set_expected_flags() {
+        assert!(!EnactorConfig::nop().data_parallelism);
+        assert!(!EnactorConfig::nop().service_parallelism);
+        assert!(EnactorConfig::dp().data_parallelism);
+        assert!(!EnactorConfig::dp().service_parallelism);
+        assert!(EnactorConfig::sp_dp_jg().job_grouping);
+        assert!(EnactorConfig::default().data_parallelism);
+    }
+
+    #[test]
+    fn with_seed_sets_seed() {
+        assert_eq!(EnactorConfig::nop().with_seed(7).seed, 7);
+    }
+}

@@ -1,0 +1,155 @@
+//! ASCII execution diagrams in the style of paper Figs. 4–6.
+//!
+//! Rows are processors (top to bottom as given), columns are the time
+//! intervals between consecutive invocation boundaries. A cell shows
+//! the data sets being processed by that service during that interval
+//! (`D0`, `D0 D2`, …) or `X` when the service is idle.
+
+use crate::trace::InvocationRecord;
+use moteur_gridsim::SimTime;
+
+/// Render an execution diagram for `processors` (row order preserved)
+/// from the run's invocation records. Uses the execution window
+/// `[started, finished)` of each record.
+pub fn render(records: &[InvocationRecord], processors: &[&str]) -> String {
+    let relevant: Vec<&InvocationRecord> = records
+        .iter()
+        .filter(|r| processors.contains(&r.processor.as_str()))
+        .collect();
+    if relevant.is_empty() {
+        return String::new();
+    }
+    // Column boundaries: every distinct start/finish instant.
+    let mut bounds: Vec<SimTime> = relevant
+        .iter()
+        .flat_map(|r| [r.started, r.finished])
+        .collect();
+    bounds.sort();
+    bounds.dedup();
+
+    // Cell contents.
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(processors.len());
+    for proc in processors {
+        let mut cells = Vec::with_capacity(bounds.len().saturating_sub(1));
+        for w in bounds.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let mut active: Vec<String> = relevant
+                .iter()
+                .filter(|r| r.processor == *proc && r.started < hi && r.finished > lo)
+                .map(|r| {
+                    let label: Vec<String> =
+                        r.index.0.iter().map(|i| i.to_string()).collect();
+                    format!("D{}", label.join("."))
+                })
+                .collect();
+            active.sort();
+            active.dedup();
+            cells.push(if active.is_empty() { "X".to_string() } else { active.join(" ") });
+        }
+        rows.push(cells);
+    }
+
+    // Column widths + row labels.
+    let n_cols = bounds.len().saturating_sub(1);
+    let mut widths = vec![1usize; n_cols];
+    for row in &rows {
+        for (c, cell) in row.iter().enumerate() {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let label_width = processors.iter().map(|p| p.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (proc, row) in processors.iter().zip(&rows) {
+        out.push_str(&format!("{proc:label_width$} |"));
+        for (c, cell) in row.iter().enumerate() {
+            out.push_str(&format!(" {cell:^w$} |", w = widths[c]));
+        }
+        out.push('\n');
+    }
+    // Time axis.
+    out.push_str(&format!("{:label_width$} +", ""));
+    for w in &widths {
+        out.push_str(&"-".repeat(w + 2));
+        out.push('+');
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "{:label_width$}  t = {}",
+        "",
+        bounds
+            .iter()
+            .map(|b| format!("{:.0}", b.as_secs_f64()))
+            .collect::<Vec<_>>()
+            .join(" / ")
+    ));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::DataIndex;
+
+    fn rec(proc: &str, idx: u32, start: f64, end: f64) -> InvocationRecord {
+        InvocationRecord {
+            processor: proc.into(),
+            index: DataIndex::single(idx),
+            submitted: SimTime::from_secs_f64(start),
+            started: SimTime::from_secs_f64(start),
+            finished: SimTime::from_secs_f64(end),
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn empty_records_render_empty() {
+        assert_eq!(render(&[], &["P1"]), "");
+    }
+
+    #[test]
+    fn service_parallel_staircase_matches_fig5_shape() {
+        // Fig. 5: SP only, 3 services, 3 data, constant T = 1.
+        let mut records = Vec::new();
+        for (i, p) in ["P1", "P2", "P3"].iter().enumerate() {
+            for j in 0..3u32 {
+                let s = (i + j as usize) as f64;
+                records.push(rec(p, j, s, s + 1.0));
+            }
+        }
+        let out = render(&records, &["P3", "P2", "P1"]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("P3 | X  | X  | D0 | D1 | D2 |"), "{out}");
+        assert!(lines[1].contains("P2 | X  | D0 | D1 | D2 | X  |"), "{out}");
+        assert!(lines[2].contains("P1 | D0 | D1 | D2 | X  | X  |"), "{out}");
+    }
+
+    #[test]
+    fn data_parallel_cell_lists_concurrent_data() {
+        // Fig. 4: DP, all three data in one interval per service.
+        let records = vec![
+            rec("P1", 0, 0.0, 1.0),
+            rec("P1", 1, 0.0, 1.0),
+            rec("P1", 2, 0.0, 1.0),
+            rec("P2", 0, 1.0, 2.0),
+            rec("P2", 1, 1.0, 2.0),
+            rec("P2", 2, 1.0, 2.0),
+        ];
+        let out = render(&records, &["P2", "P1"]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("X") && lines[0].contains("D0 D1 D2"), "{out}");
+        assert!(lines[1].starts_with("P1 | D0 D1 D2 |"), "{out}");
+    }
+
+    #[test]
+    fn time_axis_lists_boundaries() {
+        let out = render(&[rec("P1", 0, 0.0, 5.0)], &["P1"]);
+        assert!(out.contains("t = 0 / 5"), "{out}");
+    }
+
+    #[test]
+    fn unknown_processors_are_ignored() {
+        let out = render(&[rec("P9", 0, 0.0, 1.0)], &["P1"]);
+        assert_eq!(out, "");
+    }
+}

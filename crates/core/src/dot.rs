@@ -1,0 +1,153 @@
+//! Graphviz DOT export of workflow graphs — for documentation and for
+//! eyeballing what the grouping transform did to an application.
+
+use crate::graph::{IterationStrategy, ProcessorKind, Workflow};
+use crate::service::ServiceBinding;
+use std::fmt::Write as _;
+
+/// Render the workflow as a Graphviz `digraph`.
+///
+/// Sources are house-shaped, sinks inverted-house, synchronization
+/// processors doubly-circled (the paper's Fig. 9 double square),
+/// grouped virtual services shown as boxed records listing their
+/// stages. Control links are dashed.
+pub fn to_dot(workflow: &Workflow) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(&workflow.name));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+    for (i, p) in workflow.processors.iter().enumerate() {
+        let (shape, extra) = match p.kind {
+            ProcessorKind::Source => ("house", String::new()),
+            ProcessorKind::Sink => ("invhouse", String::new()),
+            ProcessorKind::Service if p.synchronization => {
+                ("doubleoctagon", String::new())
+            }
+            ProcessorKind::Service => {
+                let label = match &p.binding {
+                    Some(ServiceBinding::Grouped(g)) => {
+                        let stages: Vec<&str> =
+                            g.stages.iter().map(|s| s.name.as_str()).collect();
+                        format!(", label=\"{}\\n[{}]\"", escape(&p.name), stages.join(" ; "))
+                    }
+                    _ => String::new(),
+                };
+                ("box", label)
+            }
+        };
+        let iter_mark = if p.inputs.len() > 1 && p.iteration == IterationStrategy::Cross {
+            ", color=purple"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  n{i} [shape={shape}{extra}{iter_mark}, label=\"{}\"];", escape(&p.name));
+    }
+    for l in &workflow.links {
+        let from = &workflow.processors[l.from.proc.0];
+        let to = &workflow.processors[l.to.proc.0];
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [taillabel=\"{}\", headlabel=\"{}\", fontsize=9];",
+            l.from.proc.0,
+            l.to.proc.0,
+            escape(&from.outputs[l.from.port]),
+            escape(&to.inputs[l.to.port]),
+        );
+    }
+    for (b, a) in &workflow.control {
+        let _ = writeln!(out, "  n{} -> n{} [style=dashed, color=gray];", b.0, a.0);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceProfile;
+    use moteur_wrapper::crest_lines_example;
+
+    fn workflow() -> Workflow {
+        let mut w = Workflow::new("demo");
+        let s = w.add_source("imgs");
+        let p = w.add_service(
+            "crestLines",
+            &["floating_image", "reference_image"],
+            &["crest_reference", "crest_floating"],
+            ServiceBinding::descriptor(crest_lines_example(), ServiceProfile::new(1.0)),
+        );
+        let k = w.add_sink("out");
+        w.connect(s, "out", p, "floating_image").unwrap();
+        w.connect(s, "out", p, "reference_image").unwrap();
+        w.connect(p, "crest_reference", k, "in").unwrap();
+        w.add_control(s, p);
+        w
+    }
+
+    #[test]
+    fn renders_nodes_edges_and_control_links() {
+        let dot = to_dot(&workflow());
+        assert!(dot.starts_with("digraph \"demo\" {"));
+        assert!(dot.contains("shape=house"), "{dot}");
+        assert!(dot.contains("shape=invhouse"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("style=dashed"), "control link rendered");
+        assert!(dot.matches(" -> ").count() >= 4);
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn synchronization_processors_get_double_octagons() {
+        let mut w = workflow();
+        let p = w.find("crestLines").unwrap();
+        w.set_synchronization(p, true);
+        assert!(to_dot(&w).contains("doubleoctagon"));
+    }
+
+    #[test]
+    fn grouped_services_list_their_stages() {
+        let mut w = Workflow::new("g");
+        let s = w.add_source("src");
+        let a = w.add_service(
+            "A",
+            &["floating_image", "reference_image"],
+            &["crest_reference", "crest_floating"],
+            ServiceBinding::descriptor(crest_lines_example(), ServiceProfile::new(1.0)),
+        );
+        // A fake 1-slot consumer so grouping applies.
+        let mut d = crest_lines_example();
+        d.inputs.truncate(1);
+        d.inputs[0].name = "crest_reference".into();
+        d.outputs.truncate(1);
+        let b = w.add_service("B", &["crest_reference"], &["crest_reference"], {
+            let mut d2 = d.clone();
+            d2.outputs[0].name = "crest_reference".into();
+            ServiceBinding::descriptor(d2, ServiceProfile::new(1.0))
+        });
+        let k = w.add_sink("out");
+        w.connect(s, "out", a, "floating_image").unwrap();
+        w.connect(s, "out", a, "reference_image").unwrap();
+        w.connect(a, "crest_reference", b, "crest_reference").unwrap();
+        w.connect(b, "crest_reference", k, "in").unwrap();
+        // A has two outputs but only one is linked; grouping requires
+        // all out-links to target B, which holds here.
+        let g = crate::grouping::group_workflow(&w).unwrap();
+        if g.find("A+B").is_some() {
+            let dot = to_dot(&g);
+            assert!(dot.contains("[A ; B]"), "{dot}");
+        }
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut w = Workflow::new("has \"quotes\"");
+        w.add_source("s\"rc");
+        let dot = to_dot(&w);
+        assert!(dot.contains("has \\\"quotes\\\""));
+        assert!(dot.contains("s\\\"rc"));
+    }
+}

@@ -1,0 +1,804 @@
+//! The workflow enactor: MOTEUR's execution engine.
+//!
+//! Combines, per the paper, four optimization levels:
+//!
+//! - **workflow parallelism** (§3.2) — independent graph branches fire
+//!   concurrently; inherent in the event loop, always on;
+//! - **data parallelism** (§3.3) — with DP on, a service may have any
+//!   number of invocations in flight; with DP off, at most one;
+//! - **service parallelism** (§3.4) — with SP on, a service fires as
+//!   soon as an input match exists (pipelining); with SP off, a service
+//!   behaves like a stage barrier: it fires only once all its data
+//!   predecessors are *exhausted* (will produce nothing more);
+//! - **job grouping** (§3.6) — applied as a graph transform before
+//!   enactment (see [`crate::grouping`]).
+//!
+//! Synchronization processors (§2.3) consume their entire input streams
+//! in a single invocation once their upstream is exhausted. Cycles
+//! (optimization loops, Fig. 2) are supported: processors inside a
+//! strongly connected component ignore the SP-off stage barrier for
+//! intra-cycle predecessors, and exhaustion of a cycle is detected
+//! collectively.
+
+use crate::backend::{Backend, BackendCompletion, BackendJob, InvocationId, JobPayload, ServiceOutputs};
+use crate::config::EnactorConfig;
+use crate::error::MoteurError;
+use crate::graph::{ProcId, ProcessorKind, Workflow};
+use crate::iterate::{MatchEngine, MatchedSet};
+use crate::service::{CostModel, GroupSource, GroupedBinding, ServiceBinding, ServiceProfile};
+use crate::token::{DataIndex, History, Token};
+use crate::trace::{InvocationRecord, WorkflowResult};
+use crate::value::DataValue;
+use moteur_gridsim::{Rng, SimTime};
+use moteur_wrapper::{
+    compose_group, plan_single, Binding, Catalog, ExecutableDescriptor, GroupMember, JobPlan,
+    TransferFile,
+};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// The workflow's input data: one value stream per source name (the
+/// on-disk form is the input data-set XML language, see `moteur-scufl`).
+#[derive(Debug, Clone, Default)]
+pub struct InputData {
+    streams: HashMap<String, Vec<DataValue>>,
+}
+
+impl InputData {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(mut self, source: impl Into<String>, values: Vec<DataValue>) -> Self {
+        self.streams.insert(source.into(), values);
+        self
+    }
+
+    pub fn get(&self, source: &str) -> Option<&[DataValue]> {
+        self.streams.get(source).map(Vec::as_slice)
+    }
+}
+
+/// Enact `workflow` over `inputs` on `backend` with the given
+/// configuration. This is the crate's main entry point.
+pub fn run<B: Backend>(
+    workflow: &Workflow,
+    inputs: &InputData,
+    config: EnactorConfig,
+    backend: &mut B,
+) -> Result<WorkflowResult, MoteurError> {
+    let workflow = if config.job_grouping {
+        crate::grouping::group_workflow(workflow)?
+    } else {
+        workflow.clone()
+    };
+    workflow.validate()?;
+    let mut enactor = Enactor::new(&workflow, config, backend);
+    enactor.emit_sources(inputs)?;
+    enactor.event_loop()?;
+    enactor.finish()
+}
+
+struct ProcState {
+    engine: MatchEngine,
+    ready: VecDeque<MatchedSet>,
+    inflight: usize,
+    barrier_fired: bool,
+    /// For synchronization processors: the collected streams, per port.
+    sync_buffers: Vec<Vec<Token>>,
+}
+
+/// One workflow invocation carried by a backend job (batched grid jobs
+/// carry several).
+struct PendEntry {
+    index: DataIndex,
+    input_histories: Vec<Arc<History>>,
+    /// Pre-synthesised output tokens for grid jobs (`None` → the
+    /// completion carries real outputs from a local service).
+    grid_outputs: Option<ServiceOutputs>,
+}
+
+struct PendingJob {
+    proc: ProcId,
+    entries: Vec<PendEntry>,
+    /// Retained for enactor-level resubmission of failed grid jobs.
+    job: BackendJob,
+    retries: u32,
+    submitted: SimTime,
+}
+
+struct Enactor<'a, B: Backend> {
+    workflow: &'a Workflow,
+    config: EnactorConfig,
+    backend: &'a mut B,
+    catalog: Catalog,
+    rng: Rng,
+    states: Vec<ProcState>,
+    /// SCC id per processor and whether that SCC is a real cycle.
+    scc_ids: Vec<usize>,
+    in_cycle: Vec<bool>,
+    pending: HashMap<u64, PendingJob>,
+    next_invocation: u64,
+    jobs_submitted: usize,
+    inflight_total: usize,
+    sink_outputs: HashMap<String, Vec<Token>>,
+    records: Vec<InvocationRecord>,
+    start_time: SimTime,
+}
+
+impl<'a, B: Backend> Enactor<'a, B> {
+    fn new(workflow: &'a Workflow, config: EnactorConfig, backend: &'a mut B) -> Self {
+        let states = workflow
+            .processors
+            .iter()
+            .map(|p| ProcState {
+                engine: MatchEngine::new(p.iteration, p.inputs.len().max(1)),
+                ready: VecDeque::new(),
+                inflight: 0,
+                barrier_fired: false,
+                sync_buffers: vec![Vec::new(); p.inputs.len()],
+            })
+            .collect();
+        let scc_ids = workflow.scc_ids();
+        let mut scc_sizes: HashMap<usize, usize> = HashMap::new();
+        for &id in &scc_ids {
+            *scc_sizes.entry(id).or_insert(0) += 1;
+        }
+        let in_cycle = (0..workflow.processors.len())
+            .map(|v| {
+                scc_sizes[&scc_ids[v]] > 1
+                    || workflow
+                        .links
+                        .iter()
+                        .any(|l| l.from.proc.0 == v && l.to.proc.0 == v)
+            })
+            .collect();
+        let start_time = backend.now();
+        Enactor {
+            workflow,
+            config,
+            rng: Rng::new(config.seed ^ 0x4D4F_5445_5552), // "MOTEUR"
+            backend,
+            catalog: Catalog::new(),
+            states,
+            scc_ids,
+            in_cycle,
+            pending: HashMap::new(),
+            next_invocation: 0,
+            jobs_submitted: 0,
+            inflight_total: 0,
+            sink_outputs: HashMap::new(),
+            records: Vec::new(),
+            start_time,
+        }
+    }
+
+    fn emit_sources(&mut self, inputs: &InputData) -> Result<(), MoteurError> {
+        for src in self.workflow.sources() {
+            let name = self.workflow.processor(src).name.clone();
+            let values = inputs
+                .get(&name)
+                .ok_or_else(|| MoteurError::new(format!("no input data for source `{name}`")))?
+                .to_vec();
+            for (j, value) in values.into_iter().enumerate() {
+                let token = Token::from_source(&name, j as u32, value);
+                self.route(src, 0, token);
+            }
+        }
+        Ok(())
+    }
+
+    fn event_loop(&mut self) -> Result<(), MoteurError> {
+        loop {
+            self.fire_phase()?;
+            if self.inflight_total == 0 {
+                break;
+            }
+            let completion = self
+                .backend
+                .wait_next()
+                .ok_or_else(|| MoteurError::new("backend starved with jobs in flight"))?;
+            self.handle_completion(completion)?;
+        }
+        // Post-conditions: nothing runnable may be left behind.
+        for (i, st) in self.states.iter().enumerate() {
+            let p = &self.workflow.processors[i];
+            if !st.ready.is_empty() {
+                return Err(MoteurError::new(format!(
+                    "deadlock: `{}` still has {} ready invocations",
+                    p.name,
+                    st.ready.len()
+                )));
+            }
+            if p.synchronization && !st.barrier_fired {
+                return Err(MoteurError::new(format!(
+                    "deadlock: synchronization processor `{}` never fired",
+                    p.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<WorkflowResult, MoteurError> {
+        Ok(WorkflowResult {
+            sink_outputs: self.sink_outputs,
+            makespan: self.backend.now().since(self.start_time),
+            invocations: self.records,
+            jobs_submitted: self.jobs_submitted,
+        })
+    }
+
+    /// Deliver a token to every input port linked to `(proc, out_port)`.
+    fn route(&mut self, proc: ProcId, out_port: usize, token: Token) {
+        let targets: Vec<(ProcId, usize)> = self
+            .workflow
+            .links
+            .iter()
+            .filter(|l| l.from.proc == proc && l.from.port == out_port)
+            .map(|l| (l.to.proc, l.to.port))
+            .collect();
+        for (tp, tport) in targets {
+            let target = &self.workflow.processors[tp.0];
+            match target.kind {
+                ProcessorKind::Sink => {
+                    self.sink_outputs
+                        .entry(target.name.clone())
+                        .or_default()
+                        .push(token.clone());
+                }
+                ProcessorKind::Service if target.synchronization => {
+                    self.states[tp.0].sync_buffers[tport].push(token.clone());
+                }
+                ProcessorKind::Service => {
+                    let matches = self.states[tp.0].engine.push(tport, token.clone());
+                    self.states[tp.0].ready.extend(matches);
+                }
+                ProcessorKind::Source => {
+                    // A link into a source is rejected by validate();
+                    // unreachable in practice.
+                }
+            }
+        }
+    }
+
+    /// Fire everything the configuration permits, to fixpoint.
+    fn fire_phase(&mut self) -> Result<(), MoteurError> {
+        loop {
+            let exhausted = self.compute_exhausted();
+            let mut fired = false;
+            for p in 0..self.workflow.processors.len() {
+                let proc = &self.workflow.processors[p];
+                if proc.kind != ProcessorKind::Service {
+                    continue;
+                }
+                if proc.synchronization {
+                    if !self.states[p].barrier_fired
+                        && self.preds_exhausted(p, &exhausted, true)
+                        && self.control_ok(p, &exhausted)
+                    {
+                        self.fire_barrier(ProcId(p))?;
+                        fired = true;
+                    }
+                    continue;
+                }
+                while !self.states[p].ready.is_empty() && self.can_fire(p, &exhausted) {
+                    let batchable = self.config.data_batching > 1
+                        && !matches!(proc.binding, Some(ServiceBinding::Local(_)));
+                    if batchable {
+                        let k = self.config.data_batching.min(self.states[p].ready.len());
+                        let batch: Vec<MatchedSet> =
+                            (0..k).map(|_| self.states[p].ready.pop_front().expect("len checked")).collect();
+                        self.fire_batch(ProcId(p), batch)?;
+                    } else {
+                        let matched = self.states[p].ready.pop_front().expect("checked non-empty");
+                        self.fire(ProcId(p), matched)?;
+                    }
+                    fired = true;
+                }
+            }
+            if !fired {
+                return Ok(());
+            }
+        }
+    }
+
+    fn can_fire(&self, p: usize, exhausted: &[bool]) -> bool {
+        if !self.config.data_parallelism && self.states[p].inflight >= 1 {
+            return false;
+        }
+        if !self.config.service_parallelism && !self.preds_exhausted(p, exhausted, false) {
+            return false;
+        }
+        self.control_ok(p, exhausted)
+    }
+
+    /// Are all data predecessors of `p` exhausted? Predecessors inside
+    /// the same cycle are skipped unless `include_cycle` (barriers may
+    /// not sit inside cycles anyway).
+    fn preds_exhausted(&self, p: usize, exhausted: &[bool], include_cycle: bool) -> bool {
+        self.workflow.data_preds(ProcId(p)).into_iter().all(|q| {
+            if !include_cycle && self.in_cycle[p] && self.scc_ids[q.0] == self.scc_ids[p] {
+                true
+            } else {
+                exhausted[q.0]
+            }
+        })
+    }
+
+    fn control_ok(&self, p: usize, exhausted: &[bool]) -> bool {
+        self.workflow
+            .control
+            .iter()
+            .filter(|(_, after)| after.0 == p)
+            .all(|(before, _)| exhausted[before.0])
+    }
+
+    /// Fixpoint computation of "will emit no more tokens".
+    fn compute_exhausted(&self) -> Vec<bool> {
+        let n = self.workflow.processors.len();
+        let mut ex = vec![false; n];
+        loop {
+            let mut changed = false;
+            for p in 0..n {
+                if ex[p] {
+                    continue;
+                }
+                let proc = &self.workflow.processors[p];
+                let quiet = self.states[p].ready.is_empty() && self.states[p].inflight == 0;
+                let value = match proc.kind {
+                    // Sources emit their whole stream up front.
+                    ProcessorKind::Source => true,
+                    ProcessorKind::Sink => self.preds_exhausted(p, &ex, true),
+                    ProcessorKind::Service => {
+                        if self.in_cycle[p] {
+                            // A cycle exhausts collectively: every
+                            // member quiet and every external
+                            // predecessor exhausted.
+                            let scc = self.scc_ids[p];
+                            let members: Vec<usize> = (0..n)
+                                .filter(|&m| self.scc_ids[m] == scc)
+                                .collect();
+                            members.iter().all(|&m| {
+                                self.states[m].ready.is_empty()
+                                    && self.states[m].inflight == 0
+                                    && self
+                                        .workflow
+                                        .data_preds(ProcId(m))
+                                        .into_iter()
+                                        .filter(|q| self.scc_ids[q.0] != scc)
+                                        .all(|q| ex[q.0])
+                            })
+                        } else if proc.synchronization {
+                            quiet
+                                && self.states[p].barrier_fired
+                                && self.preds_exhausted(p, &ex, true)
+                        } else {
+                            quiet && self.preds_exhausted(p, &ex, true)
+                        }
+                    }
+                };
+                if value {
+                    ex[p] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return ex;
+            }
+        }
+    }
+
+    fn eval_cost(&mut self, cost: &CostModel, index: &DataIndex) -> f64 {
+        match cost {
+            CostModel::Fixed(v) => *v,
+            CostModel::Stochastic(d) => d.sample(&mut self.rng),
+            CostModel::ByIndex(f) => f(index),
+        }
+    }
+
+    fn fire(&mut self, proc: ProcId, matched: MatchedSet) -> Result<(), MoteurError> {
+        let binding = self.workflow.processors[proc.0]
+            .binding
+            .clone()
+            .ok_or_else(|| MoteurError::new("firing an unbound processor"))?;
+        let invocation = InvocationId(self.next_invocation);
+        self.next_invocation += 1;
+        let (payload, grid_outputs) = match &binding {
+            ServiceBinding::Local(service) => (
+                JobPayload::Local { service: service.clone(), inputs: matched.tokens.clone() },
+                None,
+            ),
+            ServiceBinding::Descriptor { descriptor, profile } => {
+                let (plan, compute, outputs) =
+                    self.build_descriptor_job(proc, descriptor, profile, &matched, invocation)?;
+                (JobPayload::Grid { plan, compute_seconds: compute }, Some(outputs))
+            }
+            ServiceBinding::Grouped(group) => {
+                let (plan, compute, outputs) =
+                    self.build_grouped_job(proc, group, &matched, invocation)?;
+                (JobPayload::Grid { plan, compute_seconds: compute }, Some(outputs))
+            }
+        };
+        let entry = PendEntry {
+            index: matched.index,
+            input_histories: matched.tokens.iter().map(|t| t.history.clone()).collect(),
+            grid_outputs,
+        };
+        self.submit(proc, vec![entry], invocation, payload)
+    }
+
+    /// Submit several ready invocations of one descriptor-bound service
+    /// as a single grid job — the paper's §5.4 single-service grouping.
+    fn fire_batch(&mut self, proc: ProcId, batch: Vec<MatchedSet>) -> Result<(), MoteurError> {
+        let binding = self.workflow.processors[proc.0]
+            .binding
+            .clone()
+            .ok_or_else(|| MoteurError::new("firing an unbound processor"))?;
+        let invocation = InvocationId(self.next_invocation);
+        self.next_invocation += 1;
+        let mut command_lines = Vec::new();
+        let mut fetch: Vec<TransferFile> = Vec::new();
+        let mut store: Vec<TransferFile> = Vec::new();
+        let mut compute_total = 0.0;
+        let mut entries = Vec::with_capacity(batch.len());
+        for (k, matched) in batch.into_iter().enumerate() {
+            let sub_invocation = InvocationId(invocation.0 * 1_000_000 + k as u64);
+            let (plan, compute, outputs) = match &binding {
+                ServiceBinding::Descriptor { descriptor, profile } => {
+                    self.build_descriptor_job(proc, descriptor, profile, &matched, sub_invocation)?
+                }
+                ServiceBinding::Grouped(group) => {
+                    self.build_grouped_job(proc, group, &matched, sub_invocation)?
+                }
+                ServiceBinding::Local(_) => {
+                    return Err(MoteurError::new("local services cannot be batched"))
+                }
+            };
+            command_lines.extend(plan.command_lines);
+            for f in plan.fetch {
+                if !fetch.iter().any(|e| e.name == f.name) {
+                    fetch.push(f);
+                }
+            }
+            store.extend(plan.store);
+            compute_total += compute;
+            entries.push(PendEntry {
+                index: matched.index,
+                input_histories: matched.tokens.iter().map(|t| t.history.clone()).collect(),
+                grid_outputs: Some(outputs),
+            });
+        }
+        let plan = JobPlan { command_lines, fetch, store };
+        self.submit(proc, entries, invocation, JobPayload::Grid { plan, compute_seconds: compute_total })
+    }
+
+    fn submit(
+        &mut self,
+        proc: ProcId,
+        entries: Vec<PendEntry>,
+        invocation: InvocationId,
+        payload: JobPayload,
+    ) -> Result<(), MoteurError> {
+        let job = BackendJob {
+            invocation,
+            processor: self.workflow.processors[proc.0].name.clone(),
+            payload,
+        };
+        let submitted = self.backend.now();
+        self.backend.submit(job.clone());
+        self.pending.insert(
+            invocation.0,
+            PendingJob { proc, entries, job, retries: 0, submitted },
+        );
+        self.states[proc.0].inflight += 1;
+        self.inflight_total += 1;
+        self.jobs_submitted += 1;
+        Ok(())
+    }
+
+    /// Bind one port's token into a descriptor slot.
+    fn bind_port(
+        binding: Binding,
+        descriptor: &ExecutableDescriptor,
+        slot_name: &str,
+        token: &Token,
+        catalog: &mut Catalog,
+        proc_name: &str,
+    ) -> Result<Binding, MoteurError> {
+        let slot = descriptor.input(slot_name).ok_or_else(|| {
+            MoteurError::new(format!(
+                "`{proc_name}`: input port `{slot_name}` has no matching descriptor slot"
+            ))
+        })?;
+        if slot.is_file() {
+            match &token.value {
+                DataValue::File { gfn, bytes } => {
+                    catalog.register(gfn.clone(), *bytes);
+                    Ok(binding.bind_file(slot_name, gfn.clone()))
+                }
+                other => Err(MoteurError::new(format!(
+                    "`{proc_name}`: file slot `{slot_name}` received a non-file value {other:?}"
+                ))),
+            }
+        } else {
+            Ok(binding.bind_value(slot_name, token.value.to_param_string()))
+        }
+    }
+
+    fn output_gfn(&self, proc_name: &str, invocation: InvocationId, slot: &str) -> String {
+        format!("gfn://{}/{}/{}/{}", self.workflow.name, proc_name, invocation.0, slot)
+    }
+
+    fn build_descriptor_job(
+        &mut self,
+        proc: ProcId,
+        descriptor: &ExecutableDescriptor,
+        profile: &ServiceProfile,
+        matched: &MatchedSet,
+        invocation: InvocationId,
+    ) -> Result<(JobPlan, f64, ServiceOutputs), MoteurError> {
+        let p = &self.workflow.processors[proc.0];
+        let mut binding = Binding::new();
+        for (port_idx, port_name) in p.inputs.iter().enumerate() {
+            binding = Self::bind_port(
+                binding,
+                descriptor,
+                port_name,
+                &matched.tokens[port_idx],
+                &mut self.catalog,
+                &p.name,
+            )?;
+        }
+        for (slot, value) in &profile.fixed_params {
+            binding = binding.bind_value(slot.clone(), value.clone());
+        }
+        let mut outputs = Vec::new();
+        for out in &descriptor.outputs {
+            let gfn = self.output_gfn(&p.name, invocation, &out.name);
+            let bytes = profile.output_size(&out.name);
+            self.catalog.register(gfn.clone(), bytes);
+            binding = binding.bind_output(out.name.clone(), gfn.clone(), bytes);
+            outputs.push((out.name.clone(), DataValue::File { gfn, bytes }));
+        }
+        let plan = plan_single(descriptor, &binding, &self.catalog)?;
+        let compute = self.eval_cost(&profile.compute.clone(), &matched.index);
+        Ok((plan, compute, outputs))
+    }
+
+    fn build_grouped_job(
+        &mut self,
+        proc: ProcId,
+        group: &GroupedBinding,
+        matched: &MatchedSet,
+        invocation: InvocationId,
+    ) -> Result<(JobPlan, f64, ServiceOutputs), MoteurError> {
+        let p = &self.workflow.processors[proc.0];
+        let mut members: Vec<GroupMember> = Vec::with_capacity(group.stages.len());
+        let mut stage_outputs: Vec<HashMap<String, (String, u64)>> = Vec::new();
+        let mut compute_total = 0.0;
+        for (k, stage) in group.stages.iter().enumerate() {
+            let mut binding = Binding::new();
+            for (slot_name, source) in &stage.inputs {
+                match source {
+                    GroupSource::ExternalPort(i) => {
+                        binding = Self::bind_port(
+                            binding,
+                            &stage.descriptor,
+                            slot_name,
+                            &matched.tokens[*i],
+                            &mut self.catalog,
+                            &p.name,
+                        )?;
+                    }
+                    GroupSource::StageOutput { stage: j, slot } => {
+                        let (gfn, _bytes) = stage_outputs
+                            .get(*j)
+                            .and_then(|m| m.get(slot))
+                            .ok_or_else(|| {
+                                MoteurError::new(format!(
+                                    "grouped `{}`: stage {k} consumes missing output `{slot}` of stage {j}",
+                                    p.name
+                                ))
+                            })?
+                            .clone();
+                        binding = binding.bind_file(slot_name.clone(), gfn);
+                    }
+                }
+            }
+            for (slot, value) in &stage.profile.fixed_params {
+                binding = binding.bind_value(slot.clone(), value.clone());
+            }
+            let mut outs = HashMap::new();
+            for out in &stage.descriptor.outputs {
+                let gfn = format!(
+                    "gfn://{}/{}~{}/{}/{}",
+                    self.workflow.name, p.name, stage.name, invocation.0, out.name
+                );
+                let bytes = stage.profile.output_size(&out.name);
+                self.catalog.register(gfn.clone(), bytes);
+                binding = binding.bind_output(out.name.clone(), gfn.clone(), bytes);
+                outs.insert(out.name.clone(), (gfn, bytes));
+            }
+            stage_outputs.push(outs);
+            compute_total += self.eval_cost(&stage.profile.compute.clone(), &matched.index);
+            members.push(GroupMember { descriptor: stage.descriptor.clone(), binding });
+        }
+        // Exposed outputs become the grouped processor's output tokens,
+        // aligned with its output-port order.
+        let mut outputs = Vec::new();
+        let mut external = Vec::new();
+        for (port_idx, (stage_idx, slot)) in group.exposed_outputs.iter().enumerate() {
+            let (gfn, bytes) = stage_outputs[*stage_idx]
+                .get(slot)
+                .ok_or_else(|| {
+                    MoteurError::new(format!(
+                        "grouped `{}`: exposed output `{slot}` missing from stage {stage_idx}",
+                        p.name
+                    ))
+                })?
+                .clone();
+            external.push(gfn.clone());
+            outputs.push((p.outputs[port_idx].clone(), DataValue::File { gfn, bytes }));
+        }
+        let plan = compose_group(&members, &self.catalog, &external)?;
+        Ok((plan, compute_total, outputs))
+    }
+
+    fn fire_barrier(&mut self, proc: ProcId) -> Result<(), MoteurError> {
+        let p = &self.workflow.processors[proc.0];
+        let buffers = std::mem::take(&mut self.states[proc.0].sync_buffers);
+        let mut tokens = Vec::with_capacity(buffers.len());
+        let mut histories = Vec::new();
+        for buf in &buffers {
+            histories.extend(buf.iter().map(|t| t.history.clone()));
+            tokens.push(Token {
+                value: DataValue::List(buf.iter().map(|t| t.value.clone()).collect()),
+                index: DataIndex::scalar(),
+                history: History::derived(
+                    format!("{}:collect", p.name),
+                    buf.iter().map(|t| t.history.clone()).collect(),
+                ),
+            });
+        }
+        self.states[proc.0].barrier_fired = true;
+        let invocation = InvocationId(self.next_invocation);
+        self.next_invocation += 1;
+        let binding = p
+            .binding
+            .clone()
+            .ok_or_else(|| MoteurError::new("synchronization processor without binding"))?;
+        let matched = MatchedSet { tokens, index: DataIndex::scalar() };
+        let entry = |grid_outputs: Option<ServiceOutputs>| PendEntry {
+            index: matched.index.clone(),
+            input_histories: matched.tokens.iter().map(|t| t.history.clone()).collect(),
+            grid_outputs,
+        };
+        match &binding {
+            ServiceBinding::Local(service) => self.submit(
+                proc,
+                vec![entry(None)],
+                invocation,
+                JobPayload::Local { service: service.clone(), inputs: buffers_to_tokens(&buffers, p) },
+            ),
+            ServiceBinding::Descriptor { descriptor, profile } => {
+                // A descriptor-bound barrier consumes arbitrarily many
+                // files per slot, which the one-value-per-slot wrapper
+                // binding cannot express: build its plan directly.
+                let mut fetch: Vec<TransferFile> = Vec::new();
+                let mut n_inputs = 0usize;
+                for buf in &buffers {
+                    for t in buf {
+                        if let DataValue::File { gfn, bytes } = &t.value {
+                            self.catalog.register(gfn.clone(), *bytes);
+                            fetch.push(TransferFile { name: gfn.clone(), bytes: *bytes });
+                        }
+                        n_inputs += 1;
+                    }
+                }
+                let mut outputs = Vec::new();
+                let mut store = Vec::new();
+                for out in &descriptor.outputs {
+                    let gfn = self.output_gfn(&p.name, invocation, &out.name);
+                    let bytes = profile.output_size(&out.name);
+                    self.catalog.register(gfn.clone(), bytes);
+                    store.push(TransferFile { name: gfn.clone(), bytes });
+                    outputs.push((out.name.clone(), DataValue::File { gfn, bytes }));
+                }
+                let plan = JobPlan {
+                    command_lines: vec![format!(
+                        "{} <{} collected inputs>",
+                        descriptor.executable.value, n_inputs
+                    )],
+                    fetch,
+                    store,
+                };
+                let compute = self.eval_cost(&profile.compute.clone(), &DataIndex::scalar());
+                self.submit(
+                    proc,
+                    vec![entry(Some(outputs))],
+                    invocation,
+                    JobPayload::Grid { plan, compute_seconds: compute },
+                )
+            }
+            ServiceBinding::Grouped(_) => Err(MoteurError::new(
+                "synchronization processors cannot be grouped",
+            )),
+        }
+    }
+
+    fn handle_completion(&mut self, c: BackendCompletion) -> Result<(), MoteurError> {
+        let mut pend = self
+            .pending
+            .remove(&c.invocation.0)
+            .ok_or_else(|| MoteurError::new("completion for unknown invocation"))?;
+        self.states[pend.proc.0].inflight -= 1;
+        self.inflight_total -= 1;
+        if let Err(message) = &c.outputs {
+            let is_grid = pend.entries.iter().all(|e| e.grid_outputs.is_some());
+            if is_grid && pend.retries < self.config.max_job_retries {
+                // Workflow-level resubmission of a terminally failed
+                // grid job (all of its batched invocations re-run).
+                pend.retries += 1;
+                self.backend.submit(pend.job.clone());
+                self.states[pend.proc.0].inflight += 1;
+                self.inflight_total += 1;
+                self.pending.insert(c.invocation.0, pend);
+                return Ok(());
+            }
+            return Err(MoteurError::new(format!(
+                "invocation of `{}` failed: {message}",
+                self.workflow.processors[pend.proc.0].name
+            )));
+        }
+        let local_outputs = c.outputs.expect("error case returned above");
+        let proc_id = pend.proc;
+        for mut entry in pend.entries {
+            let outputs = match (&local_outputs, entry.grid_outputs.take()) {
+                (_, Some(synthesised)) => synthesised,
+                (Some(outs), None) => outs.clone(),
+                (None, None) => {
+                    return Err(MoteurError::new("grid completion without synthesised outputs"))
+                }
+            };
+            let proc = &self.workflow.processors[proc_id.0];
+            self.records.push(InvocationRecord {
+                processor: proc.name.clone(),
+                index: entry.index.clone(),
+                submitted: pend.submitted,
+                started: c.started_at,
+                finished: c.finished_at,
+                retries: pend.retries,
+            });
+            let history = History::derived(proc.name.clone(), entry.input_histories.clone());
+            for (port_name, value) in outputs {
+                let port_idx =
+                    proc.outputs.iter().position(|o| *o == port_name).ok_or_else(|| {
+                        MoteurError::new(format!(
+                            "service `{}` produced a value on unknown port `{port_name}`",
+                            proc.name
+                        ))
+                    })?;
+                let token = Token { value, index: entry.index.clone(), history: history.clone() };
+                self.route(proc_id, port_idx, token);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Input tokens handed to a *local* synchronization service: one list
+/// token per port.
+fn buffers_to_tokens(buffers: &[Vec<Token>], p: &crate::graph::Processor) -> Vec<Token> {
+    buffers
+        .iter()
+        .map(|buf| Token {
+            value: DataValue::List(buf.iter().map(|t| t.value.clone()).collect()),
+            index: DataIndex::scalar(),
+            history: History::derived(
+                format!("{}:collect", p.name),
+                buf.iter().map(|t| t.history.clone()).collect(),
+            ),
+        })
+        .collect()
+}

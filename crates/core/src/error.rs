@@ -1,0 +1,42 @@
+//! Workflow-level error type.
+
+use std::fmt;
+
+/// Error raised while building, validating or enacting a workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoteurError {
+    pub message: String,
+}
+
+impl MoteurError {
+    pub fn new(message: impl Into<String>) -> Self {
+        MoteurError { message: message.into() }
+    }
+}
+
+impl fmt::Display for MoteurError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "moteur error: {}", self.message)
+    }
+}
+
+impl std::error::Error for MoteurError {}
+
+impl From<moteur_wrapper::WrapperError> for MoteurError {
+    fn from(e: moteur_wrapper::WrapperError) -> Self {
+        MoteurError::new(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert_eq!(MoteurError::new("x").to_string(), "moteur error: x");
+        let w = moteur_wrapper::WrapperError::new("inner");
+        let m: MoteurError = w.into();
+        assert!(m.message.contains("inner"));
+    }
+}

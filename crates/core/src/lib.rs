@@ -1,0 +1,109 @@
+//! # moteur
+//!
+//! A Rust reimplementation of **MOTEUR**, the optimized service-based
+//! workflow enactor of Glatard, Montagnat & Pennec, *"Efficient
+//! services composition for grid-enabled data-intensive applications"*
+//! (HPDC 2006).
+//!
+//! The crate provides:
+//!
+//! - a service-based **workflow model** ([`graph`]) with ports, data
+//!   links, coordination constraints, synchronization barriers and
+//!   cycles (run-time-bounded optimization loops, paper Fig. 2);
+//! - **iteration strategies** ([`iterate`]) — streaming dot and cross
+//!   products over input streams (Fig. 3) — with provenance
+//!   **history trees** ([`token`]) resolving the out-of-order causality
+//!   problem of §3.3;
+//! - the **enactor** ([`enactor`]) combining workflow, data and service
+//!   parallelism plus **job grouping** ([`grouping`]) through the
+//!   generic code wrapper (`moteur-wrapper`);
+//! - pluggable **backends** ([`backend`]): ideal virtual time, the
+//!   EGEE-like grid simulator, and real worker threads;
+//! - the paper's **theoretical makespan model** ([`model`], eqs. 1–4)
+//!   and ASCII **execution diagrams** ([`diagram`], Figs. 4–6).
+//!
+//! ## Quickstart
+//!
+//! Enact the paper's Fig. 1 workflow (`P1 → {P2, P3}`) on an ideal
+//! virtual-time backend with data and service parallelism:
+//!
+//! ```
+//! use moteur::prelude::*;
+//!
+//! // A trivial in-process service that forwards its input.
+//! let forward = |inputs: &[Token]| -> Result<Vec<(String, DataValue)>, String> {
+//!     Ok(vec![("out".into(), inputs[0].value.clone())])
+//! };
+//!
+//! let mut wf = Workflow::new("fig1");
+//! let src = wf.add_source("source");
+//! let p1 = wf.add_service("P1", &["in"], &["out"], ServiceBinding::local(forward));
+//! let p2 = wf.add_service("P2", &["in"], &["out"], ServiceBinding::local(forward));
+//! let p3 = wf.add_service("P3", &["in"], &["out"], ServiceBinding::local(forward));
+//! let sink = wf.add_sink("results");
+//! wf.connect(src, "out", p1, "in").unwrap();
+//! wf.connect(p1, "out", p2, "in").unwrap();
+//! wf.connect(p1, "out", p3, "in").unwrap();
+//! wf.connect(p2, "out", sink, "in").unwrap();
+//! wf.connect(p3, "out", sink, "in").unwrap();
+//!
+//! let inputs = InputData::new().set("source", vec!["D0".into(), "D1".into(), "D2".into()]);
+//! let mut backend = VirtualBackend::new();
+//! let result = run(&wf, &inputs, EnactorConfig::sp_dp(), &mut backend).unwrap();
+//! assert_eq!(result.sink("results").len(), 6, "3 data × 2 branches");
+//! ```
+
+pub mod backend;
+pub mod config;
+pub mod diagram;
+pub mod dot;
+pub mod enactor;
+pub mod error;
+pub mod granularity;
+pub mod graph;
+pub mod grouping;
+pub mod iterate;
+pub mod model;
+pub mod provenance;
+pub mod report;
+pub mod service;
+pub mod token;
+pub mod trace;
+pub mod value;
+
+pub use backend::{
+    Backend, BackendCompletion, BackendJob, InvocationId, JobPayload, LocalBackend, SimBackend,
+    VirtualBackend,
+};
+pub use config::EnactorConfig;
+pub use dot::to_dot;
+pub use enactor::{run, InputData};
+pub use error::MoteurError;
+pub use granularity::{inverse_normal_cdf, GranularityModel};
+pub use graph::{IterationStrategy, Link, PortRef, ProcId, Processor, ProcessorKind, Workflow};
+pub use grouping::{group_workflow, groupable_pairs};
+pub use iterate::{MatchEngine, MatchedSet};
+pub use model::TimeMatrix;
+pub use provenance::{export_provenance, history_from_xml, history_to_xml};
+pub use report::{render_report, service_stats, total_busy, ServiceStats};
+pub use service::{
+    CostModel, GroupSource, GroupedBinding, GroupedStage, LocalService, ServiceBinding,
+    ServiceProfile,
+};
+pub use token::{DataIndex, History, Token};
+pub use trace::{InvocationRecord, WorkflowResult};
+pub use value::DataValue;
+
+/// Common imports for building and running workflows.
+pub mod prelude {
+    pub use crate::backend::{Backend, LocalBackend, SimBackend, VirtualBackend};
+    pub use crate::config::EnactorConfig;
+    pub use crate::enactor::{run, InputData};
+    pub use crate::error::MoteurError;
+    pub use crate::graph::{IterationStrategy, ProcId, Workflow};
+    pub use crate::model::TimeMatrix;
+    pub use crate::service::{CostModel, LocalService, ServiceBinding, ServiceProfile};
+    pub use crate::token::{DataIndex, History, Token};
+    pub use crate::trace::WorkflowResult;
+    pub use crate::value::DataValue;
+}

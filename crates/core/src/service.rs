@@ -1,0 +1,239 @@
+//! Service bindings: what a processor actually runs when it fires.
+//!
+//! The paper's enactor talks to two kinds of application services (§4.1:
+//! "MOTEUR is implementing an interface to both Web Services and
+//! GridRPC instrumented application code"). Here the equivalent split
+//! is:
+//!
+//! - [`LocalService`] — an in-process implementation invoked on worker
+//!   threads by the local backend (real computation, e.g. the
+//!   registration algorithms);
+//! - descriptor-bound services — the generic wrapper of §3.6, executed
+//!   on the (simulated) grid from an [`ExecutableDescriptor`] plus a
+//!   [`ServiceProfile`] describing costs and output sizes.
+
+use crate::token::{DataIndex, Token};
+use crate::value::DataValue;
+use moteur_gridsim::Distribution;
+use moteur_wrapper::ExecutableDescriptor;
+use std::fmt;
+use std::sync::Arc;
+
+/// An in-process service invoked by the local backend.
+///
+/// `inputs` arrive in processor input-port order; outputs are
+/// `(output-port-name, value)` pairs. Producing values on a *subset* of
+/// the output ports implements conditional routing (the optimization
+/// loops of paper Fig. 2).
+pub trait LocalService: Send + Sync {
+    fn invoke(&self, inputs: &[Token]) -> Result<Vec<(String, DataValue)>, String>;
+}
+
+/// Blanket impl so closures can be used as services.
+impl<F> LocalService for F
+where
+    F: Fn(&[Token]) -> Result<Vec<(String, DataValue)>, String> + Send + Sync,
+{
+    fn invoke(&self, inputs: &[Token]) -> Result<Vec<(String, DataValue)>, String> {
+        self(inputs)
+    }
+}
+
+/// Compute-cost model for descriptor-bound services (reference-machine
+/// seconds; the grid's CE speeds and jitter scale it).
+#[derive(Clone)]
+pub enum CostModel {
+    /// Constant per invocation.
+    Fixed(f64),
+    /// Sampled per invocation from a distribution (enactor RNG).
+    Stochastic(Distribution),
+    /// Determined by the invocation's data index — how the theoretical
+    /// model's arbitrary `T[i][j]` matrices are driven in tests.
+    ByIndex(Arc<dyn Fn(&DataIndex) -> f64 + Send + Sync>),
+}
+
+impl CostModel {
+    pub fn by_index(f: impl Fn(&DataIndex) -> f64 + Send + Sync + 'static) -> Self {
+        CostModel::ByIndex(Arc::new(f))
+    }
+}
+
+impl fmt::Debug for CostModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostModel::Fixed(v) => write!(f, "Fixed({v})"),
+            CostModel::Stochastic(d) => write!(f, "Stochastic({d:?})"),
+            CostModel::ByIndex(_) => write!(f, "ByIndex(..)"),
+        }
+    }
+}
+
+/// Execution profile of a descriptor-bound service: everything the
+/// descriptor itself (deliberately faithful to Fig. 8) does not say.
+#[derive(Debug, Clone)]
+pub struct ServiceProfile {
+    pub compute: CostModel,
+    /// Descriptor parameter slots fixed at binding time (e.g. the
+    /// crestLines `-s` scale), instead of being fed by a workflow link.
+    pub fixed_params: Vec<(String, String)>,
+    /// Expected size (bytes) of each output slot, for the transfer
+    /// model and catalog registration.
+    pub output_bytes: Vec<(String, u64)>,
+}
+
+impl ServiceProfile {
+    pub fn new(compute_seconds: f64) -> Self {
+        ServiceProfile {
+            compute: CostModel::Fixed(compute_seconds),
+            fixed_params: Vec::new(),
+            output_bytes: Vec::new(),
+        }
+    }
+
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.compute = cost;
+        self
+    }
+
+    pub fn with_fixed_param(mut self, slot: impl Into<String>, value: impl Into<String>) -> Self {
+        self.fixed_params.push((slot.into(), value.into()));
+        self
+    }
+
+    pub fn with_output_bytes(mut self, slot: impl Into<String>, bytes: u64) -> Self {
+        self.output_bytes.push((slot.into(), bytes));
+        self
+    }
+
+    pub fn output_size(&self, slot: &str) -> u64 {
+        self.output_bytes
+            .iter()
+            .find(|(s, _)| s == slot)
+            .map(|(_, b)| *b)
+            .unwrap_or(64 * 1024)
+    }
+
+    pub fn fixed_param(&self, slot: &str) -> Option<&str> {
+        self.fixed_params
+            .iter()
+            .find(|(s, _)| s == slot)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One stage of a grouped (virtual) service — see `grouping`.
+#[derive(Debug, Clone)]
+pub struct GroupedStage {
+    pub name: String,
+    pub descriptor: ExecutableDescriptor,
+    pub profile: ServiceProfile,
+    /// For each *file/parameter input slot* of the descriptor that is
+    /// not a fixed param: where its value comes from.
+    pub inputs: Vec<(String, GroupSource)>,
+}
+
+/// Where a grouped stage's input slot is fed from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupSource {
+    /// The grouped processor's external input port with this index.
+    ExternalPort(usize),
+    /// Output slot `slot` of an earlier member `stage`.
+    StageOutput { stage: usize, slot: String },
+}
+
+/// Binding of a grouped virtual processor.
+#[derive(Debug, Clone)]
+pub struct GroupedBinding {
+    pub stages: Vec<GroupedStage>,
+    /// The grouped processor's output ports: which stage/slot each
+    /// exposes, in port order.
+    pub exposed_outputs: Vec<(usize, String)>,
+}
+
+/// What a processor runs.
+#[derive(Clone)]
+pub enum ServiceBinding {
+    /// In-process service (local backend).
+    Local(Arc<dyn LocalService>),
+    /// Generic-wrapper service from an executable descriptor (grid
+    /// backend).
+    Descriptor { descriptor: ExecutableDescriptor, profile: ServiceProfile },
+    /// A virtual grouped service (paper §3.6).
+    Grouped(GroupedBinding),
+}
+
+impl fmt::Debug for ServiceBinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceBinding::Local(_) => write!(f, "Local(..)"),
+            ServiceBinding::Descriptor { descriptor, .. } => {
+                write!(f, "Descriptor({})", descriptor.executable.name)
+            }
+            ServiceBinding::Grouped(g) => {
+                let names: Vec<&str> = g.stages.iter().map(|s| s.name.as_str()).collect();
+                write!(f, "Grouped({})", names.join("+"))
+            }
+        }
+    }
+}
+
+impl ServiceBinding {
+    pub fn local(service: impl LocalService + 'static) -> Self {
+        ServiceBinding::Local(Arc::new(service))
+    }
+
+    pub fn descriptor(descriptor: ExecutableDescriptor, profile: ServiceProfile) -> Self {
+        ServiceBinding::Descriptor { descriptor, profile }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_is_a_local_service() {
+        let svc = |inputs: &[Token]| -> Result<Vec<(String, DataValue)>, String> {
+            Ok(vec![("out".into(), inputs[0].value.clone())])
+        };
+        let t = Token::from_source("s", 0, DataValue::from("x"));
+        let out = svc.invoke(std::slice::from_ref(&t)).unwrap();
+        assert_eq!(out[0].1.as_str(), Some("x"));
+    }
+
+    #[test]
+    fn profile_builders_and_lookups() {
+        let p = ServiceProfile::new(90.0)
+            .with_fixed_param("scale", "2")
+            .with_output_bytes("crest_reference", 400_000);
+        assert_eq!(p.fixed_param("scale"), Some("2"));
+        assert_eq!(p.fixed_param("nope"), None);
+        assert_eq!(p.output_size("crest_reference"), 400_000);
+        assert_eq!(p.output_size("unknown"), 64 * 1024, "default size");
+        match p.compute {
+            CostModel::Fixed(v) => assert_eq!(v, 90.0),
+            _ => panic!("expected fixed cost"),
+        }
+    }
+
+    #[test]
+    fn by_index_cost_model_evaluates() {
+        let cost = CostModel::by_index(|idx| 10.0 * (idx.0[0] + 1) as f64);
+        match cost {
+            CostModel::ByIndex(f) => {
+                assert_eq!(f(&DataIndex::single(0)), 10.0);
+                assert_eq!(f(&DataIndex::single(2)), 30.0);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn binding_debug_formats() {
+        let b = ServiceBinding::descriptor(
+            moteur_wrapper::crest_lines_example(),
+            ServiceProfile::new(1.0),
+        );
+        assert!(format!("{b:?}").contains("CrestLines.pl"));
+    }
+}

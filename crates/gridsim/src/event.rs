@@ -1,0 +1,136 @@
+//! Time-ordered event queue.
+//!
+//! Ties are broken by insertion sequence number so that simulation runs
+//! are fully deterministic regardless of `BinaryHeap` internals.
+
+use crate::job::{CeId, JobId};
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Everything that can happen inside the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// The user-interface submission delay elapsed; the resource broker
+    /// now sees the job.
+    BrokerReceives { job: JobId },
+    /// The broker's matchmaking delay elapsed; the job enters a CE
+    /// batch queue.
+    CeReceives { job: JobId, ce: CeId },
+    /// A worker slot finished its current occupant.
+    WorkerFinishes { ce: CeId, job: Option<JobId> },
+    /// A background (other-user) job arrives at a CE queue.
+    BackgroundArrival { ce: CeId },
+    /// A failed job's failure becomes visible; triggers resubmission.
+    FailureDetected { job: JobId },
+    /// The completion of a finished job reaches the submitter.
+    CompletionDelivered { job: JobId },
+    /// The information system republishes CE states to the broker.
+    InfoRefresh,
+    /// A computing element enters a maintenance window: it stops
+    /// starting new jobs (running ones drain gracefully).
+    CeDown { ce: CeId },
+    /// The maintenance window ends.
+    CeUp { ce: CeId },
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap of scheduled events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        self.heap.push(Reverse(Scheduled { at, seq: self.seq, event }));
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|Reverse(s)| (s.at, s.event))
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3.0), Event::InfoRefresh);
+        q.schedule(t(1.0), Event::BrokerReceives { job: JobId(1) });
+        q.schedule(t(2.0), Event::BrokerReceives { job: JobId(2) });
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|(at, _)| at.as_secs_f64()).collect();
+        assert_eq!(order, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(t(5.0), Event::BrokerReceives { job: JobId(i) });
+        }
+        let ids: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::BrokerReceives { job } => job.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), Event::InfoRefresh);
+        assert_eq!(q.peek_time(), Some(t(1.0)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

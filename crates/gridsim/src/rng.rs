@@ -1,0 +1,348 @@
+//! Deterministic random streams and the non-uniform distributions the
+//! grid model needs.
+//!
+//! The simulator must be bit-reproducible across runs and platforms
+//! given a seed, and it needs lognormal / Weibull / exponential samplers
+//! that the `rand` crate only provides through `rand_distr`. Both needs
+//! are met by a small from-scratch implementation: a splitmix64 seeder
+//! feeding xoshiro256++ (public-domain reference algorithms), plus
+//! inverse-transform and Box–Muller samplers on top.
+
+/// xoshiro256++ pseudo-random generator, seeded via splitmix64.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Derive an independent child stream (for per-component RNGs).
+    pub fn fork(&mut self, salt: u64) -> Rng {
+        Rng::new(self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in [0, 1).
+    pub fn uniform(&mut self) -> f64 {
+        // 53 high-quality bits → [0,1) double.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in [lo, hi).
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in [0, n). Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() requires n > 0");
+        // Multiply-shift bounded sampling (Lemire); bias is < 2^-64 per
+        // draw, negligible for simulation purposes.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Standard normal via Box–Muller (one value per call; the pair's
+    /// second value is discarded to keep the stream position simple).
+    pub fn normal(&mut self) -> f64 {
+        // Avoid ln(0).
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal_ms(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.normal()
+    }
+
+    /// Exponential with the given mean (inverse transform).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        -mean * (1.0 - self.uniform()).ln()
+    }
+
+    /// Lognormal parameterised by the *location/scale of the underlying
+    /// normal* (`mu`, `sigma`).
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.normal()).exp()
+    }
+
+    /// Weibull with scale `lambda` and shape `k` (inverse transform).
+    pub fn weibull(&mut self, lambda: f64, k: f64) -> f64 {
+        lambda * (-(1.0 - self.uniform()).ln()).powf(1.0 / k)
+    }
+}
+
+/// A distribution over non-negative durations in seconds, used to
+/// configure every stochastic delay in the grid model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Distribution {
+    /// Always the same value.
+    Constant(f64),
+    /// Uniform in [lo, hi].
+    Uniform { lo: f64, hi: f64 },
+    /// Normal truncated at zero.
+    Normal { mean: f64, std_dev: f64 },
+    /// Exponential with the given mean.
+    Exponential { mean: f64 },
+    /// Lognormal given the *median* and the shape `sigma` of the
+    /// underlying normal. `median = exp(mu)`; the mean is
+    /// `median * exp(sigma^2 / 2)`.
+    LogNormal { median: f64, sigma: f64 },
+    /// Weibull with scale and shape.
+    Weibull { scale: f64, shape: f64 },
+    /// A two-component mixture: with probability `p_second`, draw from
+    /// `second`, else from `first`. Used for "mostly fast, sometimes
+    /// very slow" grid behaviour (e.g. resubmitted or blocked jobs).
+    Mixture { first: Box<Distribution>, second: Box<Distribution>, p_second: f64 },
+}
+
+impl Distribution {
+    /// Draw a sample; always finite and non-negative.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        let v = match self {
+            Distribution::Constant(v) => *v,
+            Distribution::Uniform { lo, hi } => rng.uniform_range(*lo, *hi),
+            Distribution::Normal { mean, std_dev } => rng.normal_ms(*mean, *std_dev),
+            Distribution::Exponential { mean } => rng.exponential(*mean),
+            Distribution::LogNormal { median, sigma } => rng.lognormal(median.ln(), *sigma),
+            Distribution::Weibull { scale, shape } => rng.weibull(*scale, *shape),
+            Distribution::Mixture { first, second, p_second } => {
+                if rng.chance(*p_second) {
+                    second.sample(rng)
+                } else {
+                    first.sample(rng)
+                }
+            }
+        };
+        if v.is_finite() {
+            v.max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Analytic mean of the distribution (used by the broker's naive
+    /// response-time estimates and by tests).
+    pub fn mean(&self) -> f64 {
+        match self {
+            Distribution::Constant(v) => *v,
+            Distribution::Uniform { lo, hi } => 0.5 * (lo + hi),
+            // Truncation at zero shifts the mean slightly; the model
+            // keeps configurations well above zero so we ignore it.
+            Distribution::Normal { mean, .. } => mean.max(0.0),
+            Distribution::Exponential { mean } => *mean,
+            Distribution::LogNormal { median, sigma } => median * (sigma * sigma / 2.0).exp(),
+            Distribution::Weibull { scale, shape } => scale * gamma(1.0 + 1.0 / shape),
+            Distribution::Mixture { first, second, p_second } => {
+                (1.0 - p_second) * first.mean() + p_second * second.mean()
+            }
+        }
+    }
+}
+
+/// Lanczos approximation of the gamma function (needed for the Weibull
+/// mean). Accurate to ~1e-13 over the range we use (x > 1).
+fn gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_810,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653,
+        -176.615_029_162_141,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEFFS[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(dist: &Distribution, n: usize, seed: u64) -> f64 {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(Rng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn forked_streams_differ_from_parent_and_each_other() {
+        let mut parent = Rng::new(7);
+        let mut f1 = parent.fork(1);
+        let mut f2 = parent.fork(2);
+        let v1 = f1.next_u64();
+        let v2 = f2.next_u64();
+        assert_ne!(v1, v2);
+        assert_ne!(v1, parent.next_u64());
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval_with_correct_mean() {
+        let mut rng = Rng::new(1);
+        let mut sum = 0.0;
+        for _ in 0..20_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        assert!((sum / 20_000.0 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn index_covers_range_uniformly() {
+        let mut rng = Rng::new(2);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.index(5)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 0")]
+    fn index_zero_panics() {
+        Rng::new(0).index(0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::new(3);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal_ms(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.15, "var={var}");
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Distribution::Exponential { mean: 300.0 };
+        assert!((sample_mean(&d, 60_000, 4) - 300.0).abs() < 6.0);
+    }
+
+    #[test]
+    fn lognormal_median_and_mean_match_parameterisation() {
+        let d = Distribution::LogNormal { median: 200.0, sigma: 0.8 };
+        let mut rng = Rng::new(5);
+        let mut xs: Vec<f64> = (0..40_001).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[20_000];
+        assert!((median - 200.0).abs() < 10.0, "median={median}");
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean / d.mean() - 1.0).abs() < 0.05, "mean={mean} expect={}", d.mean());
+    }
+
+    #[test]
+    fn weibull_mean_matches_gamma_formula() {
+        let d = Distribution::Weibull { scale: 100.0, shape: 1.5 };
+        assert!((sample_mean(&d, 60_000, 6) / d.mean() - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn mixture_blends_components() {
+        let d = Distribution::Mixture {
+            first: Box::new(Distribution::Constant(10.0)),
+            second: Box::new(Distribution::Constant(1000.0)),
+            p_second: 0.1,
+        };
+        assert!((d.mean() - 109.0).abs() < 1e-9);
+        assert!((sample_mean(&d, 60_000, 7) - 109.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn samples_are_never_negative_or_nan() {
+        let dists = [
+            Distribution::Normal { mean: 1.0, std_dev: 10.0 },
+            Distribution::Uniform { lo: 0.0, hi: 1.0 },
+            Distribution::LogNormal { median: 1.0, sigma: 2.0 },
+            Distribution::Weibull { scale: 1.0, shape: 0.5 },
+        ];
+        let mut rng = Rng::new(8);
+        for d in &dists {
+            for _ in 0..5_000 {
+                let v = d.sample(&mut rng);
+                assert!(v.is_finite() && v >= 0.0, "{d:?} produced {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_function_reference_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-8);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chance_probability() {
+        let mut rng = Rng::new(9);
+        let hits = (0..50_000).filter(|_| rng.chance(0.25)).count();
+        assert!((hits as f64 / 50_000.0 - 0.25).abs() < 0.01);
+    }
+}

@@ -1,0 +1,608 @@
+//! The discrete-event grid simulator.
+//!
+//! Models the submission chain of a 2006-era EGEE/LCG2 grid:
+//!
+//! ```text
+//! user interface --submission--> resource broker --match--> CE batch
+//!   queue --wait--> worker (stage-in, compute, stage-out) --notify-->
+//!   completion visible to submitter
+//! ```
+//!
+//! plus multi-user background load on every computing element, an
+//! information system whose staleness causes submission herding, and a
+//! failure/resubmission model. All delays are drawn from configured
+//! distributions with a single seeded RNG, so runs are reproducible.
+
+use crate::config::{CeConfig, GridConfig, QueueDiscipline};
+use crate::event::{Event, EventQueue};
+use crate::job::{CeId, GridJobCompletion, GridJobSpec, JobId, JobOutcome, JobRecord};
+use crate::rng::Rng;
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Who occupies a worker slot or a queue position.
+#[derive(Debug, Clone)]
+enum Occupant {
+    User(JobId),
+    Background { duration_secs: f64 },
+}
+
+#[derive(Debug)]
+struct CeState {
+    cfg: CeConfig,
+    queue: VecDeque<Occupant>,
+    busy: usize,
+    /// False during a maintenance window: no new dispatches.
+    up: bool,
+    /// Dedicated stream for background arrivals/durations so that the
+    /// user-job sampling sequence is independent of background volume.
+    rng: Rng,
+}
+
+impl CeState {
+    fn backlog(&self) -> usize {
+        self.queue.len() + self.busy
+    }
+}
+
+#[derive(Debug)]
+struct JobState {
+    spec: GridJobSpec,
+    record: JobRecord,
+    done: bool,
+}
+
+/// The simulator. Drive it with [`GridSim::submit`] and
+/// [`GridSim::next_completion`].
+pub struct GridSim {
+    config: GridConfig,
+    clock: SimTime,
+    events: EventQueue,
+    rng: Rng,
+    jobs: Vec<JobState>,
+    ces: Vec<CeState>,
+    /// The broker's (stale) view of each CE backlog, refreshed by the
+    /// information system every `info_refresh_period`.
+    broker_view: Vec<usize>,
+    completions: VecDeque<GridJobCompletion>,
+    /// User jobs submitted but not yet delivered.
+    outstanding: usize,
+    /// User jobs currently executing (for the congestion model).
+    active_user_jobs: usize,
+    finished_records: Vec<JobRecord>,
+    /// Total background arrivals processed (diurnal-model testing and
+    /// load introspection).
+    background_arrivals: u64,
+}
+
+impl GridSim {
+    pub fn new(config: GridConfig, seed: u64) -> Self {
+        let mut rng = Rng::new(seed);
+        let mut events = EventQueue::new();
+        let mut ces = Vec::with_capacity(config.ces.len());
+        for (i, cfg) in config.ces.iter().enumerate() {
+            let mut ce = CeState {
+                cfg: cfg.clone(),
+                queue: VecDeque::new(),
+                busy: 0,
+                up: true,
+                rng: rng.fork(i as u64 + 1),
+            };
+            for _ in 0..cfg.initial_backlog {
+                let d = cfg.background_duration.sample(&mut ce.rng);
+                ce.queue.push_back(Occupant::Background { duration_secs: d });
+            }
+            if let Some(inter) = &cfg.background_interarrival {
+                let dt = inter.sample(&mut ce.rng);
+                events.schedule(
+                    SimTime::ZERO + SimDuration::from_secs_f64(dt),
+                    Event::BackgroundArrival { ce: CeId(i) },
+                );
+            }
+            if let Some(dt) = cfg.downtime {
+                events.schedule(
+                    SimTime::from_secs_f64(dt.period),
+                    Event::CeDown { ce: CeId(i) },
+                );
+            }
+            ces.push(ce);
+        }
+        let broker_view = ces.iter().map(CeState::backlog).collect();
+        events.schedule(
+            SimTime::from_secs_f64(config.info_refresh_period),
+            Event::InfoRefresh,
+        );
+        let mut sim = GridSim {
+            config,
+            clock: SimTime::ZERO,
+            events,
+            rng,
+            jobs: Vec::new(),
+            ces,
+            broker_view,
+            completions: VecDeque::new(),
+            outstanding: 0,
+            active_user_jobs: 0,
+            finished_records: Vec::new(),
+            background_arrivals: 0,
+        };
+        // Dispatch the initial backlog so workers start busy.
+        for i in 0..sim.ces.len() {
+            sim.try_dispatch(CeId(i));
+        }
+        sim
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of user jobs submitted and not yet delivered.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Records of all delivered user jobs, in delivery order.
+    pub fn records(&self) -> &[JobRecord] {
+        &self.finished_records
+    }
+
+    /// Number of background-job arrivals processed so far.
+    pub fn background_arrivals(&self) -> u64 {
+        self.background_arrivals
+    }
+
+    /// Submit a job. The completion surfaces later through
+    /// [`GridSim::next_completion`].
+    pub fn submit(&mut self, spec: GridJobSpec) -> JobId {
+        let id = JobId(self.jobs.len() as u64);
+        let record = JobRecord {
+            id,
+            name: spec.name.clone(),
+            tag: spec.tag,
+            submitted_at: self.clock,
+            matched_at: self.clock,
+            enqueued_at: self.clock,
+            started_at: self.clock,
+            finished_at: self.clock,
+            delivered_at: self.clock,
+            ce: None,
+            attempts: 0,
+            stage_in: SimDuration::ZERO,
+            compute: SimDuration::ZERO,
+            stage_out: SimDuration::ZERO,
+            outcome: JobOutcome::Success,
+        };
+        self.jobs.push(JobState { spec, record, done: false });
+        self.outstanding += 1;
+        let delay = self.config.submission_overhead.sample(&mut self.rng);
+        self.schedule_in(delay, Event::BrokerReceives { job: id });
+        id
+    }
+
+    /// Advance virtual time until the next user-job completion and
+    /// return it, or `None` when no user job is outstanding.
+    pub fn next_completion(&mut self) -> Option<GridJobCompletion> {
+        loop {
+            if let Some(c) = self.completions.pop_front() {
+                return Some(c);
+            }
+            if self.outstanding == 0 {
+                return None;
+            }
+            let (at, event) = self
+                .events
+                .pop()
+                .expect("outstanding user jobs but an empty event queue");
+            debug_assert!(at >= self.clock, "time went backwards");
+            self.clock = at;
+            self.handle(event);
+        }
+    }
+
+    fn schedule_in(&mut self, delay_secs: f64, event: Event) {
+        self.events
+            .schedule(self.clock + SimDuration::from_secs_f64(delay_secs), event);
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::BrokerReceives { job } => self.on_broker_receives(job),
+            Event::CeReceives { job, ce } => self.on_ce_receives(job, ce),
+            Event::WorkerFinishes { ce, job } => self.on_worker_finishes(ce, job),
+            Event::BackgroundArrival { ce } => self.on_background_arrival(ce),
+            Event::FailureDetected { job } => self.on_failure_detected(job),
+            Event::CompletionDelivered { job } => self.on_completion_delivered(job),
+            Event::InfoRefresh => self.on_info_refresh(),
+            Event::CeDown { ce } => self.on_ce_down(ce),
+            Event::CeUp { ce } => self.on_ce_up(ce),
+        }
+    }
+
+    fn on_ce_down(&mut self, ce_id: CeId) {
+        self.ces[ce_id.0].up = false;
+        if let Some(dt) = self.ces[ce_id.0].cfg.downtime {
+            self.schedule_in(dt.duration, Event::CeUp { ce: ce_id });
+        }
+    }
+
+    fn on_ce_up(&mut self, ce_id: CeId) {
+        self.ces[ce_id.0].up = true;
+        if let Some(dt) = self.ces[ce_id.0].cfg.downtime {
+            self.schedule_in(dt.period, Event::CeDown { ce: ce_id });
+        }
+        self.try_dispatch(ce_id);
+    }
+
+    /// Rank CEs by the broker's stale backlog estimates, normalised by
+    /// capacity — the LCG2 "estimated traversal time" rank.
+    fn pick_ce(&mut self) -> CeId {
+        let mut best = 0usize;
+        let mut best_rank = f64::INFINITY;
+        for (i, ce) in self.ces.iter().enumerate() {
+            let backlog = self.broker_view[i] as f64;
+            let slots = ce.cfg.slots as f64;
+            let wait_estimate =
+                (backlog - slots + 1.0).max(0.0) / slots * self.config.typical_job_duration;
+            // Small noise so equally-ranked CEs share the load instead
+            // of all jobs herding onto index 0.
+            let rank = wait_estimate / ce.cfg.speed
+                + self.rng.uniform() * 0.05 * self.config.typical_job_duration;
+            if rank < best_rank {
+                best_rank = rank;
+                best = i;
+            }
+        }
+        // The broker optimistically counts its own decision.
+        self.broker_view[best] += 1;
+        CeId(best)
+    }
+
+    fn on_broker_receives(&mut self, job: JobId) {
+        let ce = self.pick_ce();
+        self.jobs[job.0 as usize].record.matched_at = self.clock;
+        let delay = self.config.match_delay.sample(&mut self.rng);
+        self.schedule_in(delay, Event::CeReceives { job, ce });
+    }
+
+    fn on_ce_receives(&mut self, job: JobId, ce: CeId) {
+        {
+            let rec = &mut self.jobs[job.0 as usize].record;
+            rec.enqueued_at = self.clock;
+            rec.ce = Some(ce);
+            rec.attempts += 1;
+        }
+        self.ces[ce.0].queue.push_back(Occupant::User(job));
+        self.try_dispatch(ce);
+    }
+
+    /// Move queued occupants onto free worker slots.
+    fn try_dispatch(&mut self, ce_id: CeId) {
+        loop {
+            let ce = &mut self.ces[ce_id.0];
+            if !ce.up || ce.busy >= ce.cfg.slots || ce.queue.is_empty() {
+                return;
+            }
+            let occupant = match ce.cfg.discipline {
+                QueueDiscipline::Fifo => ce.queue.pop_front().expect("checked non-empty"),
+                QueueDiscipline::UserPriority => {
+                    let pos = ce
+                        .queue
+                        .iter()
+                        .position(|o| matches!(o, Occupant::User(_)))
+                        .unwrap_or(0);
+                    ce.queue.remove(pos).expect("position is in range")
+                }
+            };
+            ce.busy += 1;
+            match occupant {
+                Occupant::Background { duration_secs } => {
+                    self.schedule_in(duration_secs, Event::WorkerFinishes { ce: ce_id, job: None });
+                }
+                Occupant::User(job) => {
+                    let speed = self.ces[ce_id.0].cfg.speed;
+                    let runtime = self.start_user_job(job, speed);
+                    self.schedule_in(runtime, Event::WorkerFinishes { ce: ce_id, job: Some(job) });
+                }
+            }
+        }
+    }
+
+    /// Record start-of-execution bookkeeping; returns the wall runtime
+    /// (stage-in + compute + stage-out) in seconds.
+    fn start_user_job(&mut self, job: JobId, speed: f64) -> f64 {
+        let congestion = 1.0 + self.config.network.congestion * self.active_user_jobs as f64;
+        self.active_user_jobs += 1;
+        let jitter = self.config.compute_jitter.sample(&mut self.rng);
+        let state = &mut self.jobs[job.0 as usize];
+        let net = &self.config.network;
+        let xfer = |bytes: u64| (net.transfer_latency + bytes as f64 / net.bandwidth) * congestion;
+        let stage_in: f64 = state.spec.input_files.iter().map(|&b| xfer(b)).sum();
+        let stage_out: f64 = state.spec.output_files.iter().map(|&b| xfer(b)).sum();
+        let compute = state.spec.compute_seconds * jitter / speed;
+        state.record.started_at = self.clock;
+        state.record.stage_in = SimDuration::from_secs_f64(stage_in);
+        state.record.compute = SimDuration::from_secs_f64(compute);
+        state.record.stage_out = SimDuration::from_secs_f64(stage_out);
+        stage_in + compute + stage_out
+    }
+
+    fn on_worker_finishes(&mut self, ce: CeId, job: Option<JobId>) {
+        self.ces[ce.0].busy -= 1;
+        if let Some(job) = job {
+            self.active_user_jobs -= 1;
+            let attempts = self.jobs[job.0 as usize].record.attempts;
+            let failed = self.rng.chance(self.config.failure_probability);
+            if failed && attempts <= self.config.max_retries {
+                let delay = self.config.failure_detection.sample(&mut self.rng);
+                self.schedule_in(delay, Event::FailureDetected { job });
+            } else {
+                let outcome = if failed { JobOutcome::Failed } else { JobOutcome::Success };
+                let rec = &mut self.jobs[job.0 as usize].record;
+                rec.finished_at = self.clock;
+                rec.outcome = outcome;
+                let delay = self.config.notify_delay.sample(&mut self.rng);
+                self.schedule_in(delay, Event::CompletionDelivered { job });
+            }
+        }
+        self.try_dispatch(ce);
+    }
+
+    fn on_background_arrival(&mut self, ce_id: CeId) {
+        self.background_arrivals += 1;
+        let now_secs = self.clock.as_secs_f64();
+        let ce = &mut self.ces[ce_id.0];
+        let duration = ce.cfg.background_duration.sample(&mut ce.rng);
+        ce.queue.push_back(Occupant::Background { duration_secs: duration });
+        if let Some(inter) = ce.cfg.background_interarrival.clone() {
+            let mut dt = inter.sample(&mut ce.rng);
+            if ce.cfg.diurnal_amplitude > 0.0 {
+                // Higher arrival rate (shorter inter-arrival) around the
+                // diurnal peak.
+                let phase = std::f64::consts::TAU * now_secs / 86_400.0;
+                let rate = 1.0 + ce.cfg.diurnal_amplitude.min(0.95) * phase.sin();
+                dt /= rate.max(0.05);
+            }
+            self.schedule_in(dt, Event::BackgroundArrival { ce: ce_id });
+        }
+        self.try_dispatch(ce_id);
+    }
+
+    /// A failed attempt becomes visible; resubmit through the whole
+    /// chain (the paper: "D0 was submitted twice because an error
+    /// occurred").
+    fn on_failure_detected(&mut self, job: JobId) {
+        let delay = self.config.submission_overhead.sample(&mut self.rng);
+        self.schedule_in(delay, Event::BrokerReceives { job });
+    }
+
+    fn on_completion_delivered(&mut self, job: JobId) {
+        let state = &mut self.jobs[job.0 as usize];
+        debug_assert!(!state.done, "double delivery for {job:?}");
+        state.done = true;
+        state.record.delivered_at = self.clock;
+        self.outstanding -= 1;
+        self.finished_records.push(state.record.clone());
+        self.completions.push_back(GridJobCompletion {
+            id: job,
+            tag: state.spec.tag,
+            outcome: state.record.outcome,
+            delivered_at: self.clock,
+            record: state.record.clone(),
+        });
+    }
+
+    fn on_info_refresh(&mut self) {
+        for (view, ce) in self.broker_view.iter_mut().zip(&self.ces) {
+            *view = ce.backlog();
+        }
+        let period = self.config.info_refresh_period;
+        self.schedule_in(period, Event::InfoRefresh);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+    use crate::rng::Distribution;
+
+    fn quiet_config() -> GridConfig {
+        // Deterministic single-CE grid with fixed overheads.
+        GridConfig {
+            ces: vec![CeConfig::new("ce", 2, 1.0)],
+            submission_overhead: Distribution::Constant(10.0),
+            match_delay: Distribution::Constant(5.0),
+            notify_delay: Distribution::Constant(1.0),
+            failure_probability: 0.0,
+            failure_detection: Distribution::Constant(0.0),
+            max_retries: 0,
+            network: NetworkConfig { transfer_latency: 2.0, bandwidth: 1e6, congestion: 0.0 },
+            typical_job_duration: 100.0,
+            info_refresh_period: 60.0,
+            compute_jitter: Distribution::Constant(1.0),
+        }
+    }
+
+    #[test]
+    fn single_job_timeline_is_exact() {
+        let mut sim = GridSim::new(quiet_config(), 1);
+        sim.submit(GridJobSpec::new("j", 100.0).with_files(vec![1_000_000], vec![2_000_000]));
+        let c = sim.next_completion().expect("job completes");
+        // 10 submit + 5 match + 0 queue + (2+1) stage-in + 100 compute
+        // + (2+2) stage-out + 1 notify = 123.
+        assert_eq!(c.outcome, JobOutcome::Success);
+        assert!((c.delivered_at.as_secs_f64() - 123.0).abs() < 1e-6, "{}", c.delivered_at);
+        assert!((c.record.queue_wait().as_secs_f64()).abs() < 1e-6);
+        assert_eq!(c.record.attempts, 1);
+    }
+
+    #[test]
+    fn no_jobs_means_no_completion_and_no_time_advance() {
+        let mut sim = GridSim::new(quiet_config(), 1);
+        assert!(sim.next_completion().is_none());
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn two_slots_run_two_jobs_in_parallel_third_queues() {
+        let mut sim = GridSim::new(quiet_config(), 1);
+        for _ in 0..3 {
+            sim.submit(GridJobSpec::new("j", 100.0));
+        }
+        let mut deliveries: Vec<f64> = (0..3)
+            .map(|_| sim.next_completion().unwrap().delivered_at.as_secs_f64())
+            .collect();
+        deliveries.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // First two at 15 + 100 + 1 = 116; third waits 100s: 216.
+        assert!((deliveries[0] - 116.0).abs() < 1e-6, "{deliveries:?}");
+        assert!((deliveries[1] - 116.0).abs() < 1e-6, "{deliveries:?}");
+        assert!((deliveries[2] - 216.0).abs() < 1e-6, "{deliveries:?}");
+    }
+
+    #[test]
+    fn failures_cause_resubmission_and_extra_attempts() {
+        let mut cfg = quiet_config();
+        cfg.failure_probability = 1.0; // every attempt fails
+        cfg.max_retries = 2;
+        cfg.failure_detection = Distribution::Constant(50.0);
+        let mut sim = GridSim::new(cfg, 1);
+        sim.submit(GridJobSpec::new("j", 100.0));
+        let c = sim.next_completion().unwrap();
+        assert_eq!(c.outcome, JobOutcome::Failed);
+        assert_eq!(c.record.attempts, 3); // initial + 2 retries
+        // Each attempt costs 15 + 100; retries add 50 detect + 10 + 5.
+        assert!(c.delivered_at.as_secs_f64() > 300.0);
+    }
+
+    #[test]
+    fn retry_can_succeed_when_failure_is_probabilistic() {
+        let mut cfg = quiet_config();
+        cfg.failure_probability = 0.5;
+        cfg.max_retries = 10;
+        cfg.failure_detection = Distribution::Constant(5.0);
+        let mut sim = GridSim::new(cfg, 7);
+        for _ in 0..20 {
+            sim.submit(GridJobSpec::new("j", 10.0));
+        }
+        let mut successes = 0;
+        let mut max_attempts = 0;
+        while let Some(c) = sim.next_completion() {
+            if c.outcome == JobOutcome::Success {
+                successes += 1;
+            }
+            max_attempts = max_attempts.max(c.record.attempts);
+        }
+        assert_eq!(successes, 20, "p=0.5 with 10 retries virtually always succeeds");
+        assert!(max_attempts > 1, "some job should have retried");
+    }
+
+    #[test]
+    fn background_load_delays_user_jobs() {
+        let mut cfg = quiet_config();
+        cfg.ces[0].initial_backlog = 4; // 2 slots busy + 2 queued
+        cfg.ces[0].background_duration = Distribution::Constant(1000.0);
+        let mut sim = GridSim::new(cfg, 1);
+        sim.submit(GridJobSpec::new("j", 100.0));
+        let c = sim.next_completion().unwrap();
+        // Must wait for two background waves: queue wait ≈ 2000 - 15.
+        assert!(c.record.queue_wait().as_secs_f64() > 1900.0, "{:?}", c.record.queue_wait());
+    }
+
+    #[test]
+    fn same_seed_same_timeline_different_seed_differs() {
+        let run = |seed: u64| {
+            let mut sim = GridSim::new(GridConfig::egee_2006(), seed);
+            for i in 0..10 {
+                sim.submit(GridJobSpec::new(format!("j{i}"), 120.0).with_files(vec![7_800_000], vec![1_000_000]));
+            }
+            let mut times = Vec::new();
+            while let Some(c) = sim.next_completion() {
+                times.push(c.delivered_at.0);
+            }
+            times
+        };
+        assert_eq!(run(42), run(42), "same seed must reproduce exactly");
+        assert_ne!(run(42), run(43), "different seeds should differ");
+    }
+
+    #[test]
+    fn egee_overheads_are_minutes_scale_and_variable() {
+        let mut sim = GridSim::new(GridConfig::egee_2006(), 11);
+        for i in 0..60 {
+            sim.submit(GridJobSpec::new(format!("j{i}"), 120.0).with_files(vec![7_800_000], vec![500_000]));
+        }
+        let mut overheads = Vec::new();
+        while let Some(c) = sim.next_completion() {
+            if c.outcome == JobOutcome::Success {
+                overheads.push(c.record.overhead().as_secs_f64());
+            }
+        }
+        assert!(overheads.len() > 50);
+        let mean = overheads.iter().sum::<f64>() / overheads.len() as f64;
+        let var = overheads.iter().map(|o| (o - mean) * (o - mean)).sum::<f64>()
+            / overheads.len() as f64;
+        // Paper: "around 10 minutes ... quite variable (± 5 minutes)".
+        assert!(mean > 180.0 && mean < 2400.0, "mean overhead {mean}");
+        assert!(var.sqrt() > 60.0, "overhead std-dev {} too small", var.sqrt());
+    }
+
+    #[test]
+    fn ideal_grid_job_takes_exactly_its_compute_time() {
+        let mut sim = GridSim::new(GridConfig::ideal(), 3);
+        sim.submit(GridJobSpec::new("j", 250.0).with_files(vec![10], vec![10]));
+        let c = sim.next_completion().unwrap();
+        assert!((c.delivered_at.as_secs_f64() - 250.0).abs() < 1e-6);
+        assert_eq!(c.record.overhead(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ideal_grid_runs_thousands_of_jobs_fully_parallel() {
+        let mut sim = GridSim::new(GridConfig::ideal(), 3);
+        for _ in 0..2000 {
+            sim.submit(GridJobSpec::new("j", 100.0));
+        }
+        let mut last = 0.0f64;
+        let mut n = 0;
+        while let Some(c) = sim.next_completion() {
+            last = last.max(c.delivered_at.as_secs_f64());
+            n += 1;
+        }
+        assert_eq!(n, 2000);
+        assert!((last - 100.0).abs() < 1e-6, "all jobs run concurrently: {last}");
+    }
+
+    #[test]
+    fn records_accumulate_in_delivery_order() {
+        let mut sim = GridSim::new(quiet_config(), 1);
+        sim.submit(GridJobSpec::new("a", 10.0).with_tag(1));
+        sim.submit(GridJobSpec::new("b", 20.0).with_tag(2));
+        while sim.next_completion().is_some() {}
+        let recs = sim.records();
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].delivered_at <= recs[1].delivered_at);
+        assert_eq!(recs[0].tag, 1);
+    }
+
+    #[test]
+    fn congestion_slows_transfers_when_many_jobs_active() {
+        let mut cfg = quiet_config();
+        cfg.ces[0].slots = 100;
+        cfg.network.congestion = 0.05;
+        let mut sim = GridSim::new(cfg, 1);
+        for _ in 0..50 {
+            sim.submit(GridJobSpec::new("j", 10.0).with_files(vec![10_000_000], vec![]));
+        }
+        let mut max_stage_in = 0.0f64;
+        let mut min_stage_in = f64::INFINITY;
+        while let Some(c) = sim.next_completion() {
+            max_stage_in = max_stage_in.max(c.record.stage_in.as_secs_f64());
+            min_stage_in = min_stage_in.min(c.record.stage_in.as_secs_f64());
+        }
+        assert!(
+            max_stage_in > 1.5 * min_stage_in,
+            "later dispatches should see congestion: {min_stage_in} vs {max_stage_in}"
+        );
+    }
+}

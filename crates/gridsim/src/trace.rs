@@ -1,0 +1,110 @@
+//! Aggregate statistics over job records — the raw material for the
+//! paper's overhead discussion (§5.1) and for calibration tests.
+
+use crate::job::{JobOutcome, JobRecord};
+
+/// Summary statistics of a set of job records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    pub jobs: usize,
+    pub failures: usize,
+    pub resubmissions: u32,
+    pub mean_overhead_secs: f64,
+    pub std_overhead_secs: f64,
+    pub mean_queue_wait_secs: f64,
+    pub mean_compute_secs: f64,
+    /// Time of the last delivery (the campaign makespan when all jobs
+    /// belong to one run).
+    pub makespan_secs: f64,
+}
+
+/// Compute a [`TraceSummary`] over records (empty input → all zeros).
+pub fn summarize(records: &[JobRecord]) -> TraceSummary {
+    if records.is_empty() {
+        return TraceSummary {
+            jobs: 0,
+            failures: 0,
+            resubmissions: 0,
+            mean_overhead_secs: 0.0,
+            std_overhead_secs: 0.0,
+            mean_queue_wait_secs: 0.0,
+            mean_compute_secs: 0.0,
+            makespan_secs: 0.0,
+        };
+    }
+    let n = records.len() as f64;
+    let overheads: Vec<f64> = records.iter().map(|r| r.overhead().as_secs_f64()).collect();
+    let mean_overhead = overheads.iter().sum::<f64>() / n;
+    let var = overheads
+        .iter()
+        .map(|o| (o - mean_overhead) * (o - mean_overhead))
+        .sum::<f64>()
+        / n;
+    TraceSummary {
+        jobs: records.len(),
+        failures: records.iter().filter(|r| r.outcome == JobOutcome::Failed).count(),
+        resubmissions: records.iter().map(|r| r.attempts.saturating_sub(1)).sum(),
+        mean_overhead_secs: mean_overhead,
+        std_overhead_secs: var.sqrt(),
+        mean_queue_wait_secs: records.iter().map(|r| r.queue_wait().as_secs_f64()).sum::<f64>() / n,
+        mean_compute_secs: records.iter().map(|r| r.compute.as_secs_f64()).sum::<f64>() / n,
+        makespan_secs: records
+            .iter()
+            .map(|r| r.delivered_at.as_secs_f64())
+            .fold(0.0, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{CeId, JobId};
+    use crate::time::{SimDuration, SimTime};
+
+    fn rec(submit: f64, deliver: f64, compute: f64, attempts: u32, ok: bool) -> JobRecord {
+        JobRecord {
+            id: JobId(0),
+            name: "j".into(),
+            tag: 0,
+            submitted_at: SimTime::from_secs_f64(submit),
+            matched_at: SimTime::from_secs_f64(submit),
+            enqueued_at: SimTime::from_secs_f64(submit),
+            started_at: SimTime::from_secs_f64(submit + 10.0),
+            finished_at: SimTime::from_secs_f64(deliver),
+            delivered_at: SimTime::from_secs_f64(deliver),
+            ce: Some(CeId(0)),
+            attempts,
+            stage_in: SimDuration::ZERO,
+            compute: SimDuration::from_secs_f64(compute),
+            stage_out: SimDuration::ZERO,
+            outcome: if ok { JobOutcome::Success } else { JobOutcome::Failed },
+        }
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = summarize(&[]);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.makespan_secs, 0.0);
+    }
+
+    #[test]
+    fn summary_counts_and_means() {
+        let records = vec![
+            rec(0.0, 100.0, 60.0, 1, true),
+            rec(0.0, 200.0, 60.0, 2, true),
+            rec(0.0, 300.0, 60.0, 3, false),
+        ];
+        let s = summarize(&records);
+        assert_eq!(s.jobs, 3);
+        assert_eq!(s.failures, 1);
+        assert_eq!(s.resubmissions, 3); // 0 + 1 + 2
+        assert!((s.mean_compute_secs - 60.0).abs() < 1e-9);
+        // Overheads: 40, 140, 240 → mean 140.
+        assert!((s.mean_overhead_secs - 140.0).abs() < 1e-9);
+        assert!((s.makespan_secs - 300.0).abs() < 1e-9);
+        assert!((s.mean_queue_wait_secs - 10.0).abs() < 1e-9);
+        let expected_std = (((100.0f64).powi(2) * 2.0) / 3.0).sqrt();
+        assert!((s.std_overhead_secs - expected_std).abs() < 1e-9);
+    }
+}

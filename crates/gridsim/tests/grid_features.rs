@@ -1,0 +1,151 @@
+//! Integration tests of the grid model's realism features: queue
+//! disciplines, maintenance downtime, diurnal background load, and
+//! global invariants checked property-style across random workloads.
+
+use moteur_gridsim::config::{Downtime, QueueDiscipline};
+use moteur_gridsim::{
+    CeConfig, Distribution, GridConfig, GridJobSpec, GridSim, JobOutcome, NetworkConfig,
+};
+use proptest::prelude::*;
+
+fn base_config() -> GridConfig {
+    GridConfig {
+        ces: vec![CeConfig::new("ce", 2, 1.0)],
+        submission_overhead: Distribution::Constant(10.0),
+        match_delay: Distribution::Constant(5.0),
+        notify_delay: Distribution::Constant(1.0),
+        failure_probability: 0.0,
+        failure_detection: Distribution::Constant(0.0),
+        max_retries: 0,
+        network: NetworkConfig { transfer_latency: 0.0, bandwidth: f64::INFINITY, congestion: 0.0 },
+        typical_job_duration: 100.0,
+        info_refresh_period: 3600.0,
+        compute_jitter: Distribution::Constant(1.0),
+    }
+}
+
+#[test]
+fn user_priority_discipline_jumps_the_background_queue() {
+    let run = |discipline: QueueDiscipline| -> f64 {
+        let mut cfg = base_config();
+        cfg.ces[0].slots = 1;
+        cfg.ces[0].discipline = discipline;
+        cfg.ces[0].initial_backlog = 5;
+        cfg.ces[0].background_duration = Distribution::Constant(500.0);
+        let mut sim = GridSim::new(cfg, 1);
+        sim.submit(GridJobSpec::new("user", 50.0));
+        sim.next_completion().expect("completes").delivered_at.as_secs_f64()
+    };
+    let fifo = run(QueueDiscipline::Fifo);
+    let prio = run(QueueDiscipline::UserPriority);
+    // FIFO waits behind 4 queued background jobs (one is already
+    // running when the user job arrives); priority waits only for the
+    // running one.
+    assert!(fifo > prio + 1000.0, "fifo {fifo} vs priority {prio}");
+    assert!(prio < 1100.0, "priority job waits at most one background job: {prio}");
+}
+
+#[test]
+fn downtime_windows_delay_dispatch_but_not_running_jobs() {
+    let mut cfg = base_config();
+    cfg.ces[0].downtime = Some(Downtime { period: 30.0, duration: 1000.0 });
+    let mut sim = GridSim::new(cfg, 1);
+    // Enqueued at t=15 (before the t=30 window), runs to completion at
+    // t=35 even though the window opens mid-run: graceful drain.
+    sim.submit(GridJobSpec::new("early", 20.0));
+    let first = sim.next_completion().unwrap();
+    assert!(first.delivered_at.as_secs_f64() < 40.0, "{}", first.delivered_at);
+    // Next job enqueues at ~51, inside the [30, 1030) window.
+    sim.submit(GridJobSpec::new("blocked", 20.0));
+    let second = sim.next_completion().unwrap();
+    assert!(
+        second.record.started_at.as_secs_f64() >= 1030.0,
+        "job must wait for CeUp at t=1030: started {}",
+        second.record.started_at
+    );
+}
+
+#[test]
+fn diurnal_amplitude_modulates_background_pressure() {
+    // Count background arrivals over the first half-day (where the
+    // sin modulation raises the rate): amplitude > 0 must produce
+    // more arrivals than the flat rate.
+    let run = |amplitude: f64| -> u64 {
+        let mut cfg = base_config();
+        cfg.ces[0].slots = 64; // plenty of room, we only count arrivals
+        cfg.ces[0].background_interarrival = Some(Distribution::Exponential { mean: 120.0 });
+        cfg.ces[0].background_duration = Distribution::Constant(10.0);
+        cfg.ces[0].diurnal_amplitude = amplitude;
+        let mut sim = GridSim::new(cfg, 7);
+        // A half-day-long user job keeps the clock advancing.
+        sim.submit(GridJobSpec::new("anchor", 43_200.0));
+        sim.next_completion().expect("anchor completes");
+        sim.background_arrivals()
+    };
+    let flat = run(0.0);
+    let diurnal = run(0.9);
+    assert!(
+        diurnal as f64 > flat as f64 * 1.15,
+        "rising-phase diurnal load must add arrivals: flat {flat}, diurnal {diurnal}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Simulator invariants over random workloads: timestamps are
+    /// monotone per record, every submitted job is delivered exactly
+    /// once, and equal seeds reproduce identical timelines.
+    #[test]
+    fn invariants_hold_over_random_workloads(
+        seed in 0u64..500,
+        n_jobs in 1usize..40,
+        compute in 1.0f64..500.0,
+    ) {
+        let mut sim = GridSim::new(GridConfig::egee_2006(), seed);
+        for i in 0..n_jobs {
+            sim.submit(
+                GridJobSpec::new(format!("j{i}"), compute)
+                    .with_files(vec![1_000_000], vec![10_000])
+                    .with_tag(i as u64),
+            );
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut delivered = 0;
+        while let Some(c) = sim.next_completion() {
+            delivered += 1;
+            prop_assert!(seen.insert(c.tag), "tag {} delivered twice", c.tag);
+            let r = &c.record;
+            prop_assert!(r.submitted_at <= r.matched_at);
+            prop_assert!(r.matched_at <= r.enqueued_at);
+            prop_assert!(r.enqueued_at <= r.started_at);
+            prop_assert!(r.started_at <= r.finished_at);
+            prop_assert!(r.finished_at <= r.delivered_at);
+            prop_assert!(r.attempts >= 1);
+            if c.outcome == JobOutcome::Success {
+                prop_assert!(r.compute.as_secs_f64() > 0.0);
+            }
+        }
+        prop_assert_eq!(delivered, n_jobs);
+        prop_assert_eq!(sim.outstanding(), 0);
+    }
+
+    /// The overhead decomposition is consistent: turnaround equals
+    /// overhead plus compute.
+    #[test]
+    fn overhead_decomposition(seed in 0u64..200) {
+        let mut sim = GridSim::new(GridConfig::egee_2006(), seed);
+        for i in 0..5 {
+            sim.submit(GridJobSpec::new(format!("j{i}"), 100.0));
+        }
+        while let Some(c) = sim.next_completion() {
+            let r = &c.record;
+            let reconstructed = r.overhead().as_secs_f64() + r.compute.as_secs_f64();
+            prop_assert!(
+                (r.turnaround().as_secs_f64() - reconstructed).abs() < 1e-6,
+                "turnaround {} != overhead {} + compute {}",
+                r.turnaround(), r.overhead(), r.compute
+            );
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The Bronze-Standard accuracy assessment (paper §4.2,
+//! `MultiTransfoTest`).
+//!
+//! Without ground truth, registration accuracy is assessed
+//! statistically: register many image pairs with many algorithms, take
+//! the per-pair mean transform as the "bronze standard", and score each
+//! algorithm by its deviation from the mean of the *other* algorithms
+//! (a leave-one-out comparison, so an algorithm is not rewarded for
+//! agreeing with itself).
+
+use crate::geometry::{mean_transform, RigidTransform};
+
+/// One algorithm's result on one image pair.
+#[derive(Debug, Clone)]
+pub struct AlgorithmResult {
+    pub algorithm: String,
+    pub transform: RigidTransform,
+}
+
+/// All algorithms' results on one image pair.
+#[derive(Debug, Clone)]
+pub struct PairResults {
+    pub pair_id: usize,
+    pub results: Vec<AlgorithmResult>,
+}
+
+/// Accuracy of one algorithm across the data set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgorithmAccuracy {
+    pub algorithm: String,
+    /// Mean rotation deviation from the leave-one-out mean (degrees).
+    pub rotation_error_deg: f64,
+    /// Mean translation deviation (voxels/mm).
+    pub translation_error: f64,
+    pub pairs: usize,
+}
+
+/// The `MultiTransfoTest` report: per-algorithm accuracies plus the
+/// bronze-standard mean transforms themselves.
+#[derive(Debug, Clone)]
+pub struct BronzeReport {
+    pub accuracies: Vec<AlgorithmAccuracy>,
+    pub mean_transforms: Vec<(usize, RigidTransform)>,
+}
+
+/// Compute the bronze standard over per-pair multi-algorithm results.
+/// Pairs with fewer than two algorithms are skipped (no leave-one-out
+/// reference exists).
+pub fn bronze_standard(pairs: &[PairResults]) -> BronzeReport {
+    let mut names: Vec<String> = Vec::new();
+    for pair in pairs {
+        for r in &pair.results {
+            if !names.contains(&r.algorithm) {
+                names.push(r.algorithm.clone());
+            }
+        }
+    }
+    let mut rot_sums = vec![0.0f64; names.len()];
+    let mut trans_sums = vec![0.0f64; names.len()];
+    let mut counts = vec![0usize; names.len()];
+    let mut means = Vec::new();
+    for pair in pairs {
+        if pair.results.len() < 2 {
+            continue;
+        }
+        let all: Vec<RigidTransform> = pair.results.iter().map(|r| r.transform).collect();
+        means.push((pair.pair_id, mean_transform(&all)));
+        for (k, r) in pair.results.iter().enumerate() {
+            let others: Vec<RigidTransform> = pair
+                .results
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != k)
+                .map(|(_, o)| o.transform)
+                .collect();
+            let reference = mean_transform(&others);
+            let idx = names.iter().position(|n| *n == r.algorithm).expect("collected above");
+            rot_sums[idx] += r.transform.rotation_error(reference).to_degrees();
+            trans_sums[idx] += r.transform.translation_error(reference);
+            counts[idx] += 1;
+        }
+    }
+    let accuracies = names
+        .into_iter()
+        .enumerate()
+        .map(|(i, algorithm)| AlgorithmAccuracy {
+            algorithm,
+            rotation_error_deg: if counts[i] == 0 { 0.0 } else { rot_sums[i] / counts[i] as f64 },
+            translation_error: if counts[i] == 0 { 0.0 } else { trans_sums[i] / counts[i] as f64 },
+            pairs: counts[i],
+        })
+        .collect();
+    BronzeReport { accuracies, mean_transforms: means }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::RigidTransform;
+
+    fn pair(id: usize, transforms: &[(&str, RigidTransform)]) -> PairResults {
+        PairResults {
+            pair_id: id,
+            results: transforms
+                .iter()
+                .map(|(n, t)| AlgorithmResult { algorithm: n.to_string(), transform: *t })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn perfect_agreement_gives_zero_errors() {
+        let t = RigidTransform::from_params(0.1, 0.0, 0.0, 1.0, 2.0, 3.0);
+        let report = bronze_standard(&[pair(0, &[("a", t), ("b", t), ("c", t)])]);
+        assert_eq!(report.accuracies.len(), 3);
+        for acc in &report.accuracies {
+            assert!(acc.rotation_error_deg < 1e-9);
+            assert!(acc.translation_error < 1e-9);
+            assert_eq!(acc.pairs, 1);
+        }
+        assert!(report.mean_transforms[0].1.rotation_error(t) < 1e-9);
+    }
+
+    #[test]
+    fn outlier_algorithm_scores_worse() {
+        let good = RigidTransform::from_params(0.0, 0.0, 0.05, 1.0, 0.0, 0.0);
+        let bad = RigidTransform::from_params(0.0, 0.0, 0.25, 4.0, 0.0, 0.0);
+        let report = bronze_standard(&[
+            pair(0, &[("a", good), ("b", good), ("c", good), ("outlier", bad)]),
+            pair(1, &[("a", good), ("b", good), ("c", good), ("outlier", bad)]),
+        ]);
+        let get = |n: &str| {
+            report
+                .accuracies
+                .iter()
+                .find(|a| a.algorithm == n)
+                .unwrap()
+                .clone()
+        };
+        // Leave-one-out: the outlier deviates from the mean of the
+        // three consistent results by 3× what each consistent result
+        // deviates from its (outlier-contaminated) reference.
+        assert!(get("outlier").rotation_error_deg > 2.5 * get("a").rotation_error_deg);
+        assert!(get("outlier").translation_error > 2.5 * get("a").translation_error);
+        assert_eq!(get("a").pairs, 2);
+    }
+
+    #[test]
+    fn single_algorithm_pairs_are_skipped() {
+        let t = RigidTransform::IDENTITY;
+        let report = bronze_standard(&[pair(0, &[("only", t)])]);
+        assert!(report.mean_transforms.is_empty());
+        assert_eq!(report.accuracies[0].pairs, 0);
+    }
+
+    #[test]
+    fn mean_transform_is_leave_in_mean() {
+        let a = RigidTransform::from_params(0.0, 0.0, 0.1, 0.0, 0.0, 0.0);
+        let b = RigidTransform::from_params(0.0, 0.0, 0.3, 0.0, 0.0, 0.0);
+        let report = bronze_standard(&[pair(3, &[("a", a), ("b", b)])]);
+        assert_eq!(report.mean_transforms[0].0, 3);
+        assert!((report.mean_transforms[0].1.rotation.angle() - 0.2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_report() {
+        let report = bronze_standard(&[]);
+        assert!(report.accuracies.is_empty());
+        assert!(report.mean_transforms.is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Crest-point extraction — the `crestLines` pre-processing step.
+//!
+//! The real CrestLines.pl extracts crest lines (extremal curvature
+//! ridges); this stand-in extracts high-gradient ridge points: voxels
+//! whose gradient magnitude exceeds a threshold and is a local maximum
+//! among the 6-neighbourhood. The `scale` parameter (the descriptor's
+//! `-s` option) subsamples the scan lattice.
+
+use crate::geometry::Vec3;
+use crate::volume::Volume;
+
+/// Extract feature points (physical, centre-origin coordinates).
+///
+/// `scale` ≥ 1 visits every `scale`-th voxel; `threshold` is the
+/// minimum gradient magnitude.
+pub fn extract_crest_points(volume: &Volume, scale: usize, threshold: f64) -> Vec<Vec3> {
+    assert!(scale >= 1, "scale must be at least 1");
+    let mut points = Vec::new();
+    let grad_mag = |x: usize, y: usize, z: usize| volume.gradient(x, y, z).norm();
+    for z in (1..volume.nz.saturating_sub(1)).step_by(scale) {
+        for y in (1..volume.ny.saturating_sub(1)).step_by(scale) {
+            for x in (1..volume.nx.saturating_sub(1)).step_by(scale) {
+                let g = grad_mag(x, y, z);
+                if g < threshold {
+                    continue;
+                }
+                // Local maximum among the 6-neighbourhood.
+                let is_max = g >= grad_mag(x - 1, y, z)
+                    && g >= grad_mag(x + 1, y, z)
+                    && g >= grad_mag(x, y - 1, z)
+                    && g >= grad_mag(x, y + 1, z)
+                    && g >= grad_mag(x, y, z - 1)
+                    && g >= grad_mag(x, y, z + 1);
+                if is_max {
+                    points.push(subvoxel_position(volume, x, y, z));
+                }
+            }
+        }
+    }
+    points
+}
+
+/// Sub-voxel feature localisation: the gradient-magnitude-weighted
+/// centroid of the 3³ neighbourhood. Without it, features snap to the
+/// voxel lattice and small rotations become unrecoverable for the
+/// point-based registration algorithms.
+fn subvoxel_position(volume: &Volume, x: usize, y: usize, z: usize) -> Vec3 {
+    let mut acc = Vec3::ZERO;
+    let mut wsum = 0.0;
+    for dz in -1i64..=1 {
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let (nx, ny, nz) =
+                    ((x as i64 + dx) as usize, (y as i64 + dy) as usize, (z as i64 + dz) as usize);
+                let w = volume.gradient(nx, ny, nz).norm();
+                acc = acc + volume.to_physical(nx, ny, nz) * w;
+                wsum += w;
+            }
+        }
+    }
+    if wsum == 0.0 {
+        volume.to_physical(x, y, z)
+    } else {
+        acc * (1.0 / wsum)
+    }
+}
+
+/// Automatic threshold: mean + `k`·std of gradient magnitude over the
+/// interior lattice.
+pub fn auto_threshold(volume: &Volume, k: f64) -> f64 {
+    let mut sum = 0.0;
+    let mut sum2 = 0.0;
+    let mut n = 0usize;
+    for z in 1..volume.nz.saturating_sub(1) {
+        for y in 1..volume.ny.saturating_sub(1) {
+            for x in 1..volume.nx.saturating_sub(1) {
+                let g = volume.gradient(x, y, z).norm();
+                sum += g;
+                sum2 += g * g;
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = sum / n as f64;
+    let var = (sum2 / n as f64 - mean * mean).max(0.0);
+    mean + k * var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phantom::{brain_phantom, PhantomConfig};
+
+    fn test_phantom() -> Volume {
+        brain_phantom(&PhantomConfig { noise: 0.0, ..Default::default() }, 5)
+    }
+
+    #[test]
+    fn finds_points_on_the_skull_boundary() {
+        let v = test_phantom();
+        let points = extract_crest_points(&v, 1, auto_threshold(&v, 1.0));
+        assert!(points.len() > 20, "found {} points", points.len());
+        // Points should lie at some distance from the centre (boundary
+        // features), well inside the volume bounds.
+        let far = points.iter().filter(|p| p.norm() > 4.0).count();
+        assert!(far * 2 > points.len(), "most features are off-centre");
+    }
+
+    #[test]
+    fn higher_threshold_yields_fewer_points() {
+        let v = test_phantom();
+        let lo = extract_crest_points(&v, 1, 5.0).len();
+        // The air→skull step produces gradients of magnitude ≳100, so a
+        // threshold above it must prune some ridge points.
+        let hi = extract_crest_points(&v, 1, 120.0).len();
+        assert!(hi < lo, "threshold 120 ({hi}) vs 5 ({lo})");
+    }
+
+    #[test]
+    fn scale_subsamples_the_lattice() {
+        let v = test_phantom();
+        let full = extract_crest_points(&v, 1, 10.0).len();
+        let sub = extract_crest_points(&v, 2, 10.0).len();
+        assert!(sub < full, "scale 2 ({sub}) must be sparser than 1 ({full})");
+        assert!(sub > 0);
+    }
+
+    #[test]
+    fn uniform_volume_has_no_features() {
+        let v = Volume::from_fn(10, 10, 10, |_, _, _| 7.0);
+        assert!(extract_crest_points(&v, 1, 1.0).is_empty());
+    }
+
+    #[test]
+    fn auto_threshold_is_positive_on_structured_data() {
+        let v = test_phantom();
+        let t = auto_threshold(&v, 2.0);
+        assert!(t > 0.0);
+        assert!(auto_threshold(&v, 0.0) < t);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_panics() {
+        extract_crest_points(&Volume::new(4, 4, 4), 0, 1.0);
+    }
+}

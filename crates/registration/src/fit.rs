@@ -1,0 +1,179 @@
+//! Least-squares rigid fit of paired point sets (Horn's quaternion
+//! method) — the numerical core shared by the feature-based
+//! registration algorithms.
+
+use crate::geometry::{Quaternion, RigidTransform, Vec3};
+
+/// Find the rigid transform `t` minimising `Σ‖t(p_i) − q_i‖²` over the
+/// given correspondences. Requires at least 3 non-degenerate pairs.
+///
+/// Uses Horn's closed form: the optimal rotation is the eigenvector of
+/// a symmetric 4×4 matrix built from the cross-covariance; the dominant
+/// eigenvector is found by shifted power iteration.
+pub fn fit_rigid(pairs: &[(Vec3, Vec3)]) -> Option<RigidTransform> {
+    if pairs.len() < 3 {
+        return None;
+    }
+    let n = pairs.len() as f64;
+    let mut cp = Vec3::ZERO;
+    let mut cq = Vec3::ZERO;
+    for (p, q) in pairs {
+        cp = cp + *p;
+        cq = cq + *q;
+    }
+    cp = cp * (1.0 / n);
+    cq = cq * (1.0 / n);
+
+    // Cross-covariance M = Σ (p−cp)(q−cq)^T.
+    let mut m = [[0.0f64; 3]; 3];
+    for (p, q) in pairs {
+        let a = *p - cp;
+        let b = *q - cq;
+        let av = [a.x, a.y, a.z];
+        let bv = [b.x, b.y, b.z];
+        for (i, &ai) in av.iter().enumerate() {
+            for (j, &bj) in bv.iter().enumerate() {
+                m[i][j] += ai * bj;
+            }
+        }
+    }
+
+    // Horn's symmetric 4×4 matrix N.
+    let trace = m[0][0] + m[1][1] + m[2][2];
+    let mut nmat = [[0.0f64; 4]; 4];
+    nmat[0][0] = trace;
+    nmat[0][1] = m[1][2] - m[2][1];
+    nmat[0][2] = m[2][0] - m[0][2];
+    nmat[0][3] = m[0][1] - m[1][0];
+    for i in 0..3 {
+        nmat[i + 1][0] = nmat[0][i + 1];
+        for j in 0..3 {
+            nmat[i + 1][j + 1] = m[i][j] + m[j][i] - if i == j { trace } else { 0.0 };
+        }
+    }
+
+    // Shift so the largest eigenvalue of N is the dominant one of
+    // N + σI, then power-iterate.
+    let shift = 4.0
+        * nmat
+            .iter()
+            .flatten()
+            .fold(0.0f64, |acc, &v| acc.max(v.abs()))
+        + 1.0;
+    for (i, row) in nmat.iter_mut().enumerate() {
+        row[i] += shift;
+    }
+    let mut v = [1.0f64, 0.1, 0.2, 0.3]; // avoid pathological starts
+    for _ in 0..200 {
+        let mut w = [0.0f64; 4];
+        for (i, row) in nmat.iter().enumerate() {
+            w[i] = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+        }
+        let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return None;
+        }
+        let next = [w[0] / norm, w[1] / norm, w[2] / norm, w[3] / norm];
+        let delta: f64 = next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+        v = next;
+        if delta < 1e-15 {
+            break;
+        }
+    }
+    let rotation = Quaternion { w: v[0], x: v[1], y: v[2], z: v[3] }.normalized();
+    let translation = cq - rotation.rotate(cp);
+    Some(RigidTransform::new(rotation, translation))
+}
+
+/// Root-mean-square residual of a transform over correspondences.
+pub fn rms_residual(t: RigidTransform, pairs: &[(Vec3, Vec3)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let ss: f64 = pairs
+        .iter()
+        .map(|(p, q)| {
+            let d = t.apply(*p).distance(*q);
+            d * d
+        })
+        .sum();
+    (ss / pairs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SmallRng;
+
+    fn cloud(rng: &mut SmallRng, n: usize) -> Vec<Vec3> {
+        (0..n)
+            .map(|_| Vec3::new(rng.range(-20.0, 20.0), rng.range(-20.0, 20.0), rng.range(-20.0, 20.0)))
+            .collect()
+    }
+
+    #[test]
+    fn recovers_exact_transform_from_clean_pairs() {
+        let mut rng = SmallRng::new(1);
+        let truth = RigidTransform::from_params(0.3, -0.2, 0.5, 4.0, -1.0, 2.5);
+        let points = cloud(&mut rng, 40);
+        let pairs: Vec<(Vec3, Vec3)> = points.iter().map(|&p| (p, truth.apply(p))).collect();
+        let fit = fit_rigid(&pairs).unwrap();
+        assert!(fit.rotation_error(truth) < 1e-8, "rot err {}", fit.rotation_error(truth));
+        assert!(fit.translation_error(truth) < 1e-7);
+        assert!(rms_residual(fit, &pairs) < 1e-7);
+    }
+
+    #[test]
+    fn recovers_transform_despite_noise() {
+        let mut rng = SmallRng::new(2);
+        let truth = RigidTransform::from_params(-0.1, 0.25, 0.05, 1.0, 3.0, -2.0);
+        let points = cloud(&mut rng, 200);
+        let pairs: Vec<(Vec3, Vec3)> = points
+            .iter()
+            .map(|&p| {
+                let noise = Vec3::new(rng.normal(), rng.normal(), rng.normal()) * 0.1;
+                (p, truth.apply(p) + noise)
+            })
+            .collect();
+        let fit = fit_rigid(&pairs).unwrap();
+        assert!(fit.rotation_error(truth) < 0.01, "rot err {}", fit.rotation_error(truth));
+        assert!(fit.translation_error(truth) < 0.1);
+    }
+
+    #[test]
+    fn identity_from_identical_clouds() {
+        let mut rng = SmallRng::new(3);
+        let points = cloud(&mut rng, 10);
+        let pairs: Vec<(Vec3, Vec3)> = points.iter().map(|&p| (p, p)).collect();
+        let fit = fit_rigid(&pairs).unwrap();
+        assert!(fit.rotation_error(RigidTransform::IDENTITY) < 1e-9);
+        assert!(fit.translation_error(RigidTransform::IDENTITY) < 1e-9);
+    }
+
+    #[test]
+    fn pure_translation() {
+        let mut rng = SmallRng::new(4);
+        let truth = RigidTransform::from_params(0.0, 0.0, 0.0, 7.0, -3.0, 1.0);
+        let points = cloud(&mut rng, 15);
+        let pairs: Vec<(Vec3, Vec3)> = points.iter().map(|&p| (p, truth.apply(p))).collect();
+        let fit = fit_rigid(&pairs).unwrap();
+        assert!(fit.rotation_error(truth) < 1e-8);
+        assert!(fit.translation_error(truth) < 1e-8);
+    }
+
+    #[test]
+    fn too_few_pairs_is_none() {
+        assert!(fit_rigid(&[]).is_none());
+        assert!(fit_rigid(&[(Vec3::ZERO, Vec3::ZERO), (Vec3::ZERO, Vec3::ZERO)]).is_none());
+    }
+
+    #[test]
+    fn large_rotation_is_recovered() {
+        let mut rng = SmallRng::new(5);
+        let truth = RigidTransform::from_params(1.2, -0.9, 2.0, 0.0, 0.0, 0.0);
+        let points = cloud(&mut rng, 30);
+        let pairs: Vec<(Vec3, Vec3)> = points.iter().map(|&p| (p, truth.apply(p))).collect();
+        let fit = fit_rigid(&pairs).unwrap();
+        assert!(fit.rotation_error(truth) < 1e-7, "rot err {}", fit.rotation_error(truth));
+    }
+}

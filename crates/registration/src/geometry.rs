@@ -1,0 +1,360 @@
+//! 3-D geometry: vectors, quaternions and rigid transforms.
+//!
+//! Medical image rigid registration searches a 6-parameter transform
+//! (3 rotation angles, 3 translations — paper §4.2). Rotations are
+//! represented as unit quaternions, which makes composition, inversion,
+//! distance metrics and averaging (for the Bronze Standard) clean.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 3-vector (positions, translations, directions).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        if n == 0.0 {
+            Vec3::ZERO
+        } else {
+            self * (1.0 / n)
+        }
+    }
+
+    pub fn distance(self, o: Vec3) -> f64 {
+        (self - o).norm()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        self * -1.0
+    }
+}
+
+/// A unit quaternion representing a 3-D rotation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quaternion {
+    pub w: f64,
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Quaternion {
+    pub const IDENTITY: Quaternion = Quaternion { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Rotation of `angle` radians about (a normalised copy of) `axis`.
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Self {
+        let a = axis.normalized();
+        let (s, c) = (angle / 2.0).sin_cos();
+        Quaternion { w: c, x: a.x * s, y: a.y * s, z: a.z * s }
+    }
+
+    /// Intrinsic XYZ Euler angles (radians) — the "3 rotation angles"
+    /// of the paper's 6-parameter search space.
+    pub fn from_euler(rx: f64, ry: f64, rz: f64) -> Self {
+        let qx = Quaternion::from_axis_angle(Vec3::new(1.0, 0.0, 0.0), rx);
+        let qy = Quaternion::from_axis_angle(Vec3::new(0.0, 1.0, 0.0), ry);
+        let qz = Quaternion::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), rz);
+        (qz * qy * qx).normalized()
+    }
+
+    pub fn norm(self) -> f64 {
+        (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    pub fn normalized(self) -> Quaternion {
+        let n = self.norm();
+        if n == 0.0 {
+            Quaternion::IDENTITY
+        } else {
+            Quaternion { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+        }
+    }
+
+    pub fn conjugate(self) -> Quaternion {
+        Quaternion { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+    }
+
+    /// Rotate a vector.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        // v' = q (0,v) q*
+        let u = Vec3::new(self.x, self.y, self.z);
+        let t = u.cross(v) * 2.0;
+        v + t * self.w + u.cross(t)
+    }
+
+    /// Rotation angle (radians) of this quaternion, in [0, π].
+    pub fn angle(self) -> f64 {
+        let q = if self.w < 0.0 { -self } else { self };
+        2.0 * q.w.clamp(-1.0, 1.0).acos()
+    }
+
+    /// Geodesic rotation distance to another quaternion (radians).
+    pub fn distance(self, other: Quaternion) -> f64 {
+        (self.conjugate() * other).normalized().angle()
+    }
+}
+
+impl Mul for Quaternion {
+    type Output = Quaternion;
+    fn mul(self, o: Quaternion) -> Quaternion {
+        Quaternion {
+            w: self.w * o.w - self.x * o.x - self.y * o.y - self.z * o.z,
+            x: self.w * o.x + self.x * o.w + self.y * o.z - self.z * o.y,
+            y: self.w * o.y - self.x * o.z + self.y * o.w + self.z * o.x,
+            z: self.w * o.z + self.x * o.y - self.y * o.x + self.z * o.w,
+        }
+    }
+}
+
+impl Neg for Quaternion {
+    type Output = Quaternion;
+    fn neg(self) -> Quaternion {
+        Quaternion { w: -self.w, x: -self.x, y: -self.y, z: -self.z }
+    }
+}
+
+/// A rigid transform: rotation followed by translation,
+/// `p ↦ R·p + t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RigidTransform {
+    pub rotation: Quaternion,
+    pub translation: Vec3,
+}
+
+impl RigidTransform {
+    pub const IDENTITY: RigidTransform =
+        RigidTransform { rotation: Quaternion::IDENTITY, translation: Vec3::ZERO };
+
+    pub fn new(rotation: Quaternion, translation: Vec3) -> Self {
+        RigidTransform { rotation: rotation.normalized(), translation }
+    }
+
+    /// The paper's 6-parameter form: 3 Euler angles + 3 translations.
+    pub fn from_params(rx: f64, ry: f64, rz: f64, tx: f64, ty: f64, tz: f64) -> Self {
+        RigidTransform::new(Quaternion::from_euler(rx, ry, rz), Vec3::new(tx, ty, tz))
+    }
+
+    pub fn apply(self, p: Vec3) -> Vec3 {
+        self.rotation.rotate(p) + self.translation
+    }
+
+    /// Composition: `(a ∘ b)(p) = a(b(p))`.
+    pub fn compose(self, b: RigidTransform) -> RigidTransform {
+        RigidTransform::new(
+            self.rotation * b.rotation,
+            self.rotation.rotate(b.translation) + self.translation,
+        )
+    }
+
+    pub fn inverse(self) -> RigidTransform {
+        let r_inv = self.rotation.conjugate();
+        RigidTransform::new(r_inv, -r_inv.rotate(self.translation))
+    }
+
+    /// Rotation part of the distance to `other` (radians).
+    pub fn rotation_error(self, other: RigidTransform) -> f64 {
+        self.rotation.distance(other.rotation)
+    }
+
+    /// Translation part of the distance to `other`.
+    pub fn translation_error(self, other: RigidTransform) -> f64 {
+        self.translation.distance(other.translation)
+    }
+}
+
+/// Quaternion averaging for the Bronze Standard's mean registration:
+/// normalised sum with sign alignment — a good approximation of the
+/// Fréchet mean for the small mutual angles of consistent registrations.
+pub fn mean_rotation(rotations: &[Quaternion]) -> Quaternion {
+    assert!(!rotations.is_empty(), "mean of no rotations");
+    let reference = rotations[0];
+    let mut acc = Quaternion { w: 0.0, x: 0.0, y: 0.0, z: 0.0 };
+    for &q in rotations {
+        // Align hemispheres: q and −q are the same rotation.
+        let dot = q.w * reference.w + q.x * reference.x + q.y * reference.y + q.z * reference.z;
+        let q = if dot < 0.0 { -q } else { q };
+        acc = Quaternion { w: acc.w + q.w, x: acc.x + q.x, y: acc.y + q.y, z: acc.z + q.z };
+    }
+    acc.normalized()
+}
+
+/// Mean rigid transform: averaged rotation + averaged translation.
+pub fn mean_transform(transforms: &[RigidTransform]) -> RigidTransform {
+    assert!(!transforms.is_empty(), "mean of no transforms");
+    let rotations: Vec<Quaternion> = transforms.iter().map(|t| t.rotation).collect();
+    let mut t_acc = Vec3::ZERO;
+    for t in transforms {
+        t_acc = t_acc + t.translation;
+    }
+    RigidTransform::new(mean_rotation(&rotations), t_acc * (1.0 / transforms.len() as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const EPS: f64 = 1e-9;
+
+    fn assert_vec_close(a: Vec3, b: Vec3, eps: f64) {
+        assert!(a.distance(b) < eps, "{a:?} != {b:?}");
+    }
+
+    #[test]
+    fn vec_algebra() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a.dot(b), 32.0);
+        assert_eq!(a.cross(b), Vec3::new(-3.0, 6.0, -3.0));
+        assert!((Vec3::new(3.0, 4.0, 0.0).norm() - 5.0).abs() < EPS);
+        assert_vec_close(Vec3::new(0.0, 0.0, 2.0).normalized(), Vec3::new(0.0, 0.0, 1.0), EPS);
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn quaternion_rotates_basis_vectors() {
+        // 90° about z: x → y.
+        let q = Quaternion::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), FRAC_PI_2);
+        assert_vec_close(q.rotate(Vec3::new(1.0, 0.0, 0.0)), Vec3::new(0.0, 1.0, 0.0), 1e-12);
+    }
+
+    #[test]
+    fn quaternion_composition_order() {
+        let qz = Quaternion::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), FRAC_PI_2);
+        let qx = Quaternion::from_axis_angle(Vec3::new(1.0, 0.0, 0.0), FRAC_PI_2);
+        // (qx * qz) means: rotate by qz first, then qx.
+        let v = (qx * qz).rotate(Vec3::new(1.0, 0.0, 0.0));
+        assert_vec_close(v, Vec3::new(0.0, 0.0, 1.0), 1e-12);
+    }
+
+    #[test]
+    fn quaternion_angle_and_distance() {
+        let q = Quaternion::from_axis_angle(Vec3::new(0.0, 1.0, 0.0), 0.3);
+        assert!((q.angle() - 0.3).abs() < 1e-12);
+        assert!(((-q).angle() - 0.3).abs() < 1e-12, "−q is the same rotation");
+        let p = Quaternion::from_axis_angle(Vec3::new(0.0, 1.0, 0.0), 0.5);
+        assert!((q.distance(p) - 0.2).abs() < 1e-9);
+        assert!((q.distance(q)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn euler_angles_match_axis_rotations() {
+        let q = Quaternion::from_euler(0.0, 0.0, FRAC_PI_2);
+        assert_vec_close(q.rotate(Vec3::new(1.0, 0.0, 0.0)), Vec3::new(0.0, 1.0, 0.0), 1e-12);
+        let q = Quaternion::from_euler(FRAC_PI_2, 0.0, 0.0);
+        assert_vec_close(q.rotate(Vec3::new(0.0, 1.0, 0.0)), Vec3::new(0.0, 0.0, 1.0), 1e-12);
+    }
+
+    #[test]
+    fn transform_apply_compose_inverse() {
+        let a = RigidTransform::from_params(0.1, -0.2, 0.3, 1.0, 2.0, 3.0);
+        let b = RigidTransform::from_params(-0.3, 0.1, 0.2, -1.0, 0.5, 0.0);
+        let p = Vec3::new(4.0, -2.0, 7.0);
+        // Composition law.
+        assert_vec_close(a.compose(b).apply(p), a.apply(b.apply(p)), 1e-9);
+        // Inverse law.
+        assert_vec_close(a.inverse().apply(a.apply(p)), p, 1e-9);
+        let id = a.compose(a.inverse());
+        assert!(id.rotation_error(RigidTransform::IDENTITY) < 1e-9);
+        assert!(id.translation_error(RigidTransform::IDENTITY) < 1e-9);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = RigidTransform::from_params(0.2, 0.1, -0.4, 5.0, -3.0, 2.0);
+        let p = Vec3::new(1.0, 1.0, 1.0);
+        assert_vec_close(RigidTransform::IDENTITY.compose(a).apply(p), a.apply(p), 1e-12);
+        assert_vec_close(a.compose(RigidTransform::IDENTITY).apply(p), a.apply(p), 1e-12);
+    }
+
+    #[test]
+    fn rigid_transform_preserves_distances() {
+        let t = RigidTransform::from_params(0.4, -0.3, 0.7, 10.0, -5.0, 2.0);
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        let q = Vec3::new(-4.0, 0.0, 6.0);
+        assert!((t.apply(p).distance(t.apply(q)) - p.distance(q)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_rotation_of_identical_is_identity_of_spread_is_between() {
+        let q = Quaternion::from_axis_angle(Vec3::new(1.0, 0.0, 0.0), 0.2);
+        assert!(mean_rotation(&[q, q, q]).distance(q) < 1e-12);
+        let a = Quaternion::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), 0.1);
+        let b = Quaternion::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), 0.3);
+        let m = mean_rotation(&[a, b]);
+        assert!((m.angle() - 0.2).abs() < 1e-3, "mean angle {}", m.angle());
+    }
+
+    #[test]
+    fn mean_rotation_handles_hemisphere_flips() {
+        let q = Quaternion::from_axis_angle(Vec3::new(0.0, 1.0, 0.0), 0.2);
+        let m = mean_rotation(&[q, -q, q]);
+        assert!(m.distance(q) < 1e-9, "−q must be treated as q");
+    }
+
+    #[test]
+    fn mean_transform_averages_both_parts() {
+        let a = RigidTransform::from_params(0.0, 0.0, 0.1, 1.0, 0.0, 0.0);
+        let b = RigidTransform::from_params(0.0, 0.0, 0.3, 3.0, 0.0, 0.0);
+        let m = mean_transform(&[a, b]);
+        assert!((m.rotation.angle() - 0.2).abs() < 1e-3);
+        assert!((m.translation.x - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn angle_at_pi_is_handled() {
+        let q = Quaternion::from_axis_angle(Vec3::new(1.0, 0.0, 0.0), PI);
+        assert!((q.angle() - PI).abs() < 1e-9);
+    }
+}

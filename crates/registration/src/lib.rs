@@ -1,0 +1,69 @@
+//! # moteur-registration
+//!
+//! The Bronze-Standard medical-image workload of the paper's §4.2,
+//! rebuilt from scratch: synthetic T1 brain phantoms with known
+//! ground-truth rigid motions and working stand-ins for the paper's
+//! registration algorithms —
+//!
+//! | paper service | here |
+//! |---|---|
+//! | `crestLines` (pre-processing) | [`features::extract_crest_points`] |
+//! | `crestMatch` (first registration, initialiser) | [`icp::icp`] with [`icp::IcpParams::coarse`] |
+//! | `PFMatchICP` | [`icp::icp`] with [`icp::IcpParams::matching`] |
+//! | `PFRegister` | [`icp::icp`] with [`icp::IcpParams::refinement`] |
+//! | `Baladin` (block matching) | [`block::block_match`] |
+//! | `Yasmina` (intensity-based) | [`intensity::intensity_register`] |
+//! | `MultiTransfoTest` (synchronization) | [`bronze::bronze_standard`] |
+//!
+//! The crate is dependency-free and independent of the enactor; the
+//! `bronze_standard` example in the repository root wires these
+//! functions into the Fig. 9 workflow as MOTEUR local services.
+//!
+//! ```
+//! use moteur_registration::prelude::*;
+//!
+//! let cfg = PhantomConfig { noise: 0.0, ..Default::default() };
+//! let pair = image_pair(&cfg, 42);
+//! // Feature-based registration: crestLines → crestMatch.
+//! let thr = auto_threshold(&pair.reference, 1.0);
+//! let ref_pts = extract_crest_points(&pair.reference, 1, thr);
+//! let float_pts = extract_crest_points(&pair.floating, 1, thr);
+//! let est = icp(&ref_pts, &float_pts, RigidTransform::IDENTITY, &IcpParams::coarse());
+//! assert!(est.transform.rotation_error(pair.truth) < 0.15);
+//! ```
+
+pub mod block;
+pub mod bronze;
+pub mod features;
+pub mod fit;
+pub mod geometry;
+pub mod icp;
+pub mod intensity;
+pub mod phantom;
+pub mod pyramid;
+pub mod rng;
+pub mod volume;
+
+pub use block::{block_match, BlockMatchParams};
+pub use bronze::{bronze_standard, AlgorithmAccuracy, AlgorithmResult, BronzeReport, PairResults};
+pub use features::{auto_threshold, extract_crest_points};
+pub use fit::{fit_rigid, rms_residual};
+pub use geometry::{mean_rotation, mean_transform, Quaternion, RigidTransform, Vec3};
+pub use icp::{icp, IcpParams, IcpResult};
+pub use intensity::{intensity_register, similarity_ssd, IntensityParams};
+pub use phantom::{brain_phantom, image_pair, random_rigid_motion, ImagePair, PhantomConfig};
+pub use pyramid::{downsample, pyramid_register};
+pub use rng::SmallRng;
+pub use volume::Volume;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::block::{block_match, BlockMatchParams};
+    pub use crate::bronze::{bronze_standard, AlgorithmResult, PairResults};
+    pub use crate::features::{auto_threshold, extract_crest_points};
+    pub use crate::geometry::{mean_transform, Quaternion, RigidTransform, Vec3};
+    pub use crate::icp::{icp, IcpParams};
+    pub use crate::intensity::{intensity_register, IntensityParams};
+    pub use crate::phantom::{brain_phantom, image_pair, ImagePair, PhantomConfig};
+    pub use crate::volume::Volume;
+}

@@ -1,0 +1,174 @@
+//! Multi-resolution (pyramid) registration.
+//!
+//! The production registration codes the paper wraps (Baladin, Yasmina)
+//! are coarse-to-fine: solve at a downsampled resolution first — where
+//! the basin of attraction is wide and evaluations cheap — then refine
+//! at successively finer levels, rescaling the translation between
+//! levels. This module provides the 2×2×2 mean-pooling downsampler and
+//! a pyramid driver around the intensity optimiser.
+
+use crate::geometry::RigidTransform;
+use crate::intensity::{intensity_register, IntensityParams};
+use crate::volume::Volume;
+
+/// 2× downsampling by mean pooling (odd trailing voxels are folded
+/// into the last output cell).
+pub fn downsample(v: &Volume) -> Volume {
+    let (nx, ny, nz) = (v.nx.div_ceil(2), v.ny.div_ceil(2), v.nz.div_ceil(2));
+    let mut out = Volume::new(nx, ny, nz);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let mut acc = 0.0f64;
+                let mut n = 0usize;
+                for dz in 0..2 {
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let (sx, sy, sz) = (2 * x + dx, 2 * y + dy, 2 * z + dz);
+                            if sx < v.nx && sy < v.ny && sz < v.nz {
+                                acc += v.get(sx, sy, sz) as f64;
+                                n += 1;
+                            }
+                        }
+                    }
+                }
+                out.set(x, y, z, (acc / n as f64) as f32);
+            }
+        }
+    }
+    out
+}
+
+/// A transform expressed in a volume's voxel frame, rescaled for a 2×
+/// coarser frame: rotations are scale-invariant, translations halve.
+pub fn to_coarser(t: RigidTransform) -> RigidTransform {
+    RigidTransform::new(t.rotation, t.translation * 0.5)
+}
+
+/// The inverse rescaling: from a coarse frame to the 2× finer one.
+pub fn to_finer(t: RigidTransform) -> RigidTransform {
+    RigidTransform::new(t.rotation, t.translation * 2.0)
+}
+
+/// Coarse-to-fine intensity registration over `levels` pyramid levels
+/// (1 = plain single-level).
+pub fn pyramid_register(
+    reference: &Volume,
+    floating: &Volume,
+    init: RigidTransform,
+    levels: usize,
+    params: &IntensityParams,
+) -> RigidTransform {
+    assert!(levels >= 1, "need at least one pyramid level");
+    // Build both pyramids, coarsest last.
+    let mut refs = vec![reference.clone()];
+    let mut floats = vec![floating.clone()];
+    for _ in 1..levels {
+        let next_r = downsample(refs.last().expect("non-empty"));
+        let next_f = downsample(floats.last().expect("non-empty"));
+        // Stop early if volumes become degenerate.
+        if next_r.nx < 4 || next_r.ny < 4 || next_r.nz < 4 {
+            break;
+        }
+        refs.push(next_r);
+        floats.push(next_f);
+    }
+    // Express the initialisation at the coarsest level.
+    let mut estimate = init;
+    for _ in 1..refs.len() {
+        estimate = to_coarser(estimate);
+    }
+    // Solve coarse → fine. Coarser levels can afford denser lattices.
+    for level in (0..refs.len()).rev() {
+        let level_params = IntensityParams {
+            lattice_step: if level == 0 { params.lattice_step } else { 1 },
+            trans_step: params.trans_step,
+            ..params.clone()
+        };
+        estimate = intensity_register(&refs[level], &floats[level], estimate, &level_params);
+        if level > 0 {
+            estimate = to_finer(estimate);
+        }
+    }
+    estimate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phantom::{brain_phantom, PhantomConfig};
+
+    #[test]
+    fn downsample_halves_dimensions_and_preserves_mean() {
+        let v = Volume::from_fn(8, 6, 4, |x, y, z| (x + y + z) as f32);
+        let d = downsample(&v);
+        assert_eq!((d.nx, d.ny, d.nz), (4, 3, 2));
+        assert!((d.mean() - v.mean()).abs() < 0.3, "{} vs {}", d.mean(), v.mean());
+    }
+
+    #[test]
+    fn downsample_handles_odd_dimensions() {
+        let v = Volume::from_fn(5, 5, 3, |_, _, _| 2.0);
+        let d = downsample(&v);
+        assert_eq!((d.nx, d.ny, d.nz), (3, 3, 2));
+        assert!(d.voxels().iter().all(|&x| (x - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn scale_conversions_are_inverse() {
+        let t = RigidTransform::from_params(0.1, -0.2, 0.3, 4.0, -2.0, 1.0);
+        let round = to_finer(to_coarser(t));
+        assert!(round.rotation_error(t) < 1e-12);
+        assert!(round.translation_error(t) < 1e-12);
+    }
+
+    #[test]
+    fn pyramid_recovers_larger_motion_than_single_level() {
+        // A translation large enough that the single-level optimiser's
+        // 1-voxel steps wander; the pyramid sees it as ~2 voxels coarse.
+        let cfg = PhantomConfig { nx: 40, ny: 40, nz: 20, noise: 0.0, lesions: 3 };
+        let reference = brain_phantom(&cfg, 21);
+        let truth = RigidTransform::from_params(0.0, 0.0, 0.04, 4.5, -3.5, 1.0);
+        let floating = reference.resample(truth);
+        let params = IntensityParams::default();
+        let single = intensity_register(&reference, &floating, RigidTransform::IDENTITY, &params);
+        let multi = pyramid_register(&reference, &floating, RigidTransform::IDENTITY, 3, &params);
+        let e_single = single.translation_error(truth);
+        let e_multi = multi.translation_error(truth);
+        assert!(e_multi < 1.0, "pyramid converges: {e_multi}");
+        assert!(
+            e_multi <= e_single + 0.25,
+            "pyramid must not be worse: {e_multi} vs {e_single}"
+        );
+    }
+
+    #[test]
+    fn single_level_pyramid_equals_plain_registration() {
+        let cfg = PhantomConfig { noise: 0.0, ..Default::default() };
+        let reference = brain_phantom(&cfg, 22);
+        let truth = RigidTransform::from_params(0.0, 0.0, 0.02, 1.0, 0.0, 0.0);
+        let floating = reference.resample(truth);
+        let params = IntensityParams::default();
+        let plain = intensity_register(&reference, &floating, RigidTransform::IDENTITY, &params);
+        let pyr = pyramid_register(&reference, &floating, RigidTransform::IDENTITY, 1, &params);
+        assert!(plain.rotation_error(pyr) < 1e-12);
+        assert!(plain.translation_error(pyr) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_levels_panics() {
+        let v = Volume::new(4, 4, 4);
+        pyramid_register(&v, &v, RigidTransform::IDENTITY, 0, &IntensityParams::default());
+    }
+
+    #[test]
+    fn degenerate_small_volumes_stop_the_pyramid_early() {
+        // 8³ can only downsample once before hitting the 4-voxel floor;
+        // asking for 5 levels must still work.
+        let cfg = PhantomConfig { nx: 8, ny: 8, nz: 8, noise: 0.0, lesions: 0 };
+        let v = brain_phantom(&cfg, 23);
+        let t = pyramid_register(&v, &v, RigidTransform::IDENTITY, 5, &IntensityParams::default());
+        assert!(t.rotation_error(RigidTransform::IDENTITY) < 0.05);
+    }
+}

@@ -1,0 +1,78 @@
+//! Small deterministic RNG for phantom generation and noise.
+//!
+//! Duplicated from the simulator's generator on purpose: the workload
+//! crate stays dependency-free so it can be reused outside MOTEUR-RS.
+
+/// splitmix64 — tiny, fast, and good enough for image noise.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    pub fn new(seed: u64) -> Self {
+        SmallRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in [lo, hi).
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Standard normal (Box–Muller).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = (0..5).map(|_| SmallRng::new(9).next_u64()).collect();
+        let b: Vec<u64> = (0..5).map(|_| SmallRng::new(9).next_u64()).collect();
+        assert_eq!(a, b);
+        let mut r1 = SmallRng::new(1);
+        let mut r2 = SmallRng::new(2);
+        assert_ne!(r1.next_u64(), r2.next_u64());
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut r = SmallRng::new(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SmallRng::new(4);
+        let xs: Vec<f64> = (0..20_000).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.03);
+        assert!((var - 1.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,282 @@
+//! 3-D scalar volumes with trilinear sampling and rigid resampling.
+//!
+//! The paper's images are 256×256×60 T1 brain MRIs; the synthetic
+//! workload uses the same layout at configurable (usually smaller)
+//! sizes. Voxels are `f32`, coordinates are in voxel units with the
+//! origin at the volume centre so rotations act about the head centre.
+
+use crate::geometry::{RigidTransform, Vec3};
+
+/// A dense 3-D image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Volume {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    data: Vec<f32>,
+}
+
+impl Volume {
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "empty volume");
+        Volume { nx, ny, nz, data: vec![0.0; nx * ny * nz] }
+    }
+
+    pub fn from_fn(nx: usize, ny: usize, nz: usize, f: impl Fn(usize, usize, usize) -> f32) -> Self {
+        let mut v = Volume::new(nx, ny, nz);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let val = f(x, y, z);
+                    v.set(x, y, z, val);
+                }
+            }
+        }
+        v
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        (z * self.ny + y) * self.nx + x
+    }
+
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, z: usize) -> f32 {
+        self.data[self.idx(x, y, z)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, z: usize, v: f32) {
+        let i = self.idx(x, y, z);
+        self.data[i] = v;
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn voxels(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Volume centre in voxel coordinates.
+    pub fn center(&self) -> Vec3 {
+        Vec3::new(
+            (self.nx as f64 - 1.0) / 2.0,
+            (self.ny as f64 - 1.0) / 2.0,
+            (self.nz as f64 - 1.0) / 2.0,
+        )
+    }
+
+    /// Centre-origin physical coordinates of a voxel.
+    pub fn to_physical(&self, x: usize, y: usize, z: usize) -> Vec3 {
+        Vec3::new(x as f64, y as f64, z as f64) - self.center()
+    }
+
+    /// Trilinear interpolation at a continuous voxel position
+    /// (centre-origin coordinates). Outside the volume → 0.
+    pub fn sample(&self, p: Vec3) -> f32 {
+        let q = p + self.center();
+        let (x, y, z) = (q.x, q.y, q.z);
+        if x < 0.0 || y < 0.0 || z < 0.0 {
+            return 0.0;
+        }
+        let (x0, y0, z0) = (x.floor() as usize, y.floor() as usize, z.floor() as usize);
+        if x0 + 1 >= self.nx || y0 + 1 >= self.ny || z0 + 1 >= self.nz {
+            return 0.0;
+        }
+        let (fx, fy, fz) = (x - x0 as f64, y - y0 as f64, z - z0 as f64);
+        let mut acc = 0.0f64;
+        for dz in 0..2 {
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    let w = (if dx == 0 { 1.0 - fx } else { fx })
+                        * (if dy == 0 { 1.0 - fy } else { fy })
+                        * (if dz == 0 { 1.0 - fz } else { fz });
+                    acc += w * self.get(x0 + dx, y0 + dy, z0 + dz) as f64;
+                }
+            }
+        }
+        acc as f32
+    }
+
+    /// Resample this volume under a rigid transform: the output voxel
+    /// at position `p` takes the value of the input at `t⁻¹(p)` —
+    /// i.e. the returned image is `self` *moved by* `t`.
+    pub fn resample(&self, t: RigidTransform) -> Volume {
+        let inv = t.inverse();
+        let mut out = Volume::new(self.nx, self.ny, self.nz);
+        for z in 0..self.nz {
+            for y in 0..self.ny {
+                for x in 0..self.nx {
+                    let p = self.to_physical(x, y, z);
+                    out.set(x, y, z, self.sample(inv.apply(p)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean voxel intensity.
+    pub fn mean(&self) -> f64 {
+        self.data.iter().map(|&v| v as f64).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Sum of squared differences against another volume of equal shape.
+    pub fn ssd(&self, other: &Volume) -> f64 {
+        assert_eq!(
+            (self.nx, self.ny, self.nz),
+            (other.nx, other.ny, other.nz),
+            "shape mismatch"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Central-difference gradient at an interior voxel (zero on the
+    /// border).
+    pub fn gradient(&self, x: usize, y: usize, z: usize) -> Vec3 {
+        if x == 0 || y == 0 || z == 0 || x + 1 >= self.nx || y + 1 >= self.ny || z + 1 >= self.nz {
+            return Vec3::ZERO;
+        }
+        Vec3::new(
+            (self.get(x + 1, y, z) - self.get(x - 1, y, z)) as f64 / 2.0,
+            (self.get(x, y + 1, z) - self.get(x, y - 1, z)) as f64 / 2.0,
+            (self.get(x, y, z + 1) - self.get(x, y, z - 1)) as f64 / 2.0,
+        )
+    }
+
+    /// Nominal size in bytes of the stored image (16-bit voxels, like
+    /// the paper's 7.8 MB 256×256×60 images).
+    pub fn nominal_bytes(&self) -> u64 {
+        (self.len() * 2) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Quaternion;
+
+    #[test]
+    fn get_set_roundtrip_and_layout() {
+        let mut v = Volume::new(4, 3, 2);
+        v.set(1, 2, 1, 7.5);
+        assert_eq!(v.get(1, 2, 1), 7.5);
+        assert_eq!(v.len(), 24);
+        assert_eq!(v.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn paper_sized_volume_is_7_8_mb() {
+        // 256×256×60 at 16 bits ≈ 7.8 MB (paper §4.2).
+        let bytes = 256u64 * 256 * 60 * 2;
+        assert_eq!(bytes, 7_864_320);
+        let v = Volume::new(8, 8, 4);
+        assert_eq!(v.nominal_bytes(), 8 * 8 * 4 * 2);
+    }
+
+    #[test]
+    fn sample_at_voxel_centres_is_exact() {
+        let v = Volume::from_fn(5, 5, 5, |x, y, z| (x + 10 * y + 100 * z) as f32);
+        for z in 1..4 {
+            for y in 1..4 {
+                for x in 1..4 {
+                    let p = v.to_physical(x, y, z);
+                    assert_eq!(v.sample(p), (x + 10 * y + 100 * z) as f32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sample_interpolates_linearly() {
+        let v = Volume::from_fn(4, 4, 4, |x, _, _| x as f32);
+        let c = v.center();
+        let p = Vec3::new(1.5, 1.0, 1.0) - c;
+        assert!((v.sample(p) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sample_outside_is_zero() {
+        let v = Volume::from_fn(4, 4, 4, |_, _, _| 5.0);
+        assert_eq!(v.sample(Vec3::new(100.0, 0.0, 0.0)), 0.0);
+        assert_eq!(v.sample(Vec3::new(-100.0, 0.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn identity_resample_changes_nothing_interior() {
+        let v = Volume::from_fn(8, 8, 8, |x, y, z| (x * y + z) as f32);
+        let r = v.resample(RigidTransform::IDENTITY);
+        for z in 1..7 {
+            for y in 1..7 {
+                for x in 1..7 {
+                    assert!((r.get(x, y, z) - v.get(x, y, z)).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn translation_resample_shifts_content() {
+        let mut v = Volume::new(9, 9, 9);
+        v.set(4, 4, 4, 10.0);
+        let t = RigidTransform::new(Quaternion::IDENTITY, Vec3::new(2.0, 0.0, 0.0));
+        let r = v.resample(t);
+        assert!((r.get(6, 4, 4) - 10.0).abs() < 1e-5, "blob moved +2 in x");
+        assert!(r.get(4, 4, 4).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rotation_resample_moves_off_axis_blob() {
+        let mut v = Volume::new(17, 17, 17);
+        v.set(12, 8, 8, 10.0); // +4 on the x axis from centre
+        let t = RigidTransform::new(
+            Quaternion::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), std::f64::consts::FRAC_PI_2),
+            Vec3::ZERO,
+        );
+        let r = v.resample(t);
+        assert!((r.get(8, 12, 8) - 10.0).abs() < 1e-4, "blob rotated onto +y axis");
+    }
+
+    #[test]
+    fn ssd_zero_iff_identical() {
+        let v = Volume::from_fn(5, 5, 5, |x, y, z| (x + y + z) as f32);
+        assert_eq!(v.ssd(&v), 0.0);
+        let mut w = v.clone();
+        w.set(0, 0, 0, 99.0);
+        assert!(v.ssd(&w) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn ssd_rejects_shape_mismatch() {
+        Volume::new(2, 2, 2).ssd(&Volume::new(3, 2, 2));
+    }
+
+    #[test]
+    fn gradient_of_linear_ramp() {
+        let v = Volume::from_fn(6, 6, 6, |x, y, z| (2 * x + 3 * y + 5 * z) as f32);
+        let g = v.gradient(3, 3, 3);
+        assert!((g.x - 2.0).abs() < 1e-6);
+        assert!((g.y - 3.0).abs() < 1e-6);
+        assert!((g.z - 5.0).abs() < 1e-6);
+        assert_eq!(v.gradient(0, 3, 3), Vec3::ZERO, "border gradient is zero");
+    }
+
+    #[test]
+    fn mean_intensity() {
+        let v = Volume::from_fn(2, 2, 2, |x, _, _| x as f32);
+        assert!((v.mean() - 0.5).abs() < 1e-9);
+    }
+}

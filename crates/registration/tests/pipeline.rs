@@ -1,0 +1,66 @@
+//! End-to-end registration pipeline tests on phantom image pairs: the
+//! full algorithm suite must recover the known ground-truth motion, and
+//! the Bronze Standard must rate all consistent algorithms as accurate.
+
+use moteur_registration::prelude::*;
+use moteur_registration::IcpParams;
+
+fn pipeline(pair: &ImagePair) -> Vec<(&'static str, RigidTransform)> {
+    let thr_ref = auto_threshold(&pair.reference, 1.0);
+    let thr_float = auto_threshold(&pair.floating, 1.0);
+    let ref_pts = extract_crest_points(&pair.reference, 1, thr_ref);
+    let float_pts = extract_crest_points(&pair.floating, 1, thr_float);
+    let crest_match = moteur_registration::icp(
+        &ref_pts, &float_pts, RigidTransform::IDENTITY, &IcpParams::coarse());
+    let pf_match = moteur_registration::icp(
+        &ref_pts, &float_pts, crest_match.transform, &IcpParams::matching());
+    let pf_register = moteur_registration::icp(
+        &ref_pts, &float_pts, pf_match.transform, &IcpParams::refinement());
+    let baladin = block_match(&pair.reference, &pair.floating, &BlockMatchParams::default())
+        .expect("phantom has informative blocks");
+    let yasmina = intensity_register(
+        &pair.reference, &pair.floating, crest_match.transform, &IntensityParams::default());
+    vec![
+        ("crestMatch", crest_match.transform),
+        ("PFRegister", pf_register.transform),
+        ("Baladin", baladin),
+        ("Yasmina", yasmina),
+    ]
+}
+
+#[test]
+fn all_algorithms_recover_ground_truth_motion() {
+    let cfg = PhantomConfig { noise: 1.0, ..Default::default() };
+    let pair = image_pair(&cfg, 42);
+    for (name, est) in pipeline(&pair) {
+        let rot = est.rotation_error(pair.truth);
+        let trans = est.translation_error(pair.truth);
+        assert!(rot < 0.13, "{name}: rotation error {rot} (truth angle {})", pair.truth.rotation.angle());
+        assert!(trans < 1.0, "{name}: translation error {trans}");
+    }
+}
+
+#[test]
+fn bronze_standard_rates_consistent_algorithms_tightly() {
+    let cfg = PhantomConfig { noise: 1.0, ..Default::default() };
+    let pairs: Vec<PairResults> = (0..3)
+        .map(|i| {
+            let pair = image_pair(&cfg, 100 + i as u64);
+            PairResults {
+                pair_id: i,
+                results: pipeline(&pair)
+                    .into_iter()
+                    .map(|(n, t)| AlgorithmResult { algorithm: n.into(), transform: t })
+                    .collect(),
+            }
+        })
+        .collect();
+    let report = bronze_standard(&pairs);
+    assert_eq!(report.accuracies.len(), 4);
+    assert_eq!(report.mean_transforms.len(), 3);
+    for acc in &report.accuracies {
+        assert_eq!(acc.pairs, 3);
+        assert!(acc.rotation_error_deg < 10.0, "{}: {acc:?}", acc.algorithm);
+        assert!(acc.translation_error < 3.0, "{}: {acc:?}", acc.algorithm);
+    }
+}

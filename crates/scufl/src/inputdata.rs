@@ -1,0 +1,159 @@
+//! The input data-set language (paper §4.1): an XML file format that
+//! "describes each item of the different inputs of the workflow" so a
+//! run can be re-executed on the same data set.
+
+use crate::ScuflError;
+use moteur::{DataValue, InputData};
+use moteur_xml::Element;
+
+/// Parse an `<inputdata>` document into [`InputData`].
+pub fn parse_input_data(text: &str) -> Result<InputData, ScuflError> {
+    let root = moteur_xml::parse(text)?;
+    if root.name != "inputdata" {
+        return Err(ScuflError::new(format!("expected <inputdata>, found <{}>", root.name)));
+    }
+    let mut data = InputData::new();
+    for input in root.children_named("input") {
+        let name = input
+            .attr("name")
+            .ok_or_else(|| ScuflError::new("<input> requires a name"))?;
+        let mut values = Vec::new();
+        for item in input.children_named("item") {
+            values.push(parse_item(item)?);
+        }
+        data = data.set(name, values);
+    }
+    Ok(data)
+}
+
+fn parse_item(item: &Element) -> Result<DataValue, ScuflError> {
+    match item.attr("type") {
+        Some("file") => {
+            let gfn = item
+                .attr("gfn")
+                .ok_or_else(|| ScuflError::new("file item requires gfn"))?;
+            let bytes: u64 = item
+                .attr("bytes")
+                .unwrap_or("0")
+                .parse()
+                .map_err(|_| ScuflError::new("bad file item bytes"))?;
+            Ok(DataValue::File { gfn: gfn.to_string(), bytes })
+        }
+        Some("string") => Ok(DataValue::Str(
+            item.attr("value")
+                .ok_or_else(|| ScuflError::new("string item requires value"))?
+                .to_string(),
+        )),
+        Some("number") => {
+            let v: f64 = item
+                .attr("value")
+                .ok_or_else(|| ScuflError::new("number item requires value"))?
+                .parse()
+                .map_err(|_| ScuflError::new("bad number item value"))?;
+            Ok(DataValue::Num(v))
+        }
+        other => Err(ScuflError::new(format!("unknown item type {other:?}"))),
+    }
+}
+
+/// Serialise input streams back to the data-set language. Only
+/// file/string/number values are expressible (opaque in-memory values
+/// have no on-disk form).
+pub fn write_input_data(
+    streams: &[(&str, &[DataValue])],
+) -> Result<String, ScuflError> {
+    let mut root = Element::new("inputdata");
+    for (name, values) in streams {
+        let mut input = Element::new("input").with_attr("name", *name);
+        for v in *values {
+            let item = match v {
+                DataValue::File { gfn, bytes } => Element::new("item")
+                    .with_attr("type", "file")
+                    .with_attr("gfn", gfn.clone())
+                    .with_attr("bytes", bytes.to_string()),
+                DataValue::Str(s) => Element::new("item")
+                    .with_attr("type", "string")
+                    .with_attr("value", s.clone()),
+                DataValue::Num(n) => Element::new("item")
+                    .with_attr("type", "number")
+                    .with_attr("value", n.to_string()),
+                other => {
+                    return Err(ScuflError::new(format!(
+                        "value {other:?} has no on-disk representation"
+                    )))
+                }
+            };
+            input = input.with_child(item);
+        }
+        root = root.with_child(input);
+    }
+    Ok(root.to_pretty_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"
+<inputdata>
+  <input name="referenceImage">
+    <item type="file" gfn="gfn://img/ref0.hdr" bytes="7800000"/>
+    <item type="file" gfn="gfn://img/ref1.hdr" bytes="7800000"/>
+  </input>
+  <input name="scale">
+    <item type="number" value="2"/>
+    <item type="string" value="fine"/>
+  </input>
+</inputdata>"#;
+
+    #[test]
+    fn parses_streams_in_order() {
+        let d = parse_input_data(DOC).unwrap();
+        let imgs = d.get("referenceImage").unwrap();
+        assert_eq!(imgs.len(), 2);
+        assert_eq!(imgs[0].as_file(), Some(("gfn://img/ref0.hdr", 7_800_000)));
+        let scales = d.get("scale").unwrap();
+        assert_eq!(scales[0].as_num(), Some(2.0));
+        assert_eq!(scales[1].as_str(), Some("fine"));
+        assert!(d.get("missing").is_none());
+    }
+
+    #[test]
+    fn round_trips() {
+        let d = parse_input_data(DOC).unwrap();
+        let text = write_input_data(&[
+            ("referenceImage", d.get("referenceImage").unwrap()),
+            ("scale", d.get("scale").unwrap()),
+        ])
+        .unwrap();
+        let d2 = parse_input_data(&text).unwrap();
+        assert_eq!(d2.get("referenceImage").unwrap(), d.get("referenceImage").unwrap());
+        assert_eq!(d2.get("scale").unwrap(), d.get("scale").unwrap());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_input_data("<x/>").unwrap_err().to_string().contains("expected <inputdata>"));
+        assert!(parse_input_data(r#"<inputdata><input name="a"><item type="alien"/></input></inputdata>"#)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown item type"));
+        assert!(parse_input_data(r#"<inputdata><input><item type="string" value="x"/></input></inputdata>"#)
+            .is_err());
+        assert!(parse_input_data(r#"<inputdata><input name="a"><item type="file"/></input></inputdata>"#)
+            .is_err());
+    }
+
+    #[test]
+    fn opaque_values_cannot_be_written() {
+        let v = [DataValue::opaque(3u8)];
+        let err = write_input_data(&[("x", &v)]).unwrap_err();
+        assert!(err.to_string().contains("no on-disk representation"));
+    }
+
+    #[test]
+    fn empty_stream_is_legal() {
+        let d = parse_input_data(r#"<inputdata><input name="empty"/></inputdata>"#).unwrap();
+        assert_eq!(d.get("empty").unwrap().len(), 0);
+    }
+}

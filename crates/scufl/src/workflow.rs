@@ -1,0 +1,404 @@
+//! The Scufl-like workflow language.
+//!
+//! ```xml
+//! <scufl name="bronze">
+//!   <source name="referenceImage"/>
+//!   <processor name="crestLines" compute="90" iteration="dot">
+//!     <executable name="CrestLines.pl"> … Fig. 8 descriptor … </executable>
+//!     <param slot="scale" value="2"/>
+//!     <outputsize slot="crest_reference" bytes="400000"/>
+//!   </processor>
+//!   <processor name="MultiTransfoTest" compute="120" sync="true"> … </processor>
+//!   <sink name="accuracy_rotation"/>
+//!   <link from="referenceImage:out" to="crestLines:reference_image"/>
+//!   <coordination from="crestMatch" to="MultiTransfoTest"/>
+//! </scufl>
+//! ```
+//!
+//! A processor's input ports are its descriptor's input slots minus the
+//! fixed `<param>`s; its output ports are the descriptor's output
+//! slots. Stochastic compute costs are supported through a `<cost>`
+//! child (`lognormal`, `uniform`, `exponential`, `constant`).
+
+use crate::ScuflError;
+use moteur::{
+    CostModel, IterationStrategy, ProcessorKind, ServiceBinding, ServiceProfile, Workflow,
+};
+use moteur_gridsim::Distribution;
+use moteur_wrapper::ExecutableDescriptor;
+use moteur_xml::Element;
+
+/// Parse a workflow document. The result is validated.
+pub fn parse_workflow(text: &str) -> Result<Workflow, ScuflError> {
+    let root = moteur_xml::parse(text)?;
+    if root.name != "scufl" {
+        return Err(ScuflError::new(format!("expected <scufl>, found <{}>", root.name)));
+    }
+    let mut wf = Workflow::new(root.attr("name").unwrap_or("workflow"));
+    for el in root.elements() {
+        match el.name.as_str() {
+            "source" => {
+                wf.add_source(required(el, "name")?);
+            }
+            "sink" => {
+                wf.add_sink(required(el, "name")?);
+            }
+            "processor" => {
+                parse_processor(&mut wf, el)?;
+            }
+            "link" | "coordination" => {} // second pass
+            other => return Err(ScuflError::new(format!("unknown element <{other}>"))),
+        }
+    }
+    for el in root.children_named("link") {
+        let (fp, fport) = endpoint(el, "from")?;
+        let (tp, tport) = endpoint(el, "to")?;
+        let from = wf
+            .find(&fp)
+            .ok_or_else(|| ScuflError::new(format!("link from unknown processor `{fp}`")))?;
+        let to = wf
+            .find(&tp)
+            .ok_or_else(|| ScuflError::new(format!("link to unknown processor `{tp}`")))?;
+        wf.connect(from, &fport, to, &tport)?;
+    }
+    for el in root.children_named("coordination") {
+        let before = required(el, "from")?;
+        let after = required(el, "to")?;
+        let b = wf
+            .find(&before)
+            .ok_or_else(|| ScuflError::new(format!("coordination from unknown `{before}`")))?;
+        let a = wf
+            .find(&after)
+            .ok_or_else(|| ScuflError::new(format!("coordination to unknown `{after}`")))?;
+        wf.add_control(b, a);
+    }
+    wf.validate()?;
+    Ok(wf)
+}
+
+fn parse_processor(wf: &mut Workflow, el: &Element) -> Result<(), ScuflError> {
+    let name = required(el, "name")?;
+    let exe = el
+        .child("executable")
+        .ok_or_else(|| ScuflError::new(format!("processor `{name}` needs an <executable>")))?;
+    let descriptor = ExecutableDescriptor::from_xml(exe)?;
+
+    let mut profile = ServiceProfile::new(0.0);
+    if let Some(cost_el) = el.child("cost") {
+        profile = profile.with_cost(parse_cost(cost_el)?);
+    } else {
+        let compute: f64 = el
+            .attr("compute")
+            .unwrap_or("0")
+            .parse()
+            .map_err(|_| ScuflError::new(format!("bad compute value on `{name}`")))?;
+        profile = profile.with_cost(CostModel::Fixed(compute));
+    }
+    for p in el.children_named("param") {
+        profile = profile.with_fixed_param(required(p, "slot")?, required(p, "value")?);
+    }
+    for o in el.children_named("outputsize") {
+        let bytes: u64 = required(o, "bytes")?
+            .parse()
+            .map_err(|_| ScuflError::new("bad outputsize bytes"))?;
+        profile = profile.with_output_bytes(required(o, "slot")?, bytes);
+    }
+
+    // Ports: descriptor slots minus fixed params.
+    let fixed: Vec<String> = profile.fixed_params.iter().map(|(s, _)| s.clone()).collect();
+    let inputs: Vec<String> = descriptor
+        .inputs
+        .iter()
+        .map(|i| i.name.clone())
+        .filter(|n| !fixed.contains(n))
+        .collect();
+    let outputs: Vec<String> = descriptor.outputs.iter().map(|o| o.name.clone()).collect();
+    let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+    let output_refs: Vec<&str> = outputs.iter().map(String::as_str).collect();
+
+    let id = wf.add_service(
+        &name,
+        &input_refs,
+        &output_refs,
+        ServiceBinding::descriptor(descriptor, profile),
+    );
+    match el.attr("iteration").unwrap_or("dot") {
+        "dot" => wf.set_iteration(id, IterationStrategy::Dot),
+        "cross" => wf.set_iteration(id, IterationStrategy::Cross),
+        other => return Err(ScuflError::new(format!("unknown iteration `{other}`"))),
+    }
+    if el.attr("sync") == Some("true") {
+        wf.set_synchronization(id, true);
+    }
+    Ok(())
+}
+
+fn parse_cost(el: &Element) -> Result<CostModel, ScuflError> {
+    let get = |a: &str| -> Result<f64, ScuflError> {
+        required(el, a)?
+            .parse()
+            .map_err(|_| ScuflError::new(format!("bad <cost> attribute `{a}`")))
+    };
+    let dist = match el.attr("type") {
+        Some("constant") => Distribution::Constant(get("value")?),
+        Some("uniform") => Distribution::Uniform { lo: get("lo")?, hi: get("hi")? },
+        Some("exponential") => Distribution::Exponential { mean: get("mean")? },
+        Some("lognormal") => Distribution::LogNormal { median: get("median")?, sigma: get("sigma")? },
+        other => return Err(ScuflError::new(format!("unknown cost type {other:?}"))),
+    };
+    Ok(CostModel::Stochastic(dist))
+}
+
+fn endpoint(el: &Element, attr: &str) -> Result<(String, String), ScuflError> {
+    let v = required(el, attr)?;
+    let (proc, port) = v
+        .split_once(':')
+        .ok_or_else(|| ScuflError::new(format!("endpoint `{v}` must be `processor:port`")))?;
+    Ok((proc.to_string(), port.to_string()))
+}
+
+fn required(el: &Element, attr: &str) -> Result<String, ScuflError> {
+    el.attr(attr)
+        .map(str::to_string)
+        .ok_or_else(|| ScuflError::new(format!("<{}> requires attribute `{attr}`", el.name)))
+}
+
+/// Serialise a workflow back to the Scufl dialect. Only descriptor
+/// bindings are expressible; local or grouped bindings are an error
+/// (grouping is a run-time transform, not a document feature).
+pub fn write_workflow(wf: &Workflow) -> Result<String, ScuflError> {
+    let mut root = Element::new("scufl").with_attr("name", wf.name.clone());
+    for p in &wf.processors {
+        match p.kind {
+            ProcessorKind::Source => {
+                root = root.with_child(Element::new("source").with_attr("name", p.name.clone()));
+            }
+            ProcessorKind::Sink => {
+                root = root.with_child(Element::new("sink").with_attr("name", p.name.clone()));
+            }
+            ProcessorKind::Service => {
+                let Some(ServiceBinding::Descriptor { descriptor, profile }) = &p.binding else {
+                    return Err(ScuflError::new(format!(
+                        "processor `{}` has a non-descriptor binding and cannot be serialised",
+                        p.name
+                    )));
+                };
+                let mut el = Element::new("processor").with_attr("name", p.name.clone());
+                el = el.with_attr(
+                    "iteration",
+                    match p.iteration {
+                        IterationStrategy::Dot => "dot",
+                        IterationStrategy::Cross => "cross",
+                    },
+                );
+                if p.synchronization {
+                    el = el.with_attr("sync", "true");
+                }
+                match &profile.compute {
+                    CostModel::Fixed(v) => {
+                        el = el.with_attr("compute", format!("{v}"));
+                    }
+                    CostModel::Stochastic(d) => {
+                        el = el.with_child(write_cost(d)?);
+                    }
+                    CostModel::ByIndex(_) => {
+                        return Err(ScuflError::new(format!(
+                            "processor `{}` has a programmatic cost model",
+                            p.name
+                        )))
+                    }
+                }
+                let desc_doc = descriptor.to_xml();
+                let exe = desc_doc
+                    .child("executable")
+                    .expect("descriptor serialisation always nests <executable>")
+                    .clone();
+                el = el.with_child(exe);
+                for (slot, value) in &profile.fixed_params {
+                    el = el.with_child(
+                        Element::new("param")
+                            .with_attr("slot", slot.clone())
+                            .with_attr("value", value.clone()),
+                    );
+                }
+                for (slot, bytes) in &profile.output_bytes {
+                    el = el.with_child(
+                        Element::new("outputsize")
+                            .with_attr("slot", slot.clone())
+                            .with_attr("bytes", bytes.to_string()),
+                    );
+                }
+                root = root.with_child(el);
+            }
+        }
+    }
+    for l in &wf.links {
+        let fp = &wf.processors[l.from.proc.0];
+        let tp = &wf.processors[l.to.proc.0];
+        root = root.with_child(
+            Element::new("link")
+                .with_attr("from", format!("{}:{}", fp.name, fp.outputs[l.from.port]))
+                .with_attr("to", format!("{}:{}", tp.name, tp.inputs[l.to.port])),
+        );
+    }
+    for (b, a) in &wf.control {
+        root = root.with_child(
+            Element::new("coordination")
+                .with_attr("from", wf.processors[b.0].name.clone())
+                .with_attr("to", wf.processors[a.0].name.clone()),
+        );
+    }
+    Ok(root.to_pretty_string())
+}
+
+fn write_cost(d: &Distribution) -> Result<Element, ScuflError> {
+    let el = Element::new("cost");
+    Ok(match d {
+        Distribution::Constant(v) => el.with_attr("type", "constant").with_attr("value", v.to_string()),
+        Distribution::Uniform { lo, hi } => el
+            .with_attr("type", "uniform")
+            .with_attr("lo", lo.to_string())
+            .with_attr("hi", hi.to_string()),
+        Distribution::Exponential { mean } => {
+            el.with_attr("type", "exponential").with_attr("mean", mean.to_string())
+        }
+        Distribution::LogNormal { median, sigma } => el
+            .with_attr("type", "lognormal")
+            .with_attr("median", median.to_string())
+            .with_attr("sigma", sigma.to_string()),
+        other => return Err(ScuflError::new(format!("cost distribution {other:?} not expressible"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = r#"
+<scufl name="demo">
+  <source name="images"/>
+  <processor name="crestLines" compute="90">
+    <executable name="CrestLines.pl">
+      <value value="CrestLines.pl"/>
+      <input name="img" option="-im1"><access type="GFN"/></input>
+      <input name="scale" option="-s"/>
+      <output name="crest" option="-c1"><access type="GFN"/></output>
+    </executable>
+    <param slot="scale" value="2"/>
+    <outputsize slot="crest" bytes="400000"/>
+  </processor>
+  <sink name="results"/>
+  <link from="images:out" to="crestLines:img"/>
+  <link from="crestLines:crest" to="results:in"/>
+</scufl>"#;
+
+    #[test]
+    fn parses_a_valid_document() {
+        let wf = parse_workflow(DEMO).unwrap();
+        assert_eq!(wf.name, "demo");
+        assert_eq!(wf.processors.len(), 3);
+        assert_eq!(wf.links.len(), 2);
+        let p = wf.processor(wf.find("crestLines").unwrap());
+        // `scale` is a fixed param, so not an input port.
+        assert_eq!(p.inputs, vec!["img"]);
+        assert_eq!(p.outputs, vec!["crest"]);
+        match p.binding.as_ref().unwrap() {
+            ServiceBinding::Descriptor { profile, .. } => {
+                assert_eq!(profile.fixed_param("scale"), Some("2"));
+                assert_eq!(profile.output_size("crest"), 400_000);
+                assert!(matches!(profile.compute, CostModel::Fixed(v) if v == 90.0));
+            }
+            other => panic!("unexpected binding {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_the_writer() {
+        let wf = parse_workflow(DEMO).unwrap();
+        let text = write_workflow(&wf).unwrap();
+        let wf2 = parse_workflow(&text).unwrap();
+        assert_eq!(wf2.processors.len(), wf.processors.len());
+        assert_eq!(wf2.links.len(), wf.links.len());
+        let p = wf2.processor(wf2.find("crestLines").unwrap());
+        assert_eq!(p.inputs, vec!["img"]);
+    }
+
+    #[test]
+    fn sync_and_iteration_attributes() {
+        let text = DEMO.replace(
+            r#"<processor name="crestLines" compute="90">"#,
+            r#"<processor name="crestLines" compute="90" sync="true" iteration="cross">"#,
+        );
+        let wf = parse_workflow(&text).unwrap();
+        let p = wf.processor(wf.find("crestLines").unwrap());
+        assert!(p.synchronization);
+        assert_eq!(p.iteration, IterationStrategy::Cross);
+    }
+
+    #[test]
+    fn stochastic_cost_parses_and_round_trips() {
+        let text = DEMO.replace(
+            r#"<processor name="crestLines" compute="90">"#,
+            r#"<processor name="crestLines"><cost type="lognormal" median="90" sigma="0.5"/>"#,
+        );
+        let wf = parse_workflow(&text).unwrap();
+        let p = wf.processor(wf.find("crestLines").unwrap());
+        match p.binding.as_ref().unwrap() {
+            ServiceBinding::Descriptor { profile, .. } => match &profile.compute {
+                CostModel::Stochastic(Distribution::LogNormal { median, sigma }) => {
+                    assert_eq!(*median, 90.0);
+                    assert_eq!(*sigma, 0.5);
+                }
+                other => panic!("unexpected cost {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+        let round = parse_workflow(&write_workflow(&wf).unwrap()).unwrap();
+        assert_eq!(round.processors.len(), 3);
+    }
+
+    #[test]
+    fn coordination_constraints_parse() {
+        let text = DEMO.replace(
+            "</scufl>",
+            r#"<coordination from="images" to="crestLines"/></scufl>"#,
+        );
+        let wf = parse_workflow(&text).unwrap();
+        assert_eq!(wf.control.len(), 1);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_workflow("<notscufl/>").unwrap_err().to_string().contains("expected <scufl>"));
+        assert!(parse_workflow(r#"<scufl><mystery/></scufl>"#)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown element"));
+        let bad_link = DEMO.replace("images:out", "nope:out");
+        assert!(parse_workflow(&bad_link).unwrap_err().to_string().contains("unknown processor"));
+        let bad_endpoint = DEMO.replace("images:out", "images");
+        assert!(parse_workflow(&bad_endpoint)
+            .unwrap_err()
+            .to_string()
+            .contains("must be `processor:port`"));
+        let bad_iter = DEMO.replace(r#"compute="90""#, r#"compute="90" iteration="zip""#);
+        assert!(parse_workflow(&bad_iter).unwrap_err().to_string().contains("unknown iteration"));
+    }
+
+    #[test]
+    fn unconnected_port_fails_validation() {
+        let text = DEMO.replace(r#"<link from="images:out" to="crestLines:img"/>"#, "");
+        assert!(parse_workflow(&text).unwrap_err().to_string().contains("not connected"));
+    }
+
+    #[test]
+    fn local_bindings_cannot_be_serialised() {
+        let mut wf = parse_workflow(DEMO).unwrap();
+        let id = wf.find("crestLines").unwrap();
+        let svc = |_: &[moteur::Token]| -> Result<Vec<(String, moteur::DataValue)>, String> {
+            Ok(vec![])
+        };
+        wf.processor_mut(id).binding = Some(ServiceBinding::local(svc));
+        assert!(write_workflow(&wf).unwrap_err().to_string().contains("non-descriptor"));
+    }
+}

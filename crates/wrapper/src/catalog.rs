@@ -1,0 +1,77 @@
+//! A replica-catalog stand-in: maps Grid File Names (and URLs) to file
+//! sizes so the transfer model knows what a stage-in costs.
+//!
+//! The real EGEE data-management stack resolves a GFN to physical
+//! replicas on storage elements; for the simulation all we need is the
+//! existence check and the size.
+
+use std::collections::HashMap;
+
+/// File-size catalog keyed by GFN/URL string.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    sizes: HashMap<String, u64>,
+    /// Size assumed for files never registered (e.g. small scripts
+    /// fetched from a web server).
+    pub default_size: u64,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog { sizes: HashMap::new(), default_size: 64 * 1024 }
+    }
+
+    /// Register (or update) a file's size.
+    pub fn register(&mut self, name: impl Into<String>, bytes: u64) {
+        self.sizes.insert(name.into(), bytes);
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.sizes.contains_key(name)
+    }
+
+    /// Size of `name`, falling back to `default_size` when unknown.
+    pub fn size_of(&self, name: &str) -> u64 {
+        self.sizes.get(name).copied().unwrap_or(self.default_size)
+    }
+
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.register("gfn://images/patient1.hdr", 7_800_000);
+        assert!(c.contains("gfn://images/patient1.hdr"));
+        assert_eq!(c.size_of("gfn://images/patient1.hdr"), 7_800_000);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn unknown_files_use_default_size() {
+        let mut c = Catalog::new();
+        c.default_size = 1234;
+        assert_eq!(c.size_of("nope"), 1234);
+        assert!(!c.contains("nope"));
+    }
+
+    #[test]
+    fn reregistering_updates_size() {
+        let mut c = Catalog::new();
+        c.register("f", 10);
+        c.register("f", 20);
+        assert_eq!(c.size_of("f"), 20);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! Virtual grouped services (paper §3.6, Fig. 7 bottom).
+//!
+//! Grouping merges the jobs of sequential processors into a single grid
+//! job: the wrapper concatenates their command lines and runs them in
+//! order on one worker. Files produced by an earlier member and
+//! consumed by a later member stay on the worker's scratch space — they
+//! are *not* transferred through a storage element and they cost no
+//! extra submission/queuing overhead. That is the whole point of the
+//! optimization: one grid overhead instead of N, and fewer transfers.
+
+use crate::catalog::Catalog;
+use crate::descriptor::ExecutableDescriptor;
+use crate::error::WrapperError;
+use crate::invocation::{
+    command_line, push_fetch, push_item_fetch, Binding, BoundValue, JobPlan, TransferFile,
+};
+
+/// One member of a grouped job: a descriptor plus its invocation
+/// binding.
+#[derive(Debug, Clone)]
+pub struct GroupMember {
+    pub descriptor: ExecutableDescriptor,
+    pub binding: Binding,
+}
+
+/// Compose a sequence of invocations into a single [`JobPlan`].
+///
+/// Member order must follow the data dependencies (earlier members
+/// produce, later members consume). Intermediate files — outputs of one
+/// member consumed by a later member — are elided from both `fetch` and
+/// `store`. An intermediate that is *also* listed in
+/// `external_outputs` (needed downstream of the group) is still stored.
+pub fn compose_group(
+    members: &[GroupMember],
+    catalog: &Catalog,
+    external_outputs: &[String],
+) -> Result<JobPlan, WrapperError> {
+    if members.is_empty() {
+        return Err(WrapperError::new("cannot compose an empty group"));
+    }
+    let mut command_lines = Vec::with_capacity(members.len());
+    let mut fetch: Vec<TransferFile> = Vec::new();
+    let mut store: Vec<TransferFile> = Vec::new();
+    // GFNs produced by members seen so far → available locally.
+    let mut produced: std::collections::HashSet<&str> = std::collections::HashSet::new();
+
+    for member in members {
+        command_lines.push(command_line(&member.descriptor, &member.binding)?);
+        push_item_fetch(&mut fetch, &member.descriptor.executable, catalog);
+        for s in &member.descriptor.sandboxes {
+            push_item_fetch(&mut fetch, s, catalog);
+        }
+        for (_, value) in &member.binding.inputs {
+            if let BoundValue::File { gfn } = value {
+                // Produced earlier in this group → local, no transfer.
+                if !produced.contains(gfn.as_str()) {
+                    push_fetch(&mut fetch, gfn.clone(), catalog.size_of(gfn));
+                }
+            }
+        }
+        for out in &member.binding.outputs {
+            produced.insert(&out.gfn);
+        }
+    }
+
+    // Consumers *within* the group, per GFN.
+    let consumed_internally: std::collections::HashSet<&str> = members
+        .iter()
+        .flat_map(|m| m.binding.inputs.iter())
+        .filter_map(|(_, v)| match v {
+            BoundValue::File { gfn } => Some(gfn.as_str()),
+            BoundValue::Value(_) => None,
+        })
+        .collect();
+
+    for member in members {
+        for out in &member.binding.outputs {
+            let internal_only = consumed_internally.contains(out.gfn.as_str())
+                && !external_outputs.iter().any(|e| e == &out.gfn);
+            if !internal_only {
+                push_store(&mut store, out.gfn.clone(), out.bytes);
+            }
+        }
+    }
+    Ok(JobPlan { command_lines, fetch, store })
+}
+
+fn push_store(store: &mut Vec<TransferFile>, name: String, bytes: u64) {
+    if !store.iter().any(|f| f.name == name) {
+        store.push(TransferFile { name, bytes });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::{AccessMethod, FileItem, InputSlot, OutputSlot};
+
+    /// `tool <in> -o <out>`-style single-input single-output descriptor.
+    fn simple_desc(name: &str) -> ExecutableDescriptor {
+        ExecutableDescriptor {
+            executable: FileItem {
+                name: name.into(),
+                access: AccessMethod::Url { server: "http://host".into() },
+                value: name.into(),
+            },
+            inputs: vec![InputSlot { name: "in".into(), option: "-i".into(), access: Some(AccessMethod::Gfn) }],
+            outputs: vec![OutputSlot { name: "out".into(), option: "-o".into(), access: AccessMethod::Gfn }],
+            sandboxes: vec![],
+        }
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register("gfn://data/input.img", 7_800_000);
+        c.default_size = 10_000;
+        c
+    }
+
+    fn two_member_chain() -> Vec<GroupMember> {
+        vec![
+            GroupMember {
+                descriptor: simple_desc("crestLines"),
+                binding: Binding::new()
+                    .bind_file("in", "gfn://data/input.img")
+                    .bind_output("out", "gfn://tmp/crests.dat", 500_000),
+            },
+            GroupMember {
+                descriptor: simple_desc("crestMatch"),
+                binding: Binding::new()
+                    .bind_file("in", "gfn://tmp/crests.dat")
+                    .bind_output("out", "gfn://res/transfo.trf", 2_000),
+            },
+        ]
+    }
+
+    #[test]
+    fn group_concatenates_command_lines_in_order() {
+        let plan = compose_group(&two_member_chain(), &catalog(), &[]).unwrap();
+        assert_eq!(plan.command_lines.len(), 2);
+        assert!(plan.command_lines[0].starts_with("crestLines"));
+        assert!(plan.command_lines[1].starts_with("crestMatch"));
+    }
+
+    #[test]
+    fn intermediate_file_is_neither_fetched_nor_stored() {
+        let plan = compose_group(&two_member_chain(), &catalog(), &[]).unwrap();
+        assert!(
+            !plan.fetch.iter().any(|f| f.name.contains("crests.dat")),
+            "intermediate must not be staged in: {:?}",
+            plan.fetch
+        );
+        assert!(
+            !plan.store.iter().any(|f| f.name.contains("crests.dat")),
+            "intermediate must not be registered: {:?}",
+            plan.store
+        );
+        // External input fetched, final output stored.
+        assert!(plan.fetch.iter().any(|f| f.name == "gfn://data/input.img"));
+        assert_eq!(plan.store.len(), 1);
+        assert_eq!(plan.store[0].name, "gfn://res/transfo.trf");
+    }
+
+    #[test]
+    fn grouping_transfers_less_than_separate_jobs() {
+        let members = two_member_chain();
+        let cat = catalog();
+        let grouped = compose_group(&members, &cat, &[]).unwrap();
+        let separate: u64 = members
+            .iter()
+            .map(|m| {
+                crate::invocation::plan_single(&m.descriptor, &m.binding, &cat)
+                    .unwrap()
+                    .fetch_bytes()
+            })
+            .sum();
+        assert!(
+            grouped.fetch_bytes() < separate,
+            "grouped {} vs separate {}",
+            grouped.fetch_bytes(),
+            separate
+        );
+    }
+
+    #[test]
+    fn intermediate_needed_downstream_is_still_stored() {
+        let plan =
+            compose_group(&two_member_chain(), &catalog(), &["gfn://tmp/crests.dat".into()])
+                .unwrap();
+        assert!(plan.store.iter().any(|f| f.name == "gfn://tmp/crests.dat"));
+    }
+
+    #[test]
+    fn single_member_group_equals_plan_single() {
+        let members = &two_member_chain()[..1];
+        let cat = catalog();
+        let grouped = compose_group(members, &cat, &[]).unwrap();
+        let single =
+            crate::invocation::plan_single(&members[0].descriptor, &members[0].binding, &cat)
+                .unwrap();
+        assert_eq!(grouped, single);
+    }
+
+    #[test]
+    fn empty_group_is_an_error() {
+        assert!(compose_group(&[], &catalog(), &[]).is_err());
+    }
+
+    #[test]
+    fn shared_sandboxes_are_fetched_once() {
+        let mut a = simple_desc("stepA");
+        let mut b = simple_desc("stepB");
+        let shared = FileItem {
+            name: "lib".into(),
+            access: AccessMethod::Url { server: "http://host".into() },
+            value: "libshared.so".into(),
+        };
+        a.sandboxes.push(shared.clone());
+        b.sandboxes.push(shared);
+        let members = vec![
+            GroupMember {
+                descriptor: a,
+                binding: Binding::new()
+                    .bind_file("in", "gfn://data/input.img")
+                    .bind_output("out", "gfn://tmp/x", 1),
+            },
+            GroupMember {
+                descriptor: b,
+                binding: Binding::new()
+                    .bind_file("in", "gfn://tmp/x")
+                    .bind_output("out", "gfn://res/y", 1),
+            },
+        ];
+        let plan = compose_group(&members, &catalog(), &[]).unwrap();
+        let lib_fetches = plan.fetch.iter().filter(|f| f.name.contains("libshared")).count();
+        assert_eq!(lib_fetches, 1);
+    }
+
+    #[test]
+    fn three_deep_chain_elides_both_intermediates() {
+        let mut members = two_member_chain();
+        members.push(GroupMember {
+            descriptor: simple_desc("register"),
+            binding: Binding::new()
+                .bind_file("in", "gfn://res/transfo.trf")
+                .bind_output("out", "gfn://res/final.trf", 100),
+        });
+        let plan = compose_group(&members, &catalog(), &[]).unwrap();
+        assert_eq!(plan.store.len(), 1);
+        assert_eq!(plan.store[0].name, "gfn://res/final.trf");
+        assert_eq!(plan.command_lines.len(), 3);
+        // Only the true external input is fetched (plus executables).
+        let data_fetches: Vec<_> =
+            plan.fetch.iter().filter(|f| f.name.starts_with("gfn://")).collect();
+        assert_eq!(data_fetches.len(), 1);
+    }
+}

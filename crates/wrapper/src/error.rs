@@ -1,0 +1,33 @@
+//! Error type for descriptor parsing, binding and composition.
+
+use std::fmt;
+
+/// Error raised by the wrapper layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WrapperError {
+    pub message: String,
+}
+
+impl WrapperError {
+    pub fn new(message: impl Into<String>) -> Self {
+        WrapperError { message: message.into() }
+    }
+}
+
+impl fmt::Display for WrapperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wrapper error: {}", self.message)
+    }
+}
+
+impl std::error::Error for WrapperError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        assert_eq!(WrapperError::new("boom").to_string(), "wrapper error: boom");
+    }
+}

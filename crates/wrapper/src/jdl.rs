@@ -1,0 +1,155 @@
+//! JDL (Job Description Language) rendering.
+//!
+//! The paper contrasts the service approach with the *task-based*
+//! interface of LCG2/gLite, where each job is a static JDL document
+//! naming the executable, sandboxes and data. The wrapper can render
+//! any [`JobPlan`] as the equivalent JDL — handy for eyeballing what a
+//! virtual grouped service actually submits, and a faithful artifact of
+//! the 2006 middleware this reproduction models.
+
+use crate::invocation::JobPlan;
+use std::fmt::Write as _;
+
+/// Options for JDL rendering.
+#[derive(Debug, Clone)]
+pub struct JdlOptions {
+    /// The virtual organisation name (`Requirements`/accounting).
+    pub virtual_organisation: String,
+    /// Number of resubmissions the middleware may perform.
+    pub retry_count: u32,
+}
+
+impl Default for JdlOptions {
+    fn default() -> Self {
+        JdlOptions { virtual_organisation: "biomed".into(), retry_count: 3 }
+    }
+}
+
+/// Render a [`JobPlan`] as an LCG2-style JDL document.
+///
+/// Multi-command plans (grouped services, batched jobs) become a shell
+/// wrapper invocation, exactly how the real generic wrapper shipped a
+/// script that ran the composed command lines in sequence.
+pub fn to_jdl(plan: &JobPlan, options: &JdlOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "[");
+    if plan.command_lines.len() == 1 {
+        let (exe, args) = split_command(&plan.command_lines[0]);
+        let _ = writeln!(out, "  Executable = \"{}\";", escape(exe));
+        if !args.is_empty() {
+            let _ = writeln!(out, "  Arguments = \"{}\";", escape(&args));
+        }
+    } else {
+        // The generic wrapper script runs the composed command lines.
+        let _ = writeln!(out, "  Executable = \"moteur_wrapper.sh\";");
+        let script: Vec<String> =
+            plan.command_lines.iter().map(|c| escape(c)).collect();
+        let _ = writeln!(out, "  Arguments = \"{}\";", script.join(" && "));
+    }
+    let _ = writeln!(out, "  StdOutput = \"std.out\";");
+    let _ = writeln!(out, "  StdError = \"std.err\";");
+    if !plan.fetch.is_empty() {
+        let items: Vec<String> =
+            plan.fetch.iter().map(|f| format!("\"{}\"", escape(&f.name))).collect();
+        let _ = writeln!(out, "  InputSandbox = {{{}}};", items.join(", "));
+    }
+    if !plan.store.is_empty() {
+        let items: Vec<String> =
+            plan.store.iter().map(|f| format!("\"{}\"", escape(&f.name))).collect();
+        let _ = writeln!(out, "  OutputSandbox = {{{}}};", items.join(", "));
+    }
+    let _ = writeln!(
+        out,
+        "  Requirements = other.GlueCEPolicyMaxCPUTime > 60 && Member(\"VO-{}\", other.GlueHostApplicationSoftwareRunTimeEnvironment);",
+        escape(&options.virtual_organisation)
+    );
+    let _ = writeln!(out, "  RetryCount = {};", options.retry_count);
+    let _ = writeln!(out, "  VirtualOrganisation = \"{}\";", escape(&options.virtual_organisation));
+    out.push_str("]\n");
+    out
+}
+
+fn split_command(command: &str) -> (&str, String) {
+    match command.split_once(' ') {
+        Some((exe, rest)) => (exe, rest.to_string()),
+        None => (command, String::new()),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::descriptor::crest_lines_example;
+    use crate::invocation::{plan_single, Binding};
+
+    fn plan() -> JobPlan {
+        let mut catalog = Catalog::new();
+        catalog.register("gfn://img/f.hdr", 7_864_320);
+        catalog.register("gfn://img/r.hdr", 7_864_320);
+        let binding = Binding::new()
+            .bind_file("floating_image", "gfn://img/f.hdr")
+            .bind_file("reference_image", "gfn://img/r.hdr")
+            .bind_value("scale", "2")
+            .bind_output("crest_reference", "gfn://o/c1", 1)
+            .bind_output("crest_floating", "gfn://o/c2", 1);
+        plan_single(&crest_lines_example(), &binding, &catalog).unwrap()
+    }
+
+    #[test]
+    fn single_command_jdl_has_executable_and_arguments() {
+        let jdl = to_jdl(&plan(), &JdlOptions::default());
+        assert!(jdl.starts_with("[\n"), "{jdl}");
+        assert!(jdl.contains("Executable = \"CrestLines.pl\";"), "{jdl}");
+        assert!(jdl.contains("Arguments = \"-im1 f.hdr -im2 r.hdr -s 2"), "{jdl}");
+        assert!(jdl.contains("InputSandbox"), "{jdl}");
+        assert!(jdl.contains("gfn://img/f.hdr"), "{jdl}");
+        assert!(jdl.contains("OutputSandbox = {\"gfn://o/c1\", \"gfn://o/c2\"};"), "{jdl}");
+        assert!(jdl.contains("VirtualOrganisation = \"biomed\";"), "{jdl}");
+        assert!(jdl.trim_end().ends_with(']'), "{jdl}");
+    }
+
+    #[test]
+    fn grouped_plans_render_as_wrapper_script() {
+        let mut p = plan();
+        p.command_lines.push("cmatch -c1 c1 -c2 c2 -o t.trf".into());
+        let jdl = to_jdl(&p, &JdlOptions::default());
+        assert!(jdl.contains("Executable = \"moteur_wrapper.sh\";"), "{jdl}");
+        assert!(jdl.contains(" && "), "composed command lines: {jdl}");
+    }
+
+    #[test]
+    fn options_are_respected() {
+        let jdl = to_jdl(
+            &plan(),
+            &JdlOptions { virtual_organisation: "atlas".into(), retry_count: 7 },
+        );
+        assert!(jdl.contains("VirtualOrganisation = \"atlas\";"));
+        assert!(jdl.contains("RetryCount = 7;"));
+        assert!(jdl.contains("VO-atlas"));
+    }
+
+    #[test]
+    fn quotes_in_names_are_escaped() {
+        let p = JobPlan {
+            command_lines: vec!["tool \"quoted\"".into()],
+            fetch: vec![],
+            store: vec![],
+        };
+        let jdl = to_jdl(&p, &JdlOptions::default());
+        assert!(jdl.contains("Arguments = \"\\\"quoted\\\"\";"), "{jdl}");
+    }
+
+    #[test]
+    fn empty_sandboxes_are_omitted() {
+        let p = JobPlan { command_lines: vec!["tool".into()], fetch: vec![], store: vec![] };
+        let jdl = to_jdl(&p, &JdlOptions::default());
+        assert!(!jdl.contains("InputSandbox"));
+        assert!(!jdl.contains("OutputSandbox"));
+        assert!(!jdl.contains("Arguments"));
+    }
+}

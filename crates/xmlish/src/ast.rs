@@ -1,0 +1,183 @@
+//! Document tree: elements, attributes and text nodes, plus the query
+//! helpers the descriptor/workflow loaders are built on.
+
+/// A node in an element's child list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    Element(Element),
+    /// Text content. Adjacent text is merged by the parser; text nodes
+    /// consisting only of whitespace between elements are dropped.
+    Text(String),
+}
+
+impl Node {
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        }
+    }
+
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Node::Text(t) => Some(t),
+            Node::Element(_) => None,
+        }
+    }
+}
+
+/// An XML element: name, ordered attribute list and ordered children.
+///
+/// Attributes keep their document order (the dialects treat repeated
+/// names as an error at load time, not at parse time).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    pub name: String,
+    pub attributes: Vec<(String, String)>,
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// New empty element.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+    }
+
+    /// Builder: add an attribute.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((name.into(), value.into()));
+        self
+    }
+
+    /// Builder: add a child element.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder: add a text child.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Value of the attribute `name`, if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First child element named `name`.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.elements().find(|e| e.name == name)
+    }
+
+    /// All child elements named `name`, in document order.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.elements().filter(move |e| e.name == name)
+    }
+
+    /// All child elements, in document order.
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// Concatenated text content of direct text children, trimmed.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.children {
+            if let Node::Text(t) = c {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_string()
+    }
+
+    /// Follow a path of child-element names (first match at every step).
+    pub fn path(&self, path: &[&str]) -> Option<&Element> {
+        let mut cur = self;
+        for name in path {
+            cur = cur.child(name)?;
+        }
+        Some(cur)
+    }
+
+    /// Number of descendant elements, including `self`. Used by tests and
+    /// the property-based round-trip harness.
+    pub fn element_count(&self) -> usize {
+        1 + self.elements().map(Element::element_count).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("workflow")
+            .with_attr("name", "bronze")
+            .with_child(
+                Element::new("processor")
+                    .with_attr("name", "crestLines")
+                    .with_text("pre-processing"),
+            )
+            .with_child(Element::new("processor").with_attr("name", "crestMatch"))
+            .with_child(Element::new("link").with_attr("from", "a").with_attr("to", "b"))
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let e = sample();
+        assert_eq!(e.attr("name"), Some("bronze"));
+        assert_eq!(e.attr("missing"), None);
+    }
+
+    #[test]
+    fn child_returns_first_match() {
+        let e = sample();
+        assert_eq!(e.child("processor").unwrap().attr("name"), Some("crestLines"));
+        assert!(e.child("nope").is_none());
+    }
+
+    #[test]
+    fn children_named_returns_all_in_order() {
+        let e = sample();
+        let names: Vec<_> = e
+            .children_named("processor")
+            .map(|p| p.attr("name").unwrap())
+            .collect();
+        assert_eq!(names, ["crestLines", "crestMatch"]);
+    }
+
+    #[test]
+    fn text_trims_and_concatenates() {
+        let e = Element::new("v").with_text("  a ").with_child(Element::new("x")).with_text("b  ");
+        assert_eq!(e.text(), "a b");
+    }
+
+    #[test]
+    fn path_descends() {
+        let e = Element::new("a").with_child(Element::new("b").with_child(Element::new("c")));
+        assert_eq!(e.path(&["b", "c"]).unwrap().name, "c");
+        assert!(e.path(&["b", "x"]).is_none());
+        assert_eq!(e.path(&[]).unwrap().name, "a");
+    }
+
+    #[test]
+    fn element_count_counts_self_and_descendants() {
+        assert_eq!(sample().element_count(), 4);
+        assert_eq!(Element::new("leaf").element_count(), 1);
+    }
+
+    #[test]
+    fn node_accessors() {
+        let t = Node::Text("x".into());
+        let e = Node::Element(Element::new("e"));
+        assert_eq!(t.as_text(), Some("x"));
+        assert!(t.as_element().is_none());
+        assert!(e.as_text().is_none());
+        assert_eq!(e.as_element().unwrap().name, "e");
+    }
+}

@@ -1,0 +1,64 @@
+//! Error and source-position types for the XML parser.
+
+use std::fmt;
+
+/// A 1-based line/column position in the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    pub line: u32,
+    pub column: u32,
+}
+
+impl Position {
+    pub const START: Position = Position { line: 1, column: 1 };
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Parse error with the position where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    pub position: Position,
+    pub message: String,
+}
+
+impl XmlError {
+    pub fn new(position: Position, message: impl Into<String>) -> Self {
+        XmlError { position, message: message.into() }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_displays_line_colon_column() {
+        let p = Position { line: 3, column: 17 };
+        assert_eq!(p.to_string(), "3:17");
+    }
+
+    #[test]
+    fn error_display_includes_position_and_message() {
+        let e = XmlError::new(Position { line: 2, column: 5 }, "unexpected `<`");
+        assert_eq!(e.to_string(), "XML error at 2:5: unexpected `<`");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&XmlError::new(Position::START, "x"));
+    }
+}

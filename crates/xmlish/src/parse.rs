@@ -1,0 +1,471 @@
+//! Recursive-descent parser over a position-tracking cursor.
+
+use crate::ast::{Element, Node};
+use crate::error::{Position, XmlError};
+
+/// Parse a complete document and return its root element.
+///
+/// Leading XML declarations, processing instructions and comments are
+/// skipped; trailing content other than whitespace/comments is an error.
+pub fn parse(input: &str) -> Result<Element, XmlError> {
+    let mut cur = Cursor::new(input);
+    cur.skip_misc();
+    let root = cur.parse_element()?;
+    cur.skip_misc();
+    if !cur.at_end() {
+        return Err(cur.error("content after the root element"));
+    }
+    Ok(root)
+}
+
+struct Cursor<'a> {
+    input: &'a str,
+    /// Byte offset into `input`.
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &'a str) -> Self {
+        Cursor { input, pos: 0, line: 1, column: 1 }
+    }
+
+    fn position(&self) -> Position {
+        Position { line: self.line, column: self.column }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> XmlError {
+        XmlError::new(self.position(), msg)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in s.chars() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), XmlError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{s}`")))
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    /// Skip whitespace, comments, XML declarations and processing
+    /// instructions — the "misc" productions allowed around the root.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<!--") {
+                // A comment may legally contain anything except `--`.
+                if self.skip_until("-->").is_err() {
+                    return; // unterminated; the element parser will report it
+                }
+            } else if self.starts_with("<?") {
+                if self.skip_until("?>").is_err() {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<(), ()> {
+        while !self.at_end() {
+            if self.eat(end) {
+                return Ok(());
+            }
+            self.bump();
+        }
+        Err(())
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                self.bump();
+            }
+            _ => return Err(self.error("expected a name")),
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.bump();
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn parse_element(&mut self) -> Result<Element, XmlError> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let mut element = Element::new(name);
+
+        // Attributes.
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some('>') | Some('/') => break,
+                Some(c) if is_name_start(c) => {
+                    let attr_pos = self.position();
+                    let attr = self.parse_name()?;
+                    self.skip_whitespace();
+                    self.expect("=")?;
+                    self.skip_whitespace();
+                    let value = self.parse_attr_value()?;
+                    if element.attr(&attr).is_some() {
+                        return Err(XmlError::new(
+                            attr_pos,
+                            format!("duplicate attribute `{attr}`"),
+                        ));
+                    }
+                    element.attributes.push((attr, value));
+                }
+                _ => return Err(self.error("expected attribute, `>` or `/>`")),
+            }
+        }
+
+        if self.eat("/>") {
+            return Ok(element);
+        }
+        self.expect(">")?;
+        self.parse_content(&mut element)?;
+        Ok(element)
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => return Err(self.error("expected a quoted attribute value")),
+        };
+        self.bump();
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated attribute value")),
+                Some(c) if c == quote => {
+                    self.bump();
+                    return Ok(value);
+                }
+                Some('<') => return Err(self.error("`<` not allowed in attribute value")),
+                Some('&') => value.push(self.parse_reference()?),
+                Some(c) => {
+                    value.push(c);
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Parse children up to and including the matching end tag.
+    fn parse_content(&mut self, element: &mut Element) -> Result<(), XmlError> {
+        let mut text = String::new();
+        loop {
+            if self.at_end() {
+                return Err(self.error(format!("unclosed element `{}`", element.name)));
+            }
+            if self.starts_with("</") {
+                flush_text(&mut text, element);
+                self.expect("</")?;
+                let close = self.parse_name()?;
+                if close != element.name {
+                    return Err(self.error(format!(
+                        "mismatched end tag: expected `</{}>`, found `</{close}>`",
+                        element.name
+                    )));
+                }
+                self.skip_whitespace();
+                self.expect(">")?;
+                return Ok(());
+            }
+            if self.starts_with("<!--") {
+                self.expect("<!--")?;
+                if self.skip_until("-->").is_err() {
+                    return Err(self.error("unterminated comment"));
+                }
+                continue;
+            }
+            if self.starts_with("<![CDATA[") {
+                self.expect("<![CDATA[")?;
+                let start = self.pos;
+                loop {
+                    if self.at_end() {
+                        return Err(self.error("unterminated CDATA section"));
+                    }
+                    if self.starts_with("]]>") {
+                        text.push_str(&self.input[start..self.pos]);
+                        self.expect("]]>")?;
+                        break;
+                    }
+                    self.bump();
+                }
+                continue;
+            }
+            if self.starts_with("<?") {
+                self.expect("<?")?;
+                if self.skip_until("?>").is_err() {
+                    return Err(self.error("unterminated processing instruction"));
+                }
+                continue;
+            }
+            if self.starts_with("<") {
+                flush_text(&mut text, element);
+                let child = self.parse_element()?;
+                element.children.push(Node::Element(child));
+                continue;
+            }
+            match self.peek() {
+                Some('&') => text.push(self.parse_reference()?),
+                Some(c) => {
+                    text.push(c);
+                    self.bump();
+                }
+                None => unreachable!("at_end checked above"),
+            }
+        }
+    }
+
+    /// Parse `&...;` — predefined entity or character reference.
+    fn parse_reference(&mut self) -> Result<char, XmlError> {
+        let start_pos = self.position();
+        self.expect("&")?;
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c != ';' && !c.is_whitespace()) {
+            self.bump();
+        }
+        let body = &self.input[start..self.pos];
+        if !self.eat(";") {
+            return Err(XmlError::new(start_pos, "unterminated entity reference"));
+        }
+        match body {
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "amp" => Ok('&'),
+            "apos" => Ok('\''),
+            "quot" => Ok('"'),
+            _ if body.starts_with("#x") || body.starts_with("#X") => {
+                let code = u32::from_str_radix(&body[2..], 16)
+                    .map_err(|_| XmlError::new(start_pos, "bad hex character reference"))?;
+                char::from_u32(code)
+                    .ok_or_else(|| XmlError::new(start_pos, "character reference out of range"))
+            }
+            _ if body.starts_with('#') => {
+                let code = body[1..]
+                    .parse::<u32>()
+                    .map_err(|_| XmlError::new(start_pos, "bad character reference"))?;
+                char::from_u32(code)
+                    .ok_or_else(|| XmlError::new(start_pos, "character reference out of range"))
+            }
+            other => Err(XmlError::new(start_pos, format!("unknown entity `&{other};`"))),
+        }
+    }
+}
+
+/// Append accumulated text as a child node unless it is pure
+/// inter-element whitespace.
+fn flush_text(text: &mut String, element: &mut Element) {
+    if !text.is_empty() {
+        if !text.chars().all(char::is_whitespace) {
+            element.children.push(Node::Text(std::mem::take(text)));
+        } else {
+            text.clear();
+        }
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_empty_element() {
+        let e = parse("<a/>").unwrap();
+        assert_eq!(e, Element::new("a"));
+    }
+
+    #[test]
+    fn parses_attributes_both_quote_styles() {
+        let e = parse(r#"<a x="1" y='two'/>"#).unwrap();
+        assert_eq!(e.attr("x"), Some("1"));
+        assert_eq!(e.attr("y"), Some("two"));
+    }
+
+    #[test]
+    fn parses_nested_elements_and_text() {
+        let e = parse("<a><b>hello</b><c/></a>").unwrap();
+        assert_eq!(e.child("b").unwrap().text(), "hello");
+        assert!(e.child("c").is_some());
+    }
+
+    #[test]
+    fn interelement_whitespace_is_dropped() {
+        let e = parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(e.children.len(), 2);
+    }
+
+    #[test]
+    fn significant_text_is_kept() {
+        let e = parse("<a> x <b/> y </a>").unwrap();
+        assert_eq!(e.children.len(), 3);
+        assert_eq!(e.children[0].as_text(), Some(" x "));
+    }
+
+    #[test]
+    fn decodes_predefined_entities_in_text_and_attrs() {
+        let e = parse(r#"<a v="&lt;&amp;&gt;">&quot;&apos;</a>"#).unwrap();
+        assert_eq!(e.attr("v"), Some("<&>"));
+        assert_eq!(e.text(), "\"'");
+    }
+
+    #[test]
+    fn decodes_character_references() {
+        let e = parse("<a>&#65;&#x42;</a>").unwrap();
+        assert_eq!(e.text(), "AB");
+    }
+
+    #[test]
+    fn skips_xml_declaration_and_comments() {
+        let e = parse("<?xml version=\"1.0\"?>\n<!-- hi -->\n<a><!-- inner --><b/></a>\n<!-- bye -->")
+            .unwrap();
+        assert_eq!(e.children.len(), 1);
+    }
+
+    #[test]
+    fn cdata_is_literal_text() {
+        let e = parse("<a><![CDATA[<not> & parsed]]></a>").unwrap();
+        assert_eq!(e.text(), "<not> & parsed");
+    }
+
+    #[test]
+    fn rejects_mismatched_end_tag() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched end tag"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unclosed_element() {
+        assert!(parse("<a><b/>").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_attribute() {
+        let err = parse(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(err.message.contains("duplicate attribute"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("<a/><b/>").is_err());
+        assert!(parse("<a/>text").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        let err = parse("<a>&nbsp;</a>").unwrap_err();
+        assert!(err.message.contains("unknown entity"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_character_reference() {
+        assert!(parse("<a>&#xD800;</a>").is_err()); // surrogate
+        assert!(parse("<a>&#zz;</a>").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_tracked() {
+        let err = parse("<a>\n  <b x=></b>\n</a>").unwrap_err();
+        assert_eq!(err.position.line, 2);
+        assert!(err.position.column > 1);
+    }
+
+    #[test]
+    fn names_allow_colon_dash_dot_underscore() {
+        let e = parse(r#"<ns:el-em.ent _a-b.c="1"/>"#).unwrap();
+        assert_eq!(e.name, "ns:el-em.ent");
+        assert_eq!(e.attr("_a-b.c"), Some("1"));
+    }
+
+    #[test]
+    fn rejects_lt_in_attribute_value() {
+        assert!(parse(r#"<a v="<"/>"#).is_err());
+    }
+
+    #[test]
+    fn whitespace_allowed_in_end_tag_and_around_eq() {
+        let e = parse("<a  x = \"1\" ></a >").unwrap();
+        assert_eq!(e.attr("x"), Some("1"));
+    }
+
+    #[test]
+    fn parses_figure8_descriptor_shape() {
+        // Abbreviated version of the paper's Fig. 8 example.
+        let doc = parse(
+            r#"<description>
+                 <executable name="CrestLines.pl">
+                   <access type="URL"><path value="http://colors.unice.fr"/></access>
+                   <value value="CrestLines.pl"/>
+                   <input name="floating_image" option="-im1"><access type="GFN"/></input>
+                   <input name="scale" option="-s"/>
+                   <output name="crest_reference" option="-c1"><access type="GFN"/></output>
+                   <sandbox name="convert8bits">
+                     <access type="URL"><path value="http://colors.unice.fr"/></access>
+                     <value value="Convert8bits.pl"/>
+                   </sandbox>
+                 </executable>
+               </description>"#,
+        )
+        .unwrap();
+        let exe = doc.child("executable").unwrap();
+        assert_eq!(exe.attr("name"), Some("CrestLines.pl"));
+        assert_eq!(exe.children_named("input").count(), 2);
+        assert_eq!(exe.path(&["access"]).unwrap().attr("type"), Some("URL"));
+    }
+}

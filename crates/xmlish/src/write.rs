@@ -1,0 +1,159 @@
+//! Serialisation: compact and pretty-printed writers with escaping.
+
+use crate::ast::{Element, Node};
+use std::fmt::Write as _;
+
+/// Escape text content (`<`, `>`, `&`).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value for double-quoted serialisation.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+impl Element {
+    /// Compact single-line serialisation.
+    pub fn to_xml_string(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Indented serialisation (two spaces per level). Elements with text
+    /// children are kept on one line so the text round-trips exactly.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_open_tag(&self, out: &mut String, self_close: bool) {
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attributes {
+            let _ = write!(out, " {k}=\"{}\"", escape_attr(v));
+        }
+        out.push_str(if self_close { "/>" } else { ">" });
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        if self.children.is_empty() {
+            self.write_open_tag(out, true);
+            return;
+        }
+        self.write_open_tag(out, false);
+        for child in &self.children {
+            match child {
+                Node::Element(e) => e.write_compact(out),
+                Node::Text(t) => out.push_str(&escape_text(t)),
+            }
+        }
+        let _ = write!(out, "</{}>", self.name);
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        if self.children.is_empty() {
+            self.write_open_tag(out, true);
+            return;
+        }
+        // Mixed or text content cannot be re-indented without changing
+        // the text, so fall back to compact for this subtree.
+        if self.children.iter().any(|c| matches!(c, Node::Text(_))) {
+            self.write_compact(out);
+            return;
+        }
+        self.write_open_tag(out, false);
+        out.push('\n');
+        for child in &self.children {
+            match child {
+                Node::Element(e) => {
+                    e.write_pretty(out, depth + 1);
+                    out.push('\n');
+                }
+                Node::Text(_) => unreachable!("text handled above"),
+            }
+        }
+        let _ = write!(out, "{pad}</{}>", self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_empty_element_self_closes() {
+        assert_eq!(Element::new("a").to_xml_string(), "<a/>");
+    }
+
+    #[test]
+    fn compact_serialises_attrs_and_children() {
+        let e = Element::new("a")
+            .with_attr("x", "1")
+            .with_child(Element::new("b").with_text("t"));
+        assert_eq!(e.to_xml_string(), r#"<a x="1"><b>t</b></a>"#);
+    }
+
+    #[test]
+    fn escaping_text_and_attrs() {
+        assert_eq!(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
+        assert_eq!(escape_attr(r#"x"y<z"#), "x&quot;y&lt;z");
+    }
+
+    #[test]
+    fn attr_newline_and_tab_are_preserved_via_char_refs() {
+        let e = Element::new("a").with_attr("v", "x\ny\tz");
+        let round = parse(&e.to_xml_string()).unwrap();
+        assert_eq!(round.attr("v"), Some("x\ny\tz"));
+    }
+
+    #[test]
+    fn compact_round_trip() {
+        let e = Element::new("root")
+            .with_attr("k", "v&\"w")
+            .with_child(Element::new("c1").with_text("hello <world>"))
+            .with_child(Element::new("c2").with_attr("a", "b"));
+        assert_eq!(parse(&e.to_xml_string()).unwrap(), e);
+    }
+
+    #[test]
+    fn pretty_round_trip() {
+        let e = Element::new("root")
+            .with_child(Element::new("c1").with_text("text stays inline"))
+            .with_child(Element::new("c2").with_child(Element::new("d")));
+        assert_eq!(parse(&e.to_pretty_string()).unwrap(), e);
+    }
+
+    #[test]
+    fn pretty_indents_element_only_content() {
+        let e = Element::new("a").with_child(Element::new("b").with_child(Element::new("c")));
+        assert_eq!(e.to_pretty_string(), "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n");
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based round-trip tests: any tree the AST can represent must
+//! survive serialise → parse unchanged (modulo the documented whitespace
+//! normalisation, which the generator avoids by construction).
+
+use moteur_xml::{parse, Element};
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_.-]{0,11}"
+}
+
+/// Text that is non-empty after trimming and free of raw control chars,
+/// so it is kept by the whitespace-dropping rule.
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[ -~]{0,20}[!-~][ -~]{0,20}"
+}
+
+fn attr_value_strategy() -> impl Strategy<Value = String> {
+    // Arbitrary printable content including quotes/angles/ampersands.
+    "[ -~]{0,24}"
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (
+        name_strategy(),
+        prop::collection::vec((name_strategy(), attr_value_strategy()), 0..4),
+        prop::option::of(text_strategy()),
+    )
+        .prop_map(|(name, attrs, text)| {
+            let mut e = Element::new(name);
+            let mut seen = std::collections::HashSet::new();
+            for (k, v) in attrs {
+                if seen.insert(k.clone()) {
+                    e.attributes.push((k, v));
+                }
+            }
+            if let Some(t) = text {
+                e = e.with_text(t);
+            }
+            e
+        });
+    leaf.prop_recursive(4, 48, 5, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), attr_value_strategy()), 0..3),
+            prop::collection::vec(inner, 0..5),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                let mut seen = std::collections::HashSet::new();
+                for (k, v) in attrs {
+                    if seen.insert(k.clone()) {
+                        e.attributes.push((k, v));
+                    }
+                }
+                for c in children {
+                    e = e.with_child(c);
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_roundtrip(e in element_strategy()) {
+        let s = e.to_xml_string();
+        let parsed = parse(&s).expect("writer output must parse");
+        prop_assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn pretty_roundtrip(e in element_strategy()) {
+        let s = e.to_pretty_string();
+        let parsed = parse(&s).expect("pretty writer output must parse");
+        prop_assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn element_count_stable_across_roundtrip(e in element_strategy()) {
+        let parsed = parse(&e.to_xml_string()).unwrap();
+        prop_assert_eq!(parsed.element_count(), e.element_count());
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "[ -~<>&\"']{0,200}") {
+        let _ = parse(&s); // may error, must not panic
+    }
+}

@@ -1,0 +1,154 @@
+//! End-to-end tests of the `moteur` CLI binary: the full user journey
+//! from `moteur example` through `run`, `validate`, `group` and `dot`.
+
+use std::process::Command;
+
+fn moteur() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_moteur"))
+}
+
+fn in_temp_dir() -> tempdir::TempDir {
+    tempdir::TempDir::new()
+}
+
+/// Minimal self-cleaning temp dir (no external crate).
+mod tempdir {
+    use std::path::{Path, PathBuf};
+
+    pub struct TempDir(PathBuf);
+
+    impl TempDir {
+        pub fn new() -> TempDir {
+            let base = std::env::temp_dir().join(format!(
+                "moteur-cli-test-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::create_dir_all(&base).expect("create temp dir");
+            TempDir(base)
+        }
+
+        pub fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}
+
+#[test]
+fn example_then_validate_then_run_round_trip() {
+    let dir = in_temp_dir();
+    let out = moteur().arg("example").current_dir(dir.path()).output().expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.path().join("bronze-standard.xml").exists());
+    assert!(dir.path().join("inputs-12.xml").exists());
+
+    let out = moteur()
+        .args(["validate", "bronze-standard.xml"])
+        .current_dir(dir.path())
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("OK"), "{text}");
+    assert!(text.contains("critical path 5"), "{text}");
+
+    let out = moteur()
+        .args([
+            "run",
+            "bronze-standard.xml",
+            "inputs-12.xml",
+            "--config",
+            "sp+dp+jg",
+            "--seed",
+            "7",
+            "--report",
+            "--provenance",
+            "prov.xml",
+        ])
+        .current_dir(dir.path())
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("completed in"), "{text}");
+    assert!(text.contains("49 jobs submitted"), "grouped: 4×12 + 1: {text}");
+    assert!(text.contains("crestLines+crestMatch"), "report shows grouped services: {text}");
+    assert!(text.contains("sink accuracy_rotation: 1 result(s)"), "{text}");
+    // Provenance export parses and names the barrier.
+    let prov = std::fs::read_to_string(dir.path().join("prov.xml")).expect("provenance file");
+    assert!(prov.contains("<provenance>"), "{prov}");
+    assert!(prov.contains("MultiTransfoTest"), "{prov}");
+}
+
+#[test]
+fn dot_export_is_valid_graphviz_shape() {
+    let dir = in_temp_dir();
+    assert!(moteur().arg("example").current_dir(dir.path()).output().unwrap().status.success());
+    let out = moteur()
+        .args(["dot", "bronze-standard.xml"])
+        .current_dir(dir.path())
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("digraph"), "{text}");
+    assert!(text.contains("doubleoctagon"), "MultiTransfoTest is a barrier: {text}");
+    assert!(text.trim_end().ends_with('}'), "{text}");
+}
+
+#[test]
+fn group_reports_the_merged_processors() {
+    let dir = in_temp_dir();
+    assert!(moteur().arg("example").current_dir(dir.path()).output().unwrap().status.success());
+    let out = moteur()
+        .args(["group", "bronze-standard.xml"])
+        .current_dir(dir.path())
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("crestLines+crestMatch"), "{text}");
+    assert!(text.contains("PFMatchICP+PFRegister"), "{text}");
+}
+
+#[test]
+fn bad_usage_and_bad_files_fail_cleanly() {
+    let out = moteur().output().expect("spawn");
+    assert!(!out.status.success());
+    let out = moteur().args(["validate", "/nonexistent.xml"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("moteur:"));
+    let dir = in_temp_dir();
+    std::fs::write(dir.path().join("bad.xml"), "<scufl><mystery/></scufl>").unwrap();
+    let out = moteur()
+        .args(["validate", "bad.xml"])
+        .current_dir(dir.path())
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let out = moteur()
+        .args(["run", "bad.xml", "missing.xml"])
+        .current_dir(dir.path())
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn unknown_config_is_rejected() {
+    let dir = in_temp_dir();
+    assert!(moteur().arg("example").current_dir(dir.path()).output().unwrap().status.success());
+    let out = moteur()
+        .args(["run", "bronze-standard.xml", "inputs-12.xml", "--config", "warp9"])
+        .current_dir(dir.path())
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown config"));
+}
