@@ -1,0 +1,18 @@
+#!/bin/sh
+# Local mirror of .github/workflows/ci.yml for machines without Actions.
+# The workspace has no external crate dependencies, so everything runs
+# with the network off.
+set -eux
+
+export CARGO_NET_OFFLINE=true
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Tier-1: the root package must build in release and pass its tests.
+cargo build --release --offline
+cargo test -q --offline
+
+# The full workspace (core, gridsim, scufl, wrapper, xmlish, analysis,
+# registration, bench).
+cargo test --workspace --offline

@@ -13,7 +13,9 @@ struct Resampler {
 
 impl Resampler {
     fn new(seed: u64) -> Self {
-        Resampler { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+        Resampler {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     fn next_index(&mut self, n: usize) -> usize {
@@ -56,7 +58,10 @@ pub fn bootstrap_mean_ci(
     if xs.is_empty() {
         return None;
     }
-    assert!((0.0..1.0).contains(&confidence) && confidence > 0.0, "bad confidence");
+    assert!(
+        (0.0..1.0).contains(&confidence) && confidence > 0.0,
+        "bad confidence"
+    );
     let mut rng = Resampler::new(seed);
     let mut means = Vec::with_capacity(resamples.max(1));
     for _ in 0..resamples.max(1) {
@@ -69,7 +74,10 @@ pub fn bootstrap_mean_ci(
         let idx = ((means.len() as f64 - 1.0) * q).round() as usize;
         means[idx.min(means.len() - 1)]
     };
-    Some(Interval { lo: pick(alpha), hi: pick(1.0 - alpha) })
+    Some(Interval {
+        lo: pick(alpha),
+        hi: pick(1.0 - alpha),
+    })
 }
 
 /// Bootstrap CI for the *ratio of means* of two samples (speed-ups).
@@ -107,7 +115,10 @@ pub fn bootstrap_ratio_ci(
         let idx = ((ratios.len() as f64 - 1.0) * q).round() as usize;
         ratios[idx.min(ratios.len() - 1)]
     };
-    Some(Interval { lo: pick(alpha), hi: pick(1.0 - alpha) })
+    Some(Interval {
+        lo: pick(alpha),
+        hi: pick(1.0 - alpha),
+    })
 }
 
 #[cfg(test)]

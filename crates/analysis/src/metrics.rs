@@ -32,7 +32,10 @@ pub struct Series {
 
 impl Series {
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 
     /// Least-squares fit of the series.
@@ -106,7 +109,11 @@ mod tests {
         let nop = paper_series("NOP", 32855.0, 76354.0, 133493.0);
         let dp = paper_series("DP", 17690.0, 26437.0, 34027.0);
         let c = compare(&nop, &dp);
-        let s: Vec<f64> = c.speedups.iter().map(|(_, s)| (s * 100.0).round() / 100.0).collect();
+        let s: Vec<f64> = c
+            .speedups
+            .iter()
+            .map(|(_, s)| (s * 100.0).round() / 100.0)
+            .collect();
         assert_eq!(s, vec![1.86, 2.89, 3.92]);
     }
 
@@ -118,8 +125,16 @@ mod tests {
         let nop = paper_series("NOP", 32855.0, 76354.0, 133493.0);
         let dp = paper_series("DP", 17690.0, 26437.0, 34027.0);
         let c = compare(&nop, &dp);
-        assert!((c.slope_ratio.unwrap() - 6.18).abs() < 0.05, "{:?}", c.slope_ratio);
-        assert!((c.y_intercept_ratio.unwrap() - 1.27).abs() < 0.03, "{:?}", c.y_intercept_ratio);
+        assert!(
+            (c.slope_ratio.unwrap() - 6.18).abs() < 0.05,
+            "{:?}",
+            c.slope_ratio
+        );
+        assert!(
+            (c.y_intercept_ratio.unwrap() - 1.27).abs() < 0.03,
+            "{:?}",
+            c.y_intercept_ratio
+        );
     }
 
     #[test]
@@ -128,7 +143,11 @@ mod tests {
         let nop = paper_series("NOP", 32855.0, 76354.0, 133493.0);
         let jg = paper_series("JG", 22990.0, 68427.0, 125503.0);
         let c = compare(&nop, &jg);
-        let s: Vec<f64> = c.speedups.iter().map(|(_, s)| (s * 100.0).round() / 100.0).collect();
+        let s: Vec<f64> = c
+            .speedups
+            .iter()
+            .map(|(_, s)| (s * 100.0).round() / 100.0)
+            .collect();
         assert_eq!(s, vec![1.43, 1.12, 1.06]);
     }
 
@@ -138,7 +157,11 @@ mod tests {
         let spdp = paper_series("SP+DP", 7825.0, 12143.0, 17823.0);
         let all = paper_series("SP+DP+JG", 5524.0, 9053.0, 14547.0);
         let c = compare(&spdp, &all);
-        let s: Vec<f64> = c.speedups.iter().map(|(_, s)| (s * 100.0).round() / 100.0).collect();
+        let s: Vec<f64> = c
+            .speedups
+            .iter()
+            .map(|(_, s)| (s * 100.0).round() / 100.0)
+            .collect();
         assert_eq!(s, vec![1.42, 1.34, 1.23]);
     }
 

@@ -12,7 +12,10 @@ pub fn render_chart(
     x_label: &str,
 ) -> String {
     const MARKS: [char; 8] = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() || width < 8 || height < 4 {
         return String::new();
     }
@@ -58,7 +61,12 @@ pub fn render_chart(
     out.push_str(&format!("{:10}0{:>w$.0}\n", "", x_max, w = width - 1));
     out.push_str(&format!("{:10}{x_label}  (y: {y_unit})\n", ""));
     for (si, s) in series.iter().enumerate() {
-        out.push_str(&format!("{:10}{} = {}\n", "", MARKS[si % MARKS.len()], s.label));
+        out.push_str(&format!(
+            "{:10}{} = {}\n",
+            "",
+            MARKS[si % MARKS.len()],
+            s.label
+        ));
     }
     out
 }
@@ -69,8 +77,14 @@ mod tests {
 
     fn demo_series() -> Vec<Series> {
         vec![
-            Series::new("NOP", vec![(12.0, 32855.0), (66.0, 76354.0), (126.0, 133493.0)]),
-            Series::new("SP+DP+JG", vec![(12.0, 5524.0), (66.0, 9053.0), (126.0, 14547.0)]),
+            Series::new(
+                "NOP",
+                vec![(12.0, 32855.0), (66.0, 76354.0), (126.0, 133493.0)],
+            ),
+            Series::new(
+                "SP+DP+JG",
+                vec![(12.0, 5524.0), (66.0, 9053.0), (126.0, 14547.0)],
+            ),
         ]
     }
 

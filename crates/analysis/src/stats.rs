@@ -74,8 +74,16 @@ pub fn linear_regression(points: &[(f64, f64)]) -> Option<Line> {
             e * e
         })
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    Some(Line { intercept, slope, r_squared })
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(Line {
+        intercept,
+        slope,
+        r_squared,
+    })
 }
 
 #[cfg(test)]
@@ -109,7 +117,11 @@ mod tests {
         // Table 2 reports intercept 20784, slope 884.
         let line =
             linear_regression(&[(12.0, 32855.0), (66.0, 76354.0), (126.0, 133493.0)]).unwrap();
-        assert!((line.intercept - 20784.0).abs() < 30.0, "intercept {}", line.intercept);
+        assert!(
+            (line.intercept - 20784.0).abs() < 30.0,
+            "intercept {}",
+            line.intercept
+        );
         assert!((line.slope - 884.0).abs() < 2.0, "slope {}", line.slope);
     }
 

@@ -1,84 +1,118 @@
-//! Criterion micro-benchmarks for the performance-critical kernels:
-//! the XML parser, the streaming iteration strategies, the simulator's
-//! event loop, the enactor on an ideal backend, the §3.5 model, and the
+//! Micro-benchmarks for the performance-critical kernels: the XML
+//! parser, the streaming iteration strategies, the simulator's event
+//! loop, the enactor on an ideal backend, the §3.5 model, and the
 //! registration numerics.
+//!
+//! Dependency-free harness (`harness = false`): each benchmark is
+//! warmed up, then timed with `std::time::Instant` over enough
+//! iterations to fill the measurement window, reporting mean time per
+//! iteration. Run with `cargo bench -p moteur-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_xml(c: &mut Criterion) {
-    let fig8 = moteur_wrapper::crest_lines_example().to_xml().to_pretty_string();
-    c.bench_function("xml/parse_fig8_descriptor", |b| {
-        b.iter(|| moteur_xml::parse(black_box(&fig8)).unwrap())
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_secs(2);
+
+/// Run `f` repeatedly for the warm-up then measurement window and print
+/// the mean per-iteration time.
+fn bench(name: &str, mut f: impl FnMut()) {
+    let warm_until = Instant::now() + WARMUP;
+    while Instant::now() < warm_until {
+        f();
+    }
+    let started = Instant::now();
+    let mut iters = 0u64;
+    while started.elapsed() < MEASURE {
+        f();
+        iters += 1;
+    }
+    let per_iter = started.elapsed().as_secs_f64() / iters as f64;
+    let (value, unit) = if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else if per_iter >= 1e-6 {
+        (per_iter * 1e6, "µs")
+    } else {
+        (per_iter * 1e9, "ns")
+    };
+    println!("{name:<40} {value:>10.3} {unit}/iter ({iters} iters)");
+}
+
+fn bench_xml() {
+    let fig8 = moteur_wrapper::crest_lines_example()
+        .to_xml()
+        .to_pretty_string();
+    bench("xml/parse_fig8_descriptor", || {
+        black_box(moteur_xml::parse(black_box(&fig8)).unwrap());
     });
-    c.bench_function("xml/write_fig8_descriptor", |b| {
-        let doc = moteur_xml::parse(&fig8).unwrap();
-        b.iter(|| black_box(&doc).to_pretty_string())
+    let doc = moteur_xml::parse(&fig8).unwrap();
+    bench("xml/write_fig8_descriptor", || {
+        black_box(black_box(&doc).to_pretty_string());
     });
 }
 
-fn bench_iterate(c: &mut Criterion) {
+fn bench_iterate() {
     use moteur::{DataValue, IterationStrategy, MatchEngine, Token};
     let tokens: Vec<Token> = (0..512)
         .map(|i| Token::from_source("s", i, DataValue::Num(i as f64)))
         .collect();
-    c.bench_function("iterate/dot_512_pairs", |b| {
-        b.iter_batched(
-            || MatchEngine::new(IterationStrategy::Dot, 2),
-            |mut e| {
-                let mut emitted = 0;
-                for t in &tokens {
-                    emitted += e.push(0, t.clone()).len();
-                    emitted += e.push(1, t.clone()).len();
-                }
-                black_box(emitted)
-            },
-            BatchSize::SmallInput,
-        )
+    bench("iterate/dot_512_pairs", || {
+        let mut e = MatchEngine::new(IterationStrategy::Dot, 2);
+        let mut emitted = 0;
+        for t in &tokens {
+            emitted += e.push(0, t.clone()).len();
+            emitted += e.push(1, t.clone()).len();
+        }
+        black_box(emitted);
     });
-    c.bench_function("iterate/cross_64x64", |b| {
-        b.iter_batched(
-            || MatchEngine::new(IterationStrategy::Cross, 2),
-            |mut e| {
-                let mut emitted = 0;
-                for t in tokens.iter().take(64) {
-                    emitted += e.push(0, t.clone()).len();
-                    emitted += e.push(1, t.clone()).len();
-                }
-                black_box(emitted)
-            },
-            BatchSize::SmallInput,
-        )
+    bench("iterate/cross_64x64", || {
+        let mut e = MatchEngine::new(IterationStrategy::Cross, 2);
+        let mut emitted = 0;
+        for t in tokens.iter().take(64) {
+            emitted += e.push(0, t.clone()).len();
+            emitted += e.push(1, t.clone()).len();
+        }
+        black_box(emitted);
     });
 }
 
-fn bench_gridsim(c: &mut Criterion) {
+fn bench_gridsim() {
     use moteur_gridsim::{GridConfig, GridJobSpec, GridSim};
-    c.bench_function("gridsim/100_jobs_egee", |b| {
-        b.iter(|| {
-            let mut sim = GridSim::new(GridConfig::egee_2006(), 7);
-            for i in 0..100 {
-                sim.submit(
-                    GridJobSpec::new(format!("j{i}"), 120.0)
-                        .with_files(vec![7_864_320, 7_864_320], vec![400_000]),
-                );
-            }
-            let mut n = 0;
-            while sim.next_completion().is_some() {
-                n += 1;
-            }
-            black_box(n)
-        })
+    bench("gridsim/100_jobs_egee", || {
+        let mut sim = GridSim::new(GridConfig::egee_2006(), 7);
+        for i in 0..100 {
+            sim.submit(
+                GridJobSpec::new(format!("j{i}"), 120.0)
+                    .with_files(vec![7_864_320, 7_864_320], vec![400_000]),
+            );
+        }
+        let mut n = 0;
+        while sim.next_completion().is_some() {
+            n += 1;
+        }
+        black_box(n);
     });
 }
 
-fn bench_enactor(c: &mut Criterion) {
+fn bench_enactor() {
     use moteur::prelude::*;
     use moteur_wrapper::{AccessMethod, ExecutableDescriptor, FileItem, InputSlot, OutputSlot};
     let pass = |name: &str| ExecutableDescriptor {
-        executable: FileItem { name: name.into(), access: AccessMethod::Local, value: name.into() },
-        inputs: vec![InputSlot { name: "in".into(), option: "-i".into(), access: Some(AccessMethod::Gfn) }],
-        outputs: vec![OutputSlot { name: "out".into(), option: "-o".into(), access: AccessMethod::Gfn }],
+        executable: FileItem {
+            name: name.into(),
+            access: AccessMethod::Local,
+            value: name.into(),
+        },
+        inputs: vec![InputSlot {
+            name: "in".into(),
+            option: "-i".into(),
+            access: Some(AccessMethod::Gfn),
+        }],
+        outputs: vec![OutputSlot {
+            name: "out".into(),
+            option: "-o".into(),
+            access: AccessMethod::Gfn,
+        }],
         sandboxes: vec![],
     };
     let mut wf = Workflow::new("chain");
@@ -98,58 +132,85 @@ fn bench_enactor(c: &mut Criterion) {
     wf.connect(prev, "out", sink, "in").unwrap();
     let inputs = InputData::new().set(
         "source",
-        (0..50).map(|j| DataValue::File { gfn: format!("gfn://{j}"), bytes: 0 }).collect(),
+        (0..50)
+            .map(|j| DataValue::File {
+                gfn: format!("gfn://{j}"),
+                bytes: 0,
+            })
+            .collect(),
     );
-    c.bench_function("enactor/5x50_virtual_dsp", |b| {
-        b.iter(|| {
-            let mut backend = VirtualBackend::new();
-            black_box(run(&wf, &inputs, EnactorConfig::sp_dp(), &mut backend).unwrap())
-        })
+    bench("enactor/5x50_virtual_dsp", || {
+        let mut backend = VirtualBackend::new();
+        black_box(run(&wf, &inputs, EnactorConfig::sp_dp(), &mut backend).unwrap());
     });
-    c.bench_function("enactor/grouping_transform_bronze", |b| {
-        let bronze = moteur_bench::bronze_workflow();
-        b.iter(|| moteur::group_workflow(black_box(&bronze)).unwrap())
+    let bronze = moteur_bench::bronze_workflow();
+    bench("enactor/grouping_transform_bronze", || {
+        black_box(moteur::group_workflow(black_box(&bronze)).unwrap());
     });
 }
 
-fn bench_model(c: &mut Criterion) {
+fn bench_model() {
     use moteur::TimeMatrix;
     let t = TimeMatrix::from_fn(5, 500, |i, j| 1.0 + ((i * 31 + j * 17) % 13) as f64);
-    c.bench_function("model/sigma_sp_5x500", |b| b.iter(|| black_box(&t).sigma_sp()));
+    bench("model/sigma_sp_5x500", || {
+        black_box(black_box(&t).sigma_sp());
+    });
 }
 
-fn bench_registration(c: &mut Criterion) {
+fn bench_registration() {
     use moteur_registration::prelude::*;
     use moteur_registration::{fit_rigid, SmallRng};
     let mut rng = SmallRng::new(1);
     let pts: Vec<Vec3> = (0..200)
-        .map(|_| Vec3::new(rng.range(-20.0, 20.0), rng.range(-20.0, 20.0), rng.range(-20.0, 20.0)))
+        .map(|_| {
+            Vec3::new(
+                rng.range(-20.0, 20.0),
+                rng.range(-20.0, 20.0),
+                rng.range(-20.0, 20.0),
+            )
+        })
         .collect();
     let truth = RigidTransform::from_params(0.1, -0.05, 0.07, 1.0, 2.0, -0.5);
     let pairs: Vec<(Vec3, Vec3)> = pts.iter().map(|&p| (p, truth.apply(p))).collect();
-    c.bench_function("registration/fit_rigid_200", |b| {
-        b.iter(|| fit_rigid(black_box(&pairs)).unwrap())
+    bench("registration/fit_rigid_200", || {
+        black_box(fit_rigid(black_box(&pairs)).unwrap());
     });
-    let cfg = PhantomConfig { nx: 24, ny: 24, nz: 12, noise: 1.0, lesions: 3 };
-    c.bench_function("registration/phantom_24x24x12", |b| {
-        b.iter(|| brain_phantom(black_box(&cfg), 5))
+    let cfg = PhantomConfig {
+        nx: 24,
+        ny: 24,
+        nz: 12,
+        noise: 1.0,
+        lesions: 3,
+    };
+    bench("registration/phantom_24x24x12", || {
+        black_box(brain_phantom(black_box(&cfg), 5));
     });
     let vol = brain_phantom(&cfg, 5);
-    c.bench_function("registration/ssd_similarity", |b| {
-        b.iter(|| {
-            moteur_registration::similarity_ssd(
-                black_box(&vol),
-                black_box(&vol),
-                RigidTransform::from_params(0.01, 0.0, 0.0, 0.5, 0.0, 0.0),
-                2,
-            )
-        })
+    bench("registration/ssd_similarity", || {
+        black_box(moteur_registration::similarity_ssd(
+            black_box(&vol),
+            black_box(&vol),
+            RigidTransform::from_params(0.01, 0.0, 0.0, 0.5, 0.0, 0.0),
+            2,
+        ));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_xml, bench_iterate, bench_gridsim, bench_enactor, bench_model, bench_registration
+fn main() {
+    // `cargo bench -- <filter>` runs only benchmarks whose group name
+    // contains the filter substring.
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let groups: [(&str, fn()); 6] = [
+        ("xml", bench_xml),
+        ("iterate", bench_iterate),
+        ("gridsim", bench_gridsim),
+        ("enactor", bench_enactor),
+        ("model", bench_model),
+        ("registration", bench_registration),
+    ];
+    for (name, f) in groups {
+        if filter.is_empty() || name.contains(&filter) {
+            f();
+        }
+    }
 }
-criterion_main!(benches);

@@ -8,10 +8,10 @@
 //! under DP and DP+SP, and shows the speed-up rising from ≈1 with the
 //! variability — a quantitative confirmation of the paper's argument.
 
+use moteur::{run, EnactorConfig, SimBackend};
 use moteur_analysis::Table;
 use moteur_bench::{bronze_inputs, bronze_workflow};
 use moteur_gridsim::{CeConfig, Distribution, GridConfig, NetworkConfig};
-use moteur::{run, EnactorConfig, SimBackend};
 
 /// Unloaded grid whose only stochastic element is the matchmaking
 /// delay: lognormal with mean fixed at `mean` and shape `sigma`.
@@ -30,7 +30,11 @@ fn grid_with_sigma(mean: f64, sigma: f64) -> GridConfig {
         failure_probability: 0.0,
         failure_detection: Distribution::Constant(0.0),
         max_retries: 0,
-        network: NetworkConfig { transfer_latency: 5.0, bandwidth: 2.0e6, congestion: 0.0 },
+        network: NetworkConfig {
+            transfer_latency: 5.0,
+            bandwidth: 2.0e6,
+            congestion: 0.0,
+        },
         typical_job_duration: 600.0,
         info_refresh_period: 3600.0,
         compute_jitter: Distribution::Constant(1.0),
@@ -39,7 +43,11 @@ fn grid_with_sigma(mean: f64, sigma: f64) -> GridConfig {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let n_pairs = if args.iter().any(|a| a == "--quick") { 6 } else { 20 };
+    let n_pairs = if args.iter().any(|a| a == "--quick") {
+        6
+    } else {
+        20
+    };
     let repeats = 5u64;
     let workflow = bronze_workflow();
     let inputs = bronze_inputs(n_pairs);

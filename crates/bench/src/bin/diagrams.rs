@@ -10,9 +10,21 @@ use moteur_wrapper::{AccessMethod, ExecutableDescriptor, FileItem, InputSlot, Ou
 
 fn pass_through(name: &str) -> ExecutableDescriptor {
     ExecutableDescriptor {
-        executable: FileItem { name: name.into(), access: AccessMethod::Local, value: name.into() },
-        inputs: vec![InputSlot { name: "in".into(), option: "-i".into(), access: Some(AccessMethod::Gfn) }],
-        outputs: vec![OutputSlot { name: "out".into(), option: "-o".into(), access: AccessMethod::Gfn }],
+        executable: FileItem {
+            name: name.into(),
+            access: AccessMethod::Local,
+            value: name.into(),
+        },
+        inputs: vec![InputSlot {
+            name: "in".into(),
+            option: "-i".into(),
+            access: Some(AccessMethod::Gfn),
+        }],
+        outputs: vec![OutputSlot {
+            name: "out".into(),
+            option: "-o".into(),
+            access: AccessMethod::Gfn,
+        }],
         sandboxes: vec![],
     }
 }
@@ -47,7 +59,10 @@ fn enact(t: &TimeMatrix, config: EnactorConfig) -> WorkflowResult {
     let inputs = InputData::new().set(
         "source",
         (0..t.n_data())
-            .map(|j| DataValue::File { gfn: format!("gfn://d{j}"), bytes: 0 })
+            .map(|j| DataValue::File {
+                gfn: format!("gfn://d{j}"),
+                bytes: 0,
+            })
             .collect(),
     );
     let mut backend = VirtualBackend::new();
@@ -56,7 +71,10 @@ fn enact(t: &TimeMatrix, config: EnactorConfig) -> WorkflowResult {
 
 fn show(title: &str, result: &WorkflowResult) {
     println!("{title}  (total {} s)", result.makespan.as_secs_f64());
-    println!("{}", diagram::render(&result.invocations, &["P3", "P2", "P1"]));
+    println!(
+        "{}",
+        diagram::render(&result.invocations, &["P3", "P2", "P1"])
+    );
 }
 
 fn main() {
@@ -78,13 +96,18 @@ fn main() {
     println!("=== Figure 6 left: DP only, variable T ===");
     show("DP, variable T", &enact(&variable, EnactorConfig::dp()));
     println!("=== Figure 6 right: DP + SP, variable T (computations overlap) ===");
-    show("DP+SP, variable T", &enact(&variable, EnactorConfig::sp_dp()));
+    show(
+        "DP+SP, variable T",
+        &enact(&variable, EnactorConfig::sp_dp()),
+    );
 
     println!(
         "Fig. 6 conclusion: with variable execution times, enabling SP on top of DP\n\
          shortens the makespan ({} s -> {} s) even though the constant-time model\n\
          predicts no gain (S_SDP = 1).",
         enact(&variable, EnactorConfig::dp()).makespan.as_secs_f64(),
-        enact(&variable, EnactorConfig::sp_dp()).makespan.as_secs_f64(),
+        enact(&variable, EnactorConfig::sp_dp())
+            .makespan
+            .as_secs_f64(),
     );
 }

@@ -12,7 +12,11 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let seed = arg_value(&args, "--seed").unwrap_or(2006);
     // A denser size grid than Table 1, like the figure's x axis.
-    let sizes: Vec<usize> = if quick { vec![2, 6, 10, 14] } else { vec![12, 40, 66, 96, 126] };
+    let sizes: Vec<usize> = if quick {
+        vec![2, 6, 10, 14]
+    } else {
+        vec![12, 40, 66, 96, 126]
+    };
 
     eprintln!("running 6 configurations x {sizes:?} image pairs (seed {seed})...");
     let results = run_campaign(&sizes, seed, 1);
@@ -20,15 +24,24 @@ fn main() {
 
     println!("Figure 10 reproduction - execution time vs number of input image pairs");
     println!();
-    println!("{}", render_chart(&series, 72, 24, true, "number of input image pairs"));
+    println!(
+        "{}",
+        render_chart(&series, 72, 24, true, "number of input image pairs")
+    );
     println!("raw series (seconds):");
     for s in &series {
-        let pts: Vec<String> =
-            s.points.iter().map(|(n, t)| format!("({n:.0}, {t:.0})")).collect();
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .map(|(n, t)| format!("({n:.0}, {t:.0})"))
+            .collect();
         println!("  {:10} {}", s.label, pts.join(" "));
     }
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<u64> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
 }

@@ -7,17 +7,29 @@
 //! size g ∈ {1, 2, …}: larger batches pay fewer draws from the heavy
 //! tailed overhead distribution but serialise more compute.
 
-use moteur_analysis::Table;
 use moteur::prelude::*;
 use moteur::GranularityModel;
+use moteur_analysis::Table;
 use moteur_gridsim::{CeConfig, Distribution, GridConfig, NetworkConfig};
 use moteur_wrapper::{AccessMethod, ExecutableDescriptor, FileItem, InputSlot, OutputSlot};
 
 fn workflow(compute: f64) -> Workflow {
     let descriptor = ExecutableDescriptor {
-        executable: FileItem { name: "process".into(), access: AccessMethod::Local, value: "process".into() },
-        inputs: vec![InputSlot { name: "in".into(), option: "-i".into(), access: Some(AccessMethod::Gfn) }],
-        outputs: vec![OutputSlot { name: "out".into(), option: "-o".into(), access: AccessMethod::Gfn }],
+        executable: FileItem {
+            name: "process".into(),
+            access: AccessMethod::Local,
+            value: "process".into(),
+        },
+        inputs: vec![InputSlot {
+            name: "in".into(),
+            option: "-i".into(),
+            access: Some(AccessMethod::Gfn),
+        }],
+        outputs: vec![OutputSlot {
+            name: "out".into(),
+            option: "-o".into(),
+            access: AccessMethod::Gfn,
+        }],
         sandboxes: vec![],
     };
     let mut wf = Workflow::new("sweep");
@@ -43,7 +55,11 @@ fn grid(median: f64, sigma: f64) -> GridConfig {
         failure_probability: 0.0,
         failure_detection: Distribution::Constant(0.0),
         max_retries: 0,
-        network: NetworkConfig { transfer_latency: 0.0, bandwidth: f64::INFINITY, congestion: 0.0 },
+        network: NetworkConfig {
+            transfer_latency: 0.0,
+            bandwidth: f64::INFINITY,
+            congestion: 0.0,
+        },
         typical_job_duration: 300.0,
         info_refresh_period: 3600.0,
         compute_jitter: Distribution::Constant(1.0),
@@ -60,7 +76,10 @@ fn main() {
     let inputs = InputData::new().set(
         "data",
         (0..n_data)
-            .map(|j| DataValue::File { gfn: format!("gfn://d/{j}"), bytes: 1_000 })
+            .map(|j| DataValue::File {
+                gfn: format!("gfn://d/{j}"),
+                bytes: 1_000,
+            })
             .collect(),
     );
     let model = GranularityModel {
@@ -74,15 +93,25 @@ fn main() {
         "Batch-size sweep: {n_data} data, {compute:.0} s compute each, lognormal overhead (median {median:.0} s, sigma {sigma})"
     );
     println!();
-    let mut table = Table::new(&["batch g", "jobs", "simulated makespan (s)", "model prediction (s)"]);
+    let mut table = Table::new(&[
+        "batch g",
+        "jobs",
+        "simulated makespan (s)",
+        "model prediction (s)",
+    ]);
     for g in [1usize, 2, 3, 4, 6, 9, 14, 21, 42, 126] {
         let mut total = 0.0;
         for seed in 0..repeats {
             let mut backend = SimBackend::new(grid(median, sigma), seed);
-            total += run(&wf, &inputs, EnactorConfig::sp_dp().with_batching(g), &mut backend)
-                .expect("sweep run")
-                .makespan
-                .as_secs_f64();
+            total += run(
+                &wf,
+                &inputs,
+                EnactorConfig::sp_dp().with_batching(g),
+                &mut backend,
+            )
+            .expect("sweep run")
+            .makespan
+            .as_secs_f64();
         }
         table.add_row(vec![
             g.to_string(),

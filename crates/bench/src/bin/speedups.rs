@@ -12,13 +12,22 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let seed = arg_value(&args, "--seed").unwrap_or(2006);
     let repeats = arg_value(&args, "--repeats").unwrap_or(3) as usize;
-    let sizes: Vec<usize> = if quick { QUICK_SIZES.to_vec() } else { PAPER_SIZES.to_vec() };
+    let sizes: Vec<usize> = if quick {
+        QUICK_SIZES.to_vec()
+    } else {
+        PAPER_SIZES.to_vec()
+    };
 
-    eprintln!("running 6 configurations x {sizes:?} image pairs (seed {seed}, {repeats} repeat(s))...");
+    eprintln!(
+        "running 6 configurations x {sizes:?} image pairs (seed {seed}, {repeats} repeat(s))..."
+    );
     let results = run_campaign(&sizes, seed, repeats);
     let series: Vec<Series> = results.into_iter().map(|(s, _)| s).collect();
     let get = |label: &str| -> &Series {
-        series.iter().find(|s| s.label == label).expect("campaign produces all labels")
+        series
+            .iter()
+            .find(|s| s.label == label)
+            .expect("campaign produces all labels")
     };
 
     let cases = [
@@ -31,13 +40,17 @@ fn main() {
     for (analyzed, reference, caption) in cases {
         let c = compare(get(reference), get(analyzed));
         println!("{caption}");
-        let sp: Vec<String> =
-            c.speedups.iter().map(|(n, s)| format!("{s:.2}x @ {n:.0}")).collect();
+        let sp: Vec<String> = c
+            .speedups
+            .iter()
+            .map(|(n, s)| format!("{s:.2}x @ {n:.0}"))
+            .collect();
         println!("  measured speed-ups: {}", sp.join(", "));
         println!(
             "  measured slope ratio: {}   y-intercept ratio: {}",
             c.slope_ratio.map_or("-".into(), |r| format!("{r:.2}")),
-            c.y_intercept_ratio.map_or("-".into(), |r| format!("{r:.2}")),
+            c.y_intercept_ratio
+                .map_or("-".into(), |r| format!("{r:.2}")),
         );
         println!();
     }
@@ -47,5 +60,8 @@ fn main() {
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<u64> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
 }

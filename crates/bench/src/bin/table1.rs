@@ -12,10 +12,15 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let seed = arg_value(&args, "--seed").unwrap_or(2006);
     let repeats = arg_value(&args, "--repeats").unwrap_or(1) as usize;
-    let sizes: Vec<usize> =
-        if quick { QUICK_SIZES.to_vec() } else { PAPER_SIZES.to_vec() };
+    let sizes: Vec<usize> = if quick {
+        QUICK_SIZES.to_vec()
+    } else {
+        PAPER_SIZES.to_vec()
+    };
 
-    eprintln!("running 6 configurations x {sizes:?} image pairs (seed {seed}, {repeats} repeat(s))...");
+    eprintln!(
+        "running 6 configurations x {sizes:?} image pairs (seed {seed}, {repeats} repeat(s))..."
+    );
     let results = run_campaign(&sizes, seed, repeats);
 
     let mut header: Vec<String> = vec!["Configuration".into()];
@@ -56,11 +61,17 @@ fn main() {
     let largest = *sizes.last().expect("non-empty sizes") as f64;
     for (series, points) in &results {
         if let Some(p) = points.iter().find(|p| p.n_pairs as f64 == largest) {
-            println!("{:10} {} jobs submitted at {} pairs", series.label, p.jobs_submitted, p.n_pairs);
+            println!(
+                "{:10} {} jobs submitted at {} pairs",
+                series.label, p.jobs_submitted, p.n_pairs
+            );
         }
     }
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<u64> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
 }

@@ -12,13 +12,23 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let seed = arg_value(&args, "--seed").unwrap_or(2006);
     let repeats = arg_value(&args, "--repeats").unwrap_or(3) as usize;
-    let sizes: Vec<usize> =
-        if quick { QUICK_SIZES.to_vec() } else { PAPER_SIZES.to_vec() };
+    let sizes: Vec<usize> = if quick {
+        QUICK_SIZES.to_vec()
+    } else {
+        PAPER_SIZES.to_vec()
+    };
 
-    eprintln!("running 6 configurations x {sizes:?} image pairs (seed {seed}, {repeats} repeat(s))...");
+    eprintln!(
+        "running 6 configurations x {sizes:?} image pairs (seed {seed}, {repeats} repeat(s))..."
+    );
     let results = run_campaign(&sizes, seed, repeats);
 
-    let mut table = Table::new(&["Configuration", "y-intercept (s)", "slope (s/data set)", "r^2"]);
+    let mut table = Table::new(&[
+        "Configuration",
+        "y-intercept (s)",
+        "slope (s/data set)",
+        "r^2",
+    ]);
     for (series, _) in &results {
         match series.fit() {
             Some(line) => table.add_row(vec![
@@ -27,7 +37,12 @@ fn main() {
                 format!("{:.0}", line.slope),
                 format!("{:.3}", line.r_squared),
             ]),
-            None => table.add_row(vec![series.label.clone(), "-".into(), "-".into(), "-".into()]),
+            None => table.add_row(vec![
+                series.label.clone(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
         }
     }
     println!("Table 2 reproduction - linear regression of execution time vs data-set size");
@@ -40,5 +55,8 @@ fn main() {
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<u64> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
 }

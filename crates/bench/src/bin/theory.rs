@@ -10,9 +10,21 @@ use moteur_wrapper::{AccessMethod, ExecutableDescriptor, FileItem, InputSlot, Ou
 
 fn pass_through(name: &str) -> ExecutableDescriptor {
     ExecutableDescriptor {
-        executable: FileItem { name: name.into(), access: AccessMethod::Local, value: name.into() },
-        inputs: vec![InputSlot { name: "in".into(), option: "-i".into(), access: Some(AccessMethod::Gfn) }],
-        outputs: vec![OutputSlot { name: "out".into(), option: "-o".into(), access: AccessMethod::Gfn }],
+        executable: FileItem {
+            name: name.into(),
+            access: AccessMethod::Local,
+            value: name.into(),
+        },
+        inputs: vec![InputSlot {
+            name: "in".into(),
+            option: "-i".into(),
+            access: Some(AccessMethod::Gfn),
+        }],
+        outputs: vec![OutputSlot {
+            name: "out".into(),
+            option: "-o".into(),
+            access: AccessMethod::Gfn,
+        }],
         sandboxes: vec![],
     }
 }
@@ -40,10 +52,18 @@ fn measured(t: &TimeMatrix, config: EnactorConfig) -> f64 {
     wf.connect(prev, "out", sink, "in").unwrap();
     let inputs = InputData::new().set(
         "source",
-        (0..t.n_data()).map(|j| DataValue::File { gfn: format!("gfn://d{j}"), bytes: 0 }).collect(),
+        (0..t.n_data())
+            .map(|j| DataValue::File {
+                gfn: format!("gfn://d{j}"),
+                bytes: 0,
+            })
+            .collect(),
     );
     let mut backend = VirtualBackend::new();
-    run(&wf, &inputs, config, &mut backend).expect("ideal run").makespan.as_secs_f64()
+    run(&wf, &inputs, config, &mut backend)
+        .expect("ideal run")
+        .makespan
+        .as_secs_f64()
 }
 
 fn main() {
@@ -64,8 +84,12 @@ fn main() {
     ]);
     for nd in [12usize, 66, 126] {
         let t = TimeMatrix::constant(nw, nd, t_unit);
-        let (seq, dp, sp, dsp) =
-            (t.sigma_sequential(), t.sigma_dp(), t.sigma_sp(), t.sigma_dsp());
+        let (seq, dp, sp, dsp) = (
+            t.sigma_sequential(),
+            t.sigma_dp(),
+            t.sigma_sp(),
+            t.sigma_dsp(),
+        );
         // Enactor agreement on the smallest case (larger ones follow by
         // the tested invariants; keep the binary fast).
         let agree = if nd == 12 {
@@ -73,7 +97,11 @@ fn main() {
                 && (measured(&t, EnactorConfig::dp()) - dp).abs() < 1e-6
                 && (measured(&t, EnactorConfig::sp()) - sp).abs() < 1e-6
                 && (measured(&t, EnactorConfig::sp_dp()) - dsp).abs() < 1e-6;
-            if ok { "yes" } else { "NO" }
+            if ok {
+                "yes"
+            } else {
+                "NO"
+            }
         } else {
             "-"
         };

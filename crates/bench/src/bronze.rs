@@ -185,7 +185,10 @@ pub fn bronze_inputs(n_pairs: usize) -> InputData {
         .set("floatingImage", imgs("float"))
         .set(
             "methodToTest",
-            vec![DataValue::File { gfn: "gfn://lacassagne/method.txt".into(), bytes: 64 }],
+            vec![DataValue::File {
+                gfn: "gfn://lacassagne/method.txt".into(),
+                bytes: 64,
+            }],
         )
 }
 
@@ -225,7 +228,10 @@ mod tests {
             .iter()
             .filter(|p| p.kind == ProcessorKind::Service)
             .count();
-        assert_eq!(services, 5, "7 services collapse to 5 (4 grid jobs/pair + sync)");
+        assert_eq!(
+            services, 5,
+            "7 services collapse to 5 (4 grid jobs/pair + sync)"
+        );
     }
 
     fn names(wf: &Workflow) -> Vec<&str> {
@@ -243,7 +249,13 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            ["crestLines", "crestMatch", "PFMatchICP", "PFRegister", "MultiTransfoTest"]
+            [
+                "crestLines",
+                "crestMatch",
+                "PFMatchICP",
+                "PFRegister",
+                "MultiTransfoTest"
+            ]
         );
     }
 
@@ -284,7 +296,10 @@ mod tests {
             .as_secs_f64();
         // The prediction must bound from below and land within the
         // Yasmina/Baladin branch slack (~2 overhead+compute windows).
-        assert!(measured >= predicted - 1e-6, "measured {measured} < predicted {predicted}");
+        assert!(
+            measured >= predicted - 1e-6,
+            "measured {measured} < predicted {predicted}"
+        );
         assert!(
             measured < predicted * 1.5,
             "prediction too loose: measured {measured}, predicted {predicted}"

@@ -3,7 +3,7 @@
 //! behind Table 1, Table 2, Fig. 10 and the §5 speed-up analyses.
 
 use crate::bronze::{bronze_inputs, bronze_workflow};
-use moteur::{run, EnactorConfig, SimBackend};
+use moteur::{run_observed, EnactorConfig, Obs, SimBackend, WorkflowResult};
 use moteur_analysis::Series;
 use moteur_gridsim::GridConfig;
 
@@ -19,23 +19,41 @@ pub struct CampaignPoint {
 /// Enact the workflow once for `(config, n_pairs)` on a fresh simulated
 /// grid with the given seed.
 pub fn run_point(config: EnactorConfig, n_pairs: usize, seed: u64) -> CampaignPoint {
+    run_point_observed(config, n_pairs, seed, Obs::off()).0
+}
+
+/// Like [`run_point`], but with event sinks attached to both the enactor
+/// and the grid simulator, and the full [`WorkflowResult`] returned so
+/// callers can export Chrome traces, metrics snapshots or critical-path
+/// reports from a campaign cell.
+pub fn run_point_observed(
+    config: EnactorConfig,
+    n_pairs: usize,
+    seed: u64,
+    obs: Obs,
+) -> (CampaignPoint, WorkflowResult) {
     let workflow = bronze_workflow();
     let inputs = bronze_inputs(n_pairs);
-    let mut backend = SimBackend::new(GridConfig::egee_2006(), seed);
-    let result = run(&workflow, &inputs, config, &mut backend)
+    let mut backend = SimBackend::with_obs(GridConfig::egee_2006(), seed, &obs);
+    let result = run_observed(&workflow, &inputs, config, &mut backend, obs)
         .expect("bronze campaign must complete");
-    CampaignPoint {
+    let point = CampaignPoint {
         config,
         n_pairs,
         makespan_secs: result.makespan.as_secs_f64(),
         jobs_submitted: result.jobs_submitted,
-    }
+    };
+    (point, result)
 }
 
 /// Run every configuration over every size; returns one series per
 /// configuration in the paper's Table 1 row order. Each (config, size)
 /// cell is averaged over `repeats` seeds.
-pub fn run_campaign(sizes: &[usize], seed: u64, repeats: usize) -> Vec<(Series, Vec<CampaignPoint>)> {
+pub fn run_campaign(
+    sizes: &[usize],
+    seed: u64,
+    repeats: usize,
+) -> Vec<(Series, Vec<CampaignPoint>)> {
     EnactorConfig::table1_configurations()
         .iter()
         .map(|cfg| {
@@ -45,7 +63,8 @@ pub fn run_campaign(sizes: &[usize], seed: u64, repeats: usize) -> Vec<(Series, 
                 .map(|&n| {
                     let mut total = 0.0;
                     for r in 0..repeats.max(1) {
-                        let p = run_point(cfg.with_seed(seed + r as u64), n, seed + 1000 * r as u64);
+                        let p =
+                            run_point(cfg.with_seed(seed + r as u64), n, seed + 1000 * r as u64);
                         total += p.makespan_secs;
                         points.push(p);
                     }
@@ -98,6 +117,21 @@ mod tests {
             assert_eq!(s.points.len(), 2);
             assert_eq!(pts.len(), 2);
         }
+    }
+
+    #[test]
+    fn observed_point_matches_blind_point_and_counts_jobs() {
+        let (sink, registry) = moteur::MetricsSink::new();
+        let obs = Obs::new(vec![Box::new(sink)]);
+        let (p, result) = run_point_observed(EnactorConfig::sp_dp(), 3, 7, obs);
+        let blind = run_point(EnactorConfig::sp_dp(), 3, 7);
+        assert_eq!(
+            p.jobs_submitted, blind.jobs_submitted,
+            "observation must not perturb the run"
+        );
+        assert!((p.makespan_secs - blind.makespan_secs).abs() < 1e-9);
+        let reg = registry.lock().unwrap();
+        assert_eq!(reg.counter("job_submitted") as usize, result.jobs_submitted);
     }
 
     #[test]

@@ -37,20 +37,27 @@ pub enum JobPayload {
     /// A wrapper-service grid job: transfer plan plus compute seconds.
     Grid { plan: JobPlan, compute_seconds: f64 },
     /// An in-process service call with its input tokens.
-    Local { service: Arc<dyn LocalService>, inputs: Vec<Token> },
+    Local {
+        service: Arc<dyn LocalService>,
+        inputs: Vec<Token>,
+    },
 }
 
 impl std::fmt::Debug for JobPayload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            JobPayload::Grid { plan, compute_seconds } => f
+            JobPayload::Grid {
+                plan,
+                compute_seconds,
+            } => f
                 .debug_struct("Grid")
                 .field("commands", &plan.command_lines.len())
                 .field("compute_seconds", compute_seconds)
                 .finish(),
-            JobPayload::Local { inputs, .. } => {
-                f.debug_struct("Local").field("inputs", &inputs.len()).finish()
-            }
+            JobPayload::Local { inputs, .. } => f
+                .debug_struct("Local")
+                .field("inputs", &inputs.len())
+                .finish(),
         }
     }
 }
@@ -115,7 +122,9 @@ impl Backend for VirtualBackend {
         let start = self.clock;
         self.starts.insert(job.invocation.0, start);
         match job.payload {
-            JobPayload::Grid { compute_seconds, .. } => {
+            JobPayload::Grid {
+                compute_seconds, ..
+            } => {
                 let end = start + moteur_gridsim::SimDuration::from_secs_f64(compute_seconds);
                 self.heap.push(Reverse((end, self.seq, job.invocation)));
                 self.seq += 1;
@@ -135,15 +144,22 @@ impl Backend for VirtualBackend {
         let Reverse((at, _, invocation)) = self.heap.pop()?;
         self.clock = self.clock.max(at);
         let started_at = self.starts.remove(&invocation.0).unwrap_or(SimTime::ZERO);
-        let outputs = if let Some(pos) =
-            self.local_results.iter().position(|(i, _)| *i == invocation)
+        let outputs = if let Some(pos) = self
+            .local_results
+            .iter()
+            .position(|(i, _)| *i == invocation)
         {
             let (_, r) = self.local_results.swap_remove(pos);
             r.map(Some)
         } else {
             Ok(None)
         };
-        Some(BackendCompletion { invocation, outputs, started_at, finished_at: at })
+        Some(BackendCompletion {
+            invocation,
+            outputs,
+            started_at,
+            finished_at: at,
+        })
     }
 
     fn now(&self) -> SimTime {
@@ -162,7 +178,25 @@ pub struct SimBackend {
 
 impl SimBackend {
     pub fn new(config: GridConfig, seed: u64) -> Self {
-        SimBackend { sim: GridSim::new(config, seed) }
+        SimBackend {
+            sim: GridSim::new(config, seed),
+        }
+    }
+
+    /// Like [`SimBackend::new`], but forwarding every simulator
+    /// lifecycle event ([`moteur_gridsim::SimEvent`]) into `obs` as
+    /// grid-level [`crate::obs::TraceEvent`]s. With a disabled handle
+    /// no observer is installed and the simulator's hot path is
+    /// untouched.
+    pub fn with_obs(config: GridConfig, seed: u64, obs: &crate::obs::Obs) -> Self {
+        let mut backend = Self::new(config, seed);
+        if obs.enabled() {
+            let obs = obs.clone();
+            backend.sim.set_observer(Box::new(move |e| {
+                obs.record(&crate::obs::TraceEvent::from_sim(e))
+            }));
+        }
+        backend
     }
 
     /// Access the underlying simulator (job records, etc.).
@@ -174,7 +208,10 @@ impl SimBackend {
 impl Backend for SimBackend {
     fn submit(&mut self, job: BackendJob) {
         match job.payload {
-            JobPayload::Grid { plan, compute_seconds } => {
+            JobPayload::Grid {
+                plan,
+                compute_seconds,
+            } => {
                 let spec = GridJobSpec::new(job.processor, compute_seconds)
                     .with_files(
                         plan.fetch.iter().map(|f| f.bytes).collect(),
@@ -222,8 +259,8 @@ impl Backend for SimBackend {
 /// paper's per-call threads) and completions arrive over a channel.
 pub struct LocalBackend {
     started: Instant,
-    tx: crossbeam::channel::Sender<BackendCompletion>,
-    rx: crossbeam::channel::Receiver<BackendCompletion>,
+    tx: std::sync::mpsc::Sender<BackendCompletion>,
+    rx: std::sync::mpsc::Receiver<BackendCompletion>,
     in_flight: usize,
 }
 
@@ -235,8 +272,13 @@ impl Default for LocalBackend {
 
 impl LocalBackend {
     pub fn new() -> Self {
-        let (tx, rx) = crossbeam::channel::unbounded();
-        LocalBackend { started: Instant::now(), tx, rx, in_flight: 0 }
+        let (tx, rx) = std::sync::mpsc::channel();
+        LocalBackend {
+            started: Instant::now(),
+            tx,
+            rx,
+            in_flight: 0,
+        }
     }
 
     fn wall_now(&self) -> SimTime {
@@ -297,7 +339,11 @@ mod tests {
             invocation: InvocationId(id),
             processor: format!("p{id}"),
             payload: JobPayload::Grid {
-                plan: JobPlan { command_lines: vec!["x".into()], fetch: vec![], store: vec![] },
+                plan: JobPlan {
+                    command_lines: vec!["x".into()],
+                    fetch: vec![],
+                    store: vec![],
+                },
                 compute_seconds: secs,
             },
         }
@@ -345,7 +391,11 @@ mod tests {
         let c = b.wait_next().unwrap();
         let outs = c.outputs.unwrap().unwrap();
         assert_eq!(outs[0].1.as_str(), Some("v"));
-        assert_eq!(c.finished_at, SimTime::ZERO, "local calls cost no virtual time");
+        assert_eq!(
+            c.finished_at,
+            SimTime::ZERO,
+            "local calls cost no virtual time"
+        );
     }
 
     #[test]
@@ -367,7 +417,10 @@ mod tests {
         b.submit(BackendJob {
             invocation: InvocationId(1),
             processor: "x".into(),
-            payload: JobPayload::Local { service: Arc::new(svc), inputs: vec![] },
+            payload: JobPayload::Local {
+                service: Arc::new(svc),
+                inputs: vec![],
+            },
         });
     }
 
@@ -405,7 +458,10 @@ mod tests {
         b.submit(BackendJob {
             invocation: InvocationId(1),
             processor: "bad".into(),
-            payload: JobPayload::Local { service: Arc::new(svc), inputs: vec![] },
+            payload: JobPayload::Local {
+                service: Arc::new(svc),
+                inputs: vec![],
+            },
         });
         let c = b.wait_next().unwrap();
         assert_eq!(c.outputs.unwrap_err(), "kaboom");

@@ -51,27 +51,43 @@ impl EnactorConfig {
 
     /// JG only.
     pub fn jg() -> Self {
-        EnactorConfig { job_grouping: true, ..Self::nop() }
+        EnactorConfig {
+            job_grouping: true,
+            ..Self::nop()
+        }
     }
 
     /// SP only.
     pub fn sp() -> Self {
-        EnactorConfig { service_parallelism: true, ..Self::nop() }
+        EnactorConfig {
+            service_parallelism: true,
+            ..Self::nop()
+        }
     }
 
     /// DP only.
     pub fn dp() -> Self {
-        EnactorConfig { data_parallelism: true, ..Self::nop() }
+        EnactorConfig {
+            data_parallelism: true,
+            ..Self::nop()
+        }
     }
 
     /// SP + DP.
     pub fn sp_dp() -> Self {
-        EnactorConfig { data_parallelism: true, service_parallelism: true, ..Self::nop() }
+        EnactorConfig {
+            data_parallelism: true,
+            service_parallelism: true,
+            ..Self::nop()
+        }
     }
 
     /// SP + DP + JG — everything on.
     pub fn sp_dp_jg() -> Self {
-        EnactorConfig { job_grouping: true, ..Self::sp_dp() }
+        EnactorConfig {
+            job_grouping: true,
+            ..Self::sp_dp()
+        }
     }
 
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -88,7 +104,11 @@ impl EnactorConfig {
 
     /// The label used in the paper's tables.
     pub fn label(&self) -> &'static str {
-        match (self.service_parallelism, self.data_parallelism, self.job_grouping) {
+        match (
+            self.service_parallelism,
+            self.data_parallelism,
+            self.job_grouping,
+        ) {
             (false, false, false) => "NOP",
             (false, false, true) => "JG",
             (true, false, false) => "SP",

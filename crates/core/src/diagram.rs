@@ -37,14 +37,17 @@ pub fn render(records: &[InvocationRecord], processors: &[&str]) -> String {
                 .iter()
                 .filter(|r| r.processor == *proc && r.started < hi && r.finished > lo)
                 .map(|r| {
-                    let label: Vec<String> =
-                        r.index.0.iter().map(|i| i.to_string()).collect();
+                    let label: Vec<String> = r.index.0.iter().map(|i| i.to_string()).collect();
                     format!("D{}", label.join("."))
                 })
                 .collect();
             active.sort();
             active.dedup();
-            cells.push(if active.is_empty() { "X".to_string() } else { active.join(" ") });
+            cells.push(if active.is_empty() {
+                "X".to_string()
+            } else {
+                active.join(" ")
+            });
         }
         rows.push(cells);
     }
@@ -137,7 +140,10 @@ mod tests {
         ];
         let out = render(&records, &["P2", "P1"]);
         let lines: Vec<&str> = out.lines().collect();
-        assert!(lines[0].contains("X") && lines[0].contains("D0 D1 D2"), "{out}");
+        assert!(
+            lines[0].contains("X") && lines[0].contains("D0 D1 D2"),
+            "{out}"
+        );
         assert!(lines[1].starts_with("P1 | D0 D1 D2 |"), "{out}");
     }
 

@@ -20,14 +20,11 @@ pub fn to_dot(workflow: &Workflow) -> String {
         let (shape, extra) = match p.kind {
             ProcessorKind::Source => ("house", String::new()),
             ProcessorKind::Sink => ("invhouse", String::new()),
-            ProcessorKind::Service if p.synchronization => {
-                ("doubleoctagon", String::new())
-            }
+            ProcessorKind::Service if p.synchronization => ("doubleoctagon", String::new()),
             ProcessorKind::Service => {
                 let label = match &p.binding {
                     Some(ServiceBinding::Grouped(g)) => {
-                        let stages: Vec<&str> =
-                            g.stages.iter().map(|s| s.name.as_str()).collect();
+                        let stages: Vec<&str> = g.stages.iter().map(|s| s.name.as_str()).collect();
                         format!(", label=\"{}\\n[{}]\"", escape(&p.name), stages.join(" ; "))
                     }
                     _ => String::new(),
@@ -40,7 +37,11 @@ pub fn to_dot(workflow: &Workflow) -> String {
         } else {
             ""
         };
-        let _ = writeln!(out, "  n{i} [shape={shape}{extra}{iter_mark}, label=\"{}\"];", escape(&p.name));
+        let _ = writeln!(
+            out,
+            "  n{i} [shape={shape}{extra}{iter_mark}, label=\"{}\"];",
+            escape(&p.name)
+        );
     }
     for l in &workflow.links {
         let from = &workflow.processors[l.from.proc.0];
@@ -131,7 +132,8 @@ mod tests {
         let k = w.add_sink("out");
         w.connect(s, "out", a, "floating_image").unwrap();
         w.connect(s, "out", a, "reference_image").unwrap();
-        w.connect(a, "crest_reference", b, "crest_reference").unwrap();
+        w.connect(a, "crest_reference", b, "crest_reference")
+            .unwrap();
         w.connect(b, "crest_reference", k, "in").unwrap();
         // A has two outputs but only one is linked; grouping requires
         // all out-links to target B, which holds here.

@@ -20,11 +20,14 @@
 //! intra-cycle predecessors, and exhaustion of a cycle is detected
 //! collectively.
 
-use crate::backend::{Backend, BackendCompletion, BackendJob, InvocationId, JobPayload, ServiceOutputs};
+use crate::backend::{
+    Backend, BackendCompletion, BackendJob, InvocationId, JobPayload, ServiceOutputs,
+};
 use crate::config::EnactorConfig;
 use crate::error::MoteurError;
 use crate::graph::{ProcId, ProcessorKind, Workflow};
 use crate::iterate::{MatchEngine, MatchedSet};
+use crate::obs::{Obs, TraceEvent};
 use crate::service::{CostModel, GroupSource, GroupedBinding, ServiceBinding, ServiceProfile};
 use crate::token::{DataIndex, History, Token};
 use crate::trace::{InvocationRecord, WorkflowResult};
@@ -67,13 +70,26 @@ pub fn run<B: Backend>(
     config: EnactorConfig,
     backend: &mut B,
 ) -> Result<WorkflowResult, MoteurError> {
+    run_observed(workflow, inputs, config, backend, Obs::off())
+}
+
+/// [`run`] with observability: every enactment step emits a
+/// [`TraceEvent`] through `obs`. With [`Obs::off`] this is exactly
+/// [`run`] — emission sites cost one branch and build nothing.
+pub fn run_observed<B: Backend>(
+    workflow: &Workflow,
+    inputs: &InputData,
+    config: EnactorConfig,
+    backend: &mut B,
+    obs: Obs,
+) -> Result<WorkflowResult, MoteurError> {
     let workflow = if config.job_grouping {
         crate::grouping::group_workflow(workflow)?
     } else {
         workflow.clone()
     };
     workflow.validate()?;
-    let mut enactor = Enactor::new(&workflow, config, backend);
+    let mut enactor = Enactor::new(&workflow, config, backend, obs);
     enactor.emit_sources(inputs)?;
     enactor.event_loop()?;
     enactor.finish()
@@ -124,10 +140,11 @@ struct Enactor<'a, B: Backend> {
     sink_outputs: HashMap<String, Vec<Token>>,
     records: Vec<InvocationRecord>,
     start_time: SimTime,
+    obs: Obs,
 }
 
 impl<'a, B: Backend> Enactor<'a, B> {
-    fn new(workflow: &'a Workflow, config: EnactorConfig, backend: &'a mut B) -> Self {
+    fn new(workflow: &'a Workflow, config: EnactorConfig, backend: &'a mut B, obs: Obs) -> Self {
         let states = workflow
             .processors
             .iter()
@@ -170,6 +187,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
             sink_outputs: HashMap::new(),
             records: Vec::new(),
             start_time,
+            obs,
         }
     }
 
@@ -231,6 +249,15 @@ impl<'a, B: Backend> Enactor<'a, B> {
 
     /// Deliver a token to every input port linked to `(proc, out_port)`.
     fn route(&mut self, proc: ProcId, out_port: usize, token: Token) {
+        self.obs.emit(|| {
+            let producer = &self.workflow.processors[proc.0];
+            TraceEvent::TokenEmitted {
+                at: self.backend.now(),
+                processor: producer.name.clone(),
+                port: producer.outputs.get(out_port).cloned().unwrap_or_default(),
+                index: token.index.to_string(),
+            }
+        });
         let targets: Vec<(ProcId, usize)> = self
             .workflow
             .links
@@ -252,6 +279,16 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 }
                 ProcessorKind::Service => {
                     let matches = self.states[tp.0].engine.push(tport, token.clone());
+                    if self.obs.enabled() {
+                        for m in &matches {
+                            self.obs.record(&TraceEvent::MatchFired {
+                                at: self.backend.now(),
+                                processor: target.name.clone(),
+                                index: m.index.to_string(),
+                                inputs: m.tokens.len(),
+                            });
+                        }
+                    }
                     self.states[tp.0].ready.extend(matches);
                 }
                 ProcessorKind::Source => {
@@ -287,8 +324,9 @@ impl<'a, B: Backend> Enactor<'a, B> {
                         && !matches!(proc.binding, Some(ServiceBinding::Local(_)));
                     if batchable {
                         let k = self.config.data_batching.min(self.states[p].ready.len());
-                        let batch: Vec<MatchedSet> =
-                            (0..k).map(|_| self.states[p].ready.pop_front().expect("len checked")).collect();
+                        let batch: Vec<MatchedSet> = (0..k)
+                            .map(|_| self.states[p].ready.pop_front().expect("len checked"))
+                            .collect();
                         self.fire_batch(ProcId(p), batch)?;
                     } else {
                         let matched = self.states[p].ready.pop_front().expect("checked non-empty");
@@ -356,9 +394,8 @@ impl<'a, B: Backend> Enactor<'a, B> {
                             // member quiet and every external
                             // predecessor exhausted.
                             let scc = self.scc_ids[p];
-                            let members: Vec<usize> = (0..n)
-                                .filter(|&m| self.scc_ids[m] == scc)
-                                .collect();
+                            let members: Vec<usize> =
+                                (0..n).filter(|&m| self.scc_ids[m] == scc).collect();
                             members.iter().all(|&m| {
                                 self.states[m].ready.is_empty()
                                     && self.states[m].inflight == 0
@@ -406,18 +443,36 @@ impl<'a, B: Backend> Enactor<'a, B> {
         self.next_invocation += 1;
         let (payload, grid_outputs) = match &binding {
             ServiceBinding::Local(service) => (
-                JobPayload::Local { service: service.clone(), inputs: matched.tokens.clone() },
+                JobPayload::Local {
+                    service: service.clone(),
+                    inputs: matched.tokens.clone(),
+                },
                 None,
             ),
-            ServiceBinding::Descriptor { descriptor, profile } => {
+            ServiceBinding::Descriptor {
+                descriptor,
+                profile,
+            } => {
                 let (plan, compute, outputs) =
                     self.build_descriptor_job(proc, descriptor, profile, &matched, invocation)?;
-                (JobPayload::Grid { plan, compute_seconds: compute }, Some(outputs))
+                (
+                    JobPayload::Grid {
+                        plan,
+                        compute_seconds: compute,
+                    },
+                    Some(outputs),
+                )
             }
             ServiceBinding::Grouped(group) => {
                 let (plan, compute, outputs) =
                     self.build_grouped_job(proc, group, &matched, invocation)?;
-                (JobPayload::Grid { plan, compute_seconds: compute }, Some(outputs))
+                (
+                    JobPayload::Grid {
+                        plan,
+                        compute_seconds: compute,
+                    },
+                    Some(outputs),
+                )
             }
         };
         let entry = PendEntry {
@@ -445,7 +500,10 @@ impl<'a, B: Backend> Enactor<'a, B> {
         for (k, matched) in batch.into_iter().enumerate() {
             let sub_invocation = InvocationId(invocation.0 * 1_000_000 + k as u64);
             let (plan, compute, outputs) = match &binding {
-                ServiceBinding::Descriptor { descriptor, profile } => {
+                ServiceBinding::Descriptor {
+                    descriptor,
+                    profile,
+                } => {
                     self.build_descriptor_job(proc, descriptor, profile, &matched, sub_invocation)?
                 }
                 ServiceBinding::Grouped(group) => {
@@ -469,8 +527,20 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 grid_outputs: Some(outputs),
             });
         }
-        let plan = JobPlan { command_lines, fetch, store };
-        self.submit(proc, entries, invocation, JobPayload::Grid { plan, compute_seconds: compute_total })
+        let plan = JobPlan {
+            command_lines,
+            fetch,
+            store,
+        };
+        self.submit(
+            proc,
+            entries,
+            invocation,
+            JobPayload::Grid {
+                plan,
+                compute_seconds: compute_total,
+            },
+        )
     }
 
     fn submit(
@@ -486,10 +556,26 @@ impl<'a, B: Backend> Enactor<'a, B> {
             payload,
         };
         let submitted = self.backend.now();
+        // Emit before handing the job to the backend so the enactor's
+        // submission event precedes any grid-side event for the same
+        // invocation (the simulated broker reacts synchronously).
+        self.obs.emit(|| TraceEvent::JobSubmitted {
+            at: submitted,
+            invocation: invocation.0,
+            processor: job.processor.clone(),
+            grid: matches!(job.payload, JobPayload::Grid { .. }),
+            batched: entries.len(),
+        });
         self.backend.submit(job.clone());
         self.pending.insert(
             invocation.0,
-            PendingJob { proc, entries, job, retries: 0, submitted },
+            PendingJob {
+                proc,
+                entries,
+                job,
+                retries: 0,
+                submitted,
+            },
         );
         self.states[proc.0].inflight += 1;
         self.inflight_total += 1;
@@ -527,7 +613,10 @@ impl<'a, B: Backend> Enactor<'a, B> {
     }
 
     fn output_gfn(&self, proc_name: &str, invocation: InvocationId, slot: &str) -> String {
-        format!("gfn://{}/{}/{}/{}", self.workflow.name, proc_name, invocation.0, slot)
+        format!(
+            "gfn://{}/{}/{}/{}",
+            self.workflow.name, proc_name, invocation.0, slot
+        )
     }
 
     fn build_descriptor_job(
@@ -622,7 +711,10 @@ impl<'a, B: Backend> Enactor<'a, B> {
             }
             stage_outputs.push(outs);
             compute_total += self.eval_cost(&stage.profile.compute.clone(), &matched.index);
-            members.push(GroupMember { descriptor: stage.descriptor.clone(), binding });
+            members.push(GroupMember {
+                descriptor: stage.descriptor.clone(),
+                binding,
+            });
         }
         // Exposed outputs become the grouped processor's output tokens,
         // aligned with its output-port order.
@@ -642,6 +734,12 @@ impl<'a, B: Backend> Enactor<'a, B> {
             outputs.push((p.outputs[port_idx].clone(), DataValue::File { gfn, bytes }));
         }
         let plan = compose_group(&members, &self.catalog, &external)?;
+        self.obs.emit(|| TraceEvent::GroupComposed {
+            at: self.backend.now(),
+            processor: p.name.clone(),
+            stages: group.stages.len(),
+            commands: plan.command_lines.len(),
+        });
         Ok((plan, compute_total, outputs))
     }
 
@@ -662,13 +760,21 @@ impl<'a, B: Backend> Enactor<'a, B> {
             });
         }
         self.states[proc.0].barrier_fired = true;
+        self.obs.emit(|| TraceEvent::BarrierReleased {
+            at: self.backend.now(),
+            processor: p.name.clone(),
+            inputs: buffers.iter().map(Vec::len).sum(),
+        });
         let invocation = InvocationId(self.next_invocation);
         self.next_invocation += 1;
         let binding = p
             .binding
             .clone()
             .ok_or_else(|| MoteurError::new("synchronization processor without binding"))?;
-        let matched = MatchedSet { tokens, index: DataIndex::scalar() };
+        let matched = MatchedSet {
+            tokens,
+            index: DataIndex::scalar(),
+        };
         let entry = |grid_outputs: Option<ServiceOutputs>| PendEntry {
             index: matched.index.clone(),
             input_histories: matched.tokens.iter().map(|t| t.history.clone()).collect(),
@@ -679,9 +785,15 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 proc,
                 vec![entry(None)],
                 invocation,
-                JobPayload::Local { service: service.clone(), inputs: buffers_to_tokens(&buffers, p) },
+                JobPayload::Local {
+                    service: service.clone(),
+                    inputs: buffers_to_tokens(&buffers, p),
+                },
             ),
-            ServiceBinding::Descriptor { descriptor, profile } => {
+            ServiceBinding::Descriptor {
+                descriptor,
+                profile,
+            } => {
                 // A descriptor-bound barrier consumes arbitrarily many
                 // files per slot, which the one-value-per-slot wrapper
                 // binding cannot express: build its plan directly.
@@ -691,7 +803,10 @@ impl<'a, B: Backend> Enactor<'a, B> {
                     for t in buf {
                         if let DataValue::File { gfn, bytes } = &t.value {
                             self.catalog.register(gfn.clone(), *bytes);
-                            fetch.push(TransferFile { name: gfn.clone(), bytes: *bytes });
+                            fetch.push(TransferFile {
+                                name: gfn.clone(),
+                                bytes: *bytes,
+                            });
                         }
                         n_inputs += 1;
                     }
@@ -702,7 +817,10 @@ impl<'a, B: Backend> Enactor<'a, B> {
                     let gfn = self.output_gfn(&p.name, invocation, &out.name);
                     let bytes = profile.output_size(&out.name);
                     self.catalog.register(gfn.clone(), bytes);
-                    store.push(TransferFile { name: gfn.clone(), bytes });
+                    store.push(TransferFile {
+                        name: gfn.clone(),
+                        bytes,
+                    });
                     outputs.push((out.name.clone(), DataValue::File { gfn, bytes }));
                 }
                 let plan = JobPlan {
@@ -718,7 +836,10 @@ impl<'a, B: Backend> Enactor<'a, B> {
                     proc,
                     vec![entry(Some(outputs))],
                     invocation,
-                    JobPayload::Grid { plan, compute_seconds: compute },
+                    JobPayload::Grid {
+                        plan,
+                        compute_seconds: compute,
+                    },
                 )
             }
             ServiceBinding::Grouped(_) => Err(MoteurError::new(
@@ -741,11 +862,23 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 // grid job (all of its batched invocations re-run).
                 pend.retries += 1;
                 self.backend.submit(pend.job.clone());
+                self.obs.emit(|| TraceEvent::JobResubmitted {
+                    at: self.backend.now(),
+                    invocation: c.invocation.0,
+                    processor: self.workflow.processors[pend.proc.0].name.clone(),
+                    retry: pend.retries,
+                });
                 self.states[pend.proc.0].inflight += 1;
                 self.inflight_total += 1;
                 self.pending.insert(c.invocation.0, pend);
                 return Ok(());
             }
+            self.obs.emit(|| TraceEvent::JobFailed {
+                at: self.backend.now(),
+                invocation: c.invocation.0,
+                processor: self.workflow.processors[pend.proc.0].name.clone(),
+                error: message.clone(),
+            });
             return Err(MoteurError::new(format!(
                 "invocation of `{}` failed: {message}",
                 self.workflow.processors[pend.proc.0].name
@@ -758,7 +891,9 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 (_, Some(synthesised)) => synthesised,
                 (Some(outs), None) => outs.clone(),
                 (None, None) => {
-                    return Err(MoteurError::new("grid completion without synthesised outputs"))
+                    return Err(MoteurError::new(
+                        "grid completion without synthesised outputs",
+                    ))
                 }
             };
             let proc = &self.workflow.processors[proc_id.0];
@@ -772,17 +907,29 @@ impl<'a, B: Backend> Enactor<'a, B> {
             });
             let history = History::derived(proc.name.clone(), entry.input_histories.clone());
             for (port_name, value) in outputs {
-                let port_idx =
-                    proc.outputs.iter().position(|o| *o == port_name).ok_or_else(|| {
+                let port_idx = proc
+                    .outputs
+                    .iter()
+                    .position(|o| *o == port_name)
+                    .ok_or_else(|| {
                         MoteurError::new(format!(
                             "service `{}` produced a value on unknown port `{port_name}`",
                             proc.name
                         ))
                     })?;
-                let token = Token { value, index: entry.index.clone(), history: history.clone() };
+                let token = Token {
+                    value,
+                    index: entry.index.clone(),
+                    history: history.clone(),
+                };
                 self.route(proc_id, port_idx, token);
             }
         }
+        self.obs.emit(|| TraceEvent::JobCompleted {
+            at: self.backend.now(),
+            invocation: c.invocation.0,
+            processor: self.workflow.processors[proc_id.0].name.clone(),
+        });
         Ok(())
     }
 }

@@ -10,7 +10,9 @@ pub struct MoteurError {
 
 impl MoteurError {
     pub fn new(message: impl Into<String>) -> Self {
-        MoteurError { message: message.into() }
+        MoteurError {
+            message: message.into(),
+        }
     }
 }
 

@@ -70,8 +70,7 @@ impl GranularityModel {
             (0.0, 0.0)
         } else {
             let mean = logs.iter().sum::<f64>() / logs.len() as f64;
-            let var = logs.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>()
-                / logs.len() as f64;
+            let var = logs.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / logs.len() as f64;
             (mean.exp(), var.sqrt())
         };
         GranularityModel {
@@ -86,7 +85,10 @@ impl GranularityModel {
 /// Acklam's rational approximation of the standard normal quantile
 /// function Φ⁻¹ (absolute error < 1.2e-9 over (0, 1)).
 pub fn inverse_normal_cdf(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "quantile only defined on (0, 1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "quantile only defined on (0, 1), got {p}"
+    );
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
@@ -223,7 +225,10 @@ mod tests {
     fn fit_recovers_lognormal_parameters() {
         use moteur_gridsim::{Distribution, GridConfig, GridJobSpec, GridSim};
         let mut cfg = GridConfig::ideal();
-        cfg.submission_overhead = Distribution::LogNormal { median: 200.0, sigma: 0.6 };
+        cfg.submission_overhead = Distribution::LogNormal {
+            median: 200.0,
+            sigma: 0.6,
+        };
         let mut sim = GridSim::new(cfg, 9);
         for i in 0..400 {
             sim.submit(GridJobSpec::new(format!("j{i}"), 50.0));
@@ -235,7 +240,11 @@ mod tests {
             "median {}",
             model.overhead_median
         );
-        assert!((model.overhead_sigma - 0.6).abs() < 0.08, "sigma {}", model.overhead_sigma);
+        assert!(
+            (model.overhead_sigma - 0.6).abs() < 0.08,
+            "sigma {}",
+            model.overhead_sigma
+        );
     }
 
     #[test]

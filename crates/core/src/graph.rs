@@ -79,7 +79,10 @@ pub struct Workflow {
 
 impl Workflow {
     pub fn new(name: impl Into<String>) -> Self {
-        Workflow { name: name.into(), ..Default::default() }
+        Workflow {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Add a data source with the given name (one output port `out`).
@@ -152,7 +155,10 @@ impl Workflow {
 
     /// Find a processor by name.
     pub fn find(&self, name: &str) -> Option<ProcId> {
-        self.processors.iter().position(|p| p.name == name).map(ProcId)
+        self.processors
+            .iter()
+            .position(|p| p.name == name)
+            .map(ProcId)
     }
 
     fn port_index(ports: &[String], name: &str) -> Option<usize> {
@@ -182,8 +188,14 @@ impl Workflow {
             MoteurError::new(format!("`{}` has no input port `{in_port}`", tp.name))
         })?;
         self.links.push(Link {
-            from: PortRef { proc: from_proc, port: from_port },
-            to: PortRef { proc: to_proc, port: to_port },
+            from: PortRef {
+                proc: from_proc,
+                port: from_port,
+            },
+            to: PortRef {
+                proc: to_proc,
+                port: to_port,
+            },
         });
         Ok(())
     }
@@ -317,7 +329,11 @@ impl Workflow {
             return true;
         }
         // Self loops.
-        (0..n).any(|v| self.links.iter().any(|l| l.from.proc.0 == v && l.to.proc.0 == v))
+        (0..n).any(|v| {
+            self.links
+                .iter()
+                .any(|l| l.from.proc.0 == v && l.to.proc.0 == v)
+        })
     }
 
     /// Number of *services* on the longest source→sink path (`n_W` of
@@ -331,7 +347,9 @@ impl Workflow {
     /// Only valid for acyclic graphs.
     pub fn critical_path(&self) -> Result<Vec<ProcId>, MoteurError> {
         if self.has_cycle() {
-            return Err(MoteurError::new("critical path undefined on cyclic workflows"));
+            return Err(MoteurError::new(
+                "critical path undefined on cyclic workflows",
+            ));
         }
         // Memoised longest path (service count) with successor tracking.
         fn longest(
@@ -356,8 +374,7 @@ impl Workflow {
             r
         }
         let mut memo = vec![None; self.processors.len()];
-        let start = (0..self.processors.len())
-            .max_by_key(|&v| longest(self, v, &mut memo).0);
+        let start = (0..self.processors.len()).max_by_key(|&v| longest(self, v, &mut memo).0);
         let mut path = Vec::new();
         let mut cur = start;
         while let Some(v) = cur {
@@ -376,12 +393,18 @@ impl Workflow {
         let mut names = HashSet::new();
         for p in &self.processors {
             if !names.insert(&p.name) {
-                return Err(MoteurError::new(format!("duplicate processor name `{}`", p.name)));
+                return Err(MoteurError::new(format!(
+                    "duplicate processor name `{}`",
+                    p.name
+                )));
             }
             match p.kind {
                 ProcessorKind::Service => {
                     if p.binding.is_none() {
-                        return Err(MoteurError::new(format!("service `{}` has no binding", p.name)));
+                        return Err(MoteurError::new(format!(
+                            "service `{}` has no binding",
+                            p.name
+                        )));
                     }
                 }
                 ProcessorKind::Source | ProcessorKind::Sink => {
@@ -404,10 +427,16 @@ impl Workflow {
                 .get(l.to.proc.0)
                 .ok_or_else(|| MoteurError::new("link to unknown processor"))?;
             if l.from.port >= fp.outputs.len() {
-                return Err(MoteurError::new(format!("link from bad port of `{}`", fp.name)));
+                return Err(MoteurError::new(format!(
+                    "link from bad port of `{}`",
+                    fp.name
+                )));
             }
             if l.to.port >= tp.inputs.len() {
-                return Err(MoteurError::new(format!("link to bad port of `{}`", tp.name)));
+                return Err(MoteurError::new(format!(
+                    "link to bad port of `{}`",
+                    tp.name
+                )));
             }
         }
         for (idx, p) in self.processors.iter().enumerate() {

@@ -65,7 +65,10 @@ fn find_groupable_pair(wf: &Workflow) -> Option<(ProcId, ProcId)> {
     let in_cycle: Vec<bool> = (0..wf.processors.len())
         .map(|v| {
             sizes[&scc_ids[v]] > 1
-                || wf.links.iter().any(|l| l.from.proc.0 == v && l.to.proc.0 == v)
+                || wf
+                    .links
+                    .iter()
+                    .any(|l| l.from.proc.0 == v && l.to.proc.0 == v)
         })
         .collect();
     for p in (0..wf.processors.len()).map(ProcId) {
@@ -113,9 +116,15 @@ fn find_groupable_pair(wf: &Workflow) -> Option<(ProcId, ProcId)> {
 fn as_group(p: &Processor) -> Result<GroupedBinding, MoteurError> {
     match &p.binding {
         Some(ServiceBinding::Grouped(g)) => Ok(g.clone()),
-        Some(ServiceBinding::Descriptor { descriptor, profile }) => {
-            let fixed: std::collections::HashSet<&str> =
-                profile.fixed_params.iter().map(|(s, _)| s.as_str()).collect();
+        Some(ServiceBinding::Descriptor {
+            descriptor,
+            profile,
+        }) => {
+            let fixed: std::collections::HashSet<&str> = profile
+                .fixed_params
+                .iter()
+                .map(|(s, _)| s.as_str())
+                .collect();
             let inputs = p
                 .inputs
                 .iter()
@@ -163,9 +172,13 @@ fn merge_pair(wf: &Workflow, p_id: ProcId, q_id: ProcId) -> Result<Workflow, Mot
             .iter()
             .find(|l| l.to.proc == q_id && l.to.port == port && l.from.proc == p_id);
         match feeder {
-            Some(l) => q_port_kind.push(QPort::FromP { p_out_port: l.from.port }),
+            Some(l) => q_port_kind.push(QPort::FromP {
+                p_out_port: l.from.port,
+            }),
             None => {
-                q_port_kind.push(QPort::External { merged_port: merged_inputs.len() });
+                q_port_kind.push(QPort::External {
+                    merged_port: merged_inputs.len(),
+                });
                 merged_inputs.push(format!("{}.{}", q.name, port_name));
             }
         }
@@ -174,9 +187,10 @@ fn merge_pair(wf: &Workflow, p_id: ProcId, q_id: ProcId) -> Result<Workflow, Mot
     // Remap Q's stage input sources into the merged group.
     let remap = |src: &GroupSource| -> GroupSource {
         match src {
-            GroupSource::StageOutput { stage, slot } => {
-                GroupSource::StageOutput { stage: stage + p_stage_count, slot: slot.clone() }
-            }
+            GroupSource::StageOutput { stage, slot } => GroupSource::StageOutput {
+                stage: stage + p_stage_count,
+                slot: slot.clone(),
+            },
             GroupSource::ExternalPort(qi) => match q_port_kind[*qi] {
                 QPort::FromP { p_out_port } => {
                     let (stage, slot) = pg.exposed_outputs[p_out_port].clone();
@@ -192,7 +206,11 @@ fn merge_pair(wf: &Workflow, p_id: ProcId, q_id: ProcId) -> Result<Workflow, Mot
             name: stage.name.clone(),
             descriptor: stage.descriptor.clone(),
             profile: stage.profile.clone(),
-            inputs: stage.inputs.iter().map(|(s, src)| (s.clone(), remap(src))).collect(),
+            inputs: stage
+                .inputs
+                .iter()
+                .map(|(s, src)| (s.clone(), remap(src)))
+                .collect(),
         });
     }
     let exposed_outputs = qg
@@ -208,7 +226,10 @@ fn merge_pair(wf: &Workflow, p_id: ProcId, q_id: ProcId) -> Result<Workflow, Mot
         outputs: q.outputs.clone(),
         iteration: IterationStrategy::Dot,
         synchronization: false,
-        binding: Some(ServiceBinding::Grouped(GroupedBinding { stages, exposed_outputs })),
+        binding: Some(ServiceBinding::Grouped(GroupedBinding {
+            stages,
+            exposed_outputs,
+        })),
     };
 
     // Rebuild the workflow with P and Q replaced by the merged node.
@@ -245,8 +266,14 @@ fn merge_pair(wf: &Workflow, p_id: ProcId, q_id: ProcId) -> Result<Workflow, Mot
             (id_map[l.to.proc.0].expect("mapped"), l.to.port)
         };
         out.links.push(crate::graph::Link {
-            from: crate::graph::PortRef { proc: from_proc, port: from_port },
-            to: crate::graph::PortRef { proc: to_proc, port: to_port },
+            from: crate::graph::PortRef {
+                proc: from_proc,
+                port: from_port,
+            },
+            to: crate::graph::PortRef {
+                proc: to_proc,
+                port: to_port,
+            },
         });
     }
     for (a, b) in &wf.control {
@@ -337,7 +364,10 @@ mod tests {
                 // B's input comes from A's `mid` output.
                 assert_eq!(
                     gb.stages[1].inputs[0].1,
-                    GroupSource::StageOutput { stage: 0, slot: "mid".into() }
+                    GroupSource::StageOutput {
+                        stage: 0,
+                        slot: "mid".into()
+                    }
                 );
                 assert_eq!(gb.exposed_outputs, vec![(1, "out".to_string())]);
             }
@@ -359,8 +389,11 @@ mod tests {
         w.connect(c, "z", k, "in").unwrap();
         let g = group_workflow(&w).unwrap();
         g.validate().unwrap();
-        let services: Vec<&Processor> =
-            g.processors.iter().filter(|p| p.kind == ProcessorKind::Service).collect();
+        let services: Vec<&Processor> = g
+            .processors
+            .iter()
+            .filter(|p| p.kind == ProcessorKind::Service)
+            .collect();
         assert_eq!(services.len(), 1);
         match services[0].binding.as_ref().unwrap() {
             ServiceBinding::Grouped(gb) => assert_eq!(gb.stages.len(), 3),
@@ -385,7 +418,10 @@ mod tests {
         w.connect(c, "o", k, "in").unwrap();
         let g = group_workflow(&w).unwrap();
         assert_eq!(
-            g.processors.iter().filter(|p| p.kind == ProcessorKind::Service).count(),
+            g.processors
+                .iter()
+                .filter(|p| p.kind == ProcessorKind::Service)
+                .count(),
             3,
             "no grouping should occur"
         );
@@ -397,8 +433,12 @@ mod tests {
         let mut w = Workflow::new("ext");
         let s = w.add_source("src");
         let a = w.add_service("A", &["img"], &["crest"], svc("A", &["img"], &["crest"]));
-        let b =
-            w.add_service("B", &["crest", "img"], &["trf"], svc("B", &["crest", "img"], &["trf"]));
+        let b = w.add_service(
+            "B",
+            &["crest", "img"],
+            &["trf"],
+            svc("B", &["crest", "img"], &["trf"]),
+        );
         let k = w.add_sink("sink");
         w.connect(s, "out", a, "img").unwrap();
         w.connect(a, "crest", b, "crest").unwrap();
@@ -410,8 +450,12 @@ mod tests {
         let mp = g.processor(merged);
         assert_eq!(mp.inputs, vec!["A.img".to_string(), "B.img".to_string()]);
         // The source now feeds both merged ports.
-        let feeds: Vec<usize> =
-            g.links.iter().filter(|l| l.to.proc == merged).map(|l| l.to.port).collect();
+        let feeds: Vec<usize> = g
+            .links
+            .iter()
+            .filter(|l| l.to.proc == merged)
+            .map(|l| l.to.port)
+            .collect();
         assert_eq!(feeds.len(), 2);
     }
 
@@ -428,9 +472,10 @@ mod tests {
     fn local_bound_services_are_never_grouped() {
         let mut w = Workflow::new("local");
         let s = w.add_source("src");
-        let svc_fn = |_: &[crate::token::Token]| -> Result<Vec<(String, crate::value::DataValue)>, String> {
-            Ok(vec![])
-        };
+        let svc_fn =
+            |_: &[crate::token::Token]| -> Result<Vec<(String, crate::value::DataValue)>, String> {
+                Ok(vec![])
+            };
         let a = w.add_service("A", &["in"], &["o"], ServiceBinding::local(svc_fn));
         let b = w.add_service("B", &["i"], &[], ServiceBinding::local(svc_fn));
         w.connect(s, "out", a, "in").unwrap();

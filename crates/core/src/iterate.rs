@@ -53,7 +53,10 @@ impl MatchEngine {
         assert!(port < self.ports(), "port {port} out of range");
         if self.ports() == 1 {
             let index = token.index.clone();
-            return vec![MatchedSet { tokens: vec![token], index }];
+            return vec![MatchedSet {
+                tokens: vec![token],
+                index,
+            }];
         }
         match self.strategy {
             IterationStrategy::Dot => self.push_dot(port, token),
@@ -63,7 +66,10 @@ impl MatchEngine {
 
     fn push_dot(&mut self, port: usize, token: Token) -> Vec<MatchedSet> {
         let index = token.index.clone();
-        self.dot[port].entry(index.clone()).or_default().push_back(token);
+        self.dot[port]
+            .entry(index.clone())
+            .or_default()
+            .push_back(token);
         // A match exists when every port has a queued token at `index`.
         let ready = self
             .dot
@@ -133,9 +139,11 @@ impl MatchEngine {
     /// never holds back a possible combination).
     pub fn pending(&self) -> usize {
         match self.strategy {
-            IterationStrategy::Dot => {
-                self.dot.iter().map(|m| m.values().map(VecDeque::len).sum::<usize>()).sum()
-            }
+            IterationStrategy::Dot => self
+                .dot
+                .iter()
+                .map(|m| m.values().map(VecDeque::len).sum::<usize>())
+                .sum(),
             IterationStrategy::Cross => 0,
         }
     }
@@ -258,7 +266,11 @@ mod tests {
         let pushes = [(0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2)];
         for (port, i) in pushes {
             for m in e.push(port, tok(if port == 0 { "a" } else { "b" }, i)) {
-                assert!(seen.insert(m.index.clone()), "duplicate combo {:?}", m.index);
+                assert!(
+                    seen.insert(m.index.clone()),
+                    "duplicate combo {:?}",
+                    m.index
+                );
             }
         }
         assert_eq!(seen.len(), 9, "3 × 3");

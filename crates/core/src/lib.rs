@@ -64,6 +64,7 @@ pub mod graph;
 pub mod grouping;
 pub mod iterate;
 pub mod model;
+pub mod obs;
 pub mod provenance;
 pub mod report;
 pub mod service;
@@ -77,13 +78,18 @@ pub use backend::{
 };
 pub use config::EnactorConfig;
 pub use dot::to_dot;
-pub use enactor::{run, InputData};
+pub use enactor::{run, run_observed, InputData};
 pub use error::MoteurError;
 pub use granularity::{inverse_normal_cdf, GranularityModel};
 pub use graph::{IterationStrategy, Link, PortRef, ProcId, Processor, ProcessorKind, Workflow};
 pub use grouping::{group_workflow, groupable_pairs};
 pub use iterate::{MatchEngine, MatchedSet};
 pub use model::TimeMatrix;
+pub use obs::chrome::{chrome_trace, chrome_trace_with_metrics};
+pub use obs::critical::{analyze as critical_path, render as render_critical_path, CriticalPath};
+pub use obs::metrics::{MetricsRegistry, MetricsSink};
+pub use obs::sinks::{EventBuffer, JsonlSink, NullSink, RingBufferSink};
+pub use obs::{EventSink, Obs, TraceEvent};
 pub use provenance::{export_provenance, history_from_xml, history_to_xml};
 pub use report::{render_report, service_stats, total_busy, ServiceStats};
 pub use service::{
@@ -98,10 +104,11 @@ pub use value::DataValue;
 pub mod prelude {
     pub use crate::backend::{Backend, LocalBackend, SimBackend, VirtualBackend};
     pub use crate::config::EnactorConfig;
-    pub use crate::enactor::{run, InputData};
+    pub use crate::enactor::{run, run_observed, InputData};
     pub use crate::error::MoteurError;
     pub use crate::graph::{IterationStrategy, ProcId, Workflow};
     pub use crate::model::TimeMatrix;
+    pub use crate::obs::{Obs, TraceEvent};
     pub use crate::service::{CostModel, LocalService, ServiceBinding, ServiceProfile};
     pub use crate::token::{DataIndex, History, Token};
     pub use crate::trace::WorkflowResult;

@@ -44,7 +44,11 @@ impl TimeMatrix {
 
     /// Generate from a function of (service, data) indices.
     pub fn from_fn(n_w: usize, n_d: usize, f: impl Fn(usize, usize) -> f64) -> Self {
-        Self::new((0..n_w).map(|i| (0..n_d).map(|j| f(i, j)).collect()).collect())
+        Self::new(
+            (0..n_w)
+                .map(|i| (0..n_d).map(|j| f(i, j)).collect())
+                .collect(),
+        )
     }
 
     pub fn n_services(&self) -> usize {
@@ -208,12 +212,8 @@ mod tests {
         let (nw, nd, t) = (5, 126, 3.0);
         let m = TimeMatrix::constant(nw, nd, t);
         assert!((m.sigma_sequential() / m.sigma_dp() - speedup_dp_constant(nd)).abs() < 1e-9);
-        assert!(
-            (m.sigma_sequential() / m.sigma_sp() - speedup_sp_constant(nw, nd)).abs() < 1e-9
-        );
-        assert!(
-            (m.sigma_sp() / m.sigma_dsp() - speedup_dp_given_sp_constant(nw, nd)).abs() < 1e-9
-        );
+        assert!((m.sigma_sequential() / m.sigma_sp() - speedup_sp_constant(nw, nd)).abs() < 1e-9);
+        assert!((m.sigma_sp() / m.sigma_dsp() - speedup_dp_given_sp_constant(nw, nd)).abs() < 1e-9);
         // SP adds nothing when DP is already on (S_SDP = 1).
         assert!((m.sigma_dp() / m.sigma_dsp() - 1.0).abs() < 1e-9);
     }
@@ -232,7 +232,12 @@ mod tests {
     fn non_data_intensive_limit() {
         // nD = 1: all four coincide at Σ_i T[i][0].
         let m = TimeMatrix::new(vec![vec![2.0], vec![5.0], vec![1.0]]);
-        for v in [m.sigma_sequential(), m.sigma_dp(), m.sigma_sp(), m.sigma_dsp()] {
+        for v in [
+            m.sigma_sequential(),
+            m.sigma_dp(),
+            m.sigma_sp(),
+            m.sigma_dsp(),
+        ] {
             assert_eq!(v, 8.0);
         }
     }

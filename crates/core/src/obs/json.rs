@@ -1,0 +1,151 @@
+//! Minimal JSON construction — just enough for event and metric export
+//! without an external serialisation dependency.
+//!
+//! Output is always a single line (no pretty-printing) so it can be
+//! embedded in JSONL streams and Chrome trace arrays directly.
+
+use std::fmt::Write as _;
+
+/// Escape a string for inclusion inside JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON number (`null` for non-finite values,
+/// which JSON cannot represent).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental single-line JSON object writer.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", escape(k));
+    }
+
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "\"{}\"", escape(v));
+        self
+    }
+
+    pub fn num(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        self.buf.push_str(&num(v));
+        self
+    }
+
+    pub fn int(mut self, k: &str, v: i64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    pub fn uint(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Insert pre-rendered JSON (an object, array or literal) verbatim.
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Join pre-rendered JSON values into an array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn object_builds_valid_json() {
+        let s = JsonObject::new()
+            .str("type", "x")
+            .num("t", 1.5)
+            .int("n", -2)
+            .bool("ok", true)
+            .raw("a", "[1,2]")
+            .finish();
+        assert_eq!(
+            s,
+            "{\"type\":\"x\",\"t\":1.5,\"n\":-2,\"ok\":true,\"a\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(2.0), "2");
+    }
+
+    #[test]
+    fn array_joins() {
+        assert_eq!(array(["1".to_string(), "2".to_string()]), "[1,2]");
+        assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+}

@@ -53,7 +53,9 @@ pub fn history_from_xml(el: &Element) -> Result<Arc<History>, MoteurError> {
                 .collect::<Result<Vec<_>, _>>()?;
             Ok(History::derived(processor, inputs))
         }
-        other => Err(MoteurError::new(format!("unknown provenance element <{other}>"))),
+        other => Err(MoteurError::new(format!(
+            "unknown provenance element <{other}>"
+        ))),
     }
 }
 
@@ -138,7 +140,11 @@ mod tests {
         let first = sink.children_named("data").next().unwrap();
         let derived = first.child("derived").unwrap();
         assert_eq!(derived.attr("processor"), Some("crestMatch"));
-        assert_eq!(derived.element_count(), 4, "crestMatch + crestLines + 2 sources");
+        assert_eq!(
+            derived.element_count(),
+            4,
+            "crestMatch + crestLines + 2 sources"
+        );
     }
 
     #[test]

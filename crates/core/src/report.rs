@@ -4,7 +4,7 @@
 //! grid overhead they paid.
 
 use crate::trace::WorkflowResult;
-use moteur_gridsim::SimDuration;
+use moteur_gridsim::{percentile, SimDuration};
 use std::collections::BTreeMap;
 
 /// Aggregated timings of one processor.
@@ -17,6 +17,10 @@ pub struct ServiceStats {
     pub mean_execution_secs: f64,
     pub min_execution_secs: f64,
     pub max_execution_secs: f64,
+    /// Execution-window distribution tails (linear interpolation).
+    pub p50_execution_secs: f64,
+    pub p95_execution_secs: f64,
+    pub p99_execution_secs: f64,
     /// Mean of (started − submitted): grid overhead before execution.
     pub mean_wait_secs: f64,
     /// Sum of execution windows (total busy time).
@@ -29,7 +33,10 @@ pub fn service_stats(result: &WorkflowResult) -> Vec<ServiceStats> {
     for r in &result.invocations {
         let exec = r.finished.since(r.started).as_secs_f64();
         let wait = r.started.since(r.submitted).as_secs_f64();
-        groups.entry(&r.processor).or_default().push((exec, wait, r.retries));
+        groups
+            .entry(&r.processor)
+            .or_default()
+            .push((exec, wait, r.retries));
     }
     groups
         .into_iter()
@@ -43,6 +50,9 @@ pub fn service_stats(result: &WorkflowResult) -> Vec<ServiceStats> {
                 mean_execution_secs: execs.iter().sum::<f64>() / n,
                 min_execution_secs: execs.iter().copied().fold(f64::INFINITY, f64::min),
                 max_execution_secs: execs.iter().copied().fold(0.0, f64::max),
+                p50_execution_secs: percentile(&execs, 0.50),
+                p95_execution_secs: percentile(&execs, 0.95),
+                p99_execution_secs: percentile(&execs, 0.99),
                 mean_wait_secs: rows.iter().map(|(_, w, _)| w).sum::<f64>() / n,
                 total_execution_secs: execs.iter().sum(),
             }
@@ -55,18 +65,28 @@ pub fn render_report(result: &WorkflowResult) -> String {
     let stats = service_stats(result);
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<24} {:>6} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
-        "service", "invoc", "retries", "mean exec", "max exec", "mean wait", "busy total"
+        "{:<24} {:>6} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "service",
+        "invoc",
+        "retries",
+        "mean exec",
+        "p50 exec",
+        "p95 exec",
+        "max exec",
+        "mean wait",
+        "busy total"
     ));
-    out.push_str(&"-".repeat(84));
+    out.push_str(&"-".repeat(106));
     out.push('\n');
     for s in &stats {
         out.push_str(&format!(
-            "{:<24} {:>6} {:>7} {:>9.1}s {:>9.1}s {:>9.1}s {:>9.1}s\n",
+            "{:<24} {:>6} {:>7} {:>9.1}s {:>9.1}s {:>9.1}s {:>9.1}s {:>9.1}s {:>9.1}s\n",
             s.processor,
             s.invocations,
             s.retries,
             s.mean_execution_secs,
+            s.p50_execution_secs,
+            s.p95_execution_secs,
             s.max_execution_secs,
             s.mean_wait_secs,
             s.total_execution_secs,
@@ -132,11 +152,25 @@ mod tests {
         assert_eq!(a.processor, "A");
         assert_eq!(a.invocations, 2);
         assert_eq!(a.retries, 1);
-        assert!((a.mean_execution_secs - 30.0).abs() < 1e-9, "mean of 20 and 40");
+        assert!(
+            (a.mean_execution_secs - 30.0).abs() < 1e-9,
+            "mean of 20 and 40"
+        );
         assert!((a.min_execution_secs - 20.0).abs() < 1e-9);
         assert!((a.max_execution_secs - 40.0).abs() < 1e-9);
         assert!((a.mean_wait_secs - 15.0).abs() < 1e-9, "mean of 10 and 20");
         assert!((a.total_execution_secs - 60.0).abs() < 1e-9);
+        // Two samples 20 and 40: p50 interpolates to 30, p95/p99 near 40.
+        assert!((a.p50_execution_secs - 30.0).abs() < 1e-9);
+        assert!(a.p95_execution_secs <= a.p99_execution_secs);
+        assert!((a.p99_execution_secs - 39.8).abs() < 0.2 + 1e-9);
+        let b = &stats[1];
+        assert_eq!(b.invocations, 1);
+        assert!(
+            (b.p50_execution_secs - 5.0).abs() < 1e-9,
+            "single sample = every percentile"
+        );
+        assert!((b.p99_execution_secs - 5.0).abs() < 1e-9);
     }
 
     #[test]
@@ -149,7 +183,10 @@ mod tests {
 
     #[test]
     fn total_busy_sums_execution_windows() {
-        let r = result_with(vec![rec("A", 0.0, 0.0, 10.0, 0), rec("B", 0.0, 5.0, 25.0, 0)]);
+        let r = result_with(vec![
+            rec("A", 0.0, 0.0, 10.0, 0),
+            rec("B", 0.0, 5.0, 25.0, 0),
+        ]);
         assert!((total_busy(&r).as_secs_f64() - 30.0).abs() < 1e-6);
     }
 

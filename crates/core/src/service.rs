@@ -157,7 +157,10 @@ pub enum ServiceBinding {
     Local(Arc<dyn LocalService>),
     /// Generic-wrapper service from an executable descriptor (grid
     /// backend).
-    Descriptor { descriptor: ExecutableDescriptor, profile: ServiceProfile },
+    Descriptor {
+        descriptor: ExecutableDescriptor,
+        profile: ServiceProfile,
+    },
     /// A virtual grouped service (paper §3.6).
     Grouped(GroupedBinding),
 }
@@ -183,7 +186,10 @@ impl ServiceBinding {
     }
 
     pub fn descriptor(descriptor: ExecutableDescriptor, profile: ServiceProfile) -> Self {
-        ServiceBinding::Descriptor { descriptor, profile }
+        ServiceBinding::Descriptor {
+            descriptor,
+            profile,
+        }
     }
 }
 

@@ -64,25 +64,32 @@ pub enum History {
     /// stream.
     Source { source: String, position: u32 },
     /// Produced by a processor invocation from a set of input tokens.
-    Derived { processor: String, inputs: Vec<Arc<History>> },
+    Derived {
+        processor: String,
+        inputs: Vec<Arc<History>>,
+    },
 }
 
 impl History {
     pub fn source(name: impl Into<String>, position: u32) -> Arc<History> {
-        Arc::new(History::Source { source: name.into(), position })
+        Arc::new(History::Source {
+            source: name.into(),
+            position,
+        })
     }
 
     pub fn derived(processor: impl Into<String>, inputs: Vec<Arc<History>>) -> Arc<History> {
-        Arc::new(History::Derived { processor: processor.into(), inputs })
+        Arc::new(History::Derived {
+            processor: processor.into(),
+            inputs,
+        })
     }
 
     /// All source leaves of the tree, in left-to-right order.
     pub fn sources(&self) -> Vec<(String, u32)> {
         match self {
             History::Source { source, position } => vec![(source.clone(), *position)],
-            History::Derived { inputs, .. } => {
-                inputs.iter().flat_map(|i| i.sources()).collect()
-            }
+            History::Derived { inputs, .. } => inputs.iter().flat_map(|i| i.sources()).collect(),
         }
     }
 
@@ -90,9 +97,10 @@ impl History {
     pub fn involves(&self, processor: &str) -> bool {
         match self {
             History::Source { .. } => false,
-            History::Derived { processor: p, inputs } => {
-                p == processor || inputs.iter().any(|i| i.involves(processor))
-            }
+            History::Derived {
+                processor: p,
+                inputs,
+            } => p == processor || inputs.iter().any(|i| i.involves(processor)),
         }
     }
 
@@ -170,7 +178,10 @@ mod tests {
     fn history_involves_searches_ancestors() {
         let h = History::derived(
             "PFRegister",
-            vec![History::derived("PFMatchICP", vec![History::source("img", 3)])],
+            vec![History::derived(
+                "PFMatchICP",
+                vec![History::source("img", 3)],
+            )],
         );
         assert!(h.involves("PFMatchICP"));
         assert!(h.involves("PFRegister"));

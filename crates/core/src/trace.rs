@@ -42,7 +42,10 @@ pub struct WorkflowResult {
 impl WorkflowResult {
     /// Tokens a named sink received.
     pub fn sink(&self, name: &str) -> &[Token] {
-        self.sink_outputs.get(name).map(Vec::as_slice).unwrap_or(&[])
+        self.sink_outputs
+            .get(name)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Invocation records of one processor, sorted by data index.

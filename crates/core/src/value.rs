@@ -87,10 +87,9 @@ impl PartialEq for DataValue {
         match (self, other) {
             (DataValue::Str(a), DataValue::Str(b)) => a == b,
             (DataValue::Num(a), DataValue::Num(b)) => a == b,
-            (
-                DataValue::File { gfn: g1, bytes: b1 },
-                DataValue::File { gfn: g2, bytes: b2 },
-            ) => g1 == g2 && b1 == b2,
+            (DataValue::File { gfn: g1, bytes: b1 }, DataValue::File { gfn: g2, bytes: b2 }) => {
+                g1 == g2 && b1 == b2
+            }
             (DataValue::Opaque(a), DataValue::Opaque(b)) => Arc::ptr_eq(a, b),
             (DataValue::List(a), DataValue::List(b)) => a == b,
             _ => false,
@@ -124,7 +123,10 @@ mod tests {
     fn accessors_match_variants() {
         assert_eq!(DataValue::from("x").as_str(), Some("x"));
         assert_eq!(DataValue::from(2.0).as_num(), Some(2.0));
-        let f = DataValue::File { gfn: "gfn://a".into(), bytes: 9 };
+        let f = DataValue::File {
+            gfn: "gfn://a".into(),
+            bytes: 9,
+        };
         assert_eq!(f.as_file(), Some(("gfn://a", 9)));
         assert!(f.as_str().is_none());
         let l = DataValue::List(vec![DataValue::from(1.0)]);
@@ -138,7 +140,11 @@ mod tests {
         assert!(v.downcast::<String>().is_none());
         let w = v.clone();
         assert_eq!(v, w, "clones share the Arc");
-        assert_ne!(v, DataValue::opaque(vec![1u8, 2, 3]), "distinct allocations differ");
+        assert_ne!(
+            v,
+            DataValue::opaque(vec![1u8, 2, 3]),
+            "distinct allocations differ"
+        );
     }
 
     #[test]
@@ -146,7 +152,11 @@ mod tests {
         assert_eq!(DataValue::from("a").to_param_string(), "a");
         assert_eq!(DataValue::Num(2.5).to_param_string(), "2.5");
         assert_eq!(
-            DataValue::File { gfn: "gfn://f".into(), bytes: 0 }.to_param_string(),
+            DataValue::File {
+                gfn: "gfn://f".into(),
+                bytes: 0
+            }
+            .to_param_string(),
             "gfn://f"
         );
         let l = DataValue::List(vec![DataValue::from("a"), DataValue::from("b")]);

@@ -8,9 +8,21 @@ use moteur_wrapper::{AccessMethod, ExecutableDescriptor, FileItem, InputSlot, Ou
 
 fn descriptor(name: &str) -> ExecutableDescriptor {
     ExecutableDescriptor {
-        executable: FileItem { name: name.into(), access: AccessMethod::Local, value: name.into() },
-        inputs: vec![InputSlot { name: "in".into(), option: "-i".into(), access: Some(AccessMethod::Gfn) }],
-        outputs: vec![OutputSlot { name: "out".into(), option: "-o".into(), access: AccessMethod::Gfn }],
+        executable: FileItem {
+            name: name.into(),
+            access: AccessMethod::Local,
+            value: name.into(),
+        },
+        inputs: vec![InputSlot {
+            name: "in".into(),
+            option: "-i".into(),
+            access: Some(AccessMethod::Gfn),
+        }],
+        outputs: vec![OutputSlot {
+            name: "out".into(),
+            option: "-o".into(),
+            access: AccessMethod::Gfn,
+        }],
         sandboxes: vec![],
     }
 }
@@ -33,7 +45,12 @@ fn single_service_workflow(compute: f64) -> Workflow {
 fn inputs(n: usize) -> InputData {
     InputData::new().set(
         "data",
-        (0..n).map(|j| DataValue::File { gfn: format!("gfn://d/{j}"), bytes: 100 }).collect(),
+        (0..n)
+            .map(|j| DataValue::File {
+                gfn: format!("gfn://d/{j}"),
+                bytes: 100,
+            })
+            .collect(),
     )
 }
 
@@ -47,7 +64,11 @@ fn overhead_grid() -> GridConfig {
         failure_probability: 0.0,
         failure_detection: Distribution::Constant(0.0),
         max_retries: 0,
-        network: NetworkConfig { transfer_latency: 0.0, bandwidth: f64::INFINITY, congestion: 0.0 },
+        network: NetworkConfig {
+            transfer_latency: 0.0,
+            bandwidth: f64::INFINITY,
+            congestion: 0.0,
+        },
         typical_job_duration: 100.0,
         info_refresh_period: 3600.0,
         compute_jitter: Distribution::Constant(1.0),
@@ -61,13 +82,16 @@ fn batching_reduces_job_count_and_preserves_results() {
     let mut b1 = SimBackend::new(overhead_grid(), 1);
     let plain = run(&wf, &data, EnactorConfig::sp_dp(), &mut b1).unwrap();
     let mut b2 = SimBackend::new(overhead_grid(), 1);
-    let batched =
-        run(&wf, &data, EnactorConfig::sp_dp().with_batching(4), &mut b2).unwrap();
+    let batched = run(&wf, &data, EnactorConfig::sp_dp().with_batching(4), &mut b2).unwrap();
     assert_eq!(plain.jobs_submitted, 12);
     assert_eq!(batched.jobs_submitted, 3, "12 data / batch 4");
     assert_eq!(plain.sink("sink").len(), batched.sink("sink").len());
     // Every result token still has its own index and provenance.
-    let mut indices: Vec<_> = batched.sink("sink").iter().map(|t| t.index.clone()).collect();
+    let mut indices: Vec<_> = batched
+        .sink("sink")
+        .iter()
+        .map(|t| t.index.clone())
+        .collect();
     indices.sort();
     indices.dedup();
     assert_eq!(indices.len(), 12);
@@ -82,10 +106,15 @@ fn batching_trades_overhead_against_parallelism() {
     let data = inputs(12);
     let time_at = |g: usize| -> f64 {
         let mut backend = SimBackend::new(overhead_grid(), 1);
-        run(&wf, &data, EnactorConfig::sp_dp().with_batching(g), &mut backend)
-            .unwrap()
-            .makespan
-            .as_secs_f64()
+        run(
+            &wf,
+            &data,
+            EnactorConfig::sp_dp().with_batching(g),
+            &mut backend,
+        )
+        .unwrap()
+        .makespan
+        .as_secs_f64()
     };
     assert!((time_at(1) - 110.0).abs() < 1e-6, "{}", time_at(1));
     assert!((time_at(3) - 130.0).abs() < 1e-6, "{}", time_at(3));
@@ -100,10 +129,15 @@ fn batching_wins_when_the_sequential_baseline_pays_overhead_per_job() {
     let data = inputs(12);
     let time_at = |g: usize| -> f64 {
         let mut backend = SimBackend::new(overhead_grid(), 1);
-        run(&wf, &data, EnactorConfig::nop().with_batching(g), &mut backend)
-            .unwrap()
-            .makespan
-            .as_secs_f64()
+        run(
+            &wf,
+            &data,
+            EnactorConfig::nop().with_batching(g),
+            &mut backend,
+        )
+        .unwrap()
+        .makespan
+        .as_secs_f64()
     };
     // g=1: 12 × 110 = 1320. g=4: 3 × 140 = 420. g=12: 220.
     assert!((time_at(1) - 1320.0).abs() < 1e-6);
@@ -119,15 +153,31 @@ fn batched_jobs_failures_retry_the_whole_batch() {
     let wf = single_service_workflow(5.0);
     let data = inputs(9);
     let mut backend = SimBackend::new(grid, 3);
-    let result = run(&wf, &data, EnactorConfig::sp_dp().with_batching(3), &mut backend).unwrap();
-    assert_eq!(result.sink("sink").len(), 9, "all data processed despite failures");
-    assert!(result.invocations.iter().any(|r| r.retries > 0), "some batch retried");
+    let result = run(
+        &wf,
+        &data,
+        EnactorConfig::sp_dp().with_batching(3),
+        &mut backend,
+    )
+    .unwrap();
+    assert_eq!(
+        result.sink("sink").len(),
+        9,
+        "all data processed despite failures"
+    );
+    assert!(
+        result.invocations.iter().any(|r| r.retries > 0),
+        "some batch retried"
+    );
 }
 
 #[test]
 fn local_services_are_never_batched() {
     let double = |inputs: &[Token]| -> Result<Vec<(String, DataValue)>, String> {
-        Ok(vec![("out".into(), DataValue::from(inputs[0].value.as_num().unwrap() * 2.0))])
+        Ok(vec![(
+            "out".into(),
+            DataValue::from(inputs[0].value.as_num().unwrap() * 2.0),
+        )])
     };
     let mut wf = Workflow::new("local");
     let src = wf.add_source("data");
@@ -137,8 +187,17 @@ fn local_services_are_never_batched() {
     wf.connect(svc, "out", sink, "in").unwrap();
     let data = InputData::new().set("data", (0..6).map(|i| DataValue::from(i as f64)).collect());
     let mut backend = VirtualBackend::new();
-    let r = run(&wf, &data, EnactorConfig::sp_dp().with_batching(3), &mut backend).unwrap();
-    assert_eq!(r.jobs_submitted, 6, "each local call remains its own invocation");
+    let r = run(
+        &wf,
+        &data,
+        EnactorConfig::sp_dp().with_batching(3),
+        &mut backend,
+    )
+    .unwrap();
+    assert_eq!(
+        r.jobs_submitted, 6,
+        "each local call remains its own invocation"
+    );
     assert_eq!(r.sink("sink").len(), 6);
 }
 

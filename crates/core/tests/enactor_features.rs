@@ -10,7 +10,11 @@ use moteur_wrapper::{AccessMethod, ExecutableDescriptor, FileItem, InputSlot, Ou
 
 fn descriptor(name: &str, inputs: &[&str], outputs: &[&str]) -> ExecutableDescriptor {
     ExecutableDescriptor {
-        executable: FileItem { name: name.into(), access: AccessMethod::Local, value: name.into() },
+        executable: FileItem {
+            name: name.into(),
+            access: AccessMethod::Local,
+            value: name.into(),
+        },
         inputs: inputs
             .iter()
             .map(|i| InputSlot {
@@ -37,7 +41,10 @@ fn dsvc(name: &str, inputs: &[&str], outputs: &[&str], secs: f64) -> ServiceBind
 
 fn file_inputs(n: usize, prefix: &str) -> Vec<DataValue> {
     (0..n)
-        .map(|j| DataValue::File { gfn: format!("gfn://{prefix}/{j}"), bytes: 1000 })
+        .map(|j| DataValue::File {
+            gfn: format!("gfn://{prefix}/{j}"),
+            bytes: 1000,
+        })
         .collect()
 }
 
@@ -50,7 +57,12 @@ fn dot_product_workflow_produces_min_n_m_results() {
     let mut wf = Workflow::new("dot");
     let a = wf.add_source("A");
     let b = wf.add_source("B");
-    let svc = wf.add_service("pair", &["x", "y"], &["out"], dsvc("pair", &["x", "y"], &["out"], 1.0));
+    let svc = wf.add_service(
+        "pair",
+        &["x", "y"],
+        &["out"],
+        dsvc("pair", &["x", "y"], &["out"], 1.0),
+    );
     let sink = wf.add_sink("sink");
     wf.connect(a, "out", svc, "x").unwrap();
     wf.connect(b, "out", svc, "y").unwrap();
@@ -70,8 +82,12 @@ fn cross_product_workflow_produces_n_times_m_results() {
     let mut wf = Workflow::new("cross");
     let a = wf.add_source("A");
     let b = wf.add_source("B");
-    let svc =
-        wf.add_service("combine", &["x", "y"], &["out"], dsvc("combine", &["x", "y"], &["out"], 1.0));
+    let svc = wf.add_service(
+        "combine",
+        &["x", "y"],
+        &["out"],
+        dsvc("combine", &["x", "y"], &["out"], 1.0),
+    );
     wf.set_iteration(svc, IterationStrategy::Cross);
     let sink = wf.add_sink("sink");
     wf.connect(a, "out", svc, "x").unwrap();
@@ -124,7 +140,12 @@ fn dot_pairing_is_correct_when_branches_complete_out_of_order() {
             ServiceProfile::new(0.0).with_cost(slow_late),
         ),
     );
-    let join = wf.add_service("join", &["x", "y"], &["out"], dsvc("join", &["x", "y"], &["out"], 1.0));
+    let join = wf.add_service(
+        "join",
+        &["x", "y"],
+        &["out"],
+        dsvc("join", &["x", "y"], &["out"], 1.0),
+    );
     let sink = wf.add_sink("sink");
     wf.connect(src, "out", a, "in").unwrap();
     wf.connect(src, "out", b, "in").unwrap();
@@ -141,7 +162,10 @@ fn dot_pairing_is_correct_when_branches_complete_out_of_order() {
         // *same* source position (correct dot pairing).
         let sources = t.history.sources();
         assert_eq!(sources.len(), 2, "join of A and B branches");
-        assert_eq!(sources[0].1, sources[1].1, "A_j paired with B_j: {sources:?}");
+        assert_eq!(
+            sources[0].1, sources[1].1,
+            "A_j paired with B_j: {sources:?}"
+        );
         assert!(t.history.involves("A") && t.history.involves("B") && t.history.involves("join"));
     }
 }
@@ -154,12 +178,18 @@ fn dot_pairing_is_correct_when_branches_complete_out_of_order() {
 fn synchronization_processor_fires_once_with_whole_streams() {
     // source → double → mean(sync) → sink, with local services.
     let double = |inputs: &[Token]| -> Result<Vec<(String, DataValue)>, String> {
-        Ok(vec![("out".into(), DataValue::from(inputs[0].value.as_num().unwrap() * 2.0))])
+        Ok(vec![(
+            "out".into(),
+            DataValue::from(inputs[0].value.as_num().unwrap() * 2.0),
+        )])
     };
     let mean = |inputs: &[Token]| -> Result<Vec<(String, DataValue)>, String> {
         let list = inputs[0].value.as_list().ok_or("expected a list")?;
         let sum: f64 = list.iter().map(|v| v.as_num().unwrap()).sum();
-        Ok(vec![("out".into(), DataValue::from(sum / list.len() as f64))])
+        Ok(vec![(
+            "out".into(),
+            DataValue::from(sum / list.len() as f64),
+        )])
     };
     let mut wf = Workflow::new("sync");
     let src = wf.add_source("nums");
@@ -194,8 +224,18 @@ fn descriptor_bound_barrier_runs_on_grid_backend() {
     // grid barrier consuming all results.
     let mut wf = Workflow::new("gridsync");
     let src = wf.add_source("imgs");
-    let reg = wf.add_service("register", &["in"], &["trf"], dsvc("register", &["in"], &["trf"], 30.0));
-    let test = wf.add_service("test", &["trfs"], &["report"], dsvc("test", &["trfs"], &["report"], 10.0));
+    let reg = wf.add_service(
+        "register",
+        &["in"],
+        &["trf"],
+        dsvc("register", &["in"], &["trf"], 30.0),
+    );
+    let test = wf.add_service(
+        "test",
+        &["trfs"],
+        &["report"],
+        dsvc("test", &["trfs"], &["report"], 10.0),
+    );
     wf.set_synchronization(test, true);
     let sink = wf.add_sink("sink");
     wf.connect(src, "out", reg, "in").unwrap();
@@ -208,7 +248,11 @@ fn descriptor_bound_barrier_runs_on_grid_backend() {
     assert_eq!(r.sink("sink").len(), 1);
     assert_eq!(r.jobs_submitted, 6, "5 registrations + 1 barrier job");
     // Ideal grid: barrier starts at 30s (after all registers), ends 40s.
-    assert!((r.makespan.as_secs_f64() - 40.0).abs() < 1e-6, "{:?}", r.makespan);
+    assert!(
+        (r.makespan.as_secs_f64() - 40.0).abs() < 1e-6,
+        "{:?}",
+        r.makespan
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -220,10 +264,16 @@ fn fig2_loop_iterates_until_runtime_convergence() {
     // P1 initialises a counter; P2 increments; P3 routes to `again`
     // until the counter reaches a threshold that depends on the datum.
     let init = |inputs: &[Token]| -> Result<Vec<(String, DataValue)>, String> {
-        Ok(vec![("out".into(), DataValue::from(inputs[0].value.as_num().unwrap()))])
+        Ok(vec![(
+            "out".into(),
+            DataValue::from(inputs[0].value.as_num().unwrap()),
+        )])
     };
     let incr = |inputs: &[Token]| -> Result<Vec<(String, DataValue)>, String> {
-        Ok(vec![("out".into(), DataValue::from(inputs[0].value.as_num().unwrap() + 1.0))])
+        Ok(vec![(
+            "out".into(),
+            DataValue::from(inputs[0].value.as_num().unwrap() + 1.0),
+        )])
     };
     let check = |inputs: &[Token]| -> Result<Vec<(String, DataValue)>, String> {
         let v = inputs[0].value.as_num().unwrap();
@@ -237,7 +287,12 @@ fn fig2_loop_iterates_until_runtime_convergence() {
     let src = wf.add_source("source");
     let p1 = wf.add_service("P1", &["in"], &["out"], ServiceBinding::local(init));
     let p2 = wf.add_service("P2", &["in"], &["out"], ServiceBinding::local(incr));
-    let p3 = wf.add_service("P3", &["in"], &["again", "done"], ServiceBinding::local(check));
+    let p3 = wf.add_service(
+        "P3",
+        &["in"],
+        &["again", "done"],
+        ServiceBinding::local(check),
+    );
     let sink = wf.add_sink("sink");
     wf.connect(src, "out", p1, "in").unwrap();
     wf.connect(p1, "out", p2, "in").unwrap();
@@ -250,7 +305,11 @@ fn fig2_loop_iterates_until_runtime_convergence() {
     let inputs = InputData::new().set("source", vec![0.0.into(), 3.0.into()]);
     let mut backend = VirtualBackend::new();
     let r = run(&wf, &inputs, EnactorConfig::sp_dp(), &mut backend).unwrap();
-    let mut results: Vec<f64> = r.sink("sink").iter().map(|t| t.value.as_num().unwrap()).collect();
+    let mut results: Vec<f64> = r
+        .sink("sink")
+        .iter()
+        .map(|t| t.value.as_num().unwrap())
+        .collect();
     results.sort_by(|a, b| a.partial_cmp(b).unwrap());
     assert_eq!(results, vec![5.0, 5.0], "both converge to the threshold");
     // Iteration counts decided at run time: 5 + 2 = 7 P2 invocations.
@@ -278,8 +337,18 @@ fn control_link_orders_independent_services() {
     let inputs = InputData::new().set("s", file_inputs(3, "d"));
     let mut backend = VirtualBackend::new();
     let r = run(&wf, &inputs, EnactorConfig::sp_dp(), &mut backend).unwrap();
-    let a_done = r.invocations_of("A").iter().map(|i| i.finished).max().unwrap();
-    let b_start = r.invocations_of("B").iter().map(|i| i.submitted).min().unwrap();
+    let a_done = r
+        .invocations_of("A")
+        .iter()
+        .map(|i| i.finished)
+        .max()
+        .unwrap();
+    let b_start = r
+        .invocations_of("B")
+        .iter()
+        .map(|i| i.submitted)
+        .min()
+        .unwrap();
     assert!(b_start >= a_done, "B must wait for A via the control link");
 }
 
@@ -297,7 +366,11 @@ fn quiet_grid() -> GridConfig {
         failure_probability: 0.0,
         failure_detection: Distribution::Constant(0.0),
         max_retries: 0,
-        network: NetworkConfig { transfer_latency: 5.0, bandwidth: 1e6, congestion: 0.0 },
+        network: NetworkConfig {
+            transfer_latency: 5.0,
+            bandwidth: 1e6,
+            congestion: 0.0,
+        },
         typical_job_duration: 100.0,
         info_refresh_period: 3600.0,
         compute_jitter: Distribution::Constant(1.0),
@@ -307,8 +380,18 @@ fn quiet_grid() -> GridConfig {
 fn two_stage_workflow() -> Workflow {
     let mut wf = Workflow::new("jg");
     let src = wf.add_source("imgs");
-    let a = wf.add_service("crestLines", &["in"], &["crest"], dsvc("crestLines", &["in"], &["crest"], 90.0));
-    let b = wf.add_service("crestMatch", &["crest"], &["trf"], dsvc("crestMatch", &["crest"], &["trf"], 30.0));
+    let a = wf.add_service(
+        "crestLines",
+        &["in"],
+        &["crest"],
+        dsvc("crestLines", &["in"], &["crest"], 90.0),
+    );
+    let b = wf.add_service(
+        "crestMatch",
+        &["crest"],
+        &["trf"],
+        dsvc("crestMatch", &["crest"], &["trf"], 30.0),
+    );
     let sink = wf.add_sink("sink");
     wf.connect(src, "out", a, "in").unwrap();
     wf.connect(a, "crest", b, "crest").unwrap();
@@ -351,7 +434,10 @@ fn grouping_preserves_results_and_provenance_shape() {
     for t in r.sink("sink") {
         // Each result is a file produced by the merged processor.
         let (gfn, _) = t.value.as_file().expect("file output");
-        assert!(gfn.contains("crestMatch"), "exposed output of the last stage: {gfn}");
+        assert!(
+            gfn.contains("crestMatch"),
+            "exposed output of the last stage: {gfn}"
+        );
         assert!(t.history.involves("crestLines+crestMatch"));
     }
 }
@@ -371,7 +457,10 @@ fn enactor_resubmits_terminally_failed_grid_jobs() {
     let r = run(&wf, &inputs, EnactorConfig::sp_dp(), &mut backend).unwrap();
     assert_eq!(r.sink("sink").len(), 6, "all results eventually delivered");
     let retried: u32 = r.invocations.iter().map(|i| i.retries).sum();
-    assert!(retried > 0, "with p=0.4 over 12 jobs some retries must happen");
+    assert!(
+        retried > 0,
+        "with p=0.4 over 12 jobs some retries must happen"
+    );
 }
 
 #[test]
@@ -394,7 +483,10 @@ fn missing_source_data_is_reported() {
     let wf = two_stage_workflow();
     let mut backend = VirtualBackend::new();
     let err = run(&wf, &InputData::new(), EnactorConfig::sp_dp(), &mut backend).unwrap_err();
-    assert!(err.to_string().contains("no input data for source"), "{err}");
+    assert!(
+        err.to_string().contains("no input data for source"),
+        "{err}"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -423,7 +515,11 @@ fn local_backend_runs_a_real_pipeline_on_threads() {
     let inputs = InputData::new().set("nums", (0..20).map(|i| DataValue::from(i as f64)).collect());
     let mut backend = LocalBackend::new();
     let r = run(&wf, &inputs, EnactorConfig::sp_dp(), &mut backend).unwrap();
-    let mut got: Vec<f64> = r.sink("sink").iter().map(|t| t.value.as_num().unwrap()).collect();
+    let mut got: Vec<f64> = r
+        .sink("sink")
+        .iter()
+        .map(|t| t.value.as_num().unwrap())
+        .collect();
     got.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let mut want: Vec<f64> = (0..20).map(|i| -((i * i) as f64)).collect();
     want.sort_by(|a, b| a.partial_cmp(b).unwrap());

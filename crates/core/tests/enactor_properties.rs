@@ -1,15 +1,22 @@
-//! Property-based tests of enactor invariants over randomly shaped
-//! workflows: whatever the parallelism configuration or batching, the
-//! *results* (cardinalities, values, provenance) must be identical —
-//! only timing may change.
+//! Property-style tests of enactor invariants over exhaustively
+//! enumerated workflow shapes: whatever the parallelism configuration
+//! or batching, the *results* (cardinalities, values, provenance) must
+//! be identical — only timing may change.
+//!
+//! The parameter spaces here are small enough to sweep completely, so
+//! these run every shape rather than a random sample (and need no
+//! external property-testing dependency: the workspace builds offline).
 
 use moteur::prelude::*;
 use moteur_wrapper::{AccessMethod, ExecutableDescriptor, FileItem, InputSlot, OutputSlot};
-use proptest::prelude::*;
 
 fn descriptor(name: &str, inputs: usize) -> ExecutableDescriptor {
     ExecutableDescriptor {
-        executable: FileItem { name: name.into(), access: AccessMethod::Local, value: name.into() },
+        executable: FileItem {
+            name: name.into(),
+            access: AccessMethod::Local,
+            value: name.into(),
+        },
         inputs: (0..inputs)
             .map(|i| InputSlot {
                 name: format!("in{i}"),
@@ -69,7 +76,12 @@ fn layered_workflow(width: usize, depth: usize) -> Workflow {
 fn inputs(n: usize) -> InputData {
     InputData::new().set(
         "data",
-        (0..n).map(|j| DataValue::File { gfn: format!("gfn://d/{j}"), bytes: 64 }).collect(),
+        (0..n)
+            .map(|j| DataValue::File {
+                gfn: format!("gfn://d/{j}"),
+                bytes: 64,
+            })
+            .collect(),
     )
 }
 
@@ -85,78 +97,90 @@ fn fingerprint(r: &WorkflowResult) -> Vec<(DataIndex, Vec<(String, u32)>)> {
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Parallelism configuration must never change what is computed.
-    #[test]
-    fn results_are_independent_of_configuration(
-        width in 1usize..4,
-        depth in 1usize..4,
-        n_data in 1usize..6,
-    ) {
-        let wf = layered_workflow(width, depth);
-        let data = inputs(n_data);
-        let reference = {
-            let mut backend = VirtualBackend::new();
-            fingerprint(&run(&wf, &data, EnactorConfig::nop(), &mut backend).unwrap())
-        };
-        for config in [
-            EnactorConfig::dp(),
-            EnactorConfig::sp(),
-            EnactorConfig::sp_dp(),
-            EnactorConfig::sp_dp_jg(),
-            EnactorConfig::sp_dp().with_batching(3),
-        ] {
-            let mut backend = VirtualBackend::new();
-            let r = run(&wf, &data, config, &mut backend).unwrap();
-            prop_assert_eq!(
-                fingerprint(&r).len(),
-                reference.len(),
-                "{}: cardinality changed", config.label()
-            );
-            // Dot joins pair per-index: every result derives from a
-            // single source position across all chains.
-            for (_, sources) in fingerprint(&r) {
-                let positions: std::collections::HashSet<u32> =
-                    sources.iter().map(|(_, p)| *p).collect();
-                prop_assert_eq!(positions.len(), 1, "provenance mixes data sets");
+/// Parallelism configuration must never change what is computed.
+/// Exhaustive over width × depth × n_data.
+#[test]
+fn results_are_independent_of_configuration() {
+    for width in 1usize..4 {
+        for depth in 1usize..4 {
+            for n_data in 1usize..6 {
+                let wf = layered_workflow(width, depth);
+                let data = inputs(n_data);
+                let reference = {
+                    let mut backend = VirtualBackend::new();
+                    fingerprint(&run(&wf, &data, EnactorConfig::nop(), &mut backend).unwrap())
+                };
+                for config in [
+                    EnactorConfig::dp(),
+                    EnactorConfig::sp(),
+                    EnactorConfig::sp_dp(),
+                    EnactorConfig::sp_dp_jg(),
+                    EnactorConfig::sp_dp().with_batching(3),
+                ] {
+                    let mut backend = VirtualBackend::new();
+                    let r = run(&wf, &data, config, &mut backend).unwrap();
+                    assert_eq!(
+                        fingerprint(&r).len(),
+                        reference.len(),
+                        "{}: cardinality changed at {width}x{depth}x{n_data}",
+                        config.label()
+                    );
+                    // Dot joins pair per-index: every result derives from a
+                    // single source position across all chains.
+                    for (_, sources) in fingerprint(&r) {
+                        let positions: std::collections::HashSet<u32> =
+                            sources.iter().map(|(_, p)| *p).collect();
+                        assert_eq!(positions.len(), 1, "provenance mixes data sets");
+                    }
+                }
             }
         }
     }
+}
 
-    /// Every invocation record respects submitted ≤ started ≤ finished,
-    /// and the makespan covers the last completion.
-    #[test]
-    fn invocation_records_are_well_formed(
-        width in 1usize..3,
-        depth in 1usize..4,
-        n_data in 1usize..5,
-    ) {
-        let wf = layered_workflow(width, depth);
-        let mut backend = VirtualBackend::new();
-        let r = run(&wf, &inputs(n_data), EnactorConfig::sp_dp(), &mut backend).unwrap();
-        prop_assert_eq!(r.invocations.len(), (width * depth + 1) * n_data);
-        let mut last = 0.0f64;
-        for rec in &r.invocations {
-            prop_assert!(rec.submitted <= rec.started);
-            prop_assert!(rec.started <= rec.finished);
-            last = last.max(rec.finished.as_secs_f64());
+/// Every invocation record respects submitted ≤ started ≤ finished,
+/// and the makespan covers the last completion. Exhaustive.
+#[test]
+fn invocation_records_are_well_formed() {
+    for width in 1usize..3 {
+        for depth in 1usize..4 {
+            for n_data in 1usize..5 {
+                let wf = layered_workflow(width, depth);
+                let mut backend = VirtualBackend::new();
+                let r = run(&wf, &inputs(n_data), EnactorConfig::sp_dp(), &mut backend).unwrap();
+                assert_eq!(r.invocations.len(), (width * depth + 1) * n_data);
+                let mut last = 0.0f64;
+                for rec in &r.invocations {
+                    assert!(rec.submitted <= rec.started);
+                    assert!(rec.started <= rec.finished);
+                    last = last.max(rec.finished.as_secs_f64());
+                }
+                assert!((r.makespan.as_secs_f64() - last).abs() < 1e-6);
+            }
         }
-        prop_assert!((r.makespan.as_secs_f64() - last).abs() < 1e-6);
     }
+}
 
-    /// Batching never changes the number of results, only job counts.
-    #[test]
-    fn batching_preserves_cardinality(batch in 1usize..8, n_data in 1usize..10) {
-        let wf = layered_workflow(1, 2);
-        let data = inputs(n_data);
-        let mut b1 = VirtualBackend::new();
-        let plain = run(&wf, &data, EnactorConfig::sp_dp(), &mut b1).unwrap();
-        let mut b2 = VirtualBackend::new();
-        let batched =
-            run(&wf, &data, EnactorConfig::sp_dp().with_batching(batch), &mut b2).unwrap();
-        prop_assert_eq!(plain.sink("sink").len(), batched.sink("sink").len());
-        prop_assert!(batched.jobs_submitted <= plain.jobs_submitted);
+/// Batching never changes the number of results, only job counts.
+/// Exhaustive over batch size × data-set size.
+#[test]
+fn batching_preserves_cardinality() {
+    for batch in 1usize..8 {
+        for n_data in 1usize..10 {
+            let wf = layered_workflow(1, 2);
+            let data = inputs(n_data);
+            let mut b1 = VirtualBackend::new();
+            let plain = run(&wf, &data, EnactorConfig::sp_dp(), &mut b1).unwrap();
+            let mut b2 = VirtualBackend::new();
+            let batched = run(
+                &wf,
+                &data,
+                EnactorConfig::sp_dp().with_batching(batch),
+                &mut b2,
+            )
+            .unwrap();
+            assert_eq!(plain.sink("sink").len(), batched.sink("sink").len());
+            assert!(batched.jobs_submitted <= plain.jobs_submitted);
+        }
     }
 }

@@ -1,0 +1,269 @@
+//! Event-stream invariants of the observability layer: every run that
+//! submits a job must account for it with exactly one terminal event,
+//! timestamps must be causally ordered per invocation, metrics must
+//! reconcile with the `WorkflowResult`, and observation must never
+//! perturb the simulation.
+
+use moteur::prelude::*;
+use moteur::{
+    chrome_trace, critical_path, run_observed, EventBuffer, JsonlSink, MetricsSink, RingBufferSink,
+};
+use moteur_gridsim::GridConfig;
+use moteur_wrapper::{AccessMethod, ExecutableDescriptor, FileItem, InputSlot, OutputSlot};
+use std::sync::{Arc, Mutex};
+
+fn descriptor(name: &str, inputs: &[&str], outputs: &[&str]) -> ExecutableDescriptor {
+    ExecutableDescriptor {
+        executable: FileItem {
+            name: name.into(),
+            access: AccessMethod::Local,
+            value: name.into(),
+        },
+        inputs: inputs
+            .iter()
+            .map(|i| InputSlot {
+                name: i.to_string(),
+                option: format!("-{i}"),
+                access: Some(AccessMethod::Gfn),
+            })
+            .collect(),
+        outputs: outputs
+            .iter()
+            .map(|o| OutputSlot {
+                name: o.to_string(),
+                option: format!("-{o}"),
+                access: AccessMethod::Gfn,
+            })
+            .collect(),
+        sandboxes: vec![],
+    }
+}
+
+fn dsvc(name: &str, inputs: &[&str], outputs: &[&str], secs: f64) -> ServiceBinding {
+    ServiceBinding::descriptor(descriptor(name, inputs, outputs), ServiceProfile::new(secs))
+}
+
+/// A two-stage pipeline with a branch: src → prep → {left, right} → sink.
+fn pipeline() -> (Workflow, InputData) {
+    let mut wf = Workflow::new("obs-pipeline");
+    let src = wf.add_source("imgs");
+    let prep = wf.add_service(
+        "prep",
+        &["in"],
+        &["out"],
+        dsvc("prep", &["in"], &["out"], 60.0),
+    );
+    let left = wf.add_service(
+        "left",
+        &["in"],
+        &["out"],
+        dsvc("left", &["in"], &["out"], 120.0),
+    );
+    let right = wf.add_service(
+        "right",
+        &["in"],
+        &["out"],
+        dsvc("right", &["in"], &["out"], 90.0),
+    );
+    let sink = wf.add_sink("results");
+    wf.connect(src, "out", prep, "in").unwrap();
+    wf.connect(prep, "out", left, "in").unwrap();
+    wf.connect(prep, "out", right, "in").unwrap();
+    wf.connect(left, "out", sink, "in").unwrap();
+    wf.connect(right, "out", sink, "in").unwrap();
+    let inputs = InputData::new().set(
+        "imgs",
+        (0..6)
+            .map(|j| DataValue::File {
+                gfn: format!("gfn://img/{j}"),
+                bytes: 1000,
+            })
+            .collect(),
+    );
+    (wf, inputs)
+}
+
+fn run_with_obs(obs: Obs, seed: u64) -> WorkflowResult {
+    let (wf, inputs) = pipeline();
+    let mut backend = SimBackend::with_obs(GridConfig::egee_2006(), seed, &obs);
+    run_observed(
+        &wf,
+        &inputs,
+        EnactorConfig::sp_dp().with_seed(seed),
+        &mut backend,
+        obs,
+    )
+    .expect("pipeline completes")
+}
+
+fn captured(seed: u64) -> (Vec<TraceEvent>, WorkflowResult) {
+    let (sink, buffer): (RingBufferSink, EventBuffer) = RingBufferSink::new(100_000);
+    let result = run_with_obs(Obs::new(vec![Box::new(sink)]), seed);
+    assert_eq!(
+        buffer.dropped(),
+        0,
+        "ring buffer must not wrap in this test"
+    );
+    (buffer.snapshot(), result)
+}
+
+#[test]
+fn every_submitted_job_reaches_exactly_one_terminal_event() {
+    let (events, result) = captured(3);
+    let submitted: Vec<u64> = events
+        .iter()
+        .filter(|e| e.kind() == "job_submitted")
+        .filter_map(|e| e.invocation())
+        .collect();
+    assert_eq!(
+        submitted.len(),
+        result.jobs_submitted,
+        "one submission event per job"
+    );
+    for inv in submitted {
+        let terminals = events
+            .iter()
+            .filter(|e| e.invocation() == Some(inv) && e.is_terminal())
+            .count();
+        assert_eq!(
+            terminals, 1,
+            "invocation {inv} must have exactly one terminal event"
+        );
+    }
+    // Grid-side accounting closes too: one delivery per grid submission.
+    let grid_subs = events
+        .iter()
+        .filter(|e| e.kind() == "grid_submitted")
+        .count();
+    let grid_delivered = events
+        .iter()
+        .filter(|e| e.kind() == "grid_delivered")
+        .count();
+    assert_eq!(grid_subs, grid_delivered);
+}
+
+#[test]
+fn timestamps_are_causally_ordered_per_invocation() {
+    let (events, _) = captured(5);
+    let invocations: std::collections::BTreeSet<u64> =
+        events.iter().filter_map(|e| e.invocation()).collect();
+    assert!(!invocations.is_empty());
+    for inv in invocations {
+        let mine: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| e.invocation() == Some(inv))
+            .collect();
+        for pair in mine.windows(2) {
+            assert!(
+                pair[0].at() <= pair[1].at(),
+                "invocation {inv}: {:?} observed after {:?}",
+                pair[1],
+                pair[0]
+            );
+        }
+        assert_eq!(mine.first().map(|e| e.kind()), Some("job_submitted"));
+        assert!(mine.last().map(|e| e.is_terminal()).unwrap_or(false));
+    }
+}
+
+#[test]
+fn metrics_reconcile_with_workflow_result() {
+    let (sink, registry): (MetricsSink, Arc<Mutex<moteur::MetricsRegistry>>) = MetricsSink::new();
+    let result = run_with_obs(Obs::new(vec![Box::new(sink)]), 7);
+    let reg = registry.lock().unwrap();
+    assert_eq!(reg.counter("job_submitted") as usize, result.jobs_submitted);
+    assert_eq!(
+        reg.counter("job_completed") as usize,
+        result.jobs_submitted,
+        "failure-free seed: every job completes"
+    );
+    // All in-flight gauges drain back to zero; the total peaked above it.
+    let inflight = reg.gauge("inflight_total").expect("gauge exists");
+    assert_eq!(inflight.current, 0, "run finished with jobs in flight?");
+    assert!(inflight.peak > 0);
+    for (name, g) in reg.gauges() {
+        if name.starts_with("inflight") {
+            assert_eq!(g.current, 0, "{name} did not drain");
+        }
+    }
+    // Grid overhead was observed for every delivered job.
+    let overhead = reg
+        .histogram("grid_overhead_secs")
+        .expect("histogram exists");
+    assert_eq!(overhead.count as usize, result.jobs_submitted);
+    assert!(overhead.mean() > 0.0, "EGEE overhead is never free");
+}
+
+#[test]
+fn jsonl_sink_writes_one_parsable_object_per_event() {
+    let shared: Arc<Mutex<Vec<u8>>> = Arc::default();
+    struct SharedWriter(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let sink = JsonlSink::new(Box::new(SharedWriter(Arc::clone(&shared))));
+    let obs = Obs::new(vec![Box::new(sink)]);
+    let result = run_with_obs(obs.clone(), 11);
+    obs.flush().expect("flush succeeds");
+    let text = String::from_utf8(shared.lock().unwrap().clone()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines.len() > result.jobs_submitted * 2,
+        "lifecycle has many events per job"
+    );
+    for line in &lines {
+        assert!(
+            line.starts_with("{\"type\":\""),
+            "line is a JSON object: {line}"
+        );
+        assert!(line.ends_with('}'), "single-line object: {line}");
+        assert!(
+            line.contains("\"t\":"),
+            "every event is timestamped: {line}"
+        );
+    }
+}
+
+#[test]
+fn observation_does_not_perturb_the_run() {
+    let (wf, inputs) = pipeline();
+    let mut blind_backend = SimBackend::new(GridConfig::egee_2006(), 13);
+    let blind = run(
+        &wf,
+        &inputs,
+        EnactorConfig::sp_dp().with_seed(13),
+        &mut blind_backend,
+    )
+    .expect("pipeline completes");
+    let (sink, _buffer) = RingBufferSink::new(100_000);
+    let observed = run_with_obs(Obs::new(vec![Box::new(sink)]), 13);
+    assert_eq!(
+        blind.makespan, observed.makespan,
+        "observation changed the clock"
+    );
+    assert_eq!(blind.jobs_submitted, observed.jobs_submitted);
+    assert_eq!(blind.invocations.len(), observed.invocations.len());
+}
+
+#[test]
+fn chrome_trace_and_critical_path_cover_the_run() {
+    let (_, result) = captured(17);
+    let trace = chrome_trace(&result);
+    let exec_spans = trace.matches("\"cat\":\"exec\"").count();
+    assert_eq!(
+        exec_spans,
+        result.invocations.len(),
+        "one exec span per invocation"
+    );
+    assert!(trace.contains("\"displayTimeUnit\":\"ms\""));
+    let cp = critical_path(&result);
+    assert!(cp.makespan_secs > 0.0);
+    assert!(!cp.steps.is_empty());
+    assert!(cp.coverage() > 0.0 && cp.coverage() <= 1.0 + 1e-9);
+}

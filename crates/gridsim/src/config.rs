@@ -115,7 +115,11 @@ impl GridConfig {
             failure_probability: 0.0,
             failure_detection: Distribution::Constant(0.0),
             max_retries: 0,
-            network: NetworkConfig { transfer_latency: 0.0, bandwidth: f64::INFINITY, congestion: 0.0 },
+            network: NetworkConfig {
+                transfer_latency: 0.0,
+                bandwidth: f64::INFINITY,
+                congestion: 0.0,
+            },
             typical_job_duration: 1.0,
             info_refresh_period: 1.0,
             compute_jitter: Distribution::Constant(1.0),
@@ -136,14 +140,20 @@ impl GridConfig {
         for i in 0..4 {
             let mut ce = CeConfig::new(format!("large-{i}"), 120, 1.0 + 0.1 * i as f64);
             ce.background_interarrival = Some(Distribution::Exponential { mean: 25.0 });
-            ce.background_duration = Distribution::LogNormal { median: 1800.0, sigma: 1.0 };
+            ce.background_duration = Distribution::LogNormal {
+                median: 1800.0,
+                sigma: 1.0,
+            };
             ce.initial_backlog = 40;
             ces.push(ce);
         }
         for i in 0..12 {
             let mut ce = CeConfig::new(format!("small-{i}"), 24, 0.7 + 0.05 * (i % 6) as f64);
             ce.background_interarrival = Some(Distribution::Exponential { mean: 90.0 });
-            ce.background_duration = Distribution::LogNormal { median: 2400.0, sigma: 1.1 };
+            ce.background_duration = Distribution::LogNormal {
+                median: 2400.0,
+                sigma: 1.1,
+            };
             ce.initial_backlog = 15;
             ces.push(ce);
         }
@@ -153,16 +163,31 @@ impl GridConfig {
             // split across the submission chain. Medians chosen so the
             // chain's total overhead has median ≈ 8–10 min with a heavy
             // upper tail.
-            submission_overhead: Distribution::LogNormal { median: 45.0, sigma: 0.5 },
+            submission_overhead: Distribution::LogNormal {
+                median: 45.0,
+                sigma: 0.5,
+            },
             match_delay: Distribution::Mixture {
-                first: Box::new(Distribution::LogNormal { median: 90.0, sigma: 0.6 }),
+                first: Box::new(Distribution::LogNormal {
+                    median: 90.0,
+                    sigma: 0.6,
+                }),
                 // Occasionally the RB is saturated and matching stalls.
-                second: Box::new(Distribution::LogNormal { median: 900.0, sigma: 0.5 }),
+                second: Box::new(Distribution::LogNormal {
+                    median: 900.0,
+                    sigma: 0.5,
+                }),
                 p_second: 0.05,
             },
-            notify_delay: Distribution::LogNormal { median: 30.0, sigma: 0.5 },
+            notify_delay: Distribution::LogNormal {
+                median: 30.0,
+                sigma: 0.5,
+            },
             failure_probability: 0.04,
-            failure_detection: Distribution::LogNormal { median: 600.0, sigma: 0.4 },
+            failure_detection: Distribution::LogNormal {
+                median: 600.0,
+                sigma: 0.4,
+            },
             max_retries: 3,
             network: NetworkConfig {
                 // SRM/catalog negotiation dominates small transfers.
@@ -203,8 +228,12 @@ mod tests {
         assert!(c.ces.len() >= 10);
         assert!(c.total_slots() >= 500);
         // Overhead chain mean of the order of minutes.
-        let chain_mean = c.submission_overhead.mean() + c.match_delay.mean() + c.notify_delay.mean();
-        assert!(chain_mean > 120.0 && chain_mean < 1200.0, "chain mean {chain_mean}");
+        let chain_mean =
+            c.submission_overhead.mean() + c.match_delay.mean() + c.notify_delay.mean();
+        assert!(
+            chain_mean > 120.0 && chain_mean < 1200.0,
+            "chain mean {chain_mean}"
+        );
         assert!(c.failure_probability > 0.0);
     }
 

@@ -66,7 +66,11 @@ impl EventQueue {
     }
 
     pub fn schedule(&mut self, at: SimTime, event: Event) {
-        self.heap.push(Reverse(Scheduled { at, seq: self.seq, event }));
+        self.heap.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        }));
         self.seq += 1;
     }
 
@@ -103,7 +107,9 @@ mod tests {
         q.schedule(t(3.0), Event::InfoRefresh);
         q.schedule(t(1.0), Event::BrokerReceives { job: JobId(1) });
         q.schedule(t(2.0), Event::BrokerReceives { job: JobId(2) });
-        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|(at, _)| at.as_secs_f64()).collect();
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop())
+            .map(|(at, _)| at.as_secs_f64())
+            .collect();
         assert_eq!(order, [1.0, 2.0, 3.0]);
     }
 

@@ -38,6 +38,7 @@
 pub mod config;
 pub mod event;
 pub mod job;
+pub mod obs;
 pub mod rng;
 pub mod sim;
 pub mod time;
@@ -45,7 +46,8 @@ pub mod trace;
 
 pub use config::{CeConfig, GridConfig, NetworkConfig};
 pub use job::{CeId, GridJobCompletion, GridJobSpec, JobId, JobOutcome, JobRecord};
+pub use obs::{SimEvent, SimObserver};
 pub use rng::{Distribution, Rng};
 pub use sim::GridSim;
 pub use time::{SimDuration, SimTime};
-pub use trace::{summarize, TraceSummary};
+pub use trace::{percentile, summarize, TraceSummary};

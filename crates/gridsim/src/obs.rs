@@ -1,0 +1,169 @@
+//! Simulator-side observability: structured lifecycle events.
+//!
+//! The simulator is a black box to the enactor — completions surface
+//! minutes of virtual time after submission with no visibility into
+//! brokering, queuing or CE capacity. [`SimEvent`]s open that box: the
+//! simulator emits one event per lifecycle transition to an optional
+//! observer callback installed with [`crate::GridSim::set_observer`].
+//!
+//! Design constraints:
+//!
+//! - **zero cost when off** — every emission site is guarded by an
+//!   `is_some()` check and builds the event only when an observer is
+//!   installed; the hot path allocates nothing otherwise;
+//! - **correlation** — every job event carries both the simulator's
+//!   [`JobId`] and the submitter's opaque `tag` (the enactor stores its
+//!   invocation id there), so grid-level events join against
+//!   enactor-level events without a lookup table;
+//! - **no new dependencies** — the observer is a plain boxed `FnMut`.
+
+use crate::job::{CeId, JobId, JobOutcome};
+use crate::time::SimTime;
+
+/// One lifecycle transition inside the simulator.
+///
+/// `at` is always the virtual time at which the transition happened;
+/// `tag` is the submitter's correlation id from
+/// [`crate::GridJobSpec::with_tag`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimEvent {
+    /// The user interface accepted a job.
+    JobSubmitted {
+        at: SimTime,
+        job: JobId,
+        tag: u64,
+        name: String,
+    },
+    /// The resource broker matched the job to a computing element.
+    JobMatched {
+        at: SimTime,
+        job: JobId,
+        tag: u64,
+        ce: CeId,
+    },
+    /// The job entered a CE batch queue (`attempt` counts from 1).
+    JobEnqueued {
+        at: SimTime,
+        job: JobId,
+        tag: u64,
+        ce: CeId,
+        attempt: u32,
+    },
+    /// A worker slot started executing the job.
+    JobStarted {
+        at: SimTime,
+        job: JobId,
+        tag: u64,
+        ce: CeId,
+    },
+    /// Execution finished (stage-out included) with the given outcome.
+    /// A failed attempt with retry budget left is followed by
+    /// [`SimEvent::JobResubmitted`] rather than delivery.
+    JobFinished {
+        at: SimTime,
+        job: JobId,
+        tag: u64,
+        ce: CeId,
+        outcome: JobOutcome,
+    },
+    /// A failed attempt became visible and re-entered the submission
+    /// chain (`attempt` is the number of attempts made so far).
+    JobResubmitted {
+        at: SimTime,
+        job: JobId,
+        tag: u64,
+        attempt: u32,
+    },
+    /// The completion reached the submitter — terminal.
+    JobDelivered {
+        at: SimTime,
+        job: JobId,
+        tag: u64,
+        outcome: JobOutcome,
+    },
+    /// A computing element's occupancy or availability changed.
+    /// `queued_user` counts only user (non-background) jobs, so it
+    /// returns to zero once a workload drains.
+    CeCapacity {
+        at: SimTime,
+        ce: CeId,
+        busy: usize,
+        queued: usize,
+        queued_user: usize,
+        up: bool,
+    },
+}
+
+impl SimEvent {
+    /// Virtual time of the transition.
+    pub fn at(&self) -> SimTime {
+        match self {
+            SimEvent::JobSubmitted { at, .. }
+            | SimEvent::JobMatched { at, .. }
+            | SimEvent::JobEnqueued { at, .. }
+            | SimEvent::JobStarted { at, .. }
+            | SimEvent::JobFinished { at, .. }
+            | SimEvent::JobResubmitted { at, .. }
+            | SimEvent::JobDelivered { at, .. }
+            | SimEvent::CeCapacity { at, .. } => *at,
+        }
+    }
+
+    /// The correlation tag, for job events.
+    pub fn tag(&self) -> Option<u64> {
+        match self {
+            SimEvent::JobSubmitted { tag, .. }
+            | SimEvent::JobMatched { tag, .. }
+            | SimEvent::JobEnqueued { tag, .. }
+            | SimEvent::JobStarted { tag, .. }
+            | SimEvent::JobFinished { tag, .. }
+            | SimEvent::JobResubmitted { tag, .. }
+            | SimEvent::JobDelivered { tag, .. } => Some(*tag),
+            SimEvent::CeCapacity { .. } => None,
+        }
+    }
+
+    /// True for [`SimEvent::JobDelivered`] — the terminal job event.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, SimEvent::JobDelivered { .. })
+    }
+}
+
+/// Observer callback installed on a [`crate::GridSim`].
+pub type SimObserver = Box<dyn FnMut(&SimEvent)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let t = SimTime::from_secs_f64(4.0);
+        let e = SimEvent::JobSubmitted {
+            at: t,
+            job: JobId(1),
+            tag: 9,
+            name: "j".into(),
+        };
+        assert_eq!(e.at(), t);
+        assert_eq!(e.tag(), Some(9));
+        assert!(!e.is_terminal());
+        let d = SimEvent::JobDelivered {
+            at: t,
+            job: JobId(1),
+            tag: 9,
+            outcome: JobOutcome::Success,
+        };
+        assert!(d.is_terminal());
+        let c = SimEvent::CeCapacity {
+            at: t,
+            ce: CeId(0),
+            busy: 1,
+            queued: 2,
+            queued_user: 0,
+            up: true,
+        };
+        assert_eq!(c.tag(), None);
+        assert_eq!(c.at(), t);
+    }
+}

@@ -132,7 +132,11 @@ pub enum Distribution {
     /// A two-component mixture: with probability `p_second`, draw from
     /// `second`, else from `first`. Used for "mostly fast, sometimes
     /// very slow" grid behaviour (e.g. resubmitted or blocked jobs).
-    Mixture { first: Box<Distribution>, second: Box<Distribution>, p_second: f64 },
+    Mixture {
+        first: Box<Distribution>,
+        second: Box<Distribution>,
+        p_second: f64,
+    },
 }
 
 impl Distribution {
@@ -145,7 +149,11 @@ impl Distribution {
             Distribution::Exponential { mean } => rng.exponential(*mean),
             Distribution::LogNormal { median, sigma } => rng.lognormal(median.ln(), *sigma),
             Distribution::Weibull { scale, shape } => rng.weibull(*scale, *shape),
-            Distribution::Mixture { first, second, p_second } => {
+            Distribution::Mixture {
+                first,
+                second,
+                p_second,
+            } => {
                 if rng.chance(*p_second) {
                     second.sample(rng)
                 } else {
@@ -172,9 +180,11 @@ impl Distribution {
             Distribution::Exponential { mean } => *mean,
             Distribution::LogNormal { median, sigma } => median * (sigma * sigma / 2.0).exp(),
             Distribution::Weibull { scale, shape } => scale * gamma(1.0 + 1.0 / shape),
-            Distribution::Mixture { first, second, p_second } => {
-                (1.0 - p_second) * first.mean() + p_second * second.mean()
-            }
+            Distribution::Mixture {
+                first,
+                second,
+                p_second,
+            } => (1.0 - p_second) * first.mean() + p_second * second.mean(),
         }
     }
 }
@@ -287,19 +297,29 @@ mod tests {
 
     #[test]
     fn lognormal_median_and_mean_match_parameterisation() {
-        let d = Distribution::LogNormal { median: 200.0, sigma: 0.8 };
+        let d = Distribution::LogNormal {
+            median: 200.0,
+            sigma: 0.8,
+        };
         let mut rng = Rng::new(5);
         let mut xs: Vec<f64> = (0..40_001).map(|_| d.sample(&mut rng)).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = xs[20_000];
         assert!((median - 200.0).abs() < 10.0, "median={median}");
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        assert!((mean / d.mean() - 1.0).abs() < 0.05, "mean={mean} expect={}", d.mean());
+        assert!(
+            (mean / d.mean() - 1.0).abs() < 0.05,
+            "mean={mean} expect={}",
+            d.mean()
+        );
     }
 
     #[test]
     fn weibull_mean_matches_gamma_formula() {
-        let d = Distribution::Weibull { scale: 100.0, shape: 1.5 };
+        let d = Distribution::Weibull {
+            scale: 100.0,
+            shape: 1.5,
+        };
         assert!((sample_mean(&d, 60_000, 6) / d.mean() - 1.0).abs() < 0.03);
     }
 
@@ -317,10 +337,19 @@ mod tests {
     #[test]
     fn samples_are_never_negative_or_nan() {
         let dists = [
-            Distribution::Normal { mean: 1.0, std_dev: 10.0 },
+            Distribution::Normal {
+                mean: 1.0,
+                std_dev: 10.0,
+            },
             Distribution::Uniform { lo: 0.0, hi: 1.0 },
-            Distribution::LogNormal { median: 1.0, sigma: 2.0 },
-            Distribution::Weibull { scale: 1.0, shape: 0.5 },
+            Distribution::LogNormal {
+                median: 1.0,
+                sigma: 2.0,
+            },
+            Distribution::Weibull {
+                scale: 1.0,
+                shape: 0.5,
+            },
         ];
         let mut rng = Rng::new(8);
         for d in &dists {

@@ -16,6 +16,7 @@
 use crate::config::{CeConfig, GridConfig, QueueDiscipline};
 use crate::event::{Event, EventQueue};
 use crate::job::{CeId, GridJobCompletion, GridJobSpec, JobId, JobOutcome, JobRecord};
+use crate::obs::{SimEvent, SimObserver};
 use crate::rng::Rng;
 use crate::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -73,6 +74,9 @@ pub struct GridSim {
     /// Total background arrivals processed (diurnal-model testing and
     /// load introspection).
     background_arrivals: u64,
+    /// Optional lifecycle observer ([`crate::obs`]); `None` keeps every
+    /// emission site a cheap branch with no event construction.
+    observer: Option<SimObserver>,
 }
 
 impl GridSim {
@@ -90,7 +94,8 @@ impl GridSim {
             };
             for _ in 0..cfg.initial_backlog {
                 let d = cfg.background_duration.sample(&mut ce.rng);
-                ce.queue.push_back(Occupant::Background { duration_secs: d });
+                ce.queue
+                    .push_back(Occupant::Background { duration_secs: d });
             }
             if let Some(inter) = &cfg.background_interarrival {
                 let dt = inter.sample(&mut ce.rng);
@@ -125,6 +130,7 @@ impl GridSim {
             active_user_jobs: 0,
             finished_records: Vec::new(),
             background_arrivals: 0,
+            observer: None,
         };
         // Dispatch the initial backlog so workers start busy.
         for i in 0..sim.ces.len() {
@@ -136,6 +142,48 @@ impl GridSim {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.clock
+    }
+
+    /// Install a lifecycle observer; it receives one [`SimEvent`] per
+    /// transition from now on. Replaces any previous observer.
+    pub fn set_observer(&mut self, observer: SimObserver) {
+        self.observer = Some(observer);
+    }
+
+    /// Remove the observer, returning emission sites to no-ops.
+    pub fn clear_observer(&mut self) {
+        self.observer = None;
+    }
+
+    /// Emit an event to the observer, building it only when one is
+    /// installed (the hot path stays allocation-free otherwise).
+    #[inline]
+    fn emit(&mut self, build: impl FnOnce(&Self) -> SimEvent) {
+        if self.observer.is_some() {
+            let event = build(self);
+            if let Some(obs) = &mut self.observer {
+                obs(&event);
+            }
+        }
+    }
+
+    /// Emit the current occupancy of `ce`.
+    fn emit_ce_capacity(&mut self, ce_id: CeId) {
+        self.emit(|sim| {
+            let ce = &sim.ces[ce_id.0];
+            SimEvent::CeCapacity {
+                at: sim.clock,
+                ce: ce_id,
+                busy: ce.busy,
+                queued: ce.queue.len(),
+                queued_user: ce
+                    .queue
+                    .iter()
+                    .filter(|o| matches!(o, Occupant::User(_)))
+                    .count(),
+                up: ce.up,
+            }
+        });
     }
 
     /// Number of user jobs submitted and not yet delivered.
@@ -174,10 +222,23 @@ impl GridSim {
             stage_out: SimDuration::ZERO,
             outcome: JobOutcome::Success,
         };
-        self.jobs.push(JobState { spec, record, done: false });
+        self.jobs.push(JobState {
+            spec,
+            record,
+            done: false,
+        });
         self.outstanding += 1;
         let delay = self.config.submission_overhead.sample(&mut self.rng);
         self.schedule_in(delay, Event::BrokerReceives { job: id });
+        self.emit(|sim| {
+            let state = &sim.jobs[id.0 as usize];
+            SimEvent::JobSubmitted {
+                at: sim.clock,
+                job: id,
+                tag: state.spec.tag,
+                name: state.spec.name.clone(),
+            }
+        });
         id
     }
 
@@ -225,6 +286,7 @@ impl GridSim {
         if let Some(dt) = self.ces[ce_id.0].cfg.downtime {
             self.schedule_in(dt.duration, Event::CeUp { ce: ce_id });
         }
+        self.emit_ce_capacity(ce_id);
     }
 
     fn on_ce_up(&mut self, ce_id: CeId) {
@@ -232,6 +294,7 @@ impl GridSim {
         if let Some(dt) = self.ces[ce_id.0].cfg.downtime {
             self.schedule_in(dt.period, Event::CeDown { ce: ce_id });
         }
+        self.emit_ce_capacity(ce_id);
         self.try_dispatch(ce_id);
     }
 
@@ -264,6 +327,12 @@ impl GridSim {
         self.jobs[job.0 as usize].record.matched_at = self.clock;
         let delay = self.config.match_delay.sample(&mut self.rng);
         self.schedule_in(delay, Event::CeReceives { job, ce });
+        self.emit(|sim| SimEvent::JobMatched {
+            at: sim.clock,
+            job,
+            tag: sim.jobs[job.0 as usize].spec.tag,
+            ce,
+        });
     }
 
     fn on_ce_receives(&mut self, job: JobId, ce: CeId) {
@@ -274,15 +343,24 @@ impl GridSim {
             rec.attempts += 1;
         }
         self.ces[ce.0].queue.push_back(Occupant::User(job));
+        self.emit(|sim| SimEvent::JobEnqueued {
+            at: sim.clock,
+            job,
+            tag: sim.jobs[job.0 as usize].spec.tag,
+            ce,
+            attempt: sim.jobs[job.0 as usize].record.attempts,
+        });
+        self.emit_ce_capacity(ce);
         self.try_dispatch(ce);
     }
 
     /// Move queued occupants onto free worker slots.
     fn try_dispatch(&mut self, ce_id: CeId) {
+        let mut dispatched = false;
         loop {
             let ce = &mut self.ces[ce_id.0];
             if !ce.up || ce.busy >= ce.cfg.slots || ce.queue.is_empty() {
-                return;
+                break;
             }
             let occupant = match ce.cfg.discipline {
                 QueueDiscipline::Fifo => ce.queue.pop_front().expect("checked non-empty"),
@@ -296,16 +374,38 @@ impl GridSim {
                 }
             };
             ce.busy += 1;
+            dispatched = true;
             match occupant {
                 Occupant::Background { duration_secs } => {
-                    self.schedule_in(duration_secs, Event::WorkerFinishes { ce: ce_id, job: None });
+                    self.schedule_in(
+                        duration_secs,
+                        Event::WorkerFinishes {
+                            ce: ce_id,
+                            job: None,
+                        },
+                    );
                 }
                 Occupant::User(job) => {
                     let speed = self.ces[ce_id.0].cfg.speed;
                     let runtime = self.start_user_job(job, speed);
-                    self.schedule_in(runtime, Event::WorkerFinishes { ce: ce_id, job: Some(job) });
+                    self.schedule_in(
+                        runtime,
+                        Event::WorkerFinishes {
+                            ce: ce_id,
+                            job: Some(job),
+                        },
+                    );
+                    self.emit(|sim| SimEvent::JobStarted {
+                        at: sim.clock,
+                        job,
+                        tag: sim.jobs[job.0 as usize].spec.tag,
+                        ce: ce_id,
+                    });
                 }
             }
+        }
+        if dispatched {
+            self.emit_ce_capacity(ce_id);
         }
     }
 
@@ -337,15 +437,34 @@ impl GridSim {
             if failed && attempts <= self.config.max_retries {
                 let delay = self.config.failure_detection.sample(&mut self.rng);
                 self.schedule_in(delay, Event::FailureDetected { job });
+                self.emit(|sim| SimEvent::JobFinished {
+                    at: sim.clock,
+                    job,
+                    tag: sim.jobs[job.0 as usize].spec.tag,
+                    ce,
+                    outcome: JobOutcome::Failed,
+                });
             } else {
-                let outcome = if failed { JobOutcome::Failed } else { JobOutcome::Success };
+                let outcome = if failed {
+                    JobOutcome::Failed
+                } else {
+                    JobOutcome::Success
+                };
                 let rec = &mut self.jobs[job.0 as usize].record;
                 rec.finished_at = self.clock;
                 rec.outcome = outcome;
                 let delay = self.config.notify_delay.sample(&mut self.rng);
                 self.schedule_in(delay, Event::CompletionDelivered { job });
+                self.emit(|sim| SimEvent::JobFinished {
+                    at: sim.clock,
+                    job,
+                    tag: sim.jobs[job.0 as usize].spec.tag,
+                    ce,
+                    outcome,
+                });
             }
         }
+        self.emit_ce_capacity(ce);
         self.try_dispatch(ce);
     }
 
@@ -354,7 +473,9 @@ impl GridSim {
         let now_secs = self.clock.as_secs_f64();
         let ce = &mut self.ces[ce_id.0];
         let duration = ce.cfg.background_duration.sample(&mut ce.rng);
-        ce.queue.push_back(Occupant::Background { duration_secs: duration });
+        ce.queue.push_back(Occupant::Background {
+            duration_secs: duration,
+        });
         if let Some(inter) = ce.cfg.background_interarrival.clone() {
             let mut dt = inter.sample(&mut ce.rng);
             if ce.cfg.diurnal_amplitude > 0.0 {
@@ -375,6 +496,12 @@ impl GridSim {
     fn on_failure_detected(&mut self, job: JobId) {
         let delay = self.config.submission_overhead.sample(&mut self.rng);
         self.schedule_in(delay, Event::BrokerReceives { job });
+        self.emit(|sim| SimEvent::JobResubmitted {
+            at: sim.clock,
+            job,
+            tag: sim.jobs[job.0 as usize].spec.tag,
+            attempt: sim.jobs[job.0 as usize].record.attempts,
+        });
     }
 
     fn on_completion_delivered(&mut self, job: JobId) {
@@ -390,6 +517,15 @@ impl GridSim {
             outcome: state.record.outcome,
             delivered_at: self.clock,
             record: state.record.clone(),
+        });
+        self.emit(|sim| {
+            let state = &sim.jobs[job.0 as usize];
+            SimEvent::JobDelivered {
+                at: sim.clock,
+                job,
+                tag: state.spec.tag,
+                outcome: state.record.outcome,
+            }
         });
     }
 
@@ -418,7 +554,11 @@ mod tests {
             failure_probability: 0.0,
             failure_detection: Distribution::Constant(0.0),
             max_retries: 0,
-            network: NetworkConfig { transfer_latency: 2.0, bandwidth: 1e6, congestion: 0.0 },
+            network: NetworkConfig {
+                transfer_latency: 2.0,
+                bandwidth: 1e6,
+                congestion: 0.0,
+            },
             typical_job_duration: 100.0,
             info_refresh_period: 60.0,
             compute_jitter: Distribution::Constant(1.0),
@@ -433,7 +573,11 @@ mod tests {
         // 10 submit + 5 match + 0 queue + (2+1) stage-in + 100 compute
         // + (2+2) stage-out + 1 notify = 123.
         assert_eq!(c.outcome, JobOutcome::Success);
-        assert!((c.delivered_at.as_secs_f64() - 123.0).abs() < 1e-6, "{}", c.delivered_at);
+        assert!(
+            (c.delivered_at.as_secs_f64() - 123.0).abs() < 1e-6,
+            "{}",
+            c.delivered_at
+        );
         assert!((c.record.queue_wait().as_secs_f64()).abs() < 1e-6);
         assert_eq!(c.record.attempts, 1);
     }
@@ -472,7 +616,7 @@ mod tests {
         let c = sim.next_completion().unwrap();
         assert_eq!(c.outcome, JobOutcome::Failed);
         assert_eq!(c.record.attempts, 3); // initial + 2 retries
-        // Each attempt costs 15 + 100; retries add 50 detect + 10 + 5.
+                                          // Each attempt costs 15 + 100; retries add 50 detect + 10 + 5.
         assert!(c.delivered_at.as_secs_f64() > 300.0);
     }
 
@@ -494,7 +638,10 @@ mod tests {
             }
             max_attempts = max_attempts.max(c.record.attempts);
         }
-        assert_eq!(successes, 20, "p=0.5 with 10 retries virtually always succeeds");
+        assert_eq!(
+            successes, 20,
+            "p=0.5 with 10 retries virtually always succeeds"
+        );
         assert!(max_attempts > 1, "some job should have retried");
     }
 
@@ -507,7 +654,11 @@ mod tests {
         sim.submit(GridJobSpec::new("j", 100.0));
         let c = sim.next_completion().unwrap();
         // Must wait for two background waves: queue wait ≈ 2000 - 15.
-        assert!(c.record.queue_wait().as_secs_f64() > 1900.0, "{:?}", c.record.queue_wait());
+        assert!(
+            c.record.queue_wait().as_secs_f64() > 1900.0,
+            "{:?}",
+            c.record.queue_wait()
+        );
     }
 
     #[test]
@@ -515,7 +666,10 @@ mod tests {
         let run = |seed: u64| {
             let mut sim = GridSim::new(GridConfig::egee_2006(), seed);
             for i in 0..10 {
-                sim.submit(GridJobSpec::new(format!("j{i}"), 120.0).with_files(vec![7_800_000], vec![1_000_000]));
+                sim.submit(
+                    GridJobSpec::new(format!("j{i}"), 120.0)
+                        .with_files(vec![7_800_000], vec![1_000_000]),
+                );
             }
             let mut times = Vec::new();
             while let Some(c) = sim.next_completion() {
@@ -531,7 +685,9 @@ mod tests {
     fn egee_overheads_are_minutes_scale_and_variable() {
         let mut sim = GridSim::new(GridConfig::egee_2006(), 11);
         for i in 0..60 {
-            sim.submit(GridJobSpec::new(format!("j{i}"), 120.0).with_files(vec![7_800_000], vec![500_000]));
+            sim.submit(
+                GridJobSpec::new(format!("j{i}"), 120.0).with_files(vec![7_800_000], vec![500_000]),
+            );
         }
         let mut overheads = Vec::new();
         while let Some(c) = sim.next_completion() {
@@ -541,11 +697,18 @@ mod tests {
         }
         assert!(overheads.len() > 50);
         let mean = overheads.iter().sum::<f64>() / overheads.len() as f64;
-        let var = overheads.iter().map(|o| (o - mean) * (o - mean)).sum::<f64>()
+        let var = overheads
+            .iter()
+            .map(|o| (o - mean) * (o - mean))
+            .sum::<f64>()
             / overheads.len() as f64;
         // Paper: "around 10 minutes ... quite variable (± 5 minutes)".
         assert!(mean > 180.0 && mean < 2400.0, "mean overhead {mean}");
-        assert!(var.sqrt() > 60.0, "overhead std-dev {} too small", var.sqrt());
+        assert!(
+            var.sqrt() > 60.0,
+            "overhead std-dev {} too small",
+            var.sqrt()
+        );
     }
 
     #[test]
@@ -570,7 +733,10 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 2000);
-        assert!((last - 100.0).abs() < 1e-6, "all jobs run concurrently: {last}");
+        assert!(
+            (last - 100.0).abs() < 1e-6,
+            "all jobs run concurrently: {last}"
+        );
     }
 
     #[test]

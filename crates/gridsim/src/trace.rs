@@ -11,11 +11,37 @@ pub struct TraceSummary {
     pub resubmissions: u32,
     pub mean_overhead_secs: f64,
     pub std_overhead_secs: f64,
+    /// Overhead distribution tails — the paper stresses that grid
+    /// overhead is "quite variable", so the mean alone under-describes
+    /// it.
+    pub p50_overhead_secs: f64,
+    pub p95_overhead_secs: f64,
+    pub p99_overhead_secs: f64,
     pub mean_queue_wait_secs: f64,
     pub mean_compute_secs: f64,
     /// Time of the last delivery (the campaign makespan when all jobs
     /// belong to one run).
     pub makespan_secs: f64,
+}
+
+/// Linearly-interpolated percentile of an unsorted sample (`q` in
+/// `[0, 1]`). Empty input yields `0.0`; NaNs are not expected and sort
+/// last.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
+    let rank = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
 }
 
 /// Compute a [`TraceSummary`] over records (empty input → all zeros).
@@ -27,6 +53,9 @@ pub fn summarize(records: &[JobRecord]) -> TraceSummary {
             resubmissions: 0,
             mean_overhead_secs: 0.0,
             std_overhead_secs: 0.0,
+            p50_overhead_secs: 0.0,
+            p95_overhead_secs: 0.0,
+            p99_overhead_secs: 0.0,
             mean_queue_wait_secs: 0.0,
             mean_compute_secs: 0.0,
             makespan_secs: 0.0,
@@ -42,11 +71,21 @@ pub fn summarize(records: &[JobRecord]) -> TraceSummary {
         / n;
     TraceSummary {
         jobs: records.len(),
-        failures: records.iter().filter(|r| r.outcome == JobOutcome::Failed).count(),
+        failures: records
+            .iter()
+            .filter(|r| r.outcome == JobOutcome::Failed)
+            .count(),
         resubmissions: records.iter().map(|r| r.attempts.saturating_sub(1)).sum(),
         mean_overhead_secs: mean_overhead,
         std_overhead_secs: var.sqrt(),
-        mean_queue_wait_secs: records.iter().map(|r| r.queue_wait().as_secs_f64()).sum::<f64>() / n,
+        p50_overhead_secs: percentile(&overheads, 0.50),
+        p95_overhead_secs: percentile(&overheads, 0.95),
+        p99_overhead_secs: percentile(&overheads, 0.99),
+        mean_queue_wait_secs: records
+            .iter()
+            .map(|r| r.queue_wait().as_secs_f64())
+            .sum::<f64>()
+            / n,
         mean_compute_secs: records.iter().map(|r| r.compute.as_secs_f64()).sum::<f64>() / n,
         makespan_secs: records
             .iter()
@@ -77,7 +116,11 @@ mod tests {
             stage_in: SimDuration::ZERO,
             compute: SimDuration::from_secs_f64(compute),
             stage_out: SimDuration::ZERO,
-            outcome: if ok { JobOutcome::Success } else { JobOutcome::Failed },
+            outcome: if ok {
+                JobOutcome::Success
+            } else {
+                JobOutcome::Failed
+            },
         }
     }
 
@@ -106,5 +149,20 @@ mod tests {
         assert!((s.mean_queue_wait_secs - 10.0).abs() < 1e-9);
         let expected_std = (((100.0f64).powi(2) * 2.0) / 3.0).sqrt();
         assert!((s.std_overhead_secs - expected_std).abs() < 1e-9);
+        // Overheads 40/140/240: median interpolates to 140.
+        assert!((s.p50_overhead_secs - 140.0).abs() < 1e-9);
+        assert!(s.p95_overhead_secs <= s.p99_overhead_secs);
+        assert!(s.p99_overhead_secs <= 240.0);
+    }
+
+    #[test]
+    fn percentile_interpolates_and_handles_edges() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        let v = [4.0, 1.0, 3.0, 2.0]; // sorted: 1 2 3 4
+        assert!((percentile(&v, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&v, 1.0) - 4.0).abs() < 1e-12);
+        assert!((percentile(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert!((percentile(&v, 0.25) - 1.75).abs() < 1e-12);
     }
 }

@@ -1,21 +1,57 @@
 use moteur_registration::prelude::*;
 use moteur_registration::IcpParams;
 fn main() {
-    let cfg = PhantomConfig { noise: 1.0, ..Default::default() };
+    let cfg = PhantomConfig {
+        noise: 1.0,
+        ..Default::default()
+    };
     for seed in [42u64, 100, 101, 102] {
         let pair = image_pair(&cfg, seed);
         let thr_ref = auto_threshold(&pair.reference, 1.0);
         let thr_float = auto_threshold(&pair.floating, 1.0);
         let ref_pts = extract_crest_points(&pair.reference, 1, thr_ref);
         let float_pts = extract_crest_points(&pair.floating, 1, thr_float);
-        let cm = moteur_registration::icp(&ref_pts, &float_pts, RigidTransform::IDENTITY, &IcpParams::coarse());
-        let pm = moteur_registration::icp(&ref_pts, &float_pts, cm.transform, &IcpParams::matching());
-        let pr = moteur_registration::icp(&ref_pts, &float_pts, pm.transform, &IcpParams::refinement());
-        let bl = block_match(&pair.reference, &pair.floating, &BlockMatchParams::default()).unwrap();
-        let ya = intensity_register(&pair.reference, &pair.floating, cm.transform, &IntensityParams::default());
-        println!("seed {seed}: truth angle {:.3} trans {:.2} | pts {}/{}", pair.truth.rotation.angle(), pair.truth.translation.norm(), ref_pts.len(), float_pts.len());
-        for (n, t) in [("cm", cm.transform), ("pm", pm.transform), ("pr", pr.transform), ("bl", bl), ("ya", ya)] {
-            println!("  {n}: rot {:.4} trans {:.3}", t.rotation_error(pair.truth), t.translation_error(pair.truth));
+        let cm = moteur_registration::icp(
+            &ref_pts,
+            &float_pts,
+            RigidTransform::IDENTITY,
+            &IcpParams::coarse(),
+        );
+        let pm =
+            moteur_registration::icp(&ref_pts, &float_pts, cm.transform, &IcpParams::matching());
+        let pr =
+            moteur_registration::icp(&ref_pts, &float_pts, pm.transform, &IcpParams::refinement());
+        let bl = block_match(
+            &pair.reference,
+            &pair.floating,
+            &BlockMatchParams::default(),
+        )
+        .unwrap();
+        let ya = intensity_register(
+            &pair.reference,
+            &pair.floating,
+            cm.transform,
+            &IntensityParams::default(),
+        );
+        println!(
+            "seed {seed}: truth angle {:.3} trans {:.2} | pts {}/{}",
+            pair.truth.rotation.angle(),
+            pair.truth.translation.norm(),
+            ref_pts.len(),
+            float_pts.len()
+        );
+        for (n, t) in [
+            ("cm", cm.transform),
+            ("pm", pm.transform),
+            ("pr", pr.transform),
+            ("bl", bl),
+            ("ya", ya),
+        ] {
+            println!(
+                "  {n}: rot {:.4} trans {:.3}",
+                t.rotation_error(pair.truth),
+                t.translation_error(pair.truth)
+            );
         }
     }
 }

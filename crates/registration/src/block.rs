@@ -25,7 +25,12 @@ pub struct BlockMatchParams {
 
 impl Default for BlockMatchParams {
     fn default() -> Self {
-        BlockMatchParams { block: 4, stride: 4, search: 4, min_variance: 50.0 }
+        BlockMatchParams {
+            block: 4,
+            stride: 4,
+            search: 4,
+            min_variance: 50.0,
+        }
     }
 }
 
@@ -59,8 +64,11 @@ pub fn block_match(
                 for dz in -s..=s {
                     for dy in -s..=s {
                         for dx in -s..=s {
-                            let (fx, fy, fz) =
-                                (x0 as i64 + dx as i64, y0 as i64 + dy as i64, z0 as i64 + dz as i64);
+                            let (fx, fy, fz) = (
+                                x0 as i64 + dx as i64,
+                                y0 as i64 + dy as i64,
+                                z0 as i64 + dz as i64,
+                            );
                             if fx < 0
                                 || fy < 0
                                 || fz < 0
@@ -92,8 +100,8 @@ pub fn block_match(
                     let half = (b as f64 - 1.0) / 2.0;
                     let centre = Vec3::new(x0 as f64 + half, y0 as f64 + half, z0 as f64 + half)
                         - reference.center();
-                    let moved = centre
-                        + Vec3::new(best_d.0 as f64, best_d.1 as f64, best_d.2 as f64);
+                    let moved =
+                        centre + Vec3::new(best_d.0 as f64, best_d.1 as f64, best_d.2 as f64);
                     pairs.push((centre, moved));
                 }
             }
@@ -129,7 +137,8 @@ fn block_ssd(
     for dz in 0..size {
         for dy in 0..size {
             for dx in 0..size {
-                let d = (a.get(ax + dx, ay + dy, az + dz) - b.get(bx + dx, by + dy, bz + dz)) as f64;
+                let d =
+                    (a.get(ax + dx, ay + dy, az + dz) - b.get(bx + dx, by + dy, bz + dz)) as f64;
                 acc += d * d;
             }
         }
@@ -145,24 +154,45 @@ mod tests {
 
     #[test]
     fn recovers_pure_integer_translation() {
-        let cfg = PhantomConfig { noise: 0.0, ..Default::default() };
+        let cfg = PhantomConfig {
+            noise: 0.0,
+            ..Default::default()
+        };
         let reference = brain_phantom(&cfg, 1);
         let truth = RigidTransform::new(Quaternion::IDENTITY, Vec3::new(2.0, -1.0, 1.0));
         let floating = reference.resample(truth);
         let t = block_match(&reference, &floating, &BlockMatchParams::default()).unwrap();
-        assert!(t.translation_error(truth) < 0.6, "err {}", t.translation_error(truth));
+        assert!(
+            t.translation_error(truth) < 0.6,
+            "err {}",
+            t.translation_error(truth)
+        );
         assert!(t.rotation_error(truth) < 0.05);
     }
 
     #[test]
     fn recovers_small_rotation_approximately() {
-        let cfg = PhantomConfig { nx: 40, ny: 40, nz: 20, noise: 0.0, lesions: 4 };
+        let cfg = PhantomConfig {
+            nx: 40,
+            ny: 40,
+            nz: 20,
+            noise: 0.0,
+            lesions: 4,
+        };
         let reference = brain_phantom(&cfg, 2);
         let truth = RigidTransform::from_params(0.0, 0.0, 0.08, 1.0, 0.0, 0.0);
         let floating = reference.resample(truth);
         let t = block_match(&reference, &floating, &BlockMatchParams::default()).unwrap();
-        assert!(t.rotation_error(truth) < 0.06, "rot err {}", t.rotation_error(truth));
-        assert!(t.translation_error(truth) < 1.2, "trans err {}", t.translation_error(truth));
+        assert!(
+            t.rotation_error(truth) < 0.06,
+            "rot err {}",
+            t.rotation_error(truth)
+        );
+        assert!(
+            t.translation_error(truth) < 1.2,
+            "trans err {}",
+            t.translation_error(truth)
+        );
     }
 
     #[test]
@@ -173,7 +203,10 @@ mod tests {
 
     #[test]
     fn identity_on_identical_images() {
-        let cfg = PhantomConfig { noise: 0.0, ..Default::default() };
+        let cfg = PhantomConfig {
+            noise: 0.0,
+            ..Default::default()
+        };
         let v = brain_phantom(&cfg, 3);
         // The symmetric phantom lets a few blocks alias onto mirror
         // positions with equal SSD, so the fit is near- but not

@@ -74,7 +74,10 @@ pub fn bronze_standard(pairs: &[PairResults]) -> BronzeReport {
                 .map(|(_, o)| o.transform)
                 .collect();
             let reference = mean_transform(&others);
-            let idx = names.iter().position(|n| *n == r.algorithm).expect("collected above");
+            let idx = names
+                .iter()
+                .position(|n| *n == r.algorithm)
+                .expect("collected above");
             rot_sums[idx] += r.transform.rotation_error(reference).to_degrees();
             trans_sums[idx] += r.transform.translation_error(reference);
             counts[idx] += 1;
@@ -85,12 +88,23 @@ pub fn bronze_standard(pairs: &[PairResults]) -> BronzeReport {
         .enumerate()
         .map(|(i, algorithm)| AlgorithmAccuracy {
             algorithm,
-            rotation_error_deg: if counts[i] == 0 { 0.0 } else { rot_sums[i] / counts[i] as f64 },
-            translation_error: if counts[i] == 0 { 0.0 } else { trans_sums[i] / counts[i] as f64 },
+            rotation_error_deg: if counts[i] == 0 {
+                0.0
+            } else {
+                rot_sums[i] / counts[i] as f64
+            },
+            translation_error: if counts[i] == 0 {
+                0.0
+            } else {
+                trans_sums[i] / counts[i] as f64
+            },
             pairs: counts[i],
         })
         .collect();
-    BronzeReport { accuracies, mean_transforms: means }
+    BronzeReport {
+        accuracies,
+        mean_transforms: means,
+    }
 }
 
 #[cfg(test)]
@@ -103,7 +117,10 @@ mod tests {
             pair_id: id,
             results: transforms
                 .iter()
-                .map(|(n, t)| AlgorithmResult { algorithm: n.to_string(), transform: *t })
+                .map(|(n, t)| AlgorithmResult {
+                    algorithm: n.to_string(),
+                    transform: *t,
+                })
                 .collect(),
         }
     }
@@ -126,8 +143,14 @@ mod tests {
         let good = RigidTransform::from_params(0.0, 0.0, 0.05, 1.0, 0.0, 0.0);
         let bad = RigidTransform::from_params(0.0, 0.0, 0.25, 4.0, 0.0, 0.0);
         let report = bronze_standard(&[
-            pair(0, &[("a", good), ("b", good), ("c", good), ("outlier", bad)]),
-            pair(1, &[("a", good), ("b", good), ("c", good), ("outlier", bad)]),
+            pair(
+                0,
+                &[("a", good), ("b", good), ("c", good), ("outlier", bad)],
+            ),
+            pair(
+                1,
+                &[("a", good), ("b", good), ("c", good), ("outlier", bad)],
+            ),
         ]);
         let get = |n: &str| {
             report

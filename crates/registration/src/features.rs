@@ -50,8 +50,11 @@ fn subvoxel_position(volume: &Volume, x: usize, y: usize, z: usize) -> Vec3 {
     for dz in -1i64..=1 {
         for dy in -1i64..=1 {
             for dx in -1i64..=1 {
-                let (nx, ny, nz) =
-                    ((x as i64 + dx) as usize, (y as i64 + dy) as usize, (z as i64 + dz) as usize);
+                let (nx, ny, nz) = (
+                    (x as i64 + dx) as usize,
+                    (y as i64 + dy) as usize,
+                    (z as i64 + dz) as usize,
+                );
                 let w = volume.gradient(nx, ny, nz).norm();
                 acc = acc + volume.to_physical(nx, ny, nz) * w;
                 wsum += w;
@@ -95,7 +98,13 @@ mod tests {
     use crate::phantom::{brain_phantom, PhantomConfig};
 
     fn test_phantom() -> Volume {
-        brain_phantom(&PhantomConfig { noise: 0.0, ..Default::default() }, 5)
+        brain_phantom(
+            &PhantomConfig {
+                noise: 0.0,
+                ..Default::default()
+            },
+            5,
+        )
     }
 
     #[test]
@@ -124,7 +133,10 @@ mod tests {
         let v = test_phantom();
         let full = extract_crest_points(&v, 1, 10.0).len();
         let sub = extract_crest_points(&v, 2, 10.0).len();
-        assert!(sub < full, "scale 2 ({sub}) must be sparser than 1 ({full})");
+        assert!(
+            sub < full,
+            "scale 2 ({sub}) must be sparser than 1 ({full})"
+        );
         assert!(sub > 0);
     }
 

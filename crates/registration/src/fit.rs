@@ -80,7 +80,13 @@ pub fn fit_rigid(pairs: &[(Vec3, Vec3)]) -> Option<RigidTransform> {
             break;
         }
     }
-    let rotation = Quaternion { w: v[0], x: v[1], y: v[2], z: v[3] }.normalized();
+    let rotation = Quaternion {
+        w: v[0],
+        x: v[1],
+        y: v[2],
+        z: v[3],
+    }
+    .normalized();
     let translation = cq - rotation.rotate(cp);
     Some(RigidTransform::new(rotation, translation))
 }
@@ -107,7 +113,13 @@ mod tests {
 
     fn cloud(rng: &mut SmallRng, n: usize) -> Vec<Vec3> {
         (0..n)
-            .map(|_| Vec3::new(rng.range(-20.0, 20.0), rng.range(-20.0, 20.0), rng.range(-20.0, 20.0)))
+            .map(|_| {
+                Vec3::new(
+                    rng.range(-20.0, 20.0),
+                    rng.range(-20.0, 20.0),
+                    rng.range(-20.0, 20.0),
+                )
+            })
             .collect()
     }
 
@@ -118,7 +130,11 @@ mod tests {
         let points = cloud(&mut rng, 40);
         let pairs: Vec<(Vec3, Vec3)> = points.iter().map(|&p| (p, truth.apply(p))).collect();
         let fit = fit_rigid(&pairs).unwrap();
-        assert!(fit.rotation_error(truth) < 1e-8, "rot err {}", fit.rotation_error(truth));
+        assert!(
+            fit.rotation_error(truth) < 1e-8,
+            "rot err {}",
+            fit.rotation_error(truth)
+        );
         assert!(fit.translation_error(truth) < 1e-7);
         assert!(rms_residual(fit, &pairs) < 1e-7);
     }
@@ -136,7 +152,11 @@ mod tests {
             })
             .collect();
         let fit = fit_rigid(&pairs).unwrap();
-        assert!(fit.rotation_error(truth) < 0.01, "rot err {}", fit.rotation_error(truth));
+        assert!(
+            fit.rotation_error(truth) < 0.01,
+            "rot err {}",
+            fit.rotation_error(truth)
+        );
         assert!(fit.translation_error(truth) < 0.1);
     }
 
@@ -174,6 +194,10 @@ mod tests {
         let points = cloud(&mut rng, 30);
         let pairs: Vec<(Vec3, Vec3)> = points.iter().map(|&p| (p, truth.apply(p))).collect();
         let fit = fit_rigid(&pairs).unwrap();
-        assert!(fit.rotation_error(truth) < 1e-7, "rot err {}", fit.rotation_error(truth));
+        assert!(
+            fit.rotation_error(truth) < 1e-7,
+            "rot err {}",
+            fit.rotation_error(truth)
+        );
     }
 }

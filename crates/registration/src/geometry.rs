@@ -16,7 +16,11 @@ pub struct Vec3 {
 }
 
 impl Vec3 {
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     pub fn new(x: f64, y: f64, z: f64) -> Self {
         Vec3 { x, y, z }
@@ -90,13 +94,23 @@ pub struct Quaternion {
 }
 
 impl Quaternion {
-    pub const IDENTITY: Quaternion = Quaternion { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+    pub const IDENTITY: Quaternion = Quaternion {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Rotation of `angle` radians about (a normalised copy of) `axis`.
     pub fn from_axis_angle(axis: Vec3, angle: f64) -> Self {
         let a = axis.normalized();
         let (s, c) = (angle / 2.0).sin_cos();
-        Quaternion { w: c, x: a.x * s, y: a.y * s, z: a.z * s }
+        Quaternion {
+            w: c,
+            x: a.x * s,
+            y: a.y * s,
+            z: a.z * s,
+        }
     }
 
     /// Intrinsic XYZ Euler angles (radians) — the "3 rotation angles"
@@ -117,12 +131,22 @@ impl Quaternion {
         if n == 0.0 {
             Quaternion::IDENTITY
         } else {
-            Quaternion { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+            Quaternion {
+                w: self.w / n,
+                x: self.x / n,
+                y: self.y / n,
+                z: self.z / n,
+            }
         }
     }
 
     pub fn conjugate(self) -> Quaternion {
-        Quaternion { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+        Quaternion {
+            w: self.w,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 
     /// Rotate a vector.
@@ -160,7 +184,12 @@ impl Mul for Quaternion {
 impl Neg for Quaternion {
     type Output = Quaternion;
     fn neg(self) -> Quaternion {
-        Quaternion { w: -self.w, x: -self.x, y: -self.y, z: -self.z }
+        Quaternion {
+            w: -self.w,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 }
 
@@ -173,11 +202,16 @@ pub struct RigidTransform {
 }
 
 impl RigidTransform {
-    pub const IDENTITY: RigidTransform =
-        RigidTransform { rotation: Quaternion::IDENTITY, translation: Vec3::ZERO };
+    pub const IDENTITY: RigidTransform = RigidTransform {
+        rotation: Quaternion::IDENTITY,
+        translation: Vec3::ZERO,
+    };
 
     pub fn new(rotation: Quaternion, translation: Vec3) -> Self {
-        RigidTransform { rotation: rotation.normalized(), translation }
+        RigidTransform {
+            rotation: rotation.normalized(),
+            translation,
+        }
     }
 
     /// The paper's 6-parameter form: 3 Euler angles + 3 translations.
@@ -219,12 +253,22 @@ impl RigidTransform {
 pub fn mean_rotation(rotations: &[Quaternion]) -> Quaternion {
     assert!(!rotations.is_empty(), "mean of no rotations");
     let reference = rotations[0];
-    let mut acc = Quaternion { w: 0.0, x: 0.0, y: 0.0, z: 0.0 };
+    let mut acc = Quaternion {
+        w: 0.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     for &q in rotations {
         // Align hemispheres: q and −q are the same rotation.
         let dot = q.w * reference.w + q.x * reference.x + q.y * reference.y + q.z * reference.z;
         let q = if dot < 0.0 { -q } else { q };
-        acc = Quaternion { w: acc.w + q.w, x: acc.x + q.x, y: acc.y + q.y, z: acc.z + q.z };
+        acc = Quaternion {
+            w: acc.w + q.w,
+            x: acc.x + q.x,
+            y: acc.y + q.y,
+            z: acc.z + q.z,
+        };
     }
     acc.normalized()
 }
@@ -237,7 +281,10 @@ pub fn mean_transform(transforms: &[RigidTransform]) -> RigidTransform {
     for t in transforms {
         t_acc = t_acc + t.translation;
     }
-    RigidTransform::new(mean_rotation(&rotations), t_acc * (1.0 / transforms.len() as f64))
+    RigidTransform::new(
+        mean_rotation(&rotations),
+        t_acc * (1.0 / transforms.len() as f64),
+    )
 }
 
 #[cfg(test)]
@@ -258,7 +305,11 @@ mod tests {
         assert_eq!(a.dot(b), 32.0);
         assert_eq!(a.cross(b), Vec3::new(-3.0, 6.0, -3.0));
         assert!((Vec3::new(3.0, 4.0, 0.0).norm() - 5.0).abs() < EPS);
-        assert_vec_close(Vec3::new(0.0, 0.0, 2.0).normalized(), Vec3::new(0.0, 0.0, 1.0), EPS);
+        assert_vec_close(
+            Vec3::new(0.0, 0.0, 2.0).normalized(),
+            Vec3::new(0.0, 0.0, 1.0),
+            EPS,
+        );
         assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
     }
 
@@ -266,7 +317,11 @@ mod tests {
     fn quaternion_rotates_basis_vectors() {
         // 90° about z: x → y.
         let q = Quaternion::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), FRAC_PI_2);
-        assert_vec_close(q.rotate(Vec3::new(1.0, 0.0, 0.0)), Vec3::new(0.0, 1.0, 0.0), 1e-12);
+        assert_vec_close(
+            q.rotate(Vec3::new(1.0, 0.0, 0.0)),
+            Vec3::new(0.0, 1.0, 0.0),
+            1e-12,
+        );
     }
 
     #[test]
@@ -282,7 +337,10 @@ mod tests {
     fn quaternion_angle_and_distance() {
         let q = Quaternion::from_axis_angle(Vec3::new(0.0, 1.0, 0.0), 0.3);
         assert!((q.angle() - 0.3).abs() < 1e-12);
-        assert!(((-q).angle() - 0.3).abs() < 1e-12, "−q is the same rotation");
+        assert!(
+            ((-q).angle() - 0.3).abs() < 1e-12,
+            "−q is the same rotation"
+        );
         let p = Quaternion::from_axis_angle(Vec3::new(0.0, 1.0, 0.0), 0.5);
         assert!((q.distance(p) - 0.2).abs() < 1e-9);
         assert!((q.distance(q)).abs() < 1e-9);
@@ -291,9 +349,17 @@ mod tests {
     #[test]
     fn euler_angles_match_axis_rotations() {
         let q = Quaternion::from_euler(0.0, 0.0, FRAC_PI_2);
-        assert_vec_close(q.rotate(Vec3::new(1.0, 0.0, 0.0)), Vec3::new(0.0, 1.0, 0.0), 1e-12);
+        assert_vec_close(
+            q.rotate(Vec3::new(1.0, 0.0, 0.0)),
+            Vec3::new(0.0, 1.0, 0.0),
+            1e-12,
+        );
         let q = Quaternion::from_euler(FRAC_PI_2, 0.0, 0.0);
-        assert_vec_close(q.rotate(Vec3::new(0.0, 1.0, 0.0)), Vec3::new(0.0, 0.0, 1.0), 1e-12);
+        assert_vec_close(
+            q.rotate(Vec3::new(0.0, 1.0, 0.0)),
+            Vec3::new(0.0, 0.0, 1.0),
+            1e-12,
+        );
     }
 
     #[test]
@@ -314,8 +380,16 @@ mod tests {
     fn identity_is_neutral() {
         let a = RigidTransform::from_params(0.2, 0.1, -0.4, 5.0, -3.0, 2.0);
         let p = Vec3::new(1.0, 1.0, 1.0);
-        assert_vec_close(RigidTransform::IDENTITY.compose(a).apply(p), a.apply(p), 1e-12);
-        assert_vec_close(a.compose(RigidTransform::IDENTITY).apply(p), a.apply(p), 1e-12);
+        assert_vec_close(
+            RigidTransform::IDENTITY.compose(a).apply(p),
+            a.apply(p),
+            1e-12,
+        );
+        assert_vec_close(
+            a.compose(RigidTransform::IDENTITY).apply(p),
+            a.apply(p),
+            1e-12,
+        );
     }
 
     #[test]

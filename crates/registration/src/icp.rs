@@ -30,17 +30,32 @@ pub struct IcpParams {
 impl IcpParams {
     /// Coarse matching (the `crestMatch` setting).
     pub fn coarse() -> Self {
-        IcpParams { max_iterations: 12, max_pair_distance: 8.0, keep_fraction: 0.8, convergence: 1e-4 }
+        IcpParams {
+            max_iterations: 12,
+            max_pair_distance: 8.0,
+            keep_fraction: 0.8,
+            convergence: 1e-4,
+        }
     }
 
     /// Full run (the `PFMatchICP` setting).
     pub fn matching() -> Self {
-        IcpParams { max_iterations: 30, max_pair_distance: 5.0, keep_fraction: 0.7, convergence: 1e-6 }
+        IcpParams {
+            max_iterations: 30,
+            max_pair_distance: 5.0,
+            keep_fraction: 0.7,
+            convergence: 1e-6,
+        }
     }
 
     /// Tight refinement (the `PFRegister` setting).
     pub fn refinement() -> Self {
-        IcpParams { max_iterations: 50, max_pair_distance: 2.5, keep_fraction: 0.6, convergence: 1e-9 }
+        IcpParams {
+            max_iterations: 50,
+            max_pair_distance: 2.5,
+            keep_fraction: 0.6,
+            convergence: 1e-9,
+        }
     }
 }
 
@@ -91,7 +106,12 @@ pub fn icp(
             break;
         }
     }
-    IcpResult { transform: current, iterations, rms, pairs_used }
+    IcpResult {
+        transform: current,
+        iterations,
+        rms,
+        pairs_used,
+    }
 }
 
 fn nearest(cloud: &[Vec3], p: Vec3) -> Option<(Vec3, f64)> {
@@ -124,8 +144,17 @@ mod tests {
         let source = cloud(&mut rng, 120, 15.0);
         let truth = RigidTransform::from_params(0.06, -0.04, 0.08, 1.0, -0.8, 0.5);
         let target: Vec<Vec3> = source.iter().map(|&p| truth.apply(p)).collect();
-        let r = icp(&source, &target, RigidTransform::IDENTITY, &IcpParams::matching());
-        assert!(r.transform.rotation_error(truth) < 1e-3, "rot {}", r.transform.rotation_error(truth));
+        let r = icp(
+            &source,
+            &target,
+            RigidTransform::IDENTITY,
+            &IcpParams::matching(),
+        );
+        assert!(
+            r.transform.rotation_error(truth) < 1e-3,
+            "rot {}",
+            r.transform.rotation_error(truth)
+        );
         assert!(r.transform.translation_error(truth) < 1e-2);
         assert!(r.rms < 1e-6);
         assert!(r.pairs_used > 80, "70% of 120 source points kept");
@@ -141,7 +170,12 @@ mod tests {
             .iter()
             .map(|&p| truth.apply(p) + Vec3::new(rng.normal(), rng.normal(), rng.normal()) * 0.05)
             .collect();
-        let coarse = icp(&source, &target, RigidTransform::IDENTITY, &IcpParams::coarse());
+        let coarse = icp(
+            &source,
+            &target,
+            RigidTransform::IDENTITY,
+            &IcpParams::coarse(),
+        );
         let refined = icp(&source, &target, coarse.transform, &IcpParams::refinement());
         // Trimming reshuffles the pair sets, so strict monotonicity is
         // not guaranteed — but the refined estimate must be tight.
@@ -177,7 +211,12 @@ mod tests {
             target.push(Vec3::new(500.0 + rng.uniform(), 500.0, 500.0));
         }
         source.push(Vec3::new(-500.0, -500.0, -500.0)); // unmatched source point
-        let r = icp(&source, &target, RigidTransform::IDENTITY, &IcpParams::matching());
+        let r = icp(
+            &source,
+            &target,
+            RigidTransform::IDENTITY,
+            &IcpParams::matching(),
+        );
         assert!(r.transform.rotation_error(truth) < 1e-3);
         assert!(r.pairs_used <= 80, "outlier source point must be dropped");
     }

@@ -111,11 +111,15 @@ pub fn intensity_register(
             trans_step /= 2.0;
         } else if p.iter().map(|v| v.abs()).fold(0.0, f64::max) > 4.0 * params.trans_step {
             // Re-anchor to keep the local parametrisation small.
-            base = base.compose(RigidTransform::from_params(p[0], p[1], p[2], p[3], p[4], p[5]));
+            base = base.compose(RigidTransform::from_params(
+                p[0], p[1], p[2], p[3], p[4], p[5],
+            ));
             p = [0.0; 6];
         }
     }
-    base.compose(RigidTransform::from_params(p[0], p[1], p[2], p[3], p[4], p[5]))
+    base.compose(RigidTransform::from_params(
+        p[0], p[1], p[2], p[3], p[4], p[5],
+    ))
 }
 
 #[cfg(test)]
@@ -124,7 +128,13 @@ mod tests {
     use crate::phantom::{brain_phantom, PhantomConfig};
 
     fn phantom() -> Volume {
-        brain_phantom(&PhantomConfig { noise: 0.0, ..Default::default() }, 11)
+        brain_phantom(
+            &PhantomConfig {
+                noise: 0.0,
+                ..Default::default()
+            },
+            11,
+        )
     }
 
     #[test]
@@ -134,7 +144,10 @@ mod tests {
         let floating = reference.resample(truth);
         let at_truth = similarity_ssd(&reference, &floating, truth, 1);
         let at_id = similarity_ssd(&reference, &floating, RigidTransform::IDENTITY, 1);
-        assert!(at_truth < at_id * 0.05, "truth {at_truth} vs identity {at_id}");
+        assert!(
+            at_truth < at_id * 0.05,
+            "truth {at_truth} vs identity {at_id}"
+        );
     }
 
     #[test]
@@ -142,22 +155,48 @@ mod tests {
         let reference = phantom();
         let truth = RigidTransform::from_params(0.0, 0.0, 0.0, 1.5, -1.0, 0.5);
         let floating = reference.resample(truth);
-        let est =
-            intensity_register(&reference, &floating, RigidTransform::IDENTITY, &IntensityParams::default());
-        assert!(est.translation_error(truth) < 0.3, "err {}", est.translation_error(truth));
+        let est = intensity_register(
+            &reference,
+            &floating,
+            RigidTransform::IDENTITY,
+            &IntensityParams::default(),
+        );
+        assert!(
+            est.translation_error(truth) < 0.3,
+            "err {}",
+            est.translation_error(truth)
+        );
         assert!(est.rotation_error(truth) < 0.03);
     }
 
     #[test]
     fn recovers_small_rotation_plus_translation() {
-        let cfg = PhantomConfig { nx: 36, ny: 36, nz: 18, noise: 0.0, lesions: 3 };
+        let cfg = PhantomConfig {
+            nx: 36,
+            ny: 36,
+            nz: 18,
+            noise: 0.0,
+            lesions: 3,
+        };
         let reference = brain_phantom(&cfg, 12);
         let truth = RigidTransform::from_params(0.0, 0.0, 0.06, 1.0, 0.5, 0.0);
         let floating = reference.resample(truth);
-        let est =
-            intensity_register(&reference, &floating, RigidTransform::IDENTITY, &IntensityParams::default());
-        assert!(est.rotation_error(truth) < 0.03, "rot err {}", est.rotation_error(truth));
-        assert!(est.translation_error(truth) < 0.5, "trans err {}", est.translation_error(truth));
+        let est = intensity_register(
+            &reference,
+            &floating,
+            RigidTransform::IDENTITY,
+            &IntensityParams::default(),
+        );
+        assert!(
+            est.rotation_error(truth) < 0.03,
+            "rot err {}",
+            est.rotation_error(truth)
+        );
+        assert!(
+            est.translation_error(truth) < 0.5,
+            "trans err {}",
+            est.translation_error(truth)
+        );
     }
 
     #[test]

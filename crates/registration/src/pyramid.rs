@@ -103,7 +103,12 @@ mod tests {
         let v = Volume::from_fn(8, 6, 4, |x, y, z| (x + y + z) as f32);
         let d = downsample(&v);
         assert_eq!((d.nx, d.ny, d.nz), (4, 3, 2));
-        assert!((d.mean() - v.mean()).abs() < 0.3, "{} vs {}", d.mean(), v.mean());
+        assert!(
+            (d.mean() - v.mean()).abs() < 0.3,
+            "{} vs {}",
+            d.mean(),
+            v.mean()
+        );
     }
 
     #[test]
@@ -126,7 +131,13 @@ mod tests {
     fn pyramid_recovers_larger_motion_than_single_level() {
         // A translation large enough that the single-level optimiser's
         // 1-voxel steps wander; the pyramid sees it as ~2 voxels coarse.
-        let cfg = PhantomConfig { nx: 40, ny: 40, nz: 20, noise: 0.0, lesions: 3 };
+        let cfg = PhantomConfig {
+            nx: 40,
+            ny: 40,
+            nz: 20,
+            noise: 0.0,
+            lesions: 3,
+        };
         let reference = brain_phantom(&cfg, 21);
         let truth = RigidTransform::from_params(0.0, 0.0, 0.04, 4.5, -3.5, 1.0);
         let floating = reference.resample(truth);
@@ -144,7 +155,10 @@ mod tests {
 
     #[test]
     fn single_level_pyramid_equals_plain_registration() {
-        let cfg = PhantomConfig { noise: 0.0, ..Default::default() };
+        let cfg = PhantomConfig {
+            noise: 0.0,
+            ..Default::default()
+        };
         let reference = brain_phantom(&cfg, 22);
         let truth = RigidTransform::from_params(0.0, 0.0, 0.02, 1.0, 0.0, 0.0);
         let floating = reference.resample(truth);
@@ -159,16 +173,34 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_levels_panics() {
         let v = Volume::new(4, 4, 4);
-        pyramid_register(&v, &v, RigidTransform::IDENTITY, 0, &IntensityParams::default());
+        pyramid_register(
+            &v,
+            &v,
+            RigidTransform::IDENTITY,
+            0,
+            &IntensityParams::default(),
+        );
     }
 
     #[test]
     fn degenerate_small_volumes_stop_the_pyramid_early() {
         // 8³ can only downsample once before hitting the 4-voxel floor;
         // asking for 5 levels must still work.
-        let cfg = PhantomConfig { nx: 8, ny: 8, nz: 8, noise: 0.0, lesions: 0 };
+        let cfg = PhantomConfig {
+            nx: 8,
+            ny: 8,
+            nz: 8,
+            noise: 0.0,
+            lesions: 0,
+        };
         let v = brain_phantom(&cfg, 23);
-        let t = pyramid_register(&v, &v, RigidTransform::IDENTITY, 5, &IntensityParams::default());
+        let t = pyramid_register(
+            &v,
+            &v,
+            RigidTransform::IDENTITY,
+            5,
+            &IntensityParams::default(),
+        );
         assert!(t.rotation_error(RigidTransform::IDENTITY) < 0.05);
     }
 }

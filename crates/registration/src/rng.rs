@@ -11,7 +11,9 @@ pub struct SmallRng {
 
 impl SmallRng {
     pub fn new(seed: u64) -> Self {
-        SmallRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+        SmallRng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     pub fn next_u64(&mut self) -> u64 {

@@ -19,10 +19,20 @@ pub struct Volume {
 impl Volume {
     pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
         assert!(nx > 0 && ny > 0 && nz > 0, "empty volume");
-        Volume { nx, ny, nz, data: vec![0.0; nx * ny * nz] }
+        Volume {
+            nx,
+            ny,
+            nz,
+            data: vec![0.0; nx * ny * nz],
+        }
     }
 
-    pub fn from_fn(nx: usize, ny: usize, nz: usize, f: impl Fn(usize, usize, usize) -> f32) -> Self {
+    pub fn from_fn(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        f: impl Fn(usize, usize, usize) -> f32,
+    ) -> Self {
         let mut v = Volume::new(nx, ny, nz);
         for z in 0..nz {
             for y in 0..ny {
@@ -246,7 +256,10 @@ mod tests {
             Vec3::ZERO,
         );
         let r = v.resample(t);
-        assert!((r.get(8, 12, 8) - 10.0).abs() < 1e-4, "blob rotated onto +y axis");
+        assert!(
+            (r.get(8, 12, 8) - 10.0).abs() < 1e-4,
+            "blob rotated onto +y axis"
+        );
     }
 
     #[test]

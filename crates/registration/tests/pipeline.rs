@@ -11,15 +11,35 @@ fn pipeline(pair: &ImagePair) -> Vec<(&'static str, RigidTransform)> {
     let ref_pts = extract_crest_points(&pair.reference, 1, thr_ref);
     let float_pts = extract_crest_points(&pair.floating, 1, thr_float);
     let crest_match = moteur_registration::icp(
-        &ref_pts, &float_pts, RigidTransform::IDENTITY, &IcpParams::coarse());
+        &ref_pts,
+        &float_pts,
+        RigidTransform::IDENTITY,
+        &IcpParams::coarse(),
+    );
     let pf_match = moteur_registration::icp(
-        &ref_pts, &float_pts, crest_match.transform, &IcpParams::matching());
+        &ref_pts,
+        &float_pts,
+        crest_match.transform,
+        &IcpParams::matching(),
+    );
     let pf_register = moteur_registration::icp(
-        &ref_pts, &float_pts, pf_match.transform, &IcpParams::refinement());
-    let baladin = block_match(&pair.reference, &pair.floating, &BlockMatchParams::default())
-        .expect("phantom has informative blocks");
+        &ref_pts,
+        &float_pts,
+        pf_match.transform,
+        &IcpParams::refinement(),
+    );
+    let baladin = block_match(
+        &pair.reference,
+        &pair.floating,
+        &BlockMatchParams::default(),
+    )
+    .expect("phantom has informative blocks");
     let yasmina = intensity_register(
-        &pair.reference, &pair.floating, crest_match.transform, &IntensityParams::default());
+        &pair.reference,
+        &pair.floating,
+        crest_match.transform,
+        &IntensityParams::default(),
+    );
     vec![
         ("crestMatch", crest_match.transform),
         ("PFRegister", pf_register.transform),
@@ -30,19 +50,29 @@ fn pipeline(pair: &ImagePair) -> Vec<(&'static str, RigidTransform)> {
 
 #[test]
 fn all_algorithms_recover_ground_truth_motion() {
-    let cfg = PhantomConfig { noise: 1.0, ..Default::default() };
+    let cfg = PhantomConfig {
+        noise: 1.0,
+        ..Default::default()
+    };
     let pair = image_pair(&cfg, 42);
     for (name, est) in pipeline(&pair) {
         let rot = est.rotation_error(pair.truth);
         let trans = est.translation_error(pair.truth);
-        assert!(rot < 0.13, "{name}: rotation error {rot} (truth angle {})", pair.truth.rotation.angle());
+        assert!(
+            rot < 0.13,
+            "{name}: rotation error {rot} (truth angle {})",
+            pair.truth.rotation.angle()
+        );
         assert!(trans < 1.0, "{name}: translation error {trans}");
     }
 }
 
 #[test]
 fn bronze_standard_rates_consistent_algorithms_tightly() {
-    let cfg = PhantomConfig { noise: 1.0, ..Default::default() };
+    let cfg = PhantomConfig {
+        noise: 1.0,
+        ..Default::default()
+    };
     let pairs: Vec<PairResults> = (0..3)
         .map(|i| {
             let pair = image_pair(&cfg, 100 + i as u64);
@@ -50,7 +80,10 @@ fn bronze_standard_rates_consistent_algorithms_tightly() {
                 pair_id: i,
                 results: pipeline(&pair)
                     .into_iter()
-                    .map(|(n, t)| AlgorithmResult { algorithm: n.into(), transform: t })
+                    .map(|(n, t)| AlgorithmResult {
+                        algorithm: n.into(),
+                        transform: t,
+                    })
                     .collect(),
             }
         })

@@ -10,7 +10,10 @@ use moteur_xml::Element;
 pub fn parse_input_data(text: &str) -> Result<InputData, ScuflError> {
     let root = moteur_xml::parse(text)?;
     if root.name != "inputdata" {
-        return Err(ScuflError::new(format!("expected <inputdata>, found <{}>", root.name)));
+        return Err(ScuflError::new(format!(
+            "expected <inputdata>, found <{}>",
+            root.name
+        )));
     }
     let mut data = InputData::new();
     for input in root.children_named("input") {
@@ -37,7 +40,10 @@ fn parse_item(item: &Element) -> Result<DataValue, ScuflError> {
                 .unwrap_or("0")
                 .parse()
                 .map_err(|_| ScuflError::new("bad file item bytes"))?;
-            Ok(DataValue::File { gfn: gfn.to_string(), bytes })
+            Ok(DataValue::File {
+                gfn: gfn.to_string(),
+                bytes,
+            })
         }
         Some("string") => Ok(DataValue::Str(
             item.attr("value")
@@ -59,9 +65,7 @@ fn parse_item(item: &Element) -> Result<DataValue, ScuflError> {
 /// Serialise input streams back to the data-set language. Only
 /// file/string/number values are expressible (opaque in-memory values
 /// have no on-disk form).
-pub fn write_input_data(
-    streams: &[(&str, &[DataValue])],
-) -> Result<String, ScuflError> {
+pub fn write_input_data(streams: &[(&str, &[DataValue])]) -> Result<String, ScuflError> {
     let mut root = Element::new("inputdata");
     for (name, values) in streams {
         let mut input = Element::new("input").with_attr("name", *name);
@@ -127,21 +131,33 @@ mod tests {
         ])
         .unwrap();
         let d2 = parse_input_data(&text).unwrap();
-        assert_eq!(d2.get("referenceImage").unwrap(), d.get("referenceImage").unwrap());
+        assert_eq!(
+            d2.get("referenceImage").unwrap(),
+            d.get("referenceImage").unwrap()
+        );
         assert_eq!(d2.get("scale").unwrap(), d.get("scale").unwrap());
     }
 
     #[test]
     fn error_cases() {
-        assert!(parse_input_data("<x/>").unwrap_err().to_string().contains("expected <inputdata>"));
-        assert!(parse_input_data(r#"<inputdata><input name="a"><item type="alien"/></input></inputdata>"#)
+        assert!(parse_input_data("<x/>")
             .unwrap_err()
             .to_string()
-            .contains("unknown item type"));
-        assert!(parse_input_data(r#"<inputdata><input><item type="string" value="x"/></input></inputdata>"#)
-            .is_err());
-        assert!(parse_input_data(r#"<inputdata><input name="a"><item type="file"/></input></inputdata>"#)
-            .is_err());
+            .contains("expected <inputdata>"));
+        assert!(parse_input_data(
+            r#"<inputdata><input name="a"><item type="alien"/></input></inputdata>"#
+        )
+        .unwrap_err()
+        .to_string()
+        .contains("unknown item type"));
+        assert!(parse_input_data(
+            r#"<inputdata><input><item type="string" value="x"/></input></inputdata>"#
+        )
+        .is_err());
+        assert!(parse_input_data(
+            r#"<inputdata><input name="a"><item type="file"/></input></inputdata>"#
+        )
+        .is_err());
     }
 
     #[test]

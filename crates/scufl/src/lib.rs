@@ -58,7 +58,9 @@ pub struct ScuflError {
 
 impl ScuflError {
     pub fn new(message: impl Into<String>) -> Self {
-        ScuflError { message: message.into() }
+        ScuflError {
+            message: message.into(),
+        }
     }
 }
 

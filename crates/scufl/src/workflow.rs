@@ -32,7 +32,10 @@ use moteur_xml::Element;
 pub fn parse_workflow(text: &str) -> Result<Workflow, ScuflError> {
     let root = moteur_xml::parse(text)?;
     if root.name != "scufl" {
-        return Err(ScuflError::new(format!("expected <scufl>, found <{}>", root.name)));
+        return Err(ScuflError::new(format!(
+            "expected <scufl>, found <{}>",
+            root.name
+        )));
     }
     let mut wf = Workflow::new(root.attr("name").unwrap_or("workflow"));
     for el in root.elements() {
@@ -105,7 +108,11 @@ fn parse_processor(wf: &mut Workflow, el: &Element) -> Result<(), ScuflError> {
     }
 
     // Ports: descriptor slots minus fixed params.
-    let fixed: Vec<String> = profile.fixed_params.iter().map(|(s, _)| s.clone()).collect();
+    let fixed: Vec<String> = profile
+        .fixed_params
+        .iter()
+        .map(|(s, _)| s.clone())
+        .collect();
     let inputs: Vec<String> = descriptor
         .inputs
         .iter()
@@ -141,9 +148,15 @@ fn parse_cost(el: &Element) -> Result<CostModel, ScuflError> {
     };
     let dist = match el.attr("type") {
         Some("constant") => Distribution::Constant(get("value")?),
-        Some("uniform") => Distribution::Uniform { lo: get("lo")?, hi: get("hi")? },
+        Some("uniform") => Distribution::Uniform {
+            lo: get("lo")?,
+            hi: get("hi")?,
+        },
         Some("exponential") => Distribution::Exponential { mean: get("mean")? },
-        Some("lognormal") => Distribution::LogNormal { median: get("median")?, sigma: get("sigma")? },
+        Some("lognormal") => Distribution::LogNormal {
+            median: get("median")?,
+            sigma: get("sigma")?,
+        },
         other => return Err(ScuflError::new(format!("unknown cost type {other:?}"))),
     };
     Ok(CostModel::Stochastic(dist))
@@ -177,7 +190,11 @@ pub fn write_workflow(wf: &Workflow) -> Result<String, ScuflError> {
                 root = root.with_child(Element::new("sink").with_attr("name", p.name.clone()));
             }
             ProcessorKind::Service => {
-                let Some(ServiceBinding::Descriptor { descriptor, profile }) = &p.binding else {
+                let Some(ServiceBinding::Descriptor {
+                    descriptor,
+                    profile,
+                }) = &p.binding
+                else {
                     return Err(ScuflError::new(format!(
                         "processor `{}` has a non-descriptor binding and cannot be serialised",
                         p.name
@@ -254,19 +271,25 @@ pub fn write_workflow(wf: &Workflow) -> Result<String, ScuflError> {
 fn write_cost(d: &Distribution) -> Result<Element, ScuflError> {
     let el = Element::new("cost");
     Ok(match d {
-        Distribution::Constant(v) => el.with_attr("type", "constant").with_attr("value", v.to_string()),
+        Distribution::Constant(v) => el
+            .with_attr("type", "constant")
+            .with_attr("value", v.to_string()),
         Distribution::Uniform { lo, hi } => el
             .with_attr("type", "uniform")
             .with_attr("lo", lo.to_string())
             .with_attr("hi", hi.to_string()),
-        Distribution::Exponential { mean } => {
-            el.with_attr("type", "exponential").with_attr("mean", mean.to_string())
-        }
+        Distribution::Exponential { mean } => el
+            .with_attr("type", "exponential")
+            .with_attr("mean", mean.to_string()),
         Distribution::LogNormal { median, sigma } => el
             .with_attr("type", "lognormal")
             .with_attr("median", median.to_string())
             .with_attr("sigma", sigma.to_string()),
-        other => return Err(ScuflError::new(format!("cost distribution {other:?} not expressible"))),
+        other => {
+            return Err(ScuflError::new(format!(
+                "cost distribution {other:?} not expressible"
+            )))
+        }
     })
 }
 
@@ -369,26 +392,38 @@ mod tests {
 
     #[test]
     fn error_cases() {
-        assert!(parse_workflow("<notscufl/>").unwrap_err().to_string().contains("expected <scufl>"));
+        assert!(parse_workflow("<notscufl/>")
+            .unwrap_err()
+            .to_string()
+            .contains("expected <scufl>"));
         assert!(parse_workflow(r#"<scufl><mystery/></scufl>"#)
             .unwrap_err()
             .to_string()
             .contains("unknown element"));
         let bad_link = DEMO.replace("images:out", "nope:out");
-        assert!(parse_workflow(&bad_link).unwrap_err().to_string().contains("unknown processor"));
+        assert!(parse_workflow(&bad_link)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown processor"));
         let bad_endpoint = DEMO.replace("images:out", "images");
         assert!(parse_workflow(&bad_endpoint)
             .unwrap_err()
             .to_string()
             .contains("must be `processor:port`"));
         let bad_iter = DEMO.replace(r#"compute="90""#, r#"compute="90" iteration="zip""#);
-        assert!(parse_workflow(&bad_iter).unwrap_err().to_string().contains("unknown iteration"));
+        assert!(parse_workflow(&bad_iter)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown iteration"));
     }
 
     #[test]
     fn unconnected_port_fails_validation() {
         let text = DEMO.replace(r#"<link from="images:out" to="crestLines:img"/>"#, "");
-        assert!(parse_workflow(&text).unwrap_err().to_string().contains("not connected"));
+        assert!(parse_workflow(&text)
+            .unwrap_err()
+            .to_string()
+            .contains("not connected"));
     }
 
     #[test]
@@ -399,6 +434,9 @@ mod tests {
             Ok(vec![])
         };
         wf.processor_mut(id).binding = Some(ServiceBinding::local(svc));
-        assert!(write_workflow(&wf).unwrap_err().to_string().contains("non-descriptor"));
+        assert!(write_workflow(&wf)
+            .unwrap_err()
+            .to_string()
+            .contains("non-descriptor"));
     }
 }

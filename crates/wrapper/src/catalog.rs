@@ -18,7 +18,10 @@ pub struct Catalog {
 
 impl Catalog {
     pub fn new() -> Self {
-        Catalog { sizes: HashMap::new(), default_size: 64 * 1024 }
+        Catalog {
+            sizes: HashMap::new(),
+            default_size: 64 * 1024,
+        }
     }
 
     /// Register (or update) a file's size.

@@ -82,7 +82,11 @@ pub fn compose_group(
             }
         }
     }
-    Ok(JobPlan { command_lines, fetch, store })
+    Ok(JobPlan {
+        command_lines,
+        fetch,
+        store,
+    })
 }
 
 fn push_store(store: &mut Vec<TransferFile>, name: String, bytes: u64) {
@@ -101,11 +105,21 @@ mod tests {
         ExecutableDescriptor {
             executable: FileItem {
                 name: name.into(),
-                access: AccessMethod::Url { server: "http://host".into() },
+                access: AccessMethod::Url {
+                    server: "http://host".into(),
+                },
                 value: name.into(),
             },
-            inputs: vec![InputSlot { name: "in".into(), option: "-i".into(), access: Some(AccessMethod::Gfn) }],
-            outputs: vec![OutputSlot { name: "out".into(), option: "-o".into(), access: AccessMethod::Gfn }],
+            inputs: vec![InputSlot {
+                name: "in".into(),
+                option: "-i".into(),
+                access: Some(AccessMethod::Gfn),
+            }],
+            outputs: vec![OutputSlot {
+                name: "out".into(),
+                option: "-o".into(),
+                access: AccessMethod::Gfn,
+            }],
             sandboxes: vec![],
         }
     }
@@ -184,9 +198,12 @@ mod tests {
 
     #[test]
     fn intermediate_needed_downstream_is_still_stored() {
-        let plan =
-            compose_group(&two_member_chain(), &catalog(), &["gfn://tmp/crests.dat".into()])
-                .unwrap();
+        let plan = compose_group(
+            &two_member_chain(),
+            &catalog(),
+            &["gfn://tmp/crests.dat".into()],
+        )
+        .unwrap();
         assert!(plan.store.iter().any(|f| f.name == "gfn://tmp/crests.dat"));
     }
 
@@ -212,7 +229,9 @@ mod tests {
         let mut b = simple_desc("stepB");
         let shared = FileItem {
             name: "lib".into(),
-            access: AccessMethod::Url { server: "http://host".into() },
+            access: AccessMethod::Url {
+                server: "http://host".into(),
+            },
             value: "libshared.so".into(),
         };
         a.sandboxes.push(shared.clone());
@@ -226,13 +245,19 @@ mod tests {
             },
             GroupMember {
                 descriptor: b,
-                binding: Binding::new()
-                    .bind_file("in", "gfn://tmp/x")
-                    .bind_output("out", "gfn://res/y", 1),
+                binding: Binding::new().bind_file("in", "gfn://tmp/x").bind_output(
+                    "out",
+                    "gfn://res/y",
+                    1,
+                ),
             },
         ];
         let plan = compose_group(&members, &catalog(), &[]).unwrap();
-        let lib_fetches = plan.fetch.iter().filter(|f| f.name.contains("libshared")).count();
+        let lib_fetches = plan
+            .fetch
+            .iter()
+            .filter(|f| f.name.contains("libshared"))
+            .count();
         assert_eq!(lib_fetches, 1);
     }
 
@@ -250,8 +275,11 @@ mod tests {
         assert_eq!(plan.store[0].name, "gfn://res/final.trf");
         assert_eq!(plan.command_lines.len(), 3);
         // Only the true external input is fetched (plus executables).
-        let data_fetches: Vec<_> =
-            plan.fetch.iter().filter(|f| f.name.starts_with("gfn://")).collect();
+        let data_fetches: Vec<_> = plan
+            .fetch
+            .iter()
+            .filter(|f| f.name.starts_with("gfn://"))
+            .collect();
         assert_eq!(data_fetches.len(), 1);
     }
 }

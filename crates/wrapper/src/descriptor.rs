@@ -30,7 +30,9 @@ impl AccessMethod {
                     .child("path")
                     .and_then(|p| p.attr("value"))
                     .ok_or_else(|| WrapperError::new("URL access requires <path value=...>"))?;
-                Ok(AccessMethod::Url { server: server.to_string() })
+                Ok(AccessMethod::Url {
+                    server: server.to_string(),
+                })
             }
             Some("GFN") => Ok(AccessMethod::Gfn),
             Some("LFN") | Some("Local") | Some("local") => Ok(AccessMethod::Local),
@@ -118,7 +120,11 @@ impl ExecutableDescriptor {
             .and_then(|v| v.attr("value"))
             .map(str::to_string)
             .unwrap_or_else(|| name.clone());
-        let executable = FileItem { name, access, value };
+        let executable = FileItem {
+            name,
+            access,
+            value,
+        };
 
         let mut inputs = Vec::new();
         for el in exe_el.children_named("input") {
@@ -153,10 +159,19 @@ impl ExecutableDescriptor {
                 .and_then(|v| v.attr("value"))
                 .map(str::to_string)
                 .unwrap_or_else(|| name.clone());
-            sandboxes.push(FileItem { name, access, value });
+            sandboxes.push(FileItem {
+                name,
+                access,
+                value,
+            });
         }
 
-        let d = ExecutableDescriptor { executable, inputs, outputs, sandboxes };
+        let d = ExecutableDescriptor {
+            executable,
+            inputs,
+            outputs,
+            sandboxes,
+        };
         d.validate()?;
         Ok(d)
     }
@@ -251,32 +266,60 @@ pub fn crest_lines_example() -> ExecutableDescriptor {
     ExecutableDescriptor {
         executable: FileItem {
             name: "CrestLines.pl".into(),
-            access: AccessMethod::Url { server: "http://colors.unice.fr".into() },
+            access: AccessMethod::Url {
+                server: "http://colors.unice.fr".into(),
+            },
             value: "CrestLines.pl".into(),
         },
         inputs: vec![
-            InputSlot { name: "floating_image".into(), option: "-im1".into(), access: Some(AccessMethod::Gfn) },
-            InputSlot { name: "reference_image".into(), option: "-im2".into(), access: Some(AccessMethod::Gfn) },
-            InputSlot { name: "scale".into(), option: "-s".into(), access: None },
+            InputSlot {
+                name: "floating_image".into(),
+                option: "-im1".into(),
+                access: Some(AccessMethod::Gfn),
+            },
+            InputSlot {
+                name: "reference_image".into(),
+                option: "-im2".into(),
+                access: Some(AccessMethod::Gfn),
+            },
+            InputSlot {
+                name: "scale".into(),
+                option: "-s".into(),
+                access: None,
+            },
         ],
         outputs: vec![
-            OutputSlot { name: "crest_reference".into(), option: "-c1".into(), access: AccessMethod::Gfn },
-            OutputSlot { name: "crest_floating".into(), option: "-c2".into(), access: AccessMethod::Gfn },
+            OutputSlot {
+                name: "crest_reference".into(),
+                option: "-c1".into(),
+                access: AccessMethod::Gfn,
+            },
+            OutputSlot {
+                name: "crest_floating".into(),
+                option: "-c2".into(),
+                access: AccessMethod::Gfn,
+            },
         ],
         sandboxes: vec![
             FileItem {
                 name: "convert8bits".into(),
-                access: AccessMethod::Url { server: "http://colors.unice.fr".into() },
+                access: AccessMethod::Url {
+                    server: "http://colors.unice.fr".into(),
+                },
                 value: "Convert8bits.pl".into(),
             },
             FileItem {
                 name: "copy".into(),
-                access: AccessMethod::Url { server: "http://colors.unice.fr".into() },
+                access: AccessMethod::Url {
+                    server: "http://colors.unice.fr".into(),
+                },
                 value: "copy".into(),
             },
             FileItem {
                 name: "cmatch".into(),
-                access: AccessMethod::Url { server: "http://colors.unice.fr".into() },
+                access: AccessMethod::Url {
+                    server: "http://colors.unice.fr".into(),
+                },
                 value: "cmatch".into(),
             },
         ],
@@ -341,7 +384,10 @@ mod tests {
             <input name="a" option="-a"/>
             <output name="a" option="-o"><access type="GFN"/></output>
         </executable></description>"#;
-        assert!(ExecutableDescriptor::parse(bad).unwrap_err().to_string().contains("duplicate"));
+        assert!(ExecutableDescriptor::parse(bad)
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate"));
     }
 
     #[test]
@@ -367,8 +413,9 @@ mod tests {
 
     #[test]
     fn executable_value_defaults_to_name() {
-        let d = ExecutableDescriptor::parse(r#"<description><executable name="tool"/></description>"#)
-            .unwrap();
+        let d =
+            ExecutableDescriptor::parse(r#"<description><executable name="tool"/></description>"#)
+                .unwrap();
         assert_eq!(d.executable.value, "tool");
         assert_eq!(d.executable.access, AccessMethod::Local);
     }

@@ -10,7 +10,9 @@ pub struct WrapperError {
 
 impl WrapperError {
     pub fn new(message: impl Into<String>) -> Self {
-        WrapperError { message: message.into() }
+        WrapperError {
+            message: message.into(),
+        }
     }
 }
 

@@ -40,12 +40,14 @@ impl Binding {
     }
 
     pub fn bind_file(mut self, slot: impl Into<String>, gfn: impl Into<String>) -> Self {
-        self.inputs.push((slot.into(), BoundValue::File { gfn: gfn.into() }));
+        self.inputs
+            .push((slot.into(), BoundValue::File { gfn: gfn.into() }));
         self
     }
 
     pub fn bind_value(mut self, slot: impl Into<String>, value: impl Into<String>) -> Self {
-        self.inputs.push((slot.into(), BoundValue::Value(value.into())));
+        self.inputs
+            .push((slot.into(), BoundValue::Value(value.into())));
         self
     }
 
@@ -55,7 +57,11 @@ impl Binding {
         gfn: impl Into<String>,
         bytes: u64,
     ) -> Self {
-        self.outputs.push(BoundOutput { slot: slot.into(), gfn: gfn.into(), bytes });
+        self.outputs.push(BoundOutput {
+            slot: slot.into(),
+            gfn: gfn.into(),
+            bytes,
+        });
         self
     }
 
@@ -147,12 +153,17 @@ pub fn command_line(
     }
     for (name, _) in &binding.inputs {
         if desc.input(name).is_none() {
-            return Err(WrapperError::new(format!("binding names unknown input `{name}`")));
+            return Err(WrapperError::new(format!(
+                "binding names unknown input `{name}`"
+            )));
         }
     }
     for out in &binding.outputs {
         if desc.output(&out.slot).is_none() {
-            return Err(WrapperError::new(format!("binding names unknown output `{}`", out.slot)));
+            return Err(WrapperError::new(format!(
+                "binding names unknown output `{}`",
+                out.slot
+            )));
         }
     }
     Ok(parts.join(" "))
@@ -183,9 +194,16 @@ pub fn plan_single(
     let store = binding
         .outputs
         .iter()
-        .map(|o| TransferFile { name: o.gfn.clone(), bytes: o.bytes })
+        .map(|o| TransferFile {
+            name: o.gfn.clone(),
+            bytes: o.bytes,
+        })
         .collect();
-    Ok(JobPlan { command_lines: vec![cmd], fetch, store })
+    Ok(JobPlan {
+        command_lines: vec![cmd],
+        fetch,
+        store,
+    })
 }
 
 pub(crate) fn push_item_fetch(
@@ -260,7 +278,10 @@ mod tests {
             .bind_file("scale", "gfn://c");
         b2.outputs = binding().outputs;
         // First bound value wins for a slot; rebinding same slot keeps original.
-        assert!(command_line(&d, &b).is_ok(), "duplicate binding: first one is used");
+        assert!(
+            command_line(&d, &b).is_ok(),
+            "duplicate binding: first one is used"
+        );
         assert!(command_line(&d, &b2)
             .unwrap_err()
             .to_string()
@@ -303,7 +324,11 @@ mod tests {
             .bind_output("crest_reference", "gfn://o1", 1)
             .bind_output("crest_floating", "gfn://o2", 1);
         let plan = plan_single(&crest_lines_example(), &b, &catalog).unwrap();
-        let image_fetches = plan.fetch.iter().filter(|f| f.name.contains("same.hdr")).count();
+        let image_fetches = plan
+            .fetch
+            .iter()
+            .filter(|f| f.name.contains("same.hdr"))
+            .count();
         assert_eq!(image_fetches, 1);
     }
 
@@ -315,14 +340,30 @@ mod tests {
 
     #[test]
     fn positional_slots_omit_the_option() {
-        use crate::descriptor::{AccessMethod, ExecutableDescriptor, FileItem, InputSlot, OutputSlot};
+        use crate::descriptor::{
+            AccessMethod, ExecutableDescriptor, FileItem, InputSlot, OutputSlot,
+        };
         let d = ExecutableDescriptor {
-            executable: FileItem { name: "cat".into(), access: AccessMethod::Local, value: "cat".into() },
-            inputs: vec![InputSlot { name: "in".into(), option: String::new(), access: Some(AccessMethod::Gfn) }],
-            outputs: vec![OutputSlot { name: "out".into(), option: String::new(), access: AccessMethod::Gfn }],
+            executable: FileItem {
+                name: "cat".into(),
+                access: AccessMethod::Local,
+                value: "cat".into(),
+            },
+            inputs: vec![InputSlot {
+                name: "in".into(),
+                option: String::new(),
+                access: Some(AccessMethod::Gfn),
+            }],
+            outputs: vec![OutputSlot {
+                name: "out".into(),
+                option: String::new(),
+                access: AccessMethod::Gfn,
+            }],
             sandboxes: vec![],
         };
-        let b = Binding::new().bind_file("in", "gfn://x/in.txt").bind_output("out", "gfn://x/out.txt", 1);
+        let b = Binding::new()
+            .bind_file("in", "gfn://x/in.txt")
+            .bind_output("out", "gfn://x/out.txt", 1);
         assert_eq!(command_line(&d, &b).unwrap(), "cat in.txt out.txt");
     }
 }

@@ -21,7 +21,10 @@ pub struct JdlOptions {
 
 impl Default for JdlOptions {
     fn default() -> Self {
-        JdlOptions { virtual_organisation: "biomed".into(), retry_count: 3 }
+        JdlOptions {
+            virtual_organisation: "biomed".into(),
+            retry_count: 3,
+        }
     }
 }
 
@@ -42,20 +45,25 @@ pub fn to_jdl(plan: &JobPlan, options: &JdlOptions) -> String {
     } else {
         // The generic wrapper script runs the composed command lines.
         let _ = writeln!(out, "  Executable = \"moteur_wrapper.sh\";");
-        let script: Vec<String> =
-            plan.command_lines.iter().map(|c| escape(c)).collect();
+        let script: Vec<String> = plan.command_lines.iter().map(|c| escape(c)).collect();
         let _ = writeln!(out, "  Arguments = \"{}\";", script.join(" && "));
     }
     let _ = writeln!(out, "  StdOutput = \"std.out\";");
     let _ = writeln!(out, "  StdError = \"std.err\";");
     if !plan.fetch.is_empty() {
-        let items: Vec<String> =
-            plan.fetch.iter().map(|f| format!("\"{}\"", escape(&f.name))).collect();
+        let items: Vec<String> = plan
+            .fetch
+            .iter()
+            .map(|f| format!("\"{}\"", escape(&f.name)))
+            .collect();
         let _ = writeln!(out, "  InputSandbox = {{{}}};", items.join(", "));
     }
     if !plan.store.is_empty() {
-        let items: Vec<String> =
-            plan.store.iter().map(|f| format!("\"{}\"", escape(&f.name))).collect();
+        let items: Vec<String> = plan
+            .store
+            .iter()
+            .map(|f| format!("\"{}\"", escape(&f.name)))
+            .collect();
         let _ = writeln!(out, "  OutputSandbox = {{{}}};", items.join(", "));
     }
     let _ = writeln!(
@@ -64,7 +72,11 @@ pub fn to_jdl(plan: &JobPlan, options: &JdlOptions) -> String {
         escape(&options.virtual_organisation)
     );
     let _ = writeln!(out, "  RetryCount = {};", options.retry_count);
-    let _ = writeln!(out, "  VirtualOrganisation = \"{}\";", escape(&options.virtual_organisation));
+    let _ = writeln!(
+        out,
+        "  VirtualOrganisation = \"{}\";",
+        escape(&options.virtual_organisation)
+    );
     out.push_str("]\n");
     out
 }
@@ -105,10 +117,16 @@ mod tests {
         let jdl = to_jdl(&plan(), &JdlOptions::default());
         assert!(jdl.starts_with("[\n"), "{jdl}");
         assert!(jdl.contains("Executable = \"CrestLines.pl\";"), "{jdl}");
-        assert!(jdl.contains("Arguments = \"-im1 f.hdr -im2 r.hdr -s 2"), "{jdl}");
+        assert!(
+            jdl.contains("Arguments = \"-im1 f.hdr -im2 r.hdr -s 2"),
+            "{jdl}"
+        );
         assert!(jdl.contains("InputSandbox"), "{jdl}");
         assert!(jdl.contains("gfn://img/f.hdr"), "{jdl}");
-        assert!(jdl.contains("OutputSandbox = {\"gfn://o/c1\", \"gfn://o/c2\"};"), "{jdl}");
+        assert!(
+            jdl.contains("OutputSandbox = {\"gfn://o/c1\", \"gfn://o/c2\"};"),
+            "{jdl}"
+        );
         assert!(jdl.contains("VirtualOrganisation = \"biomed\";"), "{jdl}");
         assert!(jdl.trim_end().ends_with(']'), "{jdl}");
     }
@@ -126,7 +144,10 @@ mod tests {
     fn options_are_respected() {
         let jdl = to_jdl(
             &plan(),
-            &JdlOptions { virtual_organisation: "atlas".into(), retry_count: 7 },
+            &JdlOptions {
+                virtual_organisation: "atlas".into(),
+                retry_count: 7,
+            },
         );
         assert!(jdl.contains("VirtualOrganisation = \"atlas\";"));
         assert!(jdl.contains("RetryCount = 7;"));
@@ -146,7 +167,11 @@ mod tests {
 
     #[test]
     fn empty_sandboxes_are_omitted() {
-        let p = JobPlan { command_lines: vec!["tool".into()], fetch: vec![], store: vec![] };
+        let p = JobPlan {
+            command_lines: vec!["tool".into()],
+            fetch: vec![],
+            store: vec![],
+        };
         let jdl = to_jdl(&p, &JdlOptions::default());
         assert!(!jdl.contains("InputSandbox"));
         assert!(!jdl.contains("OutputSandbox"));

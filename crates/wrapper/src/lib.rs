@@ -49,7 +49,7 @@ pub use descriptor::{
     crest_lines_example, AccessMethod, ExecutableDescriptor, FileItem, InputSlot, OutputSlot,
 };
 pub use error::WrapperError;
-pub use jdl::{to_jdl, JdlOptions};
 pub use invocation::{
     command_line, plan_single, Binding, BoundOutput, BoundValue, JobPlan, TransferFile,
 };
+pub use jdl::{to_jdl, JdlOptions};

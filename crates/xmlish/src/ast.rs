@@ -40,7 +40,11 @@ pub struct Element {
 impl Element {
     /// New empty element.
     pub fn new(name: impl Into<String>) -> Self {
-        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Builder: add an attribute.
@@ -124,7 +128,11 @@ mod tests {
                     .with_text("pre-processing"),
             )
             .with_child(Element::new("processor").with_attr("name", "crestMatch"))
-            .with_child(Element::new("link").with_attr("from", "a").with_attr("to", "b"))
+            .with_child(
+                Element::new("link")
+                    .with_attr("from", "a")
+                    .with_attr("to", "b"),
+            )
     }
 
     #[test]
@@ -137,7 +145,10 @@ mod tests {
     #[test]
     fn child_returns_first_match() {
         let e = sample();
-        assert_eq!(e.child("processor").unwrap().attr("name"), Some("crestLines"));
+        assert_eq!(
+            e.child("processor").unwrap().attr("name"),
+            Some("crestLines")
+        );
         assert!(e.child("nope").is_none());
     }
 
@@ -153,7 +164,10 @@ mod tests {
 
     #[test]
     fn text_trims_and_concatenates() {
-        let e = Element::new("v").with_text("  a ").with_child(Element::new("x")).with_text("b  ");
+        let e = Element::new("v")
+            .with_text("  a ")
+            .with_child(Element::new("x"))
+            .with_text("b  ");
         assert_eq!(e.text(), "a b");
     }
 

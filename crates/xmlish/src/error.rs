@@ -28,7 +28,10 @@ pub struct XmlError {
 
 impl XmlError {
     pub fn new(position: Position, message: impl Into<String>) -> Self {
-        XmlError { position, message: message.into() }
+        XmlError {
+            position,
+            message: message.into(),
+        }
     }
 }
 
@@ -46,7 +49,10 @@ mod tests {
 
     #[test]
     fn position_displays_line_colon_column() {
-        let p = Position { line: 3, column: 17 };
+        let p = Position {
+            line: 3,
+            column: 17,
+        };
         assert_eq!(p.to_string(), "3:17");
     }
 

@@ -28,11 +28,19 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(input: &'a str) -> Self {
-        Cursor { input, pos: 0, line: 1, column: 1 }
+        Cursor {
+            input,
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
     }
 
     fn position(&self) -> Position {
-        Position { line: self.line, column: self.column }
+        Position {
+            line: self.line,
+            column: self.column,
+        }
     }
 
     fn error(&self, msg: impl Into<String>) -> XmlError {
@@ -296,7 +304,10 @@ impl<'a> Cursor<'a> {
                 char::from_u32(code)
                     .ok_or_else(|| XmlError::new(start_pos, "character reference out of range"))
             }
-            other => Err(XmlError::new(start_pos, format!("unknown entity `&{other};`"))),
+            other => Err(XmlError::new(
+                start_pos,
+                format!("unknown entity `&{other};`"),
+            )),
         }
     }
 }
@@ -373,8 +384,9 @@ mod tests {
 
     #[test]
     fn skips_xml_declaration_and_comments() {
-        let e = parse("<?xml version=\"1.0\"?>\n<!-- hi -->\n<a><!-- inner --><b/></a>\n<!-- bye -->")
-            .unwrap();
+        let e =
+            parse("<?xml version=\"1.0\"?>\n<!-- hi -->\n<a><!-- inner --><b/></a>\n<!-- bye -->")
+                .unwrap();
         assert_eq!(e.children.len(), 1);
     }
 

@@ -23,13 +23,20 @@ const COMPUTE_SECS: f64 = 60.0;
 fn spiky_grid() -> GridConfig {
     GridConfig {
         ces: vec![CeConfig::new("ce", 5000, 1.0)],
-        submission_overhead: Distribution::LogNormal { median: 250.0, sigma: 1.0 },
+        submission_overhead: Distribution::LogNormal {
+            median: 250.0,
+            sigma: 1.0,
+        },
         match_delay: Distribution::Constant(0.0),
         notify_delay: Distribution::Constant(0.0),
         failure_probability: 0.0,
         failure_detection: Distribution::Constant(0.0),
         max_retries: 0,
-        network: NetworkConfig { transfer_latency: 2.0, bandwidth: 2.0e6, congestion: 0.0 },
+        network: NetworkConfig {
+            transfer_latency: 2.0,
+            bandwidth: 2.0e6,
+            congestion: 0.0,
+        },
         typical_job_duration: 300.0,
         info_refresh_period: 3600.0,
         compute_jitter: Distribution::Constant(1.0),
@@ -72,7 +79,12 @@ fn workflow() -> Workflow {
 fn inputs(lo: usize, hi: usize) -> InputData {
     InputData::new().set(
         "data",
-        (lo..hi).map(|j| DataValue::File { gfn: format!("gfn://d/{j}"), bytes: 4_096 }).collect(),
+        (lo..hi)
+            .map(|j| DataValue::File {
+                gfn: format!("gfn://d/{j}"),
+                bytes: 4_096,
+            })
+            .collect(),
     )
 }
 
@@ -82,11 +94,18 @@ fn main() {
     let probetotal = 16usize;
 
     // Phase 1: probe wave, unbatched, to sample today's grid weather.
-    println!("phase 1: probing the grid with {probetotal} unbatched jobs...",
-        probetotal = probetotal);
+    println!(
+        "phase 1: probing the grid with {probetotal} unbatched jobs...",
+        probetotal = probetotal
+    );
     let mut backend = SimBackend::new(spiky_grid(), 99);
-    let probe = run(&wf, &inputs(0, probetotal), EnactorConfig::sp_dp(), &mut backend)
-        .expect("probe wave");
+    let probe = run(
+        &wf,
+        &inputs(0, probetotal),
+        EnactorConfig::sp_dp(),
+        &mut backend,
+    )
+    .expect("probe wave");
     let records = backend.sim().records();
     let model = GranularityModel::fit_overheads(records, COMPUTE_SECS, total - probetotal);
     println!(
@@ -96,12 +115,17 @@ fn main() {
         records.len()
     );
     let g = model.optimal_batch();
-    println!("  recommended batch size: g* = {g} (predicted makespan {:.0} s)",
-        model.expected_makespan(g));
+    println!(
+        "  recommended batch size: g* = {g} (predicted makespan {:.0} s)",
+        model.expected_makespan(g)
+    );
 
     // Phase 2: the remaining workload, batched as recommended, on the
     // same (still loaded) grid.
-    println!("\nphase 2: processing the remaining {} data with batch size {g}...", total - probetotal);
+    println!(
+        "\nphase 2: processing the remaining {} data with batch size {g}...",
+        total - probetotal
+    );
     let batched = run(
         &wf,
         &inputs(probetotal, total),
@@ -112,14 +136,36 @@ fn main() {
 
     // Counterfactual: the same wave without batching, fresh identical grid.
     let mut fresh = SimBackend::new(spiky_grid(), 99);
-    let _warmup = run(&wf, &inputs(0, probetotal), EnactorConfig::sp_dp(), &mut fresh)
-        .expect("counterfactual warm-up");
-    let unbatched = run(&wf, &inputs(probetotal, total), EnactorConfig::sp_dp(), &mut fresh)
-        .expect("counterfactual wave");
+    let _warmup = run(
+        &wf,
+        &inputs(0, probetotal),
+        EnactorConfig::sp_dp(),
+        &mut fresh,
+    )
+    .expect("counterfactual warm-up");
+    let unbatched = run(
+        &wf,
+        &inputs(probetotal, total),
+        EnactorConfig::sp_dp(),
+        &mut fresh,
+    )
+    .expect("counterfactual wave");
 
-    println!("  probe wave:        {:>8.0} s, {} jobs", probe.makespan.as_secs_f64(), probe.jobs_submitted);
-    println!("  adaptive batched:  {:>8.0} s, {} jobs", batched.makespan.as_secs_f64(), batched.jobs_submitted);
-    println!("  unbatched control: {:>8.0} s, {} jobs", unbatched.makespan.as_secs_f64(), unbatched.jobs_submitted);
+    println!(
+        "  probe wave:        {:>8.0} s, {} jobs",
+        probe.makespan.as_secs_f64(),
+        probe.jobs_submitted
+    );
+    println!(
+        "  adaptive batched:  {:>8.0} s, {} jobs",
+        batched.makespan.as_secs_f64(),
+        batched.jobs_submitted
+    );
+    println!(
+        "  unbatched control: {:>8.0} s, {} jobs",
+        unbatched.makespan.as_secs_f64(),
+        unbatched.jobs_submitted
+    );
     println!(
         "\nadaptive granularity saved {:.0}% of the makespan on this run",
         100.0 * (1.0 - batched.makespan.as_secs_f64() / unbatched.makespan.as_secs_f64())

@@ -27,18 +27,25 @@ use std::sync::Arc;
 type Out = Vec<(String, DataValue)>;
 
 fn volume_of(t: &Token) -> Result<&Volume, String> {
-    t.value.downcast::<Volume>().ok_or_else(|| "expected a Volume".into())
+    t.value
+        .downcast::<Volume>()
+        .ok_or_else(|| "expected a Volume".into())
 }
 
 fn cloud_of(t: &Token) -> Result<&Vec<Vec3>, String> {
-    t.value.downcast::<Vec<Vec3>>().ok_or_else(|| "expected a point cloud".into())
+    t.value
+        .downcast::<Vec<Vec3>>()
+        .ok_or_else(|| "expected a point cloud".into())
 }
 
 /// Transform tagged with its image-pair index (read from provenance).
 type Tagged = (u32, RigidTransform);
 
 fn transfo_of(t: &Token) -> Result<Tagged, String> {
-    t.value.downcast::<Tagged>().copied().ok_or_else(|| "expected a transform".into())
+    t.value
+        .downcast::<Tagged>()
+        .copied()
+        .ok_or_else(|| "expected a transform".into())
 }
 
 fn pair_index(t: &Token) -> u32 {
@@ -46,14 +53,26 @@ fn pair_index(t: &Token) -> u32 {
 }
 
 fn main() {
-    let n_pairs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
-    let phantom_cfg = PhantomConfig { nx: 32, ny: 32, nz: 16, noise: 1.0, lesions: 3 };
+    let n_pairs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let phantom_cfg = PhantomConfig {
+        nx: 32,
+        ny: 32,
+        nz: 16,
+        noise: 1.0,
+        lesions: 3,
+    };
 
     // ---- generate the "clinical database": image pairs with known motions
-    println!("generating {n_pairs} synthetic image pairs ({}x{}x{})...",
-        phantom_cfg.nx, phantom_cfg.ny, phantom_cfg.nz);
-    let pairs: Vec<ImagePair> =
-        (0..n_pairs).map(|i| image_pair(&phantom_cfg, 7000 + i as u64)).collect();
+    println!(
+        "generating {n_pairs} synthetic image pairs ({}x{}x{})...",
+        phantom_cfg.nx, phantom_cfg.ny, phantom_cfg.nz
+    );
+    let pairs: Vec<ImagePair> = (0..n_pairs)
+        .map(|i| image_pair(&phantom_cfg, 7000 + i as u64))
+        .collect();
     let truths: Vec<RigidTransform> = pairs.iter().map(|p| p.truth).collect();
 
     // ---- the Fig. 9 workflow with in-process service bindings
@@ -80,7 +99,10 @@ fn main() {
         let cr = cloud_of(&inputs[1])?;
         let cf = cloud_of(&inputs[2])?;
         let r = reg::icp(cr, cf, init, &IcpParams::matching());
-        Ok(vec![("raw_transfo".into(), DataValue::opaque((pair, r.transform, Arc::new((cr.clone(), cf.clone())))))])
+        Ok(vec![(
+            "raw_transfo".into(),
+            DataValue::opaque((pair, r.transform, Arc::new((cr.clone(), cf.clone())))),
+        )])
     };
     let pf_register = |inputs: &[Token]| -> Result<Out, String> {
         let (pair, init, clouds) = inputs[0]
@@ -114,19 +136,25 @@ fn main() {
         let names = ["crestMatch", "PFRegister", "Yasmina", "Baladin"];
         let mut per_pair: HashMap<u32, Vec<AlgorithmResult>> = HashMap::new();
         for (port, name) in names.iter().enumerate() {
-            let list = inputs[port].value.as_list().ok_or("expected collected stream")?;
+            let list = inputs[port]
+                .value
+                .as_list()
+                .ok_or("expected collected stream")?;
             for v in list {
                 let (pair, transform) =
                     *v.downcast::<Tagged>().ok_or("expected tagged transform")?;
-                per_pair
-                    .entry(pair)
-                    .or_default()
-                    .push(AlgorithmResult { algorithm: name.to_string(), transform });
+                per_pair.entry(pair).or_default().push(AlgorithmResult {
+                    algorithm: name.to_string(),
+                    transform,
+                });
             }
         }
         let mut pair_results: Vec<PairResults> = per_pair
             .into_iter()
-            .map(|(pair_id, results)| PairResults { pair_id: pair_id as usize, results })
+            .map(|(pair_id, results)| PairResults {
+                pair_id: pair_id as usize,
+                results,
+            })
             .collect();
         pair_results.sort_by_key(|p| p.pair_id);
         let report = bronze_standard(&pair_results);
@@ -157,8 +185,12 @@ fn main() {
         &["raw_transfo"],
         ServiceBinding::local(pf_match),
     );
-    let reg_p =
-        wf.add_service("PFRegister", &["raw"], &["transfo"], ServiceBinding::local(pf_register));
+    let reg_p = wf.add_service(
+        "PFRegister",
+        &["raw"],
+        &["transfo"],
+        ServiceBinding::local(pf_register),
+    );
     let yas = wf.add_service(
         "Yasmina",
         &["init", "reference", "floating"],
@@ -183,11 +215,15 @@ fn main() {
 
     wf.connect(ref_src, "out", cl, "reference").unwrap();
     wf.connect(float_src, "out", cl, "floating").unwrap();
-    wf.connect(cl, "crest_reference", cm, "crest_reference").unwrap();
-    wf.connect(cl, "crest_floating", cm, "crest_floating").unwrap();
+    wf.connect(cl, "crest_reference", cm, "crest_reference")
+        .unwrap();
+    wf.connect(cl, "crest_floating", cm, "crest_floating")
+        .unwrap();
     wf.connect(cm, "transfo", icp_p, "init").unwrap();
-    wf.connect(cl, "crest_reference", icp_p, "crest_reference").unwrap();
-    wf.connect(cl, "crest_floating", icp_p, "crest_floating").unwrap();
+    wf.connect(cl, "crest_reference", icp_p, "crest_reference")
+        .unwrap();
+    wf.connect(cl, "crest_floating", icp_p, "crest_floating")
+        .unwrap();
     wf.connect(icp_p, "raw_transfo", reg_p, "raw").unwrap();
     wf.connect(cm, "transfo", yas, "init").unwrap();
     wf.connect(ref_src, "out", yas, "reference").unwrap();
@@ -205,11 +241,17 @@ fn main() {
     let inputs = InputData::new()
         .set(
             "referenceImage",
-            pairs.iter().map(|p| DataValue::opaque(p.reference.clone())).collect(),
+            pairs
+                .iter()
+                .map(|p| DataValue::opaque(p.reference.clone()))
+                .collect(),
         )
         .set(
             "floatingImage",
-            pairs.iter().map(|p| DataValue::opaque(p.floating.clone())).collect(),
+            pairs
+                .iter()
+                .map(|p| DataValue::opaque(p.floating.clone()))
+                .collect(),
         );
 
     println!("enacting the Fig. 9 workflow on the thread-pool backend (DP + SP)...");
@@ -244,9 +286,9 @@ fn main() {
     for pr in pair_results {
         let truth = truths[pr.pair_id];
         for r in &pr.results {
-            let e = by_algo.entry(Box::leak(r.algorithm.clone().into_boxed_str())).or_insert((
-                0.0, 0.0, 0,
-            ));
+            let e = by_algo
+                .entry(Box::leak(r.algorithm.clone().into_boxed_str()))
+                .or_insert((0.0, 0.0, 0));
             e.0 += r.transform.rotation_error(truth).to_degrees();
             e.1 += r.transform.translation_error(truth);
             e.2 += 1;

@@ -8,10 +8,19 @@ use moteur_repro::analysis::{compare, fmt_secs, Series, Table};
 use moteur_repro::moteur::EnactorConfig;
 
 fn main() {
-    let n_pairs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(12);
+    let n_pairs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(12);
     println!("Bronze-Standard campaign on the simulated EGEE grid, {n_pairs} image pairs\n");
 
-    let mut table = Table::new(&["Configuration", "time (s)", "time (h)", "jobs", "speed-up vs NOP"]);
+    let mut table = Table::new(&[
+        "Configuration",
+        "time (s)",
+        "time (h)",
+        "jobs",
+        "speed-up vs NOP",
+    ]);
     let mut nop_time = None;
     let mut series = Vec::new();
     for config in EnactorConfig::table1_configurations() {
@@ -27,12 +36,18 @@ fn main() {
             point.jobs_submitted.to_string(),
             format!("{speedup:.2}x"),
         ]);
-        series.push(Series::new(config.label(), vec![(n_pairs as f64, point.makespan_secs)]));
+        series.push(Series::new(
+            config.label(),
+            vec![(n_pairs as f64, point.makespan_secs)],
+        ));
     }
     println!("{}", table.render());
 
     let nop = series.iter().find(|s| s.label == "NOP").expect("NOP ran");
-    let best = series.iter().find(|s| s.label == "SP+DP+JG").expect("SP+DP+JG ran");
+    let best = series
+        .iter()
+        .find(|s| s.label == "SP+DP+JG")
+        .expect("SP+DP+JG ran");
     let c = compare(nop, best);
     println!(
         "full optimization speed-up at {n_pairs} pairs: {:.1}x (the paper reports ~9x at 126)",

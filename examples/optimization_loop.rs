@@ -32,7 +32,11 @@ fn main() {
     // P3: convergence test with conditional output routing.
     let check = |inputs: &[Token]| -> Result<Vec<(String, DataValue)>, String> {
         let x = inputs[0].value.as_num().ok_or("expected a number")?;
-        let port = if (x - TARGET).abs() < EPSILON { "done" } else { "again" };
+        let port = if (x - TARGET).abs() < EPSILON {
+            "done"
+        } else {
+            "again"
+        };
         Ok(vec![(port.into(), DataValue::from(x))])
     };
 
@@ -40,20 +44,30 @@ fn main() {
     let src = wf.add_source("source");
     let p1 = wf.add_service("P1", &["in"], &["out"], ServiceBinding::local(init));
     let p2 = wf.add_service("P2", &["in"], &["out"], ServiceBinding::local(step));
-    let p3 = wf.add_service("P3", &["in"], &["again", "done"], ServiceBinding::local(check));
+    let p3 = wf.add_service(
+        "P3",
+        &["in"],
+        &["again", "done"],
+        ServiceBinding::local(check),
+    );
     let sink = wf.add_sink("converged");
     wf.connect(src, "out", p1, "in").unwrap();
     wf.connect(p1, "out", p2, "in").unwrap();
     wf.connect(p2, "out", p3, "in").unwrap();
     wf.connect(p3, "again", p2, "in").unwrap(); // the loop of Fig. 2
     wf.connect(p3, "done", sink, "in").unwrap();
-    assert!(wf.has_cycle(), "this graph would be illegal for a DAG manager");
+    assert!(
+        wf.has_cycle(),
+        "this graph would be illegal for a DAG manager"
+    );
 
     // Several descents from very different starting points: each needs
     // a different number of iterations, unknown before execution.
     let starts = [0.0, 10.0, -50.0, 3.4, 1e6];
-    let inputs =
-        InputData::new().set("source", starts.iter().map(|&x| DataValue::from(x)).collect());
+    let inputs = InputData::new().set(
+        "source",
+        starts.iter().map(|&x| DataValue::from(x)).collect(),
+    );
 
     let mut backend = LocalBackend::new();
     let result = run(&wf, &inputs, EnactorConfig::sp_dp(), &mut backend).expect("loop converges");
@@ -83,6 +97,10 @@ fn main() {
     println!();
     println!(
         "total P2 invocations: {} — determined at run time, impossible to declare statically",
-        result.invocations.iter().filter(|r| r.processor == "P2").count()
+        result
+            .invocations
+            .iter()
+            .filter(|r| r.processor == "P2")
+            .count()
     );
 }

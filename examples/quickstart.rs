@@ -11,7 +11,11 @@ use moteur_repro::wrapper::{AccessMethod, ExecutableDescriptor, FileItem, InputS
 
 fn unit_service(name: &str) -> ServiceBinding {
     let descriptor = ExecutableDescriptor {
-        executable: FileItem { name: name.into(), access: AccessMethod::Local, value: name.into() },
+        executable: FileItem {
+            name: name.into(),
+            access: AccessMethod::Local,
+            value: name.into(),
+        },
         inputs: vec![InputSlot {
             name: "in".into(),
             option: "-i".into(),
@@ -45,7 +49,12 @@ fn main() {
     // Three independent data sets D0, D1, D2 (§3.3).
     let inputs = InputData::new().set(
         "source",
-        (0..3).map(|j| DataValue::File { gfn: format!("gfn://data/D{j}"), bytes: 1000 }).collect(),
+        (0..3)
+            .map(|j| DataValue::File {
+                gfn: format!("gfn://data/D{j}"),
+                bytes: 1000,
+            })
+            .collect(),
     );
 
     for config in [
@@ -63,7 +72,10 @@ fn main() {
             result.jobs_submitted,
             result.sink("results").len()
         );
-        println!("{}", diagram::render(&result.invocations, &["P3", "P2", "P1"]));
+        println!(
+            "{}",
+            diagram::render(&result.invocations, &["P3", "P2", "P1"])
+        );
     }
     println!("Workflow parallelism lets P2 and P3 overlap in every configuration;");
     println!("DP stacks the three data sets into one slot per service (Fig. 4);");

@@ -34,8 +34,13 @@ fn main() {
     catalog.register("gfn://lacassagne/ref000.hdr", 7_864_320);
     let plan = plan_single(&descriptor, &binding, &catalog).expect("plan");
     println!("=== single-job plan ===");
-    println!("fetch {} files ({} bytes), store {} files ({} bytes)\n",
-        plan.fetch.len(), plan.fetch_bytes(), plan.store.len(), plan.store_bytes());
+    println!(
+        "fetch {} files ({} bytes), store {} files ({} bytes)\n",
+        plan.fetch.len(),
+        plan.fetch_bytes(),
+        plan.store.len(),
+        plan.store_bytes()
+    );
 
     // --- Group crestLines with a consumer (crestMatch) into one job.
     let consumer = ExecutableDescriptor::parse(
@@ -54,8 +59,14 @@ fn main() {
         .bind_output("transfo", "gfn://run42/transfo.trf", 2048);
     let grouped = compose_group(
         &[
-            GroupMember { descriptor: descriptor.clone(), binding: binding.clone() },
-            GroupMember { descriptor: consumer.clone(), binding: consumer_binding.clone() },
+            GroupMember {
+                descriptor: descriptor.clone(),
+                binding: binding.clone(),
+            },
+            GroupMember {
+                descriptor: consumer.clone(),
+                binding: consumer_binding.clone(),
+            },
         ],
         &catalog,
         &["gfn://run42/transfo.trf".into()],
@@ -66,7 +77,9 @@ fn main() {
         println!("  $ {line}");
     }
     let separate_fetch = plan.fetch_bytes()
-        + plan_single(&consumer, &consumer_binding, &catalog).unwrap().fetch_bytes();
+        + plan_single(&consumer, &consumer_binding, &catalog)
+            .unwrap()
+            .fetch_bytes();
     println!(
         "\nfetch {} bytes grouped vs {} bytes as two jobs — the crest files never\n\
          touch a storage element, and one submission overhead disappears (Fig. 7).",

@@ -7,7 +7,9 @@
 //! ```text
 //! moteur run <workflow.xml> <inputs.xml> [--config sp+dp] [--seed N]
 //!            [--grid egee|ideal] [--batch G] [--report] [--diagram]
-//!            [--provenance out.xml]
+//!            [--provenance out.xml] [--events out.jsonl]
+//!            [--chrome-trace trace.json] [--metrics metrics.json]
+//!            [--critical-path]
 //! moteur validate <workflow.xml>
 //! moteur group <workflow.xml>          # print the grouped workflow
 //! moteur dot <workflow.xml>            # Graphviz export
@@ -17,8 +19,9 @@
 use moteur_repro::bench::{bronze_inputs, bronze_workflow_xml};
 use moteur_repro::gridsim::GridConfig;
 use moteur_repro::moteur::{
-    diagram, export_provenance, group_workflow, render_report, run, to_dot, EnactorConfig,
-    SimBackend,
+    chrome_trace_with_metrics, critical_path, diagram, export_provenance, group_workflow,
+    render_critical_path, render_report, run_observed, to_dot, EnactorConfig, EventSink, JsonlSink,
+    MetricsSink, Obs, SimBackend,
 };
 use moteur_repro::scufl::{parse_input_data, parse_workflow, write_input_data, write_workflow};
 use std::process::ExitCode;
@@ -35,7 +38,9 @@ fn main() -> ExitCode {
             eprintln!("usage: moteur <run|validate|group|dot|example> ...");
             eprintln!("  run <workflow.xml> <inputs.xml> [--config nop|jg|sp|dp|sp+dp|sp+dp+jg]");
             eprintln!("      [--seed N] [--grid egee|ideal] [--batch G] [--report] [--diagram]");
-            eprintln!("      [--provenance out.xml]");
+            eprintln!("      [--provenance out.xml] [--events out.jsonl]");
+            eprintln!("      [--chrome-trace trace.json] [--metrics metrics.json]");
+            eprintln!("      [--critical-path]");
             eprintln!("  validate <workflow.xml>");
             eprintln!("  group <workflow.xml>");
             eprintln!("  dot <workflow.xml>");
@@ -56,7 +61,9 @@ fn load_workflow(path: &str) -> Result<moteur_repro::moteur::Workflow, String> {
 }
 
 fn cmd_validate(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else { return fail("validate needs a workflow file") };
+    let Some(path) = args.first() else {
+        return fail("validate needs a workflow file");
+    };
     match load_workflow(path) {
         Ok(wf) => {
             println!(
@@ -77,7 +84,9 @@ fn cmd_validate(args: &[String]) -> ExitCode {
 }
 
 fn cmd_group(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else { return fail("group needs a workflow file") };
+    let Some(path) = args.first() else {
+        return fail("group needs a workflow file");
+    };
     let wf = match load_workflow(path) {
         Ok(wf) => wf,
         Err(e) => return fail(e),
@@ -100,7 +109,9 @@ fn cmd_group(args: &[String]) -> ExitCode {
 }
 
 fn cmd_dot(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else { return fail("dot needs a workflow file") };
+    let Some(path) = args.first() else {
+        return fail("dot needs a workflow file");
+    };
     match load_workflow(path) {
         Ok(wf) => {
             print!("{}", to_dot(&wf));
@@ -118,8 +129,14 @@ fn cmd_example() -> ExitCode {
     }
     let data = bronze_inputs(12);
     let doc = write_input_data(&[
-        ("referenceImage", data.get("referenceImage").expect("built-in")),
-        ("floatingImage", data.get("floatingImage").expect("built-in")),
+        (
+            "referenceImage",
+            data.get("referenceImage").expect("built-in"),
+        ),
+        (
+            "floatingImage",
+            data.get("floatingImage").expect("built-in"),
+        ),
         ("methodToTest", data.get("methodToTest").expect("built-in")),
     ])
     .expect("built-in inputs serialise");
@@ -132,7 +149,10 @@ fn cmd_example() -> ExitCode {
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
@@ -160,7 +180,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
         "sp+dp+jg" => EnactorConfig::sp_dp_jg(),
         other => return fail(format!("unknown config `{other}`")),
     };
-    let seed: u64 = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(2006);
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2006);
     config = config.with_seed(seed);
     if let Some(batch) = flag_value(args, "--batch").and_then(|v| v.parse().ok()) {
         config = config.with_batching(batch);
@@ -171,13 +193,41 @@ fn cmd_run(args: &[String]) -> ExitCode {
         other => return fail(format!("unknown grid `{other}`")),
     };
 
-    eprintln!("enacting `{}` [{}] on the {} grid (seed {seed})...",
-        wf.name, config.label(), flag_value(args, "--grid").unwrap_or("egee"));
-    let mut backend = SimBackend::new(grid, seed);
-    let result = match run(&wf, &inputs, config, &mut backend) {
+    // Observability sinks are only attached when a flag asks for them, so
+    // a plain `moteur run` keeps the zero-overhead no-op path.
+    let events_path = flag_value(args, "--events");
+    let metrics_path = flag_value(args, "--metrics");
+    let chrome_path = flag_value(args, "--chrome-trace");
+    let mut sinks: Vec<Box<dyn EventSink>> = Vec::new();
+    if let Some(path) = events_path {
+        match JsonlSink::create(path) {
+            Ok(sink) => sinks.push(Box::new(sink)),
+            Err(e) => return fail(format!("creating {path}: {e}")),
+        }
+    }
+    let metrics = if metrics_path.is_some() || chrome_path.is_some() {
+        let (sink, registry) = MetricsSink::new();
+        sinks.push(Box::new(sink));
+        Some(registry)
+    } else {
+        None
+    };
+    let obs = Obs::new(sinks);
+
+    eprintln!(
+        "enacting `{}` [{}] on the {} grid (seed {seed})...",
+        wf.name,
+        config.label(),
+        flag_value(args, "--grid").unwrap_or("egee")
+    );
+    let mut backend = SimBackend::with_obs(grid, seed, &obs);
+    let result = match run_observed(&wf, &inputs, config, &mut backend, obs.clone()) {
         Ok(r) => r,
         Err(e) => return fail(e),
     };
+    if let Err(e) = obs.flush() {
+        return fail(format!("flushing event sinks: {e}"));
+    }
     println!(
         "completed in {:.1} s simulated time ({:.2} h), {} jobs submitted",
         result.makespan.as_secs_f64(),
@@ -196,6 +246,31 @@ fn cmd_run(args: &[String]) -> ExitCode {
             Ok(()) => println!("provenance written to {path}"),
             Err(e) => return fail(format!("writing {path}: {e}")),
         }
+    }
+    if let Some(path) = events_path {
+        println!("events written to {path}");
+    }
+    if let Some(path) = metrics_path {
+        let registry = metrics.as_ref().expect("metrics sink installed");
+        let json = registry.lock().expect("metrics registry").to_json();
+        match std::fs::write(path, json) {
+            Ok(()) => println!("metrics written to {path}"),
+            Err(e) => return fail(format!("writing {path}: {e}")),
+        }
+    }
+    if let Some(path) = chrome_path {
+        let registry = metrics.as_ref().expect("metrics sink installed");
+        let guard = registry.lock().expect("metrics registry");
+        let json = chrome_trace_with_metrics(&result, Some(&guard));
+        drop(guard);
+        match std::fs::write(path, json) {
+            Ok(()) => println!("chrome trace written to {path} (load in ui.perfetto.dev)"),
+            Err(e) => return fail(format!("writing {path}: {e}")),
+        }
+    }
+    if args.iter().any(|a| a == "--critical-path") {
+        println!();
+        print!("{}", render_critical_path(&critical_path(&result)));
     }
     if args.iter().any(|a| a == "--diagram") {
         let names: Vec<&str> = wf

@@ -33,7 +33,10 @@ fn mini_workflow() -> Workflow {
         let reference = inputs[1].value.downcast::<Volume>().ok_or("ref")?;
         let floating = inputs[2].value.downcast::<Volume>().ok_or("float")?;
         let t = intensity_register(reference, floating, init, &IntensityParams::default());
-        Ok(vec![("transfo".into(), DataValue::opaque::<Tagged>((pair, t)))])
+        Ok(vec![(
+            "transfo".into(),
+            DataValue::opaque::<Tagged>((pair, t)),
+        )])
     };
     let test = |inputs: &[Token]| -> Result<Out, String> {
         // Means of the two algorithm streams, paired by pair id.
@@ -54,10 +57,30 @@ fn mini_workflow() -> Workflow {
     let mut wf = Workflow::new("mini-bronze");
     let rs = wf.add_source("referenceImage");
     let fs = wf.add_source("floatingImage");
-    let cl = wf.add_service("crestLines", &["r", "f"], &["cr", "cf"], ServiceBinding::local(crest_lines));
-    let cm = wf.add_service("crestMatch", &["cr", "cf"], &["transfo"], ServiceBinding::local(crest_match));
-    let ya = wf.add_service("Yasmina", &["init", "r", "f"], &["transfo"], ServiceBinding::local(yasmina));
-    let tt = wf.add_service("Test", &["a", "b"], &["spread"], ServiceBinding::local(test));
+    let cl = wf.add_service(
+        "crestLines",
+        &["r", "f"],
+        &["cr", "cf"],
+        ServiceBinding::local(crest_lines),
+    );
+    let cm = wf.add_service(
+        "crestMatch",
+        &["cr", "cf"],
+        &["transfo"],
+        ServiceBinding::local(crest_match),
+    );
+    let ya = wf.add_service(
+        "Yasmina",
+        &["init", "r", "f"],
+        &["transfo"],
+        ServiceBinding::local(yasmina),
+    );
+    let tt = wf.add_service(
+        "Test",
+        &["a", "b"],
+        &["spread"],
+        ServiceBinding::local(test),
+    );
     wf.set_synchronization(tt, true);
     let sink = wf.add_sink("spread");
     wf.connect(rs, "out", cl, "r").unwrap();
@@ -74,12 +97,30 @@ fn mini_workflow() -> Workflow {
 }
 
 fn inputs(n: usize) -> (InputData, Vec<RigidTransform>) {
-    let cfg = PhantomConfig { nx: 24, ny: 24, nz: 12, noise: 0.5, lesions: 3 };
+    let cfg = PhantomConfig {
+        nx: 24,
+        ny: 24,
+        nz: 12,
+        noise: 0.5,
+        lesions: 3,
+    };
     let pairs: Vec<ImagePair> = (0..n).map(|i| image_pair(&cfg, 900 + i as u64)).collect();
     let truths = pairs.iter().map(|p| p.truth).collect();
     let data = InputData::new()
-        .set("referenceImage", pairs.iter().map(|p| DataValue::opaque(p.reference.clone())).collect())
-        .set("floatingImage", pairs.iter().map(|p| DataValue::opaque(p.floating.clone())).collect());
+        .set(
+            "referenceImage",
+            pairs
+                .iter()
+                .map(|p| DataValue::opaque(p.reference.clone()))
+                .collect(),
+        )
+        .set(
+            "floatingImage",
+            pairs
+                .iter()
+                .map(|p| DataValue::opaque(p.floating.clone()))
+                .collect(),
+        );
     (data, truths)
 }
 
@@ -108,6 +149,9 @@ fn parallelism_configuration_does_not_change_results() {
     let r2 = run(&wf, &data, EnactorConfig::nop(), &mut b2).expect("sequential");
     let s1 = r1.sink("spread")[0].value.as_num().unwrap();
     let s2 = r2.sink("spread")[0].value.as_num().unwrap();
-    assert!((s1 - s2).abs() < 1e-12, "results must be configuration-independent: {s1} vs {s2}");
+    assert!(
+        (s1 - s2).abs() < 1e-12,
+        "results must be configuration-independent: {s1} vs {s2}"
+    );
     assert_eq!(r1.jobs_submitted, r2.jobs_submitted);
 }

@@ -81,7 +81,10 @@ fn campaign_series_are_increasing_in_data_size() {
 fn dp_collapses_the_slope() {
     let results = run_campaign(&[6, 18], 9, 2);
     let slope = |label: &str| -> f64 {
-        let (s, _) = results.iter().find(|(s, _)| s.label == label).expect("label exists");
+        let (s, _) = results
+            .iter()
+            .find(|(s, _)| s.label == label)
+            .expect("label exists");
         (s.points[1].1 - s.points[0].1) / (s.points[1].0 - s.points[0].0)
     };
     // §5.2: data parallelism mainly improves the slope (data

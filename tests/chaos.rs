@@ -13,26 +13,55 @@ fn hostile_grid() -> GridConfig {
     for i in 0..3 {
         let mut ce = CeConfig::new(format!("flaky-{i}"), 40, 0.8 + 0.1 * i as f64);
         ce.background_interarrival = Some(Distribution::Exponential { mean: 40.0 });
-        ce.background_duration = Distribution::LogNormal { median: 1200.0, sigma: 1.2 };
+        ce.background_duration = Distribution::LogNormal {
+            median: 1200.0,
+            sigma: 1.2,
+        };
         ce.initial_backlog = 30;
         ce.diurnal_amplitude = 0.8;
-        ce.downtime = Some(Downtime { period: 5_000.0, duration: 600.0 });
-        ce.discipline = if i == 0 { QueueDiscipline::UserPriority } else { QueueDiscipline::Fifo };
+        ce.downtime = Some(Downtime {
+            period: 5_000.0,
+            duration: 600.0,
+        });
+        ce.discipline = if i == 0 {
+            QueueDiscipline::UserPriority
+        } else {
+            QueueDiscipline::Fifo
+        };
         ces.push(ce);
     }
     GridConfig {
         ces,
-        submission_overhead: Distribution::LogNormal { median: 60.0, sigma: 0.8 },
+        submission_overhead: Distribution::LogNormal {
+            median: 60.0,
+            sigma: 0.8,
+        },
         match_delay: Distribution::Mixture {
-            first: Box::new(Distribution::LogNormal { median: 120.0, sigma: 0.8 }),
-            second: Box::new(Distribution::LogNormal { median: 1500.0, sigma: 0.6 }),
+            first: Box::new(Distribution::LogNormal {
+                median: 120.0,
+                sigma: 0.8,
+            }),
+            second: Box::new(Distribution::LogNormal {
+                median: 1500.0,
+                sigma: 0.6,
+            }),
             p_second: 0.10,
         },
-        notify_delay: Distribution::LogNormal { median: 40.0, sigma: 0.6 },
+        notify_delay: Distribution::LogNormal {
+            median: 40.0,
+            sigma: 0.6,
+        },
         failure_probability: 0.15,
-        failure_detection: Distribution::LogNormal { median: 700.0, sigma: 0.5 },
+        failure_detection: Distribution::LogNormal {
+            median: 700.0,
+            sigma: 0.5,
+        },
         max_retries: 2,
-        network: NetworkConfig { transfer_latency: 10.0, bandwidth: 1.0e6, congestion: 0.01 },
+        network: NetworkConfig {
+            transfer_latency: 10.0,
+            bandwidth: 1.0e6,
+            congestion: 0.01,
+        },
         typical_job_duration: 600.0,
         info_refresh_period: 300.0,
         compute_jitter: Distribution::Uniform { lo: 0.7, hi: 1.6 },

@@ -43,8 +43,16 @@ mod tempdir {
 #[test]
 fn example_then_validate_then_run_round_trip() {
     let dir = in_temp_dir();
-    let out = moteur().arg("example").current_dir(dir.path()).output().expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = moteur()
+        .arg("example")
+        .current_dir(dir.path())
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(dir.path().join("bronze-standard.xml").exists());
     assert!(dir.path().join("inputs-12.xml").exists());
 
@@ -74,12 +82,25 @@ fn example_then_validate_then_run_round_trip() {
         .current_dir(dir.path())
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("completed in"), "{text}");
-    assert!(text.contains("49 jobs submitted"), "grouped: 4×12 + 1: {text}");
-    assert!(text.contains("crestLines+crestMatch"), "report shows grouped services: {text}");
-    assert!(text.contains("sink accuracy_rotation: 1 result(s)"), "{text}");
+    assert!(
+        text.contains("49 jobs submitted"),
+        "grouped: 4×12 + 1: {text}"
+    );
+    assert!(
+        text.contains("crestLines+crestMatch"),
+        "report shows grouped services: {text}"
+    );
+    assert!(
+        text.contains("sink accuracy_rotation: 1 result(s)"),
+        "{text}"
+    );
     // Provenance export parses and names the barrier.
     let prov = std::fs::read_to_string(dir.path().join("prov.xml")).expect("provenance file");
     assert!(prov.contains("<provenance>"), "{prov}");
@@ -89,7 +110,13 @@ fn example_then_validate_then_run_round_trip() {
 #[test]
 fn dot_export_is_valid_graphviz_shape() {
     let dir = in_temp_dir();
-    assert!(moteur().arg("example").current_dir(dir.path()).output().unwrap().status.success());
+    assert!(moteur()
+        .arg("example")
+        .current_dir(dir.path())
+        .output()
+        .unwrap()
+        .status
+        .success());
     let out = moteur()
         .args(["dot", "bronze-standard.xml"])
         .current_dir(dir.path())
@@ -98,14 +125,23 @@ fn dot_export_is_valid_graphviz_shape() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.starts_with("digraph"), "{text}");
-    assert!(text.contains("doubleoctagon"), "MultiTransfoTest is a barrier: {text}");
+    assert!(
+        text.contains("doubleoctagon"),
+        "MultiTransfoTest is a barrier: {text}"
+    );
     assert!(text.trim_end().ends_with('}'), "{text}");
 }
 
 #[test]
 fn group_reports_the_merged_processors() {
     let dir = in_temp_dir();
-    assert!(moteur().arg("example").current_dir(dir.path()).output().unwrap().status.success());
+    assert!(moteur()
+        .arg("example")
+        .current_dir(dir.path())
+        .output()
+        .unwrap()
+        .status
+        .success());
     let out = moteur()
         .args(["group", "bronze-standard.xml"])
         .current_dir(dir.path())
@@ -121,7 +157,10 @@ fn group_reports_the_merged_processors() {
 fn bad_usage_and_bad_files_fail_cleanly() {
     let out = moteur().output().expect("spawn");
     assert!(!out.status.success());
-    let out = moteur().args(["validate", "/nonexistent.xml"]).output().expect("spawn");
+    let out = moteur()
+        .args(["validate", "/nonexistent.xml"])
+        .output()
+        .expect("spawn");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("moteur:"));
     let dir = in_temp_dir();
@@ -143,12 +182,101 @@ fn bad_usage_and_bad_files_fail_cleanly() {
 #[test]
 fn unknown_config_is_rejected() {
     let dir = in_temp_dir();
-    assert!(moteur().arg("example").current_dir(dir.path()).output().unwrap().status.success());
+    assert!(moteur()
+        .arg("example")
+        .current_dir(dir.path())
+        .output()
+        .unwrap()
+        .status
+        .success());
     let out = moteur()
-        .args(["run", "bronze-standard.xml", "inputs-12.xml", "--config", "warp9"])
+        .args([
+            "run",
+            "bronze-standard.xml",
+            "inputs-12.xml",
+            "--config",
+            "warp9",
+        ])
         .current_dir(dir.path())
         .output()
         .expect("spawn");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown config"));
+}
+
+#[test]
+fn observability_flags_produce_trace_metrics_and_events() {
+    let dir = in_temp_dir();
+    assert!(moteur()
+        .arg("example")
+        .current_dir(dir.path())
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = moteur()
+        .args([
+            "run",
+            "bronze-standard.xml",
+            "inputs-12.xml",
+            "--config",
+            "sp+dp",
+            "--seed",
+            "7",
+            "--events",
+            "events.jsonl",
+            "--chrome-trace",
+            "trace.json",
+            "--metrics",
+            "metrics.json",
+            "--critical-path",
+        ])
+        .current_dir(dir.path())
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("73 jobs submitted"), "6×12 + 1 sync: {text}");
+    assert!(text.contains("critical path"), "{text}");
+    assert!(text.contains("per-service contribution"), "{text}");
+
+    // Chrome trace is a complete-span envelope.
+    let trace = std::fs::read_to_string(dir.path().join("trace.json")).expect("trace file");
+    assert!(
+        trace.starts_with("{\"traceEvents\":["),
+        "{}",
+        &trace[..80.min(trace.len())]
+    );
+    assert!(trace.contains("\"ph\":\"X\""), "complete spans present");
+    assert!(trace.contains("\"ph\":\"C\""), "counter tracks present");
+    assert!(trace.contains("crestLines"), "service lanes are named");
+
+    // Metrics snapshot reconciles with the run banner.
+    let metrics = std::fs::read_to_string(dir.path().join("metrics.json")).expect("metrics file");
+    assert!(metrics.contains("\"job_submitted\":73"), "{metrics}");
+    assert!(metrics.contains("grid_overhead_secs"), "{metrics}");
+
+    // Every JSONL line is a typed, timestamped object; every submission
+    // reaches a terminal event.
+    let events = std::fs::read_to_string(dir.path().join("events.jsonl")).expect("events file");
+    let mut submitted = 0;
+    let mut terminal = 0;
+    for line in events.lines() {
+        assert!(line.starts_with("{\"type\":\""), "{line}");
+        assert!(line.contains("\"t\":"), "{line}");
+        if line.starts_with("{\"type\":\"job_submitted\"") {
+            submitted += 1;
+        }
+        if line.starts_with("{\"type\":\"job_completed\"")
+            || line.starts_with("{\"type\":\"job_failed\"")
+        {
+            terminal += 1;
+        }
+    }
+    assert_eq!(submitted, 73);
+    assert_eq!(terminal, 73);
 }
