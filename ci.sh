@@ -16,3 +16,9 @@ cargo test -q --offline
 # The full workspace (core, gridsim, scufl, wrapper, xmlish, analysis,
 # registration, bench).
 cargo test --workspace --offline
+
+# Static analysis over the bundled example workflows: errors AND
+# warnings fail the build (notes — e.g. grouping advice — are fine).
+for wf in examples/workflows/*.xml; do
+  cargo run --offline --quiet --bin moteur -- lint "$wf" --deny-warnings
+done

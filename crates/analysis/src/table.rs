@@ -10,7 +10,10 @@ pub struct Table {
 impl Table {
     pub fn new(header: &[&str]) -> Self {
         Table {
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }

@@ -101,7 +101,7 @@ pub trait Backend {
 pub type ServiceOutputs = Vec<(String, DataValue)>;
 
 /// Ideal virtual-time backend: unlimited parallelism, zero overhead.
-#[derive(Default)]
+#[derive(Default, Debug)]
 pub struct VirtualBackend {
     clock: SimTime,
     heap: BinaryHeap<Reverse<(SimTime, u64, InvocationId)>>,
@@ -172,6 +172,7 @@ impl Backend for VirtualBackend {
 // ---------------------------------------------------------------------
 
 /// Backend running grid jobs on the discrete-event EGEE simulator.
+#[derive(Debug)]
 pub struct SimBackend {
     sim: GridSim,
 }
@@ -193,7 +194,7 @@ impl SimBackend {
         if obs.enabled() {
             let obs = obs.clone();
             backend.sim.set_observer(Box::new(move |e| {
-                obs.record(&crate::obs::TraceEvent::from_sim(e))
+                obs.record(&crate::obs::TraceEvent::from_sim(e));
             }));
         }
         backend
@@ -262,6 +263,15 @@ pub struct LocalBackend {
     tx: std::sync::mpsc::Sender<BackendCompletion>,
     rx: std::sync::mpsc::Receiver<BackendCompletion>,
     in_flight: usize,
+}
+
+impl std::fmt::Debug for LocalBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalBackend")
+            .field("started", &self.started)
+            .field("in_flight", &self.in_flight)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for LocalBackend {

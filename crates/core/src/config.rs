@@ -23,6 +23,11 @@ pub struct EnactorConfig {
     /// invocations of one descriptor-bound service are submitted as a
     /// single grid job. 1 disables batching.
     pub data_batching: usize,
+    /// Run the error-severity static lint rules before enacting and
+    /// refuse workflows with findings ([`crate::lint::lint_errors`]).
+    /// `moteur run --no-verify` turns this off, falling back to the
+    /// weaker structural `validate()`.
+    pub preflight: bool,
 }
 
 impl Default for EnactorConfig {
@@ -34,6 +39,7 @@ impl Default for EnactorConfig {
             seed: 0,
             max_job_retries: 5,
             data_batching: 1,
+            preflight: true,
         }
     }
 }
@@ -99,6 +105,12 @@ impl EnactorConfig {
     /// size.
     pub fn with_batching(mut self, batch: usize) -> Self {
         self.data_batching = batch.max(1);
+        self
+    }
+
+    /// Skip the pre-flight lint (`moteur run --no-verify`).
+    pub fn without_preflight(mut self) -> Self {
+        self.preflight = false;
         self
     }
 

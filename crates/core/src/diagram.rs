@@ -37,7 +37,12 @@ pub fn render(records: &[InvocationRecord], processors: &[&str]) -> String {
                 .iter()
                 .filter(|r| r.processor == *proc && r.started < hi && r.finished > lo)
                 .map(|r| {
-                    let label: Vec<String> = r.index.0.iter().map(|i| i.to_string()).collect();
+                    let label: Vec<String> = r
+                        .index
+                        .0
+                        .iter()
+                        .map(std::string::ToString::to_string)
+                        .collect();
                     format!("D{}", label.join("."))
                 })
                 .collect();

@@ -83,6 +83,23 @@ pub fn run_observed<B: Backend>(
     backend: &mut B,
     obs: Obs,
 ) -> Result<WorkflowResult, MoteurError> {
+    if config.preflight {
+        // Error-severity lint findings are exactly the structural
+        // conditions under which enactment would panic, deadlock or
+        // silently drop data — refuse them up front with a typed error
+        // instead. Run on the pre-grouping workflow so findings carry
+        // the source spans of the workflow the user wrote.
+        let findings = crate::lint::lint_errors(workflow);
+        if !findings.is_empty() {
+            let summary = findings
+                .diagnostics
+                .iter()
+                .map(|d| format!("[{}] {}", d.code, d.message))
+                .collect::<Vec<_>>()
+                .join("; ");
+            return Err(MoteurError::lint(findings.errors(), summary));
+        }
+    }
     let workflow = if config.job_grouping {
         crate::grouping::group_workflow(workflow)?
     } else {

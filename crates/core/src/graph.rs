@@ -10,6 +10,7 @@
 
 use crate::error::MoteurError;
 use crate::service::ServiceBinding;
+use moteur_xml::Span;
 use std::collections::HashSet;
 
 /// Index of a processor inside its workflow.
@@ -66,6 +67,60 @@ pub struct Link {
     pub to: PortRef,
 }
 
+/// Byte spans locating each workflow construct in the document it was
+/// parsed from — the side table the [`crate::lint`] diagnostics engine
+/// uses to point at SCUFL source. Builder-constructed workflows leave
+/// it empty; graph transforms (grouping) do not maintain it.
+#[derive(Debug, Clone, Default)]
+pub struct SourceSpans {
+    /// The root `<scufl>` element.
+    pub workflow: Span,
+    /// One span per processor, parallel to `Workflow::processors`.
+    pub processors: Vec<Span>,
+    /// One span per data link, parallel to `Workflow::links`.
+    pub links: Vec<Span>,
+    /// One span per coordination constraint, parallel to
+    /// `Workflow::control`.
+    pub control: Vec<Span>,
+    /// `(processor, slot)` spans of `<param>` elements.
+    pub params: Vec<(ProcId, String, Span)>,
+    /// `(processor, slot)` spans of `<outputsize>` elements.
+    pub outputsizes: Vec<(ProcId, String, Span)>,
+}
+
+impl SourceSpans {
+    /// Span of processor `id`, or [`Span::EMPTY`] when untracked.
+    pub fn processor(&self, id: ProcId) -> Span {
+        self.processors.get(id.0).copied().unwrap_or(Span::EMPTY)
+    }
+
+    /// Span of the `i`-th data link, or [`Span::EMPTY`] when untracked.
+    pub fn link(&self, i: usize) -> Span {
+        self.links.get(i).copied().unwrap_or(Span::EMPTY)
+    }
+
+    /// Span of the `i`-th coordination constraint.
+    pub fn control_edge(&self, i: usize) -> Span {
+        self.control.get(i).copied().unwrap_or(Span::EMPTY)
+    }
+
+    /// Span of the `<param slot=…>` element on `id`, if tracked.
+    pub fn param(&self, id: ProcId, slot: &str) -> Span {
+        self.params
+            .iter()
+            .find(|(p, s, _)| *p == id && s == slot)
+            .map_or(Span::EMPTY, |(_, _, sp)| *sp)
+    }
+
+    /// Span of the `<outputsize slot=…>` element on `id`, if tracked.
+    pub fn outputsize(&self, id: ProcId, slot: &str) -> Span {
+        self.outputsizes
+            .iter()
+            .find(|(p, s, _)| *p == id && s == slot)
+            .map_or(Span::EMPTY, |(_, _, sp)| *sp)
+    }
+}
+
 /// The workflow graph.
 #[derive(Debug, Clone, Default)]
 pub struct Workflow {
@@ -75,6 +130,9 @@ pub struct Workflow {
     /// Coordination constraints: `(before, after)` — `after` may not
     /// fire until `before` is exhausted.
     pub control: Vec<(ProcId, ProcId)>,
+    /// Source-location side table populated by the Scufl parser;
+    /// empty for programmatically built workflows.
+    pub spans: SourceSpans,
 }
 
 impl Workflow {
@@ -122,8 +180,14 @@ impl Workflow {
         self.push(Processor {
             name: name.into(),
             kind: ProcessorKind::Service,
-            inputs: inputs.iter().map(|s| s.to_string()).collect(),
-            outputs: outputs.iter().map(|s| s.to_string()).collect(),
+            inputs: inputs
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
+            outputs: outputs
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             iteration: IterationStrategy::Dot,
             synchronization: false,
             binding: Some(binding),

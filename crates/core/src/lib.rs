@@ -20,7 +20,9 @@
 //! - pluggable **backends** ([`backend`]): ideal virtual time, the
 //!   EGEE-like grid simulator, and real worker threads;
 //! - the paper's **theoretical makespan model** ([`model`], eqs. 1–4)
-//!   and ASCII **execution diagrams** ([`diagram`], Figs. 4–6).
+//!   and ASCII **execution diagrams** ([`diagram`], Figs. 4–6);
+//! - **static diagnostics** ([`lint`]): rustc-style `M0xx` findings
+//!   with source spans, plus eq. 1–4 makespan/job-count prediction.
 //!
 //! ## Quickstart
 //!
@@ -63,6 +65,7 @@ pub mod granularity;
 pub mod graph;
 pub mod grouping;
 pub mod iterate;
+pub mod lint;
 pub mod model;
 pub mod obs;
 pub mod provenance;
@@ -84,6 +87,10 @@ pub use granularity::{inverse_normal_cdf, GranularityModel};
 pub use graph::{IterationStrategy, Link, PortRef, ProcId, Processor, ProcessorKind, Workflow};
 pub use grouping::{group_workflow, groupable_pairs};
 pub use iterate::{MatchEngine, MatchedSet};
+pub use lint::{
+    lint_errors, lint_workflow, predict, render_human, render_prediction, report_from_json,
+    report_to_json, Diagnostic, LintReport, Prediction, Severity,
+};
 pub use model::TimeMatrix;
 pub use obs::chrome::{chrome_trace, chrome_trace_with_metrics};
 pub use obs::critical::{analyze as critical_path, render as render_critical_path, CriticalPath};

@@ -1,0 +1,293 @@
+//! Diagnostic data model: rule codes, severities, labelled spans.
+//!
+//! Modelled on rustc's diagnostics: each finding has a stable rule code
+//! (`M0xx`), a severity, a primary message, one or more labelled byte
+//! spans into the SCUFL source, and an optional `help` suggestion.
+//! Renderers live in [`crate::lint::render`].
+
+use moteur_xml::Span;
+use std::fmt;
+
+/// How serious a finding is.
+///
+/// Ordering is by increasing severity (`Note < Warning < Error`) so
+/// `max()` over a report yields the worst finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational — structural facts worth knowing (grouping
+    /// opportunities, run-time-bounded cycles). Never fails a lint run.
+    Note,
+    /// Suspicious but enactable; fails under `--deny-warnings`.
+    Warning,
+    /// The workflow cannot enact correctly; `moteur run` refuses it.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name used by both renderers (`error`, `warning`,
+    /// `note`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+
+    /// Inverse of [`Severity::name`] (used by the JSON round-trip).
+    pub fn from_name(name: &str) -> Option<Severity> {
+        match name {
+            "error" => Some(Severity::Error),
+            "warning" => Some(Severity::Warning),
+            "note" => Some(Severity::Note),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A labelled span: where in the source, and what to say about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Label {
+    pub span: Span,
+    pub message: String,
+    /// Primary labels carry the caret in the human renderer; secondary
+    /// labels are underlined context ("required input declared here").
+    pub primary: bool,
+}
+
+/// One finding of one rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule code (`M001`…), see the README rule table.
+    pub code: &'static str,
+    pub severity: Severity,
+    /// The headline, stated as a fact about the workflow.
+    pub message: String,
+    /// Labelled source locations, primary first by convention.
+    pub labels: Vec<Label>,
+    /// Optional actionable suggestion.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn new(code: &'static str, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            labels: Vec::new(),
+            help: None,
+        }
+    }
+
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Self::new(code, Severity::Error, message)
+    }
+
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Self::new(code, Severity::Warning, message)
+    }
+
+    pub fn note(code: &'static str, message: impl Into<String>) -> Self {
+        Self::new(code, Severity::Note, message)
+    }
+
+    /// Attach the primary label.
+    pub fn primary(mut self, span: Span, message: impl Into<String>) -> Self {
+        self.labels.push(Label {
+            span,
+            message: message.into(),
+            primary: true,
+        });
+        self
+    }
+
+    /// Attach a secondary label.
+    pub fn secondary(mut self, span: Span, message: impl Into<String>) -> Self {
+        self.labels.push(Label {
+            span,
+            message: message.into(),
+            primary: false,
+        });
+        self
+    }
+
+    /// Attach a help line.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// The primary label's span ([`Span::EMPTY`] when unlabelled).
+    pub fn primary_span(&self) -> Span {
+        self.labels
+            .iter()
+            .find(|l| l.primary)
+            .map_or(Span::EMPTY, |l| l.span)
+    }
+}
+
+/// The outcome of a lint run: every diagnostic, in report order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    pub fn new(diagnostics: Vec<Diagnostic>) -> Self {
+        LintReport { diagnostics }
+    }
+
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    pub fn extend(&mut self, ds: impl IntoIterator<Item = Diagnostic>) {
+        self.diagnostics.extend(ds);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    pub fn notes(&self) -> usize {
+        self.count(Severity::Note)
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.errors() > 0
+    }
+
+    /// Worst severity present, if any finding exists.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Would this report fail the run? Errors always do; warnings only
+    /// under `deny_warnings`.
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        self.has_errors() || (deny_warnings && self.warnings() > 0)
+    }
+
+    /// Iterate diagnostics with at least `min` severity.
+    pub fn at_least(&self, min: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.severity >= min)
+    }
+
+    /// Sort for presentation: by primary-span position, then severity
+    /// (worst first), then code — stable across rule execution order.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            let key = |d: &Diagnostic| {
+                (
+                    d.primary_span().start,
+                    std::cmp::Reverse(d.severity),
+                    d.code,
+                )
+            };
+            key(a).cmp(&key(b))
+        });
+    }
+
+    /// One-line summary: `2 errors, 1 warning, 3 notes`.
+    pub fn summary(&self) -> String {
+        let part = |n: usize, what: &str| -> Option<String> {
+            match n {
+                0 => None,
+                1 => Some(format!("1 {what}")),
+                n => Some(format!("{n} {what}s")),
+            }
+        };
+        let parts: Vec<String> = [
+            part(self.errors(), "error"),
+            part(self.warnings(), "warning"),
+            part(self.notes(), "note"),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        if parts.is_empty() {
+            "no findings".to_string()
+        } else {
+            parts.join(", ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_note_warning_error() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::from_name("warning"), Some(Severity::Warning));
+        assert_eq!(Severity::from_name("fatal"), None);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn builder_attaches_labels_and_help() {
+        let d = Diagnostic::error("M001", "dangling link")
+            .primary(Span::new(5, 9), "unknown processor")
+            .secondary(Span::new(1, 3), "declared here")
+            .with_help("check the processor name");
+        assert_eq!(d.primary_span(), Span::new(5, 9));
+        assert_eq!(d.labels.len(), 2);
+        assert!(!d.labels[1].primary);
+        assert_eq!(d.help.as_deref(), Some("check the processor name"));
+    }
+
+    #[test]
+    fn report_counts_and_fails() {
+        let mut r = LintReport::default();
+        assert!(!r.fails(true));
+        assert_eq!(r.summary(), "no findings");
+        r.push(Diagnostic::warning("M011", "w"));
+        r.push(Diagnostic::note("M030", "n"));
+        assert!(!r.fails(false));
+        assert!(r.fails(true));
+        assert_eq!(r.max_severity(), Some(Severity::Warning));
+        r.push(Diagnostic::error("M010", "e"));
+        assert!(r.fails(false));
+        assert_eq!(r.summary(), "1 error, 1 warning, 1 note");
+        assert_eq!(r.at_least(Severity::Warning).count(), 2);
+    }
+
+    #[test]
+    fn sort_orders_by_span_then_severity() {
+        let mut r = LintReport::default();
+        r.push(Diagnostic::note("M030", "late").primary(Span::new(50, 60), ""));
+        r.push(Diagnostic::warning("M011", "early-warn").primary(Span::new(10, 20), ""));
+        r.push(Diagnostic::error("M010", "early-err").primary(Span::new(10, 20), ""));
+        r.sort();
+        let codes: Vec<_> = r.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["M010", "M011", "M030"]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Descriptor/catalog cross-validation (M050–M051).
+//!
+//! M050 surfaces per-descriptor findings from
+//! [`moteur_wrapper::lint_descriptor`] on the processor that embeds the
+//! descriptor. M051 cross-checks the processor's *ports* against the
+//! descriptor's *slots*: a port the wrapper cannot map to a slot (or a
+//! file slot no port and no `<param>` ever feeds) produces a job the
+//! wrapper cannot plan.
+
+use crate::graph::{ProcId, Workflow};
+use crate::lint::diag::{Diagnostic, LintReport};
+use crate::service::ServiceBinding;
+use moteur_wrapper::lint_descriptor;
+
+pub fn check(wf: &Workflow, report: &mut LintReport) {
+    for (i, p) in wf.processors.iter().enumerate() {
+        let Some(ServiceBinding::Descriptor {
+            descriptor,
+            profile,
+        }) = &p.binding
+        else {
+            continue;
+        };
+        let id = ProcId(i);
+
+        // M050: descriptor-level findings, anchored on the processor.
+        for finding in lint_descriptor(descriptor) {
+            report.push(
+                Diagnostic::warning(
+                    "M050",
+                    format!("descriptor of `{}`: {}", p.name, finding.message),
+                )
+                .primary(wf.spans.processor(id), "descriptor embedded here"),
+            );
+        }
+
+        // M051, ports → slots: every processor port must name a slot or
+        // the wrapper cannot place the token on the command line.
+        for port in &p.inputs {
+            if descriptor.input(port).is_none() {
+                report.push(
+                    Diagnostic::error(
+                        "M051",
+                        format!(
+                            "input port `{port}` of `{}` matches no input slot of its \
+                             descriptor",
+                            p.name
+                        ),
+                    )
+                    .primary(wf.spans.processor(id), "port and descriptor disagree")
+                    .with_help(format!(
+                        "declared input slots: {}",
+                        slot_names(descriptor.inputs.iter().map(|s| s.name.as_str()))
+                    )),
+                );
+            }
+        }
+        for port in &p.outputs {
+            if descriptor.output(port).is_none() {
+                report.push(
+                    Diagnostic::error(
+                        "M051",
+                        format!(
+                            "output port `{port}` of `{}` matches no output slot of its \
+                             descriptor",
+                            p.name
+                        ),
+                    )
+                    .primary(wf.spans.processor(id), "port and descriptor disagree")
+                    .with_help(format!(
+                        "declared output slots: {}",
+                        slot_names(descriptor.outputs.iter().map(|s| s.name.as_str()))
+                    )),
+                );
+            }
+        }
+
+        // M051, slots → ports: a *file* slot that is neither a port nor
+        // fixed by a <param> never receives a value, so every job plan
+        // is missing an input file. Value parameters are exempt — they
+        // commonly default inside the executable.
+        for slot in descriptor.file_inputs() {
+            let has_port = p.inputs.contains(&slot.name);
+            let fixed = profile.fixed_params.iter().any(|(s, _)| *s == slot.name);
+            if !has_port && !fixed {
+                report.push(
+                    Diagnostic::error(
+                        "M051",
+                        format!(
+                            "file slot `{}` of `{}` is neither an input port nor fixed \
+                             by a <param>",
+                            slot.name, p.name
+                        ),
+                    )
+                    .primary(wf.spans.processor(id), "slot never receives a file")
+                    .with_help(format!(
+                        "expose `{}` as an input port or fix it with \
+                         <param slot=\"{}\" value=\"...\"/>",
+                        slot.name, slot.name
+                    )),
+                );
+            }
+        }
+    }
+}
+
+fn slot_names<'a>(names: impl Iterator<Item = &'a str>) -> String {
+    let list: Vec<&str> = names.collect();
+    if list.is_empty() {
+        "(none)".to_string()
+    } else {
+        list.join(", ")
+    }
+}

@@ -206,7 +206,7 @@ impl MetricsRegistry {
             let mut o = JsonObject::new();
             for (k, h) in &self.histograms {
                 let bounds = array(h.bounds.iter().map(|b| super::json::num(*b)));
-                let counts = array(h.counts.iter().map(|c| c.to_string()));
+                let counts = array(h.counts.iter().map(std::string::ToString::to_string));
                 o = o.raw(
                     k,
                     &JsonObject::new()
@@ -241,6 +241,7 @@ struct JobTimes {
 }
 
 /// Folds the event stream into a shared [`MetricsRegistry`].
+#[derive(Debug)]
 pub struct MetricsSink {
     registry: Arc<Mutex<MetricsRegistry>>,
     times: HashMap<u64, JobTimes>,

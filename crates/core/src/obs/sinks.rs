@@ -96,6 +96,14 @@ pub struct JsonlSink {
     error: Option<std::io::Error>,
 }
 
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
 impl JsonlSink {
     pub fn new(writer: Box<dyn Write + Send>) -> Self {
         JsonlSink {
@@ -156,7 +164,7 @@ mod tests {
         let kept: Vec<u64> = buffer
             .snapshot()
             .iter()
-            .filter_map(|e| e.invocation())
+            .filter_map(super::super::TraceEvent::invocation)
             .collect();
         assert_eq!(kept, vec![2, 3, 4]);
         assert_eq!(buffer.dropped(), 2);

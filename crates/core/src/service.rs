@@ -109,8 +109,7 @@ impl ServiceProfile {
         self.output_bytes
             .iter()
             .find(|(s, _)| s == slot)
-            .map(|(_, b)| *b)
-            .unwrap_or(64 * 1024)
+            .map_or(64 * 1024, |(_, b)| *b)
     }
 
     pub fn fixed_param(&self, slot: &str) -> Option<&str> {

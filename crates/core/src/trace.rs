@@ -42,10 +42,7 @@ pub struct WorkflowResult {
 impl WorkflowResult {
     /// Tokens a named sink received.
     pub fn sink(&self, name: &str) -> &[Token] {
-        self.sink_outputs
-            .get(name)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.sink_outputs.get(name).map_or(&[], Vec::as_slice)
     }
 
     /// Invocation records of one processor, sorted by data index.

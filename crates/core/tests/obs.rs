@@ -113,7 +113,7 @@ fn every_submitted_job_reaches_exactly_one_terminal_event() {
     let submitted: Vec<u64> = events
         .iter()
         .filter(|e| e.kind() == "job_submitted")
-        .filter_map(|e| e.invocation())
+        .filter_map(moteur::TraceEvent::invocation)
         .collect();
     assert_eq!(
         submitted.len(),
@@ -145,8 +145,10 @@ fn every_submitted_job_reaches_exactly_one_terminal_event() {
 #[test]
 fn timestamps_are_causally_ordered_per_invocation() {
     let (events, _) = captured(5);
-    let invocations: std::collections::BTreeSet<u64> =
-        events.iter().filter_map(|e| e.invocation()).collect();
+    let invocations: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter_map(moteur::TraceEvent::invocation)
+        .collect();
     assert!(!invocations.is_empty());
     for inv in invocations {
         let mine: Vec<&TraceEvent> = events
@@ -162,7 +164,7 @@ fn timestamps_are_causally_ordered_per_invocation() {
             );
         }
         assert_eq!(mine.first().map(|e| e.kind()), Some("job_submitted"));
-        assert!(mine.last().map(|e| e.is_terminal()).unwrap_or(false));
+        assert!(mine.last().is_some_and(|e| e.is_terminal()));
     }
 }
 

@@ -79,6 +79,16 @@ pub struct GridSim {
     observer: Option<SimObserver>,
 }
 
+impl std::fmt::Debug for GridSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GridSim")
+            .field("clock", &self.clock)
+            .field("jobs", &self.jobs.len())
+            .field("ces", &self.ces.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl GridSim {
     pub fn new(config: GridConfig, seed: u64) -> Self {
         let mut rng = Rng::new(seed);

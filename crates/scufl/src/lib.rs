@@ -48,7 +48,7 @@ pub mod inputdata;
 pub mod workflow;
 
 pub use inputdata::{parse_input_data, write_input_data};
-pub use workflow::{parse_workflow, write_workflow};
+pub use workflow::{lint_source, parse_workflow, parse_workflow_lenient, write_workflow};
 
 /// Error type shared by the two languages.
 #[derive(Debug, Clone, PartialEq, Eq)]

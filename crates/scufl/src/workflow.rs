@@ -21,6 +21,7 @@
 //! child (`lognormal`, `uniform`, `exponential`, `constant`).
 
 use crate::ScuflError;
+use moteur::lint::{Diagnostic, Severity};
 use moteur::{
     CostModel, IterationStrategy, ProcessorKind, ServiceBinding, ServiceProfile, Workflow,
 };
@@ -28,8 +29,26 @@ use moteur_gridsim::Distribution;
 use moteur_wrapper::ExecutableDescriptor;
 use moteur_xml::Element;
 
-/// Parse a workflow document. The result is validated.
+/// Parse a workflow document strictly: the first parse-stage diagnostic
+/// becomes the error, and the result is validated.
 pub fn parse_workflow(text: &str) -> Result<Workflow, ScuflError> {
+    let (wf, diags) = parse_workflow_lenient(text)?;
+    if let Some(d) = diags.iter().find(|d| d.severity == Severity::Error) {
+        return Err(ScuflError::new(d.message.clone()));
+    }
+    wf.validate()?;
+    Ok(wf)
+}
+
+/// Parse a workflow document leniently: constructs that fail to parse
+/// are skipped and reported as `M0xx` [`Diagnostic`]s (codes M060–M064,
+/// plus M001 for unresolved link/coordination names) carrying byte
+/// spans into `text`. `Err` is reserved for *fatal* conditions — XML
+/// that does not parse at all, or a root element other than `<scufl>`.
+///
+/// The returned workflow is **not** validated; `moteur lint` runs the
+/// graph-stage rules on it and merges both diagnostic streams.
+pub fn parse_workflow_lenient(text: &str) -> Result<(Workflow, Vec<Diagnostic>), ScuflError> {
     let root = moteur_xml::parse(text)?;
     if root.name != "scufl" {
         return Err(ScuflError::new(format!(
@@ -37,74 +56,160 @@ pub fn parse_workflow(text: &str) -> Result<Workflow, ScuflError> {
             root.name
         )));
     }
+    Ok(build_workflow(&root))
+}
+
+/// Lenient parse for `moteur lint`: fatal conditions become a single
+/// `M000` diagnostic (with the XML error's position when available)
+/// instead of an `Err`, so the linter always has something to render.
+pub fn lint_source(text: &str) -> (Option<Workflow>, Vec<Diagnostic>) {
+    match moteur_xml::parse(text) {
+        Err(e) => {
+            let d = Diagnostic::error("M000", e.message())
+                .primary(e.span(), "XML does not parse beyond this point")
+                .with_help("fix the document's well-formedness before linting workflow rules");
+            (None, vec![d])
+        }
+        Ok(root) if root.name != "scufl" => {
+            let d = Diagnostic::error("M000", format!("expected <scufl>, found <{}>", root.name))
+                .primary(root.span, "root element declared here");
+            (None, vec![d])
+        }
+        Ok(root) => {
+            let (wf, diags) = build_workflow(&root);
+            (Some(wf), diags)
+        }
+    }
+}
+
+fn build_workflow(root: &Element) -> (Workflow, Vec<Diagnostic>) {
+    let mut diags = Vec::new();
     let mut wf = Workflow::new(root.attr("name").unwrap_or("workflow"));
+    wf.spans.workflow = root.span;
     for el in root.elements() {
         match el.name.as_str() {
             "source" => {
-                wf.add_source(required(el, "name")?);
+                if let Some(name) = required(el, "name", &mut diags) {
+                    wf.add_source(&name);
+                    wf.spans.processors.push(el.span);
+                }
             }
             "sink" => {
-                wf.add_sink(required(el, "name")?);
+                if let Some(name) = required(el, "name", &mut diags) {
+                    wf.add_sink(&name);
+                    wf.spans.processors.push(el.span);
+                }
             }
-            "processor" => {
-                parse_processor(&mut wf, el)?;
-            }
+            "processor" => parse_processor(&mut wf, el, &mut diags),
             "link" | "coordination" => {} // second pass
-            other => return Err(ScuflError::new(format!("unknown element <{other}>"))),
+            other => diags.push(
+                Diagnostic::error("M060", format!("unknown element <{other}>"))
+                    .primary(el.span, "not a scufl element")
+                    .with_help("expected <source>, <sink>, <processor>, <link> or <coordination>"),
+            ),
         }
     }
     for el in root.children_named("link") {
-        let (fp, fport) = endpoint(el, "from")?;
-        let (tp, tport) = endpoint(el, "to")?;
-        let from = wf
-            .find(&fp)
-            .ok_or_else(|| ScuflError::new(format!("link from unknown processor `{fp}`")))?;
-        let to = wf
-            .find(&tp)
-            .ok_or_else(|| ScuflError::new(format!("link to unknown processor `{tp}`")))?;
-        wf.connect(from, &fport, to, &tport)?;
+        let Some((fp, fport)) = endpoint(el, "from", &mut diags) else {
+            continue;
+        };
+        let Some((tp, tport)) = endpoint(el, "to", &mut diags) else {
+            continue;
+        };
+        let Some(from) = resolve(&wf, &fp, el, "link from unknown processor", &mut diags) else {
+            continue;
+        };
+        let Some(to) = resolve(&wf, &tp, el, "link to unknown processor", &mut diags) else {
+            continue;
+        };
+        match wf.connect(from, &fport, to, &tport) {
+            Ok(()) => wf.spans.links.push(el.span),
+            Err(e) => diags.push(
+                Diagnostic::error("M001", e.message().to_string())
+                    .primary(el.span, "link declared here"),
+            ),
+        }
     }
     for el in root.children_named("coordination") {
-        let before = required(el, "from")?;
-        let after = required(el, "to")?;
-        let b = wf
-            .find(&before)
-            .ok_or_else(|| ScuflError::new(format!("coordination from unknown `{before}`")))?;
-        let a = wf
-            .find(&after)
-            .ok_or_else(|| ScuflError::new(format!("coordination to unknown `{after}`")))?;
+        let Some(before) = required(el, "from", &mut diags) else {
+            continue;
+        };
+        let Some(after) = required(el, "to", &mut diags) else {
+            continue;
+        };
+        let Some(b) = resolve(&wf, &before, el, "coordination from unknown", &mut diags) else {
+            continue;
+        };
+        let Some(a) = resolve(&wf, &after, el, "coordination to unknown", &mut diags) else {
+            continue;
+        };
         wf.add_control(b, a);
+        wf.spans.control.push(el.span);
     }
-    wf.validate()?;
-    Ok(wf)
+    (wf, diags)
 }
 
-fn parse_processor(wf: &mut Workflow, el: &Element) -> Result<(), ScuflError> {
-    let name = required(el, "name")?;
-    let exe = el
-        .child("executable")
-        .ok_or_else(|| ScuflError::new(format!("processor `{name}` needs an <executable>")))?;
-    let descriptor = ExecutableDescriptor::from_xml(exe)?;
+fn parse_processor(wf: &mut Workflow, el: &Element, diags: &mut Vec<Diagnostic>) {
+    let Some(name) = required(el, "name", diags) else {
+        return;
+    };
+    let Some(exe) = el.child("executable") else {
+        diags.push(
+            Diagnostic::error("M064", format!("processor `{name}` needs an <executable>"))
+                .primary(el.span, "no descriptor in this processor")
+                .with_help("embed a Fig. 8 <executable> descriptor"),
+        );
+        return;
+    };
+    let descriptor = match ExecutableDescriptor::from_xml(exe) {
+        Ok(d) => d,
+        Err(e) => {
+            diags.push(
+                Diagnostic::error("M064", e.to_string())
+                    .primary(exe.span_or(el.span), "descriptor declared here"),
+            );
+            return;
+        }
+    };
 
     let mut profile = ServiceProfile::new(0.0);
     if let Some(cost_el) = el.child("cost") {
-        profile = profile.with_cost(parse_cost(cost_el)?);
+        // A bad <cost> falls back to zero so the processor still
+        // exists for downstream rules; strict parsing stops here.
+        profile = profile.with_cost(parse_cost(cost_el, diags).unwrap_or(CostModel::Fixed(0.0)));
     } else {
-        let compute: f64 = el
-            .attr("compute")
-            .unwrap_or("0")
-            .parse()
-            .map_err(|_| ScuflError::new(format!("bad compute value on `{name}`")))?;
-        profile = profile.with_cost(CostModel::Fixed(compute));
+        match el.attr("compute").unwrap_or("0").parse::<f64>() {
+            Ok(compute) => profile = profile.with_cost(CostModel::Fixed(compute)),
+            Err(_) => diags.push(
+                Diagnostic::error("M062", format!("bad compute value on `{name}`"))
+                    .primary(el.attr_span("compute").unwrap_or(el.span), "not a number"),
+            ),
+        }
     }
+    let mut param_spans = Vec::new();
     for p in el.children_named("param") {
-        profile = profile.with_fixed_param(required(p, "slot")?, required(p, "value")?);
+        let (Some(slot), Some(value)) = (required(p, "slot", diags), required(p, "value", diags))
+        else {
+            continue;
+        };
+        param_spans.push((slot.clone(), p.span));
+        profile = profile.with_fixed_param(slot, value);
     }
+    let mut outputsize_spans = Vec::new();
     for o in el.children_named("outputsize") {
-        let bytes: u64 = required(o, "bytes")?
-            .parse()
-            .map_err(|_| ScuflError::new("bad outputsize bytes"))?;
-        profile = profile.with_output_bytes(required(o, "slot")?, bytes);
+        let (Some(slot), Some(bytes)) = (required(o, "slot", diags), required(o, "bytes", diags))
+        else {
+            continue;
+        };
+        let Ok(bytes) = bytes.parse::<u64>() else {
+            diags.push(
+                Diagnostic::error("M062", "bad outputsize bytes")
+                    .primary(o.attr_span("bytes").unwrap_or(o.span), "not an integer"),
+            );
+            continue;
+        };
+        outputsize_spans.push((slot.clone(), o.span));
+        profile = profile.with_output_bytes(slot, bytes);
     }
 
     // Ports: descriptor slots minus fixed params.
@@ -129,22 +234,43 @@ fn parse_processor(wf: &mut Workflow, el: &Element) -> Result<(), ScuflError> {
         &output_refs,
         ServiceBinding::descriptor(descriptor, profile),
     );
+    wf.spans.processors.push(el.span);
+    for (slot, span) in param_spans {
+        wf.spans.params.push((id, slot, span));
+    }
+    for (slot, span) in outputsize_spans {
+        wf.spans.outputsizes.push((id, slot, span));
+    }
     match el.attr("iteration").unwrap_or("dot") {
         "dot" => wf.set_iteration(id, IterationStrategy::Dot),
         "cross" => wf.set_iteration(id, IterationStrategy::Cross),
-        other => return Err(ScuflError::new(format!("unknown iteration `{other}`"))),
+        other => diags.push(
+            Diagnostic::error("M062", format!("unknown iteration `{other}`"))
+                .primary(
+                    el.attr_span("iteration").unwrap_or(el.span),
+                    "not an iteration strategy",
+                )
+                .with_help("use `dot` or `cross` (paper Fig. 3)"),
+        ),
     }
     if el.attr("sync") == Some("true") {
         wf.set_synchronization(id, true);
     }
-    Ok(())
 }
 
-fn parse_cost(el: &Element) -> Result<CostModel, ScuflError> {
-    let get = |a: &str| -> Result<f64, ScuflError> {
-        required(el, a)?
-            .parse()
-            .map_err(|_| ScuflError::new(format!("bad <cost> attribute `{a}`")))
+fn parse_cost(el: &Element, diags: &mut Vec<Diagnostic>) -> Option<CostModel> {
+    let mut get = |a: &str| -> Option<f64> {
+        let v = required(el, a, diags)?;
+        match v.parse() {
+            Ok(v) => Some(v),
+            Err(_) => {
+                diags.push(
+                    Diagnostic::error("M062", format!("bad <cost> attribute `{a}`"))
+                        .primary(el.attr_span(a).unwrap_or(el.span), "not a number"),
+                );
+                None
+            }
+        }
     };
     let dist = match el.attr("type") {
         Some("constant") => Distribution::Constant(get("value")?),
@@ -157,23 +283,63 @@ fn parse_cost(el: &Element) -> Result<CostModel, ScuflError> {
             median: get("median")?,
             sigma: get("sigma")?,
         },
-        other => return Err(ScuflError::new(format!("unknown cost type {other:?}"))),
+        other => {
+            diags.push(
+                Diagnostic::error("M062", format!("unknown cost type {other:?}"))
+                    .primary(el.span, "declared here")
+                    .with_help("use constant, uniform, exponential or lognormal"),
+            );
+            return None;
+        }
     };
-    Ok(CostModel::Stochastic(dist))
+    Some(CostModel::Stochastic(dist))
 }
 
-fn endpoint(el: &Element, attr: &str) -> Result<(String, String), ScuflError> {
-    let v = required(el, attr)?;
-    let (proc, port) = v
-        .split_once(':')
-        .ok_or_else(|| ScuflError::new(format!("endpoint `{v}` must be `processor:port`")))?;
-    Ok((proc.to_string(), port.to_string()))
+fn endpoint(el: &Element, attr: &str, diags: &mut Vec<Diagnostic>) -> Option<(String, String)> {
+    let v = required(el, attr, diags)?;
+    match v.split_once(':') {
+        Some((proc, port)) => Some((proc.to_string(), port.to_string())),
+        None => {
+            diags.push(
+                Diagnostic::error("M063", format!("endpoint `{v}` must be `processor:port`"))
+                    .primary(el.attr_span(attr).unwrap_or(el.span), "malformed endpoint"),
+            );
+            None
+        }
+    }
 }
 
-fn required(el: &Element, attr: &str) -> Result<String, ScuflError> {
-    el.attr(attr)
-        .map(str::to_string)
-        .ok_or_else(|| ScuflError::new(format!("<{}> requires attribute `{attr}`", el.name)))
+fn resolve(
+    wf: &Workflow,
+    name: &str,
+    el: &Element,
+    what: &str,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<moteur::ProcId> {
+    match wf.find(name) {
+        Some(id) => Some(id),
+        None => {
+            diags.push(
+                Diagnostic::error("M001", format!("{what} `{name}`"))
+                    .primary(el.span, "declared here")
+                    .with_help("every endpoint must name a declared source, sink or processor"),
+            );
+            None
+        }
+    }
+}
+
+fn required(el: &Element, attr: &str, diags: &mut Vec<Diagnostic>) -> Option<String> {
+    match el.attr(attr) {
+        Some(v) => Some(v.to_string()),
+        None => {
+            diags.push(
+                Diagnostic::error("M061", format!("<{}> requires attribute `{attr}`", el.name))
+                    .primary(el.span, "declared here"),
+            );
+            None
+        }
+    }
 }
 
 /// Serialise a workflow back to the Scufl dialect. Only descriptor
@@ -424,6 +590,58 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("not connected"));
+    }
+
+    #[test]
+    fn lenient_parse_collects_diagnostics_instead_of_stopping() {
+        let text = DEMO
+            .replace(
+                "<sink name=\"results\"/>",
+                "<sink name=\"results\"/><mystery/>",
+            )
+            .replace("images:out", "nope:out");
+        let (wf, diags) = parse_workflow_lenient(&text).unwrap();
+        // Both problems reported, and the rest of the document parsed.
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["M060", "M001"]);
+        assert_eq!(wf.processors.len(), 3);
+        assert_eq!(wf.links.len(), 1, "the bad link was skipped");
+        // Spans resolve to the offending constructs in the source.
+        let m060 = &text[diags[0].primary_span().start..diags[0].primary_span().end];
+        assert_eq!(m060, "<mystery/>");
+        let m001 = &text[diags[1].primary_span().start..diags[1].primary_span().end];
+        assert!(m001.starts_with("<link") && m001.contains("nope:out"));
+    }
+
+    #[test]
+    fn lenient_parse_populates_source_spans() {
+        let (wf, diags) = parse_workflow_lenient(DEMO).unwrap();
+        assert!(diags.is_empty());
+        assert_eq!(wf.spans.processors.len(), wf.processors.len());
+        let crest = wf.find("crestLines").unwrap();
+        let pspan = wf.spans.processor(crest);
+        assert!(DEMO[pspan.start..pspan.end].starts_with("<processor name=\"crestLines\""));
+        assert_eq!(wf.spans.links.len(), wf.links.len());
+        assert!(DEMO[wf.spans.link(0).start..wf.spans.link(0).end].starts_with("<link"));
+        let param = wf.spans.param(crest, "scale");
+        assert!(DEMO[param.start..param.end].starts_with("<param slot=\"scale\""));
+        let osize = wf.spans.outputsize(crest, "crest");
+        assert!(DEMO[osize.start..osize.end].starts_with("<outputsize"));
+    }
+
+    #[test]
+    fn lint_source_reports_fatal_conditions_as_m000() {
+        let (wf, diags) = lint_source("<scufl><oops</scufl>");
+        assert!(wf.is_none());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "M000");
+        let (wf, diags) = lint_source("<notscufl/>");
+        assert!(wf.is_none());
+        assert_eq!(diags[0].code, "M000");
+        assert!(diags[0].message.contains("expected <scufl>"));
+        let (wf, diags) = lint_source(DEMO);
+        assert!(wf.is_some());
+        assert!(diags.is_empty());
     }
 
     #[test]

@@ -118,8 +118,7 @@ impl ExecutableDescriptor {
         let value = exe_el
             .child("value")
             .and_then(|v| v.attr("value"))
-            .map(str::to_string)
-            .unwrap_or_else(|| name.clone());
+            .map_or_else(|| name.clone(), str::to_string);
         let executable = FileItem {
             name,
             access,
@@ -157,8 +156,7 @@ impl ExecutableDescriptor {
             let value = el
                 .child("value")
                 .and_then(|v| v.attr("value"))
-                .map(str::to_string)
-                .unwrap_or_else(|| name.clone());
+                .map_or_else(|| name.clone(), str::to_string);
             sandboxes.push(FileItem {
                 name,
                 access,

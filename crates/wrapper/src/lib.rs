@@ -42,6 +42,7 @@ pub mod descriptor;
 pub mod error;
 pub mod invocation;
 pub mod jdl;
+pub mod lint;
 
 pub use catalog::Catalog;
 pub use compose::{compose_group, GroupMember};
@@ -53,3 +54,4 @@ pub use invocation::{
     command_line, plan_single, Binding, BoundOutput, BoundValue, JobPlan, TransferFile,
 };
 pub use jdl::{to_jdl, JdlOptions};
+pub use lint::{lint_descriptor, DescriptorFinding};

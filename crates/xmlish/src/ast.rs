@@ -1,5 +1,13 @@
 //! Document tree: elements, attributes and text nodes, plus the query
 //! helpers the descriptor/workflow loaders are built on.
+//!
+//! Parsed elements carry byte [`Span`]s pointing back into the source
+//! text (the whole element, and each attribute) so diagnostics can
+//! highlight the offending construct. Builder-constructed elements use
+//! [`Span::EMPTY`]; spans are ignored by equality so round-trip tests
+//! compare structure, not provenance.
+
+use crate::error::Span;
 
 /// A node in an element's child list.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,12 +38,32 @@ impl Node {
 ///
 /// Attributes keep their document order (the dialects treat repeated
 /// names as an error at load time, not at parse time).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Element {
     pub name: String,
     pub attributes: Vec<(String, String)>,
     pub children: Vec<Node>,
+    /// Byte range of the whole element in the source text (from `<` to
+    /// the end of `/>` or the close tag). [`Span::EMPTY`] when built
+    /// programmatically.
+    pub span: Span,
+    /// Byte range of each attribute (`name="value"`), parallel to
+    /// `attributes`. May be shorter than `attributes` for elements
+    /// extended through builders after parsing.
+    pub attr_spans: Vec<Span>,
 }
+
+// Equality ignores spans: a parsed element equals the structurally
+// identical builder-constructed one (round-trip tests rely on this).
+impl PartialEq for Element {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.attributes == other.attributes
+            && self.children == other.children
+    }
+}
+
+impl Eq for Element {}
 
 impl Element {
     /// New empty element.
@@ -44,12 +72,15 @@ impl Element {
             name: name.into(),
             attributes: Vec::new(),
             children: Vec::new(),
+            span: Span::EMPTY,
+            attr_spans: Vec::new(),
         }
     }
 
     /// Builder: add an attribute.
     pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
         self.attributes.push((name.into(), value.into()));
+        self.attr_spans.push(Span::EMPTY);
         self
     }
 
@@ -71,6 +102,24 @@ impl Element {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Source span of the attribute `name` (the full `name="value"`
+    /// range). [`Span::EMPTY`] for builder-added attributes; `None`
+    /// when the attribute does not exist.
+    pub fn attr_span(&self, name: &str) -> Option<Span> {
+        let idx = self.attributes.iter().position(|(n, _)| n == name)?;
+        Some(self.attr_spans.get(idx).copied().unwrap_or(Span::EMPTY))
+    }
+
+    /// This element's span, falling back to `parent` when the element
+    /// was built programmatically (useful for nested lookups).
+    pub fn span_or(&self, parent: Span) -> Span {
+        if self.span.is_empty() {
+            parent
+        } else {
+            self.span
+        }
     }
 
     /// First child element named `name`.

@@ -14,7 +14,10 @@
 //! - comments (`<!-- -->`), XML declarations (`<?xml ...?>`) and
 //!   processing instructions (skipped),
 //! - CDATA sections,
-//! - a position-tracking lexer producing errors with line/column info.
+//! - a position-tracking lexer producing typed errors ([`XmlErrorKind`])
+//!   with line/column *and* byte-offset info,
+//! - byte [`Span`]s on every parsed element and attribute, so
+//!   downstream diagnostics can point back into the source text.
 //!
 //! Not supported (not needed by the dialects): DTDs, namespaces beyond
 //! treating `ns:name` as an opaque name, and entity definitions.
@@ -41,6 +44,6 @@ mod parse;
 mod write;
 
 pub use ast::{Element, Node};
-pub use error::{Position, XmlError};
+pub use error::{Position, Span, XmlError, XmlErrorKind};
 pub use parse::parse;
 pub use write::{escape_attr, escape_text};

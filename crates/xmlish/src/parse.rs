@@ -1,7 +1,12 @@
 //! Recursive-descent parser over a position-tracking cursor.
+//!
+//! Every parse failure is a typed [`XmlErrorKind`] carrying the byte
+//! offset where it was detected, and every parsed element/attribute is
+//! annotated with its byte [`Span`] — the raw material for the lint
+//! engine's source-anchored diagnostics.
 
 use crate::ast::{Element, Node};
-use crate::error::{Position, XmlError};
+use crate::error::{Position, Span, XmlError, XmlErrorKind};
 
 /// Parse a complete document and return its root element.
 ///
@@ -13,7 +18,7 @@ pub fn parse(input: &str) -> Result<Element, XmlError> {
     let root = cur.parse_element()?;
     cur.skip_misc();
     if !cur.at_end() {
-        return Err(cur.error("content after the root element"));
+        return Err(cur.error(XmlErrorKind::ContentAfterRoot));
     }
     Ok(root)
 }
@@ -40,11 +45,12 @@ impl<'a> Cursor<'a> {
         Position {
             line: self.line,
             column: self.column,
+            offset: self.pos,
         }
     }
 
-    fn error(&self, msg: impl Into<String>) -> XmlError {
-        XmlError::new(self.position(), msg)
+    fn error(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError::new(self.position(), kind)
     }
 
     fn at_end(&self) -> bool {
@@ -90,7 +96,7 @@ impl<'a> Cursor<'a> {
         if self.eat(s) {
             Ok(())
         } else {
-            Err(self.error(format!("expected `{s}`")))
+            Err(self.error(XmlErrorKind::Expected { what: s.into() }))
         }
     }
 
@@ -136,7 +142,7 @@ impl<'a> Cursor<'a> {
             Some(c) if is_name_start(c) => {
                 self.bump();
             }
-            _ => return Err(self.error("expected a name")),
+            _ => return Err(self.error(XmlErrorKind::ExpectedName)),
         }
         while matches!(self.peek(), Some(c) if is_name_char(c)) {
             self.bump();
@@ -145,6 +151,7 @@ impl<'a> Cursor<'a> {
     }
 
     fn parse_element(&mut self) -> Result<Element, XmlError> {
+        let open_start = self.pos;
         self.expect("<")?;
         let name = self.parse_name()?;
         let mut element = Element::new(name);
@@ -164,38 +171,42 @@ impl<'a> Cursor<'a> {
                     if element.attr(&attr).is_some() {
                         return Err(XmlError::new(
                             attr_pos,
-                            format!("duplicate attribute `{attr}`"),
+                            XmlErrorKind::DuplicateAttribute { name: attr },
                         ));
                     }
                     element.attributes.push((attr, value));
+                    element
+                        .attr_spans
+                        .push(Span::new(attr_pos.offset, self.pos));
                 }
-                _ => return Err(self.error("expected attribute, `>` or `/>`")),
+                _ => return Err(self.error(XmlErrorKind::ExpectedAttribute)),
             }
         }
 
         if self.eat("/>") {
+            element.span = Span::new(open_start, self.pos);
             return Ok(element);
         }
         self.expect(">")?;
         self.parse_content(&mut element)?;
+        element.span = Span::new(open_start, self.pos);
         Ok(element)
     }
 
     fn parse_attr_value(&mut self) -> Result<String, XmlError> {
-        let quote = match self.peek() {
-            Some(q @ ('"' | '\'')) => q,
-            _ => return Err(self.error("expected a quoted attribute value")),
+        let Some(quote @ ('"' | '\'')) = self.peek() else {
+            return Err(self.error(XmlErrorKind::ExpectedAttrValue));
         };
         self.bump();
         let mut value = String::new();
         loop {
             match self.peek() {
-                None => return Err(self.error("unterminated attribute value")),
+                None => return Err(self.error(XmlErrorKind::UnterminatedAttrValue)),
                 Some(c) if c == quote => {
                     self.bump();
                     return Ok(value);
                 }
-                Some('<') => return Err(self.error("`<` not allowed in attribute value")),
+                Some('<') => return Err(self.error(XmlErrorKind::AngleInAttrValue)),
                 Some('&') => value.push(self.parse_reference()?),
                 Some(c) => {
                     value.push(c);
@@ -210,17 +221,23 @@ impl<'a> Cursor<'a> {
         let mut text = String::new();
         loop {
             if self.at_end() {
-                return Err(self.error(format!("unclosed element `{}`", element.name)));
+                return Err(self.error(XmlErrorKind::UnclosedElement {
+                    name: element.name.clone(),
+                }));
             }
             if self.starts_with("</") {
                 flush_text(&mut text, element);
                 self.expect("</")?;
+                let close_pos = self.position();
                 let close = self.parse_name()?;
                 if close != element.name {
-                    return Err(self.error(format!(
-                        "mismatched end tag: expected `</{}>`, found `</{close}>`",
-                        element.name
-                    )));
+                    return Err(XmlError::new(
+                        close_pos,
+                        XmlErrorKind::MismatchedEndTag {
+                            expected: element.name.clone(),
+                            found: close,
+                        },
+                    ));
                 }
                 self.skip_whitespace();
                 self.expect(">")?;
@@ -229,7 +246,9 @@ impl<'a> Cursor<'a> {
             if self.starts_with("<!--") {
                 self.expect("<!--")?;
                 if self.skip_until("-->").is_err() {
-                    return Err(self.error("unterminated comment"));
+                    return Err(self.error(XmlErrorKind::Unterminated {
+                        construct: "comment",
+                    }));
                 }
                 continue;
             }
@@ -238,7 +257,9 @@ impl<'a> Cursor<'a> {
                 let start = self.pos;
                 loop {
                     if self.at_end() {
-                        return Err(self.error("unterminated CDATA section"));
+                        return Err(self.error(XmlErrorKind::Unterminated {
+                            construct: "CDATA section",
+                        }));
                     }
                     if self.starts_with("]]>") {
                         text.push_str(&self.input[start..self.pos]);
@@ -252,7 +273,9 @@ impl<'a> Cursor<'a> {
             if self.starts_with("<?") {
                 self.expect("<?")?;
                 if self.skip_until("?>").is_err() {
-                    return Err(self.error("unterminated processing instruction"));
+                    return Err(self.error(XmlErrorKind::Unterminated {
+                        construct: "processing instruction",
+                    }));
                 }
                 continue;
             }
@@ -283,7 +306,10 @@ impl<'a> Cursor<'a> {
         }
         let body = &self.input[start..self.pos];
         if !self.eat(";") {
-            return Err(XmlError::new(start_pos, "unterminated entity reference"));
+            return Err(XmlError::new(
+                start_pos,
+                XmlErrorKind::UnterminatedReference,
+            ));
         }
         match body {
             "lt" => Ok('<'),
@@ -292,21 +318,32 @@ impl<'a> Cursor<'a> {
             "apos" => Ok('\''),
             "quot" => Ok('"'),
             _ if body.starts_with("#x") || body.starts_with("#X") => {
-                let code = u32::from_str_radix(&body[2..], 16)
-                    .map_err(|_| XmlError::new(start_pos, "bad hex character reference"))?;
-                char::from_u32(code)
-                    .ok_or_else(|| XmlError::new(start_pos, "character reference out of range"))
+                let code = u32::from_str_radix(&body[2..], 16).map_err(|_| {
+                    XmlError::new(
+                        start_pos,
+                        XmlErrorKind::BadCharacterReference { body: body.into() },
+                    )
+                })?;
+                char::from_u32(code).ok_or(XmlError::new(
+                    start_pos,
+                    XmlErrorKind::CharacterOutOfRange { code },
+                ))
             }
             _ if body.starts_with('#') => {
-                let code = body[1..]
-                    .parse::<u32>()
-                    .map_err(|_| XmlError::new(start_pos, "bad character reference"))?;
-                char::from_u32(code)
-                    .ok_or_else(|| XmlError::new(start_pos, "character reference out of range"))
+                let code = body[1..].parse::<u32>().map_err(|_| {
+                    XmlError::new(
+                        start_pos,
+                        XmlErrorKind::BadCharacterReference { body: body.into() },
+                    )
+                })?;
+                char::from_u32(code).ok_or(XmlError::new(
+                    start_pos,
+                    XmlErrorKind::CharacterOutOfRange { code },
+                ))
             }
             other => Err(XmlError::new(
                 start_pos,
-                format!("unknown entity `&{other};`"),
+                XmlErrorKind::UnknownEntity { name: other.into() },
             )),
         }
     }
@@ -399,36 +436,71 @@ mod tests {
     #[test]
     fn rejects_mismatched_end_tag() {
         let err = parse("<a><b></a></b>").unwrap_err();
-        assert!(err.message.contains("mismatched end tag"), "{err}");
+        assert!(
+            matches!(
+                &err.kind,
+                XmlErrorKind::MismatchedEndTag { expected, found }
+                    if expected == "b" && found == "a"
+            ),
+            "{err}"
+        );
     }
 
     #[test]
     fn rejects_unclosed_element() {
-        assert!(parse("<a><b/>").is_err());
+        let err = parse("<a><b/>").unwrap_err();
+        assert!(
+            matches!(&err.kind, XmlErrorKind::UnclosedElement { name } if name == "a"),
+            "{err}"
+        );
+        assert_eq!(err.offset(), 7, "error points at end of input");
     }
 
     #[test]
     fn rejects_duplicate_attribute() {
         let err = parse(r#"<a x="1" x="2"/>"#).unwrap_err();
-        assert!(err.message.contains("duplicate attribute"), "{err}");
+        assert!(
+            matches!(&err.kind, XmlErrorKind::DuplicateAttribute { name } if name == "x"),
+            "{err}"
+        );
+        assert_eq!(err.offset(), 9, "error points at the second `x`");
     }
 
     #[test]
     fn rejects_trailing_garbage() {
-        assert!(parse("<a/><b/>").is_err());
-        assert!(parse("<a/>text").is_err());
+        assert_eq!(
+            parse("<a/><b/>").unwrap_err().kind,
+            XmlErrorKind::ContentAfterRoot
+        );
+        assert_eq!(
+            parse("<a/>text").unwrap_err().kind,
+            XmlErrorKind::ContentAfterRoot
+        );
     }
 
     #[test]
     fn rejects_unknown_entity() {
         let err = parse("<a>&nbsp;</a>").unwrap_err();
-        assert!(err.message.contains("unknown entity"), "{err}");
+        assert!(
+            matches!(&err.kind, XmlErrorKind::UnknownEntity { name } if name == "nbsp"),
+            "{err}"
+        );
+        assert_eq!(err.offset(), 3, "error points at the `&`");
     }
 
     #[test]
     fn rejects_bad_character_reference() {
-        assert!(parse("<a>&#xD800;</a>").is_err()); // surrogate
-        assert!(parse("<a>&#zz;</a>").is_err());
+        // Surrogate code point: numerically valid, not a scalar value.
+        let err = parse("<a>&#xD800;</a>").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            XmlErrorKind::CharacterOutOfRange { code: 0xD800 }
+        ));
+        let err = parse("<a>&#zz;</a>").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            XmlErrorKind::BadCharacterReference { .. }
+        ));
     }
 
     #[test]
@@ -436,6 +508,9 @@ mod tests {
         let err = parse("<a>\n  <b x=></b>\n</a>").unwrap_err();
         assert_eq!(err.position.line, 2);
         assert!(err.position.column > 1);
+        // Byte offset points inside line 2 (after the "<a>\n" prefix).
+        assert!(err.offset() > 4);
+        assert_eq!(&"<a>\n  <b x=></b>\n</a>"[err.offset()..=err.offset()], ">");
     }
 
     #[test]
@@ -447,13 +522,98 @@ mod tests {
 
     #[test]
     fn rejects_lt_in_attribute_value() {
-        assert!(parse(r#"<a v="<"/>"#).is_err());
+        assert_eq!(
+            parse(r#"<a v="<"/>"#).unwrap_err().kind,
+            XmlErrorKind::AngleInAttrValue
+        );
     }
 
     #[test]
     fn whitespace_allowed_in_end_tag_and_around_eq() {
         let e = parse("<a  x = \"1\" ></a >").unwrap();
         assert_eq!(e.attr("x"), Some("1"));
+    }
+
+    #[test]
+    fn element_spans_cover_the_source_text() {
+        let src = "<a>\n  <b x=\"1\"/>\n  <c>t</c>\n</a>";
+        let e = parse(src).unwrap();
+        assert_eq!(&src[e.span.start..e.span.end], src, "root spans everything");
+        let b = e.child("b").unwrap();
+        assert_eq!(&src[b.span.start..b.span.end], "<b x=\"1\"/>");
+        let c = e.child("c").unwrap();
+        assert_eq!(&src[c.span.start..c.span.end], "<c>t</c>");
+    }
+
+    #[test]
+    fn attribute_spans_cover_name_and_value() {
+        let src = r#"<a first="1" second='two'/>"#;
+        let e = parse(src).unwrap();
+        let s1 = e.attr_span("first").unwrap();
+        assert_eq!(&src[s1.start..s1.end], r#"first="1""#);
+        let s2 = e.attr_span("second").unwrap();
+        assert_eq!(&src[s2.start..s2.end], "second='two'");
+        assert_eq!(e.attr_span("missing"), None);
+    }
+
+    #[test]
+    fn builder_elements_have_empty_spans() {
+        let e = Element::new("a").with_attr("x", "1");
+        assert!(e.span.is_empty());
+        assert_eq!(e.attr_span("x"), Some(Span::EMPTY));
+    }
+
+    #[test]
+    fn spans_survive_nesting_depth() {
+        let src = "<w><p><q><r/></q></p></w>";
+        let e = parse(src).unwrap();
+        let r = e.path(&["p", "q", "r"]).unwrap();
+        assert_eq!(&src[r.span.start..r.span.end], "<r/>");
+        assert_eq!(r.span.line_col(src), (1, 10));
+    }
+
+    // Malformed-input regression battery: every failure class returns a
+    // typed error with a byte offset inside the input — never a panic.
+    #[test]
+    fn malformed_inputs_error_with_in_bounds_offsets() {
+        let cases: &[&str] = &[
+            "",
+            "   ",
+            "<",
+            "<a",
+            "<a ",
+            "<a x",
+            "<a x=",
+            "<a x=1/>",
+            "<a x=\"1/>",
+            "<a x='1/>",
+            "<a><b>",
+            "<a></b>",
+            "<a/><a/>",
+            "<a>&",
+            "<a>&amp</a>",
+            "<a>&#;</a>",
+            "<a>&#x;</a>",
+            "<a>&#x110000;</a>",
+            "<a><!-- never closed",
+            "<a><![CDATA[ never closed",
+            "<a><? never closed",
+            "<a v=\"<\"/>",
+            "<1bad/>",
+            "<a 1bad=\"x\"/>",
+            "<a></a  x>",
+            "<a x=\"1\" x=\"2\"/>",
+        ];
+        for case in cases {
+            let err = parse(case).unwrap_err();
+            assert!(
+                err.offset() <= case.len(),
+                "offset {} out of bounds for {case:?}",
+                err.offset()
+            );
+            // The rendered message and position agree with the kind.
+            assert!(err.to_string().contains("XML error at"), "{err}");
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //!            [--provenance out.xml] [--events out.jsonl]
 //!            [--chrome-trace trace.json] [--metrics metrics.json]
 //!            [--critical-path]
+//! moteur lint <workflow.xml> [--json] [--deny-warnings] [--predict]
 //! moteur validate <workflow.xml>
 //! moteur group <workflow.xml>          # print the grouped workflow
 //! moteur dot <workflow.xml>            # Graphviz export
@@ -18,29 +19,36 @@
 
 use moteur_repro::bench::{bronze_inputs, bronze_workflow_xml};
 use moteur_repro::gridsim::GridConfig;
+use moteur_repro::moteur::lint::{prediction_to_json, LintReport};
 use moteur_repro::moteur::{
     chrome_trace_with_metrics, critical_path, diagram, export_provenance, group_workflow,
-    render_critical_path, render_report, run_observed, to_dot, EnactorConfig, EventSink, JsonlSink,
-    MetricsSink, Obs, SimBackend,
+    lint_workflow, predict, render_critical_path, render_human, render_prediction, render_report,
+    report_to_json, run_observed, to_dot, EnactorConfig, EventSink, JsonlSink, MetricsSink, Obs,
+    SimBackend,
 };
-use moteur_repro::scufl::{parse_input_data, parse_workflow, write_input_data, write_workflow};
+use moteur_repro::scufl::{
+    lint_source, parse_input_data, parse_workflow, write_input_data, write_workflow,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("group") => cmd_group(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("example") => cmd_example(),
         _ => {
-            eprintln!("usage: moteur <run|validate|group|dot|example> ...");
+            eprintln!("usage: moteur <run|lint|validate|group|dot|example> ...");
             eprintln!("  run <workflow.xml> <inputs.xml> [--config nop|jg|sp|dp|sp+dp|sp+dp+jg]");
             eprintln!("      [--seed N] [--grid egee|ideal] [--batch G] [--report] [--diagram]");
             eprintln!("      [--provenance out.xml] [--events out.jsonl]");
             eprintln!("      [--chrome-trace trace.json] [--metrics metrics.json]");
-            eprintln!("      [--critical-path]");
+            eprintln!("      [--critical-path] [--no-verify]");
+            eprintln!("  lint <workflow.xml> [--json] [--deny-warnings] [--predict]");
+            eprintln!("      [--ndata N] [--overhead S]");
             eprintln!("  validate <workflow.xml>");
             eprintln!("  group <workflow.xml>");
             eprintln!("  dot <workflow.xml>");
@@ -60,6 +68,74 @@ fn load_workflow(path: &str) -> Result<moteur_repro::moteur::Workflow, String> {
     parse_workflow(&text).map_err(|e| e.to_string())
 }
 
+/// `moteur lint` — run every static rule over a workflow file and
+/// render the findings rustc-style (or as JSON). Exit code 0 when the
+/// report passes, 1 when it fails (errors, or warnings under
+/// `--deny-warnings`), 2 on usage errors.
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: moteur lint <workflow.xml> [--json] [--deny-warnings] [--predict]");
+        eprintln!(
+            "       [--ndata N] [--overhead S]   (prediction campaign size / per-job overhead)"
+        );
+        return ExitCode::from(2);
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    let want_predict = args.iter().any(|a| a == "--predict");
+    let n_data: usize = match flag_value(args, "--ndata").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(12),
+        Err(_) => return fail("--ndata needs a positive integer"),
+    };
+    let overhead: f64 = match flag_value(args, "--overhead").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(0.0),
+        Err(_) => return fail("--overhead needs a number (seconds)"),
+    };
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(format!("reading {path}: {e}")),
+    };
+    let (wf, parse_diags) = lint_source(&text);
+    let mut report = LintReport::new(parse_diags);
+    if let Some(wf) = &wf {
+        report.extend(lint_workflow(wf).diagnostics);
+    }
+    report.sort();
+
+    let prediction = match (want_predict, &wf) {
+        (true, Some(wf)) => match predict(wf, n_data, overhead) {
+            Ok(p) => Some(p),
+            Err(e) => return fail(format!("--predict: {}", e.message())),
+        },
+        (true, None) => return fail("--predict: workflow does not parse; fix the errors first"),
+        (false, _) => None,
+    };
+
+    if json {
+        let lint_json = report_to_json(&report);
+        match &prediction {
+            // One JSON document even when both halves are requested.
+            Some(p) => println!(
+                "{{\"lint\":{lint_json},\"prediction\":{}}}",
+                prediction_to_json(p)
+            ),
+            None => println!("{lint_json}"),
+        }
+    } else {
+        print!("{}", render_human(&report, path, Some(&text)));
+        if let Some(p) = &prediction {
+            println!();
+            print!("{}", render_prediction(p));
+        }
+    }
+    if report.fails(deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn cmd_validate(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         return fail("validate needs a workflow file");
@@ -74,8 +150,7 @@ fn cmd_validate(args: &[String]) -> ExitCode {
                 wf.sources().len(),
                 wf.sinks().len(),
                 wf.critical_path_services()
-                    .map(|n| n.to_string())
-                    .unwrap_or_else(|_| "n/a (cyclic)".into()),
+                    .map_or_else(|_| "n/a (cyclic)".into(), |n| n.to_string()),
             );
             ExitCode::SUCCESS
         }
@@ -187,6 +262,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if let Some(batch) = flag_value(args, "--batch").and_then(|v| v.parse().ok()) {
         config = config.with_batching(batch);
     }
+    if args.iter().any(|a| a == "--no-verify") {
+        config = config.without_preflight();
+    }
     let grid = match flag_value(args, "--grid").unwrap_or("egee") {
         "egee" => GridConfig::egee_2006(),
         "ideal" => GridConfig::ideal(),
@@ -223,6 +301,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut backend = SimBackend::with_obs(grid, seed, &obs);
     let result = match run_observed(&wf, &inputs, config, &mut backend, obs.clone()) {
         Ok(r) => r,
+        Err(e) if e.is_lint() => {
+            return fail(format!(
+                "{e}\n  run `moteur lint {wf_path}` for details, or `--no-verify` to enact anyway"
+            ))
+        }
         Err(e) => return fail(e),
     };
     if let Err(e) = obs.flush() {
