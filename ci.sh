@@ -22,3 +22,15 @@ cargo test --workspace --offline
 for wf in examples/workflows/*.xml; do
   cargo run --offline --quiet --bin moteur -- lint "$wf" --deny-warnings
 done
+
+# Perf observatory: sweep the six Table-1 configurations on the ideal
+# grid (deterministic, seconds of wall-clock) and gate the result
+# against the committed baseline. Fails on >10% makespan regression,
+# lost speed-up, or model-vs-observed drift beyond 5%. After an
+# intentional perf change, refresh the baseline with
+#   MOTEUR_BENCH_UPDATE_BASELINE=1 ./ci.sh
+# (or run `moteur-bench gate` directly) and commit the new
+# results/BENCH_baseline.json.
+cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
+  campaign --sweep ndata=1..6 --out-dir .
+cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- gate

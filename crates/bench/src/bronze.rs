@@ -169,6 +169,74 @@ pub fn bronze_workflow() -> Workflow {
     parse_workflow(&bronze_workflow_xml()).expect("the built-in bronze workflow is valid")
 }
 
+/// The Bronze-Standard *critical path* as a pure streaming pipeline:
+/// crestLines → crestMatch → PFMatchICP → PFRegister →
+/// MultiTransfoTest, one input stream, no side branches and no
+/// synchronization barrier.
+///
+/// The paper's closed forms (eq. 1–4) model exactly this chain — `n_W`
+/// services on the critical path — so on an ideal grid the enactor's
+/// observed makespan must match the model to within floating-point
+/// noise. That makes this workflow the reference load of the perf
+/// observatory's drift check: the full Fig. 9 DAG adds Yasmina/Baladin
+/// branch slack the model deliberately ignores, which would show up as
+/// spurious "drift".
+pub fn bronze_chain_workflow_xml() -> String {
+    let stage = |name: &str, compute: u32, exe: &str| {
+        format!(
+            r#"  <processor name="{name}" compute="{compute}">
+    <executable name="{exe}">
+      <access type="URL"><path value="http://colors.unice.fr"/></access>
+      <value value="{exe}"/>
+      <input name="in" option="-i"><access type="GFN"/></input>
+      <output name="out" option="-o"><access type="GFN"/></output>
+    </executable>
+    <outputsize slot="out" bytes="2048"/>
+  </processor>
+"#
+        )
+    };
+    let mut xml = String::from("<scufl name=\"bronze-chain\">\n  <source name=\"images\"/>\n");
+    for (name, compute, exe) in [
+        ("crestLines", 90, "CrestLines.pl"),
+        ("crestMatch", 35, "cmatch"),
+        ("PFMatchICP", 60, "PFMatchICP"),
+        ("PFRegister", 25, "PFRegister"),
+        ("MultiTransfoTest", 120, "MultiTransfoTest"),
+    ] {
+        xml.push_str(&stage(name, compute, exe));
+    }
+    xml.push_str(
+        r#"  <sink name="accuracy"/>
+  <link from="images:out" to="crestLines:in"/>
+  <link from="crestLines:out" to="crestMatch:in"/>
+  <link from="crestMatch:out" to="PFMatchICP:in"/>
+  <link from="PFMatchICP:out" to="PFRegister:in"/>
+  <link from="PFRegister:out" to="MultiTransfoTest:in"/>
+  <link from="MultiTransfoTest:out" to="accuracy:in"/>
+</scufl>"#,
+    );
+    xml
+}
+
+/// Parse the critical-path chain workflow.
+pub fn bronze_chain_workflow() -> Workflow {
+    parse_workflow(&bronze_chain_workflow_xml()).expect("the built-in chain workflow is valid")
+}
+
+/// Input stream for the chain workflow: `n_data` images.
+pub fn bronze_chain_inputs(n_data: usize) -> InputData {
+    InputData::new().set(
+        "images",
+        (0..n_data)
+            .map(|j| DataValue::File {
+                gfn: format!("gfn://lacassagne/pair{j:03}.hdr"),
+                bytes: IMAGE_BYTES,
+            })
+            .collect(),
+    )
+}
+
 /// Input data set for `n_pairs` image pairs (the paper runs 12, 66 and
 /// 126 pairs).
 pub fn bronze_inputs(n_pairs: usize) -> InputData {

@@ -1,0 +1,285 @@
+//! Bench regression gate: compare a fresh `BENCH_summary.json` against
+//! the committed baseline and fail when performance regressed.
+//!
+//! Three families of checks, all driven by the stable summary schema
+//! (see [`crate::sweep::SUMMARY_SCHEMA`]):
+//!
+//! - **makespan**: per configuration, `makespan_at_max` must not exceed
+//!   the baseline by more than the threshold fraction;
+//! - **speedup**: each named ratio must not fall below the baseline by
+//!   more than the threshold fraction (a lost speed-up means an
+//!   optimisation stopped working even if absolute times moved);
+//! - **drift**: the fresh summary's `drift_ok` flags must all hold —
+//!   the model and the enactor must still agree on the ideal grid.
+//!
+//! `ci.sh` wires this behind `moteur-bench gate`; the documented
+//! `MOTEUR_BENCH_UPDATE_BASELINE=1` override (handled by the binary,
+//! not here) rewrites the baseline instead of failing.
+
+use moteur::lint::JsonValue;
+
+/// One baseline-vs-current comparison.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    /// What was compared, e.g. `makespan/nop` or `speedup/nop_over_sp`.
+    pub what: String,
+    pub baseline: f64,
+    pub current: f64,
+    pub ok: bool,
+}
+
+/// The gate's verdict.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Allowed relative regression (e.g. `0.10` = 10 %).
+    pub threshold: f64,
+    pub checks: Vec<GateCheck>,
+}
+
+impl GateReport {
+    /// True when every check passed.
+    pub fn ok(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+
+    /// Failed checks only.
+    pub fn failures(&self) -> impl Iterator<Item = &GateCheck> {
+        self.checks.iter().filter(|c| !c.ok)
+    }
+
+    /// Human rendering, one line per check.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench gate (threshold {:.0}%): {}",
+            self.threshold * 100.0,
+            if self.ok() { "PASS" } else { "FAIL" }
+        );
+        for c in &self.checks {
+            let _ = writeln!(
+                out,
+                "  {:<28} baseline {:>12.2} current {:>12.2}  {}",
+                c.what,
+                c.baseline,
+                c.current,
+                if c.ok { "ok" } else { "REGRESSED" }
+            );
+        }
+        out
+    }
+}
+
+fn parse_summary(label: &str, json: &str) -> Result<JsonValue, String> {
+    let value = JsonValue::parse(json).map_err(|e| format!("{label}: {e}"))?;
+    match value.get("schema").and_then(JsonValue::as_str) {
+        Some(crate::sweep::SUMMARY_SCHEMA) => Ok(value),
+        Some(other) => Err(format!(
+            "{label}: schema `{other}`, expected `{}`",
+            crate::sweep::SUMMARY_SCHEMA
+        )),
+        None => Err(format!("{label}: missing schema tag")),
+    }
+}
+
+fn config_field(summary: &JsonValue, config: &str, field: &str) -> Option<f64> {
+    summary
+        .get("configs")?
+        .as_array()?
+        .iter()
+        .find(|c| c.get("config").and_then(JsonValue::as_str) == Some(config))?
+        .get(field)?
+        .as_f64()
+}
+
+fn config_names(summary: &JsonValue) -> Vec<String> {
+    summary
+        .get("configs")
+        .and_then(JsonValue::as_array)
+        .map(|cs| {
+            cs.iter()
+                .filter_map(|c| c.get("config").and_then(JsonValue::as_str))
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Compare a current summary against the baseline.
+///
+/// Fails with `Err` on malformed/mismatched documents; regressions are
+/// reported through the returned [`GateReport`], not as errors.
+pub fn check_gate(
+    baseline_json: &str,
+    current_json: &str,
+    threshold: f64,
+) -> Result<GateReport, String> {
+    let baseline = parse_summary("baseline", baseline_json)?;
+    let current = parse_summary("current", current_json)?;
+    let mut checks = Vec::new();
+
+    for config in config_names(&baseline) {
+        let Some(base) = config_field(&baseline, &config, "makespan_at_max") else {
+            continue;
+        };
+        match config_field(&current, &config, "makespan_at_max") {
+            Some(cur) => {
+                checks.push(GateCheck {
+                    what: format!("makespan/{config}"),
+                    baseline: base,
+                    current: cur,
+                    ok: cur <= base * (1.0 + threshold) + 1e-9,
+                });
+            }
+            None => {
+                // A configuration that vanished from the summary is a
+                // regression of coverage, not of speed.
+                checks.push(GateCheck {
+                    what: format!("makespan/{config} (missing)"),
+                    baseline: base,
+                    current: f64::NAN,
+                    ok: false,
+                });
+            }
+        }
+        let drift_ok = current
+            .get("configs")
+            .and_then(JsonValue::as_array)
+            .and_then(|cs| {
+                cs.iter()
+                    .find(|c| c.get("config").and_then(JsonValue::as_str) == Some(&*config))
+            })
+            .and_then(|c| c.get("drift_ok"))
+            .and_then(JsonValue::as_bool);
+        if let Some(ok) = drift_ok {
+            checks.push(GateCheck {
+                what: format!("drift/{config}"),
+                baseline: 1.0,
+                current: f64::from(u8::from(ok)),
+                ok,
+            });
+        }
+    }
+
+    if let Some(JsonValue::Object(pairs)) = baseline.get("speedups") {
+        for (name, value) in pairs {
+            let Some(base) = value.as_f64() else { continue };
+            let cur = current
+                .get("speedups")
+                .and_then(|s| s.get(name))
+                .and_then(JsonValue::as_f64);
+            match cur {
+                Some(cur) => checks.push(GateCheck {
+                    what: format!("speedup/{name}"),
+                    baseline: base,
+                    current: cur,
+                    ok: cur >= base * (1.0 - threshold) - 1e-9,
+                }),
+                None => checks.push(GateCheck {
+                    what: format!("speedup/{name} (missing)"),
+                    baseline: base,
+                    current: f64::NAN,
+                    ok: false,
+                }),
+            }
+        }
+    }
+
+    Ok(GateReport { threshold, checks })
+}
+
+/// Default allowed regression: 10 %.
+pub const DEFAULT_THRESHOLD: f64 = 0.10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{render_summary_json, run_sweep, SweepSpec};
+
+    fn summary_json() -> String {
+        let (_, summary) = run_sweep(&SweepSpec::new(vec![1, 2])).unwrap();
+        render_summary_json(&summary)
+    }
+
+    #[test]
+    fn identical_summaries_pass_the_gate() {
+        let json = summary_json();
+        let report = check_gate(&json, &json, DEFAULT_THRESHOLD).unwrap();
+        assert!(report.ok(), "{}", report.render());
+        // 6 makespan + 6 drift + 3 speedup checks.
+        assert_eq!(report.checks.len(), 15);
+        assert!(report.render().contains("PASS"));
+    }
+
+    #[test]
+    fn injected_2x_slowdown_fails_the_gate() {
+        let baseline = summary_json();
+        // Double every makespan (and, via the recomputed ratio columns
+        // staying textual, leave speedups untouched): the makespan
+        // checks must trip.
+        let mut slowed = String::new();
+        for part in baseline.split("\"makespan_at_max\":") {
+            if slowed.is_empty() {
+                slowed.push_str(part);
+                continue;
+            }
+            let end = part
+                .find([',', '}'])
+                .expect("makespan_at_max value terminated");
+            let value: f64 = part[..end].parse().expect("numeric makespan");
+            slowed.push_str(&format!("\"makespan_at_max\":{}", value * 2.0));
+            slowed.push_str(&part[end..]);
+        }
+        let report = check_gate(&baseline, &slowed, DEFAULT_THRESHOLD).unwrap();
+        assert!(!report.ok());
+        let failed: Vec<&str> = report.failures().map(|c| c.what.as_str()).collect();
+        assert!(failed.iter().all(|w| w.starts_with("makespan/")));
+        assert_eq!(failed.len(), 6, "{failed:?}");
+        assert!(report.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn lost_speedup_fails_even_when_makespans_hold() {
+        let baseline = summary_json();
+        // Claim the optimisations stopped paying off: all ratios 1.0.
+        let current = {
+            let start = baseline.find("\"speedups\":{").unwrap();
+            let end = baseline[start..].find('}').unwrap() + start;
+            let mut s = baseline[..start].to_string();
+            s.push_str(
+                "\"speedups\":{\"nop_over_sp\":1.0,\"nop_over_sp_dp\":1.0,\
+                 \"nop_over_sp_dp_jg\":1.0",
+            );
+            s.push_str(&baseline[end..]);
+            s
+        };
+        let report = check_gate(&baseline, &current, DEFAULT_THRESHOLD).unwrap();
+        assert!(!report.ok());
+        assert!(report.failures().all(|c| c.what.starts_with("speedup/")));
+    }
+
+    #[test]
+    fn drift_flag_failure_trips_the_gate() {
+        let baseline = summary_json();
+        let current = baseline.replacen("\"drift_ok\":true", "\"drift_ok\":false", 1);
+        let report = check_gate(&baseline, &current, DEFAULT_THRESHOLD).unwrap();
+        assert!(!report.ok());
+        assert_eq!(report.failures().count(), 1);
+        assert!(report.failures().next().unwrap().what.starts_with("drift/"));
+    }
+
+    #[test]
+    fn missing_config_and_bad_schema_are_caught() {
+        let baseline = summary_json();
+        let current = baseline.replacen("\"config\":\"nop\"", "\"config\":\"gone\"", 2);
+        let report = check_gate(&baseline, &current, DEFAULT_THRESHOLD).unwrap();
+        assert!(report
+            .failures()
+            .any(|c| c.what == "makespan/nop (missing)"));
+
+        let bad = baseline.replacen("moteur-bench/summary/v1", "other/v9", 1);
+        assert!(check_gate(&bad, &baseline, DEFAULT_THRESHOLD).is_err());
+        assert!(check_gate(&baseline, "{", DEFAULT_THRESHOLD).is_err());
+    }
+}

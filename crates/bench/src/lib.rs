@@ -12,12 +12,28 @@
 //! | `theory` | §3.5 — model-vs-enactor asymptotic speed-ups |
 //! | `speedups` | §5.2/§5.3 — speed-ups and slope / y-intercept ratios |
 //!
+//! The `moteur-bench` binary itself (`src/main.rs`) drives the perf
+//! observatory: `campaign` sweeps the six configurations over a range
+//! of campaign sizes and writes `BENCH_point.json`/`BENCH_summary.json`
+//! ([`sweep`]); `gate` compares a summary against the committed
+//! baseline and fails CI on regressions ([`gate`]).
+//!
 //! The library half hosts the Fig. 9 Bronze-Standard workflow
 //! ([`bronze`]) and the campaign runner ([`campaign`]) shared by the
 //! binaries, the integration tests and the examples.
 
 pub mod bronze;
 pub mod campaign;
+pub mod gate;
+pub mod sweep;
 
-pub use bronze::{bronze_inputs, bronze_workflow, bronze_workflow_xml, IMAGE_BYTES};
+pub use bronze::{
+    bronze_chain_inputs, bronze_chain_workflow, bronze_chain_workflow_xml, bronze_inputs,
+    bronze_workflow, bronze_workflow_xml, IMAGE_BYTES,
+};
 pub use campaign::{run_campaign, run_point, CampaignPoint, PAPER_SIZES, QUICK_SIZES};
+pub use gate::{check_gate, GateCheck, GateReport, DEFAULT_THRESHOLD};
+pub use sweep::{
+    render_points_json, render_summary, render_summary_json, run_sweep, BenchPoint, BenchSummary,
+    ConfigSummary, SweepGrid, SweepSpec, SweepWorkflow, POINT_SCHEMA, SUMMARY_SCHEMA,
+};

@@ -1,0 +1,187 @@
+//! `moteur-bench` — the perf observatory's campaign and regression-gate
+//! driver.
+//!
+//! ```text
+//! moteur-bench campaign [--sweep ndata=1..6] [--seed N]
+//!                       [--workflow chain|bronze] [--grid ideal|egee]
+//!                       [--overhead SECS] [--tolerance FRAC]
+//!                       [--out-dir DIR]
+//! moteur-bench gate [--summary PATH] [--baseline PATH] [--threshold FRAC]
+//! ```
+//!
+//! `campaign` runs the six Table-1 configurations over the sweep and
+//! writes `BENCH_point.json` (raw cells) and `BENCH_summary.json`
+//! (fits, drift, speed-ups) into `--out-dir` (default: the current
+//! directory). `gate` compares a summary against the committed baseline
+//! and exits non-zero on regression; setting
+//! `MOTEUR_BENCH_UPDATE_BASELINE=1` rewrites the baseline from the
+//! current summary instead (use after an intentional perf change).
+
+use moteur_bench::gate::{check_gate, DEFAULT_THRESHOLD};
+use moteur_bench::sweep::{
+    render_points_json, render_summary, render_summary_json, run_sweep, SweepGrid, SweepSpec,
+    SweepWorkflow,
+};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("moteur-bench: {msg}");
+    ExitCode::FAILURE
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: moteur-bench campaign [--sweep ndata=1..6] [--seed N]");
+    eprintln!("                    [--workflow chain|bronze] [--grid ideal|egee]");
+    eprintln!("                    [--overhead SECS] [--tolerance FRAC] [--out-dir DIR]");
+    eprintln!("       moteur-bench gate [--summary PATH] [--baseline PATH] [--threshold FRAC]");
+    eprintln!();
+    eprintln!("env: MOTEUR_BENCH_UPDATE_BASELINE=1  rewrite the gate baseline and pass");
+    ExitCode::from(2)
+}
+
+/// Parse `ndata=1..6` / `1..6` / `ndata=2,4,8` into sizes.
+fn parse_sweep(spec: &str) -> Option<Vec<usize>> {
+    let spec = spec.strip_prefix("ndata=").unwrap_or(spec);
+    if let Some((lo, hi)) = spec.split_once("..") {
+        let lo: usize = lo.parse().ok()?;
+        let hi: usize = hi.parse().ok()?;
+        if lo == 0 || hi < lo {
+            return None;
+        }
+        return Some((lo..=hi).collect());
+    }
+    let sizes: Vec<usize> = spec
+        .split(',')
+        .map(|s| s.trim().parse().ok())
+        .collect::<Option<_>>()?;
+    (!sizes.is_empty() && !sizes.contains(&0)).then_some(sizes)
+}
+
+fn cmd_campaign(args: &[String]) -> ExitCode {
+    let Some(sizes) = parse_sweep(flag_value(args, "--sweep").unwrap_or("ndata=1..6")) else {
+        return fail("--sweep needs `ndata=LO..HI` or `ndata=A,B,C` (all > 0)");
+    };
+    let mut spec = SweepSpec::new(sizes);
+    if let Some(s) = flag_value(args, "--seed") {
+        match s.parse() {
+            Ok(v) => spec.seed = v,
+            Err(_) => return fail("--seed needs an integer"),
+        }
+    }
+    if let Some(s) = flag_value(args, "--workflow") {
+        match SweepWorkflow::parse(s) {
+            Some(w) => spec.workflow = w,
+            None => return fail(format!("unknown workflow `{s}` (chain|bronze)")),
+        }
+    }
+    if let Some(s) = flag_value(args, "--grid") {
+        match SweepGrid::parse(s) {
+            Some(g) => spec.grid = g,
+            None => return fail(format!("unknown grid `{s}` (ideal|egee)")),
+        }
+    }
+    if let Some(s) = flag_value(args, "--overhead") {
+        match s.parse() {
+            Ok(v) => spec.overhead = v,
+            Err(_) => return fail("--overhead needs a number (seconds)"),
+        }
+    }
+    if let Some(s) = flag_value(args, "--tolerance") {
+        match s.parse() {
+            Ok(v) => spec.tolerance = v,
+            Err(_) => return fail("--tolerance needs a fraction (e.g. 0.05)"),
+        }
+    }
+    let out_dir = Path::new(flag_value(args, "--out-dir").unwrap_or("."));
+
+    eprintln!(
+        "sweeping {} on the {} grid over n_data {:?}...",
+        spec.workflow.name(),
+        spec.grid.name(),
+        spec.sizes
+    );
+    let (points, summary) = match run_sweep(&spec) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    print!("{}", render_summary(&summary));
+
+    let point_path = out_dir.join("BENCH_point.json");
+    if let Err(e) = std::fs::write(&point_path, render_points_json(&spec, &points) + "\n") {
+        return fail(format!("writing {}: {e}", point_path.display()));
+    }
+    let summary_path = out_dir.join("BENCH_summary.json");
+    if let Err(e) = std::fs::write(&summary_path, render_summary_json(&summary) + "\n") {
+        return fail(format!("writing {}: {e}", summary_path.display()));
+    }
+    println!(
+        "wrote {} ({} points) and {}",
+        point_path.display(),
+        points.len(),
+        summary_path.display()
+    );
+    if summary.configs.iter().all(|c| c.drift_ok) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("moteur-bench: model-vs-observed drift beyond tolerance (see summary)");
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_gate(args: &[String]) -> ExitCode {
+    let summary_path = flag_value(args, "--summary").unwrap_or("BENCH_summary.json");
+    let baseline_path = flag_value(args, "--baseline").unwrap_or("results/BENCH_baseline.json");
+    let threshold: f64 = match flag_value(args, "--threshold").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(DEFAULT_THRESHOLD),
+        Err(_) => return fail("--threshold needs a fraction (e.g. 0.10)"),
+    };
+    let current = match std::fs::read_to_string(summary_path) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("reading {summary_path}: {e}")),
+    };
+    if std::env::var("MOTEUR_BENCH_UPDATE_BASELINE").as_deref() == Ok("1") {
+        return match std::fs::write(baseline_path, &current) {
+            Ok(()) => {
+                println!("baseline {baseline_path} updated from {summary_path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(format!("updating {baseline_path}: {e}")),
+        };
+    }
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            return fail(format!(
+                "reading {baseline_path}: {e} (run with MOTEUR_BENCH_UPDATE_BASELINE=1 to seed it)"
+            ))
+        }
+    };
+    match check_gate(&baseline, &current, threshold) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("campaign") => cmd_campaign(&args[1..]),
+        Some("gate") => cmd_gate(&args[1..]),
+        _ => usage(),
+    }
+}

@@ -94,8 +94,12 @@ pub use lint::{
 pub use model::TimeMatrix;
 pub use obs::chrome::{chrome_trace, chrome_trace_with_metrics};
 pub use obs::critical::{analyze as critical_path, render as render_critical_path, CriticalPath};
+pub use obs::drift::{check_drift, DriftEntry, DriftReport, Observation};
+pub use obs::fit::{fit_sweep, MakespanFit, SweepPoint};
 pub use obs::metrics::{MetricsRegistry, MetricsSink};
+pub use obs::openmetrics::render as render_openmetrics;
 pub use obs::sinks::{EventBuffer, JsonlSink, NullSink, RingBufferSink};
+pub use obs::span::{GridPhase, Span, SpanBuffer, SpanId, SpanKind, SpanSink, SpanTree};
 pub use obs::{EventSink, Obs, TraceEvent};
 pub use provenance::{export_provenance, history_from_xml, history_to_xml};
 pub use report::{render_report, service_stats, total_busy, ServiceStats};

@@ -23,7 +23,10 @@ pub mod render;
 pub mod rules;
 
 pub use diag::{Diagnostic, Label, LintReport, Severity};
-pub use predict::{predict, prediction_to_json, render_prediction, Prediction, PredictionRow};
+pub use predict::{
+    predict, prediction_from_json, prediction_to_json, render_prediction, Prediction,
+    PredictionRow, CONFIG_KEYS,
+};
 pub use render::{intern_code, render_human, report_from_json, report_to_json, JsonValue};
 pub use rules::cardinality::{output_cardinalities, Card};
 pub use rules::{lint_errors, lint_workflow};

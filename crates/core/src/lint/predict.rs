@@ -153,6 +153,67 @@ pub fn prediction_to_json(pred: &Prediction) -> String {
         .finish()
 }
 
+/// The closed set of configuration keys a prediction can contain, in
+/// row order.
+pub const CONFIG_KEYS: [&str; 6] = ["nop", "jg", "dp", "sp", "sp+dp", "sp+dp+jg"];
+
+/// Parse a prediction back from its [`prediction_to_json`] rendering —
+/// the machine-readable contract of `moteur lint --predict --json` that
+/// the drift layer and external tools consume.
+pub fn prediction_from_json(json: &str) -> Result<Prediction, MoteurError> {
+    let bad = |what: &str| MoteurError::new(format!("prediction JSON: {what}"));
+    let value = crate::lint::render::JsonValue::parse(json)
+        .map_err(|e| bad(&format!("parse error: {e}")))?;
+    let n_data = value
+        .get("n_data")
+        .and_then(crate::lint::render::JsonValue::as_usize)
+        .ok_or_else(|| bad("missing n_data"))?;
+    let overhead = value
+        .get("overhead")
+        .and_then(crate::lint::render::JsonValue::as_f64)
+        .ok_or_else(|| bad("missing overhead"))?;
+    let n_services = value
+        .get("n_services")
+        .and_then(crate::lint::render::JsonValue::as_usize)
+        .ok_or_else(|| bad("missing n_services"))?;
+    let rows = value
+        .get("rows")
+        .and_then(crate::lint::render::JsonValue::as_array)
+        .ok_or_else(|| bad("missing rows"))?;
+    let mut parsed = Vec::with_capacity(rows.len());
+    for row in rows {
+        let config_str = row
+            .get("config")
+            .and_then(crate::lint::render::JsonValue::as_str)
+            .ok_or_else(|| bad("row missing config"))?;
+        // Configs are a closed set; intern against it rather than leak.
+        let config = CONFIG_KEYS
+            .iter()
+            .find(|k| **k == config_str)
+            .copied()
+            .ok_or_else(|| bad(&format!("unknown config '{config_str}'")))?;
+        let jobs = row
+            .get("jobs")
+            .and_then(crate::lint::render::JsonValue::as_usize)
+            .ok_or_else(|| bad("row missing jobs"))?;
+        let makespan = row
+            .get("makespan")
+            .and_then(crate::lint::render::JsonValue::as_f64)
+            .ok_or_else(|| bad("row missing makespan"))?;
+        parsed.push(PredictionRow {
+            config,
+            jobs: jobs as u64,
+            makespan,
+        });
+    }
+    Ok(Prediction {
+        n_data,
+        overhead,
+        n_services,
+        rows: parsed,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,5 +315,38 @@ mod tests {
         }
         let parsed = crate::lint::render::JsonValue::parse(&json).unwrap();
         assert_eq!(parsed.get("rows").unwrap().as_array().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let wf = chain(3, 7.5);
+        let original = predict(&wf, 12, 2.5).unwrap();
+        let recovered = prediction_from_json(&prediction_to_json(&original)).unwrap();
+        assert_eq!(recovered, original);
+    }
+
+    #[test]
+    fn malformed_prediction_json_is_rejected_with_context() {
+        for (input, what) in [
+            ("not json", "parse error"),
+            ("{}", "missing n_data"),
+            (
+                "{\"n_data\":1,\"overhead\":0,\"n_services\":1}",
+                "missing rows",
+            ),
+            (
+                "{\"n_data\":1,\"overhead\":0,\"n_services\":1,\
+                 \"rows\":[{\"config\":\"warp9\",\"jobs\":1,\"makespan\":1}]}",
+                "unknown config",
+            ),
+            (
+                "{\"n_data\":1,\"overhead\":0,\"n_services\":1,\
+                 \"rows\":[{\"config\":\"nop\",\"makespan\":1}]}",
+                "row missing jobs",
+            ),
+        ] {
+            let err = prediction_from_json(input).unwrap_err().to_string();
+            assert!(err.contains(what), "{input} -> {err}");
+        }
     }
 }

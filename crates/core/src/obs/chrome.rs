@@ -55,12 +55,10 @@ pub fn chrome_trace_with_metrics(
     let mut next_tid: i64 = 1;
     for proc in &processors {
         let mut records = result.invocations_of(proc);
-        records.sort_by(|a, b| {
-            a.submitted
-                .partial_cmp(&b.submitted)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.index.cmp(&b.index))
-        });
+        // Total order (SimTime is integral µs) with the data index as
+        // tie-breaker: equal-timestamp events always serialise the same
+        // way, keeping the export byte-reproducible.
+        records.sort_by(|a, b| a.submitted.cmp(&b.submitted).then(a.index.cmp(&b.index)));
         // Greedy lane allocation: a record reuses the first lane that
         // is free by the time it is submitted.
         let mut lane_ends: Vec<f64> = Vec::new();

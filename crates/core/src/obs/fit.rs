@@ -1,0 +1,181 @@
+//! Least-squares fitting of makespan against campaign size — the
+//! paper's empirical instrument (§4).
+//!
+//! §4 characterises each enactment configuration by regressing the
+//! observed makespan on the number of input data sets: the **y-
+//! intercept** is the fixed cost of running on the grid at all
+//! (submission, brokering, queuing of the first wave), the **slope** is
+//! the marginal cost per extra data set, and the **intercept/slope
+//! ratio** says how many data sets a campaign needs before the variable
+//! part dominates the fixed part. [`fit_sweep`] produces exactly those
+//! numbers from a set of `(n_data, makespan)` points.
+
+use super::json::JsonObject;
+
+/// One observation of a sweep: campaign size and measured makespan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    pub n_data: usize,
+    pub makespan_secs: f64,
+}
+
+/// Ordinary-least-squares fit of one configuration's sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MakespanFit {
+    /// Fixed overhead: predicted makespan of an empty campaign.
+    pub intercept: f64,
+    /// Marginal seconds per additional data set.
+    pub slope: f64,
+    /// Coefficient of determination. A constant series (`ss_tot = 0`,
+    /// e.g. DP on an unsaturated grid) fits perfectly by convention:
+    /// `1.0` when residuals are zero too, else `0.0`.
+    pub r_squared: f64,
+    /// The paper's break-even indicator: `intercept / slope`, the
+    /// campaign size at which variable cost catches up with fixed cost.
+    /// `None` when the slope is (numerically) zero.
+    pub intercept_slope_ratio: Option<f64>,
+    /// Number of points fitted.
+    pub n_points: usize,
+}
+
+impl MakespanFit {
+    /// Predicted makespan at campaign size `n`.
+    pub fn predict(&self, n: usize) -> f64 {
+        self.intercept + self.slope * n as f64
+    }
+
+    /// Serialise for the bench summary schema.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new()
+            .num("intercept", self.intercept)
+            .num("slope", self.slope)
+            .num("r_squared", self.r_squared);
+        match self.intercept_slope_ratio {
+            Some(r) => o = o.num("intercept_slope_ratio", r),
+            None => o = o.raw("intercept_slope_ratio", "null"),
+        }
+        o.uint("n_points", self.n_points as u64).finish()
+    }
+}
+
+/// Fit `makespan = intercept + slope · n_data` over the sweep.
+///
+/// Returns `None` for fewer than two points or a degenerate sweep (all
+/// points at the same `n_data`) — a line is not identifiable there.
+pub fn fit_sweep(points: &[SweepPoint]) -> Option<MakespanFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.n_data as f64).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.makespan_secs).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for p in points {
+        let dx = p.n_data as f64 - mean_x;
+        sxx += dx * dx;
+        sxy += dx * (p.makespan_secs - mean_y);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for p in points {
+        let predicted = intercept + slope * p.n_data as f64;
+        ss_res += (p.makespan_secs - predicted).powi(2);
+        ss_tot += (p.makespan_secs - mean_y).powi(2);
+    }
+    let r_squared = if ss_tot == 0.0 {
+        // Constant makespan: the flat line is an exact fit unless the
+        // residuals say otherwise (they cannot, but keep the guard).
+        if ss_res < 1e-12 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    let intercept_slope_ratio = if slope.abs() < 1e-12 {
+        None
+    } else {
+        Some(intercept / slope)
+    };
+    Some(MakespanFit {
+        intercept,
+        slope,
+        r_squared,
+        intercept_slope_ratio,
+        n_points: points.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(n: usize, m: f64) -> SweepPoint {
+        SweepPoint {
+            n_data: n,
+            makespan_secs: m,
+        }
+    }
+
+    #[test]
+    fn exact_line_recovers_intercept_and_slope() {
+        // The paper's Table 2 NOP fit: 20784 + 884·n.
+        let points: Vec<SweepPoint> = [12usize, 66, 126]
+            .iter()
+            .map(|&n| pt(n, 20784.0 + 884.0 * n as f64))
+            .collect();
+        let fit = fit_sweep(&points).unwrap();
+        assert!((fit.intercept - 20784.0).abs() < 1e-6);
+        assert!((fit.slope - 884.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        let ratio = fit.intercept_slope_ratio.unwrap();
+        assert!((ratio - 20784.0 / 884.0).abs() < 1e-6);
+        assert!((fit.predict(100) - (20784.0 + 88_400.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_series_is_flat_with_perfect_r2() {
+        // DP on an unsaturated grid: makespan independent of n_data.
+        let points = [pt(1, 500.0), pt(8, 500.0), pt(16, 500.0)];
+        let fit = fit_sweep(&points).unwrap();
+        assert!(fit.slope.abs() < 1e-12);
+        assert!((fit.intercept - 500.0).abs() < 1e-9);
+        assert_eq!(fit.r_squared, 1.0);
+        assert_eq!(fit.intercept_slope_ratio, None);
+    }
+
+    #[test]
+    fn noisy_line_has_r2_below_one() {
+        let points = [pt(1, 10.0), pt(2, 21.0), pt(3, 29.0), pt(4, 42.0)];
+        let fit = fit_sweep(&points).unwrap();
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.r_squared > 0.98, "r2 {}", fit.r_squared);
+        assert!(fit.slope > 9.0 && fit.slope < 12.0);
+    }
+
+    #[test]
+    fn degenerate_sweeps_are_rejected() {
+        assert_eq!(fit_sweep(&[]), None);
+        assert_eq!(fit_sweep(&[pt(5, 1.0)]), None);
+        assert_eq!(fit_sweep(&[pt(5, 1.0), pt(5, 2.0)]), None, "vertical");
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let fit = fit_sweep(&[pt(1, 2.0), pt(2, 4.0)]).unwrap();
+        let json = fit.to_json();
+        assert!(json.contains("\"intercept\":"));
+        assert!(json.contains("\"slope\":2"));
+        assert!(json.contains("\"r_squared\":1"));
+        assert!(json.contains("\"n_points\":2"));
+        let flat = fit_sweep(&[pt(1, 3.0), pt(2, 3.0)]).unwrap();
+        assert!(flat.to_json().contains("\"intercept_slope_ratio\":null"));
+    }
+}

@@ -82,6 +82,16 @@ impl Histogram {
         self.max = self.max.max(value);
     }
 
+    /// Bucket upper bounds (the overflow bucket's `+inf` is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; one longer than [`Histogram::bounds`].
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -141,6 +151,10 @@ impl MetricsRegistry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    pub fn counters(&self) -> impl Iterator<Item = (&String, u64)> {
+        self.counters.iter().map(|(k, v)| (k, *v))
+    }
+
     pub fn gauge_add(&mut self, name: &str, at: f64, delta: i64) {
         let g = self.gauges.entry(name.to_string()).or_default();
         let value = g.current + delta;
@@ -164,6 +178,10 @@ impl MetricsRegistry {
 
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    pub fn histograms(&self) -> impl Iterator<Item = (&String, &Histogram)> {
+        self.histograms.iter()
     }
 
     pub fn observe(&mut self, name: &str, make: impl FnOnce() -> Histogram, value: f64) {

@@ -37,9 +37,13 @@
 
 pub mod chrome;
 pub mod critical;
+pub mod drift;
+pub mod fit;
 pub mod json;
 pub mod metrics;
+pub mod openmetrics;
 pub mod sinks;
+pub mod span;
 
 use json::JsonObject;
 use moteur_gridsim::{SimEvent, SimTime};

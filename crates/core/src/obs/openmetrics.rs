@@ -1,0 +1,330 @@
+//! OpenMetrics text exposition of a run's metrics and span phases.
+//!
+//! Renders one scrapeable snapshot in the [OpenMetrics text format]
+//! (the Prometheus exposition format plus the `# EOF` terminator), so
+//! counters, gauges and histograms are consumable by standard tooling
+//! without JSON post-processing:
+//!
+//! ```text
+//! # TYPE moteur_events_total counter
+//! moteur_events_total{kind="job_submitted"} 61
+//! # TYPE moteur_grid_overhead_seconds histogram
+//! moteur_grid_overhead_seconds_bucket{le="15"} 4
+//! …
+//! moteur_grid_overhead_seconds_bucket{le="+Inf"} 61
+//! moteur_grid_overhead_seconds_sum 1234.5
+//! moteur_grid_overhead_seconds_count 61
+//! # EOF
+//! ```
+//!
+//! Metric values reflect end-of-run state (gauges expose their final
+//! value and their peak as two series). Span phases, when a
+//! [`SpanTree`] is supplied, surface as per-phase duration sums and
+//! counts — the decomposition §4 of the paper uses to attribute a
+//! makespan to grid overhead versus execution.
+//!
+//! [OpenMetrics text format]:
+//!     https://prometheus.io/docs/specs/om/open_metrics_spec/
+
+use super::metrics::MetricsRegistry;
+use super::span::SpanTree;
+use std::fmt::Write as _;
+
+/// Format a sample value: integers render bare, floats via the shortest
+/// round-trip form, non-finite values per the exposition spec.
+fn num(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escape a label value (`\`, `"`, newline).
+fn escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Sanitise a free-form name into a metric-name-safe suffix.
+fn sanitise(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+struct Renderer {
+    out: String,
+}
+
+impl Renderer {
+    fn typed(&mut self, name: &str, kind: &str) {
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
+        if labels.is_empty() {
+            let _ = writeln!(self.out, "{name} {value}");
+        } else {
+            let rendered = labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = writeln!(self.out, "{name}{{{rendered}}} {value}");
+        }
+    }
+}
+
+/// Render the registry (and optionally a span tree) as an OpenMetrics
+/// text snapshot, `# EOF`-terminated.
+pub fn render(registry: &MetricsRegistry, spans: Option<&SpanTree>) -> String {
+    let mut r = Renderer { out: String::new() };
+
+    // Event counters all share one family, labelled by event kind.
+    if registry.counters().next().is_some() {
+        r.typed("moteur_events_total", "counter");
+        for (kind, value) in registry.counters() {
+            r.sample("moteur_events_total", &[("kind", kind)], &value.to_string());
+        }
+    }
+
+    // Gauges: group the known naming schemes into labelled families so
+    // `inflight.crestLines` and `inflight.crestMatch` are one metric.
+    // (label key, label value, current, peak) per family member.
+    type FamilyMembers = Vec<(String, String, i64, i64)>;
+    let mut families: Vec<(String, FamilyMembers)> = Vec::new();
+    for (name, gauge) in registry.gauges() {
+        let (family, label_key, label_value) = if name == "inflight_total" {
+            ("moteur_inflight".to_string(), None, String::new())
+        } else if let Some(svc) = name.strip_prefix("inflight.") {
+            (
+                "moteur_service_inflight".to_string(),
+                Some("service"),
+                svc.to_string(),
+            )
+        } else if let Some(ce) = name.strip_prefix("queue_depth.ce") {
+            (
+                "moteur_ce_queue_depth".to_string(),
+                Some("ce"),
+                ce.to_string(),
+            )
+        } else if let Some(ce) = name.strip_prefix("busy.ce") {
+            ("moteur_ce_busy".to_string(), Some("ce"), ce.to_string())
+        } else {
+            (format!("moteur_{}", sanitise(name)), None, String::new())
+        };
+        let entry = match families.iter_mut().find(|(f, _)| *f == family) {
+            Some(e) => e,
+            None => {
+                families.push((family, Vec::new()));
+                families.last_mut().expect("just pushed")
+            }
+        };
+        entry.1.push((
+            label_key.unwrap_or("").to_string(),
+            label_value,
+            gauge.current,
+            gauge.peak,
+        ));
+    }
+    for (family, samples) in &families {
+        r.typed(family, "gauge");
+        for (key, value, current, _) in samples {
+            let labels: Vec<(&str, &str)> = if key.is_empty() {
+                vec![]
+            } else {
+                vec![(key.as_str(), value.as_str())]
+            };
+            r.sample(family, &labels, &current.to_string());
+        }
+        let peak_family = format!("{family}_peak");
+        r.typed(&peak_family, "gauge");
+        for (key, value, _, peak) in samples {
+            let labels: Vec<(&str, &str)> = if key.is_empty() {
+                vec![]
+            } else {
+                vec![(key.as_str(), value.as_str())]
+            };
+            r.sample(&peak_family, &labels, &peak.to_string());
+        }
+    }
+
+    // Histograms: cumulative buckets with the mandatory +Inf bound.
+    for (name, hist) in registry.histograms() {
+        let family = if name == "grid_overhead_secs" {
+            "moteur_grid_overhead_seconds".to_string()
+        } else {
+            format!("moteur_{}", sanitise(name))
+        };
+        r.typed(&family, "histogram");
+        let bucket = format!("{family}_bucket");
+        let mut cumulative = 0u64;
+        for (bound, count) in hist.bounds().iter().zip(hist.bucket_counts()) {
+            cumulative += count;
+            r.sample(&bucket, &[("le", &num(*bound))], &cumulative.to_string());
+        }
+        r.sample(&bucket, &[("le", "+Inf")], &hist.count.to_string());
+        r.sample(&format!("{family}_sum"), &[], &num(hist.sum));
+        r.sample(&format!("{family}_count"), &[], &hist.count.to_string());
+    }
+
+    // Span phases: per-phase duration totals and counts, plus the
+    // derived overhead share.
+    if let Some(tree) = spans {
+        let durations = tree.phase_durations();
+        if !durations.is_empty() {
+            r.typed("moteur_phase_duration_seconds_sum", "gauge");
+            for (phase, (_, sum)) in &durations {
+                r.sample(
+                    "moteur_phase_duration_seconds_sum",
+                    &[("phase", phase)],
+                    &num(*sum),
+                );
+            }
+            r.typed("moteur_phase_count", "gauge");
+            for (phase, (count, _)) in &durations {
+                r.sample(
+                    "moteur_phase_count",
+                    &[("phase", phase)],
+                    &count.to_string(),
+                );
+            }
+            r.typed("moteur_grid_overhead_total_seconds", "gauge");
+            r.sample(
+                "moteur_grid_overhead_total_seconds",
+                &[],
+                &num(tree.overhead_secs()),
+            );
+        }
+        if let Some(root) = tree.roots().next() {
+            r.typed("moteur_makespan_seconds", "gauge");
+            r.sample("moteur_makespan_seconds", &[], &num(root.duration_secs()));
+        }
+    }
+
+    r.out.push_str("# EOF\n");
+    r.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::metrics::Histogram;
+    use crate::obs::span::SpanSink;
+    use crate::obs::{EventSink, TraceEvent};
+    use moteur_gridsim::SimTime;
+
+    #[test]
+    fn empty_registry_renders_just_the_terminator() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(render(&reg, None), "# EOF\n");
+    }
+
+    #[test]
+    fn counters_gauges_histograms_render_in_spec_shape() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("job_submitted", 3);
+        reg.gauge_add("inflight_total", 0.0, 2);
+        reg.gauge_add("inflight.crest\"Lines", 0.0, 1);
+        reg.gauge_set("queue_depth.ce0", 1.0, 4);
+        reg.observe(
+            "grid_overhead_secs",
+            || Histogram::with_bounds(vec![10.0, 20.0]),
+            5.0,
+        );
+        reg.observe(
+            "grid_overhead_secs",
+            || Histogram::with_bounds(vec![10.0, 20.0]),
+            50.0,
+        );
+        let text = render(&reg, None);
+        assert!(text.contains("# TYPE moteur_events_total counter\n"));
+        assert!(text.contains("moteur_events_total{kind=\"job_submitted\"} 3\n"));
+        assert!(text.contains("moteur_inflight 2\n"));
+        // Label values are escaped.
+        assert!(text.contains("moteur_service_inflight{service=\"crest\\\"Lines\"} 1\n"));
+        assert!(text.contains("moteur_ce_queue_depth{ce=\"0\"} 4\n"));
+        assert!(text.contains("moteur_inflight_peak 2\n"));
+        // Buckets are cumulative and +Inf covers everything.
+        assert!(text.contains("moteur_grid_overhead_seconds_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("moteur_grid_overhead_seconds_bucket{le=\"20\"} 1\n"));
+        assert!(text.contains("moteur_grid_overhead_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("moteur_grid_overhead_seconds_sum 55\n"));
+        assert!(text.contains("moteur_grid_overhead_seconds_count 2\n"));
+        assert!(text.ends_with("# EOF\n"));
+        // Exactly one terminator.
+        assert_eq!(text.matches("# EOF").count(), 1);
+    }
+
+    #[test]
+    fn span_phases_surface_as_duration_families() {
+        let (mut sink, buf) = SpanSink::new();
+        let t = SimTime::from_secs_f64;
+        sink.record(&TraceEvent::JobSubmitted {
+            at: t(0.0),
+            invocation: 0,
+            processor: "p".into(),
+            grid: true,
+            batched: 1,
+        });
+        sink.record(&TraceEvent::GridSubmitted {
+            at: t(4.0),
+            invocation: 0,
+            name: "j".into(),
+        });
+        sink.record(&TraceEvent::GridEnqueued {
+            at: t(6.0),
+            invocation: 0,
+            ce: 0,
+            attempt: 1,
+        });
+        sink.record(&TraceEvent::GridStarted {
+            at: t(10.0),
+            invocation: 0,
+            ce: 0,
+        });
+        sink.record(&TraceEvent::GridFinished {
+            at: t(30.0),
+            invocation: 0,
+            ce: 0,
+            success: true,
+        });
+        sink.record(&TraceEvent::GridDelivered {
+            at: t(31.0),
+            invocation: 0,
+            success: true,
+        });
+        sink.record(&TraceEvent::JobCompleted {
+            at: t(31.0),
+            invocation: 0,
+            processor: "p".into(),
+        });
+        let tree = buf.snapshot();
+        let text = render(&MetricsRegistry::new(), Some(&tree));
+        assert!(
+            text.contains("moteur_phase_duration_seconds_sum{phase=\"execution\"} 20\n"),
+            "{text}"
+        );
+        assert!(text.contains("moteur_phase_count{phase=\"queuing\"} 1\n"));
+        // Overhead = 4 + 2 + 4 + 1 = 11; makespan = 31.
+        assert!(text.contains("moteur_grid_overhead_total_seconds 11\n"));
+        assert!(text.contains("moteur_makespan_seconds 31\n"));
+    }
+}

@@ -142,6 +142,16 @@ impl EventSink for JsonlSink {
     }
 }
 
+impl Drop for JsonlSink {
+    /// Best-effort flush so a sink dropped without an explicit
+    /// [`EventSink::flush`] (early return, panic unwind) still leaves a
+    /// complete, parseable file. Errors cannot propagate from drop and
+    /// are discarded.
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +213,75 @@ mod tests {
         let mut sink = NullSink;
         sink.record(&ev(0));
         sink.flush().unwrap();
+    }
+
+    #[test]
+    fn ring_buffer_wraps_exactly_at_capacity() {
+        let (mut sink, buffer) = RingBufferSink::new(4);
+        for i in 0..4 {
+            sink.record(&ev(i));
+        }
+        assert_eq!(buffer.dropped(), 0, "at capacity, nothing dropped yet");
+        sink.record(&ev(4));
+        assert_eq!(buffer.dropped(), 1, "first overflow evicts exactly one");
+        let kept: Vec<u64> = buffer
+            .snapshot()
+            .iter()
+            .filter_map(super::super::TraceEvent::invocation)
+            .collect();
+        assert_eq!(kept, vec![1, 2, 3, 4], "oldest evicted, order preserved");
+        // Keep wrapping: retained window slides, count accumulates.
+        for i in 5..105 {
+            sink.record(&ev(i));
+        }
+        assert_eq!(buffer.len(), 4);
+        assert_eq!(buffer.dropped(), 101);
+        let kept: Vec<u64> = buffer
+            .snapshot()
+            .iter()
+            .filter_map(super::super::TraceEvent::invocation)
+            .collect();
+        assert_eq!(kept, vec![101, 102, 103, 104]);
+    }
+
+    #[test]
+    fn ring_buffer_capacity_zero_is_clamped_to_one() {
+        let (mut sink, buffer) = RingBufferSink::new(0);
+        sink.record(&ev(0));
+        sink.record(&ev(1));
+        assert_eq!(buffer.len(), 1);
+        assert_eq!(buffer.dropped(), 1);
+        assert_eq!(buffer.snapshot()[0].invocation(), Some(1));
+    }
+
+    #[test]
+    fn dropped_jsonl_sink_leaves_a_complete_parseable_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "moteur-sink-drop-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            for i in 0..50 {
+                sink.record(&ev(i));
+            }
+            // No explicit flush: the sink goes out of scope here.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 50, "every event made it to disk");
+        assert!(text.ends_with('\n'), "file ends on a record boundary");
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            crate::lint::render::JsonValue::parse(line)
+                .unwrap_or_else(|e| panic!("unparseable line {line}: {e}"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

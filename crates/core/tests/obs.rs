@@ -253,6 +253,108 @@ fn observation_does_not_perturb_the_run() {
     assert_eq!(blind.invocations.len(), observed.invocations.len());
 }
 
+/// A tiny fully-deterministic run for byte-reproducibility checks:
+/// constant-cost services on the ideal grid (constant overheads, no
+/// failures), so every timestamp is the same on every execution.
+fn deterministic_result() -> WorkflowResult {
+    let mut wf = Workflow::new("golden");
+    let src = wf.add_source("in");
+    let a = wf.add_service("A", &["in"], &["out"], dsvc("A", &["in"], &["out"], 30.0));
+    let b = wf.add_service("B", &["in"], &["out"], dsvc("B", &["in"], &["out"], 45.0));
+    let sink = wf.add_sink("out");
+    wf.connect(src, "out", a, "in").unwrap();
+    wf.connect(a, "out", b, "in").unwrap();
+    wf.connect(b, "out", sink, "in").unwrap();
+    let inputs = InputData::new().set(
+        "in",
+        (0..3)
+            .map(|j| DataValue::File {
+                gfn: format!("gfn://golden/{j}"),
+                bytes: 100,
+            })
+            .collect(),
+    );
+    let mut backend = SimBackend::new(GridConfig::ideal(), 1);
+    run(
+        &wf,
+        &inputs,
+        EnactorConfig::sp_dp().with_seed(1),
+        &mut backend,
+    )
+    .expect("golden workflow completes")
+}
+
+#[test]
+fn chrome_trace_is_byte_reproducible_and_matches_the_golden_file() {
+    let first = chrome_trace(&deterministic_result());
+    let second = chrome_trace(&deterministic_result());
+    assert_eq!(first, second, "two identical runs must serialise equally");
+
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chrome_trace.json"
+    );
+    if std::env::var_os("MOTEUR_BLESS").is_some() {
+        std::fs::write(golden_path, &first).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file committed (regenerate with MOTEUR_BLESS=1)");
+    assert_eq!(
+        first, golden,
+        "chrome export changed; if intentional, regenerate with \
+         MOTEUR_BLESS=1 cargo test -p moteur --test obs"
+    );
+}
+
+#[test]
+fn span_sink_reconstructs_the_grid_lifecycle_of_a_real_run() {
+    let (sink, spans) = moteur::SpanSink::new();
+    let result = run_with_obs(Obs::new(vec![Box::new(sink)]), 19);
+    let tree = spans.snapshot();
+    let root = tree.roots().next().expect("workflow root span");
+    assert_eq!(
+        tree.roots().count(),
+        1,
+        "exactly one workflow root: {}",
+        tree.render()
+    );
+    // Root covers the run: its duration matches the makespan shape
+    // (first event to last terminal).
+    assert!(root.end.is_some(), "root closed");
+    // One item span per submitted job, each fully phased.
+    let items: Vec<&moteur::Span> = tree
+        .spans()
+        .iter()
+        .filter(|s| s.kind == moteur::SpanKind::DataItem)
+        .collect();
+    assert_eq!(items.len(), result.jobs_submitted);
+    for item in &items {
+        assert!(item.end.is_some(), "item {} left open", item.name);
+        let phases: Vec<&'static str> = tree.children(item.id).map(|p| p.kind.name()).collect();
+        // Every lifecycle starts with a submission and ends with the
+        // transfer; failed attempts splice extra scheduling/queuing/
+        // execution phases in between, so require coverage, not an
+        // exact sequence.
+        assert_eq!(phases.first(), Some(&"submission"), "{phases:?}");
+        assert_eq!(phases.last(), Some(&"transfer"), "{phases:?}");
+        for required in ["scheduling", "queuing", "execution"] {
+            assert!(
+                phases.contains(&required),
+                "item {} missing {required}: {phases:?}",
+                item.name
+            );
+        }
+    }
+    // Phase totals agree with the metrics-layer overhead definition:
+    // submission+scheduling+queuing+transfer is the non-execution part.
+    let durations = tree.phase_durations();
+    assert!(
+        durations["execution"].0 as usize >= result.jobs_submitted,
+        "at least one execution per job (retries add more)"
+    );
+    assert!(tree.overhead_secs() > 0.0, "EGEE overhead is never free");
+}
+
 #[test]
 fn chrome_trace_and_critical_path_cover_the_run() {
     let (_, result) = captured(17);

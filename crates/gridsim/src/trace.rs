@@ -25,14 +25,16 @@ pub struct TraceSummary {
 }
 
 /// Linearly-interpolated percentile of an unsorted sample (`q` in
-/// `[0, 1]`). Empty input yields `0.0`; NaNs are not expected and sort
-/// last.
+/// `[0, 1]`). Deterministic on every input: empty yields `0.0`, a
+/// single sample is every percentile of itself, and NaNs order via IEEE
+/// `totalOrder` (after all finite values) instead of destabilising the
+/// sort.
 pub fn percentile(values: &[f64], q: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
+    sorted.sort_by(f64::total_cmp);
     let rank = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -164,5 +166,63 @@ mod tests {
         assert!((percentile(&v, 1.0) - 4.0).abs() < 1e-12);
         assert!((percentile(&v, 0.5) - 2.5).abs() < 1e-12);
         assert!((percentile(&v, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_zero_one_and_two_samples_are_deterministic() {
+        // 0 samples: every quantile is the 0.0 sentinel, never NaN.
+        for q in [0.0, 0.5, 1.0, f64::NAN] {
+            assert_eq!(percentile(&[], q), 0.0);
+        }
+        // 1 sample: every quantile is that sample, even out-of-range q.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0, -3.0, 7.0] {
+            assert_eq!(percentile(&[42.5], q), 42.5);
+        }
+        // 2 samples: straight line between them, clamped outside [0,1].
+        let two = [10.0, 20.0];
+        assert_eq!(percentile(&two, 0.0), 10.0);
+        assert_eq!(percentile(&two, -1.0), 10.0);
+        assert!((percentile(&two, 0.5) - 15.0).abs() < 1e-12);
+        assert!((percentile(&two, 0.25) - 12.5).abs() < 1e-12);
+        assert_eq!(percentile(&two, 1.0), 20.0);
+        assert_eq!(percentile(&two, 5.0), 20.0);
+    }
+
+    #[test]
+    fn percentile_is_stable_under_nan_samples() {
+        // NaNs sort last under totalOrder, so the finite quantiles of
+        // any permutation agree — the sort cannot destabilise.
+        let a = [f64::NAN, 1.0, 3.0, 2.0];
+        let b = [3.0, 2.0, f64::NAN, 1.0];
+        for q in [0.0, 0.3, 2.0 / 3.0] {
+            let pa = percentile(&a, q);
+            let pb = percentile(&b, q);
+            assert!(pa == pb && pa.is_finite(), "q={q}: {pa} vs {pb}");
+        }
+        assert!((percentile(&a, 2.0 / 3.0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_record_summary_is_deterministic() {
+        let s = summarize(&[rec(0.0, 100.0, 60.0, 1, true)]);
+        assert_eq!(s.jobs, 1);
+        assert_eq!(s.std_overhead_secs, 0.0);
+        // All overhead percentiles collapse to the single overhead (40).
+        assert!((s.p50_overhead_secs - 40.0).abs() < 1e-9);
+        assert!((s.p95_overhead_secs - 40.0).abs() < 1e-9);
+        assert!((s.p99_overhead_secs - 40.0).abs() < 1e-9);
+        assert!(s.p50_overhead_secs.is_finite());
+    }
+
+    #[test]
+    fn two_record_summary_interpolates_percentiles() {
+        let s = summarize(&[
+            rec(0.0, 100.0, 60.0, 1, true),
+            rec(0.0, 200.0, 60.0, 1, true),
+        ]);
+        // Overheads 40 and 140.
+        assert!((s.p50_overhead_secs - 90.0).abs() < 1e-9);
+        assert!((s.p95_overhead_secs - 135.0).abs() < 1e-9);
+        assert!((s.p99_overhead_secs - 139.0).abs() < 1e-9);
     }
 }

@@ -1,0 +1,174 @@
+//! `moteur-gridsim` — drive the grid simulator directly, without the
+//! workflow enactor, and expose the same observability surface
+//! (`--openmetrics`, `--events`, `--spans`) as `moteur run`.
+//!
+//! Useful for characterising the simulated infrastructure itself: how
+//! big and how variable is the per-job overhead a given grid
+//! configuration produces, independent of any workflow structure.
+//!
+//! ```text
+//! moteur-gridsim [--jobs N] [--compute SECS] [--seed N] [--grid egee|ideal]
+//!                [--openmetrics out.om] [--events out.jsonl] [--spans out.jsonl]
+//! ```
+
+use moteur_repro::gridsim::{summarize, GridConfig, GridJobSpec, GridSim, JobOutcome};
+use moteur_repro::moteur::{
+    render_openmetrics, EventSink, JsonlSink, MetricsSink, Obs, SpanSink, TraceEvent,
+};
+use std::process::ExitCode;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("moteur-gridsim: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: moteur-gridsim [--jobs N] [--compute SECS] [--seed N] [--grid egee|ideal]"
+        );
+        eprintln!("       [--openmetrics out.om] [--events out.jsonl] [--spans out.jsonl]");
+        return ExitCode::from(2);
+    }
+    let jobs: usize = match flag_value(&args, "--jobs").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(25),
+        Err(_) => return fail("--jobs needs a positive integer"),
+    };
+    let compute: f64 = match flag_value(&args, "--compute").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(120.0),
+        Err(_) => return fail("--compute needs a number (seconds)"),
+    };
+    let seed: u64 = match flag_value(&args, "--seed").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(2006),
+        Err(_) => return fail("--seed needs an integer"),
+    };
+    let grid_name = flag_value(&args, "--grid").unwrap_or("egee");
+    let grid = match grid_name {
+        "egee" => GridConfig::egee_2006(),
+        "ideal" => GridConfig::ideal(),
+        other => return fail(format!("unknown grid `{other}`")),
+    };
+
+    let events_path = flag_value(&args, "--events");
+    let openmetrics_path = flag_value(&args, "--openmetrics");
+    let spans_path = flag_value(&args, "--spans");
+    let mut sinks: Vec<Box<dyn EventSink>> = Vec::new();
+    if let Some(path) = events_path {
+        match JsonlSink::create(path) {
+            Ok(sink) => sinks.push(Box::new(sink)),
+            Err(e) => return fail(format!("creating {path}: {e}")),
+        }
+    }
+    let metrics = if openmetrics_path.is_some() {
+        let (sink, registry) = MetricsSink::new();
+        sinks.push(Box::new(sink));
+        Some(registry)
+    } else {
+        None
+    };
+    let spans = if spans_path.is_some() || openmetrics_path.is_some() {
+        let (sink, buffer) = SpanSink::new();
+        sinks.push(Box::new(sink));
+        Some(buffer)
+    } else {
+        None
+    };
+    let obs = Obs::new(sinks);
+
+    eprintln!("submitting {jobs} jobs of {compute}s to the {grid_name} grid (seed {seed})...");
+    let mut sim = GridSim::new(grid, seed);
+    if obs.enabled() {
+        let forward = obs.clone();
+        sim.set_observer(Box::new(move |e| {
+            forward.record(&TraceEvent::from_sim(e));
+        }));
+    }
+    for i in 0..jobs {
+        // Synthesize the enactor-level submission the span/metric
+        // layers key item lifecycles on: here each grid job is its own
+        // "invocation" of one synthetic service.
+        obs.record(&TraceEvent::JobSubmitted {
+            at: sim.now(),
+            invocation: i as u64,
+            processor: "synthetic".to_string(),
+            grid: true,
+            batched: 1,
+        });
+        sim.submit(
+            GridJobSpec::new(format!("job{i}"), compute)
+                .with_tag(i as u64)
+                .with_files(vec![7_800_000], vec![400_000]),
+        );
+    }
+    let mut delivered = 0usize;
+    while let Some(done) = sim.next_completion() {
+        let event = if done.outcome == JobOutcome::Success {
+            TraceEvent::JobCompleted {
+                at: done.delivered_at,
+                invocation: done.tag,
+                processor: "synthetic".to_string(),
+            }
+        } else {
+            TraceEvent::JobFailed {
+                at: done.delivered_at,
+                invocation: done.tag,
+                processor: "synthetic".to_string(),
+                error: "grid job failed beyond retry budget".to_string(),
+            }
+        };
+        obs.record(&event);
+        delivered += 1;
+    }
+    if let Err(e) = obs.flush() {
+        return fail(format!("flushing event sinks: {e}"));
+    }
+
+    let summary = summarize(sim.records());
+    println!(
+        "delivered {delivered}/{jobs} jobs; makespan {:.1}s; {} failures, {} resubmissions",
+        summary.makespan_secs, summary.failures, summary.resubmissions
+    );
+    println!(
+        "overhead: mean {:.1}s ± {:.1}s, p50 {:.1}s, p95 {:.1}s, p99 {:.1}s",
+        summary.mean_overhead_secs,
+        summary.std_overhead_secs,
+        summary.p50_overhead_secs,
+        summary.p95_overhead_secs,
+        summary.p99_overhead_secs,
+    );
+    println!(
+        "mean queue wait {:.1}s, mean compute {:.1}s",
+        summary.mean_queue_wait_secs, summary.mean_compute_secs
+    );
+
+    if let Some(path) = events_path {
+        println!("events written to {path}");
+    }
+    if let Some(path) = spans_path {
+        let tree = spans.as_ref().expect("span sink installed").snapshot();
+        match std::fs::write(path, tree.to_jsonl()) {
+            Ok(()) => println!("spans written to {path} ({} spans)", tree.len()),
+            Err(e) => return fail(format!("writing {path}: {e}")),
+        }
+    }
+    if let Some(path) = openmetrics_path {
+        let registry = metrics.as_ref().expect("metrics sink installed");
+        let tree = spans.as_ref().expect("span sink installed").snapshot();
+        let guard = registry.lock().expect("metrics registry");
+        let text = render_openmetrics(&guard, Some(&tree));
+        drop(guard);
+        match std::fs::write(path, text) {
+            Ok(()) => println!("openmetrics written to {path}"),
+            Err(e) => return fail(format!("writing {path}: {e}")),
+        }
+    }
+    ExitCode::SUCCESS
+}

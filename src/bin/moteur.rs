@@ -9,6 +9,7 @@
 //!            [--grid egee|ideal] [--batch G] [--report] [--diagram]
 //!            [--provenance out.xml] [--events out.jsonl]
 //!            [--chrome-trace trace.json] [--metrics metrics.json]
+//!            [--openmetrics metrics.om] [--spans spans.jsonl]
 //!            [--critical-path]
 //! moteur lint <workflow.xml> [--json] [--deny-warnings] [--predict]
 //! moteur validate <workflow.xml>
@@ -22,9 +23,9 @@ use moteur_repro::gridsim::GridConfig;
 use moteur_repro::moteur::lint::{prediction_to_json, LintReport};
 use moteur_repro::moteur::{
     chrome_trace_with_metrics, critical_path, diagram, export_provenance, group_workflow,
-    lint_workflow, predict, render_critical_path, render_human, render_prediction, render_report,
-    report_to_json, run_observed, to_dot, EnactorConfig, EventSink, JsonlSink, MetricsSink, Obs,
-    SimBackend,
+    lint_workflow, predict, render_critical_path, render_human, render_openmetrics,
+    render_prediction, render_report, report_to_json, run_observed, to_dot, EnactorConfig,
+    EventSink, JsonlSink, MetricsSink, Obs, SimBackend, SpanSink,
 };
 use moteur_repro::scufl::{
     lint_source, parse_input_data, parse_workflow, write_input_data, write_workflow,
@@ -46,6 +47,7 @@ fn main() -> ExitCode {
             eprintln!("      [--seed N] [--grid egee|ideal] [--batch G] [--report] [--diagram]");
             eprintln!("      [--provenance out.xml] [--events out.jsonl]");
             eprintln!("      [--chrome-trace trace.json] [--metrics metrics.json]");
+            eprintln!("      [--openmetrics metrics.om] [--spans spans.jsonl]");
             eprintln!("      [--critical-path] [--no-verify]");
             eprintln!("  lint <workflow.xml> [--json] [--deny-warnings] [--predict]");
             eprintln!("      [--ndata N] [--overhead S]");
@@ -276,6 +278,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let events_path = flag_value(args, "--events");
     let metrics_path = flag_value(args, "--metrics");
     let chrome_path = flag_value(args, "--chrome-trace");
+    let openmetrics_path = flag_value(args, "--openmetrics");
+    let spans_path = flag_value(args, "--spans");
     let mut sinks: Vec<Box<dyn EventSink>> = Vec::new();
     if let Some(path) = events_path {
         match JsonlSink::create(path) {
@@ -283,10 +287,17 @@ fn cmd_run(args: &[String]) -> ExitCode {
             Err(e) => return fail(format!("creating {path}: {e}")),
         }
     }
-    let metrics = if metrics_path.is_some() || chrome_path.is_some() {
+    let metrics = if metrics_path.is_some() || chrome_path.is_some() || openmetrics_path.is_some() {
         let (sink, registry) = MetricsSink::new();
         sinks.push(Box::new(sink));
         Some(registry)
+    } else {
+        None
+    };
+    let spans = if spans_path.is_some() || openmetrics_path.is_some() {
+        let (sink, buffer) = SpanSink::new();
+        sinks.push(Box::new(sink));
+        Some(buffer)
     } else {
         None
     };
@@ -348,6 +359,24 @@ fn cmd_run(args: &[String]) -> ExitCode {
         drop(guard);
         match std::fs::write(path, json) {
             Ok(()) => println!("chrome trace written to {path} (load in ui.perfetto.dev)"),
+            Err(e) => return fail(format!("writing {path}: {e}")),
+        }
+    }
+    if let Some(path) = spans_path {
+        let tree = spans.as_ref().expect("span sink installed").snapshot();
+        match std::fs::write(path, tree.to_jsonl()) {
+            Ok(()) => println!("spans written to {path} ({} spans)", tree.len()),
+            Err(e) => return fail(format!("writing {path}: {e}")),
+        }
+    }
+    if let Some(path) = openmetrics_path {
+        let registry = metrics.as_ref().expect("metrics sink installed");
+        let tree = spans.as_ref().expect("span sink installed").snapshot();
+        let guard = registry.lock().expect("metrics registry");
+        let text = render_openmetrics(&guard, Some(&tree));
+        drop(guard);
+        match std::fs::write(path, text) {
+            Ok(()) => println!("openmetrics written to {path}"),
             Err(e) => return fail(format!("writing {path}: {e}")),
         }
     }

@@ -280,3 +280,128 @@ fn observability_flags_produce_trace_metrics_and_events() {
     assert_eq!(submitted, 73);
     assert_eq!(terminal, 73);
 }
+
+#[test]
+fn openmetrics_and_spans_flags_expose_the_perf_observatory() {
+    let dir = in_temp_dir();
+    assert!(moteur()
+        .arg("example")
+        .current_dir(dir.path())
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = moteur()
+        .args([
+            "run",
+            "bronze-standard.xml",
+            "inputs-12.xml",
+            "--config",
+            "sp+dp",
+            "--seed",
+            "7",
+            "--grid",
+            "ideal",
+            "--openmetrics",
+            "metrics.om",
+            "--spans",
+            "spans.jsonl",
+        ])
+        .current_dir(dir.path())
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The exposition is spec-shaped: typed families, labelled samples,
+    // histogram buckets ending at +Inf, single EOF terminator.
+    let om = std::fs::read_to_string(dir.path().join("metrics.om")).expect("openmetrics file");
+    assert!(om.contains("# TYPE moteur_events_total counter"), "{om}");
+    assert!(
+        om.contains("moteur_events_total{kind=\"job_submitted\"} 73"),
+        "{om}"
+    );
+    assert!(
+        om.contains("moteur_service_inflight{service=\"crestLines\"}"),
+        "{om}"
+    );
+    assert!(
+        om.contains("moteur_grid_overhead_seconds_bucket{le=\"+Inf\"} 73"),
+        "{om}"
+    );
+    assert!(
+        om.contains("moteur_phase_duration_seconds_sum{phase=\"execution\"}"),
+        "{om}"
+    );
+    assert!(om.contains("moteur_makespan_seconds 465"), "{om}");
+    assert!(om.ends_with("# EOF\n"), "terminated exposition");
+    assert_eq!(om.matches("# EOF").count(), 1);
+
+    // The span export is one JSON object per span, hierarchically
+    // linked: exactly one root, every other span names a parent.
+    let spans = std::fs::read_to_string(dir.path().join("spans.jsonl")).expect("spans file");
+    let mut roots = 0;
+    let mut items = 0;
+    for line in spans.lines() {
+        assert!(line.starts_with("{\"id\":"), "{line}");
+        if !line.contains("\"parent\":") {
+            roots += 1;
+        }
+        if line.contains("\"kind\":\"item\"") {
+            items += 1;
+        }
+    }
+    assert_eq!(roots, 1, "single workflow root");
+    assert_eq!(items, 73, "one item span per job");
+}
+
+#[test]
+fn gridsim_binary_runs_a_synthetic_load_with_openmetrics() {
+    let dir = in_temp_dir();
+    let out = Command::new(env!("CARGO_BIN_EXE_moteur-gridsim"))
+        .args([
+            "--jobs",
+            "8",
+            "--compute",
+            "60",
+            "--seed",
+            "11",
+            "--openmetrics",
+            "grid.om",
+            "--spans",
+            "grid-spans.jsonl",
+        ])
+        .current_dir(dir.path())
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("delivered 8/8 jobs"), "{text}");
+    assert!(text.contains("overhead: mean"), "{text}");
+
+    let om = std::fs::read_to_string(dir.path().join("grid.om")).expect("openmetrics file");
+    assert!(
+        om.contains("moteur_events_total{kind=\"grid_delivered\"} 8"),
+        "{om}"
+    );
+    assert!(om.contains("# TYPE moteur_ce_queue_depth gauge"), "{om}");
+    assert!(om.contains("moteur_grid_overhead_seconds_count 8"), "{om}");
+    assert!(om.ends_with("# EOF\n"), "{om}");
+
+    let spans = std::fs::read_to_string(dir.path().join("grid-spans.jsonl")).expect("spans file");
+    let items = spans
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"item\""))
+        .count();
+    assert_eq!(items, 8, "one item span per synthetic job");
+    // EGEE overheads are stochastic but never zero: each item carries
+    // a queuing phase.
+    assert!(spans.contains("\"kind\":\"queuing\""), "{spans}");
+}
