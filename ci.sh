@@ -9,6 +9,10 @@ export CARGO_NET_OFFLINE=true
 cargo fmt --all --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# API docs must build clean: broken intra-doc links and malformed
+# doc blocks are errors, not noise.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
 # Tier-1: the root package must build in release and pass its tests.
 cargo build --release --offline
 cargo test -q --offline
@@ -34,3 +38,9 @@ done
 cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
   campaign --sweep ndata=1..6 --out-dir .
 cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- gate
+
+# Data manager: cold/warm pair on the deterministic chain. Fails if the
+# cold run drifts from eq. 1-4 or any warm invocation misses the cache;
+# writes BENCH_warm.json.
+cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
+  warm --ndata 6 --out-dir .

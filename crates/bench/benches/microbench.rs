@@ -114,6 +114,7 @@ fn bench_enactor() {
             access: AccessMethod::Gfn,
         }],
         sandboxes: vec![],
+        nondeterministic: false,
     };
     let mut wf = Workflow::new("chain");
     let src = wf.add_source("source");

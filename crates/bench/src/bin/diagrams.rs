@@ -26,6 +26,7 @@ fn pass_through(name: &str) -> ExecutableDescriptor {
             access: AccessMethod::Gfn,
         }],
         sandboxes: vec![],
+        nondeterministic: false,
     }
 }
 

@@ -31,6 +31,7 @@ fn workflow(compute: f64) -> Workflow {
             access: AccessMethod::Gfn,
         }],
         sandboxes: vec![],
+        nondeterministic: false,
     };
     let mut wf = Workflow::new("sweep");
     let src = wf.add_source("data");

@@ -22,10 +22,15 @@
 //! ([`bronze`]) and the campaign runner ([`campaign`]) shared by the
 //! binaries, the integration tests and the examples.
 
+//! `moteur-bench warm` runs the same campaign twice against one
+//! provenance-keyed data manager and documents the cold-vs-warm
+//! speed-up in `BENCH_warm.json` ([`warm`]).
+
 pub mod bronze;
 pub mod campaign;
 pub mod gate;
 pub mod sweep;
+pub mod warm;
 
 pub use bronze::{
     bronze_chain_inputs, bronze_chain_workflow, bronze_chain_workflow_xml, bronze_inputs,
@@ -37,3 +42,4 @@ pub use sweep::{
     render_points_json, render_summary, render_summary_json, run_sweep, BenchPoint, BenchSummary,
     ConfigSummary, SweepGrid, SweepSpec, SweepWorkflow, POINT_SCHEMA, SUMMARY_SCHEMA,
 };
+pub use warm::{render_warm, render_warm_json, run_warm_pair, WarmReport, WARM_SCHEMA};

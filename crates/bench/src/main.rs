@@ -7,6 +7,7 @@
 //!                       [--overhead SECS] [--tolerance FRAC]
 //!                       [--out-dir DIR]
 //! moteur-bench gate [--summary PATH] [--baseline PATH] [--threshold FRAC]
+//! moteur-bench warm [--ndata N] [--seed N] [--out-dir DIR]
 //! ```
 //!
 //! `campaign` runs the six Table-1 configurations over the sweep and
@@ -16,12 +17,15 @@
 //! and exits non-zero on regression; setting
 //! `MOTEUR_BENCH_UPDATE_BASELINE=1` rewrites the baseline from the
 //! current summary instead (use after an intentional perf change).
+//! `warm` enacts one campaign twice against a shared data manager and
+//! writes the cold-vs-warm comparison to `BENCH_warm.json`.
 
 use moteur_bench::gate::{check_gate, DEFAULT_THRESHOLD};
 use moteur_bench::sweep::{
     render_points_json, render_summary, render_summary_json, run_sweep, SweepGrid, SweepSpec,
     SweepWorkflow,
 };
+use moteur_bench::warm::{render_warm, render_warm_json, run_warm_pair};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -42,6 +46,7 @@ fn usage() -> ExitCode {
     eprintln!("                    [--workflow chain|bronze] [--grid ideal|egee]");
     eprintln!("                    [--overhead SECS] [--tolerance FRAC] [--out-dir DIR]");
     eprintln!("       moteur-bench gate [--summary PATH] [--baseline PATH] [--threshold FRAC]");
+    eprintln!("       moteur-bench warm [--ndata N] [--seed N] [--out-dir DIR]");
     eprintln!();
     eprintln!("env: MOTEUR_BENCH_UPDATE_BASELINE=1  rewrite the gate baseline and pass");
     ExitCode::from(2)
@@ -177,11 +182,45 @@ fn cmd_gate(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_warm(args: &[String]) -> ExitCode {
+    let n_data: usize = match flag_value(args, "--ndata").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(6),
+        Err(_) => return fail("--ndata needs a positive integer"),
+    };
+    if n_data == 0 {
+        return fail("--ndata needs a positive integer");
+    }
+    let seed: u64 = match flag_value(args, "--seed").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(2006),
+        Err(_) => return fail("--seed needs an integer"),
+    };
+    let out_dir = Path::new(flag_value(args, "--out-dir").unwrap_or("."));
+
+    eprintln!("warm-restart pair: bronze-chain, ideal grid, sp+dp, n_data {n_data}...");
+    let report = match run_warm_pair(n_data, seed) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    print!("{}", render_warm(&report));
+    let path = out_dir.join("BENCH_warm.json");
+    if let Err(e) = std::fs::write(&path, render_warm_json(&report) + "\n") {
+        return fail(format!("writing {}: {e}", path.display()));
+    }
+    println!("wrote {}", path.display());
+    if report.drift_ok && report.misses == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("moteur-bench: warm pair failed (cold drift or unexpected warm misses)");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("gate") => cmd_gate(&args[1..]),
+        Some("warm") => cmd_warm(&args[1..]),
         _ => usage(),
     }
 }

@@ -41,6 +41,10 @@ pub enum JobPayload {
         service: Arc<dyn LocalService>,
         inputs: Vec<Token>,
     },
+    /// A cache-elided invocation: no computation, only the simulated
+    /// transfer of already-stored results back to the enactor (the
+    /// data manager's fetch cost).
+    Fetch { transfer_seconds: f64 },
 }
 
 impl std::fmt::Debug for JobPayload {
@@ -57,6 +61,10 @@ impl std::fmt::Debug for JobPayload {
             JobPayload::Local { inputs, .. } => f
                 .debug_struct("Local")
                 .field("inputs", &inputs.len())
+                .finish(),
+            JobPayload::Fetch { transfer_seconds } => f
+                .debug_struct("Fetch")
+                .field("transfer_seconds", transfer_seconds)
                 .finish(),
         }
     }
@@ -135,6 +143,11 @@ impl Backend for VirtualBackend {
                 let result = service.invoke(&inputs);
                 self.local_results.push((job.invocation, result));
                 self.heap.push(Reverse((start, self.seq, job.invocation)));
+                self.seq += 1;
+            }
+            JobPayload::Fetch { transfer_seconds } => {
+                let end = start + moteur_gridsim::SimDuration::from_secs_f64(transfer_seconds);
+                self.heap.push(Reverse((end, self.seq, job.invocation)));
                 self.seq += 1;
             }
         }
@@ -226,6 +239,10 @@ impl Backend for SimBackend {
                     "SimBackend cannot execute in-process services; bind `{}` to a descriptor",
                     job.processor
                 );
+            }
+            JobPayload::Fetch { transfer_seconds } => {
+                self.sim
+                    .submit_fetch(job.processor, transfer_seconds, job.invocation.0);
             }
         }
     }
@@ -321,6 +338,18 @@ impl Backend for LocalBackend {
                     "LocalBackend cannot execute grid jobs; run `{}` on SimBackend",
                     job.processor
                 );
+            }
+            JobPayload::Fetch { .. } => {
+                // Cached results are already in process memory; on the
+                // wall clock a fetch completes immediately.
+                let now = self.wall_now();
+                self.in_flight += 1;
+                let _ = self.tx.send(BackendCompletion {
+                    invocation: job.invocation,
+                    outputs: Ok(None),
+                    started_at: now,
+                    finished_at: now,
+                });
             }
         }
     }

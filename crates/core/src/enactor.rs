@@ -29,6 +29,9 @@ use crate::graph::{ProcId, ProcessorKind, Workflow};
 use crate::iterate::{MatchEngine, MatchedSet};
 use crate::obs::{Obs, TraceEvent};
 use crate::service::{CostModel, GroupSource, GroupedBinding, ServiceBinding, ServiceProfile};
+use crate::store::{
+    descriptor_digest, group_digest, invocation_key, provenance_key, DataStore, InvocationKey,
+};
 use crate::token::{DataIndex, History, Token};
 use crate::trace::{InvocationRecord, WorkflowResult};
 use crate::value::DataValue;
@@ -83,6 +86,36 @@ pub fn run_observed<B: Backend>(
     backend: &mut B,
     obs: Obs,
 ) -> Result<WorkflowResult, MoteurError> {
+    run_inner(workflow, inputs, config, backend, obs, None)
+}
+
+/// [`run_observed`] with a provenance-keyed data manager: before each
+/// descriptor-bound invocation is handed to the grid, `store` is
+/// consulted with its invocation key; on a hit the grid job is elided
+/// and the memoized outputs are replayed at the store's configured
+/// transfer cost. Completed invocations are recorded back into the
+/// store, so a second run over the same inputs (same process or a
+/// warm restart from a persisted store) short-circuits all
+/// deterministic grid work.
+pub fn run_cached<B: Backend>(
+    workflow: &Workflow,
+    inputs: &InputData,
+    config: EnactorConfig,
+    backend: &mut B,
+    obs: Obs,
+    store: &mut DataStore,
+) -> Result<WorkflowResult, MoteurError> {
+    run_inner(workflow, inputs, config, backend, obs, Some(store))
+}
+
+fn run_inner<B: Backend>(
+    workflow: &Workflow,
+    inputs: &InputData,
+    config: EnactorConfig,
+    backend: &mut B,
+    obs: Obs,
+    store: Option<&mut DataStore>,
+) -> Result<WorkflowResult, MoteurError> {
     if config.preflight {
         // Error-severity lint findings are exactly the structural
         // conditions under which enactment would panic, deadlock or
@@ -106,7 +139,7 @@ pub fn run_observed<B: Backend>(
         workflow.clone()
     };
     workflow.validate()?;
-    let mut enactor = Enactor::new(&workflow, config, backend, obs);
+    let mut enactor = Enactor::new(&workflow, config, backend, obs, store);
     enactor.emit_sources(inputs)?;
     enactor.event_loop()?;
     enactor.finish()
@@ -129,6 +162,9 @@ struct PendEntry {
     /// Pre-synthesised output tokens for grid jobs (`None` → the
     /// completion carries real outputs from a local service).
     grid_outputs: Option<ServiceOutputs>,
+    /// `Some` when the data manager missed on this invocation: record
+    /// the outputs under this key once the job completes.
+    cache_key: Option<InvocationKey>,
 }
 
 struct PendingJob {
@@ -158,10 +194,36 @@ struct Enactor<'a, B: Backend> {
     records: Vec<InvocationRecord>,
     start_time: SimTime,
     obs: Obs,
+    /// Provenance-keyed data manager; `None` → memoization disabled.
+    store: Option<&'a mut DataStore>,
+    /// Per-processor service digest: `Some` for deterministic
+    /// descriptor- or group-bound processors when a store is attached,
+    /// `None` for everything uncacheable (local bindings, sources,
+    /// sinks, non-deterministic descriptors).
+    digests: Vec<Option<u64>>,
+}
+
+/// Outcome of consulting the data manager for one ready invocation.
+enum CacheProbe {
+    /// Caching disabled, or this invocation is not memoizable.
+    Uncached,
+    /// Memoized result: replay `outputs` after a simulated transfer.
+    Hit {
+        outputs: ServiceOutputs,
+        transfer_seconds: f64,
+    },
+    /// Memoizable but unknown: record under this key on completion.
+    Miss(InvocationKey),
 }
 
 impl<'a, B: Backend> Enactor<'a, B> {
-    fn new(workflow: &'a Workflow, config: EnactorConfig, backend: &'a mut B, obs: Obs) -> Self {
+    fn new(
+        workflow: &'a Workflow,
+        config: EnactorConfig,
+        backend: &'a mut B,
+        obs: Obs,
+        store: Option<&'a mut DataStore>,
+    ) -> Self {
         let states = workflow
             .processors
             .iter()
@@ -187,6 +249,28 @@ impl<'a, B: Backend> Enactor<'a, B> {
                         .any(|l| l.from.proc.0 == v && l.to.proc.0 == v)
             })
             .collect();
+        let digests = if store.is_some() {
+            workflow
+                .processors
+                .iter()
+                .map(|p| match &p.binding {
+                    Some(ServiceBinding::Descriptor {
+                        descriptor,
+                        profile,
+                    }) if !descriptor.nondeterministic => {
+                        Some(descriptor_digest(descriptor, profile))
+                    }
+                    Some(ServiceBinding::Grouped(g))
+                        if g.stages.iter().all(|s| !s.descriptor.nondeterministic) =>
+                    {
+                        Some(group_digest(g))
+                    }
+                    _ => None,
+                })
+                .collect()
+        } else {
+            vec![None; workflow.processors.len()]
+        };
         let start_time = backend.now();
         Enactor {
             workflow,
@@ -205,7 +289,87 @@ impl<'a, B: Backend> Enactor<'a, B> {
             records: Vec::new(),
             start_time,
             obs,
+            store,
+            digests,
         }
+    }
+
+    /// Consult the data manager for a ready invocation of `proc`.
+    ///
+    /// An invocation is memoizable when the processor has a
+    /// deterministic service digest and every matched input token has a
+    /// provenance key (no [`DataValue::Opaque`] anywhere in its value).
+    fn probe_cache(&mut self, proc: ProcId, matched: &MatchedSet) -> CacheProbe {
+        let Some(digest) = self.digests[proc.0] else {
+            return CacheProbe::Uncached;
+        };
+        let Some(store) = self.store.as_deref_mut() else {
+            return CacheProbe::Uncached;
+        };
+        let mut pkeys = Vec::with_capacity(matched.tokens.len());
+        for token in &matched.tokens {
+            match provenance_key(&token.value, &token.history) {
+                Some(k) => pkeys.push(k),
+                None => return CacheProbe::Uncached,
+            }
+        }
+        let key = invocation_key(&self.workflow.processors[proc.0].name, digest, &pkeys);
+        match store.lookup(key) {
+            Some(outputs) => {
+                let transfer_seconds = store
+                    .fetch_cost()
+                    .map_or(0.0, |d| d.sample(&mut self.rng).max(0.0));
+                CacheProbe::Hit {
+                    outputs,
+                    transfer_seconds,
+                }
+            }
+            None => CacheProbe::Miss(key),
+        }
+    }
+
+    /// Submit a cache hit: the grid job is elided and replaced by a
+    /// pure transfer fetching the memoized outputs from the store.
+    /// Deliberately does **not** count towards `jobs_submitted` and
+    /// emits [`TraceEvent::CacheHit`] instead of `JobSubmitted`.
+    fn submit_cached(
+        &mut self,
+        proc: ProcId,
+        entries: Vec<PendEntry>,
+        invocation: InvocationId,
+        transfer_seconds: f64,
+    ) -> Result<(), MoteurError> {
+        let job = BackendJob {
+            invocation,
+            processor: self.workflow.processors[proc.0].name.clone(),
+            payload: JobPayload::Fetch { transfer_seconds },
+        };
+        let submitted = self.backend.now();
+        let n_outputs = entries
+            .iter()
+            .map(|e| e.grid_outputs.as_ref().map_or(0, Vec::len))
+            .sum();
+        self.obs.emit(|| TraceEvent::CacheHit {
+            at: submitted,
+            invocation: invocation.0,
+            processor: job.processor.clone(),
+            outputs: n_outputs,
+            transfer_seconds,
+        });
+        self.backend.submit(job.clone());
+        self.pending.insert(
+            invocation.0,
+            PendingJob {
+                proc,
+                entries,
+                job,
+                retries: 0,
+                submitted,
+            },
+        );
+        self.states[proc.0].inflight += 1;
+        self.inflight_total += 1;
+        Ok(())
     }
 
     fn emit_sources(&mut self, inputs: &InputData) -> Result<(), MoteurError> {
@@ -458,6 +622,31 @@ impl<'a, B: Backend> Enactor<'a, B> {
             .ok_or_else(|| MoteurError::new("firing an unbound processor"))?;
         let invocation = InvocationId(self.next_invocation);
         self.next_invocation += 1;
+        let probe = self.probe_cache(proc, &matched);
+        if let CacheProbe::Hit {
+            outputs,
+            transfer_seconds,
+        } = probe
+        {
+            let entry = PendEntry {
+                index: matched.index,
+                input_histories: matched.tokens.iter().map(|t| t.history.clone()).collect(),
+                grid_outputs: Some(outputs),
+                cache_key: None,
+            };
+            return self.submit_cached(proc, vec![entry], invocation, transfer_seconds);
+        }
+        let cache_key = match probe {
+            CacheProbe::Miss(key) => {
+                self.obs.emit(|| TraceEvent::CacheMiss {
+                    at: self.backend.now(),
+                    invocation: invocation.0,
+                    processor: self.workflow.processors[proc.0].name.clone(),
+                });
+                Some(key)
+            }
+            _ => None,
+        };
         let (payload, grid_outputs) = match &binding {
             ServiceBinding::Local(service) => (
                 JobPayload::Local {
@@ -496,6 +685,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
             index: matched.index,
             input_histories: matched.tokens.iter().map(|t| t.history.clone()).collect(),
             grid_outputs,
+            cache_key,
         };
         self.submit(proc, vec![entry], invocation, payload)
     }
@@ -509,13 +699,47 @@ impl<'a, B: Backend> Enactor<'a, B> {
             .ok_or_else(|| MoteurError::new("firing an unbound processor"))?;
         let invocation = InvocationId(self.next_invocation);
         self.next_invocation += 1;
+        // Consult the data manager first: memoized members leave the
+        // batch and are replayed as individual fetches; only the
+        // misses travel to the grid as one grouped job.
+        let mut misses: Vec<(MatchedSet, Option<InvocationKey>)> = Vec::with_capacity(batch.len());
+        for matched in batch {
+            match self.probe_cache(proc, &matched) {
+                CacheProbe::Hit {
+                    outputs,
+                    transfer_seconds,
+                } => {
+                    let hit_invocation = InvocationId(self.next_invocation);
+                    self.next_invocation += 1;
+                    let entry = PendEntry {
+                        index: matched.index,
+                        input_histories: matched.tokens.iter().map(|t| t.history.clone()).collect(),
+                        grid_outputs: Some(outputs),
+                        cache_key: None,
+                    };
+                    self.submit_cached(proc, vec![entry], hit_invocation, transfer_seconds)?;
+                }
+                CacheProbe::Miss(key) => misses.push((matched, Some(key))),
+                CacheProbe::Uncached => misses.push((matched, None)),
+            }
+        }
+        if misses.is_empty() {
+            return Ok(());
+        }
         let mut command_lines = Vec::new();
         let mut fetch: Vec<TransferFile> = Vec::new();
         let mut store: Vec<TransferFile> = Vec::new();
         let mut compute_total = 0.0;
-        let mut entries = Vec::with_capacity(batch.len());
-        for (k, matched) in batch.into_iter().enumerate() {
+        let mut entries = Vec::with_capacity(misses.len());
+        for (k, (matched, cache_key)) in misses.into_iter().enumerate() {
             let sub_invocation = InvocationId(invocation.0 * 1_000_000 + k as u64);
+            if cache_key.is_some() {
+                self.obs.emit(|| TraceEvent::CacheMiss {
+                    at: self.backend.now(),
+                    invocation: sub_invocation.0,
+                    processor: self.workflow.processors[proc.0].name.clone(),
+                });
+            }
             let (plan, compute, outputs) = match &binding {
                 ServiceBinding::Descriptor {
                     descriptor,
@@ -542,6 +766,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 index: matched.index,
                 input_histories: matched.tokens.iter().map(|t| t.history.clone()).collect(),
                 grid_outputs: Some(outputs),
+                cache_key,
             });
         }
         let plan = JobPlan {
@@ -796,6 +1021,9 @@ impl<'a, B: Backend> Enactor<'a, B> {
             index: matched.index.clone(),
             input_histories: matched.tokens.iter().map(|t| t.history.clone()).collect(),
             grid_outputs,
+            // Synchronization barriers consume whole streams; they are
+            // never memoized.
+            cache_key: None,
         };
         match &binding {
             ServiceBinding::Local(service) => self.submit(
@@ -923,6 +1151,24 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 retries: pend.retries,
             });
             let history = History::derived(proc.name.clone(), entry.input_histories.clone());
+            if let (Some(key), Some(store)) = (entry.cache_key, self.store.as_deref_mut()) {
+                let mut recorded = Vec::with_capacity(outputs.len());
+                for (port_name, value) in &outputs {
+                    match store.insert(value, &history) {
+                        Some(pk) => recorded.push((port_name.clone(), pk)),
+                        None => {
+                            recorded.clear();
+                            break;
+                        }
+                    }
+                }
+                // Only a complete output set makes a replayable
+                // invocation; partial ones (an Opaque output, or an
+                // output too large for the store's budget) are dropped.
+                if !recorded.is_empty() && recorded.len() == outputs.len() {
+                    store.record_invocation(key, proc.name.clone(), recorded);
+                }
+            }
             for (port_name, value) in outputs {
                 let port_idx = proc
                     .outputs

@@ -62,6 +62,14 @@ impl From<moteur_wrapper::WrapperError> for MoteurError {
     }
 }
 
+// `MoteurError` stays `Clone + Eq`, so the I/O error is captured as its
+// rendered message rather than stored as a payload.
+impl From<std::io::Error> for MoteurError {
+    fn from(e: std::io::Error) -> Self {
+        MoteurError::new(format!("i/o error: {e}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

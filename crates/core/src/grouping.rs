@@ -325,6 +325,7 @@ mod tests {
                 })
                 .collect(),
             sandboxes: vec![],
+            nondeterministic: false,
         }
     }
 

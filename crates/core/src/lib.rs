@@ -71,6 +71,7 @@ pub mod obs;
 pub mod provenance;
 pub mod report;
 pub mod service;
+pub mod store;
 pub mod token;
 pub mod trace;
 pub mod value;
@@ -81,7 +82,7 @@ pub use backend::{
 };
 pub use config::EnactorConfig;
 pub use dot::to_dot;
-pub use enactor::{run, run_observed, InputData};
+pub use enactor::{run, run_cached, run_observed, InputData};
 pub use error::MoteurError;
 pub use granularity::{inverse_normal_cdf, GranularityModel};
 pub use graph::{IterationStrategy, Link, PortRef, ProcId, Processor, ProcessorKind, Workflow};
@@ -107,6 +108,10 @@ pub use service::{
     CostModel, GroupSource, GroupedBinding, GroupedStage, LocalService, ServiceBinding,
     ServiceProfile,
 };
+pub use store::{
+    descriptor_digest, group_digest, invocation_key, provenance_key, DataStore, InvocationKey,
+    ProvenanceKey, StoreConfig, StoreStats, STORE_SCHEMA,
+};
 pub use token::{DataIndex, History, Token};
 pub use trace::{InvocationRecord, WorkflowResult};
 pub use value::DataValue;
@@ -115,12 +120,13 @@ pub use value::DataValue;
 pub mod prelude {
     pub use crate::backend::{Backend, LocalBackend, SimBackend, VirtualBackend};
     pub use crate::config::EnactorConfig;
-    pub use crate::enactor::{run, run_observed, InputData};
+    pub use crate::enactor::{run, run_cached, run_observed, InputData};
     pub use crate::error::MoteurError;
     pub use crate::graph::{IterationStrategy, ProcId, Workflow};
     pub use crate::model::TimeMatrix;
     pub use crate::obs::{Obs, TraceEvent};
     pub use crate::service::{CostModel, LocalService, ServiceBinding, ServiceProfile};
+    pub use crate::store::{DataStore, StoreConfig};
     pub use crate::token::{DataIndex, History, Token};
     pub use crate::trace::WorkflowResult;
     pub use crate::value::DataValue;

@@ -11,7 +11,7 @@
 //! - [`diag`] — the diagnostic data model (severity, labels, report)
 //! - [`rules`] — the rule registry ([`lint_workflow`] runs all of it)
 //! - [`render`] — human renderer and the JSON codec
-//! - [`predict`] — eq. 1–4 makespan/job-count prediction (`--predict`)
+//! - [`mod@predict`] — eq. 1–4 makespan/job-count prediction (`--predict`)
 //!
 //! The enactor runs the error-severity subset ([`lint_errors`]) as a
 //! pre-flight and refuses to enact a workflow with findings, unless the

@@ -238,6 +238,7 @@ mod tests {
                 access: AccessMethod::Gfn,
             }],
             sandboxes: vec![],
+            nondeterministic: false,
         }
     }
 

@@ -16,7 +16,7 @@ use std::fmt::Write as _;
 pub const KNOWN_CODES: &[&str] = &[
     "M000", "M001", "M002", "M003", "M004", "M005", "M006", "M007", "M008", "M010", "M011", "M012",
     "M013", "M014", "M020", "M021", "M030", "M031", "M040", "M041", "M042", "M050", "M051", "M060",
-    "M061", "M062", "M063", "M064",
+    "M061", "M062", "M063", "M064", "M070",
 ];
 
 /// Intern `code` against [`KNOWN_CODES`].

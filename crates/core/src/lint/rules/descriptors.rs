@@ -1,11 +1,13 @@
-//! Descriptor/catalog cross-validation (M050–M051).
+//! Descriptor/catalog cross-validation (M050–M051, M070).
 //!
 //! M050 surfaces per-descriptor findings from
 //! [`moteur_wrapper::lint_descriptor`] on the processor that embeds the
 //! descriptor. M051 cross-checks the processor's *ports* against the
 //! descriptor's *slots*: a port the wrapper cannot map to a slot (or a
 //! file slot no port and no `<param>` ever feeds) produces a job the
-//! wrapper cannot plan.
+//! wrapper cannot plan. M070 flags services declared non-deterministic:
+//! they are safe to run but unsafe to memoize, so the data manager
+//! skips them and warm restarts re-execute them on the grid.
 
 use crate::graph::{ProcId, Workflow};
 use crate::lint::diag::{Diagnostic, LintReport};
@@ -31,6 +33,28 @@ pub fn check(wf: &Workflow, report: &mut LintReport) {
                     format!("descriptor of `{}`: {}", p.name, finding.message),
                 )
                 .primary(wf.spans.processor(id), "descriptor embedded here"),
+            );
+        }
+
+        // M070: memoizing a non-deterministic executable would replay
+        // stale outputs that a fresh execution would not reproduce.
+        // The data manager refuses such services at run time; warn so
+        // the user knows warm restarts will re-execute them.
+        if descriptor.nondeterministic {
+            report.push(
+                Diagnostic::warning(
+                    "M070",
+                    format!(
+                        "`{}` is bound to non-deterministic executable `{}`: its \
+                         invocations are never memoized by the data manager",
+                        p.name, descriptor.executable.name
+                    ),
+                )
+                .primary(wf.spans.processor(id), "declared nondeterministic=\"true\"")
+                .with_help(
+                    "drop the attribute if outputs are a pure function of inputs; \
+                     otherwise expect this service to re-execute on warm runs",
+                ),
             );
         }
 

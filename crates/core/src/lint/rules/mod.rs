@@ -10,10 +10,11 @@
 //! | [`cardinality`]| M020–M021   | iteration-strategy cardinality        |
 //! | [`grouping`]   | M030–M031   | §3.6 job-grouping legality            |
 //! | [`coordination`]| M040–M042  | barriers & coordination constraints   |
-//! | [`descriptors`]| M050–M051   | descriptor/catalog cross-validation   |
+//! | [`descriptors`]| M050–M051, M070 | descriptor/catalog cross-validation |
 //!
 //! Codes M060–M065 are reserved for the Scufl parse stage (emitted by
-//! `moteur-scufl`'s lenient parser, before a graph exists).
+//! `moteur-scufl`'s lenient parser, before a graph exists). M070 warns
+//! on non-deterministic services the data manager cannot memoize.
 
 pub mod cardinality;
 pub mod coordination;

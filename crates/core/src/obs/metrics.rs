@@ -294,6 +294,18 @@ impl EventSink for MetricsSink {
                 reg.gauge_add(&format!("inflight.{processor}"), at, 1);
                 self.times.entry(*invocation).or_default().submitted = Some(at);
             }
+            // A cache hit replaces JobSubmitted for its invocation: the
+            // matching JobCompleted still fires, so the inflight gauges
+            // must be incremented here to stay balanced.
+            TraceEvent::CacheHit {
+                invocation,
+                processor,
+                ..
+            } => {
+                reg.gauge_add("inflight_total", at, 1);
+                reg.gauge_add(&format!("inflight.{processor}"), at, 1);
+                self.times.entry(*invocation).or_default().submitted = Some(at);
+            }
             TraceEvent::JobCompleted { processor, .. }
             | TraceEvent::JobFailed { processor, .. } => {
                 reg.gauge_add("inflight_total", at, -1);

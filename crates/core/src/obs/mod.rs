@@ -11,6 +11,8 @@
 //! enactor:  TokenEmitted → MatchFired / BarrierReleased /
 //!           GroupComposed → JobSubmitted → (JobResubmitted)* →
 //!           JobCompleted | JobFailed
+//!           (with a data manager: CacheMiss before JobSubmitted, or
+//!           CacheHit → JobCompleted when the grid job is elided)
 //! grid:     GridSubmitted → GridMatched → GridEnqueued → GridStarted →
 //!           GridFinished → (GridResubmitted → …)* → GridDelivered,
 //!           plus CeCapacity samples
@@ -113,6 +115,23 @@ pub enum TraceEvent {
         processor: String,
         error: String,
     },
+    /// The data manager answered the invocation from its cache: the
+    /// grid job is elided and replaced by a simulated fetch of the
+    /// `outputs` stored results, costing `transfer_seconds`.
+    CacheHit {
+        at: SimTime,
+        invocation: u64,
+        processor: String,
+        outputs: usize,
+        transfer_seconds: f64,
+    },
+    /// The data manager had no usable entry for the invocation; the
+    /// job proceeds to the backend as usual.
+    CacheMiss {
+        at: SimTime,
+        invocation: u64,
+        processor: String,
+    },
 
     /// The grid user interface accepted the job (follows the enactor's
     /// `JobSubmitted` after the submission overhead).
@@ -183,6 +202,8 @@ impl TraceEvent {
             TraceEvent::JobResubmitted { .. } => "job_resubmitted",
             TraceEvent::JobCompleted { .. } => "job_completed",
             TraceEvent::JobFailed { .. } => "job_failed",
+            TraceEvent::CacheHit { .. } => "cache_hit",
+            TraceEvent::CacheMiss { .. } => "cache_miss",
             TraceEvent::GridSubmitted { .. } => "grid_submitted",
             TraceEvent::GridMatched { .. } => "grid_matched",
             TraceEvent::GridEnqueued { .. } => "grid_enqueued",
@@ -205,6 +226,8 @@ impl TraceEvent {
             | TraceEvent::JobResubmitted { at, .. }
             | TraceEvent::JobCompleted { at, .. }
             | TraceEvent::JobFailed { at, .. }
+            | TraceEvent::CacheHit { at, .. }
+            | TraceEvent::CacheMiss { at, .. }
             | TraceEvent::GridSubmitted { at, .. }
             | TraceEvent::GridMatched { at, .. }
             | TraceEvent::GridEnqueued { at, .. }
@@ -223,6 +246,8 @@ impl TraceEvent {
             | TraceEvent::JobResubmitted { invocation, .. }
             | TraceEvent::JobCompleted { invocation, .. }
             | TraceEvent::JobFailed { invocation, .. }
+            | TraceEvent::CacheHit { invocation, .. }
+            | TraceEvent::CacheMiss { invocation, .. }
             | TraceEvent::GridSubmitted { invocation, .. }
             | TraceEvent::GridMatched { invocation, .. }
             | TraceEvent::GridEnqueued { invocation, .. }
@@ -399,6 +424,26 @@ impl TraceEvent {
                 .uint("invocation", *invocation)
                 .str("processor", processor)
                 .str("error", error)
+                .finish(),
+            TraceEvent::CacheHit {
+                invocation,
+                processor,
+                outputs,
+                transfer_seconds,
+                ..
+            } => base
+                .uint("invocation", *invocation)
+                .str("processor", processor)
+                .uint("outputs", *outputs as u64)
+                .num("transfer_seconds", *transfer_seconds)
+                .finish(),
+            TraceEvent::CacheMiss {
+                invocation,
+                processor,
+                ..
+            } => base
+                .uint("invocation", *invocation)
+                .str("processor", processor)
                 .finish(),
             TraceEvent::GridSubmitted {
                 invocation, name, ..

@@ -105,6 +105,20 @@ pub fn render(registry: &MetricsRegistry, spans: Option<&SpanTree>) -> String {
         }
     }
 
+    // Data-manager families, derived from the cache lifecycle counters:
+    // dedicated names so dashboards need no event-kind joins.
+    let hits = registry.counter("cache_hit");
+    let misses = registry.counter("cache_miss");
+    if hits + misses > 0 {
+        r.typed("moteur_cache_hits_total", "counter");
+        r.sample("moteur_cache_hits_total", &[], &hits.to_string());
+        r.typed("moteur_cache_misses_total", "counter");
+        r.sample("moteur_cache_misses_total", &[], &misses.to_string());
+        r.typed("moteur_cache_hit_ratio", "gauge");
+        let ratio = hits as f64 / (hits + misses) as f64;
+        r.sample("moteur_cache_hit_ratio", &[], &num(ratio));
+    }
+
     // Gauges: group the known naming schemes into labelled families so
     // `inflight.crestLines` and `inflight.crestMatch` are one metric.
     // (label key, label value, current, peak) per family member.

@@ -394,6 +394,42 @@ impl EventSink for SpanSink {
                     },
                 );
             }
+            // A cache-elided invocation: open the item span like a
+            // submission would, but mark it cached. The only phase it
+            // can accrue is the fetch's transfer — submission,
+            // scheduling, queuing and execution never appear.
+            TraceEvent::CacheHit {
+                invocation,
+                processor,
+                ..
+            } => {
+                let service = *self.services.entry(processor.clone()).or_insert_with(|| {
+                    Self::open(
+                        &mut tree,
+                        Some(root),
+                        SpanKind::Service,
+                        processor.clone(),
+                        at,
+                    )
+                });
+                let item = Self::open(
+                    &mut tree,
+                    Some(service),
+                    SpanKind::DataItem,
+                    invocation.to_string(),
+                    at,
+                );
+                tree.spans[item.0]
+                    .attrs
+                    .push(("cached".to_string(), "true".to_string()));
+                self.items.insert(
+                    *invocation,
+                    ItemState {
+                        span: item,
+                        mark: at,
+                    },
+                );
+            }
             TraceEvent::GridSubmitted { invocation, .. } => {
                 if let Some(s) = self.items.get_mut(invocation) {
                     Self::phase(&mut tree, s, GridPhase::Submission, at, &[]);

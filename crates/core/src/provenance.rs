@@ -2,7 +2,7 @@
 //!
 //! The paper leans on data provenance twice — to solve the causality
 //! problem of out-of-order completions (§3.3/§4.1) and pointing at the
-//! semantic-provenance literature for e-Science (its ref. [32]). This
+//! semantic-provenance literature for e-Science (its ref. \[32\]). This
 //! module makes the recorded provenance a first-class artifact: every
 //! sink token's full history tree, exportable as an XML document and
 //! reloadable for post-hoc analysis.

@@ -1,0 +1,287 @@
+//! On-disk codec of a [`DataStore`]: a versioned `index.json` (schema
+//! tag + invocation index) plus a `store.jsonl` data file (one entry
+//! per line).
+//!
+//! Both files are rewritten whole on [`DataStore::save`], sorted by
+//! key, so identical contents serialise byte-identically. Loading
+//! verifies the schema tag first and rejects anything else with a
+//! typed error — a future v2 layout will not be silently misread.
+//!
+//! Numbers are stored as the hex spelling of their IEEE-754 bit
+//! pattern: JSON has no NaN/∞ and decimal round-trips are easy to get
+//! subtly wrong, while the bit pattern is exactly what the
+//! [`ProvenanceKey`] hashed.
+
+use super::{DataStore, InvocationKey, ProvenanceKey, STORE_SCHEMA};
+use crate::error::MoteurError;
+use crate::lint::render::JsonValue;
+use crate::obs::json::{array, JsonObject};
+use crate::value::DataValue;
+use std::path::Path;
+
+pub(super) const INDEX_FILE: &str = "index.json";
+pub(super) const DATA_FILE: &str = "store.jsonl";
+
+fn encode_value(value: &DataValue) -> Option<String> {
+    Some(match value {
+        DataValue::Str(s) => JsonObject::new().str("t", "str").str("v", s).finish(),
+        DataValue::Num(n) => JsonObject::new()
+            .str("t", "num")
+            .str("bits", &format!("{:016x}", n.to_bits()))
+            .finish(),
+        DataValue::File { gfn, bytes } => JsonObject::new()
+            .str("t", "file")
+            .str("gfn", gfn)
+            .uint("bytes", *bytes)
+            .finish(),
+        DataValue::List(items) => {
+            let encoded: Option<Vec<String>> = items.iter().map(encode_value).collect();
+            JsonObject::new()
+                .str("t", "list")
+                .raw("items", &array(encoded?))
+                .finish()
+        }
+        DataValue::Opaque(_) => return None,
+    })
+}
+
+fn bad(what: &str) -> MoteurError {
+    MoteurError::new(format!("corrupt data store: {what}"))
+}
+
+fn decode_value(v: &JsonValue) -> Result<DataValue, MoteurError> {
+    let tag = v
+        .get("t")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| bad("value without a `t` tag"))?;
+    match tag {
+        "str" => Ok(DataValue::Str(
+            v.get("v")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| bad("str value without `v`"))?
+                .to_string(),
+        )),
+        "num" => {
+            let bits = v
+                .get("bits")
+                .and_then(JsonValue::as_str)
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .ok_or_else(|| bad("num value without hex `bits`"))?;
+            Ok(DataValue::Num(f64::from_bits(bits)))
+        }
+        "file" => Ok(DataValue::File {
+            gfn: v
+                .get("gfn")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| bad("file value without `gfn`"))?
+                .to_string(),
+            bytes: v
+                .get("bytes")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| bad("file value without `bytes`"))? as u64,
+        }),
+        "list" => {
+            let Some(JsonValue::Array(items)) = v.get("items") else {
+                return Err(bad("list value without `items`"));
+            };
+            Ok(DataValue::List(
+                items.iter().map(decode_value).collect::<Result<_, _>>()?,
+            ))
+        }
+        other => Err(bad(&format!("unknown value tag `{other}`"))),
+    }
+}
+
+/// Serialise `store` into `dir` (both files rewritten whole).
+pub(super) fn save(store: &DataStore, dir: &Path) -> Result<(), MoteurError> {
+    let mut invocations: Vec<_> = store.iter_invocations().collect();
+    invocations.sort_by_key(|(k, _, _)| *k);
+    let rows = invocations.into_iter().map(|(key, service, outputs)| {
+        let outs = outputs.iter().map(|(port, pk)| {
+            JsonObject::new()
+                .str("port", port)
+                .str("pk", &pk.to_hex())
+                .finish()
+        });
+        JsonObject::new()
+            .str("key", &key.to_hex())
+            .str("service", service)
+            .raw("outputs", &array(outs))
+            .finish()
+    });
+    let index = JsonObject::new()
+        .str("schema", STORE_SCHEMA)
+        .raw("invocations", &array(rows))
+        .finish();
+    std::fs::write(dir.join(INDEX_FILE), index + "\n")?;
+
+    let mut entries: Vec<_> = store.iter_data().collect();
+    entries.sort_by_key(|(k, _, _, _)| *k);
+    let mut jsonl = String::new();
+    for (key, value, footprint, _) in entries {
+        let encoded = encode_value(value)
+            .ok_or_else(|| MoteurError::new("opaque value in the data store"))?;
+        jsonl.push_str(
+            &JsonObject::new()
+                .str("pk", &key.to_hex())
+                .uint("footprint", footprint)
+                .raw("value", &encoded)
+                .finish(),
+        );
+        jsonl.push('\n');
+    }
+    std::fs::write(dir.join(DATA_FILE), jsonl)?;
+    Ok(())
+}
+
+/// Load `dir` into an empty `store`, verifying the schema tag.
+pub(super) fn load(store: &mut DataStore, dir: &Path) -> Result<(), MoteurError> {
+    let index_text = std::fs::read_to_string(dir.join(INDEX_FILE))?;
+    let index = JsonValue::parse(&index_text).map_err(|e| bad(&format!("index.json: {e}")))?;
+    match index.get("schema").and_then(JsonValue::as_str) {
+        Some(s) if s == STORE_SCHEMA => {}
+        Some(other) => {
+            return Err(MoteurError::new(format!(
+                "data store at {} has schema `{other}`, this build reads `{STORE_SCHEMA}` \
+                 (clear the cache directory to rebuild it)",
+                dir.display()
+            )))
+        }
+        None => return Err(bad("index.json without a schema tag")),
+    }
+
+    let data_path = dir.join(DATA_FILE);
+    if data_path.exists() {
+        let text = std::fs::read_to_string(&data_path)?;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let row = JsonValue::parse(line).map_err(|e| bad(&format!("store.jsonl: {e}")))?;
+            let key = row
+                .get("pk")
+                .and_then(JsonValue::as_str)
+                .and_then(ProvenanceKey::from_hex)
+                .ok_or_else(|| bad("entry without a valid `pk`"))?;
+            let footprint =
+                row.get("footprint")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| bad("entry without a `footprint`"))? as u64;
+            let value = decode_value(
+                row.get("value")
+                    .ok_or_else(|| bad("entry without a `value`"))?,
+            )?;
+            store.load_data(key, value, footprint);
+        }
+    }
+
+    let rows = match index.get("invocations") {
+        Some(JsonValue::Array(rows)) => rows.as_slice(),
+        _ => return Err(bad("index.json without an `invocations` array")),
+    };
+    for row in rows {
+        let key = row
+            .get("key")
+            .and_then(JsonValue::as_str)
+            .and_then(InvocationKey::from_hex)
+            .ok_or_else(|| bad("invocation without a valid `key`"))?;
+        let service = row
+            .get("service")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| bad("invocation without a `service`"))?
+            .to_string();
+        let Some(JsonValue::Array(outs)) = row.get("outputs") else {
+            return Err(bad("invocation without an `outputs` array"));
+        };
+        let mut outputs = Vec::with_capacity(outs.len());
+        for o in outs {
+            let port = o
+                .get("port")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| bad("output without a `port`"))?
+                .to_string();
+            let pk = o
+                .get("pk")
+                .and_then(JsonValue::as_str)
+                .and_then(ProvenanceKey::from_hex)
+                .ok_or_else(|| bad("output without a valid `pk`"))?;
+            outputs.push((port, pk));
+        }
+        store.record_invocation(key, service, outputs);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{invocation_key, StoreConfig};
+    use crate::token::History;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("moteur-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn persistence_round_trips_values_and_invocations() {
+        let dir = temp_dir("roundtrip");
+        let mut store = DataStore::open(&dir, StoreConfig::default()).unwrap();
+        let h = History::derived("proc", vec![History::source("s", 0)]);
+        let list = DataValue::List(vec![
+            DataValue::from("x"),
+            DataValue::Num(f64::NAN),
+            DataValue::File {
+                gfn: "gfn://f".into(),
+                bytes: 42,
+            },
+        ]);
+        let pk = store.insert(&list, &h).unwrap();
+        let ik = invocation_key("svc", 1, &[ProvenanceKey(9)]);
+        store.record_invocation(ik, "svc", vec![("out".into(), pk)]);
+        store.save().unwrap();
+
+        let mut reloaded = DataStore::open(&dir, StoreConfig::default()).unwrap();
+        let outs = reloaded.lookup(ik).expect("warm restart hits");
+        let items = outs[0].1.as_list().unwrap();
+        assert_eq!(items[0].as_str(), Some("x"));
+        assert!(items[1].as_num().unwrap().is_nan(), "NaN bit pattern kept");
+        assert_eq!(items[2].as_file(), Some(("gfn://f", 42)));
+        assert_eq!(reloaded.stats().bytes, store.stats().bytes);
+
+        // Saving identical contents twice is byte-stable.
+        reloaded.save().unwrap();
+        let a = std::fs::read(dir.join(DATA_FILE)).unwrap();
+        store.save().unwrap();
+        let b = std::fs::read(dir.join(DATA_FILE)).unwrap();
+        assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_schema_versions_are_rejected() {
+        let dir = temp_dir("schema");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(INDEX_FILE),
+            "{\"schema\":\"moteur-store/v999\",\"invocations\":[]}\n",
+        )
+        .unwrap();
+        let err = DataStore::open(&dir, StoreConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("moteur-store/v999"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_lines_surface_as_typed_errors() {
+        let dir = temp_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(INDEX_FILE),
+            format!("{{\"schema\":\"{STORE_SCHEMA}\",\"invocations\":[]}}\n"),
+        )
+        .unwrap();
+        std::fs::write(dir.join(DATA_FILE), "not json\n").unwrap();
+        assert!(DataStore::open(&dir, StoreConfig::default()).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -24,6 +24,7 @@ fn descriptor(name: &str) -> ExecutableDescriptor {
             access: AccessMethod::Gfn,
         }],
         sandboxes: vec![],
+        nondeterministic: false,
     }
 }
 

@@ -30,6 +30,7 @@ fn descriptor(name: &str, inputs: usize) -> ExecutableDescriptor {
             access: AccessMethod::Gfn,
         }],
         sandboxes: vec![],
+        nondeterministic: false,
     }
 }
 

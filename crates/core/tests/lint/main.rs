@@ -378,6 +378,37 @@ fn m051_port_descriptor_mismatch_programmatic() {
     assert_eq!(d.severity, Severity::Error);
 }
 
+/// M070: a descriptor declared non-deterministic is safe to run but
+/// unsafe to memoize — surfaced as a warning, never a preflight error.
+#[test]
+fn m070_nondeterministic_descriptor_programmatic() {
+    let mut descriptor = crest_lines_example();
+    descriptor.nondeterministic = true;
+    let mut wf = Workflow::new("m070");
+    let src = wf.add_source("s");
+    let svc = wf.add_service(
+        "stage",
+        &["floating_image", "reference_image", "scale"],
+        &["crest_reference", "crest_floating"],
+        ServiceBinding::descriptor(descriptor, ServiceProfile::new(10.0)),
+    );
+    let sink = wf.add_sink("k");
+    wf.connect(src, "out", svc, "floating_image").unwrap();
+    wf.connect(src, "out", svc, "reference_image").unwrap();
+    wf.connect(src, "out", svc, "scale").unwrap();
+    wf.connect(svc, "crest_reference", sink, "in").unwrap();
+    let report = lint_workflow(&wf);
+    let d = find(&report, "M070");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("stage"), "names the processor");
+    assert!(d.message.contains("memoized"), "explains the consequence");
+    // A warning must not block enactment preflight.
+    assert!(moteur::lint_errors(&wf)
+        .diagnostics
+        .iter()
+        .all(|d| d.code != "M070"));
+}
+
 /// The JSON renderer round-trips a real multi-rule report exactly.
 #[test]
 fn fixture_report_round_trips_through_json() {

@@ -24,6 +24,7 @@ fn pass_through_descriptor(name: &str) -> ExecutableDescriptor {
             access: AccessMethod::Gfn,
         }],
         sandboxes: vec![],
+        nondeterministic: false,
     }
 }
 

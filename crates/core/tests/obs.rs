@@ -36,6 +36,7 @@ fn descriptor(name: &str, inputs: &[&str], outputs: &[&str]) -> ExecutableDescri
             })
             .collect(),
         sandboxes: vec![],
+        nondeterministic: false,
     }
 }
 

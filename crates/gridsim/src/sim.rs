@@ -252,6 +252,49 @@ impl GridSim {
         id
     }
 
+    /// Submit a pure data transfer: the job bypasses the broker, queue
+    /// and execution pipeline entirely and is delivered after
+    /// `transfer_seconds` of stage-in. Used by the data manager to
+    /// model fetching a memoized result from the content store.
+    pub fn submit_fetch(
+        &mut self,
+        name: impl Into<String>,
+        transfer_seconds: f64,
+        tag: u64,
+    ) -> JobId {
+        let id = JobId(self.jobs.len() as u64);
+        let transfer = SimDuration::from_secs_f64(transfer_seconds.max(0.0));
+        let record = JobRecord {
+            id,
+            name: name.into(),
+            tag,
+            submitted_at: self.clock,
+            matched_at: self.clock,
+            enqueued_at: self.clock,
+            started_at: self.clock,
+            finished_at: self.clock + transfer,
+            delivered_at: self.clock + transfer,
+            ce: None,
+            attempts: 1,
+            stage_in: transfer,
+            compute: SimDuration::ZERO,
+            stage_out: SimDuration::ZERO,
+            outcome: JobOutcome::Success,
+        };
+        let spec = GridJobSpec::new(record.name.clone(), 0.0).with_tag(tag);
+        self.jobs.push(JobState {
+            spec,
+            record,
+            done: false,
+        });
+        self.outstanding += 1;
+        self.schedule_in(
+            transfer_seconds.max(0.0),
+            Event::CompletionDelivered { job: id },
+        );
+        id
+    }
+
     /// Advance virtual time until the next user-job completion and
     /// return it, or `None` when no user job is outstanding.
     pub fn next_completion(&mut self) -> Option<GridJobCompletion> {

@@ -121,6 +121,7 @@ mod tests {
                 access: AccessMethod::Gfn,
             }],
             sandboxes: vec![],
+            nondeterministic: false,
         }
     }
 

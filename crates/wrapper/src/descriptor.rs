@@ -95,6 +95,11 @@ pub struct ExecutableDescriptor {
     pub inputs: Vec<InputSlot>,
     pub outputs: Vec<OutputSlot>,
     pub sandboxes: Vec<FileItem>,
+    /// The executable's outputs are not a pure function of its inputs
+    /// (wall-clock stamps, random seeds, hardware-dependent rounding…).
+    /// Declared with `nondeterministic="true"` on `<executable>`; such
+    /// services are never memoized by the data manager.
+    pub nondeterministic: bool,
 }
 
 impl ExecutableDescriptor {
@@ -169,6 +174,7 @@ impl ExecutableDescriptor {
             inputs,
             outputs,
             sandboxes,
+            nondeterministic: exe_el.attr("nondeterministic") == Some("true"),
         };
         d.validate()?;
         Ok(d)
@@ -183,8 +189,13 @@ impl ExecutableDescriptor {
 
     /// Serialise back to the Fig. 8 XML dialect.
     pub fn to_xml(&self) -> Element {
-        let mut exe = Element::new("executable")
-            .with_attr("name", self.executable.name.clone())
+        let mut exe = Element::new("executable").with_attr("name", self.executable.name.clone());
+        // Attribute only when set: deterministic descriptors keep
+        // byte-identical round-trips with pre-existing documents.
+        if self.nondeterministic {
+            exe = exe.with_attr("nondeterministic", "true");
+        }
+        exe = exe
             .with_child(self.executable.access.to_xml())
             .with_child(Element::new("value").with_attr("value", self.executable.value.clone()));
         for i in &self.inputs {
@@ -321,6 +332,7 @@ pub fn crest_lines_example() -> ExecutableDescriptor {
                 value: "cmatch".into(),
             },
         ],
+        nondeterministic: false,
     }
 }
 
@@ -416,6 +428,20 @@ mod tests {
                 .unwrap();
         assert_eq!(d.executable.value, "tool");
         assert_eq!(d.executable.access, AccessMethod::Local);
+    }
+
+    #[test]
+    fn nondeterministic_attribute_round_trips() {
+        let text = r#"<description><executable name="x" nondeterministic="true">
+            <value value="x"/>
+        </executable></description>"#;
+        let d = ExecutableDescriptor::parse(text).unwrap();
+        assert!(d.nondeterministic);
+        let again = ExecutableDescriptor::parse(&d.to_xml().to_pretty_string()).unwrap();
+        assert!(again.nondeterministic);
+        // Deterministic descriptors never grow the attribute.
+        let det = crest_lines_example();
+        assert!(!det.to_xml().to_pretty_string().contains("nondeterministic"));
     }
 
     #[test]

@@ -360,6 +360,7 @@ mod tests {
                 access: AccessMethod::Gfn,
             }],
             sandboxes: vec![],
+            nondeterministic: false,
         };
         let b = Binding::new()
             .bind_file("in", "gfn://x/in.txt")

@@ -127,6 +127,7 @@ mod tests {
                 access: AccessMethod::Gfn,
             }],
             sandboxes: vec![],
+            nondeterministic: false,
         }
     }
 

@@ -61,6 +61,7 @@ fn workflow() -> Workflow {
             access: AccessMethod::Gfn,
         }],
         sandboxes: vec![],
+        nondeterministic: false,
     };
     let mut wf = Workflow::new("adaptive");
     let src = wf.add_source("data");

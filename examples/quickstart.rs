@@ -27,6 +27,7 @@ fn unit_service(name: &str) -> ServiceBinding {
             access: AccessMethod::Gfn,
         }],
         sandboxes: vec![],
+        nondeterministic: false,
     };
     // Every invocation takes exactly 1 s of (virtual) compute.
     ServiceBinding::descriptor(descriptor, ServiceProfile::new(1.0))

@@ -10,22 +10,30 @@
 //!            [--provenance out.xml] [--events out.jsonl]
 //!            [--chrome-trace trace.json] [--metrics metrics.json]
 //!            [--openmetrics metrics.om] [--spans spans.jsonl]
-//!            [--critical-path]
+//!            [--critical-path] [--cache-dir DIR] [--fetch-cost SECS]
 //! moteur lint <workflow.xml> [--json] [--deny-warnings] [--predict]
 //! moteur validate <workflow.xml>
 //! moteur group <workflow.xml>          # print the grouped workflow
 //! moteur dot <workflow.xml>            # Graphviz export
+//! moteur cache <stats|gc|clear> <dir>  # inspect/maintain a data-manager store
 //! moteur example                       # write bronze-standard.xml + inputs-12.xml
 //! ```
+//!
+//! `--cache-dir` attaches the provenance-keyed data manager: completed
+//! deterministic invocations are memoized into `DIR`, and a later run
+//! over the same inputs (same process or a warm restart) elides the
+//! memoized grid jobs, replaying their outputs at `--fetch-cost`
+//! simulated seconds per hit.
 
 use moteur_repro::bench::{bronze_inputs, bronze_workflow_xml};
+use moteur_repro::gridsim::Distribution;
 use moteur_repro::gridsim::GridConfig;
 use moteur_repro::moteur::lint::{prediction_to_json, LintReport};
 use moteur_repro::moteur::{
     chrome_trace_with_metrics, critical_path, diagram, export_provenance, group_workflow,
     lint_workflow, predict, render_critical_path, render_human, render_openmetrics,
-    render_prediction, render_report, report_to_json, run_observed, to_dot, EnactorConfig,
-    EventSink, JsonlSink, MetricsSink, Obs, SimBackend, SpanSink,
+    render_prediction, render_report, report_to_json, run_cached, run_observed, to_dot, DataStore,
+    EnactorConfig, EventSink, JsonlSink, MetricsSink, Obs, SimBackend, SpanSink, StoreConfig,
 };
 use moteur_repro::scufl::{
     lint_source, parse_input_data, parse_workflow, write_input_data, write_workflow,
@@ -40,20 +48,23 @@ fn main() -> ExitCode {
         Some("validate") => cmd_validate(&args[1..]),
         Some("group") => cmd_group(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
+        Some("cache") => cmd_cache(&args[1..]),
         Some("example") => cmd_example(),
         _ => {
-            eprintln!("usage: moteur <run|lint|validate|group|dot|example> ...");
+            eprintln!("usage: moteur <run|lint|validate|group|dot|cache|example> ...");
             eprintln!("  run <workflow.xml> <inputs.xml> [--config nop|jg|sp|dp|sp+dp|sp+dp+jg]");
             eprintln!("      [--seed N] [--grid egee|ideal] [--batch G] [--report] [--diagram]");
             eprintln!("      [--provenance out.xml] [--events out.jsonl]");
             eprintln!("      [--chrome-trace trace.json] [--metrics metrics.json]");
             eprintln!("      [--openmetrics metrics.om] [--spans spans.jsonl]");
             eprintln!("      [--critical-path] [--no-verify]");
+            eprintln!("      [--cache-dir DIR] [--fetch-cost SECS]");
             eprintln!("  lint <workflow.xml> [--json] [--deny-warnings] [--predict]");
             eprintln!("      [--ndata N] [--overhead S]");
             eprintln!("  validate <workflow.xml>");
             eprintln!("  group <workflow.xml>");
             eprintln!("  dot <workflow.xml>");
+            eprintln!("  cache <stats|gc|clear> <dir>");
             eprintln!("  example");
             ExitCode::from(2)
         }
@@ -198,6 +209,44 @@ fn cmd_dot(args: &[String]) -> ExitCode {
     }
 }
 
+/// `moteur cache` — inspect or maintain a persisted data-manager store
+/// without enacting anything.
+fn cmd_cache(args: &[String]) -> ExitCode {
+    let (Some(action), Some(dir)) = (args.first(), args.get(1)) else {
+        return fail("cache needs an action (stats|gc|clear) and a store directory");
+    };
+    let mut store = match DataStore::open(dir, StoreConfig::default()) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    match action.as_str() {
+        "stats" => {
+            println!("{dir}: {}", store.stats());
+            ExitCode::SUCCESS
+        }
+        "gc" => {
+            let pruned = store.gc();
+            if let Err(e) = store.save() {
+                return fail(e);
+            }
+            println!(
+                "pruned {pruned} dangling invocation(s); now {}",
+                store.stats()
+            );
+            ExitCode::SUCCESS
+        }
+        "clear" => {
+            store.clear();
+            if let Err(e) = store.save() {
+                return fail(e);
+            }
+            println!("cleared {dir}");
+            ExitCode::SUCCESS
+        }
+        other => fail(format!("unknown cache action `{other}` (stats|gc|clear)")),
+    }
+}
+
 fn cmd_example() -> ExitCode {
     let wf_path = "bronze-standard.xml";
     let data_path = "inputs-12.xml";
@@ -272,6 +321,38 @@ fn cmd_run(args: &[String]) -> ExitCode {
         "ideal" => GridConfig::ideal(),
         other => return fail(format!("unknown grid `{other}`")),
     };
+    let cache_dir = flag_value(args, "--cache-dir");
+    let fetch_cost: Option<f64> = match flag_value(args, "--fetch-cost").map(str::parse).transpose()
+    {
+        Ok(v) => v,
+        Err(_) => return fail("--fetch-cost needs a number (seconds)"),
+    };
+    if fetch_cost.is_some() && cache_dir.is_none() {
+        return fail("--fetch-cost requires --cache-dir");
+    }
+    let mut store = match cache_dir {
+        Some(dir) => {
+            // Memoization advisories (M070) never block enactment, so
+            // the error-only preflight skips them; surface them here
+            // where the user has actually asked for caching.
+            for d in lint_workflow(&wf)
+                .diagnostics
+                .iter()
+                .filter(|d| d.code == "M070")
+            {
+                eprintln!("warning[M070]: {}", d.message);
+            }
+            let mut store_config = StoreConfig::default();
+            if let Some(secs) = fetch_cost {
+                store_config = store_config.with_fetch_cost(Some(Distribution::Constant(secs)));
+            }
+            match DataStore::open(dir, store_config) {
+                Ok(s) => Some(s),
+                Err(e) => return fail(e),
+            }
+        }
+        None => None,
+    };
 
     // Observability sinks are only attached when a flag asks for them, so
     // a plain `moteur run` keeps the zero-overhead no-op path.
@@ -310,7 +391,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
         flag_value(args, "--grid").unwrap_or("egee")
     );
     let mut backend = SimBackend::with_obs(grid, seed, &obs);
-    let result = match run_observed(&wf, &inputs, config, &mut backend, obs.clone()) {
+    let run_result = match store.as_mut() {
+        Some(s) => run_cached(&wf, &inputs, config, &mut backend, obs.clone(), s),
+        None => run_observed(&wf, &inputs, config, &mut backend, obs.clone()),
+    };
+    let result = match run_result {
         Ok(r) => r,
         Err(e) if e.is_lint() => {
             return fail(format!(
@@ -321,6 +406,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
     if let Err(e) = obs.flush() {
         return fail(format!("flushing event sinks: {e}"));
+    }
+    if let Some(s) = &store {
+        if let Err(e) = s.save() {
+            return fail(format!("saving cache: {e}"));
+        }
+        println!("cache {}: {}", cache_dir.unwrap_or_default(), s.stats());
     }
     println!(
         "completed in {:.1} s simulated time ({:.2} h), {} jobs submitted",
