@@ -37,10 +37,35 @@ done
 # results/BENCH_baseline.json.
 cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
   campaign --sweep ndata=1..6 --out-dir .
-cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- gate
+
+# Fault injection: the campaign on an unreliable egee-2006 (middleware
+# retries off, >=4% failure probability) under naive / backoff /
+# timeout+replication. Fails unless timeout+replication beats naive on
+# mean makespan and nothing is quarantined; writes BENCH_faults.json,
+# which the gate below re-checks alongside the baseline comparison.
+cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
+  faults --out-dir .
+
+cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
+  gate --faults BENCH_faults.json
 
 # Data manager: cold/warm pair on the deterministic chain. Fails if the
 # cold run drifts from eq. 1-4 or any warm invocation misses the cache;
 # writes BENCH_warm.json.
 cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
   warm --ndata 6 --out-dir .
+
+# Graceful degradation end-to-end: a run whose timeout budget is
+# unsatisfiable must quarantine (not abort), emit a workflow report
+# naming the lost items, and exit non-zero.
+cargo run --offline --quiet --bin moteur -- example
+if cargo run --offline --quiet --bin moteur -- \
+    run bronze-standard.xml inputs-12.xml --config sp+dp \
+    --timeout 40 --max-retries 0 --continue-on-error \
+    --workflow-report degraded-report.json; then
+  echo "continue-on-error run should exit non-zero" >&2
+  exit 1
+fi
+grep -q '"ok":false' degraded-report.json
+grep -q '"descendants"' degraded-report.json
+rm -f bronze-standard.xml inputs-12.xml degraded-report.json

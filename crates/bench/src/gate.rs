@@ -189,6 +189,57 @@ pub fn check_gate(
     Ok(GateReport { threshold, checks })
 }
 
+/// Checks over a `BENCH_faults.json` document (schema
+/// `moteur-bench/faults/v1`): timeout+replication must beat naive
+/// resubmission on mean makespan, and no strategy may have quarantined
+/// an item. Returned as [`GateCheck`]s so the binary can fold them into
+/// the same report as the baseline comparison.
+pub fn check_faults(faults_json: &str) -> Result<Vec<GateCheck>, String> {
+    let value = JsonValue::parse(faults_json).map_err(|e| format!("faults: {e}"))?;
+    match value.get("schema").and_then(JsonValue::as_str) {
+        Some(crate::faults::FAULTS_SCHEMA) => {}
+        Some(other) => {
+            return Err(format!(
+                "faults: schema `{other}`, expected `{}`",
+                crate::faults::FAULTS_SCHEMA
+            ))
+        }
+        None => return Err("faults: missing schema tag".to_string()),
+    }
+    let strategies = value
+        .get("strategies")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "faults: missing strategies array".to_string())?;
+    let mean = |name: &str| -> Option<f64> {
+        strategies
+            .iter()
+            .find(|s| s.get("strategy").and_then(JsonValue::as_str) == Some(name))?
+            .get("mean_makespan_secs")?
+            .as_f64()
+    };
+    let naive = mean("naive").ok_or_else(|| "faults: missing `naive` strategy".to_string())?;
+    let replication = mean("timeout+replication")
+        .ok_or_else(|| "faults: missing `timeout+replication` strategy".to_string())?;
+    let quarantined: f64 = strategies
+        .iter()
+        .filter_map(|s| s.get("quarantined").and_then(JsonValue::as_f64))
+        .sum();
+    Ok(vec![
+        GateCheck {
+            what: "faults/replication_vs_naive".to_string(),
+            baseline: naive,
+            current: replication,
+            ok: replication < naive,
+        },
+        GateCheck {
+            what: "faults/quarantined".to_string(),
+            baseline: 0.0,
+            current: quarantined,
+            ok: quarantined == 0.0,
+        },
+    ])
+}
+
 /// Default allowed regression: 10 %.
 pub const DEFAULT_THRESHOLD: f64 = 0.10;
 
@@ -267,6 +318,53 @@ mod tests {
         assert!(!report.ok());
         assert_eq!(report.failures().count(), 1);
         assert!(report.failures().next().unwrap().what.starts_with("drift/"));
+    }
+
+    #[test]
+    fn faults_gate_requires_replication_to_win_and_zero_quarantines() {
+        let report = crate::faults::FaultsReport {
+            spec: crate::faults::FaultsSpec {
+                n_data: 2,
+                seed: 1,
+                repeats: 1,
+                failure_probability: 0.04,
+            },
+            outcomes: ["naive", "backoff", "timeout+replication"]
+                .into_iter()
+                .enumerate()
+                .map(|(i, name)| crate::faults::StrategyOutcome {
+                    strategy: name,
+                    makespans_secs: vec![1000.0 - 100.0 * i as f64],
+                    mean_makespan_secs: 1000.0 - 100.0 * i as f64,
+                    max_makespan_secs: 1000.0 - 100.0 * i as f64,
+                    jobs_submitted: 10,
+                    timeouts: 0,
+                    replicas: 0,
+                    resubmissions: 0,
+                    quarantined: 0,
+                })
+                .collect(),
+        };
+        let json = crate::faults::render_faults_json(&report);
+        let checks = check_faults(&json).unwrap();
+        assert_eq!(checks.len(), 2);
+        assert!(checks.iter().all(|c| c.ok), "{checks:?}");
+
+        // Replication slower than naive must trip the first check …
+        let losing = json.replacen(
+            "\"mean_makespan_secs\":800",
+            "\"mean_makespan_secs\":2000",
+            1,
+        );
+        let checks = check_faults(&losing).unwrap();
+        assert!(!checks[0].ok, "{checks:?}");
+        // … and a quarantine the second.
+        let poisoned = json.replacen("\"quarantined\":0", "\"quarantined\":1", 1);
+        let checks = check_faults(&poisoned).unwrap();
+        assert!(!checks[1].ok, "{checks:?}");
+
+        assert!(check_faults("{\"schema\":\"other/v1\"}").is_err());
+        assert!(check_faults("{").is_err());
     }
 
     #[test]

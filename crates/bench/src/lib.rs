@@ -25,9 +25,15 @@
 //! `moteur-bench warm` runs the same campaign twice against one
 //! provenance-keyed data manager and documents the cold-vs-warm
 //! speed-up in `BENCH_warm.json` ([`warm`]).
+//!
+//! `moteur-bench faults` enacts the campaign on an unreliable grid
+//! under three fault-tolerance strategies (naive, backoff,
+//! timeout+replication) and writes the comparison to
+//! `BENCH_faults.json` ([`faults`]).
 
 pub mod bronze;
 pub mod campaign;
+pub mod faults;
 pub mod gate;
 pub mod sweep;
 pub mod warm;
@@ -37,6 +43,10 @@ pub use bronze::{
     bronze_workflow, bronze_workflow_xml, IMAGE_BYTES,
 };
 pub use campaign::{run_campaign, run_point, CampaignPoint, PAPER_SIZES, QUICK_SIZES};
+pub use faults::{
+    render_faults, render_faults_json, run_faults, FaultStrategy, FaultsReport, FaultsSpec,
+    StrategyOutcome, FAULTS_SCHEMA,
+};
 pub use gate::{check_gate, GateCheck, GateReport, DEFAULT_THRESHOLD};
 pub use sweep::{
     render_points_json, render_summary, render_summary_json, run_sweep, BenchPoint, BenchSummary,

@@ -7,7 +7,10 @@
 //!                       [--overhead SECS] [--tolerance FRAC]
 //!                       [--out-dir DIR]
 //! moteur-bench gate [--summary PATH] [--baseline PATH] [--threshold FRAC]
+//!                   [--faults PATH]
 //! moteur-bench warm [--ndata N] [--seed N] [--out-dir DIR]
+//! moteur-bench faults [--ndata N] [--seed N] [--repeats R]
+//!                     [--failure-probability P] [--out-dir DIR]
 //! ```
 //!
 //! `campaign` runs the six Table-1 configurations over the sweep and
@@ -19,8 +22,12 @@
 //! current summary instead (use after an intentional perf change).
 //! `warm` enacts one campaign twice against a shared data manager and
 //! writes the cold-vs-warm comparison to `BENCH_warm.json`.
+//! `faults` enacts the campaign on an unreliable grid under the three
+//! fault-tolerance strategies and writes `BENCH_faults.json`, exiting
+//! non-zero unless timeout+replication beats the naive strategy.
 
-use moteur_bench::gate::{check_gate, DEFAULT_THRESHOLD};
+use moteur_bench::faults::{render_faults, render_faults_json, run_faults, FaultsSpec};
+use moteur_bench::gate::{check_faults, check_gate, DEFAULT_THRESHOLD};
 use moteur_bench::sweep::{
     render_points_json, render_summary, render_summary_json, run_sweep, SweepGrid, SweepSpec,
     SweepWorkflow,
@@ -46,7 +53,10 @@ fn usage() -> ExitCode {
     eprintln!("                    [--workflow chain|bronze] [--grid ideal|egee]");
     eprintln!("                    [--overhead SECS] [--tolerance FRAC] [--out-dir DIR]");
     eprintln!("       moteur-bench gate [--summary PATH] [--baseline PATH] [--threshold FRAC]");
+    eprintln!("                    [--faults PATH]");
     eprintln!("       moteur-bench warm [--ndata N] [--seed N] [--out-dir DIR]");
+    eprintln!("       moteur-bench faults [--ndata N] [--seed N] [--repeats R]");
+    eprintln!("                    [--failure-probability P] [--out-dir DIR]");
     eprintln!();
     eprintln!("env: MOTEUR_BENCH_UPDATE_BASELINE=1  rewrite the gate baseline and pass");
     ExitCode::from(2)
@@ -169,16 +179,29 @@ fn cmd_gate(args: &[String]) -> ExitCode {
             ))
         }
     };
-    match check_gate(&baseline, &current, threshold) {
-        Ok(report) => {
-            print!("{}", report.render());
-            if report.ok() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
-        }
-        Err(e) => fail(e),
+    let mut report = match check_gate(&baseline, &current, threshold) {
+        Ok(report) => report,
+        Err(e) => return fail(e),
+    };
+    // Fold the fault-injection checks in when a faults document is
+    // around: explicitly via --faults, or implicitly when the default
+    // artifact sits next to the summary.
+    let faults_path = flag_value(args, "--faults");
+    let implicit = faults_path.is_none();
+    let faults_path = faults_path.unwrap_or("BENCH_faults.json");
+    match std::fs::read_to_string(faults_path) {
+        Ok(json) => match check_faults(&json) {
+            Ok(mut checks) => report.checks.append(&mut checks),
+            Err(e) => return fail(e),
+        },
+        Err(_) if implicit => {}
+        Err(e) => return fail(format!("reading {faults_path}: {e}")),
+    }
+    print!("{}", report.render());
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -215,12 +238,66 @@ fn cmd_warm(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_faults(args: &[String]) -> ExitCode {
+    let mut spec = FaultsSpec::default();
+    match flag_value(args, "--ndata").map(str::parse).transpose() {
+        Ok(Some(v)) if v > 0 => spec.n_data = v,
+        Ok(Some(_)) => return fail("--ndata needs a positive integer"),
+        Ok(None) => {}
+        Err(_) => return fail("--ndata needs a positive integer"),
+    }
+    match flag_value(args, "--seed").map(str::parse).transpose() {
+        Ok(v) => spec.seed = v.unwrap_or(spec.seed),
+        Err(_) => return fail("--seed needs an integer"),
+    }
+    match flag_value(args, "--repeats").map(str::parse).transpose() {
+        Ok(Some(v)) if v > 0 => spec.repeats = v,
+        Ok(Some(_)) => return fail("--repeats needs a positive integer"),
+        Ok(None) => {}
+        Err(_) => return fail("--repeats needs a positive integer"),
+    }
+    match flag_value(args, "--failure-probability")
+        .map(str::parse::<f64>)
+        .transpose()
+    {
+        Ok(Some(p)) if (0.0..=1.0).contains(&p) => spec.failure_probability = p,
+        Ok(Some(_)) => return fail("--failure-probability needs a fraction in [0, 1]"),
+        Ok(None) => {}
+        Err(_) => return fail("--failure-probability needs a fraction in [0, 1]"),
+    }
+    let out_dir = Path::new(flag_value(args, "--out-dir").unwrap_or("."));
+
+    eprintln!(
+        "fault injection: bronze on unreliable egee-2006 (p_fail {:.0}%), n_data {} x {} seeds...",
+        spec.failure_probability * 100.0,
+        spec.n_data,
+        spec.repeats
+    );
+    let report = match run_faults(&spec) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    print!("{}", render_faults(&report));
+    let path = out_dir.join("BENCH_faults.json");
+    if let Err(e) = std::fs::write(&path, render_faults_json(&report) + "\n") {
+        return fail(format!("writing {}: {e}", path.display()));
+    }
+    println!("wrote {}", path.display());
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("moteur-bench: timeout+replication did not beat the naive strategy");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("gate") => cmd_gate(&args[1..]),
         Some("warm") => cmd_warm(&args[1..]),
+        Some("faults") => cmd_faults(&args[1..]),
         _ => usage(),
     }
 }

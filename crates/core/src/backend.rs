@@ -88,6 +88,19 @@ pub struct BackendCompletion {
     pub outputs: Result<Option<ServiceOutputs>, String>,
     pub started_at: SimTime,
     pub finished_at: SimTime,
+    /// Computing element the final attempt ran on, when the backend
+    /// knows one (only [`SimBackend`]). Feeds CE blacklisting.
+    pub ce: Option<usize>,
+}
+
+/// What [`Backend::wait_next_until`] produced.
+#[derive(Debug)]
+pub enum WaitOutcome {
+    /// A job finished before the deadline.
+    Completion(BackendCompletion),
+    /// The deadline passed first; the backend clock now sits at (or
+    /// past) the deadline even when nothing was in flight.
+    TimedOut,
 }
 
 /// An asynchronous execution backend.
@@ -97,6 +110,18 @@ pub trait Backend {
     /// Block (or advance virtual time) until the next completion;
     /// `None` when nothing is in flight.
     fn wait_next(&mut self) -> Option<BackendCompletion>;
+    /// Like [`Backend::wait_next`], but give up once the backend clock
+    /// reaches `deadline` — the enactor's timeout and backoff timer.
+    fn wait_next_until(&mut self, deadline: SimTime) -> WaitOutcome;
+    /// Best-effort cancellation of an in-flight submission. `true`
+    /// guarantees no completion will surface for it; `false` means the
+    /// backend cannot retract it (already delivered, unknown, or — on
+    /// [`LocalBackend`] — a thread that cannot be stopped) and the
+    /// caller must discard any late completion itself.
+    fn cancel(&mut self, invocation: InvocationId) -> bool;
+    /// Stop (or resume) routing new submissions to a computing
+    /// element. A no-op on backends without a broker.
+    fn blacklist_ce(&mut self, _ce: usize, _blocked: bool) {}
     /// Current time on this backend's clock.
     fn now(&self) -> SimTime;
 }
@@ -117,11 +142,45 @@ pub struct VirtualBackend {
     /// Results of local calls executed eagerly at submission.
     local_results: Vec<(InvocationId, Result<ServiceOutputs, String>)>,
     starts: std::collections::HashMap<u64, SimTime>,
+    /// Invocations cancelled while still on the heap; their entries are
+    /// discarded (without advancing the clock) when popped.
+    cancelled: std::collections::HashSet<u64>,
 }
 
 impl VirtualBackend {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Pop the next non-cancelled heap entry into a completion.
+    fn pop_live(&mut self) -> Option<BackendCompletion> {
+        loop {
+            let Reverse((at, _, invocation)) = self.heap.pop()?;
+            if self.cancelled.remove(&invocation.0) {
+                self.starts.remove(&invocation.0);
+                self.local_results.retain(|(i, _)| *i != invocation);
+                continue;
+            }
+            self.clock = self.clock.max(at);
+            let started_at = self.starts.remove(&invocation.0).unwrap_or(SimTime::ZERO);
+            let outputs = if let Some(pos) = self
+                .local_results
+                .iter()
+                .position(|(i, _)| *i == invocation)
+            {
+                let (_, r) = self.local_results.swap_remove(pos);
+                r.map(Some)
+            } else {
+                Ok(None)
+            };
+            return Some(BackendCompletion {
+                invocation,
+                outputs,
+                started_at,
+                finished_at: at,
+                ce: None,
+            });
+        }
     }
 }
 
@@ -154,25 +213,40 @@ impl Backend for VirtualBackend {
     }
 
     fn wait_next(&mut self) -> Option<BackendCompletion> {
-        let Reverse((at, _, invocation)) = self.heap.pop()?;
-        self.clock = self.clock.max(at);
-        let started_at = self.starts.remove(&invocation.0).unwrap_or(SimTime::ZERO);
-        let outputs = if let Some(pos) = self
-            .local_results
-            .iter()
-            .position(|(i, _)| *i == invocation)
-        {
-            let (_, r) = self.local_results.swap_remove(pos);
-            r.map(Some)
+        self.pop_live()
+    }
+
+    fn wait_next_until(&mut self, deadline: SimTime) -> WaitOutcome {
+        loop {
+            let head = self.heap.peek().map(|Reverse((at, _, inv))| (*at, *inv));
+            match head {
+                Some((_, inv)) if self.cancelled.contains(&inv.0) => {
+                    self.heap.pop();
+                    self.cancelled.remove(&inv.0);
+                    self.starts.remove(&inv.0);
+                    self.local_results.retain(|(i, _)| *i != inv);
+                }
+                Some((at, _)) if at <= deadline => {
+                    let c = self.pop_live().expect("peeked a live entry");
+                    return WaitOutcome::Completion(c);
+                }
+                _ => {
+                    self.clock = self.clock.max(deadline);
+                    return WaitOutcome::TimedOut;
+                }
+            }
+        }
+    }
+
+    fn cancel(&mut self, invocation: InvocationId) -> bool {
+        // `starts` holds exactly the in-flight set: inserted at submit,
+        // removed at delivery (or here, so double-cancel is false).
+        if self.starts.remove(&invocation.0).is_some() {
+            self.cancelled.insert(invocation.0);
+            true
         } else {
-            Ok(None)
-        };
-        Some(BackendCompletion {
-            invocation,
-            outputs,
-            started_at,
-            finished_at: at,
-        })
+            false
+        }
     }
 
     fn now(&self) -> SimTime {
@@ -188,12 +262,17 @@ impl Backend for VirtualBackend {
 #[derive(Debug)]
 pub struct SimBackend {
     sim: GridSim,
+    /// Latest simulator job for each invocation tag, so cancellation
+    /// can reach back into the simulator. A resubmission with the same
+    /// tag overwrites the entry — only the live attempt is cancellable.
+    jobs: std::collections::HashMap<u64, moteur_gridsim::JobId>,
 }
 
 impl SimBackend {
     pub fn new(config: GridConfig, seed: u64) -> Self {
         SimBackend {
             sim: GridSim::new(config, seed),
+            jobs: std::collections::HashMap::new(),
         }
     }
 
@@ -217,6 +296,24 @@ impl SimBackend {
     pub fn sim(&self) -> &GridSim {
         &self.sim
     }
+
+    /// Map a simulator completion into the backend vocabulary.
+    fn convert(c: moteur_gridsim::GridJobCompletion) -> BackendCompletion {
+        let outputs = match c.outcome {
+            JobOutcome::Success => Ok(None),
+            JobOutcome::Failed => Err(format!(
+                "grid job `{}` failed after {} attempts",
+                c.record.name, c.record.attempts
+            )),
+        };
+        BackendCompletion {
+            invocation: InvocationId(c.tag),
+            outputs,
+            started_at: c.record.started_at,
+            finished_at: c.delivered_at,
+            ce: c.record.ce.map(|ce| ce.0),
+        }
+    }
 }
 
 impl Backend for SimBackend {
@@ -232,7 +329,8 @@ impl Backend for SimBackend {
                         plan.store.iter().map(|f| f.bytes).collect(),
                     )
                     .with_tag(job.invocation.0);
-                self.sim.submit(spec);
+                let id = self.sim.submit(spec);
+                self.jobs.insert(job.invocation.0, id);
             }
             JobPayload::Local { .. } => {
                 panic!(
@@ -241,27 +339,39 @@ impl Backend for SimBackend {
                 );
             }
             JobPayload::Fetch { transfer_seconds } => {
-                self.sim
+                let id = self
+                    .sim
                     .submit_fetch(job.processor, transfer_seconds, job.invocation.0);
+                self.jobs.insert(job.invocation.0, id);
             }
         }
     }
 
     fn wait_next(&mut self) -> Option<BackendCompletion> {
         let c = self.sim.next_completion()?;
-        let outputs = match c.outcome {
-            JobOutcome::Success => Ok(None),
-            JobOutcome::Failed => Err(format!(
-                "grid job `{}` failed after {} attempts",
-                c.record.name, c.record.attempts
-            )),
-        };
-        Some(BackendCompletion {
-            invocation: InvocationId(c.tag),
-            outputs,
-            started_at: c.record.started_at,
-            finished_at: c.delivered_at,
-        })
+        self.jobs.remove(&c.tag);
+        Some(Self::convert(c))
+    }
+
+    fn wait_next_until(&mut self, deadline: SimTime) -> WaitOutcome {
+        match self.sim.next_completion_until(deadline) {
+            Some(c) => {
+                self.jobs.remove(&c.tag);
+                WaitOutcome::Completion(Self::convert(c))
+            }
+            None => WaitOutcome::TimedOut,
+        }
+    }
+
+    fn cancel(&mut self, invocation: InvocationId) -> bool {
+        match self.jobs.remove(&invocation.0) {
+            Some(id) => self.sim.cancel(id),
+            None => false,
+        }
+    }
+
+    fn blacklist_ce(&mut self, ce: usize, blocked: bool) {
+        self.sim.set_ce_blocked(ce, blocked);
     }
 
     fn now(&self) -> SimTime {
@@ -330,6 +440,7 @@ impl Backend for LocalBackend {
                         outputs: result.map(Some),
                         started_at: t0,
                         finished_at: t1,
+                        ce: None,
                     });
                 });
             }
@@ -349,6 +460,7 @@ impl Backend for LocalBackend {
                     outputs: Ok(None),
                     started_at: now,
                     finished_at: now,
+                    ce: None,
                 });
             }
         }
@@ -361,6 +473,30 @@ impl Backend for LocalBackend {
         let c = self.rx.recv().ok()?;
         self.in_flight -= 1;
         Some(c)
+    }
+
+    fn wait_next_until(&mut self, deadline: SimTime) -> WaitOutcome {
+        let remaining = deadline.since(self.wall_now());
+        let dur = std::time::Duration::from_secs_f64(remaining.as_secs_f64());
+        if self.in_flight == 0 {
+            // Nothing can complete; honour the contract that the clock
+            // reaches the deadline (a real backoff sleep).
+            std::thread::sleep(dur);
+            return WaitOutcome::TimedOut;
+        }
+        match self.rx.recv_timeout(dur) {
+            Ok(c) => {
+                self.in_flight -= 1;
+                WaitOutcome::Completion(c)
+            }
+            Err(_) => WaitOutcome::TimedOut,
+        }
+    }
+
+    fn cancel(&mut self, _invocation: InvocationId) -> bool {
+        // A spawned worker thread cannot be stopped; its completion
+        // will still arrive and the caller must discard it.
+        false
     }
 
     fn now(&self) -> SimTime {
@@ -487,6 +623,55 @@ mod tests {
         }
         results.sort_by_key(|(i, _)| *i);
         assert_eq!(results, vec![(0, 0.0), (1, 2.0), (2, 4.0), (3, 6.0)]);
+    }
+
+    #[test]
+    fn virtual_backend_cancel_suppresses_the_completion() {
+        let mut b = VirtualBackend::new();
+        b.submit(grid_job(1, 30.0));
+        b.submit(grid_job(2, 10.0));
+        assert!(b.cancel(InvocationId(2)));
+        assert!(!b.cancel(InvocationId(2)), "double cancel is false");
+        let only = b.wait_next().unwrap();
+        assert_eq!(only.invocation, InvocationId(1));
+        assert!(b.wait_next().is_none());
+    }
+
+    #[test]
+    fn virtual_backend_wait_until_times_out_and_advances_the_clock() {
+        let mut b = VirtualBackend::new();
+        b.submit(grid_job(1, 100.0));
+        match b.wait_next_until(SimTime::from_secs_f64(40.0)) {
+            WaitOutcome::TimedOut => {}
+            WaitOutcome::Completion(c) => panic!("early completion {c:?}"),
+        }
+        assert!((b.now().as_secs_f64() - 40.0).abs() < 1e-9);
+        match b.wait_next_until(SimTime::from_secs_f64(500.0)) {
+            WaitOutcome::Completion(c) => {
+                assert_eq!(c.invocation, InvocationId(1));
+                assert!((c.finished_at.as_secs_f64() - 100.0).abs() < 1e-9);
+            }
+            WaitOutcome::TimedOut => panic!("completion was due at t=100"),
+        }
+    }
+
+    #[test]
+    fn sim_backend_cancel_reaches_into_the_simulator() {
+        let mut b = SimBackend::new(GridConfig::ideal(), 5);
+        b.submit(grid_job(1, 60.0));
+        b.submit(grid_job(2, 60.0));
+        assert!(b.cancel(InvocationId(2)));
+        let c = b.wait_next().unwrap();
+        assert_eq!(c.invocation, InvocationId(1));
+        assert!(b.wait_next().is_none());
+    }
+
+    #[test]
+    fn sim_backend_reports_the_ce_of_the_final_attempt() {
+        let mut b = SimBackend::new(GridConfig::egee_2006(), 5);
+        b.submit(grid_job(1, 60.0));
+        let c = b.wait_next().unwrap();
+        assert!(c.ce.is_some(), "grid jobs ran somewhere: {c:?}");
     }
 
     #[test]

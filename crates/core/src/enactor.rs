@@ -21,10 +21,11 @@
 //! collectively.
 
 use crate::backend::{
-    Backend, BackendCompletion, BackendJob, InvocationId, JobPayload, ServiceOutputs,
+    Backend, BackendCompletion, BackendJob, InvocationId, JobPayload, ServiceOutputs, WaitOutcome,
 };
 use crate::config::EnactorConfig;
 use crate::error::MoteurError;
+use crate::ft::{FtConfig, QuarantineEntry, TimeoutAction};
 use crate::graph::{ProcId, ProcessorKind, Workflow};
 use crate::iterate::{MatchEngine, MatchedSet};
 use crate::obs::{Obs, TraceEvent};
@@ -35,12 +36,12 @@ use crate::store::{
 use crate::token::{DataIndex, History, Token};
 use crate::trace::{InvocationRecord, WorkflowResult};
 use crate::value::DataValue;
-use moteur_gridsim::{Rng, SimTime};
+use moteur_gridsim::{Rng, SimDuration, SimTime};
 use moteur_wrapper::{
     compose_group, plan_single, Binding, Catalog, ExecutableDescriptor, GroupMember, JobPlan,
     TransferFile,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// The workflow's input data: one value stream per source name (the
@@ -108,10 +109,67 @@ pub fn run_cached<B: Backend>(
     run_inner(workflow, inputs, config, backend, obs, Some(store))
 }
 
+/// [`run_observed`] under an explicit fault-tolerance configuration:
+/// per-processor retry policies (fixed / exponential / jittered
+/// backoff), timeout-triggered resubmission or speculative replication
+/// (first completion wins), CE blacklisting, and — with
+/// [`FtConfig::continue_on_error`] — graceful degradation: a terminally
+/// failed data item and its history-tree descendants are quarantined
+/// instead of aborting the workflow, and surface in
+/// [`WorkflowResult::quarantined`].
+pub fn run_fault_tolerant<B: Backend>(
+    workflow: &Workflow,
+    inputs: &InputData,
+    config: EnactorConfig,
+    ft: &FtConfig,
+    backend: &mut B,
+    obs: Obs,
+) -> Result<WorkflowResult, MoteurError> {
+    run_ft_inner(workflow, inputs, config, ft.clone(), backend, obs, None)
+}
+
+/// [`run_fault_tolerant`] with a provenance-keyed data manager (see
+/// [`run_cached`]). Quarantined invocations never complete, so their
+/// outputs are never memoized — a degraded run cannot poison the store.
+pub fn run_fault_tolerant_cached<B: Backend>(
+    workflow: &Workflow,
+    inputs: &InputData,
+    config: EnactorConfig,
+    ft: &FtConfig,
+    backend: &mut B,
+    obs: Obs,
+    store: &mut DataStore,
+) -> Result<WorkflowResult, MoteurError> {
+    run_ft_inner(
+        workflow,
+        inputs,
+        config,
+        ft.clone(),
+        backend,
+        obs,
+        Some(store),
+    )
+}
+
 fn run_inner<B: Backend>(
     workflow: &Workflow,
     inputs: &InputData,
     config: EnactorConfig,
+    backend: &mut B,
+    obs: Obs,
+    store: Option<&mut DataStore>,
+) -> Result<WorkflowResult, MoteurError> {
+    // The legacy entry points express their single retry counter as a
+    // fixed-policy fault-tolerance configuration.
+    let ft = FtConfig::from_legacy(config.max_job_retries);
+    run_ft_inner(workflow, inputs, config, ft, backend, obs, store)
+}
+
+fn run_ft_inner<B: Backend>(
+    workflow: &Workflow,
+    inputs: &InputData,
+    config: EnactorConfig,
+    ft: FtConfig,
     backend: &mut B,
     obs: Obs,
     store: Option<&mut DataStore>,
@@ -139,7 +197,7 @@ fn run_inner<B: Backend>(
         workflow.clone()
     };
     workflow.validate()?;
-    let mut enactor = Enactor::new(&workflow, config, backend, obs, store);
+    let mut enactor = Enactor::new(&workflow, config, ft, backend, obs, store);
     enactor.emit_sources(inputs)?;
     enactor.event_loop()?;
     enactor.finish()
@@ -174,11 +232,26 @@ struct PendingJob {
     job: BackendJob,
     retries: u32,
     submitted: SimTime,
+    /// Attempt tags currently live at the backend. Failure resubmits
+    /// reuse the logical tag (the failed attempt has terminally
+    /// completed); timeout resubmits and speculative replicas carry
+    /// fresh tags. Empty while the invocation waits in the backoff
+    /// queue.
+    attempts: Vec<u64>,
+    /// When the current timeout window opened: original submission,
+    /// restarted on every resubmission and extended on every replica.
+    window_start: SimTime,
+    /// True once timeouts stopped applying (replica cap reached, or a
+    /// cache replay that cannot time out).
+    muted: bool,
+    /// Speculative replicas launched so far.
+    replicas: u32,
 }
 
 struct Enactor<'a, B: Backend> {
     workflow: &'a Workflow,
     config: EnactorConfig,
+    ft: FtConfig,
     backend: &'a mut B,
     catalog: Catalog,
     rng: Rng,
@@ -201,6 +274,24 @@ struct Enactor<'a, B: Backend> {
     /// `None` for everything uncacheable (local bindings, sources,
     /// sinks, non-deterministic descriptors).
     digests: Vec<Option<u64>>,
+    /// Fresh attempt tag → logical invocation id. Same-tag failure
+    /// resubmits need no entry; only replicas and timeout resubmits
+    /// are registered here.
+    attempt_of: HashMap<u64, u64>,
+    /// Attempt tags whose backend job could not be retracted
+    /// ([`Backend::cancel`] returned `false`); their late completions
+    /// are dropped on arrival.
+    cancelled_attempts: HashSet<u64>,
+    /// Backoff queue: `(due time, logical invocation)` awaiting
+    /// resubmission. Deferred invocations still count as in flight.
+    deferred: Vec<(SimTime, u64)>,
+    /// Per-processor submission→delivery durations of successful
+    /// completions, feeding percentile-adaptive timeouts.
+    proc_samples: Vec<Vec<f64>>,
+    /// Consecutive enactor-visible failures per computing element.
+    ce_failures: HashMap<usize, u32>,
+    blacklisted: HashSet<usize>,
+    quarantined: Vec<QuarantineEntry>,
 }
 
 /// Outcome of consulting the data manager for one ready invocation.
@@ -220,6 +311,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
     fn new(
         workflow: &'a Workflow,
         config: EnactorConfig,
+        ft: FtConfig,
         backend: &'a mut B,
         obs: Obs,
         store: Option<&'a mut DataStore>,
@@ -272,9 +364,11 @@ impl<'a, B: Backend> Enactor<'a, B> {
             vec![None; workflow.processors.len()]
         };
         let start_time = backend.now();
+        let n_procs = workflow.processors.len();
         Enactor {
             workflow,
             config,
+            ft,
             rng: Rng::new(config.seed ^ 0x4D4F_5445_5552), // "MOTEUR"
             backend,
             catalog: Catalog::new(),
@@ -291,6 +385,13 @@ impl<'a, B: Backend> Enactor<'a, B> {
             obs,
             store,
             digests,
+            attempt_of: HashMap::new(),
+            cancelled_attempts: HashSet::new(),
+            deferred: Vec::new(),
+            proc_samples: vec![Vec::new(); n_procs],
+            ce_failures: HashMap::new(),
+            blacklisted: HashSet::new(),
+            quarantined: Vec::new(),
         }
     }
 
@@ -365,6 +466,11 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 job,
                 retries: 0,
                 submitted,
+                attempts: vec![invocation.0],
+                window_start: submitted,
+                // A cache replay is a pure transfer; it never times out.
+                muted: true,
+                replicas: 0,
             },
         );
         self.states[proc.0].inflight += 1;
@@ -388,16 +494,36 @@ impl<'a, B: Backend> Enactor<'a, B> {
     }
 
     fn event_loop(&mut self) -> Result<(), MoteurError> {
+        let result = self.event_loop_inner();
+        if result.is_err() {
+            // A workflow abort must not abandon in-flight invocations:
+            // cancel their backend jobs and close their spans before
+            // the error propagates.
+            self.drain_pending();
+        }
+        result
+    }
+
+    fn event_loop_inner(&mut self) -> Result<(), MoteurError> {
         loop {
             self.fire_phase()?;
             if self.inflight_total == 0 {
                 break;
             }
-            let completion = self
-                .backend
-                .wait_next()
-                .ok_or_else(|| MoteurError::new("backend starved with jobs in flight"))?;
-            self.handle_completion(completion)?;
+            self.service_deferred()?;
+            match self.next_wake() {
+                None => {
+                    let completion = self
+                        .backend
+                        .wait_next()
+                        .ok_or_else(|| MoteurError::new("backend starved with jobs in flight"))?;
+                    self.handle_completion(completion)?;
+                }
+                Some(deadline) => match self.backend.wait_next_until(deadline) {
+                    WaitOutcome::Completion(c) => self.handle_completion(c)?,
+                    WaitOutcome::TimedOut => self.handle_timeouts()?,
+                },
+            }
         }
         // Post-conditions: nothing runnable may be left behind.
         for (i, st) in self.states.iter().enumerate() {
@@ -425,7 +551,47 @@ impl<'a, B: Backend> Enactor<'a, B> {
             makespan: self.backend.now().since(self.start_time),
             invocations: self.records,
             jobs_submitted: self.jobs_submitted,
+            quarantined: self.quarantined,
         })
+    }
+
+    /// The earliest instant anything scheduled by the fault-tolerance
+    /// machinery becomes actionable: a pending invocation's timeout
+    /// deadline or a backoff-deferred resubmission's due time. `None`
+    /// when only completions can move the workflow forward.
+    fn next_wake(&self) -> Option<SimTime> {
+        let mut wake: Option<SimTime> = None;
+        for p in self.pending.values() {
+            if let Some(d) = self.deadline_of(p) {
+                wake = Some(wake.map_or(d, |w| w.min(d)));
+            }
+        }
+        for &(t, _) in &self.deferred {
+            wake = Some(wake.map_or(t, |w| w.min(t)));
+        }
+        wake
+    }
+
+    /// Current timeout budget of `proc` in seconds, from its policy and
+    /// the observed completion durations. `None` → no timeout applies.
+    fn timeout_secs_for(&self, proc: ProcId) -> Option<f64> {
+        let name = &self.workflow.processors[proc.0].name;
+        self.ft
+            .policy_for(name)
+            .timeout
+            .timeout_secs(&self.proc_samples[proc.0])
+    }
+
+    /// The live deadline of one pending invocation. Computed on demand
+    /// (not stored) so an adaptive timeout tightens over already-running
+    /// jobs as completion samples accrue — exactly the outlier-catching
+    /// behaviour a percentile policy promises.
+    fn deadline_of(&self, p: &PendingJob) -> Option<SimTime> {
+        if p.muted || p.attempts.is_empty() {
+            return None;
+        }
+        self.timeout_secs_for(p.proc)
+            .map(|s| p.window_start + SimDuration::from_secs_f64(s))
     }
 
     /// Deliver a token to every input port linked to `(proc, out_port)`.
@@ -817,6 +983,10 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 job,
                 retries: 0,
                 submitted,
+                attempts: vec![invocation.0],
+                window_start: submitted,
+                muted: false,
+                replicas: 0,
             },
         );
         self.states[proc.0].inflight += 1;
@@ -1094,43 +1264,371 @@ impl<'a, B: Backend> Enactor<'a, B> {
     }
 
     fn handle_completion(&mut self, c: BackendCompletion) -> Result<(), MoteurError> {
-        let mut pend = self
+        let tag = c.invocation.0;
+        if self.cancelled_attempts.remove(&tag) {
+            // Late completion of an attempt the backend could not
+            // retract — its invocation was superseded or aborted.
+            return Ok(());
+        }
+        let logical = self.attempt_of.remove(&tag).unwrap_or(tag);
+        if !self.pending.contains_key(&logical) {
+            return Err(MoteurError::new("completion for unknown invocation"));
+        }
+        match c.outputs {
+            Err(ref message) => {
+                let message = message.clone();
+                self.handle_failure(logical, tag, c.ce, message)
+            }
+            Ok(_) => self.handle_success(logical, tag, c),
+        }
+    }
+
+    /// One attempt of `logical` failed. Applies, in order: CE failure
+    /// bookkeeping, replica survival (another attempt still racing),
+    /// the processor's retry policy (immediate or backoff-deferred
+    /// resubmission), and finally terminal failure.
+    fn handle_failure(
+        &mut self,
+        logical: u64,
+        tag: u64,
+        ce: Option<usize>,
+        message: String,
+    ) -> Result<(), MoteurError> {
+        if let Some(ce) = ce {
+            self.note_ce_failure(ce);
+        }
+        let (proc, live, retries) = {
+            let p = self
+                .pending
+                .get_mut(&logical)
+                .expect("caller checked pending");
+            p.attempts.retain(|&t| t != tag);
+            (p.proc, p.attempts.len(), p.retries)
+        };
+        if live > 0 {
+            // A speculative replica is still running; the race is not
+            // lost yet.
+            return Ok(());
+        }
+        let name = self.workflow.processors[proc.0].name.clone();
+        let policy = *self.ft.policy_for(&name);
+        if retries < policy.retry.max_retries() {
+            let retry = retries + 1;
+            self.pending
+                .get_mut(&logical)
+                .expect("still pending")
+                .retries = retry;
+            let delay = policy.retry.delay(retry, &mut self.rng);
+            if delay > 0.0 {
+                let due = self.backend.now() + SimDuration::from_secs_f64(delay);
+                self.deferred.push((due, logical));
+            } else {
+                self.resubmit(logical);
+            }
+            return Ok(());
+        }
+        self.terminal_failure(logical, message)
+    }
+
+    /// Resubmit `logical` now, reusing its logical tag (the previous
+    /// attempt has terminally completed, so the tag is free), and
+    /// restart its timeout window.
+    fn resubmit(&mut self, logical: u64) {
+        let now = self.backend.now();
+        let (job, retry, proc) = {
+            let p = self
+                .pending
+                .get_mut(&logical)
+                .expect("resubmitted invocation is pending");
+            p.attempts = vec![logical];
+            p.window_start = now;
+            (p.job.clone(), p.retries, p.proc)
+        };
+        let name = self.workflow.processors[proc.0].name.clone();
+        self.obs.emit(|| TraceEvent::JobResubmitted {
+            at: now,
+            invocation: logical,
+            processor: name,
+            retry,
+        });
+        self.backend.submit(job);
+    }
+
+    /// Resubmit every backoff-deferred invocation whose due time has
+    /// arrived.
+    fn service_deferred(&mut self) -> Result<(), MoteurError> {
+        let now = self.backend.now();
+        let mut due: Vec<u64> = Vec::new();
+        self.deferred.retain(|&(t, id)| {
+            if t <= now {
+                due.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        for logical in due {
+            self.resubmit(logical);
+        }
+        Ok(())
+    }
+
+    /// Act on every pending invocation whose timeout window expired.
+    fn handle_timeouts(&mut self) -> Result<(), MoteurError> {
+        let now = self.backend.now();
+        let mut expired: Vec<u64> = self
             .pending
-            .remove(&c.invocation.0)
-            .ok_or_else(|| MoteurError::new("completion for unknown invocation"))?;
+            .iter()
+            .filter(|(_, p)| self.deadline_of(p).is_some_and(|d| d <= now))
+            .map(|(&id, _)| id)
+            .collect();
+        expired.sort_unstable(); // deterministic order over the HashMap
+        for logical in expired {
+            self.handle_one_timeout(logical)?;
+        }
+        Ok(())
+    }
+
+    fn handle_one_timeout(&mut self, logical: u64) -> Result<(), MoteurError> {
+        let now = self.backend.now();
+        let (proc, retries, replicas) = {
+            let p = &self.pending[&logical];
+            (p.proc, p.retries, p.replicas)
+        };
+        let name = self.workflow.processors[proc.0].name.clone();
+        let policy = *self.ft.policy_for(&name);
+        let budget = self.timeout_secs_for(proc).unwrap_or(0.0);
+        match policy.on_timeout {
+            TimeoutAction::Resubmit => {
+                self.cancel_attempts(logical);
+                if retries < policy.retry.max_retries() {
+                    self.obs.emit(|| TraceEvent::JobTimedOut {
+                        at: now,
+                        invocation: logical,
+                        processor: name.clone(),
+                        timeout_secs: budget,
+                        action: "resubmit",
+                    });
+                    // Fresh tag: the cancelled attempt may still
+                    // surface on backends that cannot retract work.
+                    let fresh = self.next_invocation;
+                    self.next_invocation += 1;
+                    self.attempt_of.insert(fresh, logical);
+                    let (mut job, retry) = {
+                        let p = self.pending.get_mut(&logical).expect("still pending");
+                        p.retries += 1;
+                        p.attempts = vec![fresh];
+                        p.window_start = now;
+                        (p.job.clone(), p.retries)
+                    };
+                    job.invocation = InvocationId(fresh);
+                    self.obs.emit(|| TraceEvent::JobResubmitted {
+                        at: now,
+                        invocation: logical,
+                        processor: name.clone(),
+                        retry,
+                    });
+                    self.backend.submit(job);
+                } else {
+                    self.obs.emit(|| TraceEvent::JobTimedOut {
+                        at: now,
+                        invocation: logical,
+                        processor: name.clone(),
+                        timeout_secs: budget,
+                        action: "fail",
+                    });
+                    self.terminal_failure(
+                        logical,
+                        format!("timed out after {budget:.1}s with the retry budget exhausted"),
+                    )?;
+                }
+            }
+            TimeoutAction::Replicate { max_replicas } => {
+                if replicas < max_replicas {
+                    self.obs.emit(|| TraceEvent::JobTimedOut {
+                        at: now,
+                        invocation: logical,
+                        processor: name.clone(),
+                        timeout_secs: budget,
+                        action: "replicate",
+                    });
+                    let fresh = self.next_invocation;
+                    self.next_invocation += 1;
+                    self.attempt_of.insert(fresh, logical);
+                    let (mut job, n) = {
+                        let p = self.pending.get_mut(&logical).expect("still pending");
+                        p.replicas += 1;
+                        p.attempts.push(fresh);
+                        p.window_start = now;
+                        (p.job.clone(), p.replicas)
+                    };
+                    job.invocation = InvocationId(fresh);
+                    self.obs.emit(|| TraceEvent::JobReplicated {
+                        at: now,
+                        invocation: logical,
+                        processor: name.clone(),
+                        replica: n,
+                    });
+                    self.backend.submit(job);
+                } else {
+                    // Replica cap reached: let the race run to the end.
+                    self.pending.get_mut(&logical).expect("still pending").muted = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Cancel every live attempt of `logical` at the backend. Attempts
+    /// the backend cannot retract are remembered so their late
+    /// completions are dropped.
+    fn cancel_attempts(&mut self, logical: u64) {
+        let attempts = match self.pending.get_mut(&logical) {
+            Some(p) => std::mem::take(&mut p.attempts),
+            None => return,
+        };
+        for tag in attempts {
+            self.attempt_of.remove(&tag);
+            if !self.backend.cancel(InvocationId(tag)) {
+                self.cancelled_attempts.insert(tag);
+            }
+        }
+    }
+
+    /// Count one enactor-visible failure against `ce`; blacklist it at
+    /// the configured consecutive-failure threshold.
+    fn note_ce_failure(&mut self, ce: usize) {
+        let n = self.ce_failures.entry(ce).or_insert(0);
+        *n += 1;
+        let failures = *n;
+        if let Some(threshold) = self.ft.ce_blacklist_threshold {
+            if failures >= threshold && self.blacklisted.insert(ce) {
+                let at = self.backend.now();
+                self.backend.blacklist_ce(ce, true);
+                self.obs
+                    .emit(|| TraceEvent::CeBlacklisted { at, ce, failures });
+            }
+        }
+    }
+
+    /// `logical` has exhausted its fault-tolerance options. Under
+    /// `continue_on_error` the carried data items are quarantined —
+    /// no tokens are routed, so their history-tree descendants simply
+    /// never fire — and the workflow keeps going; otherwise the
+    /// enactment aborts.
+    fn terminal_failure(&mut self, logical: u64, message: String) -> Result<(), MoteurError> {
+        let pend = self
+            .pending
+            .remove(&logical)
+            .expect("terminal invocation is pending");
         self.states[pend.proc.0].inflight -= 1;
         self.inflight_total -= 1;
-        if let Err(message) = &c.outputs {
-            let is_grid = pend.entries.iter().all(|e| e.grid_outputs.is_some());
-            if is_grid && pend.retries < self.config.max_job_retries {
-                // Workflow-level resubmission of a terminally failed
-                // grid job (all of its batched invocations re-run).
-                pend.retries += 1;
-                self.backend.submit(pend.job.clone());
-                self.obs.emit(|| TraceEvent::JobResubmitted {
-                    at: self.backend.now(),
-                    invocation: c.invocation.0,
-                    processor: self.workflow.processors[pend.proc.0].name.clone(),
-                    retry: pend.retries,
+        let name = self.workflow.processors[pend.proc.0].name.clone();
+        self.obs.emit(|| TraceEvent::JobFailed {
+            at: self.backend.now(),
+            invocation: logical,
+            processor: name.clone(),
+            error: message.clone(),
+        });
+        if self.ft.continue_on_error {
+            let descendants = self.descendants_of(pend.proc);
+            for entry in &pend.entries {
+                self.quarantined.push(QuarantineEntry {
+                    processor: name.clone(),
+                    index: entry.index.to_string(),
+                    error: message.clone(),
+                    descendants: descendants.clone(),
                 });
-                self.states[pend.proc.0].inflight += 1;
-                self.inflight_total += 1;
-                self.pending.insert(c.invocation.0, pend);
-                return Ok(());
             }
-            self.obs.emit(|| TraceEvent::JobFailed {
-                at: self.backend.now(),
-                invocation: c.invocation.0,
-                processor: self.workflow.processors[pend.proc.0].name.clone(),
-                error: message.clone(),
-            });
-            return Err(MoteurError::new(format!(
-                "invocation of `{}` failed: {message}",
-                self.workflow.processors[pend.proc.0].name
-            )));
+            Ok(())
+        } else {
+            Err(MoteurError::new(format!(
+                "invocation of `{name}` failed: {message}"
+            )))
         }
-        let local_outputs = c.outputs.expect("error case returned above");
+    }
+
+    /// Downstream processors reachable from `proc` over data links, in
+    /// breadth-first order — the descendants a quarantined item will
+    /// never reach.
+    fn descendants_of(&self, proc: ProcId) -> Vec<String> {
+        let mut seen = vec![false; self.workflow.processors.len()];
+        seen[proc.0] = true;
+        let mut queue = VecDeque::from([proc]);
+        let mut out = Vec::new();
+        while let Some(p) = queue.pop_front() {
+            for l in &self.workflow.links {
+                if l.from.proc == p && !seen[l.to.proc.0] {
+                    seen[l.to.proc.0] = true;
+                    out.push(self.workflow.processors[l.to.proc.0].name.clone());
+                    queue.push_back(l.to.proc);
+                }
+            }
+        }
+        out
+    }
+
+    /// Cancel and close every in-flight invocation: the workflow is
+    /// aborting and nothing may be left with an open span or a live
+    /// backend job.
+    fn drain_pending(&mut self) {
+        let at = self.backend.now();
+        let mut ids: Vec<u64> = self.pending.keys().copied().collect();
+        ids.sort_unstable();
+        for logical in ids {
+            self.cancel_attempts(logical);
+            let pend = self.pending.remove(&logical).expect("listed above");
+            self.states[pend.proc.0].inflight -= 1;
+            self.inflight_total -= 1;
+            let name = self.workflow.processors[pend.proc.0].name.clone();
+            self.obs.emit(|| TraceEvent::JobCancelled {
+                at,
+                invocation: logical,
+                processor: name,
+                reason: "abort",
+            });
+        }
+        self.deferred.clear();
+    }
+
+    /// The winning attempt of `logical` completed: cancel the losers,
+    /// record the duration sample, and route the outputs.
+    fn handle_success(
+        &mut self,
+        logical: u64,
+        winner: u64,
+        c: BackendCompletion,
+    ) -> Result<(), MoteurError> {
+        let mut pend = self
+            .pending
+            .remove(&logical)
+            .expect("caller checked pending");
+        self.states[pend.proc.0].inflight -= 1;
+        self.inflight_total -= 1;
         let proc_id = pend.proc;
+        let name = self.workflow.processors[proc_id.0].name.clone();
+        for tag in pend.attempts.drain(..) {
+            if tag == winner {
+                continue;
+            }
+            self.attempt_of.remove(&tag);
+            if !self.backend.cancel(InvocationId(tag)) {
+                self.cancelled_attempts.insert(tag);
+            }
+            let at = self.backend.now();
+            self.obs.emit(|| TraceEvent::JobCancelled {
+                at,
+                invocation: tag,
+                processor: name.clone(),
+                reason: "superseded",
+            });
+        }
+        if let Some(ce) = c.ce {
+            // A success resets the CE's consecutive-failure count.
+            self.ce_failures.insert(ce, 0);
+        }
+        self.proc_samples[proc_id.0].push(c.finished_at.since(pend.submitted).as_secs_f64());
+        let local_outputs = c.outputs.expect("failure case handled by caller");
         for mut entry in pend.entries {
             let outputs = match (&local_outputs, entry.grid_outputs.take()) {
                 (_, Some(synthesised)) => synthesised,
@@ -1190,7 +1688,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
         }
         self.obs.emit(|| TraceEvent::JobCompleted {
             at: self.backend.now(),
-            invocation: c.invocation.0,
+            invocation: logical,
             processor: self.workflow.processors[proc_id.0].name.clone(),
         });
         Ok(())

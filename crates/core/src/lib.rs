@@ -61,6 +61,7 @@ pub mod diagram;
 pub mod dot;
 pub mod enactor;
 pub mod error;
+pub mod ft;
 pub mod granularity;
 pub mod graph;
 pub mod grouping;
@@ -82,8 +83,13 @@ pub use backend::{
 };
 pub use config::EnactorConfig;
 pub use dot::to_dot;
-pub use enactor::{run, run_cached, run_observed, InputData};
+pub use enactor::{
+    run, run_cached, run_fault_tolerant, run_fault_tolerant_cached, run_observed, InputData,
+};
 pub use error::MoteurError;
+pub use ft::{
+    FtConfig, FtPolicy, QuarantineEntry, RetryPolicy, TimeoutAction, TimeoutPolicy, WorkflowReport,
+};
 pub use granularity::{inverse_normal_cdf, GranularityModel};
 pub use graph::{IterationStrategy, Link, PortRef, ProcId, Processor, ProcessorKind, Workflow};
 pub use grouping::{group_workflow, groupable_pairs};
@@ -120,8 +126,13 @@ pub use value::DataValue;
 pub mod prelude {
     pub use crate::backend::{Backend, LocalBackend, SimBackend, VirtualBackend};
     pub use crate::config::EnactorConfig;
-    pub use crate::enactor::{run, run_cached, run_observed, InputData};
+    pub use crate::enactor::{
+        run, run_cached, run_fault_tolerant, run_fault_tolerant_cached, run_observed, InputData,
+    };
     pub use crate::error::MoteurError;
+    pub use crate::ft::{
+        FtConfig, FtPolicy, RetryPolicy, TimeoutAction, TimeoutPolicy, WorkflowReport,
+    };
     pub use crate::graph::{IterationStrategy, ProcId, Workflow};
     pub use crate::model::TimeMatrix;
     pub use crate::obs::{Obs, TraceEvent};

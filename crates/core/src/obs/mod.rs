@@ -115,6 +115,39 @@ pub enum TraceEvent {
         processor: String,
         error: String,
     },
+    /// The invocation outlived its timeout policy; the enactor reacted
+    /// (`action` is `"resubmit"` or `"replicate"`).
+    JobTimedOut {
+        at: SimTime,
+        invocation: u64,
+        processor: String,
+        timeout_secs: f64,
+        action: &'static str,
+    },
+    /// A speculative replica was launched for a still-running
+    /// invocation (`replica` counts from 1). First completion wins.
+    JobReplicated {
+        at: SimTime,
+        invocation: u64,
+        processor: String,
+        replica: u32,
+    },
+    /// The invocation was cancelled — a losing replica after the
+    /// winner completed, or a pending job drained on workflow abort.
+    /// Terminal.
+    JobCancelled {
+        at: SimTime,
+        invocation: u64,
+        processor: String,
+        reason: &'static str,
+    },
+    /// A computing element was blacklisted after repeated failures;
+    /// the backend stops routing new jobs to it.
+    CeBlacklisted {
+        at: SimTime,
+        ce: usize,
+        failures: u32,
+    },
     /// The data manager answered the invocation from its cache: the
     /// grid job is elided and replaced by a simulated fetch of the
     /// `outputs` stored results, costing `transfer_seconds`.
@@ -178,6 +211,8 @@ pub enum TraceEvent {
         invocation: u64,
         success: bool,
     },
+    /// The submitter cancelled the grid job — terminal at grid level.
+    GridCancelled { at: SimTime, invocation: u64 },
     /// A computing element's occupancy or availability changed.
     CeCapacity {
         at: SimTime,
@@ -202,6 +237,10 @@ impl TraceEvent {
             TraceEvent::JobResubmitted { .. } => "job_resubmitted",
             TraceEvent::JobCompleted { .. } => "job_completed",
             TraceEvent::JobFailed { .. } => "job_failed",
+            TraceEvent::JobTimedOut { .. } => "job_timed_out",
+            TraceEvent::JobReplicated { .. } => "job_replicated",
+            TraceEvent::JobCancelled { .. } => "job_cancelled",
+            TraceEvent::CeBlacklisted { .. } => "ce_blacklisted",
             TraceEvent::CacheHit { .. } => "cache_hit",
             TraceEvent::CacheMiss { .. } => "cache_miss",
             TraceEvent::GridSubmitted { .. } => "grid_submitted",
@@ -211,6 +250,7 @@ impl TraceEvent {
             TraceEvent::GridFinished { .. } => "grid_finished",
             TraceEvent::GridResubmitted { .. } => "grid_resubmitted",
             TraceEvent::GridDelivered { .. } => "grid_delivered",
+            TraceEvent::GridCancelled { .. } => "grid_cancelled",
             TraceEvent::CeCapacity { .. } => "ce_capacity",
         }
     }
@@ -226,6 +266,10 @@ impl TraceEvent {
             | TraceEvent::JobResubmitted { at, .. }
             | TraceEvent::JobCompleted { at, .. }
             | TraceEvent::JobFailed { at, .. }
+            | TraceEvent::JobTimedOut { at, .. }
+            | TraceEvent::JobReplicated { at, .. }
+            | TraceEvent::JobCancelled { at, .. }
+            | TraceEvent::CeBlacklisted { at, .. }
             | TraceEvent::CacheHit { at, .. }
             | TraceEvent::CacheMiss { at, .. }
             | TraceEvent::GridSubmitted { at, .. }
@@ -235,6 +279,7 @@ impl TraceEvent {
             | TraceEvent::GridFinished { at, .. }
             | TraceEvent::GridResubmitted { at, .. }
             | TraceEvent::GridDelivered { at, .. }
+            | TraceEvent::GridCancelled { at, .. }
             | TraceEvent::CeCapacity { at, .. } => *at,
         }
     }
@@ -246,6 +291,9 @@ impl TraceEvent {
             | TraceEvent::JobResubmitted { invocation, .. }
             | TraceEvent::JobCompleted { invocation, .. }
             | TraceEvent::JobFailed { invocation, .. }
+            | TraceEvent::JobTimedOut { invocation, .. }
+            | TraceEvent::JobReplicated { invocation, .. }
+            | TraceEvent::JobCancelled { invocation, .. }
             | TraceEvent::CacheHit { invocation, .. }
             | TraceEvent::CacheMiss { invocation, .. }
             | TraceEvent::GridSubmitted { invocation, .. }
@@ -254,7 +302,8 @@ impl TraceEvent {
             | TraceEvent::GridStarted { invocation, .. }
             | TraceEvent::GridFinished { invocation, .. }
             | TraceEvent::GridResubmitted { invocation, .. }
-            | TraceEvent::GridDelivered { invocation, .. } => Some(*invocation),
+            | TraceEvent::GridDelivered { invocation, .. }
+            | TraceEvent::GridCancelled { invocation, .. } => Some(*invocation),
             _ => None,
         }
     }
@@ -264,7 +313,9 @@ impl TraceEvent {
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            TraceEvent::JobCompleted { .. } | TraceEvent::JobFailed { .. }
+            TraceEvent::JobCompleted { .. }
+                | TraceEvent::JobFailed { .. }
+                | TraceEvent::JobCancelled { .. }
         )
     }
 
@@ -324,6 +375,10 @@ impl TraceEvent {
                 at: *at,
                 invocation: *tag,
                 success: *outcome == moteur_gridsim::JobOutcome::Success,
+            },
+            SimEvent::JobCancelled { at, tag, .. } => TraceEvent::GridCancelled {
+                at: *at,
+                invocation: *tag,
             },
             SimEvent::CeCapacity {
                 at,
@@ -425,6 +480,42 @@ impl TraceEvent {
                 .str("processor", processor)
                 .str("error", error)
                 .finish(),
+            TraceEvent::JobTimedOut {
+                invocation,
+                processor,
+                timeout_secs,
+                action,
+                ..
+            } => base
+                .uint("invocation", *invocation)
+                .str("processor", processor)
+                .num("timeout_secs", *timeout_secs)
+                .str("action", action)
+                .finish(),
+            TraceEvent::JobReplicated {
+                invocation,
+                processor,
+                replica,
+                ..
+            } => base
+                .uint("invocation", *invocation)
+                .str("processor", processor)
+                .uint("replica", u64::from(*replica))
+                .finish(),
+            TraceEvent::JobCancelled {
+                invocation,
+                processor,
+                reason,
+                ..
+            } => base
+                .uint("invocation", *invocation)
+                .str("processor", processor)
+                .str("reason", reason)
+                .finish(),
+            TraceEvent::CeBlacklisted { ce, failures, .. } => base
+                .uint("ce", *ce as u64)
+                .uint("failures", u64::from(*failures))
+                .finish(),
             TraceEvent::CacheHit {
                 invocation,
                 processor,
@@ -495,6 +586,9 @@ impl TraceEvent {
                 .uint("invocation", *invocation)
                 .bool("success", *success)
                 .finish(),
+            TraceEvent::GridCancelled { invocation, .. } => {
+                base.uint("invocation", *invocation).finish()
+            }
             TraceEvent::CeCapacity {
                 ce,
                 busy,

@@ -501,6 +501,17 @@ impl EventSink for SpanSink {
                     Self::close_ancestors(&mut tree, s.span, at);
                 }
             }
+            TraceEvent::JobCancelled {
+                invocation, reason, ..
+            } => {
+                if let Some(s) = self.items.remove(invocation) {
+                    tree.spans[s.span.0].end = Some(at);
+                    tree.spans[s.span.0]
+                        .attrs
+                        .push(("cancelled".to_string(), (*reason).to_string()));
+                    Self::close_ancestors(&mut tree, s.span, at);
+                }
+            }
             _ => {}
         }
     }

@@ -129,6 +129,7 @@ mod tests {
             makespan: SimDuration::from_secs(1),
             invocations: vec![],
             jobs_submitted: 2,
+            quarantined: vec![],
         };
         let xml = export_provenance(&result);
         let doc = moteur_xml::parse(&xml).unwrap();
@@ -166,6 +167,7 @@ mod tests {
             makespan: SimDuration::ZERO,
             invocations: vec![],
             jobs_submitted: 0,
+            quarantined: vec![],
         };
         let xml = export_provenance(&result);
         let doc = moteur_xml::parse(&xml).unwrap();

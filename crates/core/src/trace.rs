@@ -1,5 +1,6 @@
 //! Run results and per-invocation traces.
 
+use crate::ft::{QuarantineEntry, WorkflowReport};
 use crate::token::{DataIndex, Token};
 use moteur_gridsim::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -37,12 +38,31 @@ pub struct WorkflowResult {
     /// Number of jobs submitted to the backend (the paper's job
     /// counts: 72/396/756 ungrouped, fewer with JG).
     pub jobs_submitted: usize,
+    /// Data items quarantined under `continue_on_error` instead of
+    /// aborting the workflow. Empty on a fully successful run.
+    pub quarantined: Vec<QuarantineEntry>,
 }
 
 impl WorkflowResult {
     /// Tokens a named sink received.
     pub fn sink(&self, name: &str) -> &[Token] {
         self.sink_outputs.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// True when no data item was quarantined.
+    pub fn ok(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// Summarise the run as a [`WorkflowReport`] (per-item outcomes,
+    /// JSON-renderable, exit-code-bearing).
+    pub fn report(&self) -> WorkflowReport {
+        WorkflowReport {
+            completed_invocations: self.invocations.len(),
+            jobs_submitted: self.jobs_submitted,
+            makespan_secs: self.makespan.as_secs_f64(),
+            quarantined: self.quarantined.clone(),
+        }
     }
 
     /// Invocation records of one processor, sorted by data index.
@@ -104,7 +124,12 @@ mod tests {
                 },
             ],
             jobs_submitted: 2,
+            quarantined: vec![],
         };
+        assert!(r.ok());
+        let report = r.report();
+        assert_eq!(report.completed_invocations, 2);
+        assert!(report.ok());
         assert_eq!(r.sink("accuracy").len(), 1);
         assert!(r.sink("missing").is_empty());
         let of_b = r.invocations_of("b");

@@ -81,6 +81,10 @@ pub enum SimEvent {
         tag: u64,
         outcome: JobOutcome,
     },
+    /// The submitter cancelled the job before delivery — terminal. The
+    /// job vanishes from whatever stage of the chain it had reached; a
+    /// running attempt drains its worker slot silently.
+    JobCancelled { at: SimTime, job: JobId, tag: u64 },
     /// A computing element's occupancy or availability changed.
     /// `queued_user` counts only user (non-background) jobs, so it
     /// returns to zero once a workload drains.
@@ -105,6 +109,7 @@ impl SimEvent {
             | SimEvent::JobFinished { at, .. }
             | SimEvent::JobResubmitted { at, .. }
             | SimEvent::JobDelivered { at, .. }
+            | SimEvent::JobCancelled { at, .. }
             | SimEvent::CeCapacity { at, .. } => *at,
         }
     }
@@ -118,14 +123,19 @@ impl SimEvent {
             | SimEvent::JobStarted { tag, .. }
             | SimEvent::JobFinished { tag, .. }
             | SimEvent::JobResubmitted { tag, .. }
-            | SimEvent::JobDelivered { tag, .. } => Some(*tag),
+            | SimEvent::JobDelivered { tag, .. }
+            | SimEvent::JobCancelled { tag, .. } => Some(*tag),
             SimEvent::CeCapacity { .. } => None,
         }
     }
 
-    /// True for [`SimEvent::JobDelivered`] — the terminal job event.
+    /// True for the terminal job events: [`SimEvent::JobDelivered`] and
+    /// [`SimEvent::JobCancelled`].
     pub fn is_terminal(&self) -> bool {
-        matches!(self, SimEvent::JobDelivered { .. })
+        matches!(
+            self,
+            SimEvent::JobDelivered { .. } | SimEvent::JobCancelled { .. }
+        )
     }
 }
 

@@ -35,6 +35,9 @@ struct CeState {
     busy: usize,
     /// False during a maintenance window: no new dispatches.
     up: bool,
+    /// True while the submitter has blacklisted this CE; the broker
+    /// avoids it like a down CE, but workers keep draining.
+    blocked: bool,
     /// Dedicated stream for background arrivals/durations so that the
     /// user-job sampling sequence is independent of background volume.
     rng: Rng,
@@ -51,6 +54,9 @@ struct JobState {
     spec: GridJobSpec,
     record: JobRecord,
     done: bool,
+    /// Cancelled by the submitter: in-flight events for this job become
+    /// no-ops and no completion is ever delivered.
+    cancelled: bool,
 }
 
 /// The simulator. Drive it with [`GridSim::submit`] and
@@ -100,6 +106,7 @@ impl GridSim {
                 queue: VecDeque::new(),
                 busy: 0,
                 up: true,
+                blocked: false,
                 rng: rng.fork(i as u64 + 1),
             };
             for _ in 0..cfg.initial_backlog {
@@ -236,6 +243,7 @@ impl GridSim {
             spec,
             record,
             done: false,
+            cancelled: false,
         });
         self.outstanding += 1;
         let delay = self.config.submission_overhead.sample(&mut self.rng);
@@ -286,6 +294,7 @@ impl GridSim {
             spec,
             record,
             done: false,
+            cancelled: false,
         });
         self.outstanding += 1;
         self.schedule_in(
@@ -312,6 +321,80 @@ impl GridSim {
             debug_assert!(at >= self.clock, "time went backwards");
             self.clock = at;
             self.handle(event);
+        }
+    }
+
+    /// Advance virtual time until the next user-job completion **or**
+    /// `deadline`, whichever comes first. Returns `None` when the
+    /// deadline is reached (the clock then sits exactly at `deadline`)
+    /// or when nothing can ever complete. Unlike
+    /// [`GridSim::next_completion`], this also advances time with zero
+    /// outstanding jobs — background and maintenance events keep
+    /// processing — so a submitter can wait out a backoff delay.
+    pub fn next_completion_until(&mut self, deadline: SimTime) -> Option<GridJobCompletion> {
+        loop {
+            if let Some(c) = self.completions.pop_front() {
+                return Some(c);
+            }
+            match self.events.peek_time() {
+                Some(at) if at <= deadline => {
+                    let (at, event) = self.events.pop().expect("peeked event exists");
+                    debug_assert!(at >= self.clock, "time went backwards");
+                    self.clock = at;
+                    self.handle(event);
+                }
+                _ => {
+                    self.clock = self.clock.max(deadline);
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Cancel a submitted job. Returns `true` if the job was still in
+    /// flight (it is removed from whatever stage it had reached and
+    /// will never surface a completion), `false` if it had already been
+    /// delivered or cancelled. A cancelled attempt that is mid-execution
+    /// keeps its worker slot busy until the scheduled finish — the
+    /// batch system cannot reclaim a running 2006-era worker — but its
+    /// result is discarded.
+    pub fn cancel(&mut self, job: JobId) -> bool {
+        let Some(state) = self.jobs.get_mut(job.0 as usize) else {
+            return false;
+        };
+        if state.done || state.cancelled {
+            return false;
+        }
+        state.cancelled = true;
+        self.outstanding -= 1;
+        // If the job is still sitting in a CE batch queue, pull it out
+        // so it does not occupy a slot later.
+        for i in 0..self.ces.len() {
+            if let Some(pos) = self.ces[i]
+                .queue
+                .iter()
+                .position(|o| matches!(o, Occupant::User(j) if *j == job))
+            {
+                self.ces[i].queue.remove(pos);
+                self.emit_ce_capacity(CeId(i));
+                break;
+            }
+        }
+        self.emit(|sim| SimEvent::JobCancelled {
+            at: sim.clock,
+            job,
+            tag: sim.jobs[job.0 as usize].spec.tag,
+        });
+        true
+    }
+
+    /// Blacklist (or un-blacklist) a computing element on the
+    /// submitter's side: the broker stops matching new jobs onto it,
+    /// exactly as if it were down, while running and queued occupants
+    /// drain normally.
+    pub fn set_ce_blocked(&mut self, ce: usize, blocked: bool) {
+        if let Some(state) = self.ces.get_mut(ce) {
+            state.blocked = blocked;
         }
     }
 
@@ -352,30 +435,46 @@ impl GridSim {
     }
 
     /// Rank CEs by the broker's stale backlog estimates, normalised by
-    /// capacity — the LCG2 "estimated traversal time" rank.
+    /// capacity — the LCG2 "estimated traversal time" rank. CEs that
+    /// are down (maintenance window) or blacklisted by the submitter
+    /// are skipped; only when every CE is unavailable does the broker
+    /// fall back to the least-bad one, modelling a match that will sit
+    /// in its queue until the CE returns.
     fn pick_ce(&mut self) -> CeId {
-        let mut best = 0usize;
-        let mut best_rank = f64::INFINITY;
+        let mut best_available: Option<usize> = None;
+        let mut best_available_rank = f64::INFINITY;
+        let mut best_any = 0usize;
+        let mut best_any_rank = f64::INFINITY;
         for (i, ce) in self.ces.iter().enumerate() {
             let backlog = self.broker_view[i] as f64;
             let slots = ce.cfg.slots as f64;
             let wait_estimate =
                 (backlog - slots + 1.0).max(0.0) / slots * self.config.typical_job_duration;
             // Small noise so equally-ranked CEs share the load instead
-            // of all jobs herding onto index 0.
+            // of all jobs herding onto index 0. Sampled for every CE —
+            // available or not — so the RNG stream (and therefore any
+            // same-seed timeline) does not depend on availability.
             let rank = wait_estimate / ce.cfg.speed
                 + self.rng.uniform() * 0.05 * self.config.typical_job_duration;
-            if rank < best_rank {
-                best_rank = rank;
-                best = i;
+            if rank < best_any_rank {
+                best_any_rank = rank;
+                best_any = i;
+            }
+            if ce.up && !ce.blocked && rank < best_available_rank {
+                best_available_rank = rank;
+                best_available = Some(i);
             }
         }
+        let best = best_available.unwrap_or(best_any);
         // The broker optimistically counts its own decision.
         self.broker_view[best] += 1;
         CeId(best)
     }
 
     fn on_broker_receives(&mut self, job: JobId) {
+        if self.jobs[job.0 as usize].cancelled {
+            return;
+        }
         let ce = self.pick_ce();
         self.jobs[job.0 as usize].record.matched_at = self.clock;
         let delay = self.config.match_delay.sample(&mut self.rng);
@@ -389,6 +488,9 @@ impl GridSim {
     }
 
     fn on_ce_receives(&mut self, job: JobId, ce: CeId) {
+        if self.jobs[job.0 as usize].cancelled {
+            return;
+        }
         {
             let rec = &mut self.jobs[job.0 as usize].record;
             rec.enqueued_at = self.clock;
@@ -485,6 +587,12 @@ impl GridSim {
         self.ces[ce.0].busy -= 1;
         if let Some(job) = job {
             self.active_user_jobs -= 1;
+            if self.jobs[job.0 as usize].cancelled {
+                // The slot drained; the discarded result goes nowhere.
+                self.emit_ce_capacity(ce);
+                self.try_dispatch(ce);
+                return;
+            }
             let attempts = self.jobs[job.0 as usize].record.attempts;
             let failed = self.rng.chance(self.config.failure_probability);
             if failed && attempts <= self.config.max_retries {
@@ -547,6 +655,9 @@ impl GridSim {
     /// chain (the paper: "D0 was submitted twice because an error
     /// occurred").
     fn on_failure_detected(&mut self, job: JobId) {
+        if self.jobs[job.0 as usize].cancelled {
+            return;
+        }
         let delay = self.config.submission_overhead.sample(&mut self.rng);
         self.schedule_in(delay, Event::BrokerReceives { job });
         self.emit(|sim| SimEvent::JobResubmitted {
@@ -559,6 +670,9 @@ impl GridSim {
 
     fn on_completion_delivered(&mut self, job: JobId) {
         let state = &mut self.jobs[job.0 as usize];
+        if state.cancelled {
+            return;
+        }
         debug_assert!(!state.done, "double delivery for {job:?}");
         state.done = true;
         state.record.delivered_at = self.clock;
@@ -651,7 +765,7 @@ mod tests {
         let mut deliveries: Vec<f64> = (0..3)
             .map(|_| sim.next_completion().unwrap().delivered_at.as_secs_f64())
             .collect();
-        deliveries.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        deliveries.sort_by(f64::total_cmp);
         // First two at 15 + 100 + 1 = 116; third waits 100s: 216.
         assert!((deliveries[0] - 116.0).abs() < 1e-6, "{deliveries:?}");
         assert!((deliveries[1] - 116.0).abs() < 1e-6, "{deliveries:?}");
@@ -802,6 +916,143 @@ mod tests {
         assert_eq!(recs.len(), 2);
         assert!(recs[0].delivered_at <= recs[1].delivered_at);
         assert_eq!(recs[0].tag, 1);
+    }
+
+    fn two_ce_config() -> GridConfig {
+        let mut cfg = quiet_config();
+        cfg.ces = vec![CeConfig::new("ce0", 2, 1.0), CeConfig::new("ce1", 2, 1.0)];
+        cfg
+    }
+
+    #[test]
+    fn broker_skips_a_down_ce_while_another_has_free_slots() {
+        use crate::config::Downtime;
+        let mut cfg = two_ce_config();
+        // CE 0 goes down at t=5 for a very long window — before any
+        // submission (constant 10s overhead) reaches the broker.
+        cfg.ces[0].downtime = Some(Downtime {
+            period: 5.0,
+            duration: 1_000_000.0,
+        });
+        let mut sim = GridSim::new(cfg, 1);
+        for _ in 0..2 {
+            sim.submit(GridJobSpec::new("j", 100.0));
+        }
+        while let Some(c) = sim.next_completion() {
+            assert_eq!(c.record.ce, Some(CeId(1)), "matched onto the down CE");
+            assert!(
+                c.delivered_at.as_secs_f64() < 1_000.0,
+                "job waited out the downtime: {}",
+                c.delivered_at
+            );
+        }
+    }
+
+    #[test]
+    fn broker_falls_back_to_a_down_ce_only_when_all_are_down() {
+        use crate::config::Downtime;
+        let mut cfg = quiet_config();
+        cfg.ces[0].downtime = Some(Downtime {
+            period: 5.0,
+            duration: 500.0,
+        });
+        let mut sim = GridSim::new(cfg, 1);
+        sim.submit(GridJobSpec::new("j", 100.0));
+        let c = sim.next_completion().expect("delivered after the window");
+        assert_eq!(c.record.ce, Some(CeId(0)));
+        assert!(
+            c.record.queue_wait().as_secs_f64() > 400.0,
+            "job should sit in the queue until CeUp: {:?}",
+            c.record.queue_wait()
+        );
+    }
+
+    #[test]
+    fn blocked_ce_receives_no_new_matches() {
+        let mut sim = GridSim::new(two_ce_config(), 1);
+        sim.set_ce_blocked(0, true);
+        for _ in 0..4 {
+            sim.submit(GridJobSpec::new("j", 50.0));
+        }
+        let mut n = 0;
+        while let Some(c) = sim.next_completion() {
+            assert_eq!(c.record.ce, Some(CeId(1)));
+            n += 1;
+        }
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn cancelled_job_never_surfaces_a_completion() {
+        let mut sim = GridSim::new(quiet_config(), 1);
+        let keep = sim.submit(GridJobSpec::new("keep", 100.0));
+        let drop = sim.submit(GridJobSpec::new("drop", 100.0));
+        assert!(sim.cancel(drop), "first cancel succeeds");
+        assert!(!sim.cancel(drop), "second cancel is a no-op");
+        assert_eq!(sim.outstanding(), 1);
+        let c = sim.next_completion().expect("surviving job completes");
+        assert_eq!(c.id, keep);
+        assert!(sim.next_completion().is_none());
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_frees_its_queue_slot() {
+        let mut sim = GridSim::new(quiet_config(), 1);
+        // Two slots: jobs 0 and 1 run, job 2 queues behind them.
+        let ids: Vec<JobId> = (0..3)
+            .map(|_| sim.submit(GridJobSpec::new("j", 100.0)))
+            .collect();
+        // Wait past dispatch (t=15) by polling to the first completion.
+        let first = sim.next_completion().unwrap();
+        assert!((first.delivered_at.as_secs_f64() - 116.0).abs() < 1e-6);
+        assert!(sim.cancel(ids[2]), "queued job can be cancelled");
+        let second = sim.next_completion().unwrap();
+        assert!((second.delivered_at.as_secs_f64() - 116.0).abs() < 1e-6);
+        assert!(sim.next_completion().is_none(), "third was cancelled");
+    }
+
+    #[test]
+    fn cancel_after_delivery_returns_false() {
+        let mut sim = GridSim::new(quiet_config(), 1);
+        let id = sim.submit(GridJobSpec::new("j", 10.0));
+        let _ = sim.next_completion().unwrap();
+        assert!(!sim.cancel(id));
+    }
+
+    #[test]
+    fn next_completion_until_stops_at_the_deadline() {
+        let mut sim = GridSim::new(quiet_config(), 1);
+        sim.submit(GridJobSpec::new("j", 100.0)); // completes at t=116
+        let none = sim.next_completion_until(SimTime::from_secs_f64(50.0));
+        assert!(none.is_none());
+        assert!((sim.now().as_secs_f64() - 50.0).abs() < 1e-6);
+        let some = sim.next_completion_until(SimTime::from_secs_f64(500.0));
+        let c = some.expect("completion before the second deadline");
+        assert!((c.delivered_at.as_secs_f64() - 116.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn next_completion_until_advances_time_with_nothing_outstanding() {
+        let mut sim = GridSim::new(quiet_config(), 1);
+        assert!(sim
+            .next_completion_until(SimTime::from_secs_f64(42.0))
+            .is_none());
+        assert!((sim.now().as_secs_f64() - 42.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_retries_n_means_n_plus_one_attempts() {
+        for n in [0u32, 1, 3] {
+            let mut cfg = quiet_config();
+            cfg.failure_probability = 1.0;
+            cfg.max_retries = n;
+            cfg.failure_detection = Distribution::Constant(1.0);
+            let mut sim = GridSim::new(cfg, 1);
+            sim.submit(GridJobSpec::new("j", 10.0));
+            let c = sim.next_completion().unwrap();
+            assert_eq!(c.outcome, JobOutcome::Failed);
+            assert_eq!(c.record.attempts, n + 1, "max_retries={n}");
+        }
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //!            [--chrome-trace trace.json] [--metrics metrics.json]
 //!            [--openmetrics metrics.om] [--spans spans.jsonl]
 //!            [--critical-path] [--cache-dir DIR] [--fetch-cost SECS]
+//!            [--continue-on-error] [--workflow-report out.json]
+//!            [--retry-policy fixed|backoff|jitter] [--max-retries N]
+//!            [--retry-base S] [--retry-factor F] [--retry-max-delay S]
+//!            [--timeout S] [--adaptive-timeout]
+//!            [--on-timeout resubmit|replicate] [--max-replicas N]
+//!            [--blacklist-after N]
 //! moteur lint <workflow.xml> [--json] [--deny-warnings] [--predict]
 //! moteur validate <workflow.xml>
 //! moteur group <workflow.xml>          # print the grouped workflow
@@ -24,6 +30,16 @@
 //! over the same inputs (same process or a warm restart) elides the
 //! memoized grid jobs, replaying their outputs at `--fetch-cost`
 //! simulated seconds per hit.
+//!
+//! The fault-tolerance flags select the retry policy applied to failed
+//! invocations, an optional timeout (fixed seconds, or percentile-
+//! adaptive with `--adaptive-timeout`, where `--timeout` then serves as
+//! the warm-up fallback budget) with its action (cancel-and-resubmit,
+//! or speculative replication — first completion wins), and CE
+//! blacklisting. `--continue-on-error` quarantines terminally failed
+//! data items instead of aborting: the run completes the independent
+//! items, prints a workflow report (JSON with `--workflow-report`),
+//! and exits non-zero.
 
 use moteur_repro::bench::{bronze_inputs, bronze_workflow_xml};
 use moteur_repro::gridsim::Distribution;
@@ -32,8 +48,10 @@ use moteur_repro::moteur::lint::{prediction_to_json, LintReport};
 use moteur_repro::moteur::{
     chrome_trace_with_metrics, critical_path, diagram, export_provenance, group_workflow,
     lint_workflow, predict, render_critical_path, render_human, render_openmetrics,
-    render_prediction, render_report, report_to_json, run_cached, run_observed, to_dot, DataStore,
-    EnactorConfig, EventSink, JsonlSink, MetricsSink, Obs, SimBackend, SpanSink, StoreConfig,
+    render_prediction, render_report, report_to_json, run_fault_tolerant,
+    run_fault_tolerant_cached, to_dot, DataStore, EnactorConfig, EventSink, FtConfig, FtPolicy,
+    JsonlSink, MetricsSink, Obs, RetryPolicy, SimBackend, SpanSink, StoreConfig, TimeoutAction,
+    TimeoutPolicy,
 };
 use moteur_repro::scufl::{
     lint_source, parse_input_data, parse_workflow, write_input_data, write_workflow,
@@ -59,6 +77,12 @@ fn main() -> ExitCode {
             eprintln!("      [--openmetrics metrics.om] [--spans spans.jsonl]");
             eprintln!("      [--critical-path] [--no-verify]");
             eprintln!("      [--cache-dir DIR] [--fetch-cost SECS]");
+            eprintln!("      [--continue-on-error] [--workflow-report out.json]");
+            eprintln!("      [--retry-policy fixed|backoff|jitter] [--max-retries N]");
+            eprintln!("      [--retry-base S] [--retry-factor F] [--retry-max-delay S]");
+            eprintln!("      [--timeout S] [--adaptive-timeout]");
+            eprintln!("      [--on-timeout resubmit|replicate] [--max-replicas N]");
+            eprintln!("      [--blacklist-after N]");
             eprintln!("  lint <workflow.xml> [--json] [--deny-warnings] [--predict]");
             eprintln!("      [--ndata N] [--overhead S]");
             eprintln!("  validate <workflow.xml>");
@@ -281,6 +305,85 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Build the fault-tolerance configuration from `moteur run` flags.
+/// Without any FT flag this reproduces the legacy enactor behaviour
+/// (immediate resubmission up to `max_job_retries`, no timeout).
+fn parse_ft_config(args: &[String], legacy_max_retries: u32) -> Result<FtConfig, String> {
+    fn parsed<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+        flag_value(args, flag)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("{flag} needs a valid number, got `{v}`"))
+            })
+            .transpose()
+    }
+
+    let max_retries: u32 = parsed(args, "--max-retries")?.unwrap_or(legacy_max_retries);
+    let base_delay: f64 = parsed(args, "--retry-base")?.unwrap_or(10.0);
+    let factor: f64 = parsed(args, "--retry-factor")?.unwrap_or(2.0);
+    let max_delay: f64 = parsed(args, "--retry-max-delay")?.unwrap_or(300.0);
+    let retry = match flag_value(args, "--retry-policy").unwrap_or("fixed") {
+        "fixed" => RetryPolicy::Fixed { max_retries },
+        "backoff" => RetryPolicy::ExponentialBackoff {
+            max_retries,
+            base_delay,
+            factor,
+            max_delay,
+        },
+        "jitter" => RetryPolicy::Jittered {
+            max_retries,
+            base_delay,
+            factor,
+            max_delay,
+        },
+        other => {
+            return Err(format!(
+                "unknown retry policy `{other}` (fixed|backoff|jitter)"
+            ))
+        }
+    };
+
+    let timeout_secs: Option<f64> = parsed(args, "--timeout")?;
+    let timeout = if args.iter().any(|a| a == "--adaptive-timeout") {
+        // `--timeout` doubles as the warm-up fallback; without it the
+        // timeout stays disabled until enough completions accrue.
+        TimeoutPolicy::Adaptive {
+            percentile: 0.95,
+            multiplier: 3.0,
+            min_samples: 5,
+            fallback: timeout_secs.unwrap_or(f64::INFINITY),
+        }
+    } else {
+        match timeout_secs {
+            Some(seconds) => TimeoutPolicy::Fixed { seconds },
+            None => TimeoutPolicy::None,
+        }
+    };
+
+    let max_replicas: u32 = parsed(args, "--max-replicas")?.unwrap_or(1);
+    let on_timeout = match flag_value(args, "--on-timeout").unwrap_or("resubmit") {
+        "resubmit" => TimeoutAction::Resubmit,
+        "replicate" => TimeoutAction::Replicate { max_replicas },
+        other => {
+            return Err(format!(
+                "unknown timeout action `{other}` (resubmit|replicate)"
+            ))
+        }
+    };
+
+    let mut ft = FtConfig::from_legacy(legacy_max_retries)
+        .with_default(FtPolicy {
+            retry,
+            timeout,
+            on_timeout,
+        })
+        .with_continue_on_error(args.iter().any(|a| a == "--continue-on-error"));
+    if let Some(threshold) = parsed::<u32>(args, "--blacklist-after")? {
+        ft = ft.with_ce_blacklist(threshold);
+    }
+    Ok(ft)
+}
+
 fn cmd_run(args: &[String]) -> ExitCode {
     let (Some(wf_path), Some(data_path)) = (args.first(), args.get(1)) else {
         return fail("run needs a workflow file and an input data file");
@@ -390,10 +493,16 @@ fn cmd_run(args: &[String]) -> ExitCode {
         config.label(),
         flag_value(args, "--grid").unwrap_or("egee")
     );
+    let ft = match parse_ft_config(args, config.max_job_retries) {
+        Ok(ft) => ft,
+        Err(e) => return fail(e),
+    };
     let mut backend = SimBackend::with_obs(grid, seed, &obs);
     let run_result = match store.as_mut() {
-        Some(s) => run_cached(&wf, &inputs, config, &mut backend, obs.clone(), s),
-        None => run_observed(&wf, &inputs, config, &mut backend, obs.clone()),
+        Some(s) => {
+            run_fault_tolerant_cached(&wf, &inputs, config, &ft, &mut backend, obs.clone(), s)
+        }
+        None => run_fault_tolerant(&wf, &inputs, config, &ft, &mut backend, obs.clone()),
     };
     let result = match run_result {
         Ok(r) => r,
@@ -489,5 +598,21 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if write_workflow(&wf).is_err() {
         eprintln!("note: workflow contains bindings with no XML form");
     }
-    ExitCode::SUCCESS
+    let report = result.report();
+    if !report.ok() {
+        println!();
+        print!("{}", report.render());
+    }
+    if let Some(path) = flag_value(args, "--workflow-report") {
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => println!("workflow report written to {path}"),
+            Err(e) => return fail(format!("writing {path}: {e}")),
+        }
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        // Degraded run: results were delivered but items are missing.
+        ExitCode::FAILURE
+    }
 }
