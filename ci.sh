@@ -46,8 +46,16 @@ cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
 cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
   faults --out-dir .
 
+# Grid telemetry: the campaign with the timeline pipeline attached, in
+# the ideal (byte-accounting) and queue-saturated regimes. Fails unless
+# the timeline's per-link byte totals reconcile with the enactor and
+# the loaded regime is attributed to the CE queues; writes
+# BENCH_timeline.json, re-checked by the gate below.
 cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
-  gate --faults BENCH_faults.json
+  timeline --out-dir .
+
+cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
+  gate --faults BENCH_faults.json --timeline BENCH_timeline.json
 
 # Data manager: cold/warm pair on the deterministic chain. Fails if the
 # cold run drifts from eq. 1-4 or any warm invocation misses the cache;

@@ -240,6 +240,57 @@ pub fn check_faults(faults_json: &str) -> Result<Vec<GateCheck>, String> {
     ])
 }
 
+/// Checks over a `BENCH_timeline.json` document (schema
+/// `moteur-bench/timeline/v1`): the ideal-grid byte accounting must
+/// reconcile (timeline link-byte totals == the enactor's
+/// `bytes_transferred`) and the loaded grid must be attributed to the
+/// CE batch queues.
+pub fn check_timeline(timeline_json: &str) -> Result<Vec<GateCheck>, String> {
+    let value = JsonValue::parse(timeline_json).map_err(|e| format!("timeline: {e}"))?;
+    match value.get("schema").and_then(JsonValue::as_str) {
+        Some(crate::timeline::TIMELINE_BENCH_SCHEMA) => {}
+        Some(other) => {
+            return Err(format!(
+                "timeline: schema `{other}`, expected `{}`",
+                crate::timeline::TIMELINE_BENCH_SCHEMA
+            ))
+        }
+        None => return Err("timeline: missing schema tag".to_string()),
+    }
+    let scenarios = value
+        .get("scenarios")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "timeline: missing scenarios array".to_string())?;
+    let scenario = |name: &str| -> Result<&JsonValue, String> {
+        scenarios
+            .iter()
+            .find(|s| s.get("scenario").and_then(JsonValue::as_str) == Some(name))
+            .ok_or_else(|| format!("timeline: missing `{name}` scenario"))
+    };
+    let field = |s: &JsonValue, name: &str| -> f64 {
+        s.get(name).and_then(JsonValue::as_f64).unwrap_or(f64::NAN)
+    };
+    let ideal = scenario("ideal")?;
+    let loaded = scenario("egee-loaded")?;
+    let enactor_bytes = field(ideal, "bytes_transferred");
+    let timeline_bytes = field(ideal, "timeline_link_bytes");
+    let queue_verdict = loaded.get("verdict").and_then(JsonValue::as_str) == Some("queue-wait");
+    Ok(vec![
+        GateCheck {
+            what: "timeline/ideal_byte_accounting".to_string(),
+            baseline: enactor_bytes,
+            current: timeline_bytes,
+            ok: enactor_bytes > 0.0 && timeline_bytes == enactor_bytes,
+        },
+        GateCheck {
+            what: "timeline/loaded_queue_verdict".to_string(),
+            baseline: 1.0,
+            current: f64::from(u8::from(queue_verdict)),
+            ok: queue_verdict,
+        },
+    ])
+}
+
 /// Default allowed regression: 10 %.
 pub const DEFAULT_THRESHOLD: f64 = 0.10;
 
@@ -365,6 +416,65 @@ mod tests {
 
         assert!(check_faults("{\"schema\":\"other/v1\"}").is_err());
         assert!(check_faults("{").is_err());
+    }
+
+    #[test]
+    fn timeline_gate_requires_byte_reconciliation_and_queue_verdict() {
+        let report = crate::timeline::TimelineReport {
+            spec: crate::timeline::TimelineSpec {
+                ideal_n_data: 2,
+                loaded_n_data: 6,
+                seed: 1,
+            },
+            outcomes: vec![
+                crate::timeline::TimelineOutcome {
+                    scenario: "ideal",
+                    makespan_secs: 330.0,
+                    jobs_submitted: 13,
+                    bytes_transferred: 1000,
+                    timeline_link_bytes: 1000,
+                    peak_queue_depth: 0,
+                    verdict: "compute".to_string(),
+                    dominant_fraction: 1.0,
+                    queue_wait_secs: 0.0,
+                    transfer_secs: 0.0,
+                    compute_secs: 330.0,
+                },
+                crate::timeline::TimelineOutcome {
+                    scenario: "egee-loaded",
+                    makespan_secs: 9000.0,
+                    jobs_submitted: 31,
+                    bytes_transferred: 5000,
+                    timeline_link_bytes: 4800,
+                    peak_queue_depth: 14,
+                    verdict: "queue-wait".to_string(),
+                    dominant_fraction: 0.7,
+                    queue_wait_secs: 7000.0,
+                    transfer_secs: 1000.0,
+                    compute_secs: 2000.0,
+                },
+            ],
+        };
+        let json = crate::timeline::render_timeline_json(&report);
+        let checks = check_timeline(&json).unwrap();
+        assert_eq!(checks.len(), 2);
+        assert!(checks.iter().all(|c| c.ok), "{checks:?}");
+
+        // A lost transfer byte must trip the accounting check …
+        let lossy = json.replacen(
+            "\"timeline_link_bytes\":1000",
+            "\"timeline_link_bytes\":999",
+            1,
+        );
+        let checks = check_timeline(&lossy).unwrap();
+        assert!(!checks[0].ok, "{checks:?}");
+        // … and a mis-attributed loaded run the verdict check.
+        let wrong = json.replacen("\"verdict\":\"queue-wait\"", "\"verdict\":\"transfer\"", 1);
+        let checks = check_timeline(&wrong).unwrap();
+        assert!(!checks[1].ok, "{checks:?}");
+
+        assert!(check_timeline("{\"schema\":\"other/v1\"}").is_err());
+        assert!(check_timeline("{").is_err());
     }
 
     #[test]

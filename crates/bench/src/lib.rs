@@ -30,12 +30,19 @@
 //! under three fault-tolerance strategies (naive, backoff,
 //! timeout+replication) and writes the comparison to
 //! `BENCH_faults.json` ([`faults`]).
+//!
+//! `moteur-bench timeline` enacts the campaign with the telemetry
+//! pipeline attached in two regimes (ideal byte-accounting,
+//! queue-saturated `egee_2006`) and writes peak queue depth, transfer
+//! bytes and the bottleneck verdict to `BENCH_timeline.json`
+//! ([`timeline`]).
 
 pub mod bronze;
 pub mod campaign;
 pub mod faults;
 pub mod gate;
 pub mod sweep;
+pub mod timeline;
 pub mod warm;
 
 pub use bronze::{

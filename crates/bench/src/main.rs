@@ -7,10 +7,12 @@
 //!                       [--overhead SECS] [--tolerance FRAC]
 //!                       [--out-dir DIR]
 //! moteur-bench gate [--summary PATH] [--baseline PATH] [--threshold FRAC]
-//!                   [--faults PATH]
+//!                   [--faults PATH] [--timeline PATH]
 //! moteur-bench warm [--ndata N] [--seed N] [--out-dir DIR]
 //! moteur-bench faults [--ndata N] [--seed N] [--repeats R]
 //!                     [--failure-probability P] [--out-dir DIR]
+//! moteur-bench timeline [--ideal-ndata N] [--loaded-ndata N] [--seed N]
+//!                       [--out-dir DIR]
 //! ```
 //!
 //! `campaign` runs the six Table-1 configurations over the sweep and
@@ -25,13 +27,18 @@
 //! `faults` enacts the campaign on an unreliable grid under the three
 //! fault-tolerance strategies and writes `BENCH_faults.json`, exiting
 //! non-zero unless timeout+replication beats the naive strategy.
+//! `timeline` enacts the campaign with the telemetry pipeline attached
+//! (ideal and queue-saturated regimes) and writes
+//! `BENCH_timeline.json`, exiting non-zero unless the byte accounting
+//! reconciles and the loaded regime is attributed to the CE queues.
 
 use moteur_bench::faults::{render_faults, render_faults_json, run_faults, FaultsSpec};
-use moteur_bench::gate::{check_faults, check_gate, DEFAULT_THRESHOLD};
+use moteur_bench::gate::{check_faults, check_gate, check_timeline, DEFAULT_THRESHOLD};
 use moteur_bench::sweep::{
     render_points_json, render_summary, render_summary_json, run_sweep, SweepGrid, SweepSpec,
     SweepWorkflow,
 };
+use moteur_bench::timeline::{render_timeline, render_timeline_json, run_timeline, TimelineSpec};
 use moteur_bench::warm::{render_warm, render_warm_json, run_warm_pair};
 use std::path::Path;
 use std::process::ExitCode;
@@ -53,10 +60,12 @@ fn usage() -> ExitCode {
     eprintln!("                    [--workflow chain|bronze] [--grid ideal|egee]");
     eprintln!("                    [--overhead SECS] [--tolerance FRAC] [--out-dir DIR]");
     eprintln!("       moteur-bench gate [--summary PATH] [--baseline PATH] [--threshold FRAC]");
-    eprintln!("                    [--faults PATH]");
+    eprintln!("                    [--faults PATH] [--timeline PATH]");
     eprintln!("       moteur-bench warm [--ndata N] [--seed N] [--out-dir DIR]");
     eprintln!("       moteur-bench faults [--ndata N] [--seed N] [--repeats R]");
     eprintln!("                    [--failure-probability P] [--out-dir DIR]");
+    eprintln!("       moteur-bench timeline [--ideal-ndata N] [--loaded-ndata N] [--seed N]");
+    eprintln!("                    [--out-dir DIR]");
     eprintln!();
     eprintln!("env: MOTEUR_BENCH_UPDATE_BASELINE=1  rewrite the gate baseline and pass");
     ExitCode::from(2)
@@ -197,6 +206,18 @@ fn cmd_gate(args: &[String]) -> ExitCode {
         Err(_) if implicit => {}
         Err(e) => return fail(format!("reading {faults_path}: {e}")),
     }
+    // Same convention for the telemetry document.
+    let timeline_path = flag_value(args, "--timeline");
+    let implicit = timeline_path.is_none();
+    let timeline_path = timeline_path.unwrap_or("BENCH_timeline.json");
+    match std::fs::read_to_string(timeline_path) {
+        Ok(json) => match check_timeline(&json) {
+            Ok(mut checks) => report.checks.append(&mut checks),
+            Err(e) => return fail(e),
+        },
+        Err(_) if implicit => {}
+        Err(e) => return fail(format!("reading {timeline_path}: {e}")),
+    }
     print!("{}", report.render());
     if report.ok() {
         ExitCode::SUCCESS
@@ -291,6 +312,54 @@ fn cmd_faults(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_timeline(args: &[String]) -> ExitCode {
+    let mut spec = TimelineSpec::default();
+    match flag_value(args, "--ideal-ndata")
+        .map(str::parse)
+        .transpose()
+    {
+        Ok(Some(v)) if v > 0 => spec.ideal_n_data = v,
+        Ok(Some(_)) => return fail("--ideal-ndata needs a positive integer"),
+        Ok(None) => {}
+        Err(_) => return fail("--ideal-ndata needs a positive integer"),
+    }
+    match flag_value(args, "--loaded-ndata")
+        .map(str::parse)
+        .transpose()
+    {
+        Ok(Some(v)) if v > 0 => spec.loaded_n_data = v,
+        Ok(Some(_)) => return fail("--loaded-ndata needs a positive integer"),
+        Ok(None) => {}
+        Err(_) => return fail("--loaded-ndata needs a positive integer"),
+    }
+    match flag_value(args, "--seed").map(str::parse).transpose() {
+        Ok(v) => spec.seed = v.unwrap_or(spec.seed),
+        Err(_) => return fail("--seed needs an integer"),
+    }
+    let out_dir = Path::new(flag_value(args, "--out-dir").unwrap_or("."));
+
+    eprintln!(
+        "timeline telemetry: bronze sp+dp, ideal n_data {} / egee n_data {}...",
+        spec.ideal_n_data, spec.loaded_n_data
+    );
+    let report = match run_timeline(&spec) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    print!("{}", render_timeline(&report));
+    let path = out_dir.join("BENCH_timeline.json");
+    if let Err(e) = std::fs::write(&path, render_timeline_json(&report) + "\n") {
+        return fail(format!("writing {}: {e}", path.display()));
+    }
+    println!("wrote {}", path.display());
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("moteur-bench: byte accounting or queue attribution failed");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -298,6 +367,7 @@ fn main() -> ExitCode {
         Some("gate") => cmd_gate(&args[1..]),
         Some("warm") => cmd_warm(&args[1..]),
         Some("faults") => cmd_faults(&args[1..]),
+        Some("timeline") => cmd_timeline(&args[1..]),
         _ => usage(),
     }
 }

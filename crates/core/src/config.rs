@@ -1,9 +1,28 @@
 //! Enactor configuration: which of the paper's optimizations are
 //! enabled. Workflow (graph) parallelism is inherent and always on.
 
+/// Service-level objective: the makespan the run is expected to track,
+/// normally the `crate::lint::predict` eq. 1–4 prediction for the
+/// active configuration. With an SLO set, the enactor projects the
+/// completion time after every finished invocation
+/// (`elapsed × expected_jobs / completed`) and emits
+/// [`crate::obs::TraceEvent::SloBreached`] whenever the projection
+/// first exceeds `predicted_makespan_secs × factor` — the burn-rate
+/// signal an operator alerts on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// Predicted makespan in virtual seconds (eq. 1–4).
+    pub predicted_makespan_secs: f64,
+    /// Breach threshold as a multiple of the prediction (e.g. `1.5`).
+    pub factor: f64,
+    /// Expected number of completed invocations for the whole run,
+    /// used to extrapolate progress into a projected completion time.
+    pub expected_jobs: usize,
+}
+
 /// Execution configuration — the six experimental configurations of
 /// paper Table 1 are combinations of these three flags.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnactorConfig {
     /// DP: a service may process several data sets concurrently.
     pub data_parallelism: bool,
@@ -28,6 +47,9 @@ pub struct EnactorConfig {
     /// `moteur run --no-verify` turns this off, falling back to the
     /// weaker structural `validate()`.
     pub preflight: bool,
+    /// Optional SLO to track during enactment; `None` disables the
+    /// burn-rate check.
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for EnactorConfig {
@@ -40,6 +62,7 @@ impl Default for EnactorConfig {
             max_job_retries: 5,
             data_batching: 1,
             preflight: true,
+            slo: None,
         }
     }
 }
@@ -111,6 +134,12 @@ impl EnactorConfig {
     /// Skip the pre-flight lint (`moteur run --no-verify`).
     pub fn without_preflight(mut self) -> Self {
         self.preflight = false;
+        self
+    }
+
+    /// Track the given SLO during enactment (`moteur run --slo`).
+    pub fn with_slo(mut self, slo: SloConfig) -> Self {
+        self.slo = Some(slo);
         self
     }
 

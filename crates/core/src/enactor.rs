@@ -263,6 +263,15 @@ struct Enactor<'a, B: Backend> {
     next_invocation: u64,
     jobs_submitted: usize,
     inflight_total: usize,
+    /// Stage-in + stage-out bytes committed to the grid across every
+    /// submitted attempt (retries and replicas transfer again). The
+    /// ground truth the per-link timeline series must sum to.
+    bytes_transferred: u64,
+    /// Successfully completed logical invocations, for SLO projection.
+    completed: usize,
+    /// Whether the last SLO projection exceeded the threshold (the
+    /// breach event fires on the false→true transition only).
+    slo_breached: bool,
     sink_outputs: HashMap<String, Vec<Token>>,
     records: Vec<InvocationRecord>,
     start_time: SimTime,
@@ -379,6 +388,9 @@ impl<'a, B: Backend> Enactor<'a, B> {
             next_invocation: 0,
             jobs_submitted: 0,
             inflight_total: 0,
+            bytes_transferred: 0,
+            completed: 0,
+            slo_breached: false,
             sink_outputs: HashMap::new(),
             records: Vec::new(),
             start_time,
@@ -475,6 +487,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
         );
         self.states[proc.0].inflight += 1;
         self.inflight_total += 1;
+        self.emit_gauges();
         Ok(())
     }
 
@@ -551,6 +564,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
             makespan: self.backend.now().since(self.start_time),
             invocations: self.records,
             jobs_submitted: self.jobs_submitted,
+            bytes_transferred: self.bytes_transferred,
             quarantined: self.quarantined,
         })
     }
@@ -951,6 +965,68 @@ impl<'a, B: Backend> Enactor<'a, B> {
         )
     }
 
+    /// Bytes a payload moves over its CE's network link (stage-in +
+    /// stage-out). Local and cache-fetch payloads move no grid bytes.
+    fn payload_bytes(payload: &JobPayload) -> u64 {
+        match payload {
+            JobPayload::Grid { plan, .. } => {
+                plan.fetch.iter().map(|f| f.bytes).sum::<u64>()
+                    + plan.store.iter().map(|f| f.bytes).sum::<u64>()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Sample the enactor-side gauges into the trace: in-flight and
+    /// backoff-deferred invocations, quarantined items, and the data
+    /// manager's occupancy. Called after every transition that moves
+    /// one of them; each logical invocation holds exactly one
+    /// `inflight` unit from submission to its terminal event, however
+    /// many attempts (retries, replicas) it spawns.
+    fn emit_gauges(&mut self) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let (cache_entries, cache_bytes) = self.store.as_deref().map_or((0, 0), |s| {
+            let stats = s.stats();
+            (stats.entries, stats.bytes)
+        });
+        self.obs.record(&TraceEvent::EnactorGauges {
+            at: self.backend.now(),
+            inflight: self.inflight_total,
+            deferred: self.deferred.len(),
+            quarantined: self.quarantined.len(),
+            cache_entries,
+            cache_bytes,
+        });
+    }
+
+    /// Burn-rate check against the configured SLO: extrapolate the
+    /// completion time from progress so far and emit
+    /// [`TraceEvent::SloBreached`] on the transition into breach.
+    fn check_slo(&mut self) {
+        let Some(slo) = self.config.slo else { return };
+        if self.completed == 0 || slo.predicted_makespan_secs <= 0.0 {
+            return;
+        }
+        let elapsed = self.backend.now().since(self.start_time).as_secs_f64();
+        let expected = slo.expected_jobs.max(self.completed);
+        let projected = elapsed * expected as f64 / self.completed as f64;
+        let breached = projected > slo.predicted_makespan_secs * slo.factor;
+        if breached && !self.slo_breached {
+            let completed = self.completed;
+            self.obs.emit(|| TraceEvent::SloBreached {
+                at: self.backend.now(),
+                predicted_secs: slo.predicted_makespan_secs,
+                projected_secs: projected,
+                factor: slo.factor,
+                completed,
+                expected,
+            });
+        }
+        self.slo_breached = breached;
+    }
+
     fn submit(
         &mut self,
         proc: ProcId,
@@ -992,6 +1068,8 @@ impl<'a, B: Backend> Enactor<'a, B> {
         self.states[proc.0].inflight += 1;
         self.inflight_total += 1;
         self.jobs_submitted += 1;
+        self.bytes_transferred += Self::payload_bytes(&self.pending[&invocation.0].job.payload);
+        self.emit_gauges();
         Ok(())
     }
 
@@ -1322,6 +1400,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
             if delay > 0.0 {
                 let due = self.backend.now() + SimDuration::from_secs_f64(delay);
                 self.deferred.push((due, logical));
+                self.emit_gauges();
             } else {
                 self.resubmit(logical);
             }
@@ -1350,7 +1429,9 @@ impl<'a, B: Backend> Enactor<'a, B> {
             invocation: logical,
             processor: name,
             retry,
+            attempt: logical,
         });
+        self.bytes_transferred += Self::payload_bytes(&job.payload);
         self.backend.submit(job);
     }
 
@@ -1367,8 +1448,12 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 true
             }
         });
+        let serviced = !due.is_empty();
         for logical in due {
             self.resubmit(logical);
+        }
+        if serviced {
+            self.emit_gauges();
         }
         Ok(())
     }
@@ -1427,7 +1512,9 @@ impl<'a, B: Backend> Enactor<'a, B> {
                         invocation: logical,
                         processor: name.clone(),
                         retry,
+                        attempt: fresh,
                     });
+                    self.bytes_transferred += Self::payload_bytes(&job.payload);
                     self.backend.submit(job);
                 } else {
                     self.obs.emit(|| TraceEvent::JobTimedOut {
@@ -1468,7 +1555,9 @@ impl<'a, B: Backend> Enactor<'a, B> {
                         invocation: logical,
                         processor: name.clone(),
                         replica: n,
+                        attempt: fresh,
                     });
+                    self.bytes_transferred += Self::payload_bytes(&job.payload);
                     self.backend.submit(job);
                 } else {
                     // Replica cap reached: let the race run to the end.
@@ -1540,6 +1629,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
                     descendants: descendants.clone(),
                 });
             }
+            self.emit_gauges();
             Ok(())
         } else {
             Err(MoteurError::new(format!(
@@ -1589,6 +1679,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
             });
         }
         self.deferred.clear();
+        self.emit_gauges();
     }
 
     /// The winning attempt of `logical` completed: cancel the losers,
@@ -1691,6 +1782,9 @@ impl<'a, B: Backend> Enactor<'a, B> {
             invocation: logical,
             processor: self.workflow.processors[proc_id.0].name.clone(),
         });
+        self.completed += 1;
+        self.check_slo();
+        self.emit_gauges();
         Ok(())
     }
 }

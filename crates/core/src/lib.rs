@@ -81,7 +81,7 @@ pub use backend::{
     Backend, BackendCompletion, BackendJob, InvocationId, JobPayload, LocalBackend, SimBackend,
     VirtualBackend,
 };
-pub use config::EnactorConfig;
+pub use config::{EnactorConfig, SloConfig};
 pub use dot::to_dot;
 pub use enactor::{
     run, run_cached, run_fault_tolerant, run_fault_tolerant_cached, run_observed, InputData,
@@ -101,12 +101,14 @@ pub use lint::{
 pub use model::TimeMatrix;
 pub use obs::chrome::{chrome_trace, chrome_trace_with_metrics};
 pub use obs::critical::{analyze as critical_path, render as render_critical_path, CriticalPath};
+pub use obs::detect::{analyze as detect_bottlenecks, Bottleneck, DetectReport, Straggler};
 pub use obs::drift::{check_drift, DriftEntry, DriftReport, Observation};
 pub use obs::fit::{fit_sweep, MakespanFit, SweepPoint};
 pub use obs::metrics::{MetricsRegistry, MetricsSink};
 pub use obs::openmetrics::render as render_openmetrics;
 pub use obs::sinks::{EventBuffer, JsonlSink, NullSink, RingBufferSink};
 pub use obs::span::{GridPhase, Span, SpanBuffer, SpanId, SpanKind, SpanSink, SpanTree};
+pub use obs::timeline::{ResourceStats, Timeline, TimelineSink, TIMELINE_SCHEMA};
 pub use obs::{EventSink, Obs, TraceEvent};
 pub use provenance::{export_provenance, history_from_xml, history_to_xml};
 pub use report::{render_report, service_stats, total_busy, ServiceStats};

@@ -180,6 +180,7 @@ mod tests {
             makespan: SimDuration::from_secs(1),
             invocations,
             jobs_submitted: 0,
+            bytes_transferred: 0,
             quarantined: vec![],
         }
     }

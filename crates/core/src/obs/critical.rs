@@ -324,6 +324,7 @@ mod tests {
             makespan: SimDuration::from_secs_f64(makespan),
             invocations,
             jobs_submitted: 0,
+            bytes_transferred: 0,
             quarantined: vec![],
         }
     }

@@ -136,11 +136,26 @@ pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, Gauge>,
     histograms: BTreeMap<String, Histogram>,
+    /// Latest virtual time observed on any event, in seconds — the
+    /// timestamp the OpenMetrics exposition stamps every sample with.
+    latest: f64,
 }
 
 impl MetricsRegistry {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Advance the registry's virtual clock to at least `at` seconds.
+    pub fn touch(&mut self, at: f64) {
+        if at > self.latest {
+            self.latest = at;
+        }
+    }
+
+    /// Latest virtual time observed, in seconds (0 before any event).
+    pub fn latest(&self) -> f64 {
+        self.latest
     }
 
     pub fn inc(&mut self, name: &str, by: u64) {
@@ -263,6 +278,14 @@ struct JobTimes {
 pub struct MetricsSink {
     registry: Arc<Mutex<MetricsRegistry>>,
     times: HashMap<u64, JobTimes>,
+    /// Logical invocations currently holding an inflight-gauge unit,
+    /// with the processor whose per-service gauge they incremented.
+    /// One attempt tag = one gauge increment: fault-tolerance events
+    /// (backoff deferrals, replicas, superseded-replica cancellations)
+    /// reference tags that were never inserted here, so they cannot
+    /// double-count — a decrement happens only when the tag that
+    /// incremented is removed.
+    live: HashMap<u64, String>,
 }
 
 impl MetricsSink {
@@ -273,6 +296,7 @@ impl MetricsSink {
             MetricsSink {
                 registry: registry.clone(),
                 times: HashMap::new(),
+                live: HashMap::new(),
             },
             registry,
         )
@@ -283,6 +307,7 @@ impl EventSink for MetricsSink {
     fn record(&mut self, event: &TraceEvent) {
         let at = event.at().as_secs_f64();
         let mut reg = self.registry.lock().expect("metrics registry lock");
+        reg.touch(at);
         reg.inc(event.kind(), 1);
         match event {
             TraceEvent::JobSubmitted {
@@ -290,8 +315,10 @@ impl EventSink for MetricsSink {
                 processor,
                 ..
             } => {
-                reg.gauge_add("inflight_total", at, 1);
-                reg.gauge_add(&format!("inflight.{processor}"), at, 1);
+                if self.live.insert(*invocation, processor.clone()).is_none() {
+                    reg.gauge_add("inflight_total", at, 1);
+                    reg.gauge_add(&format!("inflight.{processor}"), at, 1);
+                }
                 self.times.entry(*invocation).or_default().submitted = Some(at);
             }
             // A cache hit replaces JobSubmitted for its invocation: the
@@ -302,14 +329,25 @@ impl EventSink for MetricsSink {
                 processor,
                 ..
             } => {
-                reg.gauge_add("inflight_total", at, 1);
-                reg.gauge_add(&format!("inflight.{processor}"), at, 1);
+                if self.live.insert(*invocation, processor.clone()).is_none() {
+                    reg.gauge_add("inflight_total", at, 1);
+                    reg.gauge_add(&format!("inflight.{processor}"), at, 1);
+                }
                 self.times.entry(*invocation).or_default().submitted = Some(at);
             }
-            TraceEvent::JobCompleted { processor, .. }
-            | TraceEvent::JobFailed { processor, .. } => {
-                reg.gauge_add("inflight_total", at, -1);
-                reg.gauge_add(&format!("inflight.{processor}"), at, -1);
+            // Terminal events release the inflight unit — but only the
+            // tag that acquired one. A `JobCancelled` for a superseded
+            // replica carries the replica's fresh tag (never inserted),
+            // so the logical invocation's unit survives until its own
+            // terminal event; an abort-drain cancellation carries the
+            // logical tag and correctly releases it.
+            TraceEvent::JobCompleted { invocation, .. }
+            | TraceEvent::JobFailed { invocation, .. }
+            | TraceEvent::JobCancelled { invocation, .. } => {
+                if let Some(processor) = self.live.remove(invocation) {
+                    reg.gauge_add("inflight_total", at, -1);
+                    reg.gauge_add(&format!("inflight.{processor}"), at, -1);
+                }
             }
             TraceEvent::GridSubmitted { invocation, .. } => {
                 self.times.entry(*invocation).or_default().submitted = Some(at);
@@ -409,6 +447,73 @@ mod tests {
         assert_eq!(h.count, 1);
         // Overhead: 100 wait + 5 notify = 105.
         assert!((h.sum - 105.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inflight_releases_once_per_attempt_tag() {
+        let (mut sink, registry) = MetricsSink::new();
+        let t = SimTime::from_secs_f64;
+        sink.record(&TraceEvent::JobSubmitted {
+            at: t(0.0),
+            invocation: 1,
+            processor: "p".into(),
+            grid: true,
+            batched: 1,
+        });
+        // Fault-tolerance churn: a timeout replica (fresh tag 50) is
+        // launched and later cancelled as superseded. Neither event
+        // may move the inflight gauges — tag 50 never incremented.
+        sink.record(&TraceEvent::JobReplicated {
+            at: t(10.0),
+            invocation: 1,
+            processor: "p".into(),
+            replica: 1,
+            attempt: 50,
+        });
+        sink.record(&TraceEvent::JobCancelled {
+            at: t(20.0),
+            invocation: 50,
+            processor: "p".into(),
+            reason: "superseded",
+        });
+        {
+            let reg = registry.lock().unwrap();
+            assert_eq!(reg.gauge("inflight_total").unwrap().current, 1);
+        }
+        // The logical invocation's terminal event releases exactly one
+        // unit; the gauge returns to zero, not below.
+        sink.record(&TraceEvent::JobCompleted {
+            at: t(30.0),
+            invocation: 1,
+            processor: "p".into(),
+        });
+        let reg = registry.lock().unwrap();
+        let g = reg.gauge("inflight_total").unwrap();
+        assert_eq!(g.current, 0, "balanced");
+        assert_eq!(g.peak, 1, "no double count");
+        assert_eq!(reg.gauge("inflight.p").unwrap().current, 0);
+        assert!((reg.latest() - 30.0).abs() < 1e-9, "virtual clock tracked");
+    }
+
+    #[test]
+    fn abort_cancellation_releases_the_inflight_unit() {
+        let (mut sink, registry) = MetricsSink::new();
+        let t = SimTime::from_secs_f64;
+        sink.record(&TraceEvent::JobSubmitted {
+            at: t(0.0),
+            invocation: 3,
+            processor: "p".into(),
+            grid: true,
+            batched: 1,
+        });
+        sink.record(&TraceEvent::JobCancelled {
+            at: t(5.0),
+            invocation: 3,
+            processor: "p".into(),
+            reason: "abort",
+        });
+        let reg = registry.lock().unwrap();
+        assert_eq!(reg.gauge("inflight_total").unwrap().current, 0);
     }
 
     #[test]

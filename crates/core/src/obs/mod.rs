@@ -39,6 +39,7 @@
 
 pub mod chrome;
 pub mod critical;
+pub mod detect;
 pub mod drift;
 pub mod fit;
 pub mod json;
@@ -46,6 +47,7 @@ pub mod metrics;
 pub mod openmetrics;
 pub mod sinks;
 pub mod span;
+pub mod timeline;
 
 use json::JsonObject;
 use moteur_gridsim::{SimEvent, SimTime};
@@ -96,11 +98,16 @@ pub enum TraceEvent {
         batched: usize,
     },
     /// Enactor-level resubmission of a terminally failed grid job.
+    /// `attempt` is the backend tag of the new attempt: equal to
+    /// `invocation` for failure resubmits (the logical tag is free
+    /// again), a fresh tag for timeout resubmits whose cancelled
+    /// predecessor may still surface.
     JobResubmitted {
         at: SimTime,
         invocation: u64,
         processor: String,
         retry: u32,
+        attempt: u64,
     },
     /// The invocation completed; its outputs were routed. Terminal.
     JobCompleted {
@@ -126,11 +133,14 @@ pub enum TraceEvent {
     },
     /// A speculative replica was launched for a still-running
     /// invocation (`replica` counts from 1). First completion wins.
+    /// `attempt` is the replica's fresh backend tag: grid-level events
+    /// for the replica carry it, not the logical invocation id.
     JobReplicated {
         at: SimTime,
         invocation: u64,
         processor: String,
         replica: u32,
+        attempt: u64,
     },
     /// The invocation was cancelled — a losing replica after the
     /// winner completed, or a pending job drained on workflow abort.
@@ -220,7 +230,43 @@ pub enum TraceEvent {
         busy: usize,
         queued: usize,
         queued_user: usize,
+        slots: usize,
         up: bool,
+    },
+    /// A started grid attempt committed its stage-in/stage-out bytes to
+    /// the CE's network link (congested durations included). Retried
+    /// attempts transfer — and therefore emit — again.
+    GridLinkTransfer {
+        at: SimTime,
+        invocation: u64,
+        ce: usize,
+        bytes_in: u64,
+        bytes_out: u64,
+        stage_in_secs: f64,
+        stage_out_secs: f64,
+    },
+
+    /// Periodic enactor-side resource gauges: invocations in flight,
+    /// backoff-deferred resubmissions, quarantined items, and the data
+    /// manager's occupancy (zero when no store is attached).
+    EnactorGauges {
+        at: SimTime,
+        inflight: usize,
+        deferred: usize,
+        quarantined: usize,
+        cache_entries: usize,
+        cache_bytes: u64,
+    },
+    /// The run's projected completion (linear burn rate over completed
+    /// invocations) exceeded the predicted makespan by the configured
+    /// factor. Emitted once, at the first breach.
+    SloBreached {
+        at: SimTime,
+        predicted_secs: f64,
+        projected_secs: f64,
+        factor: f64,
+        completed: usize,
+        expected: usize,
     },
 }
 
@@ -252,6 +298,9 @@ impl TraceEvent {
             TraceEvent::GridDelivered { .. } => "grid_delivered",
             TraceEvent::GridCancelled { .. } => "grid_cancelled",
             TraceEvent::CeCapacity { .. } => "ce_capacity",
+            TraceEvent::GridLinkTransfer { .. } => "grid_link_transfer",
+            TraceEvent::EnactorGauges { .. } => "enactor_gauges",
+            TraceEvent::SloBreached { .. } => "slo_breached",
         }
     }
 
@@ -280,7 +329,10 @@ impl TraceEvent {
             | TraceEvent::GridResubmitted { at, .. }
             | TraceEvent::GridDelivered { at, .. }
             | TraceEvent::GridCancelled { at, .. }
-            | TraceEvent::CeCapacity { at, .. } => *at,
+            | TraceEvent::CeCapacity { at, .. }
+            | TraceEvent::GridLinkTransfer { at, .. }
+            | TraceEvent::EnactorGauges { at, .. }
+            | TraceEvent::SloBreached { at, .. } => *at,
         }
     }
 
@@ -303,7 +355,8 @@ impl TraceEvent {
             | TraceEvent::GridFinished { invocation, .. }
             | TraceEvent::GridResubmitted { invocation, .. }
             | TraceEvent::GridDelivered { invocation, .. }
-            | TraceEvent::GridCancelled { invocation, .. } => Some(*invocation),
+            | TraceEvent::GridCancelled { invocation, .. }
+            | TraceEvent::GridLinkTransfer { invocation, .. } => Some(*invocation),
             _ => None,
         }
     }
@@ -386,6 +439,7 @@ impl TraceEvent {
                 busy,
                 queued,
                 queued_user,
+                slots,
                 up,
             } => TraceEvent::CeCapacity {
                 at: *at,
@@ -393,7 +447,26 @@ impl TraceEvent {
                 busy: *busy,
                 queued: *queued,
                 queued_user: *queued_user,
+                slots: *slots,
                 up: *up,
+            },
+            SimEvent::LinkTransfer {
+                at,
+                tag,
+                ce,
+                bytes_in,
+                bytes_out,
+                stage_in_secs,
+                stage_out_secs,
+                ..
+            } => TraceEvent::GridLinkTransfer {
+                at: *at,
+                invocation: *tag,
+                ce: ce.0,
+                bytes_in: *bytes_in,
+                bytes_out: *bytes_out,
+                stage_in_secs: *stage_in_secs,
+                stage_out_secs: *stage_out_secs,
             },
         }
     }
@@ -456,11 +529,13 @@ impl TraceEvent {
                 invocation,
                 processor,
                 retry,
+                attempt,
                 ..
             } => base
                 .uint("invocation", *invocation)
                 .str("processor", processor)
                 .uint("retry", u64::from(*retry))
+                .uint("attempt", *attempt)
                 .finish(),
             TraceEvent::JobCompleted {
                 invocation,
@@ -496,11 +571,13 @@ impl TraceEvent {
                 invocation,
                 processor,
                 replica,
+                attempt,
                 ..
             } => base
                 .uint("invocation", *invocation)
                 .str("processor", processor)
                 .uint("replica", u64::from(*replica))
+                .uint("attempt", *attempt)
                 .finish(),
             TraceEvent::JobCancelled {
                 invocation,
@@ -594,6 +671,7 @@ impl TraceEvent {
                 busy,
                 queued,
                 queued_user,
+                slots,
                 up,
                 ..
             } => base
@@ -601,7 +679,52 @@ impl TraceEvent {
                 .uint("busy", *busy as u64)
                 .uint("queued", *queued as u64)
                 .uint("queued_user", *queued_user as u64)
+                .uint("slots", *slots as u64)
                 .bool("up", *up)
+                .finish(),
+            TraceEvent::GridLinkTransfer {
+                invocation,
+                ce,
+                bytes_in,
+                bytes_out,
+                stage_in_secs,
+                stage_out_secs,
+                ..
+            } => base
+                .uint("invocation", *invocation)
+                .uint("ce", *ce as u64)
+                .uint("bytes_in", *bytes_in)
+                .uint("bytes_out", *bytes_out)
+                .num("stage_in_secs", *stage_in_secs)
+                .num("stage_out_secs", *stage_out_secs)
+                .finish(),
+            TraceEvent::EnactorGauges {
+                inflight,
+                deferred,
+                quarantined,
+                cache_entries,
+                cache_bytes,
+                ..
+            } => base
+                .uint("inflight", *inflight as u64)
+                .uint("deferred", *deferred as u64)
+                .uint("quarantined", *quarantined as u64)
+                .uint("cache_entries", *cache_entries as u64)
+                .uint("cache_bytes", *cache_bytes)
+                .finish(),
+            TraceEvent::SloBreached {
+                predicted_secs,
+                projected_secs,
+                factor,
+                completed,
+                expected,
+                ..
+            } => base
+                .num("predicted_secs", *predicted_secs)
+                .num("projected_secs", *projected_secs)
+                .num("factor", *factor)
+                .uint("completed", *completed as u64)
+                .uint("expected", *expected as u64)
                 .finish(),
         }
     }
@@ -763,8 +886,28 @@ mod tests {
             busy: 1,
             queued: 4,
             queued_user: 2,
+            slots: 8,
             up: true,
         };
         assert_eq!(TraceEvent::from_sim(&c).kind(), "ce_capacity");
+        let l = SimEvent::LinkTransfer {
+            at: SimTime::from_secs_f64(3.0),
+            job: JobId(1),
+            tag: 7,
+            ce: CeId(2),
+            bytes_in: 1_000,
+            bytes_out: 500,
+            stage_in_secs: 2.0,
+            stage_out_secs: 1.0,
+        };
+        let t = TraceEvent::from_sim(&l);
+        assert_eq!(t.kind(), "grid_link_transfer");
+        assert_eq!(t.invocation(), Some(7));
+        assert_eq!(
+            t.to_json(),
+            "{\"type\":\"grid_link_transfer\",\"t\":3,\"invocation\":7,\
+             \"ce\":2,\"bytes_in\":1000,\"bytes_out\":500,\
+             \"stage_in_secs\":2,\"stage_out_secs\":1}"
+        );
     }
 }

@@ -6,16 +6,22 @@
 //! without JSON post-processing:
 //!
 //! ```text
+//! # TYPE moteur_build_info gauge
+//! moteur_build_info{version="0.7.0"} 1 5823
 //! # TYPE moteur_events_total counter
-//! moteur_events_total{kind="job_submitted"} 61
+//! moteur_events_total{kind="job_submitted"} 61 5823
 //! # TYPE moteur_grid_overhead_seconds histogram
-//! moteur_grid_overhead_seconds_bucket{le="15"} 4
+//! moteur_grid_overhead_seconds_bucket{le="15"} 4 5823
 //! …
-//! moteur_grid_overhead_seconds_bucket{le="+Inf"} 61
-//! moteur_grid_overhead_seconds_sum 1234.5
-//! moteur_grid_overhead_seconds_count 61
+//! moteur_grid_overhead_seconds_bucket{le="+Inf"} 61 5823
+//! moteur_grid_overhead_seconds_sum 1234.5 5823
+//! moteur_grid_overhead_seconds_count 61 5823
 //! # EOF
 //! ```
+//!
+//! Samples are exemplar-free but timestamp-bearing: the trailing field
+//! is the registry's latest *virtual* time, so output stays
+//! byte-deterministic for a fixed workflow and seed.
 //!
 //! Metric values reflect end-of-run state (gauges expose their final
 //! value and their peak as two series). Span phases, when a
@@ -71,6 +77,10 @@ fn sanitise(name: &str) -> String {
 
 struct Renderer {
     out: String,
+    /// Timestamp appended to every sample: the registry's latest
+    /// virtual time. Exemplar-free, and — being virtual — byte-stable
+    /// for a fixed workflow and seed, unlike a wall-clock stamp.
+    ts: String,
 }
 
 impl Renderer {
@@ -80,22 +90,36 @@ impl Renderer {
 
     fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
         if labels.is_empty() {
-            let _ = writeln!(self.out, "{name} {value}");
+            let _ = writeln!(self.out, "{name} {value} {}", self.ts);
         } else {
             let rendered = labels
                 .iter()
                 .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
                 .collect::<Vec<_>>()
                 .join(",");
-            let _ = writeln!(self.out, "{name}{{{rendered}}} {value}");
+            let _ = writeln!(self.out, "{name}{{{rendered}}} {value} {}", self.ts);
         }
     }
 }
 
 /// Render the registry (and optionally a span tree) as an OpenMetrics
-/// text snapshot, `# EOF`-terminated.
+/// text snapshot, `# EOF`-terminated. Every sample carries the
+/// registry's latest virtual time as its timestamp, and the snapshot
+/// always includes a `moteur_build_info{version=…} 1` gauge.
 pub fn render(registry: &MetricsRegistry, spans: Option<&SpanTree>) -> String {
-    let mut r = Renderer { out: String::new() };
+    let mut r = Renderer {
+        out: String::new(),
+        ts: num(registry.latest()),
+    };
+
+    // Build identity first, so a scrape is attributable to a release
+    // even when the run produced no events.
+    r.typed("moteur_build_info", "gauge");
+    r.sample(
+        "moteur_build_info",
+        &[("version", env!("CARGO_PKG_VERSION"))],
+        "1",
+    );
 
     // Event counters all share one family, labelled by event kind.
     if registry.counters().next().is_some() {
@@ -246,9 +270,15 @@ mod tests {
     use moteur_gridsim::SimTime;
 
     #[test]
-    fn empty_registry_renders_just_the_terminator() {
+    fn empty_registry_renders_build_info_and_the_terminator() {
         let reg = MetricsRegistry::new();
-        assert_eq!(render(&reg, None), "# EOF\n");
+        let expected = format!(
+            "# TYPE moteur_build_info gauge\n\
+             moteur_build_info{{version=\"{}\"}} 1 0\n\
+             # EOF\n",
+            env!("CARGO_PKG_VERSION"),
+        );
+        assert_eq!(render(&reg, None), expected);
     }
 
     #[test]
@@ -268,20 +298,28 @@ mod tests {
             || Histogram::with_bounds(vec![10.0, 20.0]),
             50.0,
         );
+        reg.touch(120.0);
         let text = render(&reg, None);
         assert!(text.contains("# TYPE moteur_events_total counter\n"));
-        assert!(text.contains("moteur_events_total{kind=\"job_submitted\"} 3\n"));
-        assert!(text.contains("moteur_inflight 2\n"));
+        // Every sample carries the registry's latest virtual time.
+        assert!(text.contains("moteur_events_total{kind=\"job_submitted\"} 3 120\n"));
+        assert!(text.contains("moteur_inflight 2 120\n"));
         // Label values are escaped.
-        assert!(text.contains("moteur_service_inflight{service=\"crest\\\"Lines\"} 1\n"));
-        assert!(text.contains("moteur_ce_queue_depth{ce=\"0\"} 4\n"));
-        assert!(text.contains("moteur_inflight_peak 2\n"));
+        assert!(text.contains("moteur_service_inflight{service=\"crest\\\"Lines\"} 1 120\n"));
+        assert!(text.contains("moteur_ce_queue_depth{ce=\"0\"} 4 120\n"));
+        assert!(text.contains("moteur_inflight_peak 2 120\n"));
         // Buckets are cumulative and +Inf covers everything.
-        assert!(text.contains("moteur_grid_overhead_seconds_bucket{le=\"10\"} 1\n"));
-        assert!(text.contains("moteur_grid_overhead_seconds_bucket{le=\"20\"} 1\n"));
-        assert!(text.contains("moteur_grid_overhead_seconds_bucket{le=\"+Inf\"} 2\n"));
-        assert!(text.contains("moteur_grid_overhead_seconds_sum 55\n"));
-        assert!(text.contains("moteur_grid_overhead_seconds_count 2\n"));
+        assert!(text.contains("moteur_grid_overhead_seconds_bucket{le=\"10\"} 1 120\n"));
+        assert!(text.contains("moteur_grid_overhead_seconds_bucket{le=\"20\"} 1 120\n"));
+        assert!(text.contains("moteur_grid_overhead_seconds_bucket{le=\"+Inf\"} 2 120\n"));
+        assert!(text.contains("moteur_grid_overhead_seconds_sum 55 120\n"));
+        assert!(text.contains("moteur_grid_overhead_seconds_count 2 120\n"));
+        // Build identity is always present.
+        assert!(text.contains("# TYPE moteur_build_info gauge\n"));
+        assert!(text.contains(&format!(
+            "moteur_build_info{{version=\"{}\"}} 1 120\n",
+            env!("CARGO_PKG_VERSION"),
+        )));
         assert!(text.ends_with("# EOF\n"));
         // Exactly one terminator.
         assert_eq!(text.matches("# EOF").count(), 1);
@@ -333,12 +371,12 @@ mod tests {
         let tree = buf.snapshot();
         let text = render(&MetricsRegistry::new(), Some(&tree));
         assert!(
-            text.contains("moteur_phase_duration_seconds_sum{phase=\"execution\"} 20\n"),
+            text.contains("moteur_phase_duration_seconds_sum{phase=\"execution\"} 20 0\n"),
             "{text}"
         );
-        assert!(text.contains("moteur_phase_count{phase=\"queuing\"} 1\n"));
+        assert!(text.contains("moteur_phase_count{phase=\"queuing\"} 1 0\n"));
         // Overhead = 4 + 2 + 4 + 1 = 11; makespan = 31.
-        assert!(text.contains("moteur_grid_overhead_total_seconds 11\n"));
-        assert!(text.contains("moteur_makespan_seconds 31\n"));
+        assert!(text.contains("moteur_grid_overhead_total_seconds 11 0\n"));
+        assert!(text.contains("moteur_makespan_seconds 31 0\n"));
     }
 }

@@ -278,6 +278,13 @@ pub struct SpanSink {
     root: Option<SpanId>,
     services: HashMap<String, SpanId>,
     items: HashMap<u64, ItemState>,
+    /// Fresh attempt tags registered per logical invocation by the
+    /// fault-tolerance machinery (timeout resubmits continue the same
+    /// item span; speculative replicas get sibling spans). Cleared on
+    /// the logical invocation's terminal event so a winning replica's
+    /// span is closed even though only the loser receives an explicit
+    /// `JobCancelled`.
+    attempts_of: HashMap<u64, Vec<u64>>,
 }
 
 impl SpanSink {
@@ -291,6 +298,7 @@ impl SpanSink {
                 root: None,
                 services: HashMap::new(),
                 items: HashMap::new(),
+                attempts_of: HashMap::new(),
             },
             SpanBuffer { inner: tree },
         )
@@ -484,10 +492,90 @@ impl EventSink for SpanSink {
                     s.mark = at;
                 }
             }
+            TraceEvent::JobTimedOut {
+                invocation, action, ..
+            } => {
+                if let Some(s) = self.items.get_mut(invocation) {
+                    tree.spans[s.span.0]
+                        .attrs
+                        .push(("timed_out".to_string(), (*action).to_string()));
+                    s.mark = at;
+                }
+            }
+            TraceEvent::JobResubmitted {
+                invocation,
+                attempt,
+                ..
+            } => {
+                // An enactor-level resubmission is a fresh try of the
+                // same data item: its grid phases continue under the
+                // one item span. Timeout resubmits carry a fresh
+                // backend tag — alias it so the new attempt's `Grid*`
+                // events (keyed by that tag) still find the item.
+                if let Some(s) = self.items.get_mut(invocation) {
+                    s.mark = at;
+                    let state = *s;
+                    if attempt != invocation {
+                        self.items.insert(*attempt, ItemState { mark: at, ..state });
+                        self.attempts_of
+                            .entry(*invocation)
+                            .or_default()
+                            .push(*attempt);
+                    }
+                }
+            }
+            TraceEvent::JobReplicated {
+                invocation,
+                attempt,
+                replica,
+                ..
+            } => {
+                // A speculative replica races the original attempt: it
+                // appears as a sibling item span under the same
+                // service, so both attempts' phase chains stay
+                // disjoint. The loser is closed by its `JobCancelled`
+                // (reason `superseded`); a winning replica is closed
+                // by the logical invocation's terminal event below.
+                if let Some(s) = self.items.get(invocation).copied() {
+                    let parent = tree.spans[s.span.0].parent;
+                    let span = Self::open(
+                        &mut tree,
+                        parent,
+                        SpanKind::DataItem,
+                        attempt.to_string(),
+                        at,
+                    );
+                    tree.spans[span.0]
+                        .attrs
+                        .push(("replica_of".to_string(), invocation.to_string()));
+                    tree.spans[span.0]
+                        .attrs
+                        .push(("replica".to_string(), replica.to_string()));
+                    self.items.insert(*attempt, ItemState { span, mark: at });
+                    self.attempts_of
+                        .entry(*invocation)
+                        .or_default()
+                        .push(*attempt);
+                }
+            }
+            TraceEvent::CeBlacklisted { ce, failures, .. } => {
+                tree.spans[root.0].attrs.push((
+                    format!("blacklisted_ce{ce}"),
+                    format!("{failures} failures"),
+                ));
+            }
             TraceEvent::JobCompleted { invocation, .. } => {
                 if let Some(s) = self.items.remove(invocation) {
                     tree.spans[s.span.0].end = Some(at);
                     Self::close_ancestors(&mut tree, s.span, at);
+                    Self::close_attempts(
+                        &mut self.attempts_of,
+                        &mut self.items,
+                        &mut tree,
+                        *invocation,
+                        s.span,
+                        at,
+                    );
                 }
             }
             TraceEvent::JobFailed {
@@ -499,6 +587,14 @@ impl EventSink for SpanSink {
                         .attrs
                         .push(("error".to_string(), error.clone()));
                     Self::close_ancestors(&mut tree, s.span, at);
+                    Self::close_attempts(
+                        &mut self.attempts_of,
+                        &mut self.items,
+                        &mut tree,
+                        *invocation,
+                        s.span,
+                        at,
+                    );
                 }
             }
             TraceEvent::JobCancelled {
@@ -510,6 +606,14 @@ impl EventSink for SpanSink {
                         .attrs
                         .push(("cancelled".to_string(), (*reason).to_string()));
                     Self::close_ancestors(&mut tree, s.span, at);
+                    Self::close_attempts(
+                        &mut self.attempts_of,
+                        &mut self.items,
+                        &mut tree,
+                        *invocation,
+                        s.span,
+                        at,
+                    );
                 }
             }
             _ => {}
@@ -518,6 +622,27 @@ impl EventSink for SpanSink {
 }
 
 impl SpanSink {
+    /// Drop every fresh attempt tag registered for `logical` and close
+    /// any still-open sibling replica span at `at` (a winning replica
+    /// never receives its own terminal event — the logical invocation
+    /// does).
+    fn close_attempts(
+        attempts_of: &mut HashMap<u64, Vec<u64>>,
+        items: &mut HashMap<u64, ItemState>,
+        tree: &mut SpanTree,
+        logical: u64,
+        item: SpanId,
+        at: SimTime,
+    ) {
+        for tag in attempts_of.remove(&logical).unwrap_or_default() {
+            if let Some(a) = items.remove(&tag) {
+                if a.span != item && tree.spans[a.span.0].end.is_none() {
+                    tree.spans[a.span.0].end = Some(at);
+                }
+            }
+        }
+    }
+
     /// Extend every ancestor's end to at least `at`.
     fn close_ancestors(tree: &mut SpanTree, from: SpanId, at: SimTime) {
         let mut cursor = tree.spans[from.0].parent;
@@ -710,6 +835,170 @@ mod tests {
             .collect();
         assert_eq!(execs[0].attr("success"), Some("false"));
         assert_eq!(execs[1].attr("success"), Some("true"));
+    }
+
+    #[test]
+    fn timeout_resubmit_continues_phases_under_the_same_item() {
+        let (mut sink, buf) = SpanSink::new();
+        sink.record(&TraceEvent::JobSubmitted {
+            at: t(0.0),
+            invocation: 5,
+            processor: "p".into(),
+            grid: true,
+            batched: 1,
+        });
+        sink.record(&TraceEvent::GridSubmitted {
+            at: t(2.0),
+            invocation: 5,
+            name: "j5".into(),
+        });
+        sink.record(&TraceEvent::JobTimedOut {
+            at: t(60.0),
+            invocation: 5,
+            processor: "p".into(),
+            timeout_secs: 60.0,
+            action: "resubmit",
+        });
+        // The timeout resubmit carries a fresh backend tag (42): its
+        // grid events must still land under item 5.
+        sink.record(&TraceEvent::JobResubmitted {
+            at: t(60.0),
+            invocation: 5,
+            processor: "p".into(),
+            retry: 1,
+            attempt: 42,
+        });
+        sink.record(&TraceEvent::GridEnqueued {
+            at: t(65.0),
+            invocation: 42,
+            ce: 1,
+            attempt: 1,
+        });
+        sink.record(&TraceEvent::GridStarted {
+            at: t(70.0),
+            invocation: 42,
+            ce: 1,
+        });
+        sink.record(&TraceEvent::GridFinished {
+            at: t(80.0),
+            invocation: 42,
+            ce: 1,
+            success: true,
+        });
+        sink.record(&TraceEvent::JobCompleted {
+            at: t(82.0),
+            invocation: 5,
+            processor: "p".into(),
+        });
+        let tree = buf.snapshot();
+        let items: Vec<&Span> = tree.of_kind(SpanKind::DataItem).collect();
+        assert_eq!(items.len(), 1, "resubmits do not grow sibling items");
+        let item = items[0];
+        assert_eq!(item.attr("timed_out"), Some("resubmit"));
+        assert_eq!(item.end, Some(t(82.0)));
+        // The fresh attempt's phases hang off the one item span, and
+        // its scheduling starts at the resubmission (60), not at the
+        // submission: 65 − 60 = 5.
+        let durs = tree.phase_durations();
+        assert_eq!(durs["scheduling"], (1, 5.0));
+        assert_eq!(durs["execution"], (1, 10.0));
+        let sched = tree
+            .of_kind(SpanKind::Phase(GridPhase::Scheduling))
+            .next()
+            .unwrap();
+        assert_eq!(sched.parent, Some(item.id));
+    }
+
+    #[test]
+    fn replicas_are_sibling_spans_and_losers_do_not_linger() {
+        let (mut sink, buf) = SpanSink::new();
+        sink.record(&TraceEvent::JobSubmitted {
+            at: t(0.0),
+            invocation: 7,
+            processor: "p".into(),
+            grid: true,
+            batched: 1,
+        });
+        sink.record(&TraceEvent::GridSubmitted {
+            at: t(1.0),
+            invocation: 7,
+            name: "j7".into(),
+        });
+        sink.record(&TraceEvent::JobTimedOut {
+            at: t(50.0),
+            invocation: 7,
+            processor: "p".into(),
+            timeout_secs: 50.0,
+            action: "replicate",
+        });
+        sink.record(&TraceEvent::JobReplicated {
+            at: t(50.0),
+            invocation: 7,
+            processor: "p".into(),
+            replica: 1,
+            attempt: 99,
+        });
+        // The replica runs its own grid chain…
+        sink.record(&TraceEvent::GridEnqueued {
+            at: t(55.0),
+            invocation: 99,
+            ce: 2,
+            attempt: 1,
+        });
+        sink.record(&TraceEvent::GridStarted {
+            at: t(60.0),
+            invocation: 99,
+            ce: 2,
+        });
+        // …the original loses the race and is superseded, then the
+        // logical invocation completes.
+        sink.record(&TraceEvent::GridFinished {
+            at: t(90.0),
+            invocation: 99,
+            ce: 2,
+            success: true,
+        });
+        sink.record(&TraceEvent::JobCancelled {
+            at: t(92.0),
+            invocation: 7,
+            processor: "p".into(),
+            reason: "superseded",
+        });
+        sink.record(&TraceEvent::JobCompleted {
+            at: t(92.0),
+            invocation: 7,
+            processor: "p".into(),
+        });
+        let tree = buf.snapshot();
+        let items: Vec<&Span> = tree.of_kind(SpanKind::DataItem).collect();
+        assert_eq!(items.len(), 2, "replica appears as a sibling item");
+        let (orig, replica) = (items[0], items[1]);
+        assert_eq!(orig.parent, replica.parent, "siblings under one service");
+        assert_eq!(replica.attr("replica_of"), Some("7"));
+        assert_eq!(replica.attr("replica"), Some("1"));
+        // Every span is closed — no open replica after the terminal
+        // event, even though only the original got a JobCancelled.
+        assert!(tree.spans().iter().all(|s| s.end.is_some()));
+        assert_eq!(replica.end, Some(t(92.0)));
+        // The replica's execution phase sits under the replica span.
+        let exec = tree
+            .of_kind(SpanKind::Phase(GridPhase::Execution))
+            .next()
+            .unwrap();
+        assert_eq!(exec.parent, Some(replica.id));
+    }
+
+    #[test]
+    fn ce_blacklisting_annotates_the_workflow_root() {
+        let (mut sink, buf) = SpanSink::new();
+        sink.record(&TraceEvent::CeBlacklisted {
+            at: t(30.0),
+            ce: 4,
+            failures: 3,
+        });
+        let tree = buf.snapshot();
+        let root = tree.roots().next().expect("root");
+        assert_eq!(root.attr("blacklisted_ce4"), Some("3 failures"));
     }
 
     #[test]

@@ -129,6 +129,7 @@ mod tests {
             makespan: SimDuration::from_secs(1),
             invocations: vec![],
             jobs_submitted: 2,
+            bytes_transferred: 0,
             quarantined: vec![],
         };
         let xml = export_provenance(&result);
@@ -167,6 +168,7 @@ mod tests {
             makespan: SimDuration::ZERO,
             invocations: vec![],
             jobs_submitted: 0,
+            bytes_transferred: 0,
             quarantined: vec![],
         };
         let xml = export_provenance(&result);

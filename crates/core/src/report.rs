@@ -125,6 +125,7 @@ mod tests {
             makespan: SimDuration::from_secs(100),
             invocations: records,
             jobs_submitted: 3,
+            bytes_transferred: 0,
             quarantined: vec![],
         }
     }

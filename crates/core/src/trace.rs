@@ -38,6 +38,10 @@ pub struct WorkflowResult {
     /// Number of jobs submitted to the backend (the paper's job
     /// counts: 72/396/756 ungrouped, fewer with JG).
     pub jobs_submitted: usize,
+    /// Stage-in + stage-out bytes committed to the grid across every
+    /// submitted attempt (retries and replicas transfer again). The
+    /// timeline's per-link byte series sum to exactly this.
+    pub bytes_transferred: u64,
     /// Data items quarantined under `continue_on_error` instead of
     /// aborting the workflow. Empty on a fully successful run.
     pub quarantined: Vec<QuarantineEntry>,
@@ -124,6 +128,7 @@ mod tests {
                 },
             ],
             jobs_submitted: 2,
+            bytes_transferred: 0,
             quarantined: vec![],
         };
         assert!(r.ok());

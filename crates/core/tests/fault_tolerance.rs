@@ -323,6 +323,60 @@ fn replication_races_a_slow_job_and_first_completion_wins() {
     assert_eq!(r.jobs_submitted, 1, "replicas are not counted as jobs");
 }
 
+/// Regression for the critical-path analyzer under PR 5's
+/// fault-tolerance events: a replication race leaves only the winning
+/// attempt's timing in the invocation records, so the losing replica
+/// (which would have finished *after* the makespan) must never extend
+/// the reconstructed critical path.
+#[test]
+fn critical_path_ignores_cancelled_and_replicated_attempts() {
+    let (wf, inputs) = outlier_workflow(3, 20.0, 100.0);
+    let ft = FtConfig::from_legacy(0).with_default(FtPolicy {
+        retry: RetryPolicy::Fixed { max_retries: 0 },
+        timeout: TimeoutPolicy::Fixed { seconds: 30.0 },
+        on_timeout: TimeoutAction::Replicate { max_replicas: 1 },
+    });
+    let (obs, buffer) = capture();
+    let mut backend = VirtualBackend::new();
+    let r = run_fault_tolerant(&wf, &inputs, EnactorConfig::sp_dp(), &ft, &mut backend, obs)
+        .expect("the original attempt wins the race");
+    // Item 0 runs 0→100 and times out at 30; its replica (30→130)
+    // loses and is cancelled when the original completes at t=100.
+    let events = buffer.snapshot();
+    let kinds: Vec<&str> = events.iter().map(moteur::TraceEvent::kind).collect();
+    assert!(kinds.contains(&"job_replicated"), "{kinds:?}");
+    assert!(kinds.contains(&"job_cancelled"), "{kinds:?}");
+
+    let makespan = r.makespan.as_secs_f64();
+    assert!((makespan - 100.0).abs() < 1e-6, "makespan {makespan}");
+    let cp = moteur::critical_path(&r);
+    // The cancelled replica's would-be completion (t=130) must not
+    // surface anywhere in the chain: no step outlives the makespan and
+    // the chain ends exactly at the winning attempt's completion.
+    for step in &cp.steps {
+        assert!(
+            step.finished_secs <= makespan + 1e-9,
+            "step {step:?} outlives the {makespan} s makespan"
+        );
+    }
+    let last = cp.steps.last().expect("non-empty chain");
+    assert!(
+        (last.finished_secs - makespan).abs() < 1e-6,
+        "chain must end at the winner's completion, got {last:?}"
+    );
+    // One record per logical invocation: the replica never becomes a
+    // second record for (processor, index).
+    let mut seen = std::collections::BTreeSet::new();
+    for rec in &r.invocations {
+        assert!(
+            seen.insert((rec.processor.clone(), format!("{:?}", rec.index))),
+            "duplicate record for {} {:?}",
+            rec.processor,
+            rec.index
+        );
+    }
+}
+
 #[test]
 fn timeout_resubmission_exhausts_the_retry_budget_then_fails() {
     let (wf, inputs) = outlier_workflow(1, 100.0, 100.0);

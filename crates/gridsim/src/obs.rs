@@ -87,14 +87,32 @@ pub enum SimEvent {
     JobCancelled { at: SimTime, job: JobId, tag: u64 },
     /// A computing element's occupancy or availability changed.
     /// `queued_user` counts only user (non-background) jobs, so it
-    /// returns to zero once a workload drains.
+    /// returns to zero once a workload drains. `slots` is the CE's
+    /// worker-slot capacity, so observers can derive utilization
+    /// (`busy / slots`) without a config lookup.
     CeCapacity {
         at: SimTime,
         ce: CeId,
         busy: usize,
         queued: usize,
         queued_user: usize,
+        slots: usize,
         up: bool,
+    },
+    /// A user job started executing and committed its stage-in and
+    /// stage-out transfers to the CE's network link. The byte amounts
+    /// and transfer durations (congestion included) are known at
+    /// dispatch time, so one event carries the whole transfer plan of
+    /// the attempt; retried attempts emit again.
+    LinkTransfer {
+        at: SimTime,
+        job: JobId,
+        tag: u64,
+        ce: CeId,
+        bytes_in: u64,
+        bytes_out: u64,
+        stage_in_secs: f64,
+        stage_out_secs: f64,
     },
 }
 
@@ -110,7 +128,8 @@ impl SimEvent {
             | SimEvent::JobResubmitted { at, .. }
             | SimEvent::JobDelivered { at, .. }
             | SimEvent::JobCancelled { at, .. }
-            | SimEvent::CeCapacity { at, .. } => *at,
+            | SimEvent::CeCapacity { at, .. }
+            | SimEvent::LinkTransfer { at, .. } => *at,
         }
     }
 
@@ -124,7 +143,8 @@ impl SimEvent {
             | SimEvent::JobFinished { tag, .. }
             | SimEvent::JobResubmitted { tag, .. }
             | SimEvent::JobDelivered { tag, .. }
-            | SimEvent::JobCancelled { tag, .. } => Some(*tag),
+            | SimEvent::JobCancelled { tag, .. }
+            | SimEvent::LinkTransfer { tag, .. } => Some(*tag),
             SimEvent::CeCapacity { .. } => None,
         }
     }
@@ -171,9 +191,22 @@ mod tests {
             busy: 1,
             queued: 2,
             queued_user: 0,
+            slots: 4,
             up: true,
         };
         assert_eq!(c.tag(), None);
         assert_eq!(c.at(), t);
+        let l = SimEvent::LinkTransfer {
+            at: t,
+            job: JobId(1),
+            tag: 9,
+            ce: CeId(0),
+            bytes_in: 1_000,
+            bytes_out: 500,
+            stage_in_secs: 2.0,
+            stage_out_secs: 1.0,
+        };
+        assert_eq!(l.tag(), Some(9));
+        assert!(!l.is_terminal());
     }
 }

@@ -198,6 +198,7 @@ impl GridSim {
                     .iter()
                     .filter(|o| matches!(o, Occupant::User(_)))
                     .count(),
+                slots: ce.cfg.slots,
                 up: ce.up,
             }
         });
@@ -555,6 +556,19 @@ impl GridSim {
                         job,
                         tag: sim.jobs[job.0 as usize].spec.tag,
                         ce: ce_id,
+                    });
+                    self.emit(|sim| {
+                        let state = &sim.jobs[job.0 as usize];
+                        SimEvent::LinkTransfer {
+                            at: sim.clock,
+                            job,
+                            tag: state.spec.tag,
+                            ce: ce_id,
+                            bytes_in: state.spec.total_input_bytes(),
+                            bytes_out: state.spec.total_output_bytes(),
+                            stage_in_secs: state.record.stage_in.as_secs_f64(),
+                            stage_out_secs: state.record.stage_out.as_secs_f64(),
+                        }
                     });
                 }
             }

@@ -9,11 +9,17 @@
 //! ```text
 //! moteur-gridsim [--jobs N] [--compute SECS] [--seed N] [--grid egee|ideal]
 //!                [--openmetrics out.om] [--events out.jsonl] [--spans out.jsonl]
+//!                [--timeline out.json] [--timeline-csv out.csv]
 //! ```
+//!
+//! `--timeline` samples the same virtual-time resource series as
+//! `moteur run --timeline` (per-CE queue depth/running/utilization,
+//! per-link bytes and bandwidth) and prints a bottleneck attribution.
 
 use moteur_repro::gridsim::{summarize, GridConfig, GridJobSpec, GridSim, JobOutcome};
 use moteur_repro::moteur::{
-    render_openmetrics, EventSink, JsonlSink, MetricsSink, Obs, SpanSink, TraceEvent,
+    detect_bottlenecks, render_openmetrics, EventSink, JsonlSink, MetricsSink, Obs, SpanSink,
+    TimelineSink, TraceEvent,
 };
 use std::process::ExitCode;
 
@@ -36,6 +42,7 @@ fn main() -> ExitCode {
             "usage: moteur-gridsim [--jobs N] [--compute SECS] [--seed N] [--grid egee|ideal]"
         );
         eprintln!("       [--openmetrics out.om] [--events out.jsonl] [--spans out.jsonl]");
+        eprintln!("       [--timeline out.json] [--timeline-csv out.csv]");
         return ExitCode::from(2);
     }
     let jobs: usize = match flag_value(&args, "--jobs").map(str::parse).transpose() {
@@ -78,6 +85,16 @@ fn main() -> ExitCode {
         let (sink, buffer) = SpanSink::new();
         sinks.push(Box::new(sink));
         Some(buffer)
+    } else {
+        None
+    };
+    let timeline_path = flag_value(&args, "--timeline");
+    let timeline_csv_path = flag_value(&args, "--timeline-csv");
+    let timeline = if timeline_path.is_some() || timeline_csv_path.is_some() {
+        let sink = TimelineSink::new();
+        let state = sink.state();
+        sinks.push(Box::new(sink));
+        Some(state)
     } else {
         None
     };
@@ -169,6 +186,23 @@ fn main() -> ExitCode {
             Ok(()) => println!("openmetrics written to {path}"),
             Err(e) => return fail(format!("writing {path}: {e}")),
         }
+    }
+    if let Some(state) = &timeline {
+        let state = state.lock().expect("timeline state");
+        if let Some(path) = timeline_path {
+            match std::fs::write(path, state.timeline.to_json()) {
+                Ok(()) => println!("timeline written to {path}"),
+                Err(e) => return fail(format!("writing {path}: {e}")),
+            }
+        }
+        if let Some(path) = timeline_csv_path {
+            match std::fs::write(path, state.timeline.to_csv()) {
+                Ok(()) => println!("timeline csv written to {path}"),
+                Err(e) => return fail(format!("writing {path}: {e}")),
+            }
+        }
+        println!();
+        print!("{}", detect_bottlenecks(&state.stats).render());
     }
     ExitCode::SUCCESS
 }

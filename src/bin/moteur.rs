@@ -17,6 +17,8 @@
 //!            [--timeout S] [--adaptive-timeout]
 //!            [--on-timeout resubmit|replicate] [--max-replicas N]
 //!            [--blacklist-after N]
+//!            [--timeline out.json] [--timeline-csv out.csv] [--slo FACTOR]
+//! moteur timeline render <timeline.json> [--heatmap METRIC] [--width N]
 //! moteur lint <workflow.xml> [--json] [--deny-warnings] [--predict]
 //! moteur validate <workflow.xml>
 //! moteur group <workflow.xml>          # print the grouped workflow
@@ -40,18 +42,25 @@
 //! data items instead of aborting: the run completes the independent
 //! items, prints a workflow report (JSON with `--workflow-report`),
 //! and exits non-zero.
+//!
+//! `--timeline` records virtual-time resource series (per-CE queue
+//! depth/running/utilization, per-link bytes and bandwidth, enactor
+//! gauges) into a byte-stable `moteur/timeline/v1` JSON file and prints
+//! a bottleneck attribution; `--slo FACTOR` arms a burn-rate check
+//! against the eq. 1–4 predicted makespan, emitting `slo_breached`
+//! when the projected makespan exceeds prediction × FACTOR.
 
 use moteur_repro::bench::{bronze_inputs, bronze_workflow_xml};
 use moteur_repro::gridsim::Distribution;
 use moteur_repro::gridsim::GridConfig;
 use moteur_repro::moteur::lint::{prediction_to_json, LintReport};
 use moteur_repro::moteur::{
-    chrome_trace_with_metrics, critical_path, diagram, export_provenance, group_workflow,
-    lint_workflow, predict, render_critical_path, render_human, render_openmetrics,
+    chrome_trace_with_metrics, critical_path, detect_bottlenecks, diagram, export_provenance,
+    group_workflow, lint_workflow, predict, render_critical_path, render_human, render_openmetrics,
     render_prediction, render_report, report_to_json, run_fault_tolerant,
     run_fault_tolerant_cached, to_dot, DataStore, EnactorConfig, EventSink, FtConfig, FtPolicy,
-    JsonlSink, MetricsSink, Obs, RetryPolicy, SimBackend, SpanSink, StoreConfig, TimeoutAction,
-    TimeoutPolicy,
+    JsonlSink, MetricsSink, Obs, RetryPolicy, SimBackend, SloConfig, SpanSink, StoreConfig,
+    Timeline, TimelineSink, TimeoutAction, TimeoutPolicy,
 };
 use moteur_repro::scufl::{
     lint_source, parse_input_data, parse_workflow, write_input_data, write_workflow,
@@ -62,6 +71,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("timeline") => cmd_timeline(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("group") => cmd_group(&args[1..]),
@@ -69,7 +79,7 @@ fn main() -> ExitCode {
         Some("cache") => cmd_cache(&args[1..]),
         Some("example") => cmd_example(),
         _ => {
-            eprintln!("usage: moteur <run|lint|validate|group|dot|cache|example> ...");
+            eprintln!("usage: moteur <run|timeline|lint|validate|group|dot|cache|example> ...");
             eprintln!("  run <workflow.xml> <inputs.xml> [--config nop|jg|sp|dp|sp+dp|sp+dp+jg]");
             eprintln!("      [--seed N] [--grid egee|ideal] [--batch G] [--report] [--diagram]");
             eprintln!("      [--provenance out.xml] [--events out.jsonl]");
@@ -83,6 +93,8 @@ fn main() -> ExitCode {
             eprintln!("      [--timeout S] [--adaptive-timeout]");
             eprintln!("      [--on-timeout resubmit|replicate] [--max-replicas N]");
             eprintln!("      [--blacklist-after N]");
+            eprintln!("      [--timeline out.json] [--timeline-csv out.csv] [--slo FACTOR]");
+            eprintln!("  timeline render <timeline.json> [--heatmap METRIC] [--width N]");
             eprintln!("  lint <workflow.xml> [--json] [--deny-warnings] [--predict]");
             eprintln!("      [--ndata N] [--overhead S]");
             eprintln!("  validate <workflow.xml>");
@@ -103,6 +115,43 @@ fn fail(msg: impl std::fmt::Display) -> ExitCode {
 fn load_workflow(path: &str) -> Result<moteur_repro::moteur::Workflow, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     parse_workflow(&text).map_err(|e| e.to_string())
+}
+
+/// `moteur timeline render` — re-render a timeline JSON export (from
+/// `moteur run --timeline` or `moteur-gridsim --timeline`) as ASCII
+/// sparklines, or as a per-CE heatmap with `--heatmap METRIC` (e.g.
+/// `--heatmap queue_depth`).
+fn cmd_timeline(args: &[String]) -> ExitCode {
+    let (Some(action), Some(path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: moteur timeline render <timeline.json> [--heatmap METRIC] [--width N]");
+        return ExitCode::from(2);
+    };
+    if action != "render" {
+        return fail(format!("unknown timeline action `{action}` (render)"));
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(format!("reading {path}: {e}")),
+    };
+    let tl = match Timeline::from_json(&text) {
+        Ok(tl) => tl,
+        Err(e) => return fail(format!("{path}: {e}")),
+    };
+    let width: usize = match flag_value(args, "--width").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(72),
+        Err(_) => return fail("--width needs a positive integer"),
+    };
+    match flag_value(args, "--heatmap") {
+        Some(metric) => {
+            let rendered = tl.render_heatmap(metric, width);
+            if rendered.is_empty() {
+                return fail(format!("{path}: no series named `*.{metric}`"));
+            }
+            print!("{rendered}");
+        }
+        None => print!("{}", tl.render(width)),
+    }
+    ExitCode::SUCCESS
 }
 
 /// `moteur lint` — run every static rule over a workflow file and
@@ -419,6 +468,42 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if args.iter().any(|a| a == "--no-verify") {
         config = config.without_preflight();
     }
+    let config_name = flag_value(args, "--config").unwrap_or("sp+dp");
+    if let Some(factor) = flag_value(args, "--slo") {
+        let Ok(factor) = factor.parse::<f64>() else {
+            return fail("--slo needs a number (multiple of the predicted makespan)");
+        };
+        // Objective = the paper's eq. 1–4 makespan for this campaign
+        // size, scaled by the tolerated burn factor.
+        let n_data = wf
+            .sources()
+            .iter()
+            .map(|&p| {
+                inputs
+                    .get(&wf.processors[p.0].name)
+                    .map_or(0, <[moteur_repro::moteur::DataValue]>::len)
+            })
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let prediction = match predict(&wf, n_data, 0.0) {
+            Ok(p) => p,
+            Err(e) => return fail(format!("--slo: {}", e.message())),
+        };
+        let Some(row) = prediction.row(config_name) else {
+            return fail(format!("--slo: no prediction for config `{config_name}`"));
+        };
+        config = config.with_slo(SloConfig {
+            predicted_makespan_secs: row.makespan,
+            factor,
+            expected_jobs: row.jobs as usize,
+        });
+        eprintln!(
+            "slo: predicted makespan {:.1} s x {factor} => breach above {:.1} s",
+            row.makespan,
+            row.makespan * factor,
+        );
+    }
     let grid = match flag_value(args, "--grid").unwrap_or("egee") {
         "egee" => GridConfig::egee_2006(),
         "ideal" => GridConfig::ideal(),
@@ -482,6 +567,19 @@ fn cmd_run(args: &[String]) -> ExitCode {
         let (sink, buffer) = SpanSink::new();
         sinks.push(Box::new(sink));
         Some(buffer)
+    } else {
+        None
+    };
+    let timeline_path = flag_value(args, "--timeline");
+    let timeline_csv_path = flag_value(args, "--timeline-csv");
+    let timeline = if timeline_path.is_some()
+        || timeline_csv_path.is_some()
+        || flag_value(args, "--slo").is_some()
+    {
+        let sink = TimelineSink::new();
+        let state = sink.state();
+        sinks.push(Box::new(sink));
+        Some(state)
     } else {
         None
     };
@@ -579,6 +677,23 @@ fn cmd_run(args: &[String]) -> ExitCode {
             Ok(()) => println!("openmetrics written to {path}"),
             Err(e) => return fail(format!("writing {path}: {e}")),
         }
+    }
+    if let Some(state) = &timeline {
+        let state = state.lock().expect("timeline state");
+        if let Some(path) = timeline_path {
+            match std::fs::write(path, state.timeline.to_json()) {
+                Ok(()) => println!("timeline written to {path}"),
+                Err(e) => return fail(format!("writing {path}: {e}")),
+            }
+        }
+        if let Some(path) = timeline_csv_path {
+            match std::fs::write(path, state.timeline.to_csv()) {
+                Ok(()) => println!("timeline csv written to {path}"),
+                Err(e) => return fail(format!("writing {path}: {e}")),
+            }
+        }
+        println!();
+        print!("{}", detect_bottlenecks(&state.stats).render());
     }
     if args.iter().any(|a| a == "--critical-path") {
         println!();

@@ -119,6 +119,77 @@ fn same_seed_gridsim_runs_write_identical_event_logs() {
     assert_eq!(a, b);
 }
 
+fn run_with_timeline(dir: &Path, seed: &str, timeline: &str) {
+    let out = moteur()
+        .args([
+            "run",
+            "bronze-standard.xml",
+            "inputs-12.xml",
+            "--config",
+            "sp+dp",
+            "--seed",
+            seed,
+            "--timeline",
+            timeline,
+        ])
+        .current_dir(dir)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// The timeline export is virtual-time-only, so two enactments with
+/// the same workflow and seed must serialise to byte-identical
+/// `moteur/timeline/v1` documents even across separate processes.
+#[test]
+fn same_seed_enactments_write_identical_timelines() {
+    let dir = tempdir::TempDir::new();
+    write_example(dir.path());
+    run_with_timeline(dir.path(), "42", "a.json");
+    run_with_timeline(dir.path(), "42", "b.json");
+    run_with_timeline(dir.path(), "43", "c.json");
+    let a = std::fs::read(dir.path().join("a.json")).expect("a.json");
+    let b = std::fs::read(dir.path().join("b.json")).expect("b.json");
+    let c = std::fs::read(dir.path().join("c.json")).expect("c.json");
+    assert!(!a.is_empty(), "timeline must not be empty");
+    assert!(
+        std::str::from_utf8(&a)
+            .expect("utf-8")
+            .contains("moteur/timeline/v1"),
+        "timeline must carry its schema tag"
+    );
+    assert_eq!(a, b, "same seed must be byte-identical");
+    assert_ne!(a, c, "different seeds must diverge on the EGEE grid");
+}
+
+/// Same contract for the standalone simulator's `--timeline`.
+#[test]
+fn same_seed_gridsim_runs_write_identical_timelines() {
+    let dir = tempdir::TempDir::new();
+    let run = |seed: &str, timeline: &str| {
+        let out = gridsim()
+            .args(["--jobs", "8", "--seed", seed, "--timeline", timeline])
+            .current_dir(dir.path())
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    run("9", "a.json");
+    run("9", "b.json");
+    let a = std::fs::read(dir.path().join("a.json")).expect("a.json");
+    let b = std::fs::read(dir.path().join("b.json")).expect("b.json");
+    assert!(!a.is_empty());
+    assert_eq!(a, b);
+}
+
 /// The data manager's warm restart across *processes*: a second
 /// `moteur run --cache-dir` in a fresh process loads the persisted
 /// store and elides every deterministic grid job (only the
