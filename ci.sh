@@ -23,8 +23,11 @@ cargo test --workspace --offline
 
 # Static analysis over the bundled example workflows: errors AND
 # warnings fail the build (notes — e.g. grouping advice — are fine).
+# `plan` runs the same lint pass plus the cardinality/transfer planner,
+# so every example must also produce a clean partition report.
 for wf in examples/workflows/*.xml; do
   cargo run --offline --quiet --bin moteur -- lint "$wf" --deny-warnings
+  cargo run --offline --quiet --bin moteur -- plan "$wf" --deny-warnings
 done
 
 # Perf observatory: sweep the six Table-1 configurations on the ideal
@@ -54,8 +57,17 @@ cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
 cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
   timeline --out-dir .
 
+# Static planner vs observed staging: every per-edge byte interval from
+# `moteur plan` must contain the bytes the enactor actually bound onto
+# that (consumer, port), and the greedy site partition must beat
+# centralized routing on the data-heavy bronze variant. Writes
+# BENCH_plan.json, re-checked by the gate below.
 cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
-  gate --faults BENCH_faults.json --timeline BENCH_timeline.json
+  plan --out-dir .
+
+cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
+  gate --faults BENCH_faults.json --timeline BENCH_timeline.json \
+  --plan BENCH_plan.json
 
 # Data manager: cold/warm pair on the deterministic chain. Fails if the
 # cold run drifts from eq. 1-4 or any warm invocation misses the cache;

@@ -19,6 +19,7 @@ fn pass_through(name: &str) -> ExecutableDescriptor {
             name: "in".into(),
             option: "-i".into(),
             access: Some(AccessMethod::Gfn),
+            bytes: None,
         }],
         outputs: vec![OutputSlot {
             name: "out".into(),

@@ -24,6 +24,7 @@ fn workflow(compute: f64) -> Workflow {
             name: "in".into(),
             option: "-i".into(),
             access: Some(AccessMethod::Gfn),
+            bytes: None,
         }],
         outputs: vec![OutputSlot {
             name: "out".into(),

@@ -42,9 +42,9 @@ pub fn bronze_workflow_xml() -> String {
     };
     format!(
         r#"<scufl name="bronze-standard">
-  <source name="referenceImage"/>
-  <source name="floatingImage"/>
-  <source name="methodToTest"/>
+  <source name="referenceImage" bytes="7864320"/>
+  <source name="floatingImage" bytes="7864320"/>
+  <source name="methodToTest" bytes="64"/>
 
   <processor name="crestLines" compute="90">
     <executable name="CrestLines.pl">
@@ -196,7 +196,9 @@ pub fn bronze_chain_workflow_xml() -> String {
 "#
         )
     };
-    let mut xml = String::from("<scufl name=\"bronze-chain\">\n  <source name=\"images\"/>\n");
+    let mut xml = String::from(
+        "<scufl name=\"bronze-chain\">\n  <source name=\"images\" bytes=\"7864320\"/>\n",
+    );
     for (name, compute, exe) in [
         ("crestLines", 90, "CrestLines.pl"),
         ("crestMatch", 35, "cmatch"),

@@ -291,6 +291,65 @@ pub fn check_timeline(timeline_json: &str) -> Result<Vec<GateCheck>, String> {
     ])
 }
 
+/// Checks over a `BENCH_plan.json` document (schema
+/// `moteur-bench/plan/v1`): every scenario's static per-edge byte
+/// intervals must contain the observed per-(consumer, port) staging
+/// totals, and the planner's site partition must beat centralized
+/// routing on the data-heavy bronze variant in its own cost model.
+pub fn check_plan(plan_json: &str) -> Result<Vec<GateCheck>, String> {
+    let value = JsonValue::parse(plan_json).map_err(|e| format!("plan: {e}"))?;
+    match value.get("schema").and_then(JsonValue::as_str) {
+        Some(crate::plan::PLAN_BENCH_SCHEMA) => {}
+        Some(other) => {
+            return Err(format!(
+                "plan: schema `{other}`, expected `{}`",
+                crate::plan::PLAN_BENCH_SCHEMA
+            ))
+        }
+        None => return Err("plan: missing schema tag".to_string()),
+    }
+    let scenarios = value
+        .get("scenarios")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "plan: missing scenarios array".to_string())?;
+    if scenarios.is_empty() {
+        return Err("plan: empty scenarios array".to_string());
+    }
+    let mut checks = Vec::new();
+    for s in scenarios {
+        let name = s
+            .get("scenario")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "plan: scenario without a name".to_string())?;
+        let contained = s.get("all_contained").and_then(JsonValue::as_bool) == Some(true);
+        let edges = s
+            .get("edges")
+            .and_then(JsonValue::as_array)
+            .map_or(0, <[JsonValue]>::len);
+        checks.push(GateCheck {
+            what: format!("plan/{name}_containment"),
+            baseline: edges as f64,
+            current: f64::from(u8::from(contained)) * edges as f64,
+            ok: contained,
+        });
+    }
+    let centralized = value
+        .get("heavy_centralized_secs")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| "plan: missing heavy_centralized_secs".to_string())?;
+    let partitioned = value
+        .get("heavy_partitioned_secs")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| "plan: missing heavy_partitioned_secs".to_string())?;
+    checks.push(GateCheck {
+        what: "plan/partition_advantage".to_string(),
+        baseline: centralized,
+        current: partitioned,
+        ok: partitioned < centralized,
+    });
+    Ok(checks)
+}
+
 /// Default allowed regression: 10 %.
 pub const DEFAULT_THRESHOLD: f64 = 0.10;
 
@@ -475,6 +534,42 @@ mod tests {
 
         assert!(check_timeline("{\"schema\":\"other/v1\"}").is_err());
         assert!(check_timeline("{").is_err());
+    }
+
+    #[test]
+    fn plan_gate_requires_containment_and_partition_advantage() {
+        let report = crate::plan::run_plan_bench(&crate::plan::PlanSpec {
+            n_data: 2,
+            seed: 2006,
+        })
+        .unwrap();
+        let json = crate::plan::render_plan_bench_json(&report);
+        let checks = check_plan(&json).unwrap();
+        // bronze + cross containment, plus the partition comparison.
+        assert_eq!(checks.len(), 3);
+        assert!(checks.iter().all(|c| c.ok), "{checks:?}");
+
+        // A broken containment flag must trip that scenario's check …
+        let outside = json.replacen("\"all_contained\":true", "\"all_contained\":false", 1);
+        let checks = check_plan(&outside).unwrap();
+        assert!(!checks[0].ok, "{checks:?}");
+        // … and a partition that stopped paying the advantage check.
+        let worse = {
+            let cent = format!("\"heavy_centralized_secs\":{}", report.heavy_centralized);
+            let idx = json.find(&cent).expect("centralized field present");
+            let mut s = json[..idx].to_string();
+            s.push_str(&format!(
+                "\"heavy_centralized_secs\":{}",
+                report.heavy_partitioned - 1.0
+            ));
+            s.push_str(&json[idx + cent.len()..]);
+            s
+        };
+        let checks = check_plan(&worse).unwrap();
+        assert!(!checks.last().unwrap().ok, "{checks:?}");
+
+        assert!(check_plan("{\"schema\":\"other/v1\"}").is_err());
+        assert!(check_plan("{").is_err());
     }
 
     #[test]

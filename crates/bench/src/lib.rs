@@ -41,6 +41,7 @@ pub mod bronze;
 pub mod campaign;
 pub mod faults;
 pub mod gate;
+pub mod plan;
 pub mod sweep;
 pub mod timeline;
 pub mod warm;
@@ -55,6 +56,10 @@ pub use faults::{
     StrategyOutcome, FAULTS_SCHEMA,
 };
 pub use gate::{check_gate, GateCheck, GateReport, DEFAULT_THRESHOLD};
+pub use plan::{
+    render_plan_bench, render_plan_bench_json, run_plan_bench, PlanBenchReport, PlanSpec,
+    PLAN_BENCH_SCHEMA,
+};
 pub use sweep::{
     render_points_json, render_summary, render_summary_json, run_sweep, BenchPoint, BenchSummary,
     ConfigSummary, SweepGrid, SweepSpec, SweepWorkflow, POINT_SCHEMA, SUMMARY_SCHEMA,

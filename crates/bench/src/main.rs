@@ -7,12 +7,13 @@
 //!                       [--overhead SECS] [--tolerance FRAC]
 //!                       [--out-dir DIR]
 //! moteur-bench gate [--summary PATH] [--baseline PATH] [--threshold FRAC]
-//!                   [--faults PATH] [--timeline PATH]
+//!                   [--faults PATH] [--timeline PATH] [--plan PATH]
 //! moteur-bench warm [--ndata N] [--seed N] [--out-dir DIR]
 //! moteur-bench faults [--ndata N] [--seed N] [--repeats R]
 //!                     [--failure-probability P] [--out-dir DIR]
 //! moteur-bench timeline [--ideal-ndata N] [--loaded-ndata N] [--seed N]
 //!                       [--out-dir DIR]
+//! moteur-bench plan [--ndata N] [--seed N] [--out-dir DIR]
 //! ```
 //!
 //! `campaign` runs the six Table-1 configurations over the sweep and
@@ -31,9 +32,15 @@
 //! (ideal and queue-saturated regimes) and writes
 //! `BENCH_timeline.json`, exiting non-zero unless the byte accounting
 //! reconciles and the loaded regime is attributed to the CE queues.
+//! `plan` checks `moteur plan`'s static per-edge byte bounds against
+//! the enactor's observed per-port staging and writes
+//! `BENCH_plan.json`, exiting non-zero unless every interval contains
+//! the observed bytes and the site partition beats centralized routing
+//! on the data-heavy bronze variant.
 
 use moteur_bench::faults::{render_faults, render_faults_json, run_faults, FaultsSpec};
-use moteur_bench::gate::{check_faults, check_gate, check_timeline, DEFAULT_THRESHOLD};
+use moteur_bench::gate::{check_faults, check_gate, check_plan, check_timeline, DEFAULT_THRESHOLD};
+use moteur_bench::plan::{render_plan_bench, render_plan_bench_json, run_plan_bench, PlanSpec};
 use moteur_bench::sweep::{
     render_points_json, render_summary, render_summary_json, run_sweep, SweepGrid, SweepSpec,
     SweepWorkflow,
@@ -60,12 +67,13 @@ fn usage() -> ExitCode {
     eprintln!("                    [--workflow chain|bronze] [--grid ideal|egee]");
     eprintln!("                    [--overhead SECS] [--tolerance FRAC] [--out-dir DIR]");
     eprintln!("       moteur-bench gate [--summary PATH] [--baseline PATH] [--threshold FRAC]");
-    eprintln!("                    [--faults PATH] [--timeline PATH]");
+    eprintln!("                    [--faults PATH] [--timeline PATH] [--plan PATH]");
     eprintln!("       moteur-bench warm [--ndata N] [--seed N] [--out-dir DIR]");
     eprintln!("       moteur-bench faults [--ndata N] [--seed N] [--repeats R]");
     eprintln!("                    [--failure-probability P] [--out-dir DIR]");
     eprintln!("       moteur-bench timeline [--ideal-ndata N] [--loaded-ndata N] [--seed N]");
     eprintln!("                    [--out-dir DIR]");
+    eprintln!("       moteur-bench plan [--ndata N] [--seed N] [--out-dir DIR]");
     eprintln!();
     eprintln!("env: MOTEUR_BENCH_UPDATE_BASELINE=1  rewrite the gate baseline and pass");
     ExitCode::from(2)
@@ -218,6 +226,18 @@ fn cmd_gate(args: &[String]) -> ExitCode {
         Err(_) if implicit => {}
         Err(e) => return fail(format!("reading {timeline_path}: {e}")),
     }
+    // And for the static-planner document.
+    let plan_path = flag_value(args, "--plan");
+    let implicit = plan_path.is_none();
+    let plan_path = plan_path.unwrap_or("BENCH_plan.json");
+    match std::fs::read_to_string(plan_path) {
+        Ok(json) => match check_plan(&json) {
+            Ok(mut checks) => report.checks.append(&mut checks),
+            Err(e) => return fail(e),
+        },
+        Err(_) if implicit => {}
+        Err(e) => return fail(format!("reading {plan_path}: {e}")),
+    }
     print!("{}", report.render());
     if report.ok() {
         ExitCode::SUCCESS
@@ -360,6 +380,42 @@ fn cmd_timeline(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_plan(args: &[String]) -> ExitCode {
+    let mut spec = PlanSpec::default();
+    match flag_value(args, "--ndata").map(str::parse).transpose() {
+        Ok(Some(v)) if v > 0 => spec.n_data = v,
+        Ok(Some(_)) => return fail("--ndata needs a positive integer"),
+        Ok(None) => {}
+        Err(_) => return fail("--ndata needs a positive integer"),
+    }
+    match flag_value(args, "--seed").map(str::parse).transpose() {
+        Ok(v) => spec.seed = v.unwrap_or(spec.seed),
+        Err(_) => return fail("--seed needs an integer"),
+    }
+    let out_dir = Path::new(flag_value(args, "--out-dir").unwrap_or("."));
+
+    eprintln!(
+        "static plan check: bronze + cross sweep on the ideal grid, n_data {}...",
+        spec.n_data
+    );
+    let report = match run_plan_bench(&spec) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    print!("{}", render_plan_bench(&report));
+    let path = out_dir.join("BENCH_plan.json");
+    if let Err(e) = std::fs::write(&path, render_plan_bench_json(&report) + "\n") {
+        return fail(format!("writing {}: {e}", path.display()));
+    }
+    println!("wrote {}", path.display());
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("moteur-bench: static bounds missed observed staging or the partition lost");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -368,6 +424,7 @@ fn main() -> ExitCode {
         Some("warm") => cmd_warm(&args[1..]),
         Some("faults") => cmd_faults(&args[1..]),
         Some("timeline") => cmd_timeline(&args[1..]),
+        Some("plan") => cmd_plan(&args[1..]),
         _ => usage(),
     }
 }

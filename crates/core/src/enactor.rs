@@ -1109,6 +1109,17 @@ impl<'a, B: Backend> Enactor<'a, B> {
         )
     }
 
+    /// Observed bytes a token contributes to grid stage-in: file sizes,
+    /// summed through collected lists. Literal parameters travel inside
+    /// the job description and count as zero.
+    fn staged_bytes(value: &DataValue) -> u64 {
+        match value {
+            DataValue::File { bytes, .. } => *bytes,
+            DataValue::List(items) => items.iter().map(Self::staged_bytes).sum(),
+            _ => 0,
+        }
+    }
+
     fn build_descriptor_job(
         &mut self,
         proc: ProcId,
@@ -1120,11 +1131,19 @@ impl<'a, B: Backend> Enactor<'a, B> {
         let p = &self.workflow.processors[proc.0];
         let mut binding = Binding::new();
         for (port_idx, port_name) in p.inputs.iter().enumerate() {
+            let token = &matched.tokens[port_idx];
+            self.obs.emit(|| TraceEvent::EdgeStaged {
+                at: self.backend.now(),
+                invocation: invocation.0,
+                processor: p.name.clone(),
+                port: port_name.clone(),
+                bytes: Self::staged_bytes(&token.value),
+            });
             binding = Self::bind_port(
                 binding,
                 descriptor,
                 port_name,
-                &matched.tokens[port_idx],
+                token,
                 &mut self.catalog,
                 &p.name,
             )?;
@@ -1161,11 +1180,19 @@ impl<'a, B: Backend> Enactor<'a, B> {
             for (slot_name, source) in &stage.inputs {
                 match source {
                     GroupSource::ExternalPort(i) => {
+                        let token = &matched.tokens[*i];
+                        self.obs.emit(|| TraceEvent::EdgeStaged {
+                            at: self.backend.now(),
+                            invocation: invocation.0,
+                            processor: p.name.clone(),
+                            port: p.inputs[*i].clone(),
+                            bytes: Self::staged_bytes(&token.value),
+                        });
                         binding = Self::bind_port(
                             binding,
                             &stage.descriptor,
                             slot_name,
-                            &matched.tokens[*i],
+                            token,
                             &mut self.catalog,
                             &p.name,
                         )?;
@@ -1292,8 +1319,15 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 // binding cannot express: build its plan directly.
                 let mut fetch: Vec<TransferFile> = Vec::new();
                 let mut n_inputs = 0usize;
-                for buf in &buffers {
+                for (port_idx, buf) in buffers.iter().enumerate() {
                     for t in buf {
+                        self.obs.emit(|| TraceEvent::EdgeStaged {
+                            at: self.backend.now(),
+                            invocation: invocation.0,
+                            processor: p.name.clone(),
+                            port: p.inputs[port_idx].clone(),
+                            bytes: Self::staged_bytes(&t.value),
+                        });
                         if let DataValue::File { gfn, bytes } = &t.value {
                             self.catalog.register(gfn.clone(), *bytes);
                             fetch.push(TransferFile {

@@ -51,6 +51,12 @@ pub struct Processor {
     /// input streams at once, after all its ancestors completed.
     pub synchronization: bool,
     pub binding: Option<ServiceBinding>,
+    /// Declared per-item size in bytes of the data this node emits.
+    /// Meaningful for sources (`<source bytes="…"/>`), where no
+    /// descriptor exists to carry an `<outputsize>`; the static planner
+    /// falls back to the consumer's declared slot size, then to its
+    /// default, when absent.
+    pub item_bytes: Option<u64>,
 }
 
 /// One end of a data link.
@@ -153,6 +159,7 @@ impl Workflow {
             iteration: IterationStrategy::Dot,
             synchronization: false,
             binding: None,
+            item_bytes: None,
         })
     }
 
@@ -166,6 +173,7 @@ impl Workflow {
             iteration: IterationStrategy::Dot,
             synchronization: false,
             binding: None,
+            item_bytes: None,
         })
     }
 
@@ -191,6 +199,7 @@ impl Workflow {
             iteration: IterationStrategy::Dot,
             synchronization: false,
             binding: Some(binding),
+            item_bytes: None,
         })
     }
 
@@ -215,6 +224,13 @@ impl Workflow {
     /// Mark a processor as a synchronization barrier.
     pub fn set_synchronization(&mut self, id: ProcId, sync: bool) {
         self.processors[id.0].synchronization = sync;
+    }
+
+    /// Declare the per-item size (bytes) of the data a node emits —
+    /// used by `moteur::plan` to bound transfer volumes on edges whose
+    /// producer has no descriptor (sources).
+    pub fn set_item_bytes(&mut self, id: ProcId, bytes: u64) {
+        self.processors[id.0].item_bytes = Some(bytes);
     }
 
     /// Find a processor by name.
@@ -610,6 +626,7 @@ mod tests {
             iteration: IterationStrategy::Dot,
             synchronization: false,
             binding: None,
+            item_bytes: None,
         });
         w.connect(s, "out", p, "in").unwrap();
         assert!(w.validate().unwrap_err().to_string().contains("no binding"));

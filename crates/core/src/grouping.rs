@@ -230,6 +230,7 @@ fn merge_pair(wf: &Workflow, p_id: ProcId, q_id: ProcId) -> Result<Workflow, Mot
             stages,
             exposed_outputs,
         })),
+        item_bytes: None,
     };
 
     // Rebuild the workflow with P and Q replaced by the merged node.
@@ -314,6 +315,7 @@ mod tests {
                     name: i.to_string(),
                     option: format!("-{i}"),
                     access: Some(AccessMethod::Gfn),
+                    bytes: None,
                 })
                 .collect(),
             outputs: outputs

@@ -69,6 +69,7 @@ pub mod iterate;
 pub mod lint;
 pub mod model;
 pub mod obs;
+pub mod plan;
 pub mod provenance;
 pub mod report;
 pub mod service;
@@ -110,6 +111,8 @@ pub use obs::sinks::{EventBuffer, JsonlSink, NullSink, RingBufferSink};
 pub use obs::span::{GridPhase, Span, SpanBuffer, SpanId, SpanKind, SpanSink, SpanTree};
 pub use obs::timeline::{ResourceStats, Timeline, TimelineSink, TIMELINE_SCHEMA};
 pub use obs::{EventSink, Obs, TraceEvent};
+pub use plan::interval::{output_intervals, CardInterval, SourceSizes};
+pub use plan::{analyze as plan_workflow, plan_to_json, render_plan, PlanOptions, PlanReport};
 pub use provenance::{export_provenance, history_from_xml, history_to_xml};
 pub use report::{render_report, service_stats, total_busy, ServiceStats};
 pub use service::{

@@ -54,7 +54,9 @@ impl fmt::Display for Severity {
 /// A labelled span: where in the source, and what to say about it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Label {
+    /// Byte range into the SCUFL source.
     pub span: Span,
+    /// What to say at that location.
     pub message: String,
     /// Primary labels carry the caret in the human renderer; secondary
     /// labels are underlined context ("required input declared here").
@@ -66,6 +68,7 @@ pub struct Label {
 pub struct Diagnostic {
     /// Stable rule code (`M001`…), see the README rule table.
     pub code: &'static str,
+    /// How bad it is (drives exit codes and rendering).
     pub severity: Severity,
     /// The headline, stated as a fact about the workflow.
     pub message: String,
@@ -76,6 +79,7 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
+    /// A diagnostic with no labels yet.
     pub fn new(code: &'static str, severity: Severity, message: impl Into<String>) -> Self {
         Diagnostic {
             code,
@@ -86,14 +90,17 @@ impl Diagnostic {
         }
     }
 
+    /// Shorthand for an error-severity diagnostic.
     pub fn error(code: &'static str, message: impl Into<String>) -> Self {
         Self::new(code, Severity::Error, message)
     }
 
+    /// Shorthand for a warning-severity diagnostic.
     pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
         Self::new(code, Severity::Warning, message)
     }
 
+    /// Shorthand for a note-severity diagnostic.
     pub fn note(code: &'static str, message: impl Into<String>) -> Self {
         Self::new(code, Severity::Note, message)
     }
@@ -136,30 +143,37 @@ impl Diagnostic {
 /// The outcome of a lint run: every diagnostic, in report order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LintReport {
+    /// Every finding, in report order (see [`LintReport::sort`]).
     pub diagnostics: Vec<Diagnostic>,
 }
 
 impl LintReport {
+    /// A report over pre-collected findings (e.g. the parse stage's).
     pub fn new(diagnostics: Vec<Diagnostic>) -> Self {
         LintReport { diagnostics }
     }
 
+    /// Append one finding.
     pub fn push(&mut self, d: Diagnostic) {
         self.diagnostics.push(d);
     }
 
+    /// Append findings from another pass.
     pub fn extend(&mut self, ds: impl IntoIterator<Item = Diagnostic>) {
         self.diagnostics.extend(ds);
     }
 
+    /// `true` when no rule found anything.
     pub fn is_empty(&self) -> bool {
         self.diagnostics.is_empty()
     }
 
+    /// Total number of findings.
     pub fn len(&self) -> usize {
         self.diagnostics.len()
     }
 
+    /// Number of findings at exactly `severity`.
     pub fn count(&self, severity: Severity) -> usize {
         self.diagnostics
             .iter()
@@ -167,18 +181,22 @@ impl LintReport {
             .count()
     }
 
+    /// Number of error-severity findings.
     pub fn errors(&self) -> usize {
         self.count(Severity::Error)
     }
 
+    /// Number of warning-severity findings.
     pub fn warnings(&self) -> usize {
         self.count(Severity::Warning)
     }
 
+    /// Number of note-severity findings.
     pub fn notes(&self) -> usize {
         self.count(Severity::Note)
     }
 
+    /// `true` when at least one error is present.
     pub fn has_errors(&self) -> bool {
         self.errors() > 0
     }

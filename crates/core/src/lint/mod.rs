@@ -17,6 +17,8 @@
 //! pre-flight and refuses to enact a workflow with findings, unless the
 //! caller opts out (`moteur run --no-verify`).
 
+#![warn(missing_docs)]
+
 pub mod diag;
 pub mod predict;
 pub mod render;
@@ -24,9 +26,10 @@ pub mod rules;
 
 pub use diag::{Diagnostic, Label, LintReport, Severity};
 pub use predict::{
-    predict, prediction_from_json, prediction_to_json, render_prediction, Prediction,
-    PredictionRow, CONFIG_KEYS,
+    predict, predict_with_transfer, prediction_from_json, prediction_to_json, render_prediction,
+    Prediction, PredictionRow, CONFIG_KEYS,
 };
 pub use render::{intern_code, render_human, report_from_json, report_to_json, JsonValue};
 pub use rules::cardinality::{output_cardinalities, Card};
+pub use rules::docs::{explain, render_explain, RuleDoc, RULE_DOCS};
 pub use rules::{lint_errors, lint_workflow};

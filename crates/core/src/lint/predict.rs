@@ -30,14 +30,18 @@ pub struct PredictionRow {
 /// The full prediction for one workflow and campaign size.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Prediction {
+    /// Input-set size the campaign was predicted for.
     pub n_data: usize,
+    /// Per-job grid latency assumed (seconds).
     pub overhead: f64,
     /// Services on the critical path (the paper's `n_W`).
     pub n_services: usize,
+    /// One row per enactment configuration, `nop` first.
     pub rows: Vec<PredictionRow>,
 }
 
 impl Prediction {
+    /// The row for one configuration label (`"sp+dp"`, ...).
     pub fn row(&self, config: &str) -> Option<&PredictionRow> {
         self.rows.iter().find(|r| r.config == config)
     }
@@ -48,13 +52,37 @@ impl Prediction {
 /// `overhead` is the per-job grid latency (the paper's submission +
 /// scheduling overhead), added to every job's duration.
 pub fn predict(wf: &Workflow, n_data: usize, overhead: f64) -> Result<Prediction, MoteurError> {
+    // Infinite bandwidth makes every transfer free — eq. 1–4 verbatim.
+    predict_with_transfer(wf, n_data, overhead, f64::INFINITY)
+}
+
+/// Like [`predict`], with each job additionally charged the time to
+/// move its input and output items through the central enactor at
+/// `bandwidth` bytes/s (item sizes from the static transfer model).
+/// Grouped configurations benefit twice: fewer jobs *and* no transfers
+/// on the edges a group internalizes.
+pub fn predict_with_transfer(
+    wf: &Workflow,
+    n_data: usize,
+    overhead: f64,
+    bandwidth: f64,
+) -> Result<Prediction, MoteurError> {
     if n_data == 0 {
         return Err(MoteurError::new("prediction needs at least one data set"));
     }
-    let base = TimeMatrix::from_workflow(wf, n_data, overhead)?;
+    let xfer = crate::plan::central_transfer_seconds(wf, n_data as u64, bandwidth);
+    let base = TimeMatrix::from_workflow_with(wf, n_data, overhead, |id| {
+        xfer.get(&wf.processor(id).name).copied().unwrap_or(0.0)
+    })?;
     let base_jobs = job_count(wf, n_data);
     let grouped_wf = group_workflow(wf)?;
-    let grouped = TimeMatrix::from_workflow(&grouped_wf, n_data, overhead)?;
+    let grouped_xfer = crate::plan::central_transfer_seconds(&grouped_wf, n_data as u64, bandwidth);
+    let grouped = TimeMatrix::from_workflow_with(&grouped_wf, n_data, overhead, |id| {
+        grouped_xfer
+            .get(&grouped_wf.processor(id).name)
+            .copied()
+            .unwrap_or(0.0)
+    })?;
     let grouped_jobs = job_count(&grouped_wf, n_data);
     let rows = vec![
         PredictionRow {
@@ -231,6 +259,7 @@ mod tests {
                 name: input.into(),
                 option: "-i".into(),
                 access: Some(AccessMethod::Gfn),
+                bytes: None,
             }],
             outputs: vec![OutputSlot {
                 name: output.into(),
@@ -295,6 +324,49 @@ mod tests {
         assert!((p.row("nop").unwrap().makespan - 90.0).abs() < 1e-9);
         // jg: one grouped job per data set = 3 × (5 + 20).
         assert!((p.row("jg").unwrap().makespan - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_term_charges_declared_item_sizes() {
+        // src (2 MB/item) → a (1 MB outputs) → b (1 MB outputs) → sink,
+        // 1 MB/s links: a moves 3 MB per job, b 2 MB.
+        let mut wf = Workflow::new("xfer");
+        let src = wf.add_source("src");
+        wf.set_item_bytes(src, 2_000_000);
+        let a = wf.add_service(
+            "a",
+            &["in"],
+            &["out"],
+            ServiceBinding::descriptor(
+                desc("a", "in", "out"),
+                ServiceProfile::new(10.0).with_output_bytes("out", 1_000_000),
+            ),
+        );
+        let b = wf.add_service(
+            "b",
+            &["in"],
+            &["out"],
+            ServiceBinding::descriptor(
+                desc("b", "in", "out"),
+                ServiceProfile::new(10.0).with_output_bytes("out", 1_000_000),
+            ),
+        );
+        let sink = wf.add_sink("sink");
+        wf.connect(src, "out", a, "in").unwrap();
+        wf.connect(a, "out", b, "in").unwrap();
+        wf.connect(b, "out", sink, "in").unwrap();
+
+        let free = predict(&wf, 4, 0.0).unwrap();
+        let priced = predict_with_transfer(&wf, 4, 0.0, 1.0e6).unwrap();
+        let tol = 1e-9;
+        assert!((free.row("sp+dp").unwrap().makespan - 20.0).abs() < tol);
+        // (10 + 3) + (10 + 2) per data set.
+        assert!((priced.row("sp+dp").unwrap().makespan - 25.0).abs() < tol);
+        // Grouping internalizes a→b: the grouped job moves only the
+        // 2 MB input and the final 1 MB output.
+        assert!(
+            priced.row("sp+dp+jg").unwrap().makespan < priced.row("sp+dp").unwrap().makespan - tol
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::fmt::Write as _;
 pub const KNOWN_CODES: &[&str] = &[
     "M000", "M001", "M002", "M003", "M004", "M005", "M006", "M007", "M008", "M010", "M011", "M012",
     "M013", "M014", "M020", "M021", "M030", "M031", "M040", "M041", "M042", "M050", "M051", "M060",
-    "M061", "M062", "M063", "M064", "M070",
+    "M061", "M062", "M063", "M064", "M070", "M080", "M081", "M082", "M083", "M084", "M085",
 ];
 
 /// Intern `code` against [`KNOWN_CODES`].
@@ -137,11 +137,17 @@ pub fn report_to_json(report: &LintReport) -> String {
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
+    /// `null`
     Null,
+    /// `true` / `false`
     Bool(bool),
+    /// Any JSON number (always stored as `f64`).
     Number(f64),
+    /// A string, with escapes decoded.
     String(String),
+    /// An array, in document order.
     Array(Vec<JsonValue>),
+    /// An object, fields in document order (duplicates kept).
     Object(Vec<(String, JsonValue)>),
 }
 
@@ -162,6 +168,7 @@ impl JsonValue {
         Ok(v)
     }
 
+    /// Field lookup (`None` for non-objects and absent keys).
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
             JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
@@ -169,6 +176,7 @@ impl JsonValue {
         }
     }
 
+    /// The string payload, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             JsonValue::String(s) => Some(s),
@@ -176,6 +184,7 @@ impl JsonValue {
         }
     }
 
+    /// The numeric payload, if this is a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             JsonValue::Number(n) => Some(*n),
@@ -183,12 +192,14 @@ impl JsonValue {
         }
     }
 
+    /// The numeric payload as a non-negative integer.
     pub fn as_usize(&self) -> Option<usize> {
         self.as_f64()
             .filter(|n| n.fract() == 0.0 && *n >= 0.0)
             .map(|n| n as usize)
     }
 
+    /// The boolean payload, if this is a boolean.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             JsonValue::Bool(b) => Some(*b),
@@ -196,6 +207,7 @@ impl JsonValue {
         }
     }
 
+    /// The items, if this is an array.
     pub fn as_array(&self) -> Option<&[JsonValue]> {
         match self {
             JsonValue::Array(items) => Some(items),
@@ -505,5 +517,28 @@ mod tests {
     fn intern_covers_every_emitted_code() {
         assert_eq!(intern_code("M001"), Some("M001"));
         assert_eq!(intern_code("M999"), None);
+    }
+
+    /// Regression for the `--json` stability contract: the sorted report
+    /// serializes to the *same bytes* regardless of rule execution order,
+    /// so CI diffs of lint output never churn.
+    #[test]
+    fn sorted_json_is_byte_stable_under_push_order() {
+        let diags = [
+            Diagnostic::note("M030", "grouping opportunity").primary(Span::new(40, 50), "here"),
+            Diagnostic::error("M010", "port not connected").primary(Span::new(10, 20), "here"),
+            Diagnostic::warning("M020", "dot truncates").primary(Span::new(10, 20), "here"),
+            Diagnostic::warning("M011", "port fed twice").primary(Span::new(10, 20), "here"),
+            Diagnostic::error("M002", "unreachable"),
+        ];
+        let mut forward = LintReport::new(diags.to_vec());
+        let mut backward = LintReport::new(diags.iter().rev().cloned().collect());
+        forward.sort();
+        backward.sort();
+        let json = report_to_json(&forward);
+        assert_eq!(json.as_bytes(), report_to_json(&backward).as_bytes());
+        // Span, then severity (errors first), then code — the documented order.
+        let codes: Vec<&str> = forward.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["M002", "M010", "M011", "M020", "M030"]);
     }
 }

@@ -202,6 +202,7 @@ fn combine(p: &crate::graph::Processor, inputs: &[Card]) -> Card {
     }
 }
 
+/// Run the iteration-strategy cardinality rules (M020–M021).
 pub fn check(wf: &Workflow, report: &mut LintReport) {
     let cards = output_cardinalities(wf);
     let resolved: Vec<Option<Card>> = cards.iter().cloned().map(Some).collect();

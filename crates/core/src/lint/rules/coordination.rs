@@ -8,6 +8,7 @@ use crate::graph::{ProcId, Workflow};
 use crate::lint::diag::{Diagnostic, LintReport};
 use crate::lint::rules::cardinality::{output_cardinalities, Card};
 
+/// Run the barrier/coordination rules (M040–M042).
 pub fn check(wf: &Workflow, report: &mut LintReport) {
     no_op_barriers(wf, report);
     coordination_cycles(wf, report);

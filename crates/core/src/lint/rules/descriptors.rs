@@ -14,6 +14,7 @@ use crate::lint::diag::{Diagnostic, LintReport};
 use crate::service::ServiceBinding;
 use moteur_wrapper::lint_descriptor;
 
+/// Run the descriptor cross-validation rules (M050–M051, M070).
 pub fn check(wf: &Workflow, report: &mut LintReport) {
     for (i, p) in wf.processors.iter().enumerate() {
         let Some(ServiceBinding::Descriptor {

@@ -5,6 +5,7 @@ use crate::graph::{ProcId, ProcessorKind, Workflow};
 use crate::lint::diag::{Diagnostic, LintReport};
 use std::collections::HashMap;
 
+/// Run the graph structure and reachability rules (M001–M008).
 pub fn check(wf: &Workflow, report: &mut LintReport) {
     dangling_links(wf, report);
     duplicate_names(wf, report);

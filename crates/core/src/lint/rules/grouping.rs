@@ -11,6 +11,7 @@ use crate::lint::diag::{Diagnostic, LintReport};
 use crate::service::ServiceBinding;
 use std::collections::HashMap;
 
+/// Run the §3.6 job-grouping rules (M030–M031).
 pub fn check(wf: &Workflow, report: &mut LintReport) {
     let in_cycle = cycle_members(wf);
     for (i, p) in wf.processors.iter().enumerate() {

@@ -11,16 +11,20 @@
 //! | [`grouping`]   | M030–M031   | §3.6 job-grouping legality            |
 //! | [`coordination`]| M040–M042  | barriers & coordination constraints   |
 //! | [`descriptors`]| M050–M051, M070 | descriptor/catalog cross-validation |
+//! | [`plan_rules`] | M080–M085   | interval cardinality & transfer model |
 //!
 //! Codes M060–M065 are reserved for the Scufl parse stage (emitted by
 //! `moteur-scufl`'s lenient parser, before a graph exists). M070 warns
 //! on non-deterministic services the data manager cannot memoize.
+//! M086–M089 are reserved for future planner-backed rules.
 
 pub mod cardinality;
 pub mod coordination;
 pub mod descriptors;
+pub mod docs;
 pub mod graph;
 pub mod grouping;
+pub mod plan_rules;
 pub mod ports;
 
 use crate::graph::Workflow;
@@ -37,6 +41,7 @@ pub fn lint_workflow(workflow: &Workflow) -> LintReport {
     grouping::check(workflow, &mut report);
     coordination::check(workflow, &mut report);
     descriptors::check(workflow, &mut report);
+    plan_rules::check(workflow, &mut report);
     report.sort();
     report
 }

@@ -5,6 +5,7 @@ use crate::graph::{ProcId, ProcessorKind, Workflow};
 use crate::lint::diag::{Diagnostic, LintReport};
 use crate::service::ServiceBinding;
 
+/// Run the port wiring and slot declaration rules (M010–M014).
 pub fn check(wf: &Workflow, report: &mut LintReport) {
     unconnected_inputs(wf, report);
     multiply_fed_ports(wf, report);

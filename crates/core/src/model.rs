@@ -123,6 +123,19 @@ impl TimeMatrix {
         n_data: usize,
         per_job_overhead: f64,
     ) -> Result<TimeMatrix, MoteurError> {
+        Self::from_workflow_with(workflow, n_data, per_job_overhead, |_| 0.0)
+    }
+
+    /// Like [`TimeMatrix::from_workflow`], with `extra` seconds added to
+    /// every job of each critical-path service — the hook the static
+    /// planner uses to charge per-job data-transfer time (eq. 1–4 plus
+    /// a transfer term) without duplicating the cost-model evaluation.
+    pub fn from_workflow_with(
+        workflow: &Workflow,
+        n_data: usize,
+        per_job_overhead: f64,
+        extra: impl Fn(crate::graph::ProcId) -> f64,
+    ) -> Result<TimeMatrix, MoteurError> {
         assert!(n_data > 0, "need at least one data set");
         let path = workflow.critical_path()?;
         if path.is_empty() {
@@ -140,6 +153,7 @@ impl TimeMatrix {
                     let row: Vec<f64> = (0..n_data)
                         .map(|j| {
                             per_job_overhead
+                                + extra(id)
                                 + g.stages
                                     .iter()
                                     .map(|s| eval_mean_cost(&s.profile.compute, j))
@@ -158,7 +172,7 @@ impl TimeMatrix {
             };
             rows.push(
                 (0..n_data)
-                    .map(|j| per_job_overhead + eval_mean_cost(cost, j))
+                    .map(|j| per_job_overhead + extra(id) + eval_mean_cost(cost, j))
                     .collect(),
             );
         }

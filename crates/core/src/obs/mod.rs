@@ -175,6 +175,18 @@ pub enum TraceEvent {
         invocation: u64,
         processor: String,
     },
+    /// The enactor bound `bytes` of file data to input `port` of
+    /// `processor` while composing a grid job: the observed counterpart
+    /// of `moteur plan`'s static per-edge transfer bounds, keyed by
+    /// consumer and port. One event per staged token; whole-stream
+    /// barrier fetches emit one event per collected file.
+    EdgeStaged {
+        at: SimTime,
+        invocation: u64,
+        processor: String,
+        port: String,
+        bytes: u64,
+    },
 
     /// The grid user interface accepted the job (follows the enactor's
     /// `JobSubmitted` after the submission overhead).
@@ -289,6 +301,7 @@ impl TraceEvent {
             TraceEvent::CeBlacklisted { .. } => "ce_blacklisted",
             TraceEvent::CacheHit { .. } => "cache_hit",
             TraceEvent::CacheMiss { .. } => "cache_miss",
+            TraceEvent::EdgeStaged { .. } => "edge_staged",
             TraceEvent::GridSubmitted { .. } => "grid_submitted",
             TraceEvent::GridMatched { .. } => "grid_matched",
             TraceEvent::GridEnqueued { .. } => "grid_enqueued",
@@ -321,6 +334,7 @@ impl TraceEvent {
             | TraceEvent::CeBlacklisted { at, .. }
             | TraceEvent::CacheHit { at, .. }
             | TraceEvent::CacheMiss { at, .. }
+            | TraceEvent::EdgeStaged { at, .. }
             | TraceEvent::GridSubmitted { at, .. }
             | TraceEvent::GridMatched { at, .. }
             | TraceEvent::GridEnqueued { at, .. }
@@ -348,6 +362,7 @@ impl TraceEvent {
             | TraceEvent::JobCancelled { invocation, .. }
             | TraceEvent::CacheHit { invocation, .. }
             | TraceEvent::CacheMiss { invocation, .. }
+            | TraceEvent::EdgeStaged { invocation, .. }
             | TraceEvent::GridSubmitted { invocation, .. }
             | TraceEvent::GridMatched { invocation, .. }
             | TraceEvent::GridEnqueued { invocation, .. }
@@ -612,6 +627,18 @@ impl TraceEvent {
             } => base
                 .uint("invocation", *invocation)
                 .str("processor", processor)
+                .finish(),
+            TraceEvent::EdgeStaged {
+                invocation,
+                processor,
+                port,
+                bytes,
+                ..
+            } => base
+                .uint("invocation", *invocation)
+                .str("processor", processor)
+                .str("port", port)
+                .uint("bytes", *bytes)
                 .finish(),
             TraceEvent::GridSubmitted {
                 invocation, name, ..

@@ -661,6 +661,10 @@ pub struct ResourceStats {
     pub link_bytes: BTreeMap<usize, u64>,
     /// Per-CE busy integrals and peaks.
     pub ces: BTreeMap<usize, CeStats>,
+    /// Bytes staged into grid jobs per (consumer processor, input
+    /// port) — the observed counterpart of `moteur plan`'s static
+    /// per-edge transfer bounds.
+    pub edge_bytes: BTreeMap<(String, String), u64>,
     /// Submission→completion durations per service (logical
     /// invocations that completed successfully).
     pub service_durations: BTreeMap<String, Vec<DurationSample>>,
@@ -823,6 +827,18 @@ impl EventSink for TimelineSink {
                 state.services.insert(*invocation, processor.clone());
                 state.marks.entry(*invocation).or_default().submitted = Some(t);
                 state.timeline.counter("enactor.jobs_submitted", t, 1.0);
+            }
+            TraceEvent::EdgeStaged {
+                processor,
+                port,
+                bytes,
+                ..
+            } => {
+                *state
+                    .stats
+                    .edge_bytes
+                    .entry((processor.clone(), port.clone()))
+                    .or_insert(0) += bytes;
             }
             TraceEvent::CacheHit {
                 invocation,

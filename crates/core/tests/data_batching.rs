@@ -17,6 +17,7 @@ fn descriptor(name: &str) -> ExecutableDescriptor {
             name: "in".into(),
             option: "-i".into(),
             access: Some(AccessMethod::Gfn),
+            bytes: None,
         }],
         outputs: vec![OutputSlot {
             name: "out".into(),

@@ -21,6 +21,7 @@ fn descriptor(name: &str, inputs: &[&str], outputs: &[&str]) -> ExecutableDescri
                 name: i.to_string(),
                 option: format!("-{i}"),
                 access: Some(AccessMethod::Gfn),
+                bytes: None,
             })
             .collect(),
         outputs: outputs

@@ -22,6 +22,7 @@ fn descriptor(name: &str, inputs: usize) -> ExecutableDescriptor {
                 name: format!("in{i}"),
                 option: format!("-i{i}"),
                 access: Some(AccessMethod::Gfn),
+                bytes: None,
             })
             .collect(),
         outputs: vec![OutputSlot {

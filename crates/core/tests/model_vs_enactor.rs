@@ -17,6 +17,7 @@ fn pass_through_descriptor(name: &str) -> ExecutableDescriptor {
             name: "in".into(),
             option: "-i".into(),
             access: Some(AccessMethod::Gfn),
+            bytes: None,
         }],
         outputs: vec![OutputSlot {
             name: "out".into(),

@@ -90,8 +90,18 @@ fn build_workflow(root: &Element) -> (Workflow, Vec<Diagnostic>) {
         match el.name.as_str() {
             "source" => {
                 if let Some(name) = required(el, "name", &mut diags) {
-                    wf.add_source(&name);
+                    let id = wf.add_source(&name);
                     wf.spans.processors.push(el.span);
+                    if let Some(bytes) = el.attr("bytes") {
+                        match bytes.parse::<u64>() {
+                            Ok(b) => wf.set_item_bytes(id, b),
+                            Err(_) => diags.push(
+                                Diagnostic::error("M062", "bad source bytes")
+                                    .primary(el.span, format!("`{bytes}` is not an integer"))
+                                    .with_help("declare the per-item size as a byte count"),
+                            ),
+                        }
+                    }
                 }
             }
             "sink" => {
@@ -350,7 +360,13 @@ pub fn write_workflow(wf: &Workflow) -> Result<String, ScuflError> {
     for p in &wf.processors {
         match p.kind {
             ProcessorKind::Source => {
-                root = root.with_child(Element::new("source").with_attr("name", p.name.clone()));
+                let mut el = Element::new("source").with_attr("name", p.name.clone());
+                // Attribute only when set, so documents without size
+                // declarations round-trip unchanged.
+                if let Some(bytes) = p.item_bytes {
+                    el = el.with_attr("bytes", bytes.to_string());
+                }
+                root = root.with_child(el);
             }
             ProcessorKind::Sink => {
                 root = root.with_child(Element::new("sink").with_attr("name", p.name.clone()));
@@ -510,6 +526,37 @@ mod tests {
         assert_eq!(wf2.links.len(), wf.links.len());
         let p = wf2.processor(wf2.find("crestLines").unwrap());
         assert_eq!(p.inputs, vec!["img"]);
+    }
+
+    #[test]
+    fn source_bytes_parses_and_round_trips() {
+        let text = DEMO.replace(
+            r#"<source name="images"/>"#,
+            r#"<source name="images" bytes="7864320"/>"#,
+        );
+        let wf = parse_workflow(&text).unwrap();
+        let src = wf.processor(wf.find("images").unwrap());
+        assert_eq!(src.item_bytes, Some(7_864_320));
+
+        let written = write_workflow(&wf).unwrap();
+        assert!(written.contains(r#"bytes="7864320""#));
+        let wf2 = parse_workflow(&written).unwrap();
+        let src2 = wf2.processor(wf2.find("images").unwrap());
+        assert_eq!(src2.item_bytes, Some(7_864_320));
+
+        // Documents without the attribute keep emitting none.
+        let plain = parse_workflow(DEMO).unwrap();
+        assert!(!write_workflow(&plain).unwrap().contains("bytes=\"7"));
+    }
+
+    #[test]
+    fn bad_source_bytes_is_rejected() {
+        let text = DEMO.replace(
+            r#"<source name="images"/>"#,
+            r#"<source name="images" bytes="lots"/>"#,
+        );
+        let (_, diags) = parse_workflow_lenient(&text).unwrap();
+        assert!(diags.iter().any(|d| d.code == "M062"));
     }
 
     #[test]

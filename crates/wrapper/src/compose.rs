@@ -114,6 +114,7 @@ mod tests {
                 name: "in".into(),
                 option: "-i".into(),
                 access: Some(AccessMethod::Gfn),
+                bytes: None,
             }],
             outputs: vec![OutputSlot {
                 name: "out".into(),

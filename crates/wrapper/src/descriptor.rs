@@ -72,6 +72,10 @@ pub struct InputSlot {
     pub option: String,
     /// `None` for value parameters.
     pub access: Option<AccessMethod>,
+    /// Declared per-item size in bytes (`bytes="…"` on `<input>`) — the
+    /// expected size of each file arriving on this slot, consumed by
+    /// the static transfer model when the producer declares nothing.
+    pub bytes: Option<u64>,
 }
 
 impl InputSlot {
@@ -132,10 +136,17 @@ impl ExecutableDescriptor {
 
         let mut inputs = Vec::new();
         for el in exe_el.children_named("input") {
+            let bytes = match el.attr("bytes") {
+                None => None,
+                Some(v) => Some(v.parse::<u64>().map_err(|_| {
+                    WrapperError::new(format!("<input> `bytes` is not an integer: `{v}`"))
+                })?),
+            };
             inputs.push(InputSlot {
                 name: required_name(el, "input")?,
                 option: el.attr("option").unwrap_or_default().to_string(),
                 access: el.child("access").map(AccessMethod::parse).transpose()?,
+                bytes,
             });
         }
         let mut outputs = Vec::new();
@@ -202,6 +213,10 @@ impl ExecutableDescriptor {
             let mut el = Element::new("input")
                 .with_attr("name", i.name.clone())
                 .with_attr("option", i.option.clone());
+            // Attribute only when set, like `nondeterministic` above.
+            if let Some(b) = i.bytes {
+                el = el.with_attr("bytes", b.to_string());
+            }
             if let Some(a) = &i.access {
                 el = el.with_child(a.to_xml());
             }
@@ -285,16 +300,19 @@ pub fn crest_lines_example() -> ExecutableDescriptor {
                 name: "floating_image".into(),
                 option: "-im1".into(),
                 access: Some(AccessMethod::Gfn),
+                bytes: None,
             },
             InputSlot {
                 name: "reference_image".into(),
                 option: "-im2".into(),
                 access: Some(AccessMethod::Gfn),
+                bytes: None,
             },
             InputSlot {
                 name: "scale".into(),
                 option: "-s".into(),
                 access: None,
+                bytes: None,
             },
         ],
         outputs: vec![

@@ -353,6 +353,7 @@ mod tests {
                 name: "in".into(),
                 option: String::new(),
                 access: Some(AccessMethod::Gfn),
+                bytes: None,
             }],
             outputs: vec![OutputSlot {
                 name: "out".into(),

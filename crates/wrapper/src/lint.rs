@@ -93,6 +93,22 @@ pub fn lint_descriptor(desc: &ExecutableDescriptor) -> Vec<DescriptorFinding> {
         }
     }
 
+    // A declared item size of zero is almost certainly a typo: the
+    // static transfer model would treat every item on the slot as
+    // free, silently hiding the edge from `moteur plan`.
+    for slot in &desc.inputs {
+        if slot.bytes == Some(0) {
+            findings.push(DescriptorFinding::new(
+                Some(&slot.name),
+                format!(
+                    "input `{}` declares `bytes=\"0\"`: the static transfer model \
+                     would treat its data as free",
+                    slot.name
+                ),
+            ));
+        }
+    }
+
     // An executable that declares no outputs produces nothing to
     // register — downstream services can never consume its results.
     if desc.outputs.is_empty() {
@@ -144,11 +160,13 @@ mod tests {
                 name: "a".into(),
                 option: "-x".into(),
                 access: Some(AccessMethod::Gfn),
+                bytes: None,
             },
             InputSlot {
                 name: "b".into(),
                 option: "-x".into(),
                 access: Some(AccessMethod::Gfn),
+                bytes: None,
             },
         ];
         let findings = lint_descriptor(&d);
@@ -165,16 +183,33 @@ mod tests {
                 name: "img".into(),
                 option: String::new(),
                 access: Some(AccessMethod::Gfn),
+                bytes: None,
             },
             InputSlot {
                 name: "scale".into(),
                 option: String::new(),
                 access: None, // positional parameter: legal
+                bytes: None,
             },
         ];
         let findings = lint_descriptor(&d);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].slot.as_deref(), Some("img"));
+    }
+
+    #[test]
+    fn zero_byte_item_size_is_flagged() {
+        let mut d = minimal();
+        d.inputs = vec![InputSlot {
+            name: "img".into(),
+            option: "-i".into(),
+            access: Some(AccessMethod::Gfn),
+            bytes: Some(0),
+        }];
+        let findings = lint_descriptor(&d);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].slot.as_deref(), Some("img"));
+        assert!(findings[0].message.contains("bytes=\"0\""));
     }
 
     #[test]

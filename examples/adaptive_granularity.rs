@@ -54,6 +54,7 @@ fn workflow() -> Workflow {
             name: "in".into(),
             option: "-i".into(),
             access: Some(AccessMethod::Gfn),
+            bytes: None,
         }],
         outputs: vec![OutputSlot {
             name: "out".into(),

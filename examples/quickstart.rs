@@ -20,6 +20,7 @@ fn unit_service(name: &str) -> ServiceBinding {
             name: "in".into(),
             option: "-i".into(),
             access: Some(AccessMethod::Gfn),
+            bytes: None,
         }],
         outputs: vec![OutputSlot {
             name: "out".into(),

@@ -53,14 +53,15 @@
 use moteur_repro::bench::{bronze_inputs, bronze_workflow_xml};
 use moteur_repro::gridsim::Distribution;
 use moteur_repro::gridsim::GridConfig;
-use moteur_repro::moteur::lint::{prediction_to_json, LintReport};
+use moteur_repro::moteur::lint::{explain, prediction_to_json, render_explain, LintReport};
 use moteur_repro::moteur::{
     chrome_trace_with_metrics, critical_path, detect_bottlenecks, diagram, export_provenance,
-    group_workflow, lint_workflow, predict, render_critical_path, render_human, render_openmetrics,
-    render_prediction, render_report, report_to_json, run_fault_tolerant,
-    run_fault_tolerant_cached, to_dot, DataStore, EnactorConfig, EventSink, FtConfig, FtPolicy,
-    JsonlSink, MetricsSink, Obs, RetryPolicy, SimBackend, SloConfig, SpanSink, StoreConfig,
-    Timeline, TimelineSink, TimeoutAction, TimeoutPolicy,
+    group_workflow, lint_workflow, plan_to_json, plan_workflow, predict, render_critical_path,
+    render_human, render_openmetrics, render_plan, render_prediction, render_report,
+    report_to_json, run_fault_tolerant, run_fault_tolerant_cached, to_dot, DataStore,
+    EnactorConfig, EventSink, FtConfig, FtPolicy, JsonlSink, MetricsSink, Obs, PlanOptions,
+    RetryPolicy, SimBackend, SloConfig, SourceSizes, SpanSink, StoreConfig, Timeline, TimelineSink,
+    TimeoutAction, TimeoutPolicy,
 };
 use moteur_repro::scufl::{
     lint_source, parse_input_data, parse_workflow, write_input_data, write_workflow,
@@ -73,13 +74,16 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("timeline") => cmd_timeline(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
+        Some("plan") => cmd_plan(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("group") => cmd_group(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
         Some("example") => cmd_example(),
         _ => {
-            eprintln!("usage: moteur <run|timeline|lint|validate|group|dot|cache|example> ...");
+            eprintln!(
+                "usage: moteur <run|timeline|lint|plan|validate|group|dot|cache|example> ..."
+            );
             eprintln!("  run <workflow.xml> <inputs.xml> [--config nop|jg|sp|dp|sp+dp|sp+dp+jg]");
             eprintln!("      [--seed N] [--grid egee|ideal] [--batch G] [--report] [--diagram]");
             eprintln!("      [--provenance out.xml] [--events out.jsonl]");
@@ -97,6 +101,9 @@ fn main() -> ExitCode {
             eprintln!("  timeline render <timeline.json> [--heatmap METRIC] [--width N]");
             eprintln!("  lint <workflow.xml> [--json] [--deny-warnings] [--predict]");
             eprintln!("      [--ndata N] [--overhead S]");
+            eprintln!("  lint --explain M0xx                  # describe one rule code");
+            eprintln!("  plan <workflow.xml> [--json] [--deny-warnings] [--ndata N]");
+            eprintln!("      [--overhead S] [--bandwidth BPS] [--cap N] [--max-fragment N]");
             eprintln!("  validate <workflow.xml>");
             eprintln!("  group <workflow.xml>");
             eprintln!("  dot <workflow.xml>");
@@ -159,8 +166,20 @@ fn cmd_timeline(args: &[String]) -> ExitCode {
 /// report passes, 1 when it fails (errors, or warnings under
 /// `--deny-warnings`), 2 on usage errors.
 fn cmd_lint(args: &[String]) -> ExitCode {
+    if let Some(code) = flag_value(args, "--explain") {
+        // Table-driven from the rule registry, so a code printed by CI
+        // always resolves to its documentation.
+        return match explain(code) {
+            Some(doc) => {
+                print!("{}", render_explain(doc));
+                ExitCode::SUCCESS
+            }
+            None => fail(format!("unknown rule code `{code}` (expected M000–M085)")),
+        };
+    }
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         eprintln!("usage: moteur lint <workflow.xml> [--json] [--deny-warnings] [--predict]");
+        eprintln!("       moteur lint --explain M0xx");
         eprintln!(
             "       [--ndata N] [--overhead S]   (prediction campaign size / per-job overhead)"
         );
@@ -214,6 +233,86 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             println!();
             print!("{}", render_prediction(p));
         }
+    }
+    if report.fails(deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `moteur plan` — the whole-workflow static dataflow analysis: interval
+/// cardinalities per processor, per-edge transfer-volume bounds, a greedy
+/// site partition minimizing enactor-routed bytes, and the eq. 1–4
+/// makespan prediction with and without that partition. Lint runs first
+/// (same exit-code contract as `moteur lint`), so `plan --deny-warnings`
+/// subsumes a lint gate.
+fn cmd_plan(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: moteur plan <workflow.xml> [--json] [--deny-warnings]");
+        eprintln!("       [--ndata N] [--overhead S] [--bandwidth BPS]");
+        eprintln!("       [--cap N] [--max-fragment N]");
+        return ExitCode::from(2);
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    let defaults = PlanOptions::default();
+    let n_data: u64 = match flag_value(args, "--ndata").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(12),
+        Err(_) => return fail("--ndata needs a positive integer"),
+    };
+    let overhead: f64 = match flag_value(args, "--overhead").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(defaults.overhead),
+        Err(_) => return fail("--overhead needs a number (seconds)"),
+    };
+    let bandwidth: f64 = match flag_value(args, "--bandwidth").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(defaults.bandwidth),
+        Err(_) => return fail("--bandwidth needs a number (bytes/second)"),
+    };
+    let explosion_cap: u64 = match flag_value(args, "--cap").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(defaults.explosion_cap),
+        Err(_) => return fail("--cap needs a positive integer"),
+    };
+    let max_fragment: usize = match flag_value(args, "--max-fragment")
+        .map(str::parse)
+        .transpose()
+    {
+        Ok(v) => v.unwrap_or(defaults.max_fragment),
+        Err(_) => return fail("--max-fragment needs a positive integer"),
+    };
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(format!("reading {path}: {e}")),
+    };
+    let (wf, parse_diags) = lint_source(&text);
+    let mut report = LintReport::new(parse_diags);
+    if let Some(wf) = &wf {
+        report.extend(lint_workflow(wf).diagnostics);
+    }
+    report.sort();
+    let Some(wf) = &wf else {
+        print!("{}", render_human(&report, path, Some(&text)));
+        return ExitCode::FAILURE;
+    };
+
+    let opts = PlanOptions {
+        sizes: SourceSizes::uniform(n_data),
+        overhead,
+        bandwidth,
+        explosion_cap,
+        max_fragment,
+        ..defaults
+    };
+    let plan = plan_workflow(wf, &opts);
+    if json {
+        println!("{}", plan_to_json(&plan));
+    } else {
+        if !report.diagnostics.is_empty() {
+            print!("{}", render_human(&report, path, Some(&text)));
+            println!();
+        }
+        print!("{}", render_plan(&plan));
     }
     if report.fails(deny_warnings) {
         ExitCode::FAILURE
