@@ -65,9 +65,18 @@ cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
 cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
   plan --out-dir .
 
+# Scale campaign: a million gridsim events plus ten thousand enactor
+# jobs with the self-profiler attached (release build — the point is
+# hot-path throughput). Writes BENCH_scale.json; the gate re-checks the
+# event/job targets, the allocation budget, and the deterministic
+# allocation axes (allocs/event, peak live bytes) against the committed
+# results/BENCH_scale_baseline.json at the 10% threshold.
+cargo run --release --offline --quiet -p moteur-bench --bin moteur-bench -- \
+  scale --out-dir .
+
 cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
   gate --faults BENCH_faults.json --timeline BENCH_timeline.json \
-  --plan BENCH_plan.json
+  --plan BENCH_plan.json --scale BENCH_scale.json
 
 # Data manager: cold/warm pair on the deterministic chain. Fails if the
 # cold run drifts from eq. 1-4 or any warm invocation misses the cache;

@@ -350,6 +350,96 @@ pub fn check_plan(plan_json: &str) -> Result<Vec<GateCheck>, String> {
     Ok(checks)
 }
 
+/// Checks over a `BENCH_scale.json` document (schema
+/// `moteur-bench/scale/v1`), optionally against a committed baseline.
+///
+/// Wall-clock throughput is machine-dependent, so the absolute checks
+/// only require the campaign to have reached its event/job targets
+/// with positive throughput, and — when the counting allocator was
+/// installed — the simulator to stay inside its allocations-per-event
+/// budget ([`crate::scale::ALLOCS_PER_EVENT_BUDGET`]). The baseline
+/// comparison gates the *deterministic* throughput proxies only:
+/// `allocs_per_event` and `peak_alloc_bytes` must not exceed the
+/// baseline by more than `threshold` — an allocation regression is
+/// how a >10 % event-loop slowdown shows up reproducibly in CI.
+pub fn check_scale(
+    scale_json: &str,
+    baseline_json: Option<&str>,
+    threshold: f64,
+) -> Result<Vec<GateCheck>, String> {
+    let parse = |label: &str, json: &str| -> Result<JsonValue, String> {
+        let value = JsonValue::parse(json).map_err(|e| format!("scale {label}: {e}"))?;
+        match value.get("schema").and_then(JsonValue::as_str) {
+            Some(crate::scale::SCALE_SCHEMA) => Ok(value),
+            Some(other) => Err(format!(
+                "scale {label}: schema `{other}`, expected `{}`",
+                crate::scale::SCALE_SCHEMA
+            )),
+            None => Err(format!("scale {label}: missing schema tag")),
+        }
+    };
+    let current = parse("current", scale_json)?;
+    let field = |doc: &JsonValue, name: &str| -> Result<f64, String> {
+        doc.get(name)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("scale: missing `{name}`"))
+    };
+    let target = field(&current, "target_events")?;
+    let events = field(&current, "events_processed")?;
+    let enact_target = field(&current, "enact_jobs")?;
+    let jobs = field(&current, "enact_jobs_submitted")?;
+    let events_per_sec = field(&current, "events_per_sec")?;
+    let jobs_per_sec = field(&current, "jobs_per_sec")?;
+    let mut checks = vec![
+        GateCheck {
+            what: "scale/events_target".to_string(),
+            baseline: target,
+            current: events,
+            ok: events >= target,
+        },
+        GateCheck {
+            what: "scale/jobs_target".to_string(),
+            baseline: enact_target,
+            current: jobs,
+            ok: jobs >= enact_target,
+        },
+        GateCheck {
+            what: "scale/throughput_positive".to_string(),
+            baseline: 0.0,
+            current: events_per_sec.min(jobs_per_sec),
+            ok: events_per_sec > 0.0 && jobs_per_sec > 0.0,
+        },
+    ];
+    let alloc_installed = current.get("alloc_installed").and_then(JsonValue::as_bool) == Some(true);
+    if alloc_installed {
+        let allocs_per_event = field(&current, "allocs_per_event")?;
+        checks.push(GateCheck {
+            what: "scale/allocs_per_event_budget".to_string(),
+            baseline: crate::scale::ALLOCS_PER_EVENT_BUDGET,
+            current: allocs_per_event,
+            ok: allocs_per_event <= crate::scale::ALLOCS_PER_EVENT_BUDGET,
+        });
+    }
+    if let Some(baseline_json) = baseline_json {
+        let baseline = parse("baseline", baseline_json)?;
+        let base_installed =
+            baseline.get("alloc_installed").and_then(JsonValue::as_bool) == Some(true);
+        if alloc_installed && base_installed {
+            for name in ["allocs_per_event", "peak_alloc_bytes"] {
+                let base = field(&baseline, name)?;
+                let cur = field(&current, name)?;
+                checks.push(GateCheck {
+                    what: format!("scale/{name}"),
+                    baseline: base,
+                    current: cur,
+                    ok: cur <= base * (1.0 + threshold) + 1e-9,
+                });
+            }
+        }
+    }
+    Ok(checks)
+}
+
 /// Default allowed regression: 10 %.
 pub const DEFAULT_THRESHOLD: f64 = 0.10;
 
@@ -570,6 +660,66 @@ mod tests {
 
         assert!(check_plan("{\"schema\":\"other/v1\"}").is_err());
         assert!(check_plan("{").is_err());
+    }
+
+    #[test]
+    fn scale_gate_checks_targets_budget_and_baseline() {
+        let doc = |allocs: f64, peak: u64| {
+            format!(
+                "{{\"schema\":\"moteur-bench/scale/v1\",\"target_events\":1000,\
+                 \"enact_jobs\":50,\"seed\":1,\"alloc_installed\":true,\
+                 \"events_processed\":1200,\"gridsim_jobs\":100,\
+                 \"gridsim_wall_secs\":0.5,\"events_per_sec\":2400,\
+                 \"allocs_per_event\":{allocs},\"enact_jobs_submitted\":50,\
+                 \"enact_wall_secs\":0.2,\"jobs_per_sec\":250,\
+                 \"enact_makespan_secs\":330,\"peak_alloc_bytes\":{peak},\
+                 \"ok\":true,\"subsystems\":[]}}"
+            )
+        };
+        let json = doc(5.0, 1_000_000);
+        let checks = check_scale(&json, None, DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(checks.len(), 4, "{checks:?}");
+        assert!(checks.iter().all(|c| c.ok), "{checks:?}");
+
+        // Against an identical baseline the deterministic axes pass …
+        let checks = check_scale(&json, Some(&json), DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(checks.len(), 6, "{checks:?}");
+        assert!(checks.iter().all(|c| c.ok), "{checks:?}");
+        // … an allocation regression beyond the threshold trips them …
+        let bloated = doc(5.0 * 1.5, 1_000_000);
+        let checks = check_scale(&bloated, Some(&json), DEFAULT_THRESHOLD).unwrap();
+        assert!(
+            checks
+                .iter()
+                .any(|c| c.what == "scale/allocs_per_event" && !c.ok),
+            "{checks:?}"
+        );
+        // … as does blowing the absolute per-event budget …
+        let hog = doc(crate::scale::ALLOCS_PER_EVENT_BUDGET * 2.0, 1_000_000);
+        let checks = check_scale(&hog, None, DEFAULT_THRESHOLD).unwrap();
+        assert!(
+            checks
+                .iter()
+                .any(|c| c.what == "scale/allocs_per_event_budget" && !c.ok),
+            "{checks:?}"
+        );
+        // … and a shortfall against the event target.
+        let short = json.replacen("\"events_processed\":1200", "\"events_processed\":900", 1);
+        let checks = check_scale(&short, None, DEFAULT_THRESHOLD).unwrap();
+        assert!(
+            checks
+                .iter()
+                .any(|c| c.what == "scale/events_target" && !c.ok),
+            "{checks:?}"
+        );
+
+        // Without the counting allocator the budget axis is skipped.
+        let uncounted = json.replacen("\"alloc_installed\":true", "\"alloc_installed\":false", 1);
+        let checks = check_scale(&uncounted, Some(&uncounted), DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(checks.len(), 3, "{checks:?}");
+
+        assert!(check_scale("{\"schema\":\"other/v1\"}", None, DEFAULT_THRESHOLD).is_err());
+        assert!(check_scale("{", None, DEFAULT_THRESHOLD).is_err());
     }
 
     #[test]

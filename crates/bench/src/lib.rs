@@ -36,12 +36,18 @@
 //! queue-saturated `egee_2006`) and writes peak queue depth, transfer
 //! bytes and the bottleneck verdict to `BENCH_timeline.json`
 //! ([`timeline`]).
+//!
+//! `moteur-bench scale` drives the simulator through a million events
+//! and the enactor through ten thousand jobs with the self-profiler
+//! attached, and writes host throughput, allocation rates and
+//! per-subsystem wall fractions to `BENCH_scale.json` ([`scale`]).
 
 pub mod bronze;
 pub mod campaign;
 pub mod faults;
 pub mod gate;
 pub mod plan;
+pub mod scale;
 pub mod sweep;
 pub mod timeline;
 pub mod warm;
@@ -59,6 +65,10 @@ pub use gate::{check_gate, GateCheck, GateReport, DEFAULT_THRESHOLD};
 pub use plan::{
     render_plan_bench, render_plan_bench_json, run_plan_bench, PlanBenchReport, PlanSpec,
     PLAN_BENCH_SCHEMA,
+};
+pub use scale::{
+    render_scale, render_scale_json, run_scale, ScaleReport, ScaleSpec, SubsystemShare,
+    ALLOCS_PER_EVENT_BUDGET, SCALE_SCHEMA,
 };
 pub use sweep::{
     render_points_json, render_summary, render_summary_json, run_sweep, BenchPoint, BenchSummary,

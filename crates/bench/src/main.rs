@@ -8,12 +8,14 @@
 //!                       [--out-dir DIR]
 //! moteur-bench gate [--summary PATH] [--baseline PATH] [--threshold FRAC]
 //!                   [--faults PATH] [--timeline PATH] [--plan PATH]
+//!                   [--scale PATH] [--scale-baseline PATH]
 //! moteur-bench warm [--ndata N] [--seed N] [--out-dir DIR]
 //! moteur-bench faults [--ndata N] [--seed N] [--repeats R]
 //!                     [--failure-probability P] [--out-dir DIR]
 //! moteur-bench timeline [--ideal-ndata N] [--loaded-ndata N] [--seed N]
 //!                       [--out-dir DIR]
 //! moteur-bench plan [--ndata N] [--seed N] [--out-dir DIR]
+//! moteur-bench scale [--events N] [--jobs N] [--seed N] [--out-dir DIR]
 //! ```
 //!
 //! `campaign` runs the six Table-1 configurations over the sweep and
@@ -37,10 +39,18 @@
 //! `BENCH_plan.json`, exiting non-zero unless every interval contains
 //! the observed bytes and the site partition beats centralized routing
 //! on the data-heavy bronze variant.
+//! `scale` pushes the simulator through a million events and the
+//! enactor through ten thousand jobs with the self-profiler attached
+//! and writes `BENCH_scale.json` (throughput, allocations per event,
+//! peak live bytes, per-subsystem wall shares), exiting non-zero when
+//! a target is missed or the allocation budget is blown.
 
 use moteur_bench::faults::{render_faults, render_faults_json, run_faults, FaultsSpec};
-use moteur_bench::gate::{check_faults, check_gate, check_plan, check_timeline, DEFAULT_THRESHOLD};
+use moteur_bench::gate::{
+    check_faults, check_gate, check_plan, check_scale, check_timeline, DEFAULT_THRESHOLD,
+};
 use moteur_bench::plan::{render_plan_bench, render_plan_bench_json, run_plan_bench, PlanSpec};
+use moteur_bench::scale::{render_scale, render_scale_json, run_scale, ScaleSpec};
 use moteur_bench::sweep::{
     render_points_json, render_summary, render_summary_json, run_sweep, SweepGrid, SweepSpec,
     SweepWorkflow,
@@ -49,6 +59,12 @@ use moteur_bench::timeline::{render_timeline, render_timeline_json, run_timeline
 use moteur_bench::warm::{render_warm, render_warm_json, run_warm_pair};
 use std::path::Path;
 use std::process::ExitCode;
+
+/// The scale campaign reports real allocation counts and the live-heap
+/// high-water mark, so this binary routes every allocation through the
+/// profiler's counting wrapper around the system allocator.
+#[global_allocator]
+static ALLOC: moteur_prof::alloc::CountingAlloc = moteur_prof::alloc::CountingAlloc;
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
@@ -68,12 +84,14 @@ fn usage() -> ExitCode {
     eprintln!("                    [--overhead SECS] [--tolerance FRAC] [--out-dir DIR]");
     eprintln!("       moteur-bench gate [--summary PATH] [--baseline PATH] [--threshold FRAC]");
     eprintln!("                    [--faults PATH] [--timeline PATH] [--plan PATH]");
+    eprintln!("                    [--scale PATH] [--scale-baseline PATH]");
     eprintln!("       moteur-bench warm [--ndata N] [--seed N] [--out-dir DIR]");
     eprintln!("       moteur-bench faults [--ndata N] [--seed N] [--repeats R]");
     eprintln!("                    [--failure-probability P] [--out-dir DIR]");
     eprintln!("       moteur-bench timeline [--ideal-ndata N] [--loaded-ndata N] [--seed N]");
     eprintln!("                    [--out-dir DIR]");
     eprintln!("       moteur-bench plan [--ndata N] [--seed N] [--out-dir DIR]");
+    eprintln!("       moteur-bench scale [--events N] [--jobs N] [--seed N] [--out-dir DIR]");
     eprintln!();
     eprintln!("env: MOTEUR_BENCH_UPDATE_BASELINE=1  rewrite the gate baseline and pass");
     ExitCode::from(2)
@@ -179,14 +197,29 @@ fn cmd_gate(args: &[String]) -> ExitCode {
         Ok(s) => s,
         Err(e) => return fail(format!("reading {summary_path}: {e}")),
     };
+    let scale_path = flag_value(args, "--scale");
+    let scale_implicit = scale_path.is_none();
+    let scale_path = scale_path.unwrap_or("BENCH_scale.json");
+    let scale_baseline_path =
+        flag_value(args, "--scale-baseline").unwrap_or("results/BENCH_scale_baseline.json");
     if std::env::var("MOTEUR_BENCH_UPDATE_BASELINE").as_deref() == Ok("1") {
-        return match std::fs::write(baseline_path, &current) {
-            Ok(()) => {
-                println!("baseline {baseline_path} updated from {summary_path}");
-                ExitCode::SUCCESS
+        if let Err(e) = std::fs::write(baseline_path, &current) {
+            return fail(format!("updating {baseline_path}: {e}"));
+        }
+        println!("baseline {baseline_path} updated from {summary_path}");
+        // Re-seed the scale baseline too when a fresh document is
+        // around; its deterministic axes are machine-independent.
+        match std::fs::read_to_string(scale_path) {
+            Ok(scale) => {
+                if let Err(e) = std::fs::write(scale_baseline_path, &scale) {
+                    return fail(format!("updating {scale_baseline_path}: {e}"));
+                }
+                println!("baseline {scale_baseline_path} updated from {scale_path}");
             }
-            Err(e) => fail(format!("updating {baseline_path}: {e}")),
-        };
+            Err(_) if scale_implicit => {}
+            Err(e) => return fail(format!("reading {scale_path}: {e}")),
+        }
+        return ExitCode::SUCCESS;
     }
     let baseline = match std::fs::read_to_string(baseline_path) {
         Ok(s) => s,
@@ -237,6 +270,19 @@ fn cmd_gate(args: &[String]) -> ExitCode {
         },
         Err(_) if implicit => {}
         Err(e) => return fail(format!("reading {plan_path}: {e}")),
+    }
+    // And for the scale campaign, with its own committed baseline for
+    // the deterministic allocation axes.
+    match std::fs::read_to_string(scale_path) {
+        Ok(json) => {
+            let scale_baseline = std::fs::read_to_string(scale_baseline_path).ok();
+            match check_scale(&json, scale_baseline.as_deref(), threshold) {
+                Ok(mut checks) => report.checks.append(&mut checks),
+                Err(e) => return fail(e),
+            }
+        }
+        Err(_) if scale_implicit => {}
+        Err(e) => return fail(format!("reading {scale_path}: {e}")),
     }
     print!("{}", report.render());
     if report.ok() {
@@ -416,6 +462,48 @@ fn cmd_plan(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_scale(args: &[String]) -> ExitCode {
+    let mut spec = ScaleSpec::default();
+    match flag_value(args, "--events").map(str::parse).transpose() {
+        Ok(Some(v)) if v > 0 => spec.target_events = v,
+        Ok(Some(_)) => return fail("--events needs a positive integer"),
+        Ok(None) => {}
+        Err(_) => return fail("--events needs a positive integer"),
+    }
+    match flag_value(args, "--jobs").map(str::parse).transpose() {
+        Ok(Some(v)) if v > 0 => spec.enact_jobs = v,
+        Ok(Some(_)) => return fail("--jobs needs a positive integer"),
+        Ok(None) => {}
+        Err(_) => return fail("--jobs needs a positive integer"),
+    }
+    match flag_value(args, "--seed").map(str::parse).transpose() {
+        Ok(v) => spec.seed = v.unwrap_or(spec.seed),
+        Err(_) => return fail("--seed needs an integer"),
+    }
+    let out_dir = Path::new(flag_value(args, "--out-dir").unwrap_or("."));
+
+    eprintln!(
+        "scale campaign: {} gridsim events + {} enactor jobs (seed {})...",
+        spec.target_events, spec.enact_jobs, spec.seed
+    );
+    let report = match run_scale(&spec) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    print!("{}", render_scale(&report));
+    let path = out_dir.join("BENCH_scale.json");
+    if let Err(e) = std::fs::write(&path, render_scale_json(&report) + "\n") {
+        return fail(format!("writing {}: {e}", path.display()));
+    }
+    println!("wrote {}", path.display());
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("moteur-bench: scale campaign missed a target or blew the allocation budget");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -425,6 +513,7 @@ fn main() -> ExitCode {
         Some("faults") => cmd_faults(&args[1..]),
         Some("timeline") => cmd_timeline(&args[1..]),
         Some("plan") => cmd_plan(&args[1..]),
+        Some("scale") => cmd_scale(&args[1..]),
         _ => usage(),
     }
 }

@@ -284,10 +284,13 @@ impl SimBackend {
     pub fn with_obs(config: GridConfig, seed: u64, obs: &crate::obs::Obs) -> Self {
         let mut backend = Self::new(config, seed);
         if obs.enabled() {
-            let obs = obs.clone();
+            let forward = obs.clone();
             backend.sim.set_observer(Box::new(move |e| {
-                obs.record(&crate::obs::TraceEvent::from_sim(e));
+                forward.record(&crate::obs::TraceEvent::from_sim(e));
             }));
+        }
+        if obs.prof().is_enabled() {
+            backend.sim.set_prof(obs.prof().clone());
         }
         backend
     }

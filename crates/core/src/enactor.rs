@@ -28,10 +28,11 @@ use crate::error::MoteurError;
 use crate::ft::{FtConfig, QuarantineEntry, TimeoutAction};
 use crate::graph::{ProcId, ProcessorKind, Workflow};
 use crate::iterate::{MatchEngine, MatchedSet};
+use crate::obs::prof::Subsystem;
 use crate::obs::{Obs, TraceEvent};
 use crate::service::{CostModel, GroupSource, GroupedBinding, ServiceBinding, ServiceProfile};
 use crate::store::{
-    descriptor_digest, group_digest, invocation_key, provenance_key, DataStore, InvocationKey,
+    descriptor_digest, group_digest, invocation_key, DataStore, HistoryXmlCache, InvocationKey,
 };
 use crate::token::{DataIndex, History, Token};
 use crate::trace::{InvocationRecord, WorkflowResult};
@@ -278,6 +279,10 @@ struct Enactor<'a, B: Backend> {
     obs: Obs,
     /// Provenance-keyed data manager; `None` → memoization disabled.
     store: Option<&'a mut DataStore>,
+    /// Memoized history-tree serialisations shared by every probe and
+    /// insert of this run: `provenance_key` renders each distinct tree
+    /// once instead of once per call.
+    history_xml: HistoryXmlCache,
     /// Per-processor service digest: `Some` for deterministic
     /// descriptor- or group-bound processors when a store is attached,
     /// `None` for everything uncacheable (local bindings, sources,
@@ -396,6 +401,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
             start_time,
             obs,
             store,
+            history_xml: HistoryXmlCache::new(),
             digests,
             attempt_of: HashMap::new(),
             cancelled_attempts: HashSet::new(),
@@ -416,17 +422,26 @@ impl<'a, B: Backend> Enactor<'a, B> {
         let Some(digest) = self.digests[proc.0] else {
             return CacheProbe::Uncached;
         };
-        let Some(store) = self.store.as_deref_mut() else {
+        if self.store.is_none() {
             return CacheProbe::Uncached;
-        };
+        }
+        let prof = self.obs.prof().clone();
         let mut pkeys = Vec::with_capacity(matched.tokens.len());
-        for token in &matched.tokens {
-            match provenance_key(&token.value, &token.history) {
-                Some(k) => pkeys.push(k),
-                None => return CacheProbe::Uncached,
+        {
+            let _prof = prof.scope(Subsystem::ProvenanceKey);
+            for token in &matched.tokens {
+                match self
+                    .history_xml
+                    .provenance_key(&token.value, &token.history)
+                {
+                    Some(k) => pkeys.push(k),
+                    None => return CacheProbe::Uncached,
+                }
             }
         }
+        let store = self.store.as_deref_mut().expect("checked above");
         let key = invocation_key(&self.workflow.processors[proc.0].name, digest, &pkeys);
+        let _prof = prof.scope(Subsystem::StoreIo);
         match store.lookup(key) {
             Some(outputs) => {
                 let transfer_seconds = store
@@ -507,6 +522,8 @@ impl<'a, B: Backend> Enactor<'a, B> {
     }
 
     fn event_loop(&mut self) -> Result<(), MoteurError> {
+        let prof = self.obs.prof().clone();
+        let _prof = prof.scope(Subsystem::EnactorLoop);
         let result = self.event_loop_inner();
         if result.is_err() {
             // A workflow abort must not abandon in-flight invocations:
@@ -662,6 +679,8 @@ impl<'a, B: Backend> Enactor<'a, B> {
 
     /// Fire everything the configuration permits, to fixpoint.
     fn fire_phase(&mut self) -> Result<(), MoteurError> {
+        let prof = self.obs.prof().clone();
+        let _prof = prof.scope(Subsystem::Fire);
         loop {
             let exhausted = self.compute_exhausted();
             let mut fired = false;
@@ -1774,10 +1793,17 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 retries: pend.retries,
             });
             let history = History::derived(proc.name.clone(), entry.input_histories.clone());
-            if let (Some(key), Some(store)) = (entry.cache_key, self.store.as_deref_mut()) {
+            if let Some(key) = entry.cache_key.filter(|_| self.store.is_some()) {
+                let prof = self.obs.prof().clone();
+                let _prof = prof.scope(Subsystem::StoreIo);
                 let mut recorded = Vec::with_capacity(outputs.len());
                 for (port_name, value) in &outputs {
-                    match store.insert(value, &history) {
+                    let pk = {
+                        let _prof = prof.scope(Subsystem::ProvenanceKey);
+                        self.history_xml.provenance_key(value, &history)
+                    };
+                    let store = self.store.as_deref_mut().expect("checked above");
+                    match pk.and_then(|k| store.insert_with_key(k, value)) {
                         Some(pk) => recorded.push((port_name.clone(), pk)),
                         None => {
                             recorded.clear();
@@ -1785,6 +1811,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
                         }
                     }
                 }
+                let store = self.store.as_deref_mut().expect("checked above");
                 // Only a complete output set makes a replayable
                 // invocation; partial ones (an Opaque output, or an
                 // output too large for the store's budget) are dropped.

@@ -107,6 +107,11 @@ pub use obs::drift::{check_drift, DriftEntry, DriftReport, Observation};
 pub use obs::fit::{fit_sweep, MakespanFit, SweepPoint};
 pub use obs::metrics::{MetricsRegistry, MetricsSink};
 pub use obs::openmetrics::render as render_openmetrics;
+pub use obs::openmetrics::render_with_prof as render_openmetrics_with_prof;
+pub use obs::prof::{
+    from_json as prof_from_json, to_json as prof_to_json, Prof, ProfReport, ProfScope, Subsystem,
+    PROF_SCHEMA,
+};
 pub use obs::sinks::{EventBuffer, JsonlSink, NullSink, RingBufferSink};
 pub use obs::span::{GridPhase, Span, SpanBuffer, SpanId, SpanKind, SpanSink, SpanTree};
 pub use obs::timeline::{ResourceStats, Timeline, TimelineSink, TIMELINE_SCHEMA};
@@ -120,8 +125,8 @@ pub use service::{
     ServiceProfile,
 };
 pub use store::{
-    descriptor_digest, group_digest, invocation_key, provenance_key, DataStore, InvocationKey,
-    ProvenanceKey, StoreConfig, StoreStats, STORE_SCHEMA,
+    descriptor_digest, group_digest, invocation_key, provenance_key, DataStore, HistoryXmlCache,
+    InvocationKey, ProvenanceKey, StoreConfig, StoreStats, STORE_SCHEMA,
 };
 pub use token::{DataIndex, History, Token};
 pub use trace::{InvocationRecord, WorkflowResult};

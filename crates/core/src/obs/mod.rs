@@ -45,6 +45,7 @@ pub mod fit;
 pub mod json;
 pub mod metrics;
 pub mod openmetrics;
+pub mod prof;
 pub mod sinks;
 pub mod span;
 pub mod timeline;
@@ -778,12 +779,16 @@ type SharedSinks = Arc<Mutex<Vec<Box<dyn EventSink>>>>;
 #[derive(Clone, Default)]
 pub struct Obs {
     inner: Option<SharedSinks>,
+    /// Self-profiler handle carried alongside the sinks so every layer
+    /// that already threads an `Obs` gets profiling for free.
+    prof: prof::Prof,
 }
 
 impl std::fmt::Debug for Obs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Obs")
             .field("enabled", &self.enabled())
+            .field("profiling", &self.prof.is_enabled())
             .finish()
     }
 }
@@ -791,7 +796,10 @@ impl std::fmt::Debug for Obs {
 impl Obs {
     /// Tracing disabled: every emission is a no-op.
     pub fn off() -> Self {
-        Obs { inner: None }
+        Obs {
+            inner: None,
+            prof: prof::Prof::off(),
+        }
     }
 
     /// Tracing enabled, fanning out to `sinks`. An empty sink list
@@ -802,8 +810,24 @@ impl Obs {
         } else {
             Obs {
                 inner: Some(Arc::new(Mutex::new(sinks))),
+                prof: prof::Prof::off(),
             }
         }
+    }
+
+    /// Attach a profiler handle. Works on both enabled and disabled
+    /// handles — profiling and tracing are independent axes.
+    #[must_use]
+    pub fn with_prof(mut self, prof: prof::Prof) -> Self {
+        self.prof = prof;
+        self
+    }
+
+    /// The attached profiler ([`prof::Prof::off`] unless installed via
+    /// [`Obs::with_prof`]). Cheap to clone; scopes taken from it are
+    /// no-ops when profiling is disabled.
+    pub fn prof(&self) -> &prof::Prof {
+        &self.prof
     }
 
     pub fn enabled(&self) -> bool {
@@ -815,6 +839,7 @@ impl Obs {
     pub fn emit(&self, build: impl FnOnce() -> TraceEvent) {
         if let Some(inner) = &self.inner {
             let event = build();
+            let _prof = self.prof.scope(prof::Subsystem::Sinks);
             let mut sinks = inner.lock().expect("obs sink lock poisoned");
             for sink in sinks.iter_mut() {
                 sink.record(&event);
@@ -825,6 +850,7 @@ impl Obs {
     /// Record a pre-built event (used by forwarding adapters).
     pub fn record(&self, event: &TraceEvent) {
         if let Some(inner) = &self.inner {
+            let _prof = self.prof.scope(prof::Subsystem::Sinks);
             let mut sinks = inner.lock().expect("obs sink lock poisoned");
             for sink in sinks.iter_mut() {
                 sink.record(event);

@@ -261,6 +261,25 @@ pub fn render(registry: &MetricsRegistry, spans: Option<&SpanTree>) -> String {
     r.out
 }
 
+/// [`render`] plus the `moteur_prof_*` self-profiler families. The prof
+/// fragment is inserted before the `# EOF` terminator; a `None` or
+/// inactive report leaves the snapshot byte-identical to [`render`].
+pub fn render_with_prof(
+    registry: &MetricsRegistry,
+    spans: Option<&SpanTree>,
+    prof: Option<&moteur_prof::ProfReport>,
+) -> String {
+    let mut out = render(registry, spans);
+    let fragment = prof
+        .map(super::prof::openmetrics_fragment)
+        .unwrap_or_default();
+    if !fragment.is_empty() {
+        let eof = out.len() - "# EOF\n".len();
+        out.insert_str(eof, &fragment);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -146,12 +146,78 @@ fn hash_value(h: &mut Fnv1a, value: &DataValue) -> bool {
 /// value has no canonical byte form (opaque payloads, or lists
 /// containing them).
 pub fn provenance_key(value: &DataValue, history: &History) -> Option<ProvenanceKey> {
+    provenance_key_with_xml(value, &history_to_xml(history).to_pretty_string())
+}
+
+/// [`provenance_key`] with the history tree already serialised — the
+/// shared tail that keeps the cached ([`HistoryXmlCache`]) and uncached
+/// paths byte-identical by construction.
+fn provenance_key_with_xml(value: &DataValue, history_xml: &str) -> Option<ProvenanceKey> {
     let mut h = Fnv1a::new();
     if !hash_value(&mut h, value) {
         return None;
     }
-    h.write_str(&history_to_xml(history).to_pretty_string());
+    h.write_str(history_xml);
     Some(ProvenanceKey(h.finish()))
+}
+
+/// Memoized history-tree serialisation, keyed by `Arc` identity.
+///
+/// The profiler showed `provenance_key` dominated by serialising the
+/// same history trees over and over: every cache probe re-renders the
+/// full XML of every matched token's history, and histories are shared
+/// `Arc`s that the enactor probes many times (once per downstream
+/// match, again on insert). Pointer identity is a sound cache key
+/// because histories are immutable once built; the map holds a strong
+/// reference to each keyed tree, so an address can never be reused for
+/// a different tree while its entry is alive.
+///
+/// Byte identity with the uncached path is by construction: both paths
+/// feed the same `history_to_xml(...).to_pretty_string()` output into
+/// `provenance_key_with_xml`.
+#[derive(Debug, Default)]
+pub struct HistoryXmlCache {
+    map: std::collections::HashMap<usize, (std::sync::Arc<History>, std::sync::Arc<str>)>,
+}
+
+impl HistoryXmlCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct history trees serialised so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The serialised pretty-printed XML of `history`, rendered at most
+    /// once per distinct tree.
+    pub fn xml(&mut self, history: &std::sync::Arc<History>) -> std::sync::Arc<str> {
+        let key = std::sync::Arc::as_ptr(history) as usize;
+        self.map
+            .entry(key)
+            .or_insert_with(|| {
+                let xml: std::sync::Arc<str> = history_to_xml(history).to_pretty_string().into();
+                (std::sync::Arc::clone(history), xml)
+            })
+            .1
+            .clone()
+    }
+
+    /// [`provenance_key`] through the cache: identical bytes, one
+    /// serialisation per distinct history tree instead of one per call.
+    pub fn provenance_key(
+        &mut self,
+        value: &DataValue,
+        history: &std::sync::Arc<History>,
+    ) -> Option<ProvenanceKey> {
+        let xml = self.xml(history);
+        provenance_key_with_xml(value, &xml)
+    }
 }
 
 /// Digest of *what a descriptor-bound service is*: the full descriptor
@@ -285,6 +351,49 @@ mod tests {
             invocation_key("svc", 8, &[k1]),
             "descriptor digest is part of the identity"
         );
+    }
+
+    #[test]
+    fn cached_keys_match_uncached_keys() {
+        let src = History::source("acquisition", 3);
+        let derived = History::derived("crestLines", vec![src.clone(), History::source("ref", 0)]);
+        let mut cache = HistoryXmlCache::new();
+        for history in [&src, &derived] {
+            for value in [
+                DataValue::from("img"),
+                DataValue::Num(1.5),
+                DataValue::File {
+                    gfn: "lfn://x".into(),
+                    bytes: 7_864_320,
+                },
+            ] {
+                assert_eq!(
+                    cache.provenance_key(&value, history),
+                    provenance_key(&value, history),
+                    "cache must be byte-transparent"
+                );
+            }
+        }
+        assert_eq!(cache.len(), 2, "one serialisation per distinct tree");
+        // Opaque values stay uncacheable through the cached path too.
+        assert_eq!(cache.provenance_key(&DataValue::opaque(1u8), &src), None);
+    }
+
+    #[test]
+    fn cache_pins_trees_against_address_reuse() {
+        let mut cache = HistoryXmlCache::new();
+        let mut keys = std::collections::HashSet::new();
+        // Churn many short-lived trees: if the cache keyed by a dangling
+        // address, a recycled allocation would collide and return the
+        // previous tree's XML (wrong key). The strong ref prevents that.
+        for i in 0..256 {
+            let h = History::source("s", i);
+            let k = cache.provenance_key(&DataValue::from("v"), &h).unwrap();
+            assert_eq!(k, provenance_key(&DataValue::from("v"), &h).unwrap());
+            keys.insert(k);
+        }
+        assert_eq!(keys.len(), 256, "every position hashed distinctly");
+        assert_eq!(cache.len(), 256);
     }
 
     #[test]

@@ -25,11 +25,11 @@
 //! processes.
 
 mod disk;
-mod key;
+pub mod key;
 
 pub use key::{
-    descriptor_digest, group_digest, invocation_key, provenance_key, Fnv1a, InvocationKey,
-    ProvenanceKey,
+    descriptor_digest, group_digest, invocation_key, provenance_key, Fnv1a, HistoryXmlCache,
+    InvocationKey, ProvenanceKey,
 };
 
 use crate::error::MoteurError;
@@ -215,6 +215,18 @@ impl DataStore {
     /// the whole store budget.
     pub fn insert(&mut self, value: &DataValue, history: &History) -> Option<ProvenanceKey> {
         let key = provenance_key(value, history)?;
+        self.insert_with_key(key, value)
+    }
+
+    /// [`DataStore::insert`] with the provenance key already computed —
+    /// the enactor's path, which derives keys through a shared
+    /// [`key::HistoryXmlCache`] so the history tree is serialised once
+    /// per distinct tree instead of once per insert.
+    pub fn insert_with_key(
+        &mut self,
+        key: ProvenanceKey,
+        value: &DataValue,
+    ) -> Option<ProvenanceKey> {
         self.tick += 1;
         if let Some(entry) = self.data.get_mut(&key) {
             entry.last_used = self.tick;

@@ -65,6 +65,16 @@ impl EventQueue {
         Self::default()
     }
 
+    /// A queue with room for `capacity` events before the first heap
+    /// growth — the simulator pre-sizes for its steady-state depth so
+    /// the hot loop does not re-allocate while warming up.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
     pub fn schedule(&mut self, at: SimTime, event: Event) {
         self.heap.push(Reverse(Scheduled {
             at,

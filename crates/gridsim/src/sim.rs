@@ -19,6 +19,7 @@ use crate::job::{CeId, GridJobCompletion, GridJobSpec, JobId, JobOutcome, JobRec
 use crate::obs::{SimEvent, SimObserver};
 use crate::rng::Rng;
 use crate::time::{SimDuration, SimTime};
+use moteur_prof::{Prof, Subsystem};
 use std::collections::VecDeque;
 
 /// Who occupies a worker slot or a queue position.
@@ -83,6 +84,11 @@ pub struct GridSim {
     /// Optional lifecycle observer ([`crate::obs`]); `None` keeps every
     /// emission site a cheap branch with no event construction.
     observer: Option<SimObserver>,
+    /// Events popped and handled so far (the denominator for the scale
+    /// campaign's events/sec and allocs-per-event figures).
+    events_processed: u64,
+    /// Self-profiler handle; [`Prof::off`] keeps every scope a branch.
+    prof: Prof,
 }
 
 impl std::fmt::Debug for GridSim {
@@ -98,7 +104,10 @@ impl std::fmt::Debug for GridSim {
 impl GridSim {
     pub fn new(config: GridConfig, seed: u64) -> Self {
         let mut rng = Rng::new(seed);
-        let mut events = EventQueue::new();
+        // Steady state keeps a few events in flight per CE (worker
+        // finishes, background arrivals, maintenance) plus the global
+        // refresh; pre-size so the hot loop starts past the growth.
+        let mut events = EventQueue::with_capacity(16 + 4 * config.ces.len());
         let mut ces = Vec::with_capacity(config.ces.len());
         for (i, cfg) in config.ces.iter().enumerate() {
             let mut ce = CeState {
@@ -148,6 +157,8 @@ impl GridSim {
             finished_records: Vec::new(),
             background_arrivals: 0,
             observer: None,
+            events_processed: 0,
+            prof: Prof::off(),
         };
         // Dispatch the initial backlog so workers start busy.
         for i in 0..sim.ces.len() {
@@ -170,6 +181,24 @@ impl GridSim {
     /// Remove the observer, returning emission sites to no-ops.
     pub fn clear_observer(&mut self) {
         self.observer = None;
+    }
+
+    /// Install a self-profiler handle: the event queue, event dispatch
+    /// and broker matchmaking become profiled scopes. A disabled handle
+    /// keeps every site a single branch.
+    pub fn set_prof(&mut self, prof: Prof) {
+        self.prof = prof;
+    }
+
+    /// Events popped and handled since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Pre-size the job table for a known campaign, avoiding repeated
+    /// re-allocation while submitting large waves.
+    pub fn reserve_jobs(&mut self, additional: usize) {
+        self.jobs.reserve(additional);
     }
 
     /// Emit an event to the observer, building it only when one is
@@ -221,11 +250,14 @@ impl GridSim {
 
     /// Submit a job. The completion surfaces later through
     /// [`GridSim::next_completion`].
-    pub fn submit(&mut self, spec: GridJobSpec) -> JobId {
+    pub fn submit(&mut self, mut spec: GridJobSpec) -> JobId {
         let id = JobId(self.jobs.len() as u64);
+        // The record takes ownership of the name; the spec's copy is
+        // never read again (every emission uses the record's), so the
+        // per-submission clone the profiler flagged is gone.
         let record = JobRecord {
             id,
-            name: spec.name.clone(),
+            name: std::mem::take(&mut spec.name),
             tag: spec.tag,
             submitted_at: self.clock,
             matched_at: self.clock,
@@ -255,7 +287,7 @@ impl GridSim {
                 at: sim.clock,
                 job: id,
                 tag: state.spec.tag,
-                name: state.spec.name.clone(),
+                name: state.record.name.clone(),
             }
         });
         id
@@ -290,7 +322,9 @@ impl GridSim {
             stage_out: SimDuration::ZERO,
             outcome: JobOutcome::Success,
         };
-        let spec = GridJobSpec::new(record.name.clone(), 0.0).with_tag(tag);
+        // The spec's name is never read (emissions use the record's),
+        // so an empty placeholder avoids the clone.
+        let spec = GridJobSpec::new(String::new(), 0.0).with_tag(tag);
         self.jobs.push(JobState {
             spec,
             record,
@@ -307,13 +341,27 @@ impl GridSim {
 
     /// Advance virtual time until the next user-job completion and
     /// return it, or `None` when no user job is outstanding.
+    ///
+    /// Profiling granularity: one `event_queue` scope per drain call
+    /// (the loop runs millions of events per second, so a scope per
+    /// event would measure the profiler, not the simulator); the events
+    /// dispatched inside it are batch-counted as `sim_step`.
     pub fn next_completion(&mut self) -> Option<GridJobCompletion> {
-        loop {
+        if let Some(c) = self.completions.pop_front() {
+            return Some(c);
+        }
+        if self.outstanding == 0 {
+            return None;
+        }
+        let prof = self.prof.clone();
+        let _drain = prof.scope(Subsystem::EventQueue);
+        let drained_from = self.events_processed;
+        let result = loop {
             if let Some(c) = self.completions.pop_front() {
-                return Some(c);
+                break Some(c);
             }
             if self.outstanding == 0 {
-                return None;
+                break None;
             }
             let (at, event) = self
                 .events
@@ -321,8 +369,11 @@ impl GridSim {
                 .expect("outstanding user jobs but an empty event queue");
             debug_assert!(at >= self.clock, "time went backwards");
             self.clock = at;
+            self.events_processed += 1;
             self.handle(event);
-        }
+        };
+        prof.add_batch(Subsystem::SimStep, self.events_processed - drained_from, 0);
+        result
     }
 
     /// Advance virtual time until the next user-job completion **or**
@@ -333,23 +384,32 @@ impl GridSim {
     /// outstanding jobs — background and maintenance events keep
     /// processing — so a submitter can wait out a backoff delay.
     pub fn next_completion_until(&mut self, deadline: SimTime) -> Option<GridJobCompletion> {
-        loop {
+        if let Some(c) = self.completions.pop_front() {
+            return Some(c);
+        }
+        let prof = self.prof.clone();
+        let _drain = prof.scope(Subsystem::EventQueue);
+        let drained_from = self.events_processed;
+        let result = loop {
             if let Some(c) = self.completions.pop_front() {
-                return Some(c);
+                break Some(c);
             }
             match self.events.peek_time() {
                 Some(at) if at <= deadline => {
                     let (at, event) = self.events.pop().expect("peeked event exists");
                     debug_assert!(at >= self.clock, "time went backwards");
                     self.clock = at;
+                    self.events_processed += 1;
                     self.handle(event);
                 }
                 _ => {
                     self.clock = self.clock.max(deadline);
-                    return None;
+                    break None;
                 }
             }
-        }
+        };
+        prof.add_batch(Subsystem::SimStep, self.events_processed - drained_from, 0);
+        result
     }
 
     /// Cancel a submitted job. Returns `true` if the job was still in
@@ -442,6 +502,8 @@ impl GridSim {
     /// fall back to the least-bad one, modelling a match that will sit
     /// in its queue until the CE returns.
     fn pick_ce(&mut self) -> CeId {
+        let prof = self.prof.clone();
+        let _prof = prof.scope(Subsystem::PickCe);
         let mut best_available: Option<usize> = None;
         let mut best_available_rank = f64::INFINITY;
         let mut best_any = 0usize;
@@ -691,23 +753,49 @@ impl GridSim {
         state.done = true;
         state.record.delivered_at = self.clock;
         self.outstanding -= 1;
-        self.finished_records.push(state.record.clone());
+        let tag = state.spec.tag;
+        let outcome = state.record.outcome;
+        // Move the canonical record into the delivery log and clone only
+        // the completion's copy — a delivered JobState's record is never
+        // read again, so this halves the per-delivery allocations the
+        // profiler flagged.
+        let record = std::mem::replace(&mut state.record, Self::drained_record(job));
         self.completions.push_back(GridJobCompletion {
             id: job,
-            tag: state.spec.tag,
-            outcome: state.record.outcome,
+            tag,
+            outcome,
             delivered_at: self.clock,
-            record: state.record.clone(),
+            record: record.clone(),
         });
-        self.emit(|sim| {
-            let state = &sim.jobs[job.0 as usize];
-            SimEvent::JobDelivered {
-                at: sim.clock,
-                job,
-                tag: state.spec.tag,
-                outcome: state.record.outcome,
-            }
+        self.finished_records.push(record);
+        self.emit(|sim| SimEvent::JobDelivered {
+            at: sim.clock,
+            job,
+            tag,
+            outcome,
         });
+    }
+
+    /// Allocation-free placeholder left in a delivered [`JobState`]'s
+    /// record slot (never read again: `done` gates every later access).
+    fn drained_record(job: JobId) -> JobRecord {
+        JobRecord {
+            id: job,
+            name: String::new(),
+            tag: 0,
+            submitted_at: SimTime::ZERO,
+            matched_at: SimTime::ZERO,
+            enqueued_at: SimTime::ZERO,
+            started_at: SimTime::ZERO,
+            finished_at: SimTime::ZERO,
+            delivered_at: SimTime::ZERO,
+            ce: None,
+            attempts: 0,
+            stage_in: SimDuration::ZERO,
+            compute: SimDuration::ZERO,
+            stage_out: SimDuration::ZERO,
+            outcome: JobOutcome::Success,
+        }
     }
 
     fn on_info_refresh(&mut self) {

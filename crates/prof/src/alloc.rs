@@ -1,0 +1,113 @@
+//! Opt-in counting global allocator.
+//!
+//! This is the single module in the workspace allowed to contain
+//! `unsafe` code: forwarding [`GlobalAlloc`] to the system allocator
+//! while bumping process-wide counters. Binaries opt in with the
+//! (safe) static declaration:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: moteur_prof::alloc::CountingAlloc = moteur_prof::alloc::CountingAlloc;
+//! ```
+//!
+//! When no binary installs it, every counter stays at zero and the
+//! profiler's allocation columns read 0 — deliberately, so the
+//! canonical profile JSON of the uninstrumented binaries stays
+//! deterministic. The counters are relaxed atomics: totals are exact,
+//! only inter-thread ordering is unspecified.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn note_alloc(size: usize) {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    ALLOC_BYTES.fetch_add(size as u64, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+fn note_dealloc(size: usize) {
+    // Saturating: a dealloc of memory allocated before the counters
+    // were first read must not wrap the live gauge.
+    let _ = LIVE_BYTES.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |live| {
+        Some(live.saturating_sub(size as u64))
+    });
+}
+
+/// Cumulative allocation count since process start (0 when the
+/// counting allocator is not installed).
+pub fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Cumulative allocated bytes since process start.
+pub fn allocated_bytes() -> u64 {
+    ALLOC_BYTES.load(Ordering::Relaxed)
+}
+
+/// High-water mark of live heap bytes.
+pub fn peak_bytes() -> u64 {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+/// `(allocs, allocated_bytes)` in one call — what [`crate::Prof`]
+/// snapshots at scope entry/exit.
+pub fn totals() -> (u64, u64) {
+    (allocs(), allocated_bytes())
+}
+
+/// Whether the counting allocator appears to be installed: true once
+/// any allocation has been observed. (The declaring binary allocates
+/// long before user code runs, so by `main` this is reliable.)
+pub fn installed() -> bool {
+    ALLOCS.load(Ordering::Relaxed) > 0
+}
+
+/// Counting wrapper over the system allocator. Install via
+/// `#[global_allocator]` (see module docs); construction is free.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingAlloc;
+
+// SAFETY: every method forwards verbatim to `System`, which upholds
+// the `GlobalAlloc` contract; the counter updates touch no allocator
+// state and cannot themselves allocate.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        note_dealloc(layout.size());
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc_zeroed(layout) };
+        if !ptr.is_null() {
+            note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() {
+            // Accounted as dealloc(old) + alloc(new): the cumulative
+            // counters then track total traffic, and the live gauge
+            // nets out to the size delta.
+            note_dealloc(layout.size());
+            note_alloc(new_size);
+        }
+        new_ptr
+    }
+}

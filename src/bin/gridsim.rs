@@ -10,7 +10,13 @@
 //! moteur-gridsim [--jobs N] [--compute SECS] [--seed N] [--grid egee|ideal]
 //!                [--openmetrics out.om] [--events out.jsonl] [--spans out.jsonl]
 //!                [--timeline out.json] [--timeline-csv out.csv]
+//!                [--profile out.json] [--profile-collapsed out.folded]
 //! ```
+//!
+//! `--profile` enables the deterministic self-profiler: the canonical
+//! `moteur/prof/v1` document it writes contains only call and
+//! allocation counters, so two runs with identical inputs produce
+//! byte-identical files.
 //!
 //! `--timeline` samples the same virtual-time resource series as
 //! `moteur run --timeline` (per-CE queue depth/running/utilization,
@@ -18,8 +24,8 @@
 
 use moteur_repro::gridsim::{summarize, GridConfig, GridJobSpec, GridSim, JobOutcome};
 use moteur_repro::moteur::{
-    detect_bottlenecks, render_openmetrics, EventSink, JsonlSink, MetricsSink, Obs, SpanSink,
-    TimelineSink, TraceEvent,
+    detect_bottlenecks, prof_to_json, render_openmetrics_with_prof, EventSink, JsonlSink,
+    MetricsSink, Obs, Prof, SpanSink, TimelineSink, TraceEvent,
 };
 use std::process::ExitCode;
 
@@ -43,6 +49,7 @@ fn main() -> ExitCode {
         );
         eprintln!("       [--openmetrics out.om] [--events out.jsonl] [--spans out.jsonl]");
         eprintln!("       [--timeline out.json] [--timeline-csv out.csv]");
+        eprintln!("       [--profile out.json] [--profile-collapsed out.folded]");
         return ExitCode::from(2);
     }
     let jobs: usize = match flag_value(&args, "--jobs").map(str::parse).transpose() {
@@ -98,7 +105,14 @@ fn main() -> ExitCode {
     } else {
         None
     };
-    let obs = Obs::new(sinks);
+    let profile_path = flag_value(&args, "--profile");
+    let profile_collapsed_path = flag_value(&args, "--profile-collapsed");
+    let prof = if profile_path.is_some() || profile_collapsed_path.is_some() {
+        Prof::enabled()
+    } else {
+        Prof::off()
+    };
+    let obs = Obs::new(sinks).with_prof(prof.clone());
 
     eprintln!("submitting {jobs} jobs of {compute}s to the {grid_name} grid (seed {seed})...");
     let mut sim = GridSim::new(grid, seed);
@@ -108,6 +122,10 @@ fn main() -> ExitCode {
             forward.record(&TraceEvent::from_sim(e));
         }));
     }
+    if prof.is_enabled() {
+        sim.set_prof(prof.clone());
+    }
+    sim.reserve_jobs(jobs);
     for i in 0..jobs {
         // Synthesize the enactor-level submission the span/metric
         // layers key item lifecycles on: here each grid job is its own
@@ -180,7 +198,8 @@ fn main() -> ExitCode {
         let registry = metrics.as_ref().expect("metrics sink installed");
         let tree = spans.as_ref().expect("span sink installed").snapshot();
         let guard = registry.lock().expect("metrics registry");
-        let text = render_openmetrics(&guard, Some(&tree));
+        let prof_report = prof.is_enabled().then(|| prof.report());
+        let text = render_openmetrics_with_prof(&guard, Some(&tree), prof_report.as_ref());
         drop(guard);
         match std::fs::write(path, text) {
             Ok(()) => println!("openmetrics written to {path}"),
@@ -203,6 +222,22 @@ fn main() -> ExitCode {
         }
         println!();
         print!("{}", detect_bottlenecks(&state.stats).render());
+    }
+    if prof.is_enabled() {
+        let report = prof.report();
+        if let Some(path) = profile_path {
+            match std::fs::write(path, prof_to_json(&report)) {
+                Ok(()) => println!("profile written to {path}"),
+                Err(e) => return fail(format!("writing {path}: {e}")),
+            }
+        }
+        if let Some(path) = profile_collapsed_path {
+            match std::fs::write(path, report.render_collapsed()) {
+                Ok(()) => println!("collapsed stacks written to {path}"),
+                Err(e) => return fail(format!("writing {path}: {e}")),
+            }
+        }
+        eprint!("{}", report.render_table());
     }
     ExitCode::SUCCESS
 }

@@ -18,6 +18,7 @@
 //!            [--on-timeout resubmit|replicate] [--max-replicas N]
 //!            [--blacklist-after N]
 //!            [--timeline out.json] [--timeline-csv out.csv] [--slo FACTOR]
+//!            [--profile out.json] [--profile-collapsed out.folded]
 //! moteur timeline render <timeline.json> [--heatmap METRIC] [--width N]
 //! moteur lint <workflow.xml> [--json] [--deny-warnings] [--predict]
 //! moteur validate <workflow.xml>
@@ -49,6 +50,12 @@
 //! a bottleneck attribution; `--slo FACTOR` arms a burn-rate check
 //! against the eq. 1–4 predicted makespan, emitting `slo_breached`
 //! when the projected makespan exceeds prediction × FACTOR.
+//!
+//! `--profile` enables the always-compiled self-profiler and writes the
+//! canonical `moteur/prof/v1` document (deterministic: byte-identical
+//! across processes for the same run); `--profile-collapsed` writes a
+//! collapsed-stack export loadable by inferno/flamegraph.pl. Either
+//! flag also prints the sorted hot-spot table to stderr.
 
 use moteur_repro::bench::{bronze_inputs, bronze_workflow_xml};
 use moteur_repro::gridsim::Distribution;
@@ -56,12 +63,12 @@ use moteur_repro::gridsim::GridConfig;
 use moteur_repro::moteur::lint::{explain, prediction_to_json, render_explain, LintReport};
 use moteur_repro::moteur::{
     chrome_trace_with_metrics, critical_path, detect_bottlenecks, diagram, export_provenance,
-    group_workflow, lint_workflow, plan_to_json, plan_workflow, predict, render_critical_path,
-    render_human, render_openmetrics, render_plan, render_prediction, render_report,
-    report_to_json, run_fault_tolerant, run_fault_tolerant_cached, to_dot, DataStore,
-    EnactorConfig, EventSink, FtConfig, FtPolicy, JsonlSink, MetricsSink, Obs, PlanOptions,
-    RetryPolicy, SimBackend, SloConfig, SourceSizes, SpanSink, StoreConfig, Timeline, TimelineSink,
-    TimeoutAction, TimeoutPolicy,
+    group_workflow, lint_workflow, plan_to_json, plan_workflow, predict, prof_to_json,
+    render_critical_path, render_human, render_openmetrics_with_prof, render_plan,
+    render_prediction, render_report, report_to_json, run_fault_tolerant,
+    run_fault_tolerant_cached, to_dot, DataStore, EnactorConfig, EventSink, FtConfig, FtPolicy,
+    JsonlSink, MetricsSink, Obs, PlanOptions, Prof, RetryPolicy, SimBackend, SloConfig,
+    SourceSizes, SpanSink, StoreConfig, Timeline, TimelineSink, TimeoutAction, TimeoutPolicy,
 };
 use moteur_repro::scufl::{
     lint_source, parse_input_data, parse_workflow, write_input_data, write_workflow,
@@ -98,6 +105,7 @@ fn main() -> ExitCode {
             eprintln!("      [--on-timeout resubmit|replicate] [--max-replicas N]");
             eprintln!("      [--blacklist-after N]");
             eprintln!("      [--timeline out.json] [--timeline-csv out.csv] [--slo FACTOR]");
+            eprintln!("      [--profile out.json] [--profile-collapsed out.folded]");
             eprintln!("  timeline render <timeline.json> [--heatmap METRIC] [--width N]");
             eprintln!("  lint <workflow.xml> [--json] [--deny-warnings] [--predict]");
             eprintln!("      [--ndata N] [--overhead S]");
@@ -682,7 +690,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
     } else {
         None
     };
-    let obs = Obs::new(sinks);
+    let profile_path = flag_value(args, "--profile");
+    let profile_collapsed_path = flag_value(args, "--profile-collapsed");
+    let prof = if profile_path.is_some() || profile_collapsed_path.is_some() {
+        Prof::enabled()
+    } else {
+        Prof::off()
+    };
+    let obs = Obs::new(sinks).with_prof(prof.clone());
 
     eprintln!(
         "enacting `{}` [{}] on the {} grid (seed {seed})...",
@@ -770,12 +785,29 @@ fn cmd_run(args: &[String]) -> ExitCode {
         let registry = metrics.as_ref().expect("metrics sink installed");
         let tree = spans.as_ref().expect("span sink installed").snapshot();
         let guard = registry.lock().expect("metrics registry");
-        let text = render_openmetrics(&guard, Some(&tree));
+        let prof_report = prof.is_enabled().then(|| prof.report());
+        let text = render_openmetrics_with_prof(&guard, Some(&tree), prof_report.as_ref());
         drop(guard);
         match std::fs::write(path, text) {
             Ok(()) => println!("openmetrics written to {path}"),
             Err(e) => return fail(format!("writing {path}: {e}")),
         }
+    }
+    if prof.is_enabled() {
+        let report = prof.report();
+        if let Some(path) = profile_path {
+            match std::fs::write(path, prof_to_json(&report)) {
+                Ok(()) => println!("profile written to {path}"),
+                Err(e) => return fail(format!("writing {path}: {e}")),
+            }
+        }
+        if let Some(path) = profile_collapsed_path {
+            match std::fs::write(path, report.render_collapsed()) {
+                Ok(()) => println!("collapsed stacks written to {path}"),
+                Err(e) => return fail(format!("writing {path}: {e}")),
+            }
+        }
+        eprint!("{}", report.render_table());
     }
     if let Some(state) = &timeline {
         let state = state.lock().expect("timeline state");
