@@ -74,9 +74,21 @@ cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
 cargo run --release --offline --quiet -p moteur-bench --bin moteur-bench -- \
   scale --out-dir .
 
+# Multi-tenant daemon: a 100-submission wave across four tenants of
+# one enactment daemon sharing a memo table. Fails unless every
+# submission succeeds and the wave reuses >=90% of the seed tenant's
+# derivations; writes BENCH_daemon.json, re-checked by the gate below
+# (completion, cross-tenant hit ratio, bounded p99 time-to-first-job).
+cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
+  daemon --out-dir .
+
+# The protocol self-test round-trips every moteur/daemon/v1 message
+# type through render + parse.
+cargo run --offline --quiet --bin moteur -- daemon --check-protocol
+
 cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
   gate --faults BENCH_faults.json --timeline BENCH_timeline.json \
-  --plan BENCH_plan.json --scale BENCH_scale.json
+  --plan BENCH_plan.json --scale BENCH_scale.json --daemon BENCH_daemon.json
 
 # Data manager: cold/warm pair on the deterministic chain. Fails if the
 # cold run drifts from eq. 1-4 or any warm invocation misses the cache;

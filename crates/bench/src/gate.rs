@@ -240,6 +240,67 @@ pub fn check_faults(faults_json: &str) -> Result<Vec<GateCheck>, String> {
     ])
 }
 
+/// Cross-tenant sharing bar for the daemon wave: the warm tenants must
+/// reuse at least this fraction of the seed tenant's derivations.
+pub const DAEMON_HIT_RATIO_FLOOR: f64 = 0.9;
+
+/// Admission-latency ceiling for the daemon wave, virtual seconds. The
+/// default 100-submission wave queues 24 workflows per tenant behind a
+/// 4-deep in-flight cap; with the memo table warm each admitted
+/// instance drains in a few virtual seconds of fetches, so the p99
+/// time-to-first-job measures 30 s and sits well under this bound
+/// unless admission or fair dispatch regresses.
+pub const DAEMON_TTFJ_P99_CEILING_SECS: f64 = 600.0;
+
+/// Checks over a `BENCH_daemon.json` document (schema
+/// `moteur-bench/daemon/v1`): every submission in the wave must have
+/// succeeded, the cross-tenant cache-hit ratio must clear
+/// [`DAEMON_HIT_RATIO_FLOOR`], and the p99 time-to-first-job must stay
+/// under [`DAEMON_TTFJ_P99_CEILING_SECS`].
+pub fn check_daemon(daemon_json: &str) -> Result<Vec<GateCheck>, String> {
+    let value = JsonValue::parse(daemon_json).map_err(|e| format!("daemon: {e}"))?;
+    match value.get("schema").and_then(JsonValue::as_str) {
+        Some(crate::daemon::DAEMON_BENCH_SCHEMA) => {}
+        Some(other) => {
+            return Err(format!(
+                "daemon: schema `{other}`, expected `{}`",
+                crate::daemon::DAEMON_BENCH_SCHEMA
+            ))
+        }
+        None => return Err("daemon: missing schema tag".to_string()),
+    }
+    let num = |field: &str| -> Result<f64, String> {
+        value
+            .get(field)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("daemon: missing `{field}`"))
+    };
+    let n_workflows = num("n_workflows")?;
+    let succeeded = num("succeeded")?;
+    let hit_ratio = num("cross_tenant_hit_ratio")?;
+    let ttfj_p99 = num("ttfj_p99_secs")?;
+    Ok(vec![
+        GateCheck {
+            what: "daemon/completed".to_string(),
+            baseline: n_workflows,
+            current: succeeded,
+            ok: succeeded == n_workflows,
+        },
+        GateCheck {
+            what: "daemon/cross_tenant_hit_ratio".to_string(),
+            baseline: DAEMON_HIT_RATIO_FLOOR,
+            current: hit_ratio,
+            ok: hit_ratio >= DAEMON_HIT_RATIO_FLOOR,
+        },
+        GateCheck {
+            what: "daemon/ttfj_p99_secs".to_string(),
+            baseline: DAEMON_TTFJ_P99_CEILING_SECS,
+            current: ttfj_p99,
+            ok: ttfj_p99 <= DAEMON_TTFJ_P99_CEILING_SECS,
+        },
+    ])
+}
+
 /// Checks over a `BENCH_timeline.json` document (schema
 /// `moteur-bench/timeline/v1`): the ideal-grid byte accounting must
 /// reconcile (timeline link-byte totals == the enactor's
@@ -565,6 +626,49 @@ mod tests {
 
         assert!(check_faults("{\"schema\":\"other/v1\"}").is_err());
         assert!(check_faults("{").is_err());
+    }
+
+    #[test]
+    fn daemon_gate_requires_completion_sharing_and_bounded_admission() {
+        let report = crate::daemon::DaemonReport {
+            n_workflows: 100,
+            n_tenants: 4,
+            n_data: 2,
+            succeeded: 100,
+            wall_secs: 0.5,
+            workflows_per_sec: 200.0,
+            ttfj_p50_secs: 0.0,
+            ttfj_p99_secs: 120.0,
+            seed_jobs: 10,
+            cross_tenant_hits: 500,
+            cross_tenant_misses: 0,
+            store_entries: 10,
+            tenants: Vec::new(),
+        };
+        let json = crate::daemon::render_daemon_json(&report);
+        let checks = check_daemon(&json).unwrap();
+        assert_eq!(checks.len(), 3);
+        assert!(checks.iter().all(|c| c.ok), "{checks:?}");
+
+        // A lost workflow trips the completion check …
+        let lossy = json.replacen("\"succeeded\":100", "\"succeeded\":99", 1);
+        let checks = check_daemon(&lossy).unwrap();
+        assert!(!checks[0].ok, "{checks:?}");
+        // … recomputation trips the sharing floor …
+        let cold = json.replacen(
+            "\"cross_tenant_hit_ratio\":1",
+            "\"cross_tenant_hit_ratio\":0.5",
+            1,
+        );
+        let checks = check_daemon(&cold).unwrap();
+        assert!(!checks[1].ok, "{checks:?}");
+        // … and a starved submission trips the admission ceiling.
+        let starved = json.replacen("\"ttfj_p99_secs\":120", "\"ttfj_p99_secs\":1e9", 1);
+        let checks = check_daemon(&starved).unwrap();
+        assert!(!checks[2].ok, "{checks:?}");
+
+        assert!(check_daemon("{\"schema\":\"other/v1\"}").is_err());
+        assert!(check_daemon("{").is_err());
     }
 
     #[test]

@@ -37,6 +37,11 @@
 //! bytes and the bottleneck verdict to `BENCH_timeline.json`
 //! ([`timeline`]).
 //!
+//! `moteur-bench daemon` drives the multi-tenant enactment daemon
+//! through a concurrent submission wave against one shared memo table
+//! and writes sustained throughput, time-to-first-job percentiles and
+//! the cross-tenant cache-hit ratio to `BENCH_daemon.json` ([`daemon`]).
+//!
 //! `moteur-bench scale` drives the simulator through a million events
 //! and the enactor through ten thousand jobs with the self-profiler
 //! attached, and writes host throughput, allocation rates and
@@ -44,6 +49,7 @@
 
 pub mod bronze;
 pub mod campaign;
+pub mod daemon;
 pub mod faults;
 pub mod gate;
 pub mod plan;
@@ -57,6 +63,10 @@ pub use bronze::{
     bronze_workflow, bronze_workflow_xml, IMAGE_BYTES,
 };
 pub use campaign::{run_campaign, run_point, CampaignPoint, PAPER_SIZES, QUICK_SIZES};
+pub use daemon::{
+    render_daemon, render_daemon_json, run_daemon_campaign, DaemonReport, TenantRow,
+    DAEMON_BENCH_SCHEMA,
+};
 pub use faults::{
     render_faults, render_faults_json, run_faults, FaultStrategy, FaultsReport, FaultsSpec,
     StrategyOutcome, FAULTS_SCHEMA,

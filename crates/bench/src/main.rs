@@ -8,7 +8,7 @@
 //!                       [--out-dir DIR]
 //! moteur-bench gate [--summary PATH] [--baseline PATH] [--threshold FRAC]
 //!                   [--faults PATH] [--timeline PATH] [--plan PATH]
-//!                   [--scale PATH] [--scale-baseline PATH]
+//!                   [--scale PATH] [--scale-baseline PATH] [--daemon PATH]
 //! moteur-bench warm [--ndata N] [--seed N] [--out-dir DIR]
 //! moteur-bench faults [--ndata N] [--seed N] [--repeats R]
 //!                     [--failure-probability P] [--out-dir DIR]
@@ -16,6 +16,8 @@
 //!                       [--out-dir DIR]
 //! moteur-bench plan [--ndata N] [--seed N] [--out-dir DIR]
 //! moteur-bench scale [--events N] [--jobs N] [--seed N] [--out-dir DIR]
+//! moteur-bench daemon [--workflows N] [--tenants N] [--ndata N]
+//!                     [--out-dir DIR]
 //! ```
 //!
 //! `campaign` runs the six Table-1 configurations over the sweep and
@@ -39,15 +41,23 @@
 //! `BENCH_plan.json`, exiting non-zero unless every interval contains
 //! the observed bytes and the site partition beats centralized routing
 //! on the data-heavy bronze variant.
+//! `daemon` submits a concurrent wave of identical Bronze-Standard
+//! chains across several tenants of one enactment daemon sharing a
+//! memo table, and writes throughput, time-to-first-job percentiles
+//! and the cross-tenant cache-hit ratio to `BENCH_daemon.json`,
+//! exiting non-zero unless every submission succeeds and the wave
+//! reuses ≥ 90% of the seed tenant's derivations.
 //! `scale` pushes the simulator through a million events and the
 //! enactor through ten thousand jobs with the self-profiler attached
 //! and writes `BENCH_scale.json` (throughput, allocations per event,
 //! peak live bytes, per-subsystem wall shares), exiting non-zero when
 //! a target is missed or the allocation budget is blown.
 
+use moteur_bench::daemon::{render_daemon, render_daemon_json, run_daemon_campaign};
 use moteur_bench::faults::{render_faults, render_faults_json, run_faults, FaultsSpec};
 use moteur_bench::gate::{
-    check_faults, check_gate, check_plan, check_scale, check_timeline, DEFAULT_THRESHOLD,
+    check_daemon, check_faults, check_gate, check_plan, check_scale, check_timeline,
+    DEFAULT_THRESHOLD,
 };
 use moteur_bench::plan::{render_plan_bench, render_plan_bench_json, run_plan_bench, PlanSpec};
 use moteur_bench::scale::{render_scale, render_scale_json, run_scale, ScaleSpec};
@@ -84,7 +94,7 @@ fn usage() -> ExitCode {
     eprintln!("                    [--overhead SECS] [--tolerance FRAC] [--out-dir DIR]");
     eprintln!("       moteur-bench gate [--summary PATH] [--baseline PATH] [--threshold FRAC]");
     eprintln!("                    [--faults PATH] [--timeline PATH] [--plan PATH]");
-    eprintln!("                    [--scale PATH] [--scale-baseline PATH]");
+    eprintln!("                    [--scale PATH] [--scale-baseline PATH] [--daemon PATH]");
     eprintln!("       moteur-bench warm [--ndata N] [--seed N] [--out-dir DIR]");
     eprintln!("       moteur-bench faults [--ndata N] [--seed N] [--repeats R]");
     eprintln!("                    [--failure-probability P] [--out-dir DIR]");
@@ -92,6 +102,8 @@ fn usage() -> ExitCode {
     eprintln!("                    [--out-dir DIR]");
     eprintln!("       moteur-bench plan [--ndata N] [--seed N] [--out-dir DIR]");
     eprintln!("       moteur-bench scale [--events N] [--jobs N] [--seed N] [--out-dir DIR]");
+    eprintln!("       moteur-bench daemon [--workflows N] [--tenants N] [--ndata N]");
+    eprintln!("                    [--out-dir DIR]");
     eprintln!();
     eprintln!("env: MOTEUR_BENCH_UPDATE_BASELINE=1  rewrite the gate baseline and pass");
     ExitCode::from(2)
@@ -270,6 +282,18 @@ fn cmd_gate(args: &[String]) -> ExitCode {
         },
         Err(_) if implicit => {}
         Err(e) => return fail(format!("reading {plan_path}: {e}")),
+    }
+    // And for the daemon wave.
+    let daemon_path = flag_value(args, "--daemon");
+    let implicit = daemon_path.is_none();
+    let daemon_path = daemon_path.unwrap_or("BENCH_daemon.json");
+    match std::fs::read_to_string(daemon_path) {
+        Ok(json) => match check_daemon(&json) {
+            Ok(mut checks) => report.checks.append(&mut checks),
+            Err(e) => return fail(e),
+        },
+        Err(_) if implicit => {}
+        Err(e) => return fail(format!("reading {daemon_path}: {e}")),
     }
     // And for the scale campaign, with its own committed baseline for
     // the deterministic allocation axes.
@@ -504,6 +528,45 @@ fn cmd_scale(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_daemon(args: &[String]) -> ExitCode {
+    let n_workflows: usize = match flag_value(args, "--workflows").map(str::parse).transpose() {
+        Ok(Some(v)) if v > 0 => v,
+        Ok(Some(_)) | Err(_) => return fail("--workflows needs a positive integer"),
+        Ok(None) => 100,
+    };
+    let n_tenants: usize = match flag_value(args, "--tenants").map(str::parse).transpose() {
+        Ok(Some(v)) if v > 0 => v,
+        Ok(Some(_)) | Err(_) => return fail("--tenants needs a positive integer"),
+        Ok(None) => 4,
+    };
+    let n_data: usize = match flag_value(args, "--ndata").map(str::parse).transpose() {
+        Ok(Some(v)) if v > 0 => v,
+        Ok(Some(_)) | Err(_) => return fail("--ndata needs a positive integer"),
+        Ok(None) => 2,
+    };
+    let out_dir = Path::new(flag_value(args, "--out-dir").unwrap_or("."));
+
+    eprintln!(
+        "daemon wave: {n_workflows} bronze-chain submissions across {n_tenants} tenants (n_data {n_data})..."
+    );
+    let report = match run_daemon_campaign(n_workflows, n_tenants, n_data) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    print!("{}", render_daemon(&report));
+    let path = out_dir.join("BENCH_daemon.json");
+    if let Err(e) = std::fs::write(&path, render_daemon_json(&report) + "\n") {
+        return fail(format!("writing {}: {e}", path.display()));
+    }
+    println!("wrote {}", path.display());
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("moteur-bench: daemon wave failed (incomplete or cross-tenant reuse below 90%)");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -514,6 +577,7 @@ fn main() -> ExitCode {
         Some("timeline") => cmd_timeline(&args[1..]),
         Some("plan") => cmd_plan(&args[1..]),
         Some("scale") => cmd_scale(&args[1..]),
+        Some("daemon") => cmd_daemon(&args[1..]),
         _ => usage(),
     }
 }

@@ -507,6 +507,99 @@ impl Backend for LocalBackend {
     }
 }
 
+// ---------------------------------------------------------------------
+// ScopedBackend
+// ---------------------------------------------------------------------
+
+/// A per-instance view of a shared backend, used by the enactment
+/// daemon to multiplex many [`crate::WorkflowInstance`]s over one
+/// backend. Every invocation tag submitted through the view is offset
+/// into a disjoint namespace — `instance << 32 | local_tag` — so job
+/// routing, timeout cancellation and abort-drain from one instance can
+/// never reach a sibling's jobs. The daemon waits on the *raw* backend
+/// and uses [`ScopedBackend::instance_of`] to route each completion to
+/// its owner, then [`ScopedBackend::local_tag`] to restore the tag the
+/// instance knows.
+pub struct ScopedBackend<'a> {
+    inner: &'a mut dyn Backend,
+    base: u64,
+}
+
+impl std::fmt::Debug for ScopedBackend<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScopedBackend")
+            .field("instance", &(self.base >> 32))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> ScopedBackend<'a> {
+    /// Wrap `inner`, namespacing every tag under `instance`.
+    pub fn new(inner: &'a mut dyn Backend, instance: u32) -> Self {
+        ScopedBackend {
+            inner,
+            base: u64::from(instance) << 32,
+        }
+    }
+
+    /// Which instance a raw (namespaced) tag belongs to.
+    pub fn instance_of(tag: u64) -> u32 {
+        (tag >> 32) as u32
+    }
+
+    /// The instance-local tag inside a raw (namespaced) tag.
+    pub fn local_tag(tag: u64) -> u64 {
+        tag & 0xFFFF_FFFF
+    }
+
+    fn strip(&self, mut c: BackendCompletion) -> BackendCompletion {
+        debug_assert_eq!(
+            c.invocation.0 & !0xFFFF_FFFF,
+            self.base,
+            "completion crossed an instance boundary through a scoped wait"
+        );
+        c.invocation = InvocationId(Self::local_tag(c.invocation.0));
+        c
+    }
+}
+
+impl Backend for ScopedBackend<'_> {
+    fn submit(&mut self, mut job: BackendJob) {
+        debug_assert!(
+            job.invocation.0 <= 0xFFFF_FFFF,
+            "instance-local tag {} overflows the 32-bit namespace",
+            job.invocation.0
+        );
+        job.invocation = InvocationId(self.base | job.invocation.0);
+        self.inner.submit(job);
+    }
+
+    /// Only meaningful while this instance's jobs are the only ones in
+    /// flight (the one-shot path); the daemon waits on the raw backend.
+    fn wait_next(&mut self) -> Option<BackendCompletion> {
+        self.inner.wait_next().map(|c| self.strip(c))
+    }
+
+    fn wait_next_until(&mut self, deadline: SimTime) -> WaitOutcome {
+        match self.inner.wait_next_until(deadline) {
+            WaitOutcome::Completion(c) => WaitOutcome::Completion(self.strip(c)),
+            WaitOutcome::TimedOut => WaitOutcome::TimedOut,
+        }
+    }
+
+    fn cancel(&mut self, invocation: InvocationId) -> bool {
+        self.inner.cancel(InvocationId(self.base | invocation.0))
+    }
+
+    fn blacklist_ce(&mut self, ce: usize, blocked: bool) {
+        self.inner.blacklist_ce(ce, blocked);
+    }
+
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -675,6 +768,39 @@ mod tests {
         b.submit(grid_job(1, 60.0));
         let c = b.wait_next().unwrap();
         assert!(c.ce.is_some(), "grid jobs ran somewhere: {c:?}");
+    }
+
+    #[test]
+    fn scoped_backend_namespaces_tags_and_round_trips_completions() {
+        let mut raw = VirtualBackend::new();
+        {
+            let mut scoped = ScopedBackend::new(&mut raw, 3);
+            scoped.submit(grid_job(7, 10.0));
+        }
+        // The raw backend sees the namespaced tag…
+        let c = raw.wait_next().unwrap();
+        assert_eq!(c.invocation.0, (3u64 << 32) | 7);
+        assert_eq!(ScopedBackend::instance_of(c.invocation.0), 3);
+        assert_eq!(ScopedBackend::local_tag(c.invocation.0), 7);
+        // …and a scoped wait strips it back to the local tag.
+        let mut scoped = ScopedBackend::new(&mut raw, 3);
+        scoped.submit(grid_job(7, 5.0));
+        let c = scoped.wait_next().unwrap();
+        assert_eq!(c.invocation, InvocationId(7));
+    }
+
+    #[test]
+    fn scoped_backend_cancel_cannot_reach_a_sibling_instance() {
+        let mut raw = VirtualBackend::new();
+        ScopedBackend::new(&mut raw, 1).submit(grid_job(7, 10.0));
+        ScopedBackend::new(&mut raw, 2).submit(grid_job(7, 20.0));
+        // Instance 1 cancels its own tag 7; instance 2's tag 7 survives.
+        assert!(ScopedBackend::new(&mut raw, 1).cancel(InvocationId(7)));
+        let c = raw.wait_next().unwrap();
+        assert_eq!(ScopedBackend::instance_of(c.invocation.0), 2);
+        assert!(raw.wait_next().is_none());
+        // Cancelling a tag the instance never submitted is a no-op.
+        assert!(!ScopedBackend::new(&mut raw, 1).cancel(InvocationId(99)));
     }
 
     #[test]

@@ -111,6 +111,20 @@ impl EnactorConfig {
         }
     }
 
+    /// Resolve a preset by its CLI / protocol label (`nop`, `jg`, `sp`,
+    /// `dp`, `sp+dp`, `sp+dp+jg`); `None` for an unknown label.
+    pub fn preset(label: &str) -> Option<Self> {
+        match label {
+            "nop" => Some(Self::nop()),
+            "jg" => Some(Self::jg()),
+            "sp" => Some(Self::sp()),
+            "dp" => Some(Self::dp()),
+            "sp+dp" => Some(Self::sp_dp()),
+            "sp+dp+jg" => Some(Self::sp_dp_jg()),
+            _ => None,
+        }
+    }
+
     /// SP + DP + JG — everything on.
     pub fn sp_dp_jg() -> Self {
         EnactorConfig {

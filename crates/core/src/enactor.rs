@@ -175,33 +175,47 @@ fn run_ft_inner<B: Backend>(
     obs: Obs,
     store: Option<&mut DataStore>,
 ) -> Result<WorkflowResult, MoteurError> {
-    if config.preflight {
-        // Error-severity lint findings are exactly the structural
-        // conditions under which enactment would panic, deadlock or
-        // silently drop data — refuse them up front with a typed error
-        // instead. Run on the pre-grouping workflow so findings carry
-        // the source spans of the workflow the user wrote.
-        let findings = crate::lint::lint_errors(workflow);
-        if !findings.is_empty() {
-            let summary = findings
-                .diagnostics
-                .iter()
-                .map(|d| format!("[{}] {}", d.code, d.message))
-                .collect::<Vec<_>>()
-                .join("; ");
-            return Err(MoteurError::lint(findings.errors(), summary));
-        }
+    let mut ctx = EnactCtx { backend, store };
+    let mut instance = WorkflowInstance::start(workflow, inputs, config, ft, &mut ctx, obs)?;
+    instance.event_loop(&mut ctx)?;
+    let now = ctx.backend.now();
+    instance.finish(now)
+}
+
+/// The mutable environment a [`WorkflowInstance`] steps against: the
+/// execution backend and (optionally) the provenance-keyed data
+/// manager. Borrowed per call rather than owned by the instance so a
+/// daemon can share one backend and one memo table across many live
+/// instances — each step reborrows them for exactly its duration.
+///
+/// `B` stays generic (instead of `dyn Backend`) so the one-shot entry
+/// points keep their statically dispatched hot path; a multiplexer
+/// that needs erasure can instantiate it with a concrete adapter such
+/// as [`crate::backend::ScopedBackend`].
+pub struct EnactCtx<'b, B: Backend + ?Sized> {
+    /// Where fired invocations run.
+    pub backend: &'b mut B,
+    /// Provenance-keyed data manager; `None` → memoization disabled.
+    pub store: Option<&'b mut DataStore>,
+}
+
+impl<B: Backend + ?Sized> std::fmt::Debug for EnactCtx<'_, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnactCtx")
+            .field("store", &self.store.as_deref().map(DataStore::stats))
+            .finish_non_exhaustive()
     }
-    let workflow = if config.job_grouping {
-        crate::grouping::group_workflow(workflow)?
-    } else {
-        workflow.clone()
-    };
-    workflow.validate()?;
-    let mut enactor = Enactor::new(&workflow, config, ft, backend, obs, store);
-    enactor.emit_sources(inputs)?;
-    enactor.event_loop()?;
-    enactor.finish()
+}
+
+impl std::fmt::Debug for WorkflowInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkflowInstance")
+            .field("workflow", &self.workflow.name)
+            .field("inflight", &self.inflight_total)
+            .field("jobs_submitted", &self.jobs_submitted)
+            .field("completed", &self.completed)
+            .finish_non_exhaustive()
+    }
 }
 
 struct ProcState {
@@ -249,11 +263,20 @@ struct PendingJob {
     replicas: u32,
 }
 
-struct Enactor<'a, B: Backend> {
-    workflow: &'a Workflow,
+/// A resumable workflow enactment: the paper's event loop broken into
+/// cooperative steps so a daemon can multiplex many live instances
+/// over one shared backend and one shared data manager.
+///
+/// An instance owns its (post-grouping) workflow and all per-run
+/// state, but **not** the backend or the store — those are borrowed
+/// per step through an [`EnactCtx`], which is what lets N instances
+/// share them. The one-shot entry points ([`run`] and friends) are
+/// now a single-instance session: [`WorkflowInstance::start`], the
+/// same wait loop, [`WorkflowInstance::finish`].
+pub struct WorkflowInstance {
+    workflow: Workflow,
     config: EnactorConfig,
     ft: FtConfig,
-    backend: &'a mut B,
     catalog: Catalog,
     rng: Rng,
     states: Vec<ProcState>,
@@ -277,8 +300,6 @@ struct Enactor<'a, B: Backend> {
     records: Vec<InvocationRecord>,
     start_time: SimTime,
     obs: Obs,
-    /// Provenance-keyed data manager; `None` → memoization disabled.
-    store: Option<&'a mut DataStore>,
     /// Memoized history-tree serialisations shared by every probe and
     /// insert of this run: `provenance_key` renders each distinct tree
     /// once instead of once per call.
@@ -321,14 +342,140 @@ enum CacheProbe {
     Miss(InvocationKey),
 }
 
-impl<'a, B: Backend> Enactor<'a, B> {
-    fn new(
-        workflow: &'a Workflow,
+impl WorkflowInstance {
+    /// Prepare a resumable instance: preflight lint, job grouping,
+    /// graph validation and source-token emission — everything the
+    /// one-shot entry points do before their first backend wait.
+    ///
+    /// The returned instance holds no backend or store borrow; step it
+    /// with [`WorkflowInstance::pump`], [`WorkflowInstance::deliver`]
+    /// and [`WorkflowInstance::on_timer`] against any [`EnactCtx`],
+    /// then close it with [`WorkflowInstance::finish`] (or
+    /// [`WorkflowInstance::abort`]).
+    pub fn start<B: Backend + ?Sized>(
+        workflow: &Workflow,
+        inputs: &InputData,
         config: EnactorConfig,
         ft: FtConfig,
-        backend: &'a mut B,
+        ctx: &mut EnactCtx<'_, B>,
         obs: Obs,
-        store: Option<&'a mut DataStore>,
+    ) -> Result<Self, MoteurError> {
+        if config.preflight {
+            // Error-severity lint findings are exactly the structural
+            // conditions under which enactment would panic, deadlock or
+            // silently drop data — refuse them up front with a typed
+            // error instead. Run on the pre-grouping workflow so
+            // findings carry the source spans of the workflow the user
+            // wrote.
+            let findings = crate::lint::lint_errors(workflow);
+            if !findings.is_empty() {
+                let summary = findings
+                    .diagnostics
+                    .iter()
+                    .map(|d| format!("[{}] {}", d.code, d.message))
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                return Err(MoteurError::lint(findings.errors(), summary));
+            }
+        }
+        let workflow = if config.job_grouping {
+            crate::grouping::group_workflow(workflow)?
+        } else {
+            workflow.clone()
+        };
+        workflow.validate()?;
+        let mut instance = Self::new(workflow, config, ft, ctx, obs);
+        instance.emit_sources(inputs, ctx)?;
+        Ok(instance)
+    }
+
+    /// Advance the instance without waiting: fire every ready
+    /// invocation the configuration (and `budget`) permits, then
+    /// resubmit any backoff-deferred work that has come due. Returns
+    /// how many invocations were dispatched to the backend.
+    pub fn pump_budgeted<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+        budget: Option<usize>,
+    ) -> Result<usize, MoteurError> {
+        let fired = self.fire_phase_budgeted(ctx, budget)?;
+        self.service_deferred(ctx)?;
+        Ok(fired)
+    }
+
+    /// [`WorkflowInstance::pump_budgeted`] without a budget: fire to
+    /// fixpoint, exactly one iteration of the one-shot event loop's
+    /// firing half.
+    pub fn pump<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+    ) -> Result<usize, MoteurError> {
+        self.pump_budgeted(ctx, None)
+    }
+
+    /// Deliver one backend completion addressed to this instance. On
+    /// error the workflow has terminally failed; the caller must
+    /// [`WorkflowInstance::abort`] it so no backend job is left behind.
+    pub fn deliver<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+        completion: BackendCompletion,
+    ) -> Result<(), MoteurError> {
+        self.handle_completion(ctx, completion)
+    }
+
+    /// Act on every pending invocation whose timeout window has
+    /// expired and every backoff deferral that has come due at the
+    /// backend clock. Call after a backend wait timed out at
+    /// [`WorkflowInstance::next_wake`].
+    pub fn on_timer<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+    ) -> Result<(), MoteurError> {
+        self.handle_timeouts(ctx)
+    }
+
+    /// Cancel every in-flight attempt of this instance at the backend
+    /// and drop its backoff queue. Through a
+    /// [`crate::backend::ScopedBackend`] this retracts only the
+    /// instance's own attempt tags — sibling instances sharing the
+    /// underlying backend are untouched.
+    pub fn abort<B: Backend + ?Sized>(&mut self, ctx: &mut EnactCtx<'_, B>) {
+        self.drain_pending(ctx);
+    }
+
+    /// Logical invocations currently in flight (running at the
+    /// backend or waiting in the backoff queue).
+    pub fn inflight(&self) -> usize {
+        self.inflight_total
+    }
+
+    /// Backend jobs submitted so far (cache replays excluded).
+    pub fn jobs_submitted(&self) -> usize {
+        self.jobs_submitted
+    }
+
+    /// Successfully completed logical invocations so far.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Data items quarantined under `continue_on_error` so far.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// Name of the (post-grouping) workflow this instance enacts.
+    pub fn workflow_name(&self) -> &str {
+        &self.workflow.name
+    }
+
+    fn new<B: Backend + ?Sized>(
+        workflow: Workflow,
+        config: EnactorConfig,
+        ft: FtConfig,
+        ctx: &mut EnactCtx<'_, B>,
+        obs: Obs,
     ) -> Self {
         let states = workflow
             .processors
@@ -355,7 +502,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
                         .any(|l| l.from.proc.0 == v && l.to.proc.0 == v)
             })
             .collect();
-        let digests = if store.is_some() {
+        let digests = if ctx.store.is_some() {
             workflow
                 .processors
                 .iter()
@@ -377,14 +524,13 @@ impl<'a, B: Backend> Enactor<'a, B> {
         } else {
             vec![None; workflow.processors.len()]
         };
-        let start_time = backend.now();
+        let start_time = ctx.backend.now();
         let n_procs = workflow.processors.len();
-        Enactor {
+        WorkflowInstance {
             workflow,
             config,
             ft,
             rng: Rng::new(config.seed ^ 0x4D4F_5445_5552), // "MOTEUR"
-            backend,
             catalog: Catalog::new(),
             states,
             scc_ids,
@@ -400,7 +546,6 @@ impl<'a, B: Backend> Enactor<'a, B> {
             records: Vec::new(),
             start_time,
             obs,
-            store,
             history_xml: HistoryXmlCache::new(),
             digests,
             attempt_of: HashMap::new(),
@@ -418,11 +563,16 @@ impl<'a, B: Backend> Enactor<'a, B> {
     /// An invocation is memoizable when the processor has a
     /// deterministic service digest and every matched input token has a
     /// provenance key (no [`DataValue::Opaque`] anywhere in its value).
-    fn probe_cache(&mut self, proc: ProcId, matched: &MatchedSet) -> CacheProbe {
+    fn probe_cache<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+        proc: ProcId,
+        matched: &MatchedSet,
+    ) -> CacheProbe {
         let Some(digest) = self.digests[proc.0] else {
             return CacheProbe::Uncached;
         };
-        if self.store.is_none() {
+        if ctx.store.is_none() {
             return CacheProbe::Uncached;
         }
         let prof = self.obs.prof().clone();
@@ -439,7 +589,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 }
             }
         }
-        let store = self.store.as_deref_mut().expect("checked above");
+        let store = ctx.store.as_deref_mut().expect("checked above");
         let key = invocation_key(&self.workflow.processors[proc.0].name, digest, &pkeys);
         let _prof = prof.scope(Subsystem::StoreIo);
         match store.lookup(key) {
@@ -460,8 +610,9 @@ impl<'a, B: Backend> Enactor<'a, B> {
     /// pure transfer fetching the memoized outputs from the store.
     /// Deliberately does **not** count towards `jobs_submitted` and
     /// emits [`TraceEvent::CacheHit`] instead of `JobSubmitted`.
-    fn submit_cached(
+    fn submit_cached<B: Backend + ?Sized>(
         &mut self,
+        ctx: &mut EnactCtx<'_, B>,
         proc: ProcId,
         entries: Vec<PendEntry>,
         invocation: InvocationId,
@@ -472,7 +623,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
             processor: self.workflow.processors[proc.0].name.clone(),
             payload: JobPayload::Fetch { transfer_seconds },
         };
-        let submitted = self.backend.now();
+        let submitted = ctx.backend.now();
         let n_outputs = entries
             .iter()
             .map(|e| e.grid_outputs.as_ref().map_or(0, Vec::len))
@@ -484,7 +635,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
             outputs: n_outputs,
             transfer_seconds,
         });
-        self.backend.submit(job.clone());
+        ctx.backend.submit(job.clone());
         self.pending.insert(
             invocation.0,
             PendingJob {
@@ -502,11 +653,15 @@ impl<'a, B: Backend> Enactor<'a, B> {
         );
         self.states[proc.0].inflight += 1;
         self.inflight_total += 1;
-        self.emit_gauges();
+        self.emit_gauges(ctx);
         Ok(())
     }
 
-    fn emit_sources(&mut self, inputs: &InputData) -> Result<(), MoteurError> {
+    fn emit_sources<B: Backend + ?Sized>(
+        &mut self,
+        inputs: &InputData,
+        ctx: &mut EnactCtx<'_, B>,
+    ) -> Result<(), MoteurError> {
         for src in self.workflow.sources() {
             let name = self.workflow.processor(src).name.clone();
             let values = inputs
@@ -515,47 +670,58 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 .to_vec();
             for (j, value) in values.into_iter().enumerate() {
                 let token = Token::from_source(&name, j as u32, value);
-                self.route(src, 0, token);
+                self.route(ctx, src, 0, token);
             }
         }
         Ok(())
     }
 
-    fn event_loop(&mut self) -> Result<(), MoteurError> {
+    fn event_loop<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+    ) -> Result<(), MoteurError> {
         let prof = self.obs.prof().clone();
         let _prof = prof.scope(Subsystem::EnactorLoop);
-        let result = self.event_loop_inner();
+        let result = self.event_loop_inner(ctx);
         if result.is_err() {
             // A workflow abort must not abandon in-flight invocations:
             // cancel their backend jobs and close their spans before
             // the error propagates.
-            self.drain_pending();
+            self.drain_pending(ctx);
         }
         result
     }
 
-    fn event_loop_inner(&mut self) -> Result<(), MoteurError> {
+    fn event_loop_inner<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+    ) -> Result<(), MoteurError> {
         loop {
-            self.fire_phase()?;
+            self.fire_phase(ctx)?;
             if self.inflight_total == 0 {
                 break;
             }
-            self.service_deferred()?;
+            self.service_deferred(ctx)?;
             match self.next_wake() {
                 None => {
-                    let completion = self
+                    let completion = ctx
                         .backend
                         .wait_next()
                         .ok_or_else(|| MoteurError::new("backend starved with jobs in flight"))?;
-                    self.handle_completion(completion)?;
+                    self.handle_completion(ctx, completion)?;
                 }
-                Some(deadline) => match self.backend.wait_next_until(deadline) {
-                    WaitOutcome::Completion(c) => self.handle_completion(c)?,
-                    WaitOutcome::TimedOut => self.handle_timeouts()?,
+                Some(deadline) => match ctx.backend.wait_next_until(deadline) {
+                    WaitOutcome::Completion(c) => self.handle_completion(ctx, c)?,
+                    WaitOutcome::TimedOut => self.handle_timeouts(ctx)?,
                 },
             }
         }
-        // Post-conditions: nothing runnable may be left behind.
+        self.deadlock_check()
+    }
+
+    /// The one-shot loop's post-conditions: nothing runnable may be
+    /// left behind once the instance reports itself idle.
+    fn deadlock_check(&self) -> Result<(), MoteurError> {
         for (i, st) in self.states.iter().enumerate() {
             let p = &self.workflow.processors[i];
             if !st.ready.is_empty() {
@@ -575,10 +741,17 @@ impl<'a, B: Backend> Enactor<'a, B> {
         Ok(())
     }
 
-    fn finish(self) -> Result<WorkflowResult, MoteurError> {
+    /// Consume an idle instance and produce its [`WorkflowResult`].
+    ///
+    /// `now` is the backend clock at completion (the instance holds no
+    /// backend borrow, so the caller supplies it). Fails with the same
+    /// deadlock post-conditions the one-shot event loop enforces when
+    /// runnable work was left behind.
+    pub fn finish(self, now: SimTime) -> Result<WorkflowResult, MoteurError> {
+        self.deadlock_check()?;
         Ok(WorkflowResult {
             sink_outputs: self.sink_outputs,
-            makespan: self.backend.now().since(self.start_time),
+            makespan: now.since(self.start_time),
             invocations: self.records,
             jobs_submitted: self.jobs_submitted,
             bytes_transferred: self.bytes_transferred,
@@ -590,7 +763,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
     /// machinery becomes actionable: a pending invocation's timeout
     /// deadline or a backoff-deferred resubmission's due time. `None`
     /// when only completions can move the workflow forward.
-    fn next_wake(&self) -> Option<SimTime> {
+    pub fn next_wake(&self) -> Option<SimTime> {
         let mut wake: Option<SimTime> = None;
         for p in self.pending.values() {
             if let Some(d) = self.deadline_of(p) {
@@ -626,11 +799,17 @@ impl<'a, B: Backend> Enactor<'a, B> {
     }
 
     /// Deliver a token to every input port linked to `(proc, out_port)`.
-    fn route(&mut self, proc: ProcId, out_port: usize, token: Token) {
+    fn route<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+        proc: ProcId,
+        out_port: usize,
+        token: Token,
+    ) {
         self.obs.emit(|| {
             let producer = &self.workflow.processors[proc.0];
             TraceEvent::TokenEmitted {
-                at: self.backend.now(),
+                at: ctx.backend.now(),
                 processor: producer.name.clone(),
                 port: producer.outputs.get(out_port).cloned().unwrap_or_default(),
                 index: token.index.to_string(),
@@ -660,7 +839,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
                     if self.obs.enabled() {
                         for m in &matches {
                             self.obs.record(&TraceEvent::MatchFired {
-                                at: self.backend.now(),
+                                at: ctx.backend.now(),
                                 processor: target.name.clone(),
                                 index: m.index.to_string(),
                                 inputs: m.tokens.len(),
@@ -678,10 +857,31 @@ impl<'a, B: Backend> Enactor<'a, B> {
     }
 
     /// Fire everything the configuration permits, to fixpoint.
-    fn fire_phase(&mut self) -> Result<(), MoteurError> {
+    fn fire_phase<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+    ) -> Result<usize, MoteurError> {
+        self.fire_phase_budgeted(ctx, None)
+    }
+
+    /// [`WorkflowInstance::fire_phase`] with an optional submission
+    /// budget — the daemon's weighted fair-share quantum. With a
+    /// budget of `Some(b)` at most `b` invocations are dispatched
+    /// before returning; `None` fires to fixpoint (the one-shot
+    /// behaviour, byte-identical traces included). Returns how many
+    /// invocations were dispatched.
+    fn fire_phase_budgeted<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+        budget: Option<usize>,
+    ) -> Result<usize, MoteurError> {
         let prof = self.obs.prof().clone();
         let _prof = prof.scope(Subsystem::Fire);
+        let mut dispatched = 0usize;
         loop {
+            if budget.is_some_and(|b| dispatched >= b) {
+                return Ok(dispatched);
+            }
             let exhausted = self.compute_exhausted();
             let mut fired = false;
             for p in 0..self.workflow.processors.len() {
@@ -689,34 +889,42 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 if proc.kind != ProcessorKind::Service {
                     continue;
                 }
-                if proc.synchronization {
+                // `workflow` is owned now, so `proc` cannot outlive a
+                // `&mut self` call: hoist what the firing loop needs.
+                let synchronization = proc.synchronization;
+                let local_binding = matches!(proc.binding, Some(ServiceBinding::Local(_)));
+                if synchronization {
                     if !self.states[p].barrier_fired
                         && self.preds_exhausted(p, &exhausted, true)
                         && self.control_ok(p, &exhausted)
                     {
-                        self.fire_barrier(ProcId(p))?;
+                        self.fire_barrier(ctx, ProcId(p))?;
                         fired = true;
+                        dispatched += 1;
                     }
                     continue;
                 }
-                while !self.states[p].ready.is_empty() && self.can_fire(p, &exhausted) {
-                    let batchable = self.config.data_batching > 1
-                        && !matches!(proc.binding, Some(ServiceBinding::Local(_)));
+                while !self.states[p].ready.is_empty()
+                    && self.can_fire(p, &exhausted)
+                    && budget.is_none_or(|b| dispatched < b)
+                {
+                    let batchable = self.config.data_batching > 1 && !local_binding;
                     if batchable {
                         let k = self.config.data_batching.min(self.states[p].ready.len());
                         let batch: Vec<MatchedSet> = (0..k)
                             .map(|_| self.states[p].ready.pop_front().expect("len checked"))
                             .collect();
-                        self.fire_batch(ProcId(p), batch)?;
+                        self.fire_batch(ctx, ProcId(p), batch)?;
                     } else {
                         let matched = self.states[p].ready.pop_front().expect("checked non-empty");
-                        self.fire(ProcId(p), matched)?;
+                        self.fire(ctx, ProcId(p), matched)?;
                     }
                     fired = true;
+                    dispatched += 1;
                 }
             }
             if !fired {
-                return Ok(());
+                return Ok(dispatched);
             }
         }
     }
@@ -807,21 +1015,22 @@ impl<'a, B: Backend> Enactor<'a, B> {
     }
 
     fn eval_cost(&mut self, cost: &CostModel, index: &DataIndex) -> f64 {
-        match cost {
-            CostModel::Fixed(v) => *v,
-            CostModel::Stochastic(d) => d.sample(&mut self.rng),
-            CostModel::ByIndex(f) => f(index),
-        }
+        eval_cost_with(&mut self.rng, cost, index)
     }
 
-    fn fire(&mut self, proc: ProcId, matched: MatchedSet) -> Result<(), MoteurError> {
+    fn fire<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+        proc: ProcId,
+        matched: MatchedSet,
+    ) -> Result<(), MoteurError> {
         let binding = self.workflow.processors[proc.0]
             .binding
             .clone()
             .ok_or_else(|| MoteurError::new("firing an unbound processor"))?;
         let invocation = InvocationId(self.next_invocation);
         self.next_invocation += 1;
-        let probe = self.probe_cache(proc, &matched);
+        let probe = self.probe_cache(ctx, proc, &matched);
         if let CacheProbe::Hit {
             outputs,
             transfer_seconds,
@@ -833,12 +1042,12 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 grid_outputs: Some(outputs),
                 cache_key: None,
             };
-            return self.submit_cached(proc, vec![entry], invocation, transfer_seconds);
+            return self.submit_cached(ctx, proc, vec![entry], invocation, transfer_seconds);
         }
         let cache_key = match probe {
             CacheProbe::Miss(key) => {
                 self.obs.emit(|| TraceEvent::CacheMiss {
-                    at: self.backend.now(),
+                    at: ctx.backend.now(),
                     invocation: invocation.0,
                     processor: self.workflow.processors[proc.0].name.clone(),
                 });
@@ -858,8 +1067,8 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 descriptor,
                 profile,
             } => {
-                let (plan, compute, outputs) =
-                    self.build_descriptor_job(proc, descriptor, profile, &matched, invocation)?;
+                let (plan, compute, outputs) = self
+                    .build_descriptor_job(ctx, proc, descriptor, profile, &matched, invocation)?;
                 (
                     JobPayload::Grid {
                         plan,
@@ -870,7 +1079,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
             }
             ServiceBinding::Grouped(group) => {
                 let (plan, compute, outputs) =
-                    self.build_grouped_job(proc, group, &matched, invocation)?;
+                    self.build_grouped_job(ctx, proc, group, &matched, invocation)?;
                 (
                     JobPayload::Grid {
                         plan,
@@ -886,12 +1095,17 @@ impl<'a, B: Backend> Enactor<'a, B> {
             grid_outputs,
             cache_key,
         };
-        self.submit(proc, vec![entry], invocation, payload)
+        self.submit(ctx, proc, vec![entry], invocation, payload)
     }
 
     /// Submit several ready invocations of one descriptor-bound service
     /// as a single grid job — the paper's §5.4 single-service grouping.
-    fn fire_batch(&mut self, proc: ProcId, batch: Vec<MatchedSet>) -> Result<(), MoteurError> {
+    fn fire_batch<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+        proc: ProcId,
+        batch: Vec<MatchedSet>,
+    ) -> Result<(), MoteurError> {
         let binding = self.workflow.processors[proc.0]
             .binding
             .clone()
@@ -903,7 +1117,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
         // misses travel to the grid as one grouped job.
         let mut misses: Vec<(MatchedSet, Option<InvocationKey>)> = Vec::with_capacity(batch.len());
         for matched in batch {
-            match self.probe_cache(proc, &matched) {
+            match self.probe_cache(ctx, proc, &matched) {
                 CacheProbe::Hit {
                     outputs,
                     transfer_seconds,
@@ -916,7 +1130,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
                         grid_outputs: Some(outputs),
                         cache_key: None,
                     };
-                    self.submit_cached(proc, vec![entry], hit_invocation, transfer_seconds)?;
+                    self.submit_cached(ctx, proc, vec![entry], hit_invocation, transfer_seconds)?;
                 }
                 CacheProbe::Miss(key) => misses.push((matched, Some(key))),
                 CacheProbe::Uncached => misses.push((matched, None)),
@@ -934,7 +1148,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
             let sub_invocation = InvocationId(invocation.0 * 1_000_000 + k as u64);
             if cache_key.is_some() {
                 self.obs.emit(|| TraceEvent::CacheMiss {
-                    at: self.backend.now(),
+                    at: ctx.backend.now(),
                     invocation: sub_invocation.0,
                     processor: self.workflow.processors[proc.0].name.clone(),
                 });
@@ -943,11 +1157,16 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 ServiceBinding::Descriptor {
                     descriptor,
                     profile,
-                } => {
-                    self.build_descriptor_job(proc, descriptor, profile, &matched, sub_invocation)?
-                }
+                } => self.build_descriptor_job(
+                    ctx,
+                    proc,
+                    descriptor,
+                    profile,
+                    &matched,
+                    sub_invocation,
+                )?,
                 ServiceBinding::Grouped(group) => {
-                    self.build_grouped_job(proc, group, &matched, sub_invocation)?
+                    self.build_grouped_job(ctx, proc, group, &matched, sub_invocation)?
                 }
                 ServiceBinding::Local(_) => {
                     return Err(MoteurError::new("local services cannot be batched"))
@@ -974,6 +1193,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
             store,
         };
         self.submit(
+            ctx,
             proc,
             entries,
             invocation,
@@ -1002,16 +1222,16 @@ impl<'a, B: Backend> Enactor<'a, B> {
     /// one of them; each logical invocation holds exactly one
     /// `inflight` unit from submission to its terminal event, however
     /// many attempts (retries, replicas) it spawns.
-    fn emit_gauges(&mut self) {
+    fn emit_gauges<B: Backend + ?Sized>(&mut self, ctx: &mut EnactCtx<'_, B>) {
         if !self.obs.enabled() {
             return;
         }
-        let (cache_entries, cache_bytes) = self.store.as_deref().map_or((0, 0), |s| {
+        let (cache_entries, cache_bytes) = ctx.store.as_deref().map_or((0, 0), |s| {
             let stats = s.stats();
             (stats.entries, stats.bytes)
         });
         self.obs.record(&TraceEvent::EnactorGauges {
-            at: self.backend.now(),
+            at: ctx.backend.now(),
             inflight: self.inflight_total,
             deferred: self.deferred.len(),
             quarantined: self.quarantined.len(),
@@ -1023,19 +1243,19 @@ impl<'a, B: Backend> Enactor<'a, B> {
     /// Burn-rate check against the configured SLO: extrapolate the
     /// completion time from progress so far and emit
     /// [`TraceEvent::SloBreached`] on the transition into breach.
-    fn check_slo(&mut self) {
+    fn check_slo<B: Backend + ?Sized>(&mut self, ctx: &mut EnactCtx<'_, B>) {
         let Some(slo) = self.config.slo else { return };
         if self.completed == 0 || slo.predicted_makespan_secs <= 0.0 {
             return;
         }
-        let elapsed = self.backend.now().since(self.start_time).as_secs_f64();
+        let elapsed = ctx.backend.now().since(self.start_time).as_secs_f64();
         let expected = slo.expected_jobs.max(self.completed);
         let projected = elapsed * expected as f64 / self.completed as f64;
         let breached = projected > slo.predicted_makespan_secs * slo.factor;
         if breached && !self.slo_breached {
             let completed = self.completed;
             self.obs.emit(|| TraceEvent::SloBreached {
-                at: self.backend.now(),
+                at: ctx.backend.now(),
                 predicted_secs: slo.predicted_makespan_secs,
                 projected_secs: projected,
                 factor: slo.factor,
@@ -1046,8 +1266,9 @@ impl<'a, B: Backend> Enactor<'a, B> {
         self.slo_breached = breached;
     }
 
-    fn submit(
+    fn submit<B: Backend + ?Sized>(
         &mut self,
+        ctx: &mut EnactCtx<'_, B>,
         proc: ProcId,
         entries: Vec<PendEntry>,
         invocation: InvocationId,
@@ -1058,7 +1279,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
             processor: self.workflow.processors[proc.0].name.clone(),
             payload,
         };
-        let submitted = self.backend.now();
+        let submitted = ctx.backend.now();
         // Emit before handing the job to the backend so the enactor's
         // submission event precedes any grid-side event for the same
         // invocation (the simulated broker reacts synchronously).
@@ -1069,7 +1290,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
             grid: matches!(job.payload, JobPayload::Grid { .. }),
             batched: entries.len(),
         });
-        self.backend.submit(job.clone());
+        ctx.backend.submit(job.clone());
         self.pending.insert(
             invocation.0,
             PendingJob {
@@ -1088,7 +1309,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
         self.inflight_total += 1;
         self.jobs_submitted += 1;
         self.bytes_transferred += Self::payload_bytes(&self.pending[&invocation.0].job.payload);
-        self.emit_gauges();
+        self.emit_gauges(ctx);
         Ok(())
     }
 
@@ -1139,8 +1360,9 @@ impl<'a, B: Backend> Enactor<'a, B> {
         }
     }
 
-    fn build_descriptor_job(
+    fn build_descriptor_job<B: Backend + ?Sized>(
         &mut self,
+        ctx: &mut EnactCtx<'_, B>,
         proc: ProcId,
         descriptor: &ExecutableDescriptor,
         profile: &ServiceProfile,
@@ -1152,7 +1374,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
         for (port_idx, port_name) in p.inputs.iter().enumerate() {
             let token = &matched.tokens[port_idx];
             self.obs.emit(|| TraceEvent::EdgeStaged {
-                at: self.backend.now(),
+                at: ctx.backend.now(),
                 invocation: invocation.0,
                 processor: p.name.clone(),
                 port: port_name.clone(),
@@ -1183,8 +1405,9 @@ impl<'a, B: Backend> Enactor<'a, B> {
         Ok((plan, compute, outputs))
     }
 
-    fn build_grouped_job(
+    fn build_grouped_job<B: Backend + ?Sized>(
         &mut self,
+        ctx: &mut EnactCtx<'_, B>,
         proc: ProcId,
         group: &GroupedBinding,
         matched: &MatchedSet,
@@ -1201,7 +1424,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
                     GroupSource::ExternalPort(i) => {
                         let token = &matched.tokens[*i];
                         self.obs.emit(|| TraceEvent::EdgeStaged {
-                            at: self.backend.now(),
+                            at: ctx.backend.now(),
                             invocation: invocation.0,
                             processor: p.name.clone(),
                             port: p.inputs[*i].clone(),
@@ -1246,7 +1469,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 outs.insert(out.name.clone(), (gfn, bytes));
             }
             stage_outputs.push(outs);
-            compute_total += self.eval_cost(&stage.profile.compute.clone(), &matched.index);
+            compute_total += eval_cost_with(&mut self.rng, &stage.profile.compute, &matched.index);
             members.push(GroupMember {
                 descriptor: stage.descriptor.clone(),
                 binding,
@@ -1271,7 +1494,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
         }
         let plan = compose_group(&members, &self.catalog, &external)?;
         self.obs.emit(|| TraceEvent::GroupComposed {
-            at: self.backend.now(),
+            at: ctx.backend.now(),
             processor: p.name.clone(),
             stages: group.stages.len(),
             commands: plan.command_lines.len(),
@@ -1279,7 +1502,11 @@ impl<'a, B: Backend> Enactor<'a, B> {
         Ok((plan, compute_total, outputs))
     }
 
-    fn fire_barrier(&mut self, proc: ProcId) -> Result<(), MoteurError> {
+    fn fire_barrier<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+        proc: ProcId,
+    ) -> Result<(), MoteurError> {
         let p = &self.workflow.processors[proc.0];
         let buffers = std::mem::take(&mut self.states[proc.0].sync_buffers);
         let mut tokens = Vec::with_capacity(buffers.len());
@@ -1297,7 +1524,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
         }
         self.states[proc.0].barrier_fired = true;
         self.obs.emit(|| TraceEvent::BarrierReleased {
-            at: self.backend.now(),
+            at: ctx.backend.now(),
             processor: p.name.clone(),
             inputs: buffers.iter().map(Vec::len).sum(),
         });
@@ -1321,6 +1548,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
         };
         match &binding {
             ServiceBinding::Local(service) => self.submit(
+                ctx,
                 proc,
                 vec![entry(None)],
                 invocation,
@@ -1341,7 +1569,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 for (port_idx, buf) in buffers.iter().enumerate() {
                     for t in buf {
                         self.obs.emit(|| TraceEvent::EdgeStaged {
-                            at: self.backend.now(),
+                            at: ctx.backend.now(),
                             invocation: invocation.0,
                             processor: p.name.clone(),
                             port: p.inputs[port_idx].clone(),
@@ -1379,6 +1607,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 };
                 let compute = self.eval_cost(&profile.compute.clone(), &DataIndex::scalar());
                 self.submit(
+                    ctx,
                     proc,
                     vec![entry(Some(outputs))],
                     invocation,
@@ -1394,7 +1623,11 @@ impl<'a, B: Backend> Enactor<'a, B> {
         }
     }
 
-    fn handle_completion(&mut self, c: BackendCompletion) -> Result<(), MoteurError> {
+    fn handle_completion<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+        c: BackendCompletion,
+    ) -> Result<(), MoteurError> {
         let tag = c.invocation.0;
         if self.cancelled_attempts.remove(&tag) {
             // Late completion of an attempt the backend could not
@@ -1408,9 +1641,9 @@ impl<'a, B: Backend> Enactor<'a, B> {
         match c.outputs {
             Err(ref message) => {
                 let message = message.clone();
-                self.handle_failure(logical, tag, c.ce, message)
+                self.handle_failure(ctx, logical, tag, c.ce, message)
             }
-            Ok(_) => self.handle_success(logical, tag, c),
+            Ok(_) => self.handle_success(ctx, logical, tag, c),
         }
     }
 
@@ -1418,15 +1651,16 @@ impl<'a, B: Backend> Enactor<'a, B> {
     /// bookkeeping, replica survival (another attempt still racing),
     /// the processor's retry policy (immediate or backoff-deferred
     /// resubmission), and finally terminal failure.
-    fn handle_failure(
+    fn handle_failure<B: Backend + ?Sized>(
         &mut self,
+        ctx: &mut EnactCtx<'_, B>,
         logical: u64,
         tag: u64,
         ce: Option<usize>,
         message: String,
     ) -> Result<(), MoteurError> {
         if let Some(ce) = ce {
-            self.note_ce_failure(ce);
+            self.note_ce_failure(ctx, ce);
         }
         let (proc, live, retries) = {
             let p = self
@@ -1451,22 +1685,22 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 .retries = retry;
             let delay = policy.retry.delay(retry, &mut self.rng);
             if delay > 0.0 {
-                let due = self.backend.now() + SimDuration::from_secs_f64(delay);
+                let due = ctx.backend.now() + SimDuration::from_secs_f64(delay);
                 self.deferred.push((due, logical));
-                self.emit_gauges();
+                self.emit_gauges(ctx);
             } else {
-                self.resubmit(logical);
+                self.resubmit(ctx, logical);
             }
             return Ok(());
         }
-        self.terminal_failure(logical, message)
+        self.terminal_failure(ctx, logical, message)
     }
 
     /// Resubmit `logical` now, reusing its logical tag (the previous
     /// attempt has terminally completed, so the tag is free), and
     /// restart its timeout window.
-    fn resubmit(&mut self, logical: u64) {
-        let now = self.backend.now();
+    fn resubmit<B: Backend + ?Sized>(&mut self, ctx: &mut EnactCtx<'_, B>, logical: u64) {
+        let now = ctx.backend.now();
         let (job, retry, proc) = {
             let p = self
                 .pending
@@ -1485,13 +1719,16 @@ impl<'a, B: Backend> Enactor<'a, B> {
             attempt: logical,
         });
         self.bytes_transferred += Self::payload_bytes(&job.payload);
-        self.backend.submit(job);
+        ctx.backend.submit(job);
     }
 
     /// Resubmit every backoff-deferred invocation whose due time has
     /// arrived.
-    fn service_deferred(&mut self) -> Result<(), MoteurError> {
-        let now = self.backend.now();
+    fn service_deferred<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+    ) -> Result<(), MoteurError> {
+        let now = ctx.backend.now();
         let mut due: Vec<u64> = Vec::new();
         self.deferred.retain(|&(t, id)| {
             if t <= now {
@@ -1503,17 +1740,20 @@ impl<'a, B: Backend> Enactor<'a, B> {
         });
         let serviced = !due.is_empty();
         for logical in due {
-            self.resubmit(logical);
+            self.resubmit(ctx, logical);
         }
         if serviced {
-            self.emit_gauges();
+            self.emit_gauges(ctx);
         }
         Ok(())
     }
 
     /// Act on every pending invocation whose timeout window expired.
-    fn handle_timeouts(&mut self) -> Result<(), MoteurError> {
-        let now = self.backend.now();
+    fn handle_timeouts<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+    ) -> Result<(), MoteurError> {
+        let now = ctx.backend.now();
         let mut expired: Vec<u64> = self
             .pending
             .iter()
@@ -1522,13 +1762,17 @@ impl<'a, B: Backend> Enactor<'a, B> {
             .collect();
         expired.sort_unstable(); // deterministic order over the HashMap
         for logical in expired {
-            self.handle_one_timeout(logical)?;
+            self.handle_one_timeout(ctx, logical)?;
         }
         Ok(())
     }
 
-    fn handle_one_timeout(&mut self, logical: u64) -> Result<(), MoteurError> {
-        let now = self.backend.now();
+    fn handle_one_timeout<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+        logical: u64,
+    ) -> Result<(), MoteurError> {
+        let now = ctx.backend.now();
         let (proc, retries, replicas) = {
             let p = &self.pending[&logical];
             (p.proc, p.retries, p.replicas)
@@ -1538,7 +1782,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
         let budget = self.timeout_secs_for(proc).unwrap_or(0.0);
         match policy.on_timeout {
             TimeoutAction::Resubmit => {
-                self.cancel_attempts(logical);
+                self.cancel_attempts(ctx, logical);
                 if retries < policy.retry.max_retries() {
                     self.obs.emit(|| TraceEvent::JobTimedOut {
                         at: now,
@@ -1568,7 +1812,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
                         attempt: fresh,
                     });
                     self.bytes_transferred += Self::payload_bytes(&job.payload);
-                    self.backend.submit(job);
+                    ctx.backend.submit(job);
                 } else {
                     self.obs.emit(|| TraceEvent::JobTimedOut {
                         at: now,
@@ -1578,6 +1822,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
                         action: "fail",
                     });
                     self.terminal_failure(
+                        ctx,
                         logical,
                         format!("timed out after {budget:.1}s with the retry budget exhausted"),
                     )?;
@@ -1611,7 +1856,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
                         attempt: fresh,
                     });
                     self.bytes_transferred += Self::payload_bytes(&job.payload);
-                    self.backend.submit(job);
+                    ctx.backend.submit(job);
                 } else {
                     // Replica cap reached: let the race run to the end.
                     self.pending.get_mut(&logical).expect("still pending").muted = true;
@@ -1624,14 +1869,14 @@ impl<'a, B: Backend> Enactor<'a, B> {
     /// Cancel every live attempt of `logical` at the backend. Attempts
     /// the backend cannot retract are remembered so their late
     /// completions are dropped.
-    fn cancel_attempts(&mut self, logical: u64) {
+    fn cancel_attempts<B: Backend + ?Sized>(&mut self, ctx: &mut EnactCtx<'_, B>, logical: u64) {
         let attempts = match self.pending.get_mut(&logical) {
             Some(p) => std::mem::take(&mut p.attempts),
             None => return,
         };
         for tag in attempts {
             self.attempt_of.remove(&tag);
-            if !self.backend.cancel(InvocationId(tag)) {
+            if !ctx.backend.cancel(InvocationId(tag)) {
                 self.cancelled_attempts.insert(tag);
             }
         }
@@ -1639,14 +1884,14 @@ impl<'a, B: Backend> Enactor<'a, B> {
 
     /// Count one enactor-visible failure against `ce`; blacklist it at
     /// the configured consecutive-failure threshold.
-    fn note_ce_failure(&mut self, ce: usize) {
+    fn note_ce_failure<B: Backend + ?Sized>(&mut self, ctx: &mut EnactCtx<'_, B>, ce: usize) {
         let n = self.ce_failures.entry(ce).or_insert(0);
         *n += 1;
         let failures = *n;
         if let Some(threshold) = self.ft.ce_blacklist_threshold {
             if failures >= threshold && self.blacklisted.insert(ce) {
-                let at = self.backend.now();
-                self.backend.blacklist_ce(ce, true);
+                let at = ctx.backend.now();
+                ctx.backend.blacklist_ce(ce, true);
                 self.obs
                     .emit(|| TraceEvent::CeBlacklisted { at, ce, failures });
             }
@@ -1658,7 +1903,12 @@ impl<'a, B: Backend> Enactor<'a, B> {
     /// no tokens are routed, so their history-tree descendants simply
     /// never fire — and the workflow keeps going; otherwise the
     /// enactment aborts.
-    fn terminal_failure(&mut self, logical: u64, message: String) -> Result<(), MoteurError> {
+    fn terminal_failure<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+        logical: u64,
+        message: String,
+    ) -> Result<(), MoteurError> {
         let pend = self
             .pending
             .remove(&logical)
@@ -1667,7 +1917,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
         self.inflight_total -= 1;
         let name = self.workflow.processors[pend.proc.0].name.clone();
         self.obs.emit(|| TraceEvent::JobFailed {
-            at: self.backend.now(),
+            at: ctx.backend.now(),
             invocation: logical,
             processor: name.clone(),
             error: message.clone(),
@@ -1682,7 +1932,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
                     descendants: descendants.clone(),
                 });
             }
-            self.emit_gauges();
+            self.emit_gauges(ctx);
             Ok(())
         } else {
             Err(MoteurError::new(format!(
@@ -1714,12 +1964,12 @@ impl<'a, B: Backend> Enactor<'a, B> {
     /// Cancel and close every in-flight invocation: the workflow is
     /// aborting and nothing may be left with an open span or a live
     /// backend job.
-    fn drain_pending(&mut self) {
-        let at = self.backend.now();
+    fn drain_pending<B: Backend + ?Sized>(&mut self, ctx: &mut EnactCtx<'_, B>) {
+        let at = ctx.backend.now();
         let mut ids: Vec<u64> = self.pending.keys().copied().collect();
         ids.sort_unstable();
         for logical in ids {
-            self.cancel_attempts(logical);
+            self.cancel_attempts(ctx, logical);
             let pend = self.pending.remove(&logical).expect("listed above");
             self.states[pend.proc.0].inflight -= 1;
             self.inflight_total -= 1;
@@ -1732,13 +1982,14 @@ impl<'a, B: Backend> Enactor<'a, B> {
             });
         }
         self.deferred.clear();
-        self.emit_gauges();
+        self.emit_gauges(ctx);
     }
 
     /// The winning attempt of `logical` completed: cancel the losers,
     /// record the duration sample, and route the outputs.
-    fn handle_success(
+    fn handle_success<B: Backend + ?Sized>(
         &mut self,
+        ctx: &mut EnactCtx<'_, B>,
         logical: u64,
         winner: u64,
         c: BackendCompletion,
@@ -1756,10 +2007,10 @@ impl<'a, B: Backend> Enactor<'a, B> {
                 continue;
             }
             self.attempt_of.remove(&tag);
-            if !self.backend.cancel(InvocationId(tag)) {
+            if !ctx.backend.cancel(InvocationId(tag)) {
                 self.cancelled_attempts.insert(tag);
             }
-            let at = self.backend.now();
+            let at = ctx.backend.now();
             self.obs.emit(|| TraceEvent::JobCancelled {
                 at,
                 invocation: tag,
@@ -1783,17 +2034,18 @@ impl<'a, B: Backend> Enactor<'a, B> {
                     ))
                 }
             };
-            let proc = &self.workflow.processors[proc_id.0];
+            let proc_name = self.workflow.processors[proc_id.0].name.clone();
+            let proc_outputs = self.workflow.processors[proc_id.0].outputs.clone();
             self.records.push(InvocationRecord {
-                processor: proc.name.clone(),
+                processor: proc_name.clone(),
                 index: entry.index.clone(),
                 submitted: pend.submitted,
                 started: c.started_at,
                 finished: c.finished_at,
                 retries: pend.retries,
             });
-            let history = History::derived(proc.name.clone(), entry.input_histories.clone());
-            if let Some(key) = entry.cache_key.filter(|_| self.store.is_some()) {
+            let history = History::derived(proc_name.clone(), entry.input_histories.clone());
+            if let Some(key) = entry.cache_key.filter(|_| ctx.store.is_some()) {
                 let prof = self.obs.prof().clone();
                 let _prof = prof.scope(Subsystem::StoreIo);
                 let mut recorded = Vec::with_capacity(outputs.len());
@@ -1802,7 +2054,7 @@ impl<'a, B: Backend> Enactor<'a, B> {
                         let _prof = prof.scope(Subsystem::ProvenanceKey);
                         self.history_xml.provenance_key(value, &history)
                     };
-                    let store = self.store.as_deref_mut().expect("checked above");
+                    let store = ctx.store.as_deref_mut().expect("checked above");
                     match pk.and_then(|k| store.insert_with_key(k, value)) {
                         Some(pk) => recorded.push((port_name.clone(), pk)),
                         None => {
@@ -1811,23 +2063,21 @@ impl<'a, B: Backend> Enactor<'a, B> {
                         }
                     }
                 }
-                let store = self.store.as_deref_mut().expect("checked above");
+                let store = ctx.store.as_deref_mut().expect("checked above");
                 // Only a complete output set makes a replayable
                 // invocation; partial ones (an Opaque output, or an
                 // output too large for the store's budget) are dropped.
                 if !recorded.is_empty() && recorded.len() == outputs.len() {
-                    store.record_invocation(key, proc.name.clone(), recorded);
+                    store.record_invocation(key, proc_name.clone(), recorded);
                 }
             }
             for (port_name, value) in outputs {
-                let port_idx = proc
-                    .outputs
+                let port_idx = proc_outputs
                     .iter()
                     .position(|o| *o == port_name)
                     .ok_or_else(|| {
                         MoteurError::new(format!(
-                            "service `{}` produced a value on unknown port `{port_name}`",
-                            proc.name
+                            "service `{proc_name}` produced a value on unknown port `{port_name}`"
                         ))
                     })?;
                 let token = Token {
@@ -1835,18 +2085,28 @@ impl<'a, B: Backend> Enactor<'a, B> {
                     index: entry.index.clone(),
                     history: history.clone(),
                 };
-                self.route(proc_id, port_idx, token);
+                self.route(ctx, proc_id, port_idx, token);
             }
         }
         self.obs.emit(|| TraceEvent::JobCompleted {
-            at: self.backend.now(),
+            at: ctx.backend.now(),
             invocation: logical,
             processor: self.workflow.processors[proc_id.0].name.clone(),
         });
         self.completed += 1;
-        self.check_slo();
-        self.emit_gauges();
+        self.check_slo(ctx);
+        self.emit_gauges(ctx);
         Ok(())
+    }
+}
+
+/// Evaluate a cost model against only the rng — a free function so
+/// call sites can keep a disjoint borrow of the owned workflow alive.
+fn eval_cost_with(rng: &mut Rng, cost: &CostModel, index: &DataIndex) -> f64 {
+    match cost {
+        CostModel::Fixed(v) => *v,
+        CostModel::Stochastic(d) => d.sample(rng),
+        CostModel::ByIndex(f) => f(index),
     }
 }
 

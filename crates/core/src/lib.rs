@@ -57,6 +57,7 @@
 
 pub mod backend;
 pub mod config;
+pub mod daemon;
 pub mod diagram;
 pub mod dot;
 pub mod enactor;
@@ -79,13 +80,19 @@ pub mod trace;
 pub mod value;
 
 pub use backend::{
-    Backend, BackendCompletion, BackendJob, InvocationId, JobPayload, LocalBackend, SimBackend,
-    VirtualBackend,
+    Backend, BackendCompletion, BackendJob, InvocationId, JobPayload, LocalBackend, ScopedBackend,
+    SimBackend, VirtualBackend,
 };
 pub use config::{EnactorConfig, SloConfig};
+pub use daemon::protocol::{apply as daemon_apply, check_protocol, serve, Request, DAEMON_SCHEMA};
+pub use daemon::{
+    Daemon, DaemonConfig, DaemonMetrics, InstanceState, InstanceStatus, ScuflParser, TenantConfig,
+    TenantMetrics,
+};
 pub use dot::to_dot;
 pub use enactor::{
-    run, run_cached, run_fault_tolerant, run_fault_tolerant_cached, run_observed, InputData,
+    run, run_cached, run_fault_tolerant, run_fault_tolerant_cached, run_observed, EnactCtx,
+    InputData, WorkflowInstance,
 };
 pub use error::MoteurError;
 pub use ft::{
@@ -107,6 +114,7 @@ pub use obs::drift::{check_drift, DriftEntry, DriftReport, Observation};
 pub use obs::fit::{fit_sweep, MakespanFit, SweepPoint};
 pub use obs::metrics::{MetricsRegistry, MetricsSink};
 pub use obs::openmetrics::render as render_openmetrics;
+pub use obs::openmetrics::render_daemon as render_daemon_openmetrics;
 pub use obs::openmetrics::render_with_prof as render_openmetrics_with_prof;
 pub use obs::prof::{
     from_json as prof_from_json, to_json as prof_to_json, Prof, ProfReport, ProfScope, Subsystem,

@@ -261,6 +261,66 @@ pub fn render(registry: &MetricsRegistry, spans: Option<&SpanTree>) -> String {
     r.out
 }
 
+/// Render a daemon metrics snapshot as OpenMetrics text: daemon-level
+/// gauges (live / queued / finished instances, shared-store counters)
+/// plus per-tenant label families, tenants in sorted order so the
+/// snapshot is byte-stable. Timestamp-free — the daemon outlives any
+/// single virtual-time run.
+pub fn render_daemon(m: &crate::daemon::DaemonMetrics) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# TYPE moteur_daemon_instances gauge");
+    for (state, n) in [
+        ("running", m.running),
+        ("queued", m.queued),
+        ("succeeded", m.succeeded),
+        ("failed", m.failed),
+        ("cancelled", m.cancelled),
+    ] {
+        let _ = writeln!(out, "moteur_daemon_instances{{state=\"{state}\"}} {n}");
+    }
+    let _ = writeln!(out, "# TYPE moteur_daemon_store_entries gauge");
+    let _ = writeln!(out, "moteur_daemon_store_entries {}", m.store.entries);
+    let _ = writeln!(out, "# TYPE moteur_daemon_store_lookups counter");
+    for (outcome, n) in [("hit", m.store.hits), ("miss", m.store.misses)] {
+        let _ = writeln!(
+            out,
+            "moteur_daemon_store_lookups_total{{outcome=\"{outcome}\"}} {n}"
+        );
+    }
+    let _ = writeln!(out, "# TYPE moteur_daemon_store_hit_ratio gauge");
+    let _ = writeln!(
+        out,
+        "moteur_daemon_store_hit_ratio {}",
+        num(m.store.hit_ratio())
+    );
+    for (family, kind) in [
+        ("moteur_daemon_tenant_running", "gauge"),
+        ("moteur_daemon_tenant_queued", "gauge"),
+        ("moteur_daemon_tenant_inflight_jobs", "gauge"),
+        ("moteur_daemon_tenant_store_hits", "counter"),
+        ("moteur_daemon_tenant_store_misses", "counter"),
+    ] {
+        let _ = writeln!(out, "# TYPE {family} {kind}");
+        for t in &m.tenants {
+            let value = match family {
+                "moteur_daemon_tenant_running" => t.running as u64,
+                "moteur_daemon_tenant_queued" => t.queued as u64,
+                "moteur_daemon_tenant_inflight_jobs" => t.inflight_jobs as u64,
+                "moteur_daemon_tenant_store_hits" => t.store_hits,
+                _ => t.store_misses,
+            };
+            let name = if kind == "counter" {
+                format!("{family}_total")
+            } else {
+                family.to_string()
+            };
+            let _ = writeln!(out, "{name}{{tenant=\"{}\"}} {value}", escape(&t.tenant));
+        }
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
 /// [`render`] plus the `moteur_prof_*` self-profiler families. The prof
 /// fragment is inserted before the `# EOF` terminator; a `None` or
 /// inactive report leaves the snapshot byte-identical to [`render`].

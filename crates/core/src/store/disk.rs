@@ -17,10 +17,74 @@ use crate::error::MoteurError;
 use crate::lint::render::JsonValue;
 use crate::obs::json::{array, JsonObject};
 use crate::value::DataValue;
-use std::path::Path;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 pub(super) const INDEX_FILE: &str = "index.json";
 pub(super) const DATA_FILE: &str = "store.jsonl";
+pub(super) const LOCK_FILE: &str = ".moteur-store.lock";
+
+/// How long a save or load waits for a concurrent writer to finish
+/// before failing with a stale-lock diagnostic.
+const LOCK_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Advisory cross-process lock on a cache directory, held for the
+/// duration of a save or load so concurrent writers serialise instead
+/// of interleaving the `index.json` / `store.jsonl` pair. Std-only:
+/// the lock is a `create_new` file (atomic on every platform) removed
+/// on drop; a crashed holder leaves a stale file the error message
+/// names.
+#[derive(Debug)]
+struct LockGuard {
+    path: PathBuf,
+}
+
+impl LockGuard {
+    fn acquire(dir: &Path, timeout: Duration) -> Result<LockGuard, MoteurError> {
+        let path = dir.join(LOCK_FILE);
+        let deadline = Instant::now() + timeout;
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = write!(f, "{}", std::process::id());
+                    return Ok(LockGuard { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if Instant::now() >= deadline {
+                        return Err(MoteurError::new(format!(
+                            "data store at {} is locked by another writer \
+                             (if no other process is running, remove the stale lock {})",
+                            dir.display(),
+                            path.display()
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Write `contents` to `path` atomically: a same-directory temp file
+/// renamed into place, so a reader (or a crash) never observes a
+/// half-written file.
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
 
 fn encode_value(value: &DataValue) -> Option<String> {
     Some(match value {
@@ -92,8 +156,10 @@ fn decode_value(v: &JsonValue) -> Result<DataValue, MoteurError> {
     }
 }
 
-/// Serialise `store` into `dir` (both files rewritten whole).
+/// Serialise `store` into `dir` (both files rewritten whole, under the
+/// directory's advisory lock, each renamed into place atomically).
 pub(super) fn save(store: &DataStore, dir: &Path) -> Result<(), MoteurError> {
+    let _lock = LockGuard::acquire(dir, LOCK_TIMEOUT)?;
     let mut invocations: Vec<_> = store.iter_invocations().collect();
     invocations.sort_by_key(|(k, _, _)| *k);
     let rows = invocations.into_iter().map(|(key, service, outputs)| {
@@ -113,7 +179,7 @@ pub(super) fn save(store: &DataStore, dir: &Path) -> Result<(), MoteurError> {
         .str("schema", STORE_SCHEMA)
         .raw("invocations", &array(rows))
         .finish();
-    std::fs::write(dir.join(INDEX_FILE), index + "\n")?;
+    write_atomic(&dir.join(INDEX_FILE), &(index + "\n"))?;
 
     let mut entries: Vec<_> = store.iter_data().collect();
     entries.sort_by_key(|(k, _, _, _)| *k);
@@ -130,12 +196,15 @@ pub(super) fn save(store: &DataStore, dir: &Path) -> Result<(), MoteurError> {
         );
         jsonl.push('\n');
     }
-    std::fs::write(dir.join(DATA_FILE), jsonl)?;
+    write_atomic(&dir.join(DATA_FILE), &jsonl)?;
     Ok(())
 }
 
-/// Load `dir` into an empty `store`, verifying the schema tag.
+/// Load `dir` into an empty `store`, verifying the schema tag. Takes
+/// the same advisory lock as [`save`] so the `index.json` /
+/// `store.jsonl` pair is read as one coherent snapshot.
 pub(super) fn load(store: &mut DataStore, dir: &Path) -> Result<(), MoteurError> {
+    let _lock = LockGuard::acquire(dir, LOCK_TIMEOUT)?;
     let index_text = std::fs::read_to_string(dir.join(INDEX_FILE))?;
     let index = JsonValue::parse(&index_text).map_err(|e| bad(&format!("index.json: {e}")))?;
     match index.get("schema").and_then(JsonValue::as_str) {
@@ -254,6 +323,59 @@ mod tests {
         store.save().unwrap();
         let b = std::fs::read(dir.join(DATA_FILE)).unwrap();
         assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_on_one_cache_dir_do_not_corrupt_it() {
+        let dir = temp_dir("concurrent");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut handles = Vec::new();
+        for writer in 0..2u32 {
+            let dir = dir.clone();
+            handles.push(std::thread::spawn(move || {
+                // Each handle holds its own view of the shared cache
+                // dir and saves it repeatedly, racing the other.
+                let mut store = DataStore::open(&dir, StoreConfig::default()).unwrap();
+                for round in 0..20u32 {
+                    let h =
+                        History::derived(format!("w{writer}"), vec![History::source("s", round)]);
+                    let pk = store
+                        .insert(&DataValue::from(format!("v{writer}-{round}")), &h)
+                        .unwrap();
+                    let ik = invocation_key("svc", u64::from(writer * 1000 + round), &[pk]);
+                    store.record_invocation(ik, "svc", vec![("out".into(), pk)]);
+                    store.save().unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Whichever writer saved last, the on-disk pair must parse
+        // cleanly and hold that writer's full 20 invocations (plus any
+        // it loaded from the other writer when it opened the dir).
+        let reloaded = DataStore::open(&dir, StoreConfig::default()).unwrap();
+        let n = reloaded.stats().invocations;
+        assert!((20..=40).contains(&n), "torn write detected: {n} rows");
+        assert!(
+            !dir.join(LOCK_FILE).exists(),
+            "lock released after the last save"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_held_lock_times_out_with_a_stale_lock_diagnostic() {
+        let dir = temp_dir("locked");
+        std::fs::create_dir_all(&dir).unwrap();
+        let _held = LockGuard::acquire(&dir, Duration::ZERO).unwrap();
+        let err = LockGuard::acquire(&dir, Duration::ZERO).unwrap_err();
+        assert!(
+            err.to_string().contains("locked by another writer"),
+            "{err}"
+        );
+        assert!(err.to_string().contains(LOCK_FILE), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,205 @@
+//! Behavioural tests of the multi-tenant enactment daemon: shared
+//! memo table, per-instance cancel isolation, admission control and
+//! weighted-fair dispatch.
+
+use moteur::daemon::protocol;
+use moteur::{
+    Daemon, DaemonConfig, DataStore, EnactorConfig, FtConfig, InputData, InstanceState,
+    MoteurError, StoreConfig, TenantConfig, VirtualBackend, Workflow,
+};
+
+fn parser(workflow: &str, inputs: &str) -> Result<(Workflow, InputData), MoteurError> {
+    let w = moteur_scufl::parse_workflow(workflow).map_err(|e| MoteurError::new(e.message))?;
+    let i = moteur_scufl::parse_input_data(inputs).map_err(|e| MoteurError::new(e.message))?;
+    Ok((w, i))
+}
+
+fn tiny_workflow() -> String {
+    r#"<scufl name="tiny">
+  <source name="s" bytes="64"/>
+  <processor name="p" compute="5">
+    <executable name="x">
+      <access type="URL"><path value="http://h"/></access>
+      <value value="x"/>
+      <input name="in" option="-i"><access type="GFN"/></input>
+      <output name="out" option="-o"><access type="GFN"/></output>
+    </executable>
+    <outputsize slot="out" bytes="10"/>
+  </processor>
+  <sink name="k"/>
+  <link from="s:out" to="p:in"/>
+  <link from="p:out" to="k:in"/>
+</scufl>"#
+        .to_string()
+}
+
+fn tiny_inputs(n: usize) -> String {
+    let items: String = (0..n)
+        .map(|j| format!(r#"<item type="file" gfn="gfn://x/i{j}" bytes="64"/>"#))
+        .collect();
+    format!(r#"<inputdata><input name="s">{items}</input></inputdata>"#)
+}
+
+fn daemon() -> Daemon {
+    Daemon::new(
+        Box::new(VirtualBackend::new()),
+        DataStore::in_memory(StoreConfig::default()),
+        parser,
+        DaemonConfig::default(),
+    )
+}
+
+fn submit(d: &mut Daemon, tenant: &str, n_data: usize) -> u32 {
+    d.submit(
+        tenant,
+        &tiny_workflow(),
+        &tiny_inputs(n_data),
+        EnactorConfig::sp_dp(),
+        FtConfig::default(),
+    )
+    .expect("tiny workflow submits")
+}
+
+#[test]
+fn second_tenants_identical_submission_hits_the_shared_memo_table() {
+    let mut d = daemon();
+    let a = submit(&mut d, "alice", 4);
+    d.drain();
+    let b = submit(&mut d, "bob", 4);
+    d.drain();
+    let sa = d.status(a).unwrap();
+    let sb = d.status(b).unwrap();
+    assert_eq!(sa.state, InstanceState::Succeeded);
+    assert_eq!(sb.state, InstanceState::Succeeded);
+    assert!(sa.store_misses > 0, "cold tenant misses: {sa:?}");
+    assert_eq!(sb.store_misses, 0, "warm tenant recomputes: {sb:?}");
+    assert!(sb.store_hits > 0, "warm tenant hits: {sb:?}");
+    let m = d.metrics();
+    let bob = m.tenants.iter().find(|t| t.tenant == "bob").unwrap();
+    assert!((bob.hit_ratio() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn cancel_drains_only_the_instances_own_jobs() {
+    let mut d = daemon();
+    let doomed = submit(&mut d, "alice", 8);
+    let sibling = submit(&mut d, "bob", 8);
+    assert!(d.status(doomed).unwrap().inflight > 0, "jobs are in flight");
+    assert!(d.cancel(doomed));
+    assert!(!d.cancel(doomed), "double cancel is refused");
+    d.drain();
+    assert_eq!(d.status(doomed).unwrap().state, InstanceState::Cancelled);
+    let s = d.status(sibling).unwrap();
+    assert_eq!(
+        s.state,
+        InstanceState::Succeeded,
+        "sibling jobs survived the cancel: {s:?}"
+    );
+}
+
+#[test]
+fn admission_queues_beyond_the_tenant_workflow_cap() {
+    let mut d = daemon();
+    d.set_tenant(
+        "alice",
+        TenantConfig {
+            max_inflight_workflows: 1,
+            ..TenantConfig::default()
+        },
+    );
+    let ids: Vec<u32> = (0..3).map(|_| submit(&mut d, "alice", 2)).collect();
+    let states: Vec<InstanceState> = ids.iter().map(|&id| d.status(id).unwrap().state).collect();
+    assert_eq!(
+        states,
+        vec![
+            InstanceState::Running,
+            InstanceState::Queued,
+            InstanceState::Queued
+        ]
+    );
+    d.drain();
+    for id in ids {
+        assert_eq!(d.status(id).unwrap().state, InstanceState::Succeeded);
+    }
+}
+
+#[test]
+fn a_flooding_tenant_cannot_delay_anothers_first_job() {
+    let mut d = daemon();
+    for _ in 0..50 {
+        submit(&mut d, "flood", 2);
+    }
+    let vip = submit(&mut d, "vip", 2);
+    let s = d.status(vip).unwrap();
+    // Admission is immediate (the vip tenant has free workflow slots)
+    // and dispatch is weighted round-robin, so the vip's first job
+    // fires at submission time regardless of the flood.
+    assert_eq!(
+        s.first_job_at,
+        Some(s.submitted_at),
+        "time-to-first-job exceeded the admission bound: {s:?}"
+    );
+    d.drain();
+    assert_eq!(d.metrics().succeeded, 51);
+}
+
+#[test]
+fn malformed_scufl_is_rejected_at_submit() {
+    let mut d = daemon();
+    let err = d
+        .submit(
+            "alice",
+            "<scufl",
+            &tiny_inputs(1),
+            EnactorConfig::sp_dp(),
+            FtConfig::default(),
+        )
+        .unwrap_err();
+    assert!(!err.message().is_empty());
+    assert!(d.list().is_empty(), "rejected submissions take no slot");
+}
+
+#[test]
+fn serve_is_byte_stable_across_identical_sessions() {
+    let workflow = tiny_workflow().replace('"', "\\\"").replace('\n', "\\n");
+    let inputs = tiny_inputs(2).replace('"', "\\\"");
+    let session = format!(
+        concat!(
+            r#"{{"schema":"moteur/daemon/v1","op":"submit","tenant":"a","workflow":"{w}","inputs":"{i}"}}"#,
+            "\n",
+            r#"{{"schema":"moteur/daemon/v1","op":"drain"}}"#,
+            "\n",
+            r#"{{"schema":"moteur/daemon/v1","op":"status","id":1}}"#,
+            "\n",
+            r#"{{"schema":"moteur/daemon/v1","op":"metrics"}}"#,
+            "\n",
+            r#"{{"schema":"moteur/daemon/v1","op":"shutdown"}}"#,
+            "\n",
+        ),
+        w = workflow,
+        i = inputs
+    );
+    let run = |input: &str| -> String {
+        let mut d = daemon();
+        let mut out = Vec::new();
+        protocol::serve(&mut d, input.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    };
+    let first = run(&session);
+    let second = run(&session);
+    assert_eq!(first, second, "responses drifted between sessions");
+    let status_line = first
+        .lines()
+        .find(|l| l.contains(r#""op":"status""#))
+        .unwrap();
+    assert!(
+        status_line.contains(r#""state":"succeeded""#),
+        "{status_line}"
+    );
+    assert!(
+        status_line.starts_with(
+            r#"{"schema":"moteur/daemon/v1","op":"status","ok":true,"instance":{"id":1,"tenant":"a","workflow":"tiny","state":"succeeded","submitted_at":0,"first_job_at":0,"#
+        ),
+        "status field order is part of the protocol: {status_line}"
+    );
+}

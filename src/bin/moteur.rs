@@ -62,13 +62,14 @@ use moteur_repro::gridsim::Distribution;
 use moteur_repro::gridsim::GridConfig;
 use moteur_repro::moteur::lint::{explain, prediction_to_json, render_explain, LintReport};
 use moteur_repro::moteur::{
-    chrome_trace_with_metrics, critical_path, detect_bottlenecks, diagram, export_provenance,
-    group_workflow, lint_workflow, plan_to_json, plan_workflow, predict, prof_to_json,
-    render_critical_path, render_human, render_openmetrics_with_prof, render_plan,
+    check_protocol, chrome_trace_with_metrics, critical_path, detect_bottlenecks, diagram,
+    export_provenance, group_workflow, lint_workflow, plan_to_json, plan_workflow, predict,
+    prof_to_json, render_critical_path, render_human, render_openmetrics_with_prof, render_plan,
     render_prediction, render_report, report_to_json, run_fault_tolerant,
-    run_fault_tolerant_cached, to_dot, DataStore, EnactorConfig, EventSink, FtConfig, FtPolicy,
-    JsonlSink, MetricsSink, Obs, PlanOptions, Prof, RetryPolicy, SimBackend, SloConfig,
-    SourceSizes, SpanSink, StoreConfig, Timeline, TimelineSink, TimeoutAction, TimeoutPolicy,
+    run_fault_tolerant_cached, serve, to_dot, Backend, Daemon, DaemonConfig, DataStore,
+    EnactorConfig, EventSink, FtConfig, FtPolicy, InputData, JsonlSink, MetricsSink, MoteurError,
+    Obs, PlanOptions, Prof, RetryPolicy, SimBackend, SloConfig, SourceSizes, SpanSink, StoreConfig,
+    TenantConfig, Timeline, TimelineSink, TimeoutAction, TimeoutPolicy, VirtualBackend, Workflow,
 };
 use moteur_repro::scufl::{
     lint_source, parse_input_data, parse_workflow, write_input_data, write_workflow,
@@ -79,6 +80,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("daemon") => cmd_daemon(&args[1..]),
         Some("timeline") => cmd_timeline(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("plan") => cmd_plan(&args[1..]),
@@ -106,6 +108,10 @@ fn main() -> ExitCode {
             eprintln!("      [--blacklist-after N]");
             eprintln!("      [--timeline out.json] [--timeline-csv out.csv] [--slo FACTOR]");
             eprintln!("      [--profile out.json] [--profile-collapsed out.folded]");
+            eprintln!("  daemon [--socket PATH] [--cache DIR] [--fetch-cost SECS]");
+            eprintln!("      [--grid virtual|ideal|egee] [--seed N] [--quantum N]");
+            eprintln!("      [--max-workflows N] [--max-jobs N] [--weights t=W,...]");
+            eprintln!("      [--check-protocol]");
             eprintln!("  timeline render <timeline.json> [--heatmap METRIC] [--width N]");
             eprintln!("  lint <workflow.xml> [--json] [--deny-warnings] [--predict]");
             eprintln!("      [--ndata N] [--overhead S]");
@@ -454,6 +460,151 @@ fn cmd_example() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// SCUFL parser handed to the daemon so submissions carry workflow
+/// source inline instead of file paths (the daemon may outlive the
+/// submitting client's working directory).
+fn daemon_parser(workflow: &str, inputs: &str) -> Result<(Workflow, InputData), MoteurError> {
+    let w = parse_workflow(workflow).map_err(|e| MoteurError::new(e.message))?;
+    let i = parse_input_data(inputs).map_err(|e| MoteurError::new(e.message))?;
+    Ok((w, i))
+}
+
+fn cmd_daemon(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--check-protocol") {
+        return match check_protocol() {
+            Ok(ops) => {
+                println!(
+                    "moteur/daemon/v1 protocol ok ({} ops): {}",
+                    ops.len(),
+                    ops.join(", ")
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        };
+    }
+
+    let seed: u64 = match flag_value(args, "--seed").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(2006),
+        Err(_) => return fail("--seed needs an integer"),
+    };
+    let backend: Box<dyn Backend> = match flag_value(args, "--grid").unwrap_or("virtual") {
+        "virtual" => Box::new(VirtualBackend::new()),
+        "ideal" => Box::new(SimBackend::new(GridConfig::ideal(), seed)),
+        "egee" => Box::new(SimBackend::new(GridConfig::egee_2006(), seed)),
+        other => return fail(format!("unknown grid `{other}` (virtual|ideal|egee)")),
+    };
+
+    let mut store_config = StoreConfig::default();
+    if let Some(v) = flag_value(args, "--fetch-cost") {
+        let Ok(secs) = v.parse::<f64>() else {
+            return fail(format!("--fetch-cost needs seconds, got `{v}`"));
+        };
+        store_config = store_config.with_fetch_cost(Some(Distribution::Constant(secs)));
+    }
+    let store = match flag_value(args, "--cache") {
+        Some(dir) => match DataStore::open(dir, store_config) {
+            Ok(s) => s,
+            Err(e) => return fail(e),
+        },
+        None => DataStore::in_memory(store_config),
+    };
+
+    let mut tenant_defaults = TenantConfig::default();
+    if let Some(v) = flag_value(args, "--max-workflows") {
+        match v.parse() {
+            Ok(n) => tenant_defaults.max_inflight_workflows = n,
+            Err(_) => return fail(format!("--max-workflows needs an integer, got `{v}`")),
+        }
+    }
+    if let Some(v) = flag_value(args, "--max-jobs") {
+        match v.parse() {
+            Ok(n) => tenant_defaults.max_inflight_jobs = n,
+            Err(_) => return fail(format!("--max-jobs needs an integer, got `{v}`")),
+        }
+    }
+    let quantum: usize = match flag_value(args, "--quantum").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(8),
+        Err(_) => return fail("--quantum needs an integer"),
+    };
+    let mut config = DaemonConfig {
+        tenant_defaults,
+        quantum,
+        ..DaemonConfig::default()
+    };
+    if let Some(spec) = flag_value(args, "--weights") {
+        for pair in spec.split(',').filter(|p| !p.is_empty()) {
+            let Some((name, weight)) = pair.split_once('=') else {
+                return fail(format!("--weights wants tenant=WEIGHT pairs, got `{pair}`"));
+            };
+            let Ok(weight) = weight.parse::<u32>() else {
+                return fail(format!("weight for `{name}` must be an integer"));
+            };
+            config.tenant_overrides.insert(
+                name.to_string(),
+                TenantConfig {
+                    weight,
+                    ..config.tenant_defaults
+                },
+            );
+        }
+    }
+
+    let mut daemon = Daemon::new(backend, store, daemon_parser, config);
+    let served = match flag_value(args, "--socket") {
+        Some(path) => serve_socket(&mut daemon, path),
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            serve(&mut daemon, stdin.lock(), &mut out).map(|_| ())
+        }
+    };
+    if let Err(e) = served {
+        return fail(e);
+    }
+    // Persist the memo table so the next daemon (or one-shot run)
+    // starts warm; in-memory stores make this a no-op.
+    if let Err(e) = daemon.store().save() {
+        return fail(e);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Accept-loop for `--socket`: serve one connection at a time (the
+/// daemon itself is single-threaded by design — concurrency lives in
+/// the multiplexed instances) until a client sends `shutdown`.
+#[cfg(unix)]
+fn serve_socket(daemon: &mut Daemon, path: &str) -> std::io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    eprintln!("moteur daemon: listening on {path}");
+    for conn in listener.incoming() {
+        match conn {
+            Ok(stream) => {
+                let reader = std::io::BufReader::new(stream.try_clone()?);
+                let mut writer = stream;
+                match serve(daemon, reader, &mut writer) {
+                    Ok(true) => break,
+                    Ok(false) => {}
+                    Err(e) => eprintln!("moteur daemon: connection error: {e}"),
+                }
+            }
+            Err(e) => eprintln!("moteur daemon: accept error: {e}"),
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_daemon: &mut Daemon, _path: &str) -> std::io::Result<()> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "--socket needs a unix platform; use stdin/stdout mode instead",
+    ))
+}
+
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == flag)
@@ -556,14 +707,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
         Err(e) => return fail(e),
     };
 
-    let mut config = match flag_value(args, "--config").unwrap_or("sp+dp") {
-        "nop" => EnactorConfig::nop(),
-        "jg" => EnactorConfig::jg(),
-        "sp" => EnactorConfig::sp(),
-        "dp" => EnactorConfig::dp(),
-        "sp+dp" => EnactorConfig::sp_dp(),
-        "sp+dp+jg" => EnactorConfig::sp_dp_jg(),
-        other => return fail(format!("unknown config `{other}`")),
+    let label = flag_value(args, "--config").unwrap_or("sp+dp");
+    let Some(mut config) = EnactorConfig::preset(label) else {
+        return fail(format!("unknown config `{label}`"));
     };
     let seed: u64 = flag_value(args, "--seed")
         .and_then(|v| v.parse().ok())
