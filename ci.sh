@@ -74,6 +74,15 @@ cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
 cargo run --release --offline --quiet -p moteur-bench --bin moteur-bench -- \
   scale --out-dir .
 
+# Streaming campaign: a million-item stream through a bounded-port
+# chain (release build — the point is throughput and the memory
+# high-water mark). Fails unless every item completes and the
+# pipeline's peak live bytes beyond the materialised inputs stay inside
+# the absolute budget while undercutting the eager per-item projection
+# by >=4x; writes BENCH_stream.json, re-checked by the gate below.
+cargo run --release --offline --quiet -p moteur-bench --bin moteur-bench -- \
+  stream --out-dir .
+
 # Multi-tenant daemon: a 100-submission wave across four tenants of
 # one enactment daemon sharing a memo table. Fails unless every
 # submission succeeds and the wave reuses >=90% of the seed tenant's
@@ -88,7 +97,8 @@ cargo run --offline --quiet --bin moteur -- daemon --check-protocol
 
 cargo run --offline --quiet -p moteur-bench --bin moteur-bench -- \
   gate --faults BENCH_faults.json --timeline BENCH_timeline.json \
-  --plan BENCH_plan.json --scale BENCH_scale.json --daemon BENCH_daemon.json
+  --plan BENCH_plan.json --scale BENCH_scale.json --daemon BENCH_daemon.json \
+  --stream BENCH_stream.json
 
 # Data manager: cold/warm pair on the deterministic chain. Fails if the
 # cold run drifts from eq. 1-4 or any warm invocation misses the cache;

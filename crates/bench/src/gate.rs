@@ -501,6 +501,71 @@ pub fn check_scale(
     Ok(checks)
 }
 
+/// Checks over a `BENCH_stream.json` document (schema
+/// `moteur-bench/stream/v1`).
+///
+/// All checks are absolute — no committed baseline. The campaign must
+/// have completed every item with positive throughput, and — when the
+/// counting allocator was installed — the streaming pipeline's peak
+/// live bytes beyond the materialised inputs must sit inside
+/// [`crate::stream::PIPELINE_PEAK_BUDGET`] *and* undercut the eager
+/// per-item projection by at least
+/// [`crate::stream::EAGER_UNDERCUT_FACTOR`]. Together these pin the
+/// O(port-capacity)-not-O(n-items) memory claim on any machine.
+pub fn check_stream(stream_json: &str) -> Result<Vec<GateCheck>, String> {
+    let value = JsonValue::parse(stream_json).map_err(|e| format!("stream: {e}"))?;
+    match value.get("schema").and_then(JsonValue::as_str) {
+        Some(crate::stream::STREAM_SCHEMA) => {}
+        Some(other) => {
+            return Err(format!(
+                "stream: schema `{other}`, expected `{}`",
+                crate::stream::STREAM_SCHEMA
+            ))
+        }
+        None => return Err("stream: missing schema tag".to_string()),
+    }
+    let field = |name: &str| -> Result<f64, String> {
+        value
+            .get(name)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("stream: missing `{name}`"))
+    };
+    let n_items = field("n_items")?;
+    let completed = field("items_completed")?;
+    let items_per_sec = field("items_per_sec")?;
+    let mut checks = vec![
+        GateCheck {
+            what: "stream/items_completed".to_string(),
+            baseline: n_items,
+            current: completed,
+            ok: completed >= n_items,
+        },
+        GateCheck {
+            what: "stream/throughput_positive".to_string(),
+            baseline: 0.0,
+            current: items_per_sec,
+            ok: items_per_sec > 0.0,
+        },
+    ];
+    if value.get("alloc_installed").and_then(JsonValue::as_bool) == Some(true) {
+        let pipeline_peak = field("pipeline_peak_bytes")?;
+        let projected = field("eager_projected_bytes")?;
+        checks.push(GateCheck {
+            what: "stream/pipeline_peak_budget".to_string(),
+            baseline: crate::stream::PIPELINE_PEAK_BUDGET as f64,
+            current: pipeline_peak,
+            ok: pipeline_peak <= crate::stream::PIPELINE_PEAK_BUDGET as f64,
+        });
+        checks.push(GateCheck {
+            what: "stream/undercuts_eager_projection".to_string(),
+            baseline: projected,
+            current: pipeline_peak * crate::stream::EAGER_UNDERCUT_FACTOR,
+            ok: pipeline_peak * crate::stream::EAGER_UNDERCUT_FACTOR <= projected,
+        });
+    }
+    Ok(checks)
+}
+
 /// Default allowed regression: 10 %.
 pub const DEFAULT_THRESHOLD: f64 = 0.10;
 
@@ -824,6 +889,63 @@ mod tests {
 
         assert!(check_scale("{\"schema\":\"other/v1\"}", None, DEFAULT_THRESHOLD).is_err());
         assert!(check_scale("{", None, DEFAULT_THRESHOLD).is_err());
+    }
+
+    #[test]
+    fn stream_gate_checks_completion_budget_and_eager_undercut() {
+        let doc = |completed: u64, peak: u64, projected: u64| {
+            format!(
+                "{{\"schema\":\"moteur-bench/stream/v1\",\"n_items\":1000,\
+                 \"port_capacity\":16,\"eager_items\":100,\"seed\":1,\
+                 \"alloc_installed\":true,\"items_completed\":{completed},\
+                 \"jobs_submitted\":2000,\"wall_secs\":0.5,\
+                 \"items_per_sec\":2000,\"input_bytes\":32000,\
+                 \"pipeline_peak_bytes\":{peak},\
+                 \"eager_bytes_per_item\":750.0,\"eager_items_per_sec\":400,\
+                 \"eager_projected_bytes\":{projected},\"ok\":true}}"
+            )
+        };
+        let json = doc(1000, 40_000, 750_000);
+        let checks = check_stream(&json).unwrap();
+        assert_eq!(checks.len(), 4, "{checks:?}");
+        assert!(checks.iter().all(|c| c.ok), "{checks:?}");
+
+        // An incomplete stream trips the completion axis …
+        let short = doc(900, 40_000, 750_000);
+        let checks = check_stream(&short).unwrap();
+        assert!(
+            checks
+                .iter()
+                .any(|c| c.what == "stream/items_completed" && !c.ok),
+            "{checks:?}"
+        );
+        // … blowing the absolute budget trips the peak axis …
+        let hog = doc(1000, crate::stream::PIPELINE_PEAK_BUDGET + 1, u64::MAX);
+        let checks = check_stream(&hog).unwrap();
+        assert!(
+            checks
+                .iter()
+                .any(|c| c.what == "stream/pipeline_peak_budget" && !c.ok),
+            "{checks:?}"
+        );
+        // … and a peak within 4x of the eager projection trips the
+        // undercut axis even inside the absolute budget.
+        let near_eager = doc(1000, 40_000, 40_000 * 3);
+        let checks = check_stream(&near_eager).unwrap();
+        assert!(
+            checks
+                .iter()
+                .any(|c| c.what == "stream/undercuts_eager_projection" && !c.ok),
+            "{checks:?}"
+        );
+
+        // Without the counting allocator the memory axes are skipped.
+        let uncounted = json.replacen("\"alloc_installed\":true", "\"alloc_installed\":false", 1);
+        let checks = check_stream(&uncounted).unwrap();
+        assert_eq!(checks.len(), 2, "{checks:?}");
+
+        assert!(check_stream("{\"schema\":\"other/v1\"}").is_err());
+        assert!(check_stream("{").is_err());
     }
 
     #[test]

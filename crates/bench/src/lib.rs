@@ -46,6 +46,11 @@
 //! and the enactor through ten thousand jobs with the self-profiler
 //! attached, and writes host throughput, allocation rates and
 //! per-subsystem wall fractions to `BENCH_scale.json` ([`scale`]).
+//!
+//! `moteur-bench stream` pushes a million-item stream through a
+//! bounded-port service chain and writes throughput plus the
+//! O(port-capacity) pipeline memory high-water mark (versus the eager
+//! per-item projection) to `BENCH_stream.json` ([`stream`]).
 
 pub mod bronze;
 pub mod campaign;
@@ -54,6 +59,7 @@ pub mod faults;
 pub mod gate;
 pub mod plan;
 pub mod scale;
+pub mod stream;
 pub mod sweep;
 pub mod timeline;
 pub mod warm;
@@ -79,6 +85,10 @@ pub use plan::{
 pub use scale::{
     render_scale, render_scale_json, run_scale, ScaleReport, ScaleSpec, SubsystemShare,
     ALLOCS_PER_EVENT_BUDGET, SCALE_SCHEMA,
+};
+pub use stream::{
+    render_stream, render_stream_json, run_stream, StreamReport, StreamSpec, EAGER_UNDERCUT_FACTOR,
+    PIPELINE_PEAK_BUDGET, STREAM_SCHEMA,
 };
 pub use sweep::{
     render_points_json, render_summary, render_summary_json, run_sweep, BenchPoint, BenchSummary,

@@ -9,6 +9,7 @@
 //! moteur-bench gate [--summary PATH] [--baseline PATH] [--threshold FRAC]
 //!                   [--faults PATH] [--timeline PATH] [--plan PATH]
 //!                   [--scale PATH] [--scale-baseline PATH] [--daemon PATH]
+//!                   [--stream PATH]
 //! moteur-bench warm [--ndata N] [--seed N] [--out-dir DIR]
 //! moteur-bench faults [--ndata N] [--seed N] [--repeats R]
 //!                     [--failure-probability P] [--out-dir DIR]
@@ -16,6 +17,8 @@
 //!                       [--out-dir DIR]
 //! moteur-bench plan [--ndata N] [--seed N] [--out-dir DIR]
 //! moteur-bench scale [--events N] [--jobs N] [--seed N] [--out-dir DIR]
+//! moteur-bench stream [--items N] [--capacity N] [--eager-items N]
+//!                     [--seed N] [--out-dir DIR]
 //! moteur-bench daemon [--workflows N] [--tenants N] [--ndata N]
 //!                     [--out-dir DIR]
 //! ```
@@ -52,15 +55,20 @@
 //! and writes `BENCH_scale.json` (throughput, allocations per event,
 //! peak live bytes, per-subsystem wall shares), exiting non-zero when
 //! a target is missed or the allocation budget is blown.
+//! `stream` pushes a million-item stream through a bounded-port chain
+//! and writes `BENCH_stream.json` (throughput, input vs pipeline peak
+//! bytes, the eager projection), exiting non-zero unless the pipeline
+//! high-water mark stays O(port-capacity).
 
 use moteur_bench::daemon::{render_daemon, render_daemon_json, run_daemon_campaign};
 use moteur_bench::faults::{render_faults, render_faults_json, run_faults, FaultsSpec};
 use moteur_bench::gate::{
-    check_daemon, check_faults, check_gate, check_plan, check_scale, check_timeline,
+    check_daemon, check_faults, check_gate, check_plan, check_scale, check_stream, check_timeline,
     DEFAULT_THRESHOLD,
 };
 use moteur_bench::plan::{render_plan_bench, render_plan_bench_json, run_plan_bench, PlanSpec};
 use moteur_bench::scale::{render_scale, render_scale_json, run_scale, ScaleSpec};
+use moteur_bench::stream::{render_stream, render_stream_json, run_stream, StreamSpec};
 use moteur_bench::sweep::{
     render_points_json, render_summary, render_summary_json, run_sweep, SweepGrid, SweepSpec,
     SweepWorkflow,
@@ -95,6 +103,7 @@ fn usage() -> ExitCode {
     eprintln!("       moteur-bench gate [--summary PATH] [--baseline PATH] [--threshold FRAC]");
     eprintln!("                    [--faults PATH] [--timeline PATH] [--plan PATH]");
     eprintln!("                    [--scale PATH] [--scale-baseline PATH] [--daemon PATH]");
+    eprintln!("                    [--stream PATH]");
     eprintln!("       moteur-bench warm [--ndata N] [--seed N] [--out-dir DIR]");
     eprintln!("       moteur-bench faults [--ndata N] [--seed N] [--repeats R]");
     eprintln!("                    [--failure-probability P] [--out-dir DIR]");
@@ -102,6 +111,8 @@ fn usage() -> ExitCode {
     eprintln!("                    [--out-dir DIR]");
     eprintln!("       moteur-bench plan [--ndata N] [--seed N] [--out-dir DIR]");
     eprintln!("       moteur-bench scale [--events N] [--jobs N] [--seed N] [--out-dir DIR]");
+    eprintln!("       moteur-bench stream [--items N] [--capacity N] [--eager-items N]");
+    eprintln!("                    [--seed N] [--out-dir DIR]");
     eprintln!("       moteur-bench daemon [--workflows N] [--tenants N] [--ndata N]");
     eprintln!("                    [--out-dir DIR]");
     eprintln!();
@@ -307,6 +318,18 @@ fn cmd_gate(args: &[String]) -> ExitCode {
         }
         Err(_) if scale_implicit => {}
         Err(e) => return fail(format!("reading {scale_path}: {e}")),
+    }
+    // And for the streaming campaign (absolute checks only).
+    let stream_path = flag_value(args, "--stream");
+    let implicit = stream_path.is_none();
+    let stream_path = stream_path.unwrap_or("BENCH_stream.json");
+    match std::fs::read_to_string(stream_path) {
+        Ok(json) => match check_stream(&json) {
+            Ok(mut checks) => report.checks.append(&mut checks),
+            Err(e) => return fail(e),
+        },
+        Err(_) if implicit => {}
+        Err(e) => return fail(format!("reading {stream_path}: {e}")),
     }
     print!("{}", report.render());
     if report.ok() {
@@ -528,6 +551,59 @@ fn cmd_scale(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_stream(args: &[String]) -> ExitCode {
+    let mut spec = StreamSpec::default();
+    match flag_value(args, "--items").map(str::parse).transpose() {
+        Ok(Some(v)) if v > 0 => spec.n_items = v,
+        Ok(Some(_)) => return fail("--items needs a positive integer"),
+        Ok(None) => {}
+        Err(_) => return fail("--items needs a positive integer"),
+    }
+    match flag_value(args, "--capacity").map(str::parse).transpose() {
+        Ok(Some(v)) if v > 0 => spec.port_capacity = v,
+        Ok(Some(_)) => return fail("--capacity needs a positive integer"),
+        Ok(None) => {}
+        Err(_) => return fail("--capacity needs a positive integer"),
+    }
+    match flag_value(args, "--eager-items")
+        .map(str::parse)
+        .transpose()
+    {
+        Ok(Some(v)) if v > 0 => spec.eager_items = v,
+        Ok(Some(_)) => return fail("--eager-items needs a positive integer"),
+        Ok(None) => {}
+        Err(_) => return fail("--eager-items needs a positive integer"),
+    }
+    match flag_value(args, "--seed").map(str::parse).transpose() {
+        Ok(v) => spec.seed = v.unwrap_or(spec.seed),
+        Err(_) => return fail("--seed needs an integer"),
+    }
+    let out_dir = Path::new(flag_value(args, "--out-dir").unwrap_or("."));
+
+    eprintln!(
+        "stream campaign: {} items through port capacity {} (seed {})...",
+        spec.n_items, spec.port_capacity, spec.seed
+    );
+    let report = match run_stream(&spec) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    print!("{}", render_stream(&report));
+    let path = out_dir.join("BENCH_stream.json");
+    if let Err(e) = std::fs::write(&path, render_stream_json(&report) + "\n") {
+        return fail(format!("writing {}: {e}", path.display()));
+    }
+    println!("wrote {}", path.display());
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "moteur-bench: stream campaign missed an item or blew the pipeline memory budget"
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_daemon(args: &[String]) -> ExitCode {
     let n_workflows: usize = match flag_value(args, "--workflows").map(str::parse).transpose() {
         Ok(Some(v)) if v > 0 => v,
@@ -577,6 +653,7 @@ fn main() -> ExitCode {
         Some("timeline") => cmd_timeline(&args[1..]),
         Some("plan") => cmd_plan(&args[1..]),
         Some("scale") => cmd_scale(&args[1..]),
+        Some("stream") => cmd_stream(&args[1..]),
         Some("daemon") => cmd_daemon(&args[1..]),
         _ => usage(),
     }

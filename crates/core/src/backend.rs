@@ -17,6 +17,7 @@
 //!   worker threads (the paper's "spawning independent system threads
 //!   for each processor being executed"), timed with the wall clock.
 
+use crate::error::MoteurError;
 use crate::service::LocalService;
 use crate::token::Token;
 use crate::value::DataValue;
@@ -105,8 +106,11 @@ pub enum WaitOutcome {
 
 /// An asynchronous execution backend.
 pub trait Backend {
-    /// Non-blocking submission.
-    fn submit(&mut self, job: BackendJob);
+    /// Non-blocking submission. `Err` means the job was *not* accepted
+    /// (e.g. an invocation tag that would corrupt a shared namespace)
+    /// and no completion will ever surface for it; the caller must
+    /// treat this as a hard enactment failure rather than retry.
+    fn submit(&mut self, job: BackendJob) -> Result<(), MoteurError>;
     /// Block (or advance virtual time) until the next completion;
     /// `None` when nothing is in flight.
     fn wait_next(&mut self) -> Option<BackendCompletion>;
@@ -185,7 +189,7 @@ impl VirtualBackend {
 }
 
 impl Backend for VirtualBackend {
-    fn submit(&mut self, job: BackendJob) {
+    fn submit(&mut self, job: BackendJob) -> Result<(), MoteurError> {
         let start = self.clock;
         self.starts.insert(job.invocation.0, start);
         match job.payload {
@@ -210,6 +214,7 @@ impl Backend for VirtualBackend {
                 self.seq += 1;
             }
         }
+        Ok(())
     }
 
     fn wait_next(&mut self) -> Option<BackendCompletion> {
@@ -320,7 +325,7 @@ impl SimBackend {
 }
 
 impl Backend for SimBackend {
-    fn submit(&mut self, job: BackendJob) {
+    fn submit(&mut self, job: BackendJob) -> Result<(), MoteurError> {
         match job.payload {
             JobPayload::Grid {
                 plan,
@@ -348,6 +353,7 @@ impl Backend for SimBackend {
                 self.jobs.insert(job.invocation.0, id);
             }
         }
+        Ok(())
     }
 
     fn wait_next(&mut self) -> Option<BackendCompletion> {
@@ -427,7 +433,7 @@ impl LocalBackend {
 }
 
 impl Backend for LocalBackend {
-    fn submit(&mut self, job: BackendJob) {
+    fn submit(&mut self, job: BackendJob) -> Result<(), MoteurError> {
         match job.payload {
             JobPayload::Local { service, inputs } => {
                 let tx = self.tx.clone();
@@ -467,6 +473,7 @@ impl Backend for LocalBackend {
                 });
             }
         }
+        Ok(())
     }
 
     fn wait_next(&mut self) -> Option<BackendCompletion> {
@@ -564,14 +571,22 @@ impl<'a> ScopedBackend<'a> {
 }
 
 impl Backend for ScopedBackend<'_> {
-    fn submit(&mut self, mut job: BackendJob) {
-        debug_assert!(
-            job.invocation.0 <= 0xFFFF_FFFF,
-            "instance-local tag {} overflows the 32-bit namespace",
-            job.invocation.0
-        );
+    fn submit(&mut self, mut job: BackendJob) -> Result<(), MoteurError> {
+        // A tag ≥ 2^32 would bleed into the instance bits: completions
+        // for it would be routed to a *different* tenant and its own
+        // enactor would hang waiting for a job that never returns. A
+        // hard error (not a debug assertion) because release builds hit
+        // it too.
+        if job.invocation.0 > 0xFFFF_FFFF {
+            return Err(MoteurError::new(format!(
+                "instance-local tag {} overflows the 32-bit job namespace \
+                 (instance {})",
+                job.invocation.0,
+                self.base >> 32
+            )));
+        }
         job.invocation = InvocationId(self.base | job.invocation.0);
-        self.inner.submit(job);
+        self.inner.submit(job)
     }
 
     /// Only meaningful while this instance's jobs are the only ones in
@@ -623,8 +638,8 @@ mod tests {
     #[test]
     fn virtual_backend_orders_by_duration() {
         let mut b = VirtualBackend::new();
-        b.submit(grid_job(1, 30.0));
-        b.submit(grid_job(2, 10.0));
+        b.submit(grid_job(1, 30.0)).unwrap();
+        b.submit(grid_job(2, 10.0)).unwrap();
         let first = b.wait_next().unwrap();
         assert_eq!(first.invocation, InvocationId(2));
         assert!((first.finished_at.as_secs_f64() - 10.0).abs() < 1e-9);
@@ -637,9 +652,9 @@ mod tests {
     #[test]
     fn virtual_backend_submissions_after_time_advances_stack_up() {
         let mut b = VirtualBackend::new();
-        b.submit(grid_job(1, 10.0));
+        b.submit(grid_job(1, 10.0)).unwrap();
         b.wait_next().unwrap();
-        b.submit(grid_job(2, 5.0)); // starts at t=10
+        b.submit(grid_job(2, 5.0)).unwrap(); // starts at t=10
         let c = b.wait_next().unwrap();
         assert!((c.finished_at.as_secs_f64() - 15.0).abs() < 1e-9);
         assert!((c.started_at.as_secs_f64() - 10.0).abs() < 1e-9);
@@ -658,7 +673,8 @@ mod tests {
                 service: Arc::new(svc),
                 inputs: vec![Token::from_source("s", 0, DataValue::from("v"))],
             },
-        });
+        })
+        .unwrap();
         let c = b.wait_next().unwrap();
         let outs = c.outputs.unwrap().unwrap();
         assert_eq!(outs[0].1.as_str(), Some("v"));
@@ -672,7 +688,7 @@ mod tests {
     #[test]
     fn sim_backend_runs_grid_jobs_with_overhead() {
         let mut b = SimBackend::new(GridConfig::egee_2006(), 5);
-        b.submit(grid_job(1, 60.0));
+        b.submit(grid_job(1, 60.0)).unwrap();
         let c = b.wait_next().unwrap();
         assert_eq!(c.invocation, InvocationId(1));
         assert!(c.outputs.is_ok());
@@ -685,7 +701,7 @@ mod tests {
     fn sim_backend_rejects_local_payloads() {
         let svc = |_: &[Token]| -> Result<Vec<(String, DataValue)>, String> { Ok(vec![]) };
         let mut b = SimBackend::new(GridConfig::ideal(), 1);
-        b.submit(BackendJob {
+        let _ = b.submit(BackendJob {
             invocation: InvocationId(1),
             processor: "x".into(),
             payload: JobPayload::Local {
@@ -710,7 +726,8 @@ mod tests {
                     service: Arc::new(svc),
                     inputs: vec![Token::from_source("s", i as u32, DataValue::from(i as f64))],
                 },
-            });
+            })
+            .unwrap();
         }
         let mut results = Vec::new();
         while let Some(c) = b.wait_next() {
@@ -724,8 +741,8 @@ mod tests {
     #[test]
     fn virtual_backend_cancel_suppresses_the_completion() {
         let mut b = VirtualBackend::new();
-        b.submit(grid_job(1, 30.0));
-        b.submit(grid_job(2, 10.0));
+        b.submit(grid_job(1, 30.0)).unwrap();
+        b.submit(grid_job(2, 10.0)).unwrap();
         assert!(b.cancel(InvocationId(2)));
         assert!(!b.cancel(InvocationId(2)), "double cancel is false");
         let only = b.wait_next().unwrap();
@@ -736,7 +753,7 @@ mod tests {
     #[test]
     fn virtual_backend_wait_until_times_out_and_advances_the_clock() {
         let mut b = VirtualBackend::new();
-        b.submit(grid_job(1, 100.0));
+        b.submit(grid_job(1, 100.0)).unwrap();
         match b.wait_next_until(SimTime::from_secs_f64(40.0)) {
             WaitOutcome::TimedOut => {}
             WaitOutcome::Completion(c) => panic!("early completion {c:?}"),
@@ -754,8 +771,8 @@ mod tests {
     #[test]
     fn sim_backend_cancel_reaches_into_the_simulator() {
         let mut b = SimBackend::new(GridConfig::ideal(), 5);
-        b.submit(grid_job(1, 60.0));
-        b.submit(grid_job(2, 60.0));
+        b.submit(grid_job(1, 60.0)).unwrap();
+        b.submit(grid_job(2, 60.0)).unwrap();
         assert!(b.cancel(InvocationId(2)));
         let c = b.wait_next().unwrap();
         assert_eq!(c.invocation, InvocationId(1));
@@ -765,7 +782,7 @@ mod tests {
     #[test]
     fn sim_backend_reports_the_ce_of_the_final_attempt() {
         let mut b = SimBackend::new(GridConfig::egee_2006(), 5);
-        b.submit(grid_job(1, 60.0));
+        b.submit(grid_job(1, 60.0)).unwrap();
         let c = b.wait_next().unwrap();
         assert!(c.ce.is_some(), "grid jobs ran somewhere: {c:?}");
     }
@@ -775,7 +792,7 @@ mod tests {
         let mut raw = VirtualBackend::new();
         {
             let mut scoped = ScopedBackend::new(&mut raw, 3);
-            scoped.submit(grid_job(7, 10.0));
+            scoped.submit(grid_job(7, 10.0)).unwrap();
         }
         // The raw backend sees the namespaced tag…
         let c = raw.wait_next().unwrap();
@@ -784,7 +801,7 @@ mod tests {
         assert_eq!(ScopedBackend::local_tag(c.invocation.0), 7);
         // …and a scoped wait strips it back to the local tag.
         let mut scoped = ScopedBackend::new(&mut raw, 3);
-        scoped.submit(grid_job(7, 5.0));
+        scoped.submit(grid_job(7, 5.0)).unwrap();
         let c = scoped.wait_next().unwrap();
         assert_eq!(c.invocation, InvocationId(7));
     }
@@ -792,8 +809,12 @@ mod tests {
     #[test]
     fn scoped_backend_cancel_cannot_reach_a_sibling_instance() {
         let mut raw = VirtualBackend::new();
-        ScopedBackend::new(&mut raw, 1).submit(grid_job(7, 10.0));
-        ScopedBackend::new(&mut raw, 2).submit(grid_job(7, 20.0));
+        ScopedBackend::new(&mut raw, 1)
+            .submit(grid_job(7, 10.0))
+            .unwrap();
+        ScopedBackend::new(&mut raw, 2)
+            .submit(grid_job(7, 20.0))
+            .unwrap();
         // Instance 1 cancels its own tag 7; instance 2's tag 7 survives.
         assert!(ScopedBackend::new(&mut raw, 1).cancel(InvocationId(7)));
         let c = raw.wait_next().unwrap();
@@ -801,6 +822,31 @@ mod tests {
         assert!(raw.wait_next().is_none());
         // Cancelling a tag the instance never submitted is a no-op.
         assert!(!ScopedBackend::new(&mut raw, 1).cancel(InvocationId(99)));
+    }
+
+    #[test]
+    fn scoped_backend_rejects_tags_that_overflow_the_namespace() {
+        // Regression: this used to be a debug_assert!, so release
+        // builds silently corrupted the instance namespace — tag
+        // 2^32 + 7 from instance 1 masqueraded as instance 2's tag 7.
+        // It must be a hard error in every build profile.
+        let mut raw = VirtualBackend::new();
+        let mut scoped = ScopedBackend::new(&mut raw, 1);
+        let err = scoped
+            .submit(grid_job(1u64 << 32 | 7, 10.0))
+            .expect_err("overflowing tag must be rejected");
+        assert!(
+            err.message().contains("overflows the 32-bit job namespace"),
+            "unexpected error: {}",
+            err.message()
+        );
+        // Nothing reached the raw backend.
+        assert!(raw.wait_next().is_none());
+        // The boundary tag itself is still fine.
+        ScopedBackend::new(&mut raw, 1)
+            .submit(grid_job(0xFFFF_FFFF, 1.0))
+            .unwrap();
+        assert!(raw.wait_next().is_some());
     }
 
     #[test]
@@ -815,7 +861,8 @@ mod tests {
                 service: Arc::new(svc),
                 inputs: vec![],
             },
-        });
+        })
+        .unwrap();
         let c = b.wait_next().unwrap();
         assert_eq!(c.outputs.unwrap_err(), "kaboom");
         assert!(b.wait_next().is_none());

@@ -264,9 +264,19 @@ impl Daemon {
         }
     }
 
-    /// Override the admission / fairness knobs of one tenant.
-    pub fn set_tenant(&mut self, tenant: &str, config: TenantConfig) {
+    /// Override the admission / fairness knobs of one tenant. A weight
+    /// of zero is rejected: it would grant the tenant a zero dispatch
+    /// budget every round, silently starving its admitted workflows
+    /// forever.
+    pub fn set_tenant(&mut self, tenant: &str, config: TenantConfig) -> Result<(), MoteurError> {
+        if config.weight == 0 {
+            return Err(MoteurError::new(format!(
+                "tenant `{tenant}`: weight 0 would starve its workflows \
+                 forever; use a positive weight"
+            )));
+        }
         self.config.tenant_overrides.insert(tenant.into(), config);
+        Ok(())
     }
 
     /// Shared memo table (for inspection; the daemon owns it).
@@ -292,6 +302,15 @@ impl Daemon {
         config: EnactorConfig,
         ft: FtConfig,
     ) -> Result<u32, MoteurError> {
+        if self.config.tenant(tenant).weight == 0 {
+            // A zero-weight tenant gets a zero dispatch budget every
+            // round: its workflows would admit and then hang forever.
+            // Reject loudly at the protocol boundary instead.
+            return Err(MoteurError::new(format!(
+                "tenant `{tenant}` has weight 0 and would never be \
+                 scheduled; configure a positive weight"
+            )));
+        }
         let (workflow, inputs) = (self.parser)(workflow_xml, inputs_xml)?;
         let id = u32::try_from(self.slots.len() + 1)
             .map_err(|_| MoteurError::new("daemon instance table full"))?;
@@ -558,10 +577,14 @@ impl Daemon {
         let mut dispatched = 0;
         for tenant in &tenant_names {
             let cfg = self.config.tenant(tenant);
-            let cap = (cfg.weight as usize * self.config.quantum()).min(
-                cfg.max_inflight_jobs
-                    .saturating_sub(self.tenant_inflight_jobs(tenant)),
-            );
+            // saturating_mul: an extreme `--weights` value must clamp
+            // the budget, not overflow it to a tiny (or panicking) cap.
+            let cap = (cfg.weight as usize)
+                .saturating_mul(self.config.quantum())
+                .min(
+                    cfg.max_inflight_jobs
+                        .saturating_sub(self.tenant_inflight_jobs(tenant)),
+                );
             let mut remaining = cap;
             let ids: Vec<u32> = self
                 .slots

@@ -225,7 +225,27 @@ struct ProcState {
     barrier_fired: bool,
     /// For synchronization processors: the collected streams, per port.
     sync_buffers: Vec<Vec<Token>>,
+    /// Streaming mode: currently blocked on a full downstream port.
+    /// Tracked so the suspend/resume trace events fire once per
+    /// transition rather than once per blocked firing attempt.
+    suspended: bool,
 }
+
+/// One source's unemitted input stream in streaming mode. Instead of
+/// routing the whole stream up front, the enactor pulls items off the
+/// cursor one at a time while the source's downstream ports have room —
+/// the head of the end-to-end back-pressure chain.
+struct SourceCursor {
+    proc: ProcId,
+    name: String,
+    values: Vec<DataValue>,
+    next: usize,
+}
+
+/// Streaming mode keeps at most this many completion-duration samples
+/// per processor (a ring, overwritten oldest-first) so the adaptive
+/// timeout statistics stay O(1) in the stream length.
+const SAMPLE_RING: usize = 512;
 
 /// One workflow invocation carried by a backend job (batched grid jobs
 /// carry several).
@@ -297,6 +317,16 @@ pub struct WorkflowInstance {
     /// breach event fires on the false→true transition only).
     slo_breached: bool,
     sink_outputs: HashMap<String, Vec<Token>>,
+    /// Tokens delivered per sink — the full tally even in streaming
+    /// mode, where `sink_outputs` retains only the first
+    /// `port_capacity` tokens as a sample.
+    sink_counts: HashMap<String, usize>,
+    /// Unemitted source streams (streaming mode only; empty in the
+    /// legacy eager mode, where sources route everything up front).
+    source_cursors: Vec<SourceCursor>,
+    /// Per-processor write cursor into the [`SAMPLE_RING`]-sized
+    /// `proc_samples` ring (streaming mode only).
+    sample_cursors: Vec<usize>,
     records: Vec<InvocationRecord>,
     start_time: SimTime,
     obs: Obs,
@@ -486,6 +516,7 @@ impl WorkflowInstance {
                 inflight: 0,
                 barrier_fired: false,
                 sync_buffers: vec![Vec::new(); p.inputs.len()],
+                suspended: false,
             })
             .collect();
         let scc_ids = workflow.scc_ids();
@@ -543,6 +574,9 @@ impl WorkflowInstance {
             completed: 0,
             slo_breached: false,
             sink_outputs: HashMap::new(),
+            sink_counts: HashMap::new(),
+            source_cursors: Vec::new(),
+            sample_cursors: vec![0; n_procs],
             records: Vec::new(),
             start_time,
             obs,
@@ -635,7 +669,7 @@ impl WorkflowInstance {
             outputs: n_outputs,
             transfer_seconds,
         });
-        ctx.backend.submit(job.clone());
+        ctx.backend.submit(job.clone())?;
         self.pending.insert(
             invocation.0,
             PendingJob {
@@ -668,12 +702,132 @@ impl WorkflowInstance {
                 .get(&name)
                 .ok_or_else(|| MoteurError::new(format!("no input data for source `{name}`")))?
                 .to_vec();
-            for (j, value) in values.into_iter().enumerate() {
-                let token = Token::from_source(&name, j as u32, value);
-                self.route(ctx, src, 0, token);
+            if self.config.port_capacity.is_some() {
+                // Streaming: hold the stream back and emit on demand as
+                // downstream ports drain (see `pump_sources`).
+                self.source_cursors.push(SourceCursor {
+                    proc: src,
+                    name,
+                    values,
+                    next: 0,
+                });
+            } else {
+                for (j, value) in values.into_iter().enumerate() {
+                    let token = Token::from_source(&name, j as u32, value);
+                    self.route(ctx, src, 0, token);
+                }
             }
         }
         Ok(())
+    }
+
+    /// Streaming mode: emit the next items of every source whose
+    /// downstream ports have room, suspending the source (once, with a
+    /// trace event) when they fill and resuming it when they drain.
+    /// Returns whether anything was emitted. A no-op in eager mode.
+    fn pump_sources<B: Backend + ?Sized>(&mut self, ctx: &mut EnactCtx<'_, B>) -> bool {
+        let Some(cap) = self.config.port_capacity else {
+            return false;
+        };
+        let mut emitted = false;
+        for c in 0..self.source_cursors.len() {
+            let proc = self.source_cursors[c].proc;
+            let name = self.source_cursors[c].name.clone();
+            loop {
+                if self.source_cursors[c].next >= self.source_cursors[c].values.len() {
+                    break;
+                }
+                if !self.has_port_room(proc.0, cap) {
+                    self.set_suspended(ctx, proc.0, true, cap);
+                    break;
+                }
+                self.set_suspended(ctx, proc.0, false, cap);
+                let j = self.source_cursors[c].next;
+                self.source_cursors[c].next += 1;
+                let value = self.source_cursors[c].values[j].clone();
+                self.route(ctx, proc, 0, Token::from_source(&name, j as u32, value));
+                emitted = true;
+            }
+        }
+        emitted
+    }
+
+    /// Streaming mode: is there room on every bounded outgoing edge of
+    /// `p` for one more data item? Sinks and synchronization
+    /// processors are documented unbounded collection points; SP-off
+    /// stage barriers and intra-cycle edges must buffer whole streams
+    /// by construction, so those edges are exempt too.
+    fn has_port_room(&self, p: usize, cap: usize) -> bool {
+        if !self.config.service_parallelism {
+            return true;
+        }
+        self.workflow
+            .links
+            .iter()
+            .filter(|l| l.from.proc.0 == p)
+            .all(|l| {
+                let q = l.to.proc.0;
+                let target = &self.workflow.processors[q];
+                if target.kind != ProcessorKind::Service || target.synchronization {
+                    return true;
+                }
+                if self.in_cycle[p] && self.scc_ids[q] == self.scc_ids[p] {
+                    return true;
+                }
+                self.port_depth(p, q) < cap
+            })
+    }
+
+    /// Occupancy of the bounded edge `p → q`: items queued at the
+    /// consumer (complete matches plus partial tokens waiting in its
+    /// match engine) plus the producer's in-flight invocations, each
+    /// of which delivers one more item on completion.
+    fn port_depth(&self, p: usize, q: usize) -> usize {
+        self.states[q].ready.len() + self.states[q].engine.pending() + self.states[p].inflight
+    }
+
+    /// Record a suspend/resume transition of `p`'s output ports,
+    /// emitting the trace event only on the edge (idempotent within a
+    /// state).
+    fn set_suspended<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+        p: usize,
+        blocked: bool,
+        cap: usize,
+    ) {
+        if self.states[p].suspended == blocked {
+            return;
+        }
+        self.states[p].suspended = blocked;
+        if !self.obs.enabled() {
+            return;
+        }
+        let depth = self
+            .workflow
+            .links
+            .iter()
+            .filter(|l| l.from.proc.0 == p)
+            .map(|l| self.port_depth(p, l.to.proc.0))
+            .max()
+            .unwrap_or(0);
+        let at = ctx.backend.now();
+        let processor = self.workflow.processors[p].name.clone();
+        self.obs.record(&if blocked {
+            TraceEvent::PortSuspended {
+                at,
+                processor,
+                depth,
+                capacity: cap,
+            }
+        } else {
+            TraceEvent::PortResumed {
+                at,
+                processor,
+                depth,
+                capacity: cap,
+            }
+        });
     }
 
     fn event_loop<B: Backend + ?Sized>(
@@ -722,6 +876,15 @@ impl WorkflowInstance {
     /// The one-shot loop's post-conditions: nothing runnable may be
     /// left behind once the instance reports itself idle.
     fn deadlock_check(&self) -> Result<(), MoteurError> {
+        for c in &self.source_cursors {
+            let left = c.values.len() - c.next;
+            if left > 0 {
+                return Err(MoteurError::new(format!(
+                    "deadlock: source `{}` still holds {left} unemitted items",
+                    c.name
+                )));
+            }
+        }
         for (i, st) in self.states.iter().enumerate() {
             let p = &self.workflow.processors[i];
             if !st.ready.is_empty() {
@@ -751,6 +914,7 @@ impl WorkflowInstance {
         self.deadlock_check()?;
         Ok(WorkflowResult {
             sink_outputs: self.sink_outputs,
+            sink_counts: self.sink_counts,
             makespan: now.since(self.start_time),
             invocations: self.records,
             jobs_submitted: self.jobs_submitted,
@@ -826,10 +990,14 @@ impl WorkflowInstance {
             let target = &self.workflow.processors[tp.0];
             match target.kind {
                 ProcessorKind::Sink => {
-                    self.sink_outputs
-                        .entry(target.name.clone())
-                        .or_default()
-                        .push(token.clone());
+                    *self.sink_counts.entry(target.name.clone()).or_default() += 1;
+                    let out = self.sink_outputs.entry(target.name.clone()).or_default();
+                    // Streaming mode keeps only the first
+                    // `port_capacity` sink tokens as a sample;
+                    // `sink_counts` carries the full tally.
+                    if self.config.port_capacity.is_none_or(|cap| out.len() < cap) {
+                        out.push(token.clone());
+                    }
                 }
                 ProcessorKind::Service if target.synchronization => {
                     self.states[tp.0].sync_buffers[tport].push(token.clone());
@@ -882,8 +1050,12 @@ impl WorkflowInstance {
             if budget.is_some_and(|b| dispatched >= b) {
                 return Ok(dispatched);
             }
+            // Streaming: feed the pipeline before firing so ports freed
+            // by the previous round pull the next items off the source
+            // cursors. Source emission is not a dispatch and never
+            // counts against the daemon's budget.
+            let mut fired = self.pump_sources(ctx);
             let exhausted = self.compute_exhausted();
-            let mut fired = false;
             for p in 0..self.workflow.processors.len() {
                 let proc = &self.workflow.processors[p];
                 if proc.kind != ProcessorKind::Service {
@@ -908,6 +1080,9 @@ impl WorkflowInstance {
                     && self.can_fire(p, &exhausted)
                     && budget.is_none_or(|b| dispatched < b)
                 {
+                    if let Some(cap) = self.config.port_capacity {
+                        self.set_suspended(ctx, p, false, cap);
+                    }
                     let batchable = self.config.data_batching > 1 && !local_binding;
                     if batchable {
                         let k = self.config.data_batching.min(self.states[p].ready.len());
@@ -922,6 +1097,17 @@ impl WorkflowInstance {
                     fired = true;
                     dispatched += 1;
                 }
+                // A processor held back *only* by a full downstream
+                // port is suspended: it transitions once into the
+                // suspended state and resumes when the port drains.
+                if let Some(cap) = self.config.port_capacity {
+                    if !self.states[p].ready.is_empty()
+                        && self.can_fire_ignoring_room(p, &exhausted)
+                        && !self.has_port_room(p, cap)
+                    {
+                        self.set_suspended(ctx, p, true, cap);
+                    }
+                }
             }
             if !fired {
                 return Ok(dispatched);
@@ -930,6 +1116,19 @@ impl WorkflowInstance {
     }
 
     fn can_fire(&self, p: usize, exhausted: &[bool]) -> bool {
+        if let Some(cap) = self.config.port_capacity {
+            if !self.has_port_room(p, cap) {
+                return false;
+            }
+        }
+        self.can_fire_ignoring_room(p, exhausted)
+    }
+
+    /// [`WorkflowInstance::can_fire`] minus the streaming port-room
+    /// check — the configuration-level gates only (DP, SP, control
+    /// links). Used to distinguish "suspended on back-pressure" from
+    /// "not runnable anyway".
+    fn can_fire_ignoring_room(&self, p: usize, exhausted: &[bool]) -> bool {
         if !self.config.data_parallelism && self.states[p].inflight >= 1 {
             return false;
         }
@@ -973,8 +1172,10 @@ impl WorkflowInstance {
                 let proc = &self.workflow.processors[p];
                 let quiet = self.states[p].ready.is_empty() && self.states[p].inflight == 0;
                 let value = match proc.kind {
-                    // Sources emit their whole stream up front.
-                    ProcessorKind::Source => true,
+                    // Eager mode emits whole streams up front; in
+                    // streaming mode a source is exhausted only once
+                    // its cursor drained.
+                    ProcessorKind::Source => self.source_drained(p),
                     ProcessorKind::Sink => self.preds_exhausted(p, &ex, true),
                     ProcessorKind::Service => {
                         if self.in_cycle[p] {
@@ -1014,6 +1215,27 @@ impl WorkflowInstance {
         }
     }
 
+    /// Streaming mode: drop the file catalog before building a job.
+    /// Every job build registers all the files it stages (inputs via
+    /// `bind_port`, outputs explicitly), so the catalog only needs the
+    /// live job's entries — resetting keeps it O(job) instead of
+    /// O(stream length). A no-op in eager mode, where grouped stages
+    /// may look up files registered by earlier builds.
+    fn reset_catalog_for_streaming(&mut self) {
+        if self.config.port_capacity.is_some() {
+            self.catalog = Catalog::new();
+        }
+    }
+
+    /// Will source `p` emit nothing more? Always true in eager mode
+    /// (streams are routed up front); cursor-drained in streaming mode.
+    fn source_drained(&self, p: usize) -> bool {
+        self.source_cursors
+            .iter()
+            .find(|c| c.proc.0 == p)
+            .is_none_or(|c| c.next >= c.values.len())
+    }
+
     fn eval_cost(&mut self, cost: &CostModel, index: &DataIndex) -> f64 {
         eval_cost_with(&mut self.rng, cost, index)
     }
@@ -1024,6 +1246,7 @@ impl WorkflowInstance {
         proc: ProcId,
         matched: MatchedSet,
     ) -> Result<(), MoteurError> {
+        self.reset_catalog_for_streaming();
         let binding = self.workflow.processors[proc.0]
             .binding
             .clone()
@@ -1106,6 +1329,7 @@ impl WorkflowInstance {
         proc: ProcId,
         batch: Vec<MatchedSet>,
     ) -> Result<(), MoteurError> {
+        self.reset_catalog_for_streaming();
         let binding = self.workflow.processors[proc.0]
             .binding
             .clone()
@@ -1290,7 +1514,7 @@ impl WorkflowInstance {
             grid: matches!(job.payload, JobPayload::Grid { .. }),
             batched: entries.len(),
         });
-        ctx.backend.submit(job.clone());
+        ctx.backend.submit(job.clone())?;
         self.pending.insert(
             invocation.0,
             PendingJob {
@@ -1507,6 +1731,7 @@ impl WorkflowInstance {
         ctx: &mut EnactCtx<'_, B>,
         proc: ProcId,
     ) -> Result<(), MoteurError> {
+        self.reset_catalog_for_streaming();
         let p = &self.workflow.processors[proc.0];
         let buffers = std::mem::take(&mut self.states[proc.0].sync_buffers);
         let mut tokens = Vec::with_capacity(buffers.len());
@@ -1689,7 +1914,7 @@ impl WorkflowInstance {
                 self.deferred.push((due, logical));
                 self.emit_gauges(ctx);
             } else {
-                self.resubmit(ctx, logical);
+                self.resubmit(ctx, logical)?;
             }
             return Ok(());
         }
@@ -1699,7 +1924,11 @@ impl WorkflowInstance {
     /// Resubmit `logical` now, reusing its logical tag (the previous
     /// attempt has terminally completed, so the tag is free), and
     /// restart its timeout window.
-    fn resubmit<B: Backend + ?Sized>(&mut self, ctx: &mut EnactCtx<'_, B>, logical: u64) {
+    fn resubmit<B: Backend + ?Sized>(
+        &mut self,
+        ctx: &mut EnactCtx<'_, B>,
+        logical: u64,
+    ) -> Result<(), MoteurError> {
         let now = ctx.backend.now();
         let (job, retry, proc) = {
             let p = self
@@ -1719,7 +1948,7 @@ impl WorkflowInstance {
             attempt: logical,
         });
         self.bytes_transferred += Self::payload_bytes(&job.payload);
-        ctx.backend.submit(job);
+        ctx.backend.submit(job)
     }
 
     /// Resubmit every backoff-deferred invocation whose due time has
@@ -1740,7 +1969,7 @@ impl WorkflowInstance {
         });
         let serviced = !due.is_empty();
         for logical in due {
-            self.resubmit(ctx, logical);
+            self.resubmit(ctx, logical)?;
         }
         if serviced {
             self.emit_gauges(ctx);
@@ -1812,7 +2041,7 @@ impl WorkflowInstance {
                         attempt: fresh,
                     });
                     self.bytes_transferred += Self::payload_bytes(&job.payload);
-                    ctx.backend.submit(job);
+                    ctx.backend.submit(job)?;
                 } else {
                     self.obs.emit(|| TraceEvent::JobTimedOut {
                         at: now,
@@ -1856,7 +2085,7 @@ impl WorkflowInstance {
                         attempt: fresh,
                     });
                     self.bytes_transferred += Self::payload_bytes(&job.payload);
-                    ctx.backend.submit(job);
+                    ctx.backend.submit(job)?;
                 } else {
                     // Replica cap reached: let the race run to the end.
                     self.pending.get_mut(&logical).expect("still pending").muted = true;
@@ -2022,7 +2251,17 @@ impl WorkflowInstance {
             // A success resets the CE's consecutive-failure count.
             self.ce_failures.insert(ce, 0);
         }
-        self.proc_samples[proc_id.0].push(c.finished_at.since(pend.submitted).as_secs_f64());
+        let sample = c.finished_at.since(pend.submitted).as_secs_f64();
+        let samples = &mut self.proc_samples[proc_id.0];
+        if self.config.port_capacity.is_some() && samples.len() >= SAMPLE_RING {
+            // Streaming mode bounds the timeout statistics: overwrite
+            // the oldest sample (percentiles don't care about order).
+            let slot = self.sample_cursors[proc_id.0] % SAMPLE_RING;
+            samples[slot] = sample;
+            self.sample_cursors[proc_id.0] = self.sample_cursors[proc_id.0].wrapping_add(1);
+        } else {
+            samples.push(sample);
+        }
         let local_outputs = c.outputs.expect("failure case handled by caller");
         for mut entry in pend.entries {
             let outputs = match (&local_outputs, entry.grid_outputs.take()) {
@@ -2036,14 +2275,23 @@ impl WorkflowInstance {
             };
             let proc_name = self.workflow.processors[proc_id.0].name.clone();
             let proc_outputs = self.workflow.processors[proc_id.0].outputs.clone();
-            self.records.push(InvocationRecord {
-                processor: proc_name.clone(),
-                index: entry.index.clone(),
-                submitted: pend.submitted,
-                started: c.started_at,
-                finished: c.finished_at,
-                retries: pend.retries,
-            });
+            // Streaming mode keeps only the first `port_capacity`
+            // invocation records as a sample (`completed` and
+            // `sink_counts` carry the full tallies).
+            if self
+                .config
+                .port_capacity
+                .is_none_or(|cap| self.records.len() < cap)
+            {
+                self.records.push(InvocationRecord {
+                    processor: proc_name.clone(),
+                    index: entry.index.clone(),
+                    submitted: pend.submitted,
+                    started: c.started_at,
+                    finished: c.finished_at,
+                    retries: pend.retries,
+                });
+            }
             let history = History::derived(proc_name.clone(), entry.input_histories.clone());
             if let Some(key) = entry.cache_key.filter(|_| ctx.store.is_some()) {
                 let prof = self.obs.prof().clone();

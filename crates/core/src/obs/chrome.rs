@@ -177,6 +177,7 @@ mod tests {
     fn result(invocations: Vec<InvocationRecord>) -> WorkflowResult {
         WorkflowResult {
             sink_outputs: HashMap::new(),
+            sink_counts: HashMap::new(),
             makespan: SimDuration::from_secs(1),
             invocations,
             jobs_submitted: 0,

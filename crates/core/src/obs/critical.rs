@@ -321,6 +321,7 @@ mod tests {
     fn result(makespan: f64, invocations: Vec<InvocationRecord>) -> WorkflowResult {
         WorkflowResult {
             sink_outputs: HashMap::new(),
+            sink_counts: HashMap::new(),
             makespan: SimDuration::from_secs_f64(makespan),
             invocations,
             jobs_submitted: 0,

@@ -270,6 +270,26 @@ pub enum TraceEvent {
         cache_entries: usize,
         cache_bytes: u64,
     },
+    /// Streaming enactment: a processor's downstream port filled to
+    /// capacity and the processor stopped firing (back-pressure).
+    /// Emitted once per transition into the suspended state.
+    PortSuspended {
+        at: SimTime,
+        processor: String,
+        /// Deepest outgoing-edge occupancy at suspension.
+        depth: usize,
+        capacity: usize,
+    },
+    /// Streaming enactment: a suspended processor's downstream port
+    /// drained below capacity and it resumed firing. Emitted once per
+    /// transition out of the suspended state.
+    PortResumed {
+        at: SimTime,
+        processor: String,
+        /// Deepest outgoing-edge occupancy at resumption.
+        depth: usize,
+        capacity: usize,
+    },
     /// The run's projected completion (linear burn rate over completed
     /// invocations) exceeded the predicted makespan by the configured
     /// factor. Emitted once, at the first breach.
@@ -314,6 +334,8 @@ impl TraceEvent {
             TraceEvent::CeCapacity { .. } => "ce_capacity",
             TraceEvent::GridLinkTransfer { .. } => "grid_link_transfer",
             TraceEvent::EnactorGauges { .. } => "enactor_gauges",
+            TraceEvent::PortSuspended { .. } => "port_suspended",
+            TraceEvent::PortResumed { .. } => "port_resumed",
             TraceEvent::SloBreached { .. } => "slo_breached",
         }
     }
@@ -347,6 +369,8 @@ impl TraceEvent {
             | TraceEvent::CeCapacity { at, .. }
             | TraceEvent::GridLinkTransfer { at, .. }
             | TraceEvent::EnactorGauges { at, .. }
+            | TraceEvent::PortSuspended { at, .. }
+            | TraceEvent::PortResumed { at, .. }
             | TraceEvent::SloBreached { at, .. } => *at,
         }
     }
@@ -739,6 +763,22 @@ impl TraceEvent {
                 .uint("quarantined", *quarantined as u64)
                 .uint("cache_entries", *cache_entries as u64)
                 .uint("cache_bytes", *cache_bytes)
+                .finish(),
+            TraceEvent::PortSuspended {
+                processor,
+                depth,
+                capacity,
+                ..
+            }
+            | TraceEvent::PortResumed {
+                processor,
+                depth,
+                capacity,
+                ..
+            } => base
+                .str("processor", processor)
+                .uint("depth", *depth as u64)
+                .uint("capacity", *capacity as u64)
                 .finish(),
             TraceEvent::SloBreached {
                 predicted_secs,

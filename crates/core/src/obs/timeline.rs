@@ -917,6 +917,22 @@ impl EventSink for TimelineSink {
                     .gauge("store.entries", t, *cache_entries as f64);
                 state.timeline.gauge("store.bytes", t, *cache_bytes as f64);
             }
+            TraceEvent::PortSuspended {
+                processor, depth, ..
+            } => {
+                state
+                    .timeline
+                    .gauge(&format!("port.depth.{processor}"), t, *depth as f64);
+                state.timeline.counter("enactor.port_suspends", t, 1.0);
+            }
+            TraceEvent::PortResumed {
+                processor, depth, ..
+            } => {
+                state
+                    .timeline
+                    .gauge(&format!("port.depth.{processor}"), t, *depth as f64);
+                state.timeline.counter("enactor.port_resumes", t, 1.0);
+            }
             TraceEvent::SloBreached { .. } => {
                 state.stats.slo_breaches += 1;
                 state.timeline.counter("enactor.slo_breaches", t, 1.0);

@@ -125,6 +125,10 @@ mod tests {
             ],
         );
         let result = WorkflowResult {
+            sink_counts: sink_outputs
+                .iter()
+                .map(|(k, v)| (k.clone(), v.len()))
+                .collect(),
             sink_outputs,
             makespan: SimDuration::from_secs(1),
             invocations: vec![],
@@ -165,6 +169,7 @@ mod tests {
     fn empty_result_exports_an_empty_document() {
         let result = WorkflowResult {
             sink_outputs: HashMap::new(),
+            sink_counts: HashMap::new(),
             makespan: SimDuration::ZERO,
             invocations: vec![],
             jobs_submitted: 0,

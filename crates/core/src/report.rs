@@ -122,6 +122,7 @@ mod tests {
     fn result_with(records: Vec<InvocationRecord>) -> WorkflowResult {
         WorkflowResult {
             sink_outputs: HashMap::new(),
+            sink_counts: HashMap::new(),
             makespan: SimDuration::from_secs(100),
             invocations: records,
             jobs_submitted: 3,

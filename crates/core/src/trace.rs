@@ -29,8 +29,14 @@ impl InvocationRecord {
 #[derive(Debug)]
 pub struct WorkflowResult {
     /// Tokens collected by each sink, keyed by sink name, in arrival
-    /// order.
+    /// order. In streaming mode
+    /// ([`crate::EnactorConfig::port_capacity`]) only the first
+    /// `port_capacity` tokens per sink are retained as a sample;
+    /// `sink_counts` carries the full tally.
     pub sink_outputs: HashMap<String, Vec<Token>>,
+    /// Total number of tokens each sink received — exact in every
+    /// mode, even when `sink_outputs` is truncated by streaming.
+    pub sink_counts: HashMap<String, usize>,
     /// Total execution time (Σ of the paper's model).
     pub makespan: SimDuration,
     /// One record per fired invocation, in completion order.
@@ -51,6 +57,12 @@ impl WorkflowResult {
     /// Tokens a named sink received.
     pub fn sink(&self, name: &str) -> &[Token] {
         self.sink_outputs.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// How many tokens a named sink received in total (exact even in
+    /// streaming mode, where [`WorkflowResult::sink`] is a sample).
+    pub fn sink_count(&self, name: &str) -> usize {
+        self.sink_counts.get(name).copied().unwrap_or(0)
     }
 
     /// True when no data item was quarantined.
@@ -107,6 +119,10 @@ mod tests {
             vec![Token::from_source("s", 0, DataValue::from(1.0))],
         );
         let r = WorkflowResult {
+            sink_counts: sink_outputs
+                .iter()
+                .map(|(k, v)| (k.clone(), v.len()))
+                .collect(),
             sink_outputs,
             makespan: SimDuration::from_secs(1),
             invocations: vec![
@@ -136,6 +152,8 @@ mod tests {
         assert_eq!(report.completed_invocations, 2);
         assert!(report.ok());
         assert_eq!(r.sink("accuracy").len(), 1);
+        assert_eq!(r.sink_count("accuracy"), 1);
+        assert_eq!(r.sink_count("missing"), 0);
         assert!(r.sink("missing").is_empty());
         let of_b = r.invocations_of("b");
         assert_eq!(of_b.len(), 2);

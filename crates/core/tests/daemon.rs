@@ -106,7 +106,8 @@ fn admission_queues_beyond_the_tenant_workflow_cap() {
             max_inflight_workflows: 1,
             ..TenantConfig::default()
         },
-    );
+    )
+    .unwrap();
     let ids: Vec<u32> = (0..3).map(|_| submit(&mut d, "alice", 2)).collect();
     let states: Vec<InstanceState> = ids.iter().map(|&id| d.status(id).unwrap().state).collect();
     assert_eq!(
@@ -141,6 +142,114 @@ fn a_flooding_tenant_cannot_delay_anothers_first_job() {
     );
     d.drain();
     assert_eq!(d.metrics().succeeded, 51);
+}
+
+#[test]
+fn extreme_weight_and_quantum_saturate_instead_of_overflowing() {
+    // weight × quantum overflows usize by many orders of magnitude;
+    // the dispatch budget must saturate (then clamp to the job
+    // ceiling), not wrap around to a tiny or panicking cap.
+    let mut d = Daemon::new(
+        Box::new(VirtualBackend::new()),
+        DataStore::in_memory(StoreConfig::default()),
+        parser,
+        DaemonConfig {
+            quantum: usize::MAX,
+            ..DaemonConfig::default()
+        },
+    );
+    d.set_tenant(
+        "alice",
+        TenantConfig {
+            weight: u32::MAX,
+            ..TenantConfig::default()
+        },
+    )
+    .unwrap();
+    let id = submit(&mut d, "alice", 4);
+    d.drain();
+    assert_eq!(d.status(id).unwrap().state, InstanceState::Succeeded);
+}
+
+#[test]
+fn weight_zero_is_rejected_by_set_tenant() {
+    let mut d = daemon();
+    let err = d
+        .set_tenant(
+            "alice",
+            TenantConfig {
+                weight: 0,
+                ..TenantConfig::default()
+            },
+        )
+        .unwrap_err();
+    assert!(
+        err.message().contains("weight 0"),
+        "error names the bad weight: {err:?}"
+    );
+    // The rejected override took no effect: alice still schedules.
+    let id = submit(&mut d, "alice", 2);
+    d.drain();
+    assert_eq!(d.status(id).unwrap().state, InstanceState::Succeeded);
+}
+
+#[test]
+fn weight_zero_tenant_default_is_rejected_at_submit() {
+    // A config constructed directly (bypassing set_tenant) can still
+    // carry weight 0; submission must fail loudly instead of admitting
+    // a workflow that would never be dispatched.
+    let mut d = Daemon::new(
+        Box::new(VirtualBackend::new()),
+        DataStore::in_memory(StoreConfig::default()),
+        parser,
+        DaemonConfig {
+            tenant_defaults: TenantConfig {
+                weight: 0,
+                ..TenantConfig::default()
+            },
+            ..DaemonConfig::default()
+        },
+    );
+    let err = d
+        .submit(
+            "alice",
+            &tiny_workflow(),
+            &tiny_inputs(1),
+            EnactorConfig::sp_dp(),
+            FtConfig::default(),
+        )
+        .unwrap_err();
+    assert!(
+        err.message().contains("weight 0"),
+        "error names the starvation hazard: {err:?}"
+    );
+    assert!(d.list().is_empty(), "rejected submissions take no slot");
+}
+
+#[test]
+fn protocol_surfaces_weight_zero_rejection_as_error_response() {
+    let workflow = tiny_workflow().replace('"', "\\\"").replace('\n', "\\n");
+    let inputs = tiny_inputs(1).replace('"', "\\\"");
+    let session = format!(
+        r#"{{"schema":"moteur/daemon/v1","op":"submit","tenant":"a","workflow":"{workflow}","inputs":"{inputs}"}}"#,
+    );
+    let mut d = Daemon::new(
+        Box::new(VirtualBackend::new()),
+        DataStore::in_memory(StoreConfig::default()),
+        parser,
+        DaemonConfig {
+            tenant_defaults: TenantConfig {
+                weight: 0,
+                ..TenantConfig::default()
+            },
+            ..DaemonConfig::default()
+        },
+    );
+    let mut out = Vec::new();
+    protocol::serve(&mut d, session.as_bytes(), &mut out).unwrap();
+    let response = String::from_utf8(out).unwrap();
+    assert!(response.contains(r#""ok":false"#), "{response}");
+    assert!(response.contains("weight 0"), "{response}");
 }
 
 #[test]

@@ -592,3 +592,82 @@ fn quarantined_invocations_are_never_memoized() {
         .count();
     assert_eq!(hits, 3, "completed items replay; the quarantined never");
 }
+
+// ---------------------------------------------------------------------
+// Local backend: late completions of timed-out attempts
+// ---------------------------------------------------------------------
+
+#[test]
+fn local_backend_discards_late_completion_after_timeout_resubmit() {
+    // LocalBackend::cancel is always `false` — a spawned worker thread
+    // cannot be stopped, so a timed-out attempt's completion WILL
+    // arrive after its resubmission already won. The enactor must
+    // discard it, not double-record the invocation or die on an
+    // unknown tag.
+    let calls = Arc::new(AtomicU32::new(0));
+    let seen = calls.clone();
+    let slow_once = move |inputs: &[Token]| -> Result<Vec<(String, DataValue)>, String> {
+        if seen.fetch_add(1, Ordering::SeqCst) == 0 {
+            // First attempt outlives its 80ms timeout by a wide margin
+            // and lands while the tail service still holds the run
+            // loop open.
+            std::thread::sleep(std::time::Duration::from_millis(400));
+        } else {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        Ok(vec![("out".into(), inputs[0].value.clone())])
+    };
+    let tail = |inputs: &[Token]| -> Result<Vec<(String, DataValue)>, String> {
+        // Long enough that the workflow is still running when the
+        // first attempt's late completion surfaces at ~400ms.
+        std::thread::sleep(std::time::Duration::from_millis(600));
+        Ok(vec![("out".into(), inputs[0].value.clone())])
+    };
+    let mut wf = Workflow::new("late");
+    let src = wf.add_source("s");
+    let p = wf.add_service("slow", &["in"], &["out"], ServiceBinding::local(slow_once));
+    let t = wf.add_service("tail", &["in"], &["out"], ServiceBinding::local(tail));
+    let sink = wf.add_sink("sink");
+    wf.connect(src, "out", p, "in").unwrap();
+    wf.connect(p, "out", t, "in").unwrap();
+    wf.connect(t, "out", sink, "in").unwrap();
+    let inputs = InputData::new().set("s", vec![DataValue::from(7.0)]);
+    // Only `slow` times out; generous retries absorb scheduler noise.
+    let ft = FtConfig::from_legacy(0).with_policy(
+        "slow",
+        FtPolicy {
+            retry: RetryPolicy::Fixed { max_retries: 5 },
+            timeout: TimeoutPolicy::Fixed { seconds: 0.08 },
+            on_timeout: TimeoutAction::Resubmit,
+        },
+    );
+    let mut backend = LocalBackend::new();
+    let r = run_fault_tolerant(
+        &wf,
+        &inputs,
+        EnactorConfig::sp_dp(),
+        &ft,
+        &mut backend,
+        Obs::off(),
+    )
+    .expect("late completion is discarded, not fatal");
+    assert_eq!(r.sink("sink").len(), 1, "exactly one result delivered");
+    assert_eq!(
+        r.invocations
+            .iter()
+            .filter(|i| i.processor == "slow")
+            .count(),
+        1,
+        "the invocation is recorded once, not once per attempt"
+    );
+    let slow_rec = r
+        .invocations
+        .iter()
+        .find(|i| i.processor == "slow")
+        .unwrap();
+    assert!(slow_rec.retries >= 1, "the timeout consumed a retry");
+    assert!(
+        calls.load(Ordering::SeqCst) >= 2,
+        "both the original and the resubmitted attempt really ran"
+    );
+}

@@ -56,6 +56,13 @@ pub fn peak_bytes() -> u64 {
     PEAK_BYTES.load(Ordering::Relaxed)
 }
 
+/// Currently live heap bytes. Sampling this around a phase isolates
+/// that phase's retained footprint, which the process-wide
+/// [`peak_bytes`] high-water mark cannot do.
+pub fn live_bytes() -> u64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
 /// `(allocs, allocated_bytes)` in one call — what [`crate::Prof`]
 /// snapshots at scope entry/exit.
 pub fn totals() -> (u64, u64) {

@@ -540,6 +540,12 @@ fn cmd_daemon(args: &[String]) -> ExitCode {
             let Ok(weight) = weight.parse::<u32>() else {
                 return fail(format!("weight for `{name}` must be an integer"));
             };
+            if weight == 0 {
+                return fail(format!(
+                    "weight for `{name}` must be positive: weight 0 would \
+                     starve the tenant's workflows forever"
+                ));
+            }
             config.tenant_overrides.insert(
                 name.to_string(),
                 TenantConfig {
